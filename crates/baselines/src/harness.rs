@@ -1,0 +1,220 @@
+//! Shared round-based asynchronous harness for the ASGD baselines.
+//!
+//! The three asynchronous baselines (Downpour, EASGD, DC-ASGD) share one
+//! execution skeleton: `n` clients each own a slice of the sharded training
+//! set; at every round one client is sampled (proportionally to its speed,
+//! so heterogeneity creates staleness) to perform its scheme-specific
+//! communication with the server. Accuracy is recorded against the *number
+//! of server updates*, the scale on which update rules are comparable.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use vc_data::{Dataset, ShardSet, SyntheticSpec};
+use vc_nn::metrics::evaluate;
+use vc_nn::{ModelSpec, Sequential};
+
+/// One point of an accuracy-vs-updates curve.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AsyncPoint {
+    /// Server updates applied so far.
+    pub updates: usize,
+    /// Validation accuracy of the server parameters.
+    pub val_acc: f32,
+}
+
+/// A labelled baseline curve.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AsyncCurve {
+    /// Scheme label, e.g. `"downpour(n_push=4)"`.
+    pub label: String,
+    /// Recorded points.
+    pub points: Vec<AsyncPoint>,
+    /// Final validation accuracy.
+    pub final_val_acc: f32,
+    /// Client pushes that were dropped by fault injection.
+    pub dropped_updates: usize,
+}
+
+/// The shared data/model/fleet environment the baselines run in.
+pub struct AsyncEnv {
+    /// Per-client training data (client i owns shard i of `clients`).
+    pub client_data: Vec<Dataset>,
+    /// Validation subset used for curve points.
+    pub val: Dataset,
+    /// Model template.
+    pub model_spec: ModelSpec,
+    /// A model instance for evaluation.
+    pub eval_model: Sequential,
+    /// Initial (shared) parameter vector.
+    pub init_params: Vec<f32>,
+    /// Relative client speeds; sampling weight per round.
+    pub speeds: Vec<f64>,
+    /// Master RNG.
+    pub rng: StdRng,
+}
+
+/// Environment parameters shared by every baseline config.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AsyncEnvConfig {
+    /// Dataset generator.
+    pub data: SyntheticSpec,
+    /// Model architecture.
+    pub model: ModelSpec,
+    /// Number of clients.
+    pub clients: usize,
+    /// Heterogeneity: speed of the fastest client relative to the slowest
+    /// (1.0 = homogeneous). Speeds interpolate linearly in between.
+    pub speed_spread: f64,
+    /// Probability a client push is lost (fault injection; the VC setting).
+    pub drop_prob: f64,
+    /// Validation samples used per curve point.
+    pub val_eval_n: usize,
+    /// Record a point every this many server updates.
+    pub eval_every: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl AsyncEnvConfig {
+    /// A small, learnable environment for tests and quick benches.
+    pub fn small(seed: u64) -> Self {
+        let mut data = SyntheticSpec::cifar_like(seed);
+        data.train_n = 600;
+        data.val_n = 150;
+        data.test_n = 100;
+        data.noise = 1.0;
+        data.label_noise = 0.0;
+        let model = vc_nn::spec::mlp(&data.img, 32, data.classes);
+        AsyncEnvConfig {
+            data,
+            model,
+            clients: 4,
+            speed_spread: 3.0,
+            drop_prob: 0.0,
+            val_eval_n: 150,
+            eval_every: 8,
+            seed,
+        }
+    }
+
+    /// Builds the runtime environment.
+    pub fn build(&self) -> AsyncEnv {
+        assert!(self.clients >= 1);
+        assert!(self.speed_spread >= 1.0);
+        let (train, val, _) = self.data.generate();
+        let shards = ShardSet::split(&train, self.clients);
+        let client_data = (0..self.clients)
+            .map(|i| shards.shard(i).data.clone())
+            .collect();
+        let val_eval = val.select(&(0..self.val_eval_n.min(val.len())).collect::<Vec<_>>());
+        let eval_model = self.model.build(self.seed);
+        let init_params = eval_model.params_flat();
+        let speeds = (0..self.clients)
+            .map(|i| {
+                if self.clients == 1 {
+                    1.0
+                } else {
+                    1.0 + (self.speed_spread - 1.0) * i as f64 / (self.clients - 1) as f64
+                }
+            })
+            .collect();
+        AsyncEnv {
+            client_data,
+            val: val_eval,
+            model_spec: self.model.clone(),
+            eval_model,
+            init_params,
+            speeds,
+            rng: StdRng::seed_from_u64(self.seed.wrapping_mul(0x5851_F42D).wrapping_add(29)),
+        }
+    }
+}
+
+impl AsyncEnv {
+    /// Samples which client acts this round (faster clients act more often
+    /// — the source of staleness for the slow ones).
+    pub fn sample_client(&mut self) -> usize {
+        let dist = WeightedIndex::new(&self.speeds).expect("positive speeds");
+        dist.sample(&mut self.rng)
+    }
+
+    /// Whether this round's push is dropped (fault injection).
+    pub fn drops(&mut self, drop_prob: f64) -> bool {
+        drop_prob > 0.0 && self.rng.gen::<f64>() < drop_prob
+    }
+
+    /// Validation accuracy of a parameter vector.
+    pub fn score(&mut self, params: &[f32]) -> f32 {
+        self.eval_model.set_params_flat(params);
+        let (_, acc) = evaluate(&mut self.eval_model, &self.val.images, &self.val.labels, 256);
+        acc
+    }
+
+    /// A fresh model instance holding `params`.
+    pub fn model_with(&self, params: &[f32]) -> Sequential {
+        let mut m = self.model_spec.build(0);
+        m.set_params_flat(params);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_builds_with_per_client_shards() {
+        let cfg = AsyncEnvConfig::small(1);
+        let env = cfg.build();
+        assert_eq!(env.client_data.len(), 4);
+        let total: usize = env.client_data.iter().map(|d| d.len()).sum();
+        assert_eq!(total, 600);
+        assert_eq!(env.speeds.len(), 4);
+        assert!((env.speeds[3] / env.speeds[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_clients_sampled_more() {
+        let cfg = AsyncEnvConfig::small(2);
+        let mut env = cfg.build();
+        let mut counts = vec![0usize; 4];
+        for _ in 0..4000 {
+            counts[env.sample_client()] += 1;
+        }
+        assert!(
+            counts[3] > 2 * counts[0],
+            "fastest {} vs slowest {}",
+            counts[3],
+            counts[0]
+        );
+    }
+
+    #[test]
+    fn drop_rate_matches_probability() {
+        let cfg = AsyncEnvConfig::small(3);
+        let mut env = cfg.build();
+        let drops = (0..10_000).filter(|_| env.drops(0.25)).count();
+        let rate = drops as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "{rate}");
+        assert_eq!((0..100).filter(|_| env.drops(0.0)).count(), 0);
+    }
+
+    #[test]
+    fn score_of_random_params_is_chancey() {
+        let cfg = AsyncEnvConfig::small(4);
+        let mut env = cfg.build();
+        let p = env.init_params.clone();
+        let acc = env.score(&p);
+        assert!(acc < 0.45, "untrained accuracy {acc}");
+    }
+
+    #[test]
+    fn single_client_env_is_valid() {
+        let mut cfg = AsyncEnvConfig::small(5);
+        cfg.clients = 1;
+        let mut env = cfg.build();
+        assert_eq!(env.sample_client(), 0);
+    }
+}

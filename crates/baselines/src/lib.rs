@@ -1,0 +1,38 @@
+//! # vc-baselines
+//!
+//! The comparison points the paper measures against or positions VC-ASGD
+//! relative to:
+//!
+//! * [`serial`] — **single-instance synchronous training** on the server-
+//!   class instance: the paper's "best possible performance baseline"
+//!   (Figure 6). Real training with a simulated clock calibrated to the
+//!   same compute model as the fleet.
+//! * [`downpour`] — **Downpour SGD** (Dean et al.): clients push gradients
+//!   every `n_push` batches and fetch fresh server parameters every
+//!   `n_fetch`; the server applies gradients Hogwild-style. Not fault
+//!   tolerant (a lost client's gradients are simply gone), which §III-C
+//!   cites as its disqualifier for VC fleets.
+//! * [`easgd`] — **asynchronous Elastic Averaging SGD** (Zhang et al.):
+//!   persistent local replicas coupled to the center by an elastic term
+//!   with moving rate β. The paper's α = 0.999 experiment is the VC-ASGD
+//!   analog of EASGD's β = 0.001.
+//! * [`dcasgd`] — **Delay-Compensated ASGD** (Zheng et al.): gradient
+//!   updates corrected with a diagonal Hessian approximation
+//!   `λ·g⊙g⊙(W − W_backup)`.
+//!
+//! The three asynchronous baselines run on the *same* sharded synthetic
+//! dataset and model as VC-ASGD, through a common round-based asynchronous
+//! harness ([`harness`]) that models staleness explicitly, so the ablation
+//! benches can compare update rules at equal update budgets.
+
+pub mod dcasgd;
+pub mod downpour;
+pub mod easgd;
+pub mod harness;
+pub mod serial;
+
+pub use dcasgd::DcAsgdConfig;
+pub use downpour::DownpourConfig;
+pub use easgd::EasgdConfig;
+pub use harness::{AsyncCurve, AsyncPoint};
+pub use serial::{SerialConfig, SerialEpoch, SerialReport};

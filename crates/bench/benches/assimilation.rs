@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks of the VC-ASGD assimilation path: the Eq. (1)
+//! blend and the full strong/eventual store round-trips, at the experiment
+//! model's parameter count and at the paper's 4.97 M parameters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use vc_asgd::{AlphaSchedule, VcAsgdAssimilator};
+use vc_kvstore::{Consistency, VersionedStore};
+
+fn bench_blend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blend_eq1");
+    for n in [50_000usize, 4_972_746] {
+        let mut ws = vec![0.5f32; n];
+        let wc = vec![0.25f32; n];
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| vc_asgd::alpha::blend_eq1(&mut ws, &wc, 0.95));
+        });
+    }
+    group.finish();
+}
+
+fn bench_assimilate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assimilate");
+    group.sample_size(20);
+    let n = 250_000usize;
+    let client = vec![0.1f32; n];
+
+    group.bench_function("strong_250k", |b| {
+        let assim = VcAsgdAssimilator::new(
+            Arc::new(VersionedStore::new()),
+            Consistency::Strong,
+            AlphaSchedule::Const(0.95),
+        );
+        assim.seed_params(&vec![0.0; n]);
+        b.iter(|| assim.assimilate_strong(&client, 1));
+    });
+
+    group.bench_function("eventual_250k", |b| {
+        let assim = VcAsgdAssimilator::new(
+            Arc::new(VersionedStore::new()),
+            Consistency::Eventual,
+            AlphaSchedule::Const(0.95),
+        );
+        assim.seed_params(&vec![0.0; n]);
+        b.iter(|| {
+            let (snap, v) = assim.begin_eventual();
+            assim.commit_eventual(snap, v, &client, 1)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_blend, bench_assimilate);
+criterion_main!(benches);

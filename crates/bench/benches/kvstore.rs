@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of the parameter store — the real-engine
+//! counterpart of §IV-D's Redis/MySQL comparison.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vc_kvstore::VersionedStore;
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvstore_update");
+    for size_kb in [64usize, 1024, 4096] {
+        let payload = Bytes::from(vec![0u8; size_kb * 1024]);
+        group.throughput(Throughput::Bytes((size_kb * 1024) as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("eventual_rmw", size_kb),
+            &payload,
+            |b, payload| {
+                let store = VersionedStore::new();
+                store.put("w", payload.clone());
+                b.iter(|| {
+                    let (_, v) = store.get("w");
+                    store.put_versioned("w", v, payload.clone())
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("strong_transact", size_kb),
+            &payload,
+            |b, payload| {
+                let store = VersionedStore::new();
+                store.put("w", payload.clone());
+                b.iter(|| store.transact("w", |cur, _| (cur.clone(), cur.len())));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks of the tensor kernels behind client training.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vc_tensor::ops::{im2col, matmul, ConvGeom};
+use vc_tensor::{NormalSampler, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [32usize, 128, 256] {
+        let mut s = NormalSampler::seed_from(1);
+        let a = Tensor::randn(&[n, n], 0.0, 1.0, &mut s);
+        let b = Tensor::randn(&[n, n], 0.0, 1.0, &mut s);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| matmul(&a, &b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut group = c.benchmark_group("im2col");
+    // The experiment model's first conv: batch 32, 3ch 16x16, 3x3 kernel.
+    let mut s = NormalSampler::seed_from(2);
+    let input = Tensor::randn(&[32, 3, 16, 16], 0.0, 1.0, &mut s);
+    let geom = ConvGeom {
+        h: 16,
+        w: 16,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad: 1,
+    };
+    group.bench_function("batch32_3x16x16_k3", |b| {
+        b.iter(|| im2col(&input, 3, geom));
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("param_codec");
+    let mut s = NormalSampler::seed_from(3);
+    let params = Tensor::randn(&[50_000], 0.0, 1.0, &mut s);
+    group.bench_function("encode_50k", |b| {
+        b.iter(|| vc_tensor::encode_f32s(params.data()));
+    });
+    let blob = vc_tensor::encode_f32s(params.data());
+    group.bench_function("decode_50k", |b| {
+        b.iter(|| vc_tensor::decode_f32s(&blob).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_im2col, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Table I — server and client instance configurations, with the §IV-E
+//! pricing the workspace derives from them.
+//!
+//! Run: `cargo run -p vc-bench --bin table1 --release`
+
+use vc_cost::FleetCost;
+use vc_simnet::table1;
+
+fn main() {
+    println!("Table I: Server and client instance configurations");
+    println!(
+        "{:<16} {:>5} {:>10} {:>8} {:>10} {:>9} {:>12}",
+        "instance", "vCPU", "clock GHz", "RAM GB", "net Gbps", "$/h std", "$/h preempt"
+    );
+    let mut rows = vec![table1::server()];
+    rows.extend(table1::client_types());
+    for r in &rows {
+        println!(
+            "{:<16} {:>5} {:>10.1} {:>8.0} {:>10.0} {:>9.3} {:>12.3}",
+            r.name,
+            r.vcpus,
+            r.clock_ghz,
+            r.ram_gb,
+            r.bandwidth_gbps,
+            r.hourly_usd,
+            r.hourly_usd_preemptible
+        );
+    }
+
+    println!("\nDerived fleet pricing (the P5C5T2 fleet of §IV-E):");
+    let fleet = table1::uniform_fleet(5);
+    let cost = FleetCost::of(&fleet, 8.0);
+    println!(
+        "  standard    ${:.2}/h  -> ${:.2} for 8 h   (paper: $1.67/h, $13.4)",
+        cost.standard_per_hour,
+        cost.standard_total()
+    );
+    println!(
+        "  preemptible ${:.2}/h  -> ${:.2} for 8 h   (paper: $0.50/h, $4)",
+        cost.preemptible_per_hour,
+        cost.preemptible_total()
+    );
+    println!(
+        "  saving      {:.0}%                     (paper: 70%)",
+        cost.saving() * 100.0
+    );
+}

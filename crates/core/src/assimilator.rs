@@ -1,0 +1,215 @@
+//! The VC-ASGD parameter server (BOINC assimilator).
+
+use crate::alpha::{blend_eq1, AlphaSchedule};
+use std::sync::Arc;
+use vc_kvstore::{Consistency, LatencyModel, VersionedStore};
+use vc_tensor::codec::{decode_f32s, encode_f32s};
+
+/// Key under which the shared server parameter blob lives in the store.
+pub const PARAMS_KEY: &str = "model/params";
+
+/// A parameter server applying Eq. (1) against the shared store.
+///
+/// Several instances (the paper's `Pn`) may share one [`VersionedStore`].
+/// In [`Consistency::Strong`] mode each assimilation is one serialized
+/// transaction; in [`Consistency::Eventual`] mode the read happens when
+/// assimilation *starts* and the last-write-wins put when it *ends*, so
+/// overlapping assimilations can lose updates — exactly the §III-D /
+/// §IV-D trade-off.
+pub struct VcAsgdAssimilator {
+    store: Arc<VersionedStore>,
+    mode: Consistency,
+    schedule: AlphaSchedule,
+    latency: LatencyModel,
+}
+
+impl VcAsgdAssimilator {
+    /// Builds an assimilator over a shared store.
+    pub fn new(store: Arc<VersionedStore>, mode: Consistency, schedule: AlphaSchedule) -> Self {
+        VcAsgdAssimilator {
+            store,
+            mode,
+            schedule,
+            latency: LatencyModel::for_mode(mode),
+        }
+    }
+
+    /// The consistency mode in use.
+    pub fn mode(&self) -> Consistency {
+        self.mode
+    }
+
+    /// The configured α schedule.
+    pub fn schedule(&self) -> AlphaSchedule {
+        self.schedule
+    }
+
+    /// Seeds the store with the initial parameter vector (version 1).
+    pub fn seed_params(&self, params: &[f32]) {
+        self.store.put(PARAMS_KEY, encode_f32s(params));
+    }
+
+    /// Reads the current server parameters (and version).
+    pub fn read_params(&self) -> (Vec<f32>, u64) {
+        let (blob, version) = self.store.get(PARAMS_KEY);
+        let params = decode_f32s(&blob).expect("store holds a valid parameter blob");
+        (params, version)
+    }
+
+    /// Eventual-mode assimilation, split to mirror the wire protocol:
+    /// [`Self::begin_eventual`] at assimilation start returns the stale
+    /// snapshot; [`Self::commit_eventual`] at assimilation end blends the
+    /// client copy into *that snapshot* and writes it back last-write-wins.
+    /// Returns the number of concurrent updates clobbered.
+    pub fn begin_eventual(&self) -> (Vec<f32>, u64) {
+        self.read_params()
+    }
+
+    /// Completes an eventual-mode assimilation started by
+    /// [`Self::begin_eventual`].
+    pub fn commit_eventual(
+        &self,
+        mut snapshot: Vec<f32>,
+        read_version: u64,
+        client: &[f32],
+        epoch: usize,
+    ) -> (Vec<f32>, u64) {
+        let alpha = self.schedule.alpha(epoch);
+        blend_eq1(&mut snapshot, client, alpha);
+        let out = self
+            .store
+            .put_versioned(PARAMS_KEY, read_version, encode_f32s(&snapshot));
+        (snapshot, out.clobbered)
+    }
+
+    /// Strong-mode assimilation: one serialized read-blend-write
+    /// transaction; always sees the latest server copy and never loses
+    /// updates. Returns the post-update parameters.
+    pub fn assimilate_strong(&self, client: &[f32], epoch: usize) -> Vec<f32> {
+        let alpha = self.schedule.alpha(epoch);
+        let (_, updated) = self.store.transact(PARAMS_KEY, |blob, _v| {
+            let mut params = decode_f32s(blob).expect("store holds a valid parameter blob");
+            blend_eq1(&mut params, client, alpha);
+            (encode_f32s(&params), params)
+        });
+        updated
+    }
+
+    /// Simulated duration of one update transaction for a parameter vector
+    /// of `n` values (§IV-D latency model).
+    pub fn update_latency_s(&self, n: usize) -> f64 {
+        self.latency.update_s(vc_tensor::codec::encoded_len(n))
+    }
+
+    /// Lost updates recorded so far by the shared store.
+    pub fn lost_updates(&self) -> u64 {
+        self.store.metrics().snapshot().3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha::eq2_closed_form;
+
+    fn assim(mode: Consistency, alpha: f32) -> VcAsgdAssimilator {
+        VcAsgdAssimilator::new(
+            Arc::new(VersionedStore::new()),
+            mode,
+            AlphaSchedule::Const(alpha),
+        )
+    }
+
+    #[test]
+    fn seed_and_read_roundtrip() {
+        let a = assim(Consistency::Strong, 0.9);
+        a.seed_params(&[1.0, 2.0, 3.0]);
+        let (p, v) = a.read_params();
+        assert_eq!(p, vec![1.0, 2.0, 3.0]);
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn strong_sequence_matches_eq2() {
+        let a = assim(Consistency::Strong, 0.8);
+        let w0 = vec![0.0f32, 1.0];
+        a.seed_params(&w0);
+        let clients: Vec<Vec<f32>> = (0..5).map(|i| vec![i as f32, -(i as f32)]).collect();
+        let mut last = Vec::new();
+        for wc in &clients {
+            last = a.assimilate_strong(wc, 1);
+        }
+        let expect = eq2_closed_form(&w0, &clients, 0.8);
+        for (l, e) in last.iter().zip(&expect) {
+            assert!((l - e).abs() < 1e-5);
+        }
+        assert_eq!(a.lost_updates(), 0);
+    }
+
+    #[test]
+    fn eventual_overlap_loses_the_first_update() {
+        let a = assim(Consistency::Eventual, 0.5);
+        a.seed_params(&[0.0]);
+        // Two parameter servers start assimilating concurrently: both read
+        // the seed snapshot.
+        let (s1, v1) = a.begin_eventual();
+        let (s2, v2) = a.begin_eventual();
+        assert_eq!(v1, v2);
+        // PS1 commits client value 2.0: server becomes 1.0.
+        let (_, c1) = a.commit_eventual(s1, v1, &[2.0], 1);
+        assert_eq!(c1, 0);
+        // PS2 commits client value 4.0 against the stale snapshot: PS1's
+        // contribution is overwritten.
+        let (_, c2) = a.commit_eventual(s2, v2, &[4.0], 1);
+        assert_eq!(c2, 1);
+        let (p, _) = a.read_params();
+        assert_eq!(p, vec![2.0], "0.5*0 + 0.5*4, PS1's update lost");
+        assert_eq!(a.lost_updates(), 1);
+    }
+
+    #[test]
+    fn eventual_sequential_is_lossless() {
+        let a = assim(Consistency::Eventual, 0.9);
+        a.seed_params(&[1.0]);
+        for i in 0..10 {
+            let (s, v) = a.begin_eventual();
+            let (_, clobbered) = a.commit_eventual(s, v, &[i as f32], 1);
+            assert_eq!(clobbered, 0);
+        }
+        assert_eq!(a.lost_updates(), 0);
+    }
+
+    #[test]
+    fn epoch_drives_alpha_schedule() {
+        let a = VcAsgdAssimilator::new(
+            Arc::new(VersionedStore::new()),
+            Consistency::Strong,
+            AlphaSchedule::VarEOverE1,
+        );
+        a.seed_params(&[0.0]);
+        // Epoch 1: alpha 0.5 — server moves halfway to the client.
+        let p = a.assimilate_strong(&[1.0], 1);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        // Epoch 99: alpha 0.99 — tiny step.
+        let a2 = VcAsgdAssimilator::new(
+            Arc::new(VersionedStore::new()),
+            Consistency::Strong,
+            AlphaSchedule::VarEOverE1,
+        );
+        a2.seed_params(&[0.0]);
+        let p2 = a2.assimilate_strong(&[1.0], 99);
+        assert!(p2[0] < 0.02);
+    }
+
+    #[test]
+    fn latency_tracks_mode() {
+        let strong = assim(Consistency::Strong, 0.9);
+        let eventual = assim(Consistency::Eventual, 0.9);
+        let n = 4_972_746; // the paper's parameter count
+        let ratio = strong.update_latency_s(n) / eventual.update_latency_s(n);
+        assert!(
+            (ratio - 1.29 / 0.87).abs() < 0.02,
+            "strong/eventual ratio {ratio}"
+        );
+    }
+}

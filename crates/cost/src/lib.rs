@@ -1,0 +1,19 @@
+//! # vc-cost
+//!
+//! The economics of §IV-E (preemptible instances) and the database-overhead
+//! arithmetic of §IV-D:
+//!
+//! * [`pricing`] — fleet cost under standard vs preemptible pricing and the
+//!   horizontal-vs-vertical scaling cost comparison.
+//! * [`preempt_analysis`] — the binomial timeout model
+//!   (`E[extra] = n·p·t_o`) plus a Monte-Carlo validation of it.
+//! * [`db_overhead`] — training-time overhead of a strong-consistency
+//!   parameter store as update counts scale (CIFAR10 → ImageNet).
+
+pub mod db_overhead;
+pub mod preempt_analysis;
+pub mod pricing;
+
+pub use db_overhead::DbOverhead;
+pub use preempt_analysis::{simulate_extra_time_s, TimeoutAnalysis};
+pub use pricing::FleetCost;

@@ -1,0 +1,147 @@
+//! Labelled image datasets.
+
+use vc_tensor::Tensor;
+
+/// A labelled dataset: images `[n, ch, h, w]` and integer labels.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dataset {
+    /// Image tensor, `[n, ch, h, w]`.
+    pub images: Tensor,
+    /// Per-image class labels, each `< classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating invariants.
+    pub fn new(images: Tensor, labels: Vec<usize>, classes: usize) -> Self {
+        assert_eq!(
+            images.dims()[0],
+            labels.len(),
+            "images/labels count mismatch"
+        );
+        assert!(
+            labels.iter().all(|&y| y < classes),
+            "label out of range for {classes} classes"
+        );
+        Dataset {
+            images,
+            labels,
+            classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Per-sample dimensions (`[ch, h, w]`).
+    pub fn sample_dims(&self) -> &[usize] {
+        &self.images.dims()[1..]
+    }
+
+    /// Extracts the sub-dataset at `indices` (clones the selected rows).
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        let sample_len: usize = self.sample_dims().iter().product();
+        let mut data = Vec::with_capacity(indices.len() * sample_len);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "index {i} out of range");
+            data.extend_from_slice(&self.images.data()[i * sample_len..(i + 1) * sample_len]);
+            labels.push(self.labels[i]);
+        }
+        let mut dims = vec![indices.len()];
+        dims.extend_from_slice(self.sample_dims());
+        Dataset {
+            images: Tensor::from_vec(data, &dims),
+            labels,
+            classes: self.classes,
+        }
+    }
+
+    /// Splits off the first `n` samples, returning `(head, tail)`.
+    pub fn split_at(&self, n: usize) -> (Dataset, Dataset) {
+        assert!(n <= self.len(), "split point {n} beyond dataset");
+        let head: Vec<usize> = (0..n).collect();
+        let tail: Vec<usize> = (n..self.len()).collect();
+        (self.select(&head), self.select(&tail))
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.classes];
+        for &y in &self.labels {
+            h[y] += 1;
+        }
+        h
+    }
+
+    /// Approximate in-memory/encoded size of this dataset's images in bytes
+    /// (f32 samples + one byte per label). Drives simulated shard downloads.
+    pub fn byte_size(&self) -> usize {
+        self.images.numel() * 4 + self.labels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let images = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 1, 2, 2]);
+        Dataset::new(images, vec![0, 1, 0], 2)
+    }
+
+    #[test]
+    fn invariants_enforced() {
+        let d = tiny();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.sample_dims(), &[1, 2, 2]);
+        assert_eq!(d.class_histogram(), vec![2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn rejects_mismatched_labels() {
+        Dataset::new(Tensor::zeros(&[2, 1, 2, 2]), vec![0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_labels() {
+        Dataset::new(Tensor::zeros(&[1, 1, 2, 2]), vec![5], 2);
+    }
+
+    #[test]
+    fn select_clones_rows() {
+        let d = tiny();
+        let s = d.select(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels, vec![0, 0]);
+        assert_eq!(&s.images.data()[0..4], &[8.0, 9.0, 10.0, 11.0]);
+        assert_eq!(&s.images.data()[4..8], &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let d = tiny();
+        let (a, b) = d.split_at(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 2);
+        assert_eq!(a.labels, vec![0]);
+        assert_eq!(b.labels, vec![1, 0]);
+    }
+
+    #[test]
+    fn byte_size_counts_floats_and_labels() {
+        let d = tiny();
+        assert_eq!(d.byte_size(), 12 * 4 + 3);
+    }
+}

@@ -1,0 +1,342 @@
+//! The versioned blob store.
+
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Consistency mode for parameter updates, selecting which access pattern
+/// the parameter servers use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Consistency {
+    /// Serialized read-modify-write transactions (the MySQL analog).
+    Strong,
+    /// Independent read then last-write-wins put (the Redis analog).
+    Eventual,
+}
+
+impl std::fmt::Display for Consistency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Consistency::Strong => write!(f, "strong"),
+            Consistency::Eventual => write!(f, "eventual"),
+        }
+    }
+}
+
+/// Operation counters, cheap enough to keep always-on.
+#[derive(Debug, Default)]
+pub struct StoreMetrics {
+    /// Completed reads.
+    pub reads: AtomicU64,
+    /// Completed writes (both paths).
+    pub writes: AtomicU64,
+    /// Serialized transactions executed.
+    pub transactions: AtomicU64,
+    /// Writes that overwrote versions the writer never saw — each one means
+    /// at least one concurrent update was lost (eventual mode only).
+    pub lost_updates: AtomicU64,
+}
+
+impl StoreMetrics {
+    /// Snapshot of `(reads, writes, transactions, lost_updates)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.reads.load(Ordering::Relaxed),
+            self.writes.load(Ordering::Relaxed),
+            self.transactions.load(Ordering::Relaxed),
+            self.lost_updates.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Outcome of an eventual-mode write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// The version assigned to the written value.
+    pub new_version: u64,
+    /// Number of intervening versions this write clobbered (0 when the
+    /// writer saw the latest value).
+    pub clobbered: u64,
+}
+
+struct Entry {
+    value: Bytes,
+    version: u64,
+}
+
+/// A thread-safe, versioned, in-memory blob store.
+///
+/// One instance stands for the shared database backing all parameter
+/// servers. Keys are model identifiers; values are encoded parameter blobs
+/// (the paper stores "all the parameters of a model as a single value").
+pub struct VersionedStore {
+    map: RwLock<HashMap<String, Arc<Mutex<Entry>>>>,
+    metrics: StoreMetrics,
+}
+
+impl VersionedStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        VersionedStore {
+            map: RwLock::new(HashMap::new()),
+            metrics: StoreMetrics::default(),
+        }
+    }
+
+    fn entry(&self, key: &str) -> Arc<Mutex<Entry>> {
+        if let Some(e) = self.map.read().get(key) {
+            return e.clone();
+        }
+        let mut w = self.map.write();
+        w.entry(key.to_string())
+            .or_insert_with(|| {
+                Arc::new(Mutex::new(Entry {
+                    value: Bytes::new(),
+                    version: 0,
+                }))
+            })
+            .clone()
+    }
+
+    /// Reads the current value and its version. Version 0 with an empty
+    /// value means "never written".
+    pub fn get(&self, key: &str) -> (Bytes, u64) {
+        self.metrics.reads.fetch_add(1, Ordering::Relaxed);
+        let e = self.entry(key);
+        let g = e.lock();
+        (g.value.clone(), g.version)
+    }
+
+    /// Unconditional write; returns the new version. Used for initial
+    /// seeding of the parameter blob.
+    pub fn put(&self, key: &str, value: Bytes) -> u64 {
+        self.metrics.writes.fetch_add(1, Ordering::Relaxed);
+        let e = self.entry(key);
+        let mut g = e.lock();
+        g.version += 1;
+        g.value = value;
+        g.version
+    }
+
+    /// Eventual-consistency write: last-write-wins, recording how many
+    /// versions written after `read_version` are being overwritten. This is
+    /// the Redis path — the store never blocks the writer, it just loses
+    /// the concurrent updates.
+    pub fn put_versioned(&self, key: &str, read_version: u64, value: Bytes) -> WriteOutcome {
+        self.metrics.writes.fetch_add(1, Ordering::Relaxed);
+        let e = self.entry(key);
+        let mut g = e.lock();
+        let clobbered = g.version.saturating_sub(read_version);
+        if clobbered > 0 {
+            self.metrics
+                .lost_updates
+                .fetch_add(clobbered, Ordering::Relaxed);
+        }
+        g.version += 1;
+        g.value = value;
+        WriteOutcome {
+            new_version: g.version,
+            clobbered,
+        }
+    }
+
+    /// Strong-consistency transaction: runs `f` on the current value under
+    /// the key lock and installs its result atomically. No concurrent
+    /// transaction on the same key can interleave — the MySQL path.
+    pub fn transact<T>(&self, key: &str, f: impl FnOnce(&Bytes, u64) -> (Bytes, T)) -> (u64, T) {
+        self.metrics.transactions.fetch_add(1, Ordering::Relaxed);
+        self.metrics.writes.fetch_add(1, Ordering::Relaxed);
+        let e = self.entry(key);
+        let mut g = e.lock();
+        let (new_value, out) = f(&g.value, g.version);
+        g.version += 1;
+        g.value = new_value;
+        (g.version, out)
+    }
+
+    /// Current version of a key (0 when absent).
+    pub fn version(&self, key: &str) -> u64 {
+        if let Some(e) = self.map.read().get(key) {
+            e.lock().version
+        } else {
+            0
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when no key has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Metric counters.
+    pub fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+}
+
+impl Default for VersionedStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn get_of_missing_key_is_empty_v0() {
+        let s = VersionedStore::new();
+        let (v, ver) = s.get("w");
+        assert!(v.is_empty());
+        assert_eq!(ver, 0);
+    }
+
+    #[test]
+    fn put_bumps_version() {
+        let s = VersionedStore::new();
+        assert_eq!(s.put("w", Bytes::from_static(b"a")), 1);
+        assert_eq!(s.put("w", Bytes::from_static(b"b")), 2);
+        let (v, ver) = s.get("w");
+        assert_eq!(&v[..], b"b");
+        assert_eq!(ver, 2);
+    }
+
+    #[test]
+    fn versioned_write_detects_clobber() {
+        let s = VersionedStore::new();
+        s.put("w", Bytes::from_static(b"base")); // v1
+        let (_, v_seen) = s.get("w");
+        // A concurrent writer lands first.
+        s.put("w", Bytes::from_static(b"other")); // v2
+        let out = s.put_versioned("w", v_seen, Bytes::from_static(b"mine"));
+        assert_eq!(out.clobbered, 1);
+        assert_eq!(out.new_version, 3);
+        let (v, _) = s.get("w");
+        assert_eq!(&v[..], b"mine"); // last write wins
+        assert_eq!(s.metrics().snapshot().3, 1);
+    }
+
+    #[test]
+    fn versioned_write_clean_when_current() {
+        let s = VersionedStore::new();
+        s.put("w", Bytes::from_static(b"base"));
+        let (_, v) = s.get("w");
+        let out = s.put_versioned("w", v, Bytes::from_static(b"next"));
+        assert_eq!(out.clobbered, 0);
+        assert_eq!(s.metrics().snapshot().3, 0);
+    }
+
+    #[test]
+    fn transact_reads_latest_and_installs() {
+        let s = VersionedStore::new();
+        s.put("w", Bytes::from(vec![5u8]));
+        let (ver, old_len) = s.transact("w", |cur, _v| {
+            let mut next = cur.to_vec();
+            next.push(6);
+            (Bytes::from(next), cur.len())
+        });
+        assert_eq!(ver, 2);
+        assert_eq!(old_len, 1);
+        assert_eq!(&s.get("w").0[..], &[5, 6]);
+    }
+
+    #[test]
+    fn strong_transactions_never_lose_updates() {
+        // 8 threads × 100 increments on a counter blob must total 800.
+        let s = Arc::new(VersionedStore::new());
+        s.put("ctr", Bytes::from(0u64.to_le_bytes().to_vec()));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    s.transact("ctr", |cur, _| {
+                        let mut b = [0u8; 8];
+                        b.copy_from_slice(cur);
+                        let n = u64::from_le_bytes(b) + 1;
+                        (Bytes::from(n.to_le_bytes().to_vec()), ())
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&s.get("ctr").0);
+        assert_eq!(u64::from_le_bytes(b), 800);
+        assert_eq!(s.metrics().snapshot().3, 0, "no lost updates");
+    }
+
+    #[test]
+    fn eventual_rmw_loses_updates_under_contention() {
+        // The same workload through the read-then-put path must lose
+        // updates: the defining behaviour difference of §IV-D.
+        let s = Arc::new(VersionedStore::new());
+        s.put("ctr", Bytes::from(0u64.to_le_bytes().to_vec()));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let (cur, ver) = s.get("ctr");
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&cur);
+                    let n = u64::from_le_bytes(b) + 1;
+                    // Widen the read→write window so interleaving is certain
+                    // even on a single core.
+                    std::thread::yield_now();
+                    s.put_versioned("ctr", ver, Bytes::from(n.to_le_bytes().to_vec()));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&s.get("ctr").0);
+        let final_n = u64::from_le_bytes(b);
+        let lost = s.metrics().snapshot().3;
+        assert!(final_n <= 1600);
+        // Every increment missing from the counter sat inside at least one
+        // writer's read→write gap, so the clobber metric bounds the deficit.
+        assert!(
+            1600 - final_n <= lost,
+            "deficit {} exceeds clobber metric {lost}",
+            1600 - final_n
+        );
+        assert!(lost > 0, "contention produced no lost updates");
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let s = VersionedStore::new();
+        s.put("a", Bytes::from_static(b"1"));
+        s.put("b", Bytes::from_static(b"2"));
+        assert_eq!(s.version("a"), 1);
+        assert_eq!(s.version("b"), 1);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn metrics_count_operations() {
+        let s = VersionedStore::new();
+        s.put("k", Bytes::new());
+        s.get("k");
+        s.get("k");
+        s.transact("k", |c, _| (c.clone(), ()));
+        let (r, w, t, _) = s.metrics().snapshot();
+        assert_eq!(r, 2);
+        assert_eq!(w, 2); // put + transact
+        assert_eq!(t, 1);
+    }
+}

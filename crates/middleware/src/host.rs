@@ -1,0 +1,159 @@
+//! Host (volunteer client) records.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use vc_simnet::InstanceSpec;
+
+/// Identifier of a client host within one [`crate::BoincServer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+/// Smoothing factor of the reliability EMA: one success moves the estimate
+/// 15 % of the way to 1, one timeout 15 % of the way to 0.
+const RELIABILITY_ALPHA: f64 = 0.15;
+
+/// Control-plane state the scheduler keeps per host (BOINC's host table).
+#[derive(Clone, Debug)]
+pub struct HostRecord {
+    /// Identifier.
+    pub id: HostId,
+    /// Instance configuration (Table I row).
+    pub spec: InstanceSpec,
+    /// Maximum simultaneous subtasks (the paper's `Tn`).
+    pub slots: usize,
+    /// Workunits currently assigned.
+    pub in_flight: usize,
+    /// Exponential moving average of result success in [0, 1]; starts at 1
+    /// (BOINC starts hosts trusted and demotes them on failures).
+    pub reliability: f64,
+    /// Shards cached by the sticky-file feature.
+    pub cached_shards: HashSet<usize>,
+    /// True while the host is alive (preempted hosts flip to false until
+    /// replaced).
+    pub alive: bool,
+    /// Totals for reporting.
+    pub completed: u64,
+    /// Timeouts attributed to this host.
+    pub timeouts: u64,
+}
+
+impl HostRecord {
+    /// A fresh host with `slots` simultaneous-subtask capacity.
+    pub fn new(id: HostId, spec: InstanceSpec, slots: usize) -> Self {
+        assert!(slots >= 1, "a host needs at least one slot");
+        HostRecord {
+            id,
+            spec,
+            slots,
+            in_flight: 0,
+            reliability: 1.0,
+            cached_shards: HashSet::new(),
+            alive: true,
+            completed: 0,
+            timeouts: 0,
+        }
+    }
+
+    /// Slots the scheduler will actually fill, shrunk for unreliable hosts
+    /// ("assign subtasks to more reliable clients", §III-B). A host that
+    /// times out persistently degrades to a single probe slot.
+    pub fn effective_slots(&self) -> usize {
+        let scaled = (self.slots as f64 * self.reliability).ceil() as usize;
+        scaled.max(1)
+    }
+
+    /// Whether the host can take one more workunit now.
+    pub fn has_capacity(&self) -> bool {
+        self.alive && self.in_flight < self.effective_slots()
+    }
+
+    /// Records a successful result.
+    pub fn record_success(&mut self) {
+        self.completed += 1;
+        self.reliability += RELIABILITY_ALPHA * (1.0 - self.reliability);
+    }
+
+    /// Records a timeout.
+    pub fn record_timeout(&mut self) {
+        self.timeouts += 1;
+        self.reliability -= RELIABILITY_ALPHA * self.reliability;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_simnet::table1;
+
+    fn host() -> HostRecord {
+        HostRecord::new(HostId(0), table1::client_8v_2_2(), 4)
+    }
+
+    #[test]
+    fn fresh_host_is_trusted() {
+        let h = host();
+        assert_eq!(h.reliability, 1.0);
+        assert_eq!(h.effective_slots(), 4);
+        assert!(h.has_capacity());
+    }
+
+    #[test]
+    fn capacity_respects_in_flight() {
+        let mut h = host();
+        h.in_flight = 4;
+        assert!(!h.has_capacity());
+        h.in_flight = 3;
+        assert!(h.has_capacity());
+    }
+
+    #[test]
+    fn timeouts_shrink_effective_slots() {
+        let mut h = host();
+        for _ in 0..12 {
+            h.record_timeout();
+        }
+        assert!(h.reliability < 0.2, "{}", h.reliability);
+        assert_eq!(h.effective_slots(), 1, "degrades to a probe slot");
+        assert_eq!(h.timeouts, 12);
+    }
+
+    #[test]
+    fn successes_restore_reliability() {
+        let mut h = host();
+        for _ in 0..10 {
+            h.record_timeout();
+        }
+        let low = h.reliability;
+        for _ in 0..20 {
+            h.record_success();
+        }
+        assert!(h.reliability > 0.9, "{low} -> {}", h.reliability);
+        assert_eq!(h.effective_slots(), 4);
+    }
+
+    #[test]
+    fn dead_host_has_no_capacity() {
+        let mut h = host();
+        h.alive = false;
+        assert!(!h.has_capacity());
+    }
+
+    #[test]
+    fn reliability_stays_in_unit_interval() {
+        let mut h = host();
+        for _ in 0..1000 {
+            h.record_timeout();
+        }
+        assert!(h.reliability >= 0.0);
+        for _ in 0..1000 {
+            h.record_success();
+        }
+        assert!(h.reliability <= 1.0);
+    }
+}

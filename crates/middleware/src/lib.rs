@@ -1,0 +1,29 @@
+//! # vc-middleware
+//!
+//! A BOINC-like volunteer-computing middleware, re-implemented in-process:
+//! the substrate the paper builds its distributed trainer on (§II-C, §III).
+//!
+//! BOINC's server components map onto this crate as follows:
+//!
+//! | BOINC component | Here |
+//! |---|---|
+//! | work generator  | [`server::BoincServer::add_workunits`] (driven by the trainer's work generator) |
+//! | scheduler       | [`server::BoincServer::request_work`] — slot-limited, reliability-aware, sticky-file-aware assignment |
+//! | transitioner    | [`server::BoincServer::scan_timeouts`] — deadline tracking and reassignment |
+//! | validator       | [`validate::Validator`] — result sanity checking before assimilation |
+//! | assimilator     | downstream (the VC-ASGD parameter server in `vc-asgd`) |
+//!
+//! The middleware holds only control-plane state (who runs what, deadlines,
+//! caches, reliability); payloads (parameter blobs, data shards) travel
+//! through the driver, exactly as BOINC moves files through its web server
+//! while the scheduler tracks workunit state.
+
+pub mod host;
+pub mod server;
+pub mod validate;
+pub mod workunit;
+
+pub use host::{HostId, HostRecord};
+pub use server::{Assignment, BoincServer, MiddlewareConfig, ReportStatus, ServerMetrics};
+pub use validate::{FiniteBlobValidator, ValidationVerdict, Validator};
+pub use workunit::{WuId, WuPhase, WorkUnit};

@@ -1,0 +1,696 @@
+//! The BOINC-like server: scheduler + transitioner in one state machine.
+
+use crate::host::{HostId, HostRecord};
+use crate::workunit::{ActiveAssignment, WorkUnit, WuId, WuPhase};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use vc_simnet::{InstanceSpec, SimTime};
+
+/// Server-side policy knobs (BOINC project configuration).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MiddlewareConfig {
+    /// Result timeout `t_o`: how long after assignment the transitioner
+    /// declares a replica lost and re-queues the workunit. Paper: 5 min.
+    pub timeout_s: f64,
+    /// Attempts after which a workunit is still re-queued but counted as
+    /// pathological (surfaced in metrics; BOINC would error the workunit).
+    pub max_attempts: u32,
+    /// Enable sticky-file locality-aware assignment (§III-B).
+    pub sticky_files: bool,
+    /// Replication factor: how many hosts may execute the same workunit
+    /// concurrently for redundancy (§II-C). 1 disables replication.
+    pub replication: u32,
+}
+
+impl Default for MiddlewareConfig {
+    fn default() -> Self {
+        MiddlewareConfig {
+            timeout_s: 300.0,
+            max_attempts: 8,
+            sticky_files: true,
+            replication: 1,
+        }
+    }
+}
+
+/// Counters the server maintains.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerMetrics {
+    /// Workunit assignments handed to clients (replicas included).
+    pub assigned: u64,
+    /// Accepted results.
+    pub completed: u64,
+    /// Timeout events (one per expired assignment).
+    pub timeouts: u64,
+    /// Workunits put back in the queue after timeout or invalid result.
+    pub reassignments: u64,
+    /// Results arriving for workunits no longer open to the reporter.
+    pub stale_results: u64,
+    /// Results rejected by the validator.
+    pub invalid_results: u64,
+    /// Shard downloads avoided by the sticky-file cache.
+    pub cache_hits: u64,
+    /// Redundant replicas cancelled because another host finished first.
+    pub cancelled_replicas: u64,
+}
+
+/// What a client receives from [`BoincServer::request_work`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Assignment {
+    /// The workunit to execute.
+    pub wu: WorkUnit,
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// True when the host already holds the shard (no data download).
+    pub shard_cached: bool,
+    /// Completion deadline the transitioner will enforce.
+    pub deadline: SimTime,
+}
+
+/// Outcome of reporting a result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReportStatus {
+    /// First valid result for this workunit: assimilate it.
+    Accepted,
+    /// The workunit was already completed; discard the payload.
+    Stale,
+}
+
+struct WuRecord {
+    wu: WorkUnit,
+    phase: WuPhase,
+    attempts: u32,
+    queued: bool,
+}
+
+/// The in-process BOINC server.
+pub struct BoincServer {
+    cfg: MiddlewareConfig,
+    hosts: Vec<HostRecord>,
+    wus: Vec<WuRecord>,
+    queue: VecDeque<WuId>,
+    metrics: ServerMetrics,
+}
+
+impl BoincServer {
+    /// Builds a server over a fleet; `slots[i]` is host `i`'s simultaneous-
+    /// subtask limit (the paper's `Tn`).
+    pub fn new(cfg: MiddlewareConfig, fleet: Vec<(InstanceSpec, usize)>) -> Self {
+        assert!(!fleet.is_empty(), "a server needs at least one host");
+        assert!(cfg.replication >= 1, "replication factor must be >= 1");
+        let hosts = fleet
+            .into_iter()
+            .enumerate()
+            .map(|(i, (spec, slots))| HostRecord::new(HostId(i as u32), spec, slots))
+            .collect();
+        BoincServer {
+            cfg,
+            hosts,
+            wus: Vec::new(),
+            queue: VecDeque::new(),
+            metrics: ServerMetrics::default(),
+        }
+    }
+
+    /// Server configuration.
+    pub fn config(&self) -> &MiddlewareConfig {
+        &self.cfg
+    }
+
+    /// Registered hosts.
+    pub fn hosts(&self) -> &[HostRecord] {
+        &self.hosts
+    }
+
+    /// Mutable host access (drivers flip `alive` on preemption).
+    pub fn host_mut(&mut self, id: HostId) -> &mut HostRecord {
+        &mut self.hosts[id.0 as usize]
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> ServerMetrics {
+        self.metrics
+    }
+
+    /// Work generator entry point: enqueues one subtask.
+    pub fn add_workunit(
+        &mut self,
+        epoch: usize,
+        shard_id: usize,
+        param_version: u64,
+        now: SimTime,
+    ) -> WuId {
+        let id = WuId(self.wus.len() as u64);
+        self.wus.push(WuRecord {
+            wu: WorkUnit {
+                id,
+                epoch,
+                shard_id,
+                param_version,
+                created_at: now,
+            },
+            phase: WuPhase::Unsent,
+            attempts: 0,
+            queued: true,
+        });
+        self.queue.push_back(id);
+        id
+    }
+
+    /// Enqueues one epoch's worth of subtasks (one per shard).
+    pub fn add_epoch(&mut self, epoch: usize, shards: usize, param_version: u64, now: SimTime) {
+        for s in 0..shards {
+            self.add_workunit(epoch, s, param_version, now);
+        }
+    }
+
+    /// True when `host` may take a replica of `wu_id` (workunit open, below
+    /// the replication cap, and not already running on this host).
+    fn assignable_to(&self, wu_id: WuId, host: HostId) -> bool {
+        let rec = &self.wus[wu_id.0 as usize];
+        match &rec.phase {
+            WuPhase::Unsent => true,
+            WuPhase::InProgress { assignments } => {
+                assignments.len() < self.cfg.replication as usize
+                    && assignments.iter().all(|a| a.host != host)
+            }
+            WuPhase::Done { .. } => false,
+        }
+    }
+
+    /// Scheduler: host `host` asks for work at `now`. Returns at most one
+    /// assignment per call; callers loop while slots remain. Prefers a
+    /// queued workunit whose shard the host already caches (sticky files),
+    /// falling back to FIFO order.
+    pub fn request_work(&mut self, host: HostId, now: SimTime) -> Option<Assignment> {
+        if !self.hosts[host.0 as usize].has_capacity() {
+            return None;
+        }
+        // Candidate positions in the queue this host may take.
+        let cached_pick = if self.cfg.sticky_files {
+            self.queue.iter().position(|&id| {
+                self.assignable_to(id, host)
+                    && self.hosts[host.0 as usize]
+                        .cached_shards
+                        .contains(&self.wus[id.0 as usize].wu.shard_id)
+            })
+        } else {
+            None
+        };
+        let pick = cached_pick
+            .or_else(|| self.queue.iter().position(|&id| self.assignable_to(id, host)))?;
+
+        let wu_id = self.queue[pick];
+        let rec = &mut self.wus[wu_id.0 as usize];
+        rec.attempts += 1;
+        let deadline = now + self.cfg.timeout_s;
+        let assignment = ActiveAssignment {
+            host,
+            deadline,
+            attempt: rec.attempts,
+        };
+        match &mut rec.phase {
+            WuPhase::Unsent => {
+                rec.phase = WuPhase::InProgress {
+                    assignments: vec![assignment],
+                };
+            }
+            WuPhase::InProgress { assignments } => assignments.push(assignment),
+            WuPhase::Done { .. } => unreachable!("assignable_to filtered Done"),
+        }
+        // Leave the workunit queued while it still wants more replicas.
+        if rec.phase.replica_count() >= self.cfg.replication as usize {
+            self.queue.remove(pick);
+            // rec borrow ended above; re-borrow to flip the flag
+            self.wus[wu_id.0 as usize].queued = false;
+        }
+
+        let attempt = self.wus[wu_id.0 as usize].attempts;
+        let shard_id = self.wus[wu_id.0 as usize].wu.shard_id;
+        let h = &mut self.hosts[host.0 as usize];
+        h.in_flight += 1;
+        let shard_cached = h.cached_shards.contains(&shard_id);
+        if shard_cached {
+            self.metrics.cache_hits += 1;
+        } else {
+            h.cached_shards.insert(shard_id);
+        }
+        self.metrics.assigned += 1;
+        Some(Assignment {
+            wu: self.wus[wu_id.0 as usize].wu.clone(),
+            attempt,
+            shard_cached,
+            deadline,
+        })
+    }
+
+    /// Removes `host`'s live assignment on `wu_id` (if any), freeing its
+    /// slot. Returns whether an assignment was removed.
+    fn release_assignment(&mut self, wu_id: WuId, host: HostId) -> bool {
+        let rec = &mut self.wus[wu_id.0 as usize];
+        if let WuPhase::InProgress { assignments } = &mut rec.phase {
+            if let Some(pos) = assignments.iter().position(|a| a.host == host) {
+                assignments.remove(pos);
+                if assignments.is_empty() {
+                    rec.phase = WuPhase::Unsent;
+                }
+                let h = &mut self.hosts[host.0 as usize];
+                h.in_flight = h.in_flight.saturating_sub(1);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Puts an open workunit back in the queue if it is not already there.
+    fn ensure_queued(&mut self, wu_id: WuId) {
+        let rec = &mut self.wus[wu_id.0 as usize];
+        if rec.phase.is_open() && !rec.queued {
+            rec.queued = true;
+            self.queue.push_back(wu_id);
+        }
+    }
+
+    /// A client uploads a (already validated) result. First valid result
+    /// wins; anything else is stale. Late results for still-open workunits
+    /// are accepted (BOINC behaviour).
+    pub fn report_success(&mut self, wu_id: WuId, host: HostId, now: SimTime) -> ReportStatus {
+        if !self.wus[wu_id.0 as usize].phase.is_open() {
+            // Free the reporter's slot if it still held a (cancelled)
+            // replica record — by construction it does not, but the call is
+            // idempotent either way.
+            self.release_assignment(wu_id, host);
+            self.metrics.stale_results += 1;
+            return ReportStatus::Stale;
+        }
+        // Winner: release this host's assignment (if it timed out earlier
+        // this is a no-op), cancel every other replica, mark done.
+        self.release_assignment(wu_id, host);
+        let others = self.wus[wu_id.0 as usize].phase.running_on();
+        for other in others {
+            self.release_assignment(wu_id, other);
+            self.metrics.cancelled_replicas += 1;
+        }
+        let rec = &mut self.wus[wu_id.0 as usize];
+        rec.phase = WuPhase::Done { host, at: now };
+        if rec.queued {
+            rec.queued = false;
+            if let Some(pos) = self.queue.iter().position(|&q| q == wu_id) {
+                self.queue.remove(pos);
+            }
+        }
+        self.hosts[host.0 as usize].record_success();
+        self.metrics.completed += 1;
+        ReportStatus::Accepted
+    }
+
+    /// The validator rejected `host`'s upload for `wu_id`: drop the replica
+    /// and penalize the host; re-queue if no replicas remain.
+    pub fn report_invalid(&mut self, wu_id: WuId, host: HostId, _now: SimTime) {
+        self.metrics.invalid_results += 1;
+        if self.release_assignment(wu_id, host) {
+            self.hosts[host.0 as usize].record_timeout();
+            self.metrics.reassignments += 1;
+            self.ensure_queued(wu_id);
+        }
+    }
+
+    /// Transitioner: expires assignments whose deadline passed, re-queuing
+    /// their workunits and penalizing the hosts. Returns the workunits that
+    /// lost at least one replica.
+    pub fn scan_timeouts(&mut self, now: SimTime) -> Vec<WuId> {
+        let mut expired = Vec::new();
+        for i in 0..self.wus.len() {
+            let wu_id = WuId(i as u64);
+            loop {
+                let victim = match &self.wus[i].phase {
+                    WuPhase::InProgress { assignments } => assignments
+                        .iter()
+                        .find(|a| a.deadline <= now)
+                        .map(|a| a.host),
+                    _ => None,
+                };
+                let Some(host) = victim else { break };
+                self.release_assignment(wu_id, host);
+                self.hosts[host.0 as usize].record_timeout();
+                self.metrics.timeouts += 1;
+                self.metrics.reassignments += 1;
+                if expired.last() != Some(&wu_id) {
+                    expired.push(wu_id);
+                }
+            }
+            if expired.last() == Some(&wu_id) {
+                self.ensure_queued(wu_id);
+            }
+        }
+        expired
+    }
+
+    /// Marks a host terminated (preempted). In-flight work is *not*
+    /// immediately re-queued: like the real system, the server only learns
+    /// through timeouts (§III-E).
+    pub fn preempt_host(&mut self, id: HostId) {
+        self.hosts[id.0 as usize].alive = false;
+    }
+
+    /// A replacement instance comes up for a terminated host slot. The
+    /// sticky-file cache is lost with the instance.
+    pub fn revive_host(&mut self, id: HostId) {
+        let h = &mut self.hosts[id.0 as usize];
+        h.alive = true;
+        h.cached_shards.clear();
+        h.in_flight = 0;
+    }
+
+    /// Workunits still needing a result.
+    pub fn open_count(&self) -> usize {
+        self.wus.iter().filter(|r| r.phase.is_open()).count()
+    }
+
+    /// True when all enqueued work has completed.
+    pub fn all_done(&self) -> bool {
+        self.open_count() == 0
+    }
+
+    /// The workunit record for an id.
+    pub fn workunit(&self, wu_id: WuId) -> &WorkUnit {
+        &self.wus[wu_id.0 as usize].wu
+    }
+
+    /// Phase of a workunit (for tests and drivers).
+    pub fn phase(&self, wu_id: WuId) -> &WuPhase {
+        &self.wus[wu_id.0 as usize].phase
+    }
+
+    /// Attempts consumed by a workunit (all replicas counted).
+    pub fn attempts(&self, wu_id: WuId) -> u32 {
+        self.wus[wu_id.0 as usize].attempts
+    }
+
+    /// Earliest in-progress deadline, for event-driven timeout scans.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.wus
+            .iter()
+            .filter_map(|r| match &r.phase {
+                WuPhase::InProgress { assignments } => {
+                    assignments.iter().map(|a| a.deadline).min()
+                }
+                _ => None,
+            })
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_simnet::table1;
+
+    fn server(hosts: usize, slots: usize) -> BoincServer {
+        let fleet = (0..hosts)
+            .map(|_| (table1::client_8v_2_2(), slots))
+            .collect();
+        BoincServer::new(MiddlewareConfig::default(), fleet)
+    }
+
+    fn replicated(hosts: usize, slots: usize, replication: u32) -> BoincServer {
+        let fleet = (0..hosts)
+            .map(|_| (table1::client_8v_2_2(), slots))
+            .collect();
+        BoincServer::new(
+            MiddlewareConfig {
+                replication,
+                ..Default::default()
+            },
+            fleet,
+        )
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn fifo_assignment_and_completion() {
+        let mut s = server(1, 2);
+        s.add_epoch(1, 3, 7, t(0.0));
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        assert_eq!(a.wu.shard_id, 0);
+        assert_eq!(a.wu.param_version, 7);
+        assert_eq!(a.attempt, 1);
+        assert!(!a.shard_cached);
+        let b = s.request_work(HostId(0), t(0.0)).unwrap();
+        assert_eq!(b.wu.shard_id, 1);
+        // Two slots full.
+        assert!(s.request_work(HostId(0), t(0.0)).is_none());
+        assert_eq!(
+            s.report_success(a.wu.id, HostId(0), t(10.0)),
+            ReportStatus::Accepted
+        );
+        // Slot freed; third workunit assignable.
+        let c = s.request_work(HostId(0), t(10.0)).unwrap();
+        assert_eq!(c.wu.shard_id, 2);
+        assert_eq!(s.open_count(), 2);
+    }
+
+    #[test]
+    fn sticky_files_prefer_cached_shards() {
+        let mut s = server(1, 1);
+        s.add_workunit(1, 5, 1, t(0.0));
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        s.report_success(a.wu.id, HostId(0), t(1.0));
+        // Epoch 2: shards 3 and 5 queued; host caches shard 5.
+        s.add_workunit(2, 3, 2, t(1.0));
+        s.add_workunit(2, 5, 2, t(1.0));
+        let b = s.request_work(HostId(0), t(1.0)).unwrap();
+        assert_eq!(b.wu.shard_id, 5, "cached shard preferred over FIFO");
+        assert!(b.shard_cached);
+        assert_eq!(s.metrics().cache_hits, 1);
+    }
+
+    #[test]
+    fn sticky_disabled_is_fifo() {
+        let mut s = BoincServer::new(
+            MiddlewareConfig {
+                sticky_files: false,
+                ..Default::default()
+            },
+            vec![(table1::client_8v_2_2(), 1)],
+        );
+        s.add_workunit(1, 5, 1, t(0.0));
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        s.report_success(a.wu.id, HostId(0), t(1.0));
+        s.add_workunit(2, 3, 2, t(1.0));
+        s.add_workunit(2, 5, 2, t(1.0));
+        let b = s.request_work(HostId(0), t(1.0)).unwrap();
+        assert_eq!(b.wu.shard_id, 3, "FIFO when sticky files off");
+    }
+
+    #[test]
+    fn timeout_requeues_and_penalizes() {
+        let mut s = server(2, 1);
+        s.add_workunit(1, 0, 1, t(0.0));
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        assert_eq!(a.deadline, t(300.0));
+        assert!(s.scan_timeouts(t(299.0)).is_empty());
+        let expired = s.scan_timeouts(t(300.0));
+        assert_eq!(expired, vec![a.wu.id]);
+        assert!(s.hosts()[0].reliability < 1.0);
+        assert_eq!(s.metrics().timeouts, 1);
+        // Reassignable to the other host with attempt 2.
+        let b = s.request_work(HostId(1), t(300.0)).unwrap();
+        assert_eq!(b.wu.id, a.wu.id);
+        assert_eq!(b.attempt, 2);
+    }
+
+    #[test]
+    fn late_result_after_timeout_is_accepted_if_unclaimed() {
+        let mut s = server(1, 1);
+        s.add_workunit(1, 0, 1, t(0.0));
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        s.scan_timeouts(t(301.0));
+        // The original host finally uploads.
+        assert_eq!(
+            s.report_success(a.wu.id, HostId(0), t(302.0)),
+            ReportStatus::Accepted
+        );
+        assert!(s.all_done());
+        // And the queue no longer re-issues it.
+        assert!(s.request_work(HostId(0), t(303.0)).is_none());
+    }
+
+    #[test]
+    fn double_report_is_stale() {
+        let mut s = server(2, 1);
+        s.add_workunit(1, 0, 1, t(0.0));
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        s.scan_timeouts(t(301.0));
+        let b = s.request_work(HostId(1), t(301.0)).unwrap();
+        assert_eq!(a.wu.id, b.wu.id);
+        // New assignee completes first.
+        assert_eq!(
+            s.report_success(b.wu.id, HostId(1), t(400.0)),
+            ReportStatus::Accepted
+        );
+        // Original host's late upload and a double-report are both stale.
+        assert_eq!(
+            s.report_success(a.wu.id, HostId(0), t(401.0)),
+            ReportStatus::Stale
+        );
+        assert_eq!(
+            s.report_success(b.wu.id, HostId(1), t(402.0)),
+            ReportStatus::Stale
+        );
+        assert_eq!(s.metrics().stale_results, 2);
+    }
+
+    #[test]
+    fn invalid_result_requeues() {
+        let mut s = server(1, 1);
+        s.add_workunit(1, 0, 1, t(0.0));
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        s.report_invalid(a.wu.id, HostId(0), t(5.0));
+        assert_eq!(s.metrics().invalid_results, 1);
+        assert_eq!(s.open_count(), 1);
+        let b = s.request_work(HostId(0), t(5.0)).unwrap();
+        assert_eq!(b.wu.id, a.wu.id);
+        assert_eq!(b.attempt, 2);
+    }
+
+    #[test]
+    fn preempted_host_recovers_via_timeout() {
+        let mut s = server(2, 2);
+        s.add_epoch(1, 2, 1, t(0.0));
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        let b = s.request_work(HostId(0), t(0.0)).unwrap();
+        s.preempt_host(HostId(0));
+        // Dead host takes no more work...
+        assert!(s.request_work(HostId(0), t(1.0)).is_none());
+        // ...and its in-flight work only resurfaces at the deadline.
+        assert!(s.scan_timeouts(t(100.0)).is_empty());
+        let expired = s.scan_timeouts(t(300.0));
+        assert_eq!(expired.len(), 2);
+        assert!(expired.contains(&a.wu.id) && expired.contains(&b.wu.id));
+        // The healthy host finishes the job.
+        let c = s.request_work(HostId(1), t(300.0)).unwrap();
+        let d = s.request_work(HostId(1), t(300.0)).unwrap();
+        s.report_success(c.wu.id, HostId(1), t(350.0));
+        s.report_success(d.wu.id, HostId(1), t(360.0));
+        assert!(s.all_done());
+    }
+
+    #[test]
+    fn revive_clears_cache_and_inflight() {
+        let mut s = server(1, 2);
+        s.add_workunit(1, 9, 1, t(0.0));
+        s.request_work(HostId(0), t(0.0)).unwrap();
+        s.preempt_host(HostId(0));
+        s.revive_host(HostId(0));
+        let h = &s.hosts()[0];
+        assert!(h.alive);
+        assert!(h.cached_shards.is_empty());
+        assert_eq!(h.in_flight, 0);
+    }
+
+    #[test]
+    fn next_deadline_tracks_earliest() {
+        let mut s = server(2, 1);
+        s.add_epoch(1, 2, 1, t(0.0));
+        assert_eq!(s.next_deadline(), None);
+        s.request_work(HostId(0), t(0.0)).unwrap();
+        let mut q = vc_simnet::EventQueue::<()>::new();
+        q.schedule(t(50.0), ());
+        q.pop();
+        s.request_work(HostId(1), t(50.0)).unwrap();
+        assert_eq!(s.next_deadline(), Some(t(300.0)));
+    }
+
+    #[test]
+    fn unreliable_host_gets_fewer_slots() {
+        let mut s = server(1, 4);
+        s.add_epoch(1, 20, 1, t(0.0));
+        // Burn reliability with repeated timeouts.
+        for round in 0..6 {
+            let now = t(round as f64 * 400.0);
+            while s.request_work(HostId(0), now).is_some() {}
+            s.scan_timeouts(t(round as f64 * 400.0 + 301.0));
+        }
+        let h = &s.hosts()[0];
+        assert!(h.effective_slots() < 4, "slots {}", h.effective_slots());
+    }
+
+    // ----------------------------------------------------- replication
+
+    #[test]
+    fn replication_issues_to_distinct_hosts() {
+        let mut s = replicated(3, 2, 2);
+        s.add_workunit(1, 0, 1, t(0.0));
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        // Same host cannot take the second replica.
+        assert!(s.request_work(HostId(0), t(0.0)).is_none());
+        let b = s.request_work(HostId(1), t(0.0)).unwrap();
+        assert_eq!(a.wu.id, b.wu.id);
+        assert_eq!(s.phase(a.wu.id).replica_count(), 2);
+        // Cap reached: a third host gets nothing.
+        assert!(s.request_work(HostId(2), t(0.0)).is_none());
+    }
+
+    #[test]
+    fn first_replica_wins_and_cancels_the_other() {
+        let mut s = replicated(2, 1, 2);
+        s.add_workunit(1, 0, 1, t(0.0));
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        let b = s.request_work(HostId(1), t(0.0)).unwrap();
+        assert_eq!(
+            s.report_success(a.wu.id, HostId(0), t(50.0)),
+            ReportStatus::Accepted
+        );
+        // Loser's slot was freed by cancellation...
+        assert_eq!(s.hosts()[1].in_flight, 0);
+        assert_eq!(s.metrics().cancelled_replicas, 1);
+        // ...and its late upload is stale without penalty.
+        let rel_before = s.hosts()[1].reliability;
+        assert_eq!(
+            s.report_success(b.wu.id, HostId(1), t(60.0)),
+            ReportStatus::Stale
+        );
+        assert_eq!(s.hosts()[1].reliability, rel_before);
+        assert!(s.all_done());
+    }
+
+    #[test]
+    fn replica_timeout_leaves_other_replica_running() {
+        let mut s = replicated(2, 1, 2);
+        s.add_workunit(1, 0, 1, t(0.0));
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        // Second replica starts later, so its deadline is later.
+        let mut q = vc_simnet::EventQueue::<()>::new();
+        q.schedule(t(100.0), ());
+        q.pop();
+        let b = s.request_work(HostId(1), t(100.0)).unwrap();
+        assert_eq!(a.wu.id, b.wu.id);
+        // First replica expires at 300; second still lives.
+        let expired = s.scan_timeouts(t(301.0));
+        assert_eq!(expired, vec![a.wu.id]);
+        assert_eq!(s.phase(a.wu.id).replica_count(), 1);
+        // Workunit is open and re-queued (it lost a replica).
+        let c = s.request_work(HostId(0), t(301.0)).unwrap();
+        assert_eq!(c.wu.id, a.wu.id);
+        // Host 1 finishes; everyone else is cancelled.
+        assert_eq!(
+            s.report_success(b.wu.id, HostId(1), t(350.0)),
+            ReportStatus::Accepted
+        );
+        assert!(s.all_done());
+        assert_eq!(s.hosts()[0].in_flight, 0, "cancelled replica freed slot");
+    }
+
+    #[test]
+    fn replication_one_is_the_classic_behaviour() {
+        let mut s = replicated(2, 1, 1);
+        s.add_workunit(1, 0, 1, t(0.0));
+        let _a = s.request_work(HostId(0), t(0.0)).unwrap();
+        // Second host cannot take a replica at replication = 1.
+        assert!(s.request_work(HostId(1), t(0.0)).is_none());
+    }
+}

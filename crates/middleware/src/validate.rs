@@ -1,0 +1,155 @@
+//! Result validation (BOINC's validator service).
+
+use serde::{Deserialize, Serialize};
+
+/// Verdict on an uploaded result.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValidationVerdict {
+    /// The result may be assimilated.
+    Valid,
+    /// The result must be discarded and the workunit re-issued.
+    Invalid {
+        /// Human-readable cause for logs and metrics.
+        reason: String,
+    },
+}
+
+impl ValidationVerdict {
+    /// Convenience predicate.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, ValidationVerdict::Valid)
+    }
+}
+
+/// A validator inspects a result blob before it reaches the assimilator.
+pub trait Validator: Send + Sync {
+    /// Judges one uploaded result payload.
+    fn validate(&self, payload: &[u8]) -> ValidationVerdict;
+}
+
+/// Validates that a payload parses as a `vc-tensor` parameter blob of the
+/// expected length with only finite values — the checks a DL validator must
+/// make before trusting a volunteer's parameter upload (a diverged or
+/// corrupted client otherwise poisons the server copy).
+pub struct FiniteBlobValidator {
+    /// Expected parameter count; `None` skips the length check.
+    pub expected_len: Option<usize>,
+}
+
+impl FiniteBlobValidator {
+    /// Header length of the vc-tensor blob framing.
+    const HEADER: usize = 12;
+
+    /// A validator expecting `len` parameters.
+    pub fn with_len(len: usize) -> Self {
+        FiniteBlobValidator {
+            expected_len: Some(len),
+        }
+    }
+}
+
+impl Validator for FiniteBlobValidator {
+    fn validate(&self, payload: &[u8]) -> ValidationVerdict {
+        if payload.len() < Self::HEADER {
+            return ValidationVerdict::Invalid {
+                reason: format!("payload too short: {} bytes", payload.len()),
+            };
+        }
+        // Frame check mirrors vc_tensor::codec without depending on it:
+        // magic, little-endian u64 count, then f32 values.
+        let magic = u32::from_le_bytes(payload[0..4].try_into().unwrap());
+        if magic != 0x5643_5031 {
+            return ValidationVerdict::Invalid {
+                reason: format!("bad magic 0x{magic:08x}"),
+            };
+        }
+        let n = u64::from_le_bytes(payload[4..12].try_into().unwrap()) as usize;
+        if payload.len() < Self::HEADER + 4 * n {
+            return ValidationVerdict::Invalid {
+                reason: format!("truncated: header claims {n} values"),
+            };
+        }
+        if let Some(expected) = self.expected_len {
+            if n != expected {
+                return ValidationVerdict::Invalid {
+                    reason: format!("wrong parameter count {n}, expected {expected}"),
+                };
+            }
+        }
+        for (i, chunk) in payload[Self::HEADER..Self::HEADER + 4 * n]
+            .chunks_exact(4)
+            .enumerate()
+        {
+            let v = f32::from_le_bytes(chunk.try_into().unwrap());
+            if !v.is_finite() {
+                return ValidationVerdict::Invalid {
+                    reason: format!("non-finite parameter at index {i}"),
+                };
+            }
+        }
+        ValidationVerdict::Valid
+    }
+}
+
+/// Accepts everything — for control experiments measuring what validation
+/// buys.
+pub struct AcceptAllValidator;
+
+impl Validator for AcceptAllValidator {
+    fn validate(&self, _payload: &[u8]) -> ValidationVerdict {
+        ValidationVerdict::Valid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(values: &[f32]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&0x5643_5031u32.to_le_bytes());
+        out.extend_from_slice(&(values.len() as u64).to_le_bytes());
+        for v in values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn accepts_well_formed_blob() {
+        let v = FiniteBlobValidator::with_len(3);
+        assert!(v.validate(&blob(&[1.0, -2.0, 0.5])).is_valid());
+    }
+
+    #[test]
+    fn rejects_nan_and_inf() {
+        let v = FiniteBlobValidator { expected_len: None };
+        assert!(!v.validate(&blob(&[1.0, f32::NAN])).is_valid());
+        assert!(!v.validate(&blob(&[f32::INFINITY])).is_valid());
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let v = FiniteBlobValidator::with_len(2);
+        let verdict = v.validate(&blob(&[1.0, 2.0, 3.0]));
+        assert!(matches!(
+            verdict,
+            ValidationVerdict::Invalid { ref reason } if reason.contains("wrong parameter count")
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let v = FiniteBlobValidator { expected_len: None };
+        assert!(!v.validate(b"not a blob").is_valid());
+        assert!(!v.validate(&[]).is_valid());
+        let mut truncated = blob(&[1.0, 2.0]);
+        truncated.truncate(truncated.len() - 3);
+        assert!(!v.validate(&truncated).is_valid());
+    }
+
+    #[test]
+    fn accept_all_accepts_garbage() {
+        assert!(AcceptAllValidator.validate(b"anything").is_valid());
+    }
+}

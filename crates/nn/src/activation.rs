@@ -1,0 +1,98 @@
+//! Activation functions.
+
+use crate::layer::Layer;
+use vc_tensor::Tensor;
+
+/// Rectified linear unit: `y = max(0, x)`, applied elementwise to any shape.
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Builds a ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+        }
+        x.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("Relu::backward called without a cached forward");
+        assert_eq!(mask.len(), dy.numel(), "Relu mask/grad length mismatch");
+        let data = dy
+            .data()
+            .iter()
+            .zip(mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, dy.dims())
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
+        in_dims.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use vc_tensor::NormalSampler;
+
+    #[test]
+    fn clamps_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(r.forward(&x, false).data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_gates_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 3.0], &[2]);
+        r.forward(&x, true);
+        let dx = r.backward(&Tensor::from_vec(vec![5.0, 7.0], &[2]));
+        assert_eq!(dx.data(), &[0.0, 7.0]);
+    }
+
+    #[test]
+    fn gradcheck_off_kink() {
+        // Keep inputs away from 0 where ReLU is non-differentiable.
+        let mut r = Relu::new();
+        let mut s = NormalSampler::seed_from(1);
+        let x = Tensor::randn(&[2, 5], 0.0, 1.0, &mut s).map(|v| if v.abs() < 0.2 {
+            0.5_f32.copysign(v)
+        } else {
+            v
+        });
+        gradcheck::check_input_grad(&mut r, &x, 1e-2);
+    }
+
+    #[test]
+    fn preserves_shape() {
+        let mut r = Relu::new();
+        let y = r.forward(&Tensor::ones(&[2, 3, 4, 5]), false);
+        assert_eq!(y.dims(), &[2, 3, 4, 5]);
+        assert_eq!(r.out_dims(&[7, 9]), vec![7, 9]);
+    }
+}

@@ -1,0 +1,261 @@
+//! 2-D convolution via im2col lowering.
+
+use crate::layer::Layer;
+use vc_tensor::ops::{col2im, im2col, matmul, matmul_a_bt, matmul_at_b, ConvGeom};
+use vc_tensor::{NormalSampler, Tensor};
+
+/// A 2-D convolution over `[batch, in_ch, h, w]` inputs producing
+/// `[batch, out_ch, oh, ow]`.
+///
+/// The kernel is stored flattened as `[out_ch, in_ch * kh * kw]` so both the
+/// forward pass and the weight gradient are single matmuls against the
+/// im2col matrix — the same lowering TensorFlow and cuDNN use for small
+/// kernels.
+pub struct Conv2d {
+    kernel: Tensor,
+    bias: Tensor,
+    dkernel: Tensor,
+    dbias: Tensor,
+    in_ch: usize,
+    out_ch: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    cache: Option<ConvCache>,
+}
+
+struct ConvCache {
+    cols: Tensor,
+    geom: ConvGeom,
+    batch: usize,
+}
+
+impl Conv2d {
+    /// Builds a convolution with He-normal kernels (fan-in = `in_ch·kh·kw`).
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        sampler: &mut NormalSampler,
+    ) -> Self {
+        let fan_in = in_ch * k * k;
+        Conv2d {
+            kernel: Tensor::he_normal(&[out_ch, fan_in], fan_in, sampler),
+            bias: Tensor::zeros(&[out_ch]),
+            dkernel: Tensor::zeros(&[out_ch, fan_in]),
+            dbias: Tensor::zeros(&[out_ch]),
+            in_ch,
+            out_ch,
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+            cache: None,
+        }
+    }
+
+    fn geom_for(&self, h: usize, w: usize) -> ConvGeom {
+        ConvGeom {
+            h,
+            w,
+            kh: self.kh,
+            kw: self.kw,
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+
+    /// Permutes `[batch*oh*ow, out_ch]` (im2col output order) into the image
+    /// layout `[batch, out_ch, oh, ow]`.
+    fn rows_to_images(flat: &Tensor, batch: usize, out_ch: usize, oh: usize, ow: usize) -> Tensor {
+        let src = flat.data();
+        let mut out = vec![0.0f32; batch * out_ch * oh * ow];
+        for b in 0..batch {
+            for p in 0..oh * ow {
+                let row = (b * oh * ow + p) * out_ch;
+                for c in 0..out_ch {
+                    out[((b * out_ch + c) * oh * ow) + p] = src[row + c];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[batch, out_ch, oh, ow])
+    }
+
+    /// Inverse of [`Self::rows_to_images`].
+    fn images_to_rows(img: &Tensor) -> Tensor {
+        let dims = img.dims();
+        let (batch, ch, oh, ow) = (dims[0], dims[1], dims[2], dims[3]);
+        let src = img.data();
+        let mut out = vec![0.0f32; batch * oh * ow * ch];
+        for b in 0..batch {
+            for c in 0..ch {
+                for p in 0..oh * ow {
+                    out[(b * oh * ow + p) * ch + c] = src[(b * ch + c) * oh * ow + p];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[batch * oh * ow, ch])
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let dims = x.dims();
+        assert_eq!(dims.len(), 4, "Conv2d expects [batch, ch, h, w]");
+        assert_eq!(dims[1], self.in_ch, "Conv2d channel mismatch");
+        let (batch, h, w) = (dims[0], dims[2], dims[3]);
+        let geom = self.geom_for(h, w);
+        let cols = im2col(x, self.in_ch, geom);
+        // [rows, patch] x [out_ch, patch]^T -> [rows, out_ch]
+        let flat = matmul_a_bt(&cols, &self.kernel).add_row_broadcast(&self.bias);
+        let y = Self::rows_to_images(&flat, batch, self.out_ch, geom.out_h(), geom.out_w());
+        if train {
+            self.cache = Some(ConvCache { cols, geom, batch });
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("Conv2d::backward called without a cached forward");
+        let dy_rows = Self::images_to_rows(dy); // [rows, out_ch]
+        // dK = dy_rows^T · cols -> [out_ch, patch]
+        self.dkernel.add_assign(&matmul_at_b(&dy_rows, &cache.cols));
+        self.dbias.add_assign(&dy_rows.sum_axis0());
+        // dcols = dy_rows · K -> [rows, patch]
+        let dcols = matmul(&dy_rows, &self.kernel);
+        col2im(&dcols, cache.batch, self.in_ch, cache.geom)
+    }
+
+    fn param_len(&self) -> usize {
+        self.kernel.numel() + self.bias.numel()
+    }
+
+    fn collect_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.kernel.data());
+        out.extend_from_slice(self.bias.data());
+    }
+
+    fn load_params(&mut self, src: &[f32]) -> usize {
+        let nk = self.kernel.numel();
+        let nb = self.bias.numel();
+        self.kernel.data_mut().copy_from_slice(&src[..nk]);
+        self.bias.data_mut().copy_from_slice(&src[nk..nk + nb]);
+        nk + nb
+    }
+
+    fn collect_grads(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.dkernel.data());
+        out.extend_from_slice(self.dbias.data());
+    }
+
+    fn zero_grads(&mut self) {
+        self.dkernel.map_inplace(|_| 0.0);
+        self.dbias.map_inplace(|_| 0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
+        assert_eq!(in_dims.len(), 4);
+        let geom = self.geom_for(in_dims[2], in_dims[3]);
+        vec![in_dims[0], self.out_ch, geom.out_h(), geom.out_w()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+
+    fn conv(in_ch: usize, out_ch: usize, k: usize, stride: usize, pad: usize) -> Conv2d {
+        let mut s = NormalSampler::seed_from(21);
+        Conv2d::new(in_ch, out_ch, k, stride, pad, &mut s)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut c = conv(3, 8, 3, 1, 1);
+        let x = Tensor::zeros(&[2, 3, 16, 16]);
+        let y = c.forward(&x, false);
+        assert_eq!(y.dims(), &[2, 8, 16, 16]);
+        assert_eq!(c.out_dims(&[2, 3, 16, 16]), vec![2, 8, 16, 16]);
+    }
+
+    #[test]
+    fn strided_forward_shape() {
+        let mut c = conv(1, 4, 3, 2, 1);
+        let y = c.forward(&Tensor::zeros(&[1, 1, 8, 8]), false);
+        assert_eq!(y.dims(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 conv, single channel, kernel weight 1, bias 0 = identity.
+        let mut c = conv(1, 1, 1, 1, 0);
+        c.load_params(&[1.0, 0.0]);
+        let mut s = NormalSampler::seed_from(3);
+        let x = Tensor::randn(&[2, 1, 4, 4], 0.0, 1.0, &mut s);
+        let y = c.forward(&x, false);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn bias_broadcasts_per_channel() {
+        let mut c = conv(1, 2, 1, 1, 0);
+        c.load_params(&[0.0, 0.0, 1.5, -2.0]); // zero kernels, biases 1.5 / -2.0
+        let y = c.forward(&Tensor::zeros(&[1, 1, 2, 2]), false);
+        let d = y.data();
+        assert!(d[..4].iter().all(|&v| v == 1.5));
+        assert!(d[4..].iter().all(|&v| v == -2.0));
+    }
+
+    #[test]
+    fn gradcheck_inputs() {
+        let mut c = conv(2, 3, 3, 1, 1);
+        let mut s = NormalSampler::seed_from(31);
+        let x = Tensor::randn(&[1, 2, 4, 4], 0.0, 1.0, &mut s);
+        gradcheck::check_input_grad(&mut c, &x, 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_params() {
+        let mut c = conv(1, 2, 2, 1, 0);
+        let mut s = NormalSampler::seed_from(32);
+        let x = Tensor::randn(&[2, 1, 3, 3], 0.0, 1.0, &mut s);
+        gradcheck::check_param_grad(&mut c, &x, 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_strided() {
+        let mut c = conv(1, 1, 3, 2, 1);
+        let mut s = NormalSampler::seed_from(33);
+        let x = Tensor::randn(&[1, 1, 5, 5], 0.0, 1.0, &mut s);
+        gradcheck::check_input_grad(&mut c, &x, 2e-2);
+    }
+
+    #[test]
+    fn row_image_permutations_are_inverse() {
+        let mut s = NormalSampler::seed_from(34);
+        let img = Tensor::randn(&[2, 3, 4, 5], 0.0, 1.0, &mut s);
+        let rows = Conv2d::images_to_rows(&img);
+        let back = Conv2d::rows_to_images(&rows, 2, 3, 4, 5);
+        assert_eq!(back.data(), img.data());
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let c = conv(2, 4, 3, 1, 1);
+        let mut p = Vec::new();
+        c.collect_params(&mut p);
+        assert_eq!(p.len(), c.param_len());
+        assert_eq!(c.param_len(), 4 * 2 * 9 + 4);
+    }
+}

@@ -1,0 +1,202 @@
+//! Fully-connected layer.
+
+use crate::layer::Layer;
+use vc_tensor::ops::{matmul, matmul_a_bt, matmul_at_b};
+use vc_tensor::{NormalSampler, Tensor};
+
+/// A dense (fully-connected) layer: `y = x · W + b`, `x: [batch, in]`,
+/// `W: [in, out]`, `b: [out]`.
+pub struct Dense {
+    w: Tensor,
+    b: Tensor,
+    dw: Tensor,
+    db: Tensor,
+    x_cache: Option<Tensor>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Dense {
+    /// Builds a dense layer with He-normal weights (fan-in scaled) and zero
+    /// bias.
+    pub fn new(in_dim: usize, out_dim: usize, sampler: &mut NormalSampler) -> Self {
+        Dense {
+            w: Tensor::he_normal(&[in_dim, out_dim], in_dim, sampler),
+            b: Tensor::zeros(&[out_dim]),
+            dw: Tensor::zeros(&[in_dim, out_dim]),
+            db: Tensor::zeros(&[out_dim]),
+            x_cache: None,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Immutable view of the weight matrix (for tests/inspection).
+    pub fn weights(&self) -> &Tensor {
+        &self.w
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.dims().len(), 2, "Dense expects [batch, features]");
+        assert_eq!(
+            x.dims()[1],
+            self.in_dim,
+            "Dense in_dim {} vs input {}",
+            self.in_dim,
+            x.dims()[1]
+        );
+        if train {
+            self.x_cache = Some(x.clone());
+        }
+        matmul(x, &self.w).add_row_broadcast(&self.b)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self
+            .x_cache
+            .as_ref()
+            .expect("Dense::backward called without a cached forward");
+        // dW = x^T · dy ; db = column-sums of dy ; dx = dy · W^T
+        self.dw.add_assign(&matmul_at_b(x, dy));
+        self.db.add_assign(&dy.sum_axis0());
+        matmul_a_bt(dy, &self.w)
+    }
+
+    fn param_len(&self) -> usize {
+        self.w.numel() + self.b.numel()
+    }
+
+    fn collect_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.w.data());
+        out.extend_from_slice(self.b.data());
+    }
+
+    fn load_params(&mut self, src: &[f32]) -> usize {
+        let nw = self.w.numel();
+        let nb = self.b.numel();
+        self.w.data_mut().copy_from_slice(&src[..nw]);
+        self.b.data_mut().copy_from_slice(&src[nw..nw + nb]);
+        nw + nb
+    }
+
+    fn collect_grads(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.dw.data());
+        out.extend_from_slice(self.db.data());
+    }
+
+    fn zero_grads(&mut self) {
+        self.dw.map_inplace(|_| 0.0);
+        self.db.map_inplace(|_| 0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
+        assert_eq!(in_dims.len(), 2);
+        vec![in_dims[0], self.out_dim]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use vc_tensor::approx_eq;
+
+    fn layer(i: usize, o: usize, seed: u64) -> Dense {
+        let mut s = NormalSampler::seed_from(seed);
+        Dense::new(i, o, &mut s)
+    }
+
+    #[test]
+    fn forward_known_values() {
+        let mut d = layer(2, 2, 1);
+        d.load_params(&[1.0, 2.0, 3.0, 4.0, 0.5, -0.5]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let y = d.forward(&x, false);
+        // y = [1*1+1*3 + 0.5, 1*2+1*4 - 0.5]
+        assert!(approx_eq(
+            &y,
+            &Tensor::from_vec(vec![4.5, 5.5], &[1, 2]),
+            1e-6
+        ));
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let d = layer(3, 4, 2);
+        let mut p = Vec::new();
+        d.collect_params(&mut p);
+        assert_eq!(p.len(), d.param_len());
+        let mut d2 = layer(3, 4, 99);
+        assert_eq!(d2.load_params(&p), p.len());
+        let mut p2 = Vec::new();
+        d2.collect_params(&mut p2);
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn gradcheck_inputs() {
+        let mut d = layer(4, 3, 3);
+        let mut s = NormalSampler::seed_from(10);
+        let x = Tensor::randn(&[2, 4], 0.0, 1.0, &mut s);
+        gradcheck::check_input_grad(&mut d, &x, 1e-2);
+    }
+
+    #[test]
+    fn gradcheck_params() {
+        let mut d = layer(3, 2, 4);
+        let mut s = NormalSampler::seed_from(11);
+        let x = Tensor::randn(&[2, 3], 0.0, 1.0, &mut s);
+        gradcheck::check_param_grad(&mut d, &x, 1e-2);
+    }
+
+    #[test]
+    fn grads_accumulate_until_zeroed() {
+        let mut d = layer(2, 2, 5);
+        let x = Tensor::ones(&[1, 2]);
+        let dy = Tensor::ones(&[1, 2]);
+        d.forward(&x, true);
+        d.backward(&dy);
+        let mut g1 = Vec::new();
+        d.collect_grads(&mut g1);
+        d.forward(&x, true);
+        d.backward(&dy);
+        let mut g2 = Vec::new();
+        d.collect_grads(&mut g2);
+        for (a, b) in g1.iter().zip(&g2) {
+            assert!((b - 2.0 * a).abs() < 1e-5, "accumulation {a} {b}");
+        }
+        d.zero_grads();
+        let mut g3 = Vec::new();
+        d.collect_grads(&mut g3);
+        assert!(g3.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "without a cached forward")]
+    fn backward_requires_forward() {
+        let mut d = layer(2, 2, 6);
+        d.backward(&Tensor::ones(&[1, 2]));
+    }
+
+    #[test]
+    fn out_dims_reports_batch() {
+        let d = layer(8, 5, 7);
+        assert_eq!(d.out_dims(&[32, 8]), vec![32, 5]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Dropout regularization.
+//!
+//! The paper deliberately trains *without* dropout ("to keep our model
+//! simple", §IV-A); the layer exists so the ablation benches can quantify
+//! what that choice costs, and because a general-purpose library needs it.
+
+use crate::layer::Layer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vc_tensor::Tensor;
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`, so inference is a
+/// pure identity.
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Builds a dropout layer with drop probability `p` in `[0, 1)` and a
+    /// deterministic seed (volunteer replicas must be reproducible).
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability {p} outside [0, 1)");
+        Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+
+    /// The configured drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..x.numel())
+            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let data = x
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&v, &m)| v * m)
+            .collect();
+        self.mask = Some(mask);
+        Tensor::from_vec(data, x.dims())
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        match &self.mask {
+            None => dy.clone(),
+            Some(mask) => {
+                assert_eq!(mask.len(), dy.numel(), "Dropout mask/grad mismatch");
+                let data = dy
+                    .data()
+                    .iter()
+                    .zip(mask)
+                    .map(|(&g, &m)| g * m)
+                    .collect();
+                Tensor::from_vec(data, dy.dims())
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
+        in_dims.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]);
+        assert_eq!(d.forward(&x, false).data(), x.data());
+    }
+
+    #[test]
+    fn training_zeroes_about_p_fraction() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, true);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let rate = zeros as f32 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "drop rate {rate}");
+        // Survivors are scaled so the expectation is preserved.
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_gates_with_the_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones(&[64]);
+        let y = d.forward(&x, true);
+        let dy = Tensor::ones(&[64]);
+        let dx = d.backward(&dy);
+        // Gradient flows exactly where activations survived.
+        for (o, g) in y.data().iter().zip(dx.data()) {
+            assert_eq!(*o == 0.0, *g == 0.0);
+        }
+    }
+
+    #[test]
+    fn p_zero_is_transparent_even_in_training() {
+        let mut d = Dropout::new(0.0, 4);
+        let x = Tensor::from_vec(vec![5.0, 6.0], &[2]);
+        assert_eq!(d.forward(&x, true).data(), x.data());
+        assert_eq!(d.backward(&x).data(), x.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn rejects_p_one() {
+        Dropout::new(1.0, 5);
+    }
+}

@@ -1,0 +1,100 @@
+//! The [`Layer`] trait: the contract every network component implements.
+
+use vc_tensor::Tensor;
+
+/// A differentiable network component.
+///
+/// Layers own their parameters *and* their gradients: `backward` accumulates
+/// into layer-local gradient buffers, and the model aggregates them into the
+/// flat vectors that the optimizers and the distributed schemes exchange.
+///
+/// `Send` is required so entire models can be moved into rayon tasks — the
+/// simulated volunteer fleet trains one independent model replica per
+/// subtask, in parallel.
+pub trait Layer: Send {
+    /// Computes the layer output. When `train` is true the layer may cache
+    /// activations for `backward` and use batch statistics (BatchNorm);
+    /// when false it must be a pure function of its parameters.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates the output gradient `dy` to an input gradient, and
+    /// accumulates parameter gradients into layer-local buffers. Must be
+    /// called after a `forward(.., true)` on the same input.
+    fn backward(&mut self, dy: &Tensor) -> Tensor;
+
+    /// Number of scalar parameters this layer owns (including buffers that
+    /// must travel with the weights, e.g. BatchNorm running statistics —
+    /// the paper ships the complete `.h5` state, so do we).
+    fn param_len(&self) -> usize {
+        0
+    }
+
+    /// Appends this layer's parameters to `out` in a fixed order.
+    fn collect_params(&self, _out: &mut Vec<f32>) {}
+
+    /// Reads `param_len()` values from the front of `src`, returning the
+    /// number consumed. Order must mirror `collect_params`.
+    fn load_params(&mut self, _src: &[f32]) -> usize {
+        0
+    }
+
+    /// Appends this layer's parameter gradients to `out`; same order and
+    /// length as `collect_params` (buffers contribute zeros).
+    fn collect_grads(&self, _out: &mut Vec<f32>) {}
+
+    /// Clears accumulated gradients.
+    fn zero_grads(&mut self) {}
+
+    /// Human-readable layer kind, for summaries and error messages.
+    fn name(&self) -> &'static str;
+
+    /// Output shape for a given input shape, used by the model builder to
+    /// validate specs before allocating parameters.
+    fn out_dims(&self, in_dims: &[usize]) -> Vec<usize>;
+}
+
+/// A boxed layer, as stored by [`crate::Sequential`].
+pub type BoxedLayer = Box<dyn Layer>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A do-nothing layer to exercise trait defaults.
+    struct Identity;
+    impl Layer for Identity {
+        fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+            x.clone()
+        }
+        fn backward(&mut self, dy: &Tensor) -> Tensor {
+            dy.clone()
+        }
+        fn name(&self) -> &'static str {
+            "identity"
+        }
+        fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
+            in_dims.to_vec()
+        }
+    }
+
+    #[test]
+    fn defaults_are_paramless() {
+        let mut l = Identity;
+        assert_eq!(l.param_len(), 0);
+        let mut v = Vec::new();
+        l.collect_params(&mut v);
+        l.collect_grads(&mut v);
+        assert!(v.is_empty());
+        assert_eq!(l.load_params(&[1.0, 2.0]), 0);
+        l.zero_grads();
+    }
+
+    #[test]
+    fn boxed_layer_is_usable() {
+        let mut l: BoxedLayer = Box::new(Identity);
+        let x = Tensor::ones(&[2, 2]);
+        let y = l.forward(&x, false);
+        assert_eq!(y.data(), x.data());
+        assert_eq!(l.name(), "identity");
+    }
+}

@@ -1,0 +1,110 @@
+//! # vc-nn
+//!
+//! A from-scratch neural-network library: the deep-learning substrate the
+//! paper runs on TensorFlow, rebuilt in Rust for the `vc-dl` reproduction.
+//!
+//! The paper trains a 552-layer ResNetV2 (4.97 M parameters) on CIFAR10. The
+//! VC-ASGD scheme it contributes, however, is *model-agnostic*: it exchanges
+//! flat parameter vectors between clients and parameter servers. This crate
+//! therefore provides exactly what the distributed layer needs:
+//!
+//! * [`Layer`] — forward/backward passes with layer-owned gradient storage;
+//! * concrete layers: [`Dense`], [`Conv2d`], [`MaxPool2`], [`AvgPoolGlobal`],
+//!   [`Relu`], [`BatchNorm`], [`Flatten`], [`Residual`] blocks;
+//! * [`Sequential`] — a model as a layer pipeline, with flat-parameter
+//!   get/set ([`Sequential::params_flat`] / [`Sequential::set_params_flat`])
+//!   used as the `W` vectors of the paper's Eq. (1);
+//! * [`SoftmaxCrossEntropy`] — the classification loss and its gradient;
+//! * [`spec`] — a serde model description (the paper ships architecture as a
+//!   269 KB `.json` file; ours plays the same role) plus builders for the
+//!   three reference models: `mlp`, `small_cnn`, and `resnet_lite`.
+//!
+//! Every backward pass is validated against finite differences in the test
+//! suite.
+
+pub mod act_extra;
+pub mod activation;
+pub mod conv;
+pub mod dropout;
+pub mod dense;
+pub mod layer;
+pub mod loss;
+pub mod metrics;
+pub mod model;
+pub mod norm;
+pub mod pool;
+pub mod residual;
+pub mod spec;
+
+pub use act_extra::{LeakyRelu, Sigmoid, Tanh};
+pub use activation::Relu;
+pub use dropout::Dropout;
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use layer::Layer;
+pub use loss::SoftmaxCrossEntropy;
+pub use model::Sequential;
+pub use norm::BatchNorm;
+pub use pool::{AvgPoolGlobal, Flatten, MaxPool2};
+pub use residual::Residual;
+pub use spec::{LayerSpec, ModelSpec};
+
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    //! Finite-difference gradient checking shared by layer tests.
+    use crate::layer::Layer;
+    use vc_tensor::Tensor;
+
+    /// Checks d(sum of outputs)/d(inputs) of `layer` against central
+    /// differences. Uses `train = true` so cached state matches backward.
+    pub fn check_input_grad<L: Layer>(layer: &mut L, x: &Tensor, tol: f32) {
+        let y = layer.forward(x, true);
+        let dy = Tensor::ones(y.dims());
+        let dx = layer.backward(&dy);
+        let eps = 1e-2f32;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fp = layer.forward(&xp, true).sum();
+            let fm = layer.forward(&xm, true).sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            let an = dx.data()[i];
+            assert!(
+                (fd - an).abs() < tol * (1.0 + fd.abs().max(an.abs())),
+                "input grad {i}: fd={fd} analytic={an}"
+            );
+        }
+    }
+
+    /// Checks d(sum of outputs)/d(params) against central differences.
+    pub fn check_param_grad<L: Layer>(layer: &mut L, x: &Tensor, tol: f32) {
+        let y = layer.forward(x, true);
+        let dy = Tensor::ones(y.dims());
+        layer.zero_grads();
+        layer.backward(&dy);
+        let mut grads = Vec::new();
+        layer.collect_grads(&mut grads);
+        let mut params = Vec::new();
+        layer.collect_params(&mut params);
+        let eps = 1e-2f32;
+        for i in 0..params.len() {
+            let mut pp = params.clone();
+            pp[i] += eps;
+            layer.load_params(&pp);
+            let fp = layer.forward(x, true).sum();
+            let mut pm = params.clone();
+            pm[i] -= eps;
+            layer.load_params(&pm);
+            let fm = layer.forward(x, true).sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            let an = grads[i];
+            assert!(
+                (fd - an).abs() < tol * (1.0 + fd.abs().max(an.abs())),
+                "param grad {i}: fd={fd} analytic={an}"
+            );
+        }
+        layer.load_params(&params);
+    }
+}

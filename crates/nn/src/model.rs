@@ -1,0 +1,264 @@
+//! The [`Sequential`] model container.
+
+use crate::layer::{BoxedLayer, Layer};
+use vc_tensor::Tensor;
+
+/// A model as an ordered pipeline of layers.
+///
+/// `Sequential` itself implements [`Layer`], which lets [`crate::Residual`]
+/// blocks nest arbitrary sub-pipelines. Its flat-parameter accessors are the
+/// bridge to the distributed layer: [`Sequential::params_flat`] produces the
+/// `W` vector of the paper's Eq. (1) and [`Sequential::set_params_flat`]
+/// installs a server copy received over the (simulated) network.
+pub struct Sequential {
+    layers: Vec<BoxedLayer>,
+}
+
+impl Sequential {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    pub fn push_boxed(&mut self, layer: BoxedLayer) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the pipeline has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total number of scalar parameters (the paper's model has 4,972,746).
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_len()).sum()
+    }
+
+    /// Copies all parameters into one flat vector.
+    pub fn params_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for l in &self.layers {
+            l.collect_params(&mut out);
+        }
+        out
+    }
+
+    /// Installs a flat parameter vector. Panics when the length disagrees
+    /// with `param_count()` — a corrupted blob must never half-load.
+    pub fn set_params_flat(&mut self, params: &[f32]) {
+        assert_eq!(
+            params.len(),
+            self.param_count(),
+            "parameter vector length {} does not match model ({})",
+            params.len(),
+            self.param_count()
+        );
+        let mut off = 0;
+        for l in &mut self.layers {
+            off += l.load_params(&params[off..]);
+        }
+        debug_assert_eq!(off, params.len());
+    }
+
+    /// Copies all accumulated gradients into one flat vector (same layout as
+    /// [`Self::params_flat`]).
+    pub fn grads_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for l in &self.layers {
+            l.collect_grads(&mut out);
+        }
+        out
+    }
+
+    /// Clears gradients in every layer.
+    pub fn zero_grads_all(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grads();
+        }
+    }
+
+    /// Runs the pipeline in inference mode.
+    pub fn predict(&mut self, x: &Tensor) -> Tensor {
+        let mut cur = x.clone();
+        for l in &mut self.layers {
+            cur = l.forward(&cur, false);
+        }
+        cur
+    }
+
+    /// One-line summary of the architecture, e.g. `conv2d→relu→…`.
+    pub fn summary(&self) -> String {
+        self.layers
+            .iter()
+            .map(|l| l.name())
+            .collect::<Vec<_>>()
+            .join("→")
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for l in &mut self.layers {
+            cur = l.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mut cur = dy.clone();
+        for l in self.layers.iter_mut().rev() {
+            cur = l.backward(&cur);
+        }
+        cur
+    }
+
+    fn param_len(&self) -> usize {
+        self.param_count()
+    }
+
+    fn collect_params(&self, out: &mut Vec<f32>) {
+        for l in &self.layers {
+            l.collect_params(out);
+        }
+    }
+
+    fn load_params(&mut self, src: &[f32]) -> usize {
+        let mut off = 0;
+        for l in &mut self.layers {
+            off += l.load_params(&src[off..]);
+        }
+        off
+    }
+
+    fn collect_grads(&self, out: &mut Vec<f32>) {
+        for l in &self.layers {
+            l.collect_grads(out);
+        }
+    }
+
+    fn zero_grads(&mut self) {
+        self.zero_grads_all();
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
+        let mut dims = in_dims.to_vec();
+        for l in &self.layers {
+            dims = l.out_dims(&dims);
+        }
+        dims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::dense::Dense;
+    use crate::loss::SoftmaxCrossEntropy;
+    use vc_tensor::NormalSampler;
+
+    fn tiny_model(seed: u64) -> Sequential {
+        let mut s = NormalSampler::seed_from(seed);
+        Sequential::new()
+            .push(Dense::new(4, 8, &mut s))
+            .push(Relu::new())
+            .push(Dense::new(8, 3, &mut s))
+    }
+
+    #[test]
+    fn forward_shapes_compose() {
+        let mut m = tiny_model(1);
+        let y = m.predict(&Tensor::zeros(&[5, 4]));
+        assert_eq!(y.dims(), &[5, 3]);
+        assert_eq!(m.out_dims(&[5, 4]), vec![5, 3]);
+    }
+
+    #[test]
+    fn flat_params_roundtrip() {
+        let m = tiny_model(2);
+        let p = m.params_flat();
+        assert_eq!(p.len(), m.param_count());
+        assert_eq!(p.len(), 4 * 8 + 8 + 8 * 3 + 3);
+        let mut m2 = tiny_model(3);
+        m2.set_params_flat(&p);
+        assert_eq!(m2.params_flat(), p);
+    }
+
+    #[test]
+    fn identical_params_give_identical_outputs() {
+        let mut a = tiny_model(4);
+        let mut b = tiny_model(5);
+        b.set_params_flat(&a.params_flat());
+        let mut s = NormalSampler::seed_from(6);
+        let x = Tensor::randn(&[3, 4], 0.0, 1.0, &mut s);
+        assert_eq!(a.predict(&x).data(), b.predict(&x).data());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match model")]
+    fn rejects_wrong_length_vector() {
+        tiny_model(7).set_params_flat(&[0.0; 3]);
+    }
+
+    #[test]
+    fn one_sgd_step_reduces_loss() {
+        // The end-to-end sanity check: backprop through the whole pipeline
+        // must reduce the training loss for a small step.
+        let mut m = tiny_model(8);
+        let mut s = NormalSampler::seed_from(9);
+        let x = Tensor::randn(&[16, 4], 0.0, 1.0, &mut s);
+        let labels: Vec<usize> = (0..16).map(|i| i % 3).collect();
+
+        let logits = m.forward(&x, true);
+        let (loss0, dlogits) = SoftmaxCrossEntropy::loss_and_grad(&logits, &labels);
+        m.zero_grads_all();
+        m.backward(&dlogits);
+        let mut p = m.params_flat();
+        let g = m.grads_flat();
+        for (pi, gi) in p.iter_mut().zip(&g) {
+            *pi -= 0.1 * gi;
+        }
+        m.set_params_flat(&p);
+        let logits1 = m.forward(&x, true);
+        let loss1 = SoftmaxCrossEntropy::loss(&logits1, &labels);
+        assert!(loss1 < loss0, "loss {loss0} -> {loss1}");
+    }
+
+    #[test]
+    fn grads_flat_matches_param_layout() {
+        let mut m = tiny_model(10);
+        let x = Tensor::ones(&[2, 4]);
+        let y = m.forward(&x, true);
+        m.zero_grads_all();
+        m.backward(&Tensor::ones(y.dims()));
+        assert_eq!(m.grads_flat().len(), m.param_count());
+    }
+
+    #[test]
+    fn summary_names_layers() {
+        assert_eq!(tiny_model(11).summary(), "dense→relu→dense");
+    }
+}

@@ -1,0 +1,320 @@
+//! Batch normalization.
+
+use crate::layer::Layer;
+use vc_tensor::Tensor;
+
+/// Numerical floor added to the variance before taking the square root.
+const BN_EPS: f32 = 1e-5;
+
+/// Batch normalization over the channel axis.
+///
+/// Accepts `[batch, ch]` (after a dense layer) or `[batch, ch, h, w]`
+/// (after a convolution); statistics are computed per channel over all other
+/// axes. Owns learnable `gamma`/`beta` and running mean/variance buffers.
+///
+/// The running buffers are included in the parameter vector: the paper ships
+/// the complete `.h5` model state between clients and the server, so the
+/// VC-ASGD blend averages them along with the weights.
+pub struct BatchNorm {
+    ch: usize,
+    momentum: f32,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: Tensor,
+    running_var: Tensor,
+    dgamma: Tensor,
+    dbeta: Tensor,
+    cache: Option<BnCache>,
+}
+
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    in_dims: Vec<usize>,
+}
+
+impl BatchNorm {
+    /// Builds a batch-norm layer for `ch` channels with the given running-
+    /// statistics momentum (the fraction of the *old* running value kept per
+    /// batch; 0.9 is the common default).
+    pub fn new(ch: usize, momentum: f32) -> Self {
+        BatchNorm {
+            ch,
+            momentum,
+            gamma: Tensor::ones(&[ch]),
+            beta: Tensor::zeros(&[ch]),
+            running_mean: Tensor::zeros(&[ch]),
+            running_var: Tensor::ones(&[ch]),
+            dgamma: Tensor::zeros(&[ch]),
+            dbeta: Tensor::zeros(&[ch]),
+            cache: None,
+        }
+    }
+
+    /// Iterates channel planes: yields (channel, start, len, plane stride)
+    /// describing where channel c's values live in the flat buffer.
+    fn plane_geometry(dims: &[usize]) -> (usize, usize, usize) {
+        // Returns (batch, ch, spatial) where spatial = product of trailing axes.
+        match dims.len() {
+            2 => (dims[0], dims[1], 1),
+            4 => (dims[0], dims[1], dims[2] * dims[3]),
+            r => panic!("BatchNorm expects rank 2 or 4 input, got rank {r}"),
+        }
+    }
+
+    /// Per-channel reduction `f` over all (batch, spatial) positions.
+    fn reduce_per_channel(data: &[f32], dims: &[usize], mut f: impl FnMut(usize, f32)) {
+        let (b, ch, sp) = Self::plane_geometry(dims);
+        for bi in 0..b {
+            for c in 0..ch {
+                let base = (bi * ch + c) * sp;
+                for s in 0..sp {
+                    f(c, data[base + s]);
+                }
+            }
+        }
+    }
+}
+
+impl Layer for BatchNorm {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let dims = x.dims().to_vec();
+        let (b, ch, sp) = Self::plane_geometry(&dims);
+        assert_eq!(ch, self.ch, "BatchNorm channel mismatch");
+        let n = (b * sp) as f32;
+
+        let (mean, var) = if train {
+            let mut mean = vec![0.0f32; ch];
+            Self::reduce_per_channel(x.data(), &dims, |c, v| mean[c] += v);
+            for m in &mut mean {
+                *m /= n;
+            }
+            let mut var = vec![0.0f32; ch];
+            Self::reduce_per_channel(x.data(), &dims, |c, v| {
+                var[c] += (v - mean[c]) * (v - mean[c])
+            });
+            for v in &mut var {
+                *v /= n;
+            }
+            // Update running statistics.
+            for c in 0..ch {
+                let rm = &mut self.running_mean.data_mut()[c];
+                *rm = self.momentum * *rm + (1.0 - self.momentum) * mean[c];
+            }
+            for c in 0..ch {
+                let rv = &mut self.running_var.data_mut()[c];
+                *rv = self.momentum * *rv + (1.0 - self.momentum) * var[c];
+            }
+            (mean, var)
+        } else {
+            (
+                self.running_mean.data().to_vec(),
+                self.running_var.data().to_vec(),
+            )
+        };
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + BN_EPS).sqrt()).collect();
+        let src = x.data();
+        let mut x_hat = vec![0.0f32; src.len()];
+        let mut out = vec![0.0f32; src.len()];
+        for bi in 0..b {
+            for c in 0..ch {
+                let base = (bi * ch + c) * sp;
+                let g = self.gamma.data()[c];
+                let be = self.beta.data()[c];
+                for s in 0..sp {
+                    let xh = (src[base + s] - mean[c]) * inv_std[c];
+                    x_hat[base + s] = xh;
+                    out[base + s] = g * xh + be;
+                }
+            }
+        }
+        if train {
+            self.cache = Some(BnCache {
+                x_hat: Tensor::from_vec(x_hat, &dims),
+                inv_std,
+                in_dims: dims.clone(),
+            });
+        }
+        Tensor::from_vec(out, &dims)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm::backward called without a cached forward");
+        let dims = &cache.in_dims;
+        let (b, ch, sp) = Self::plane_geometry(dims);
+        let n = (b * sp) as f32;
+        let dyd = dy.data();
+        let xh = cache.x_hat.data();
+
+        // Per-channel sums needed by the closed-form gradient.
+        let mut sum_dy = vec![0.0f32; ch];
+        let mut sum_dy_xh = vec![0.0f32; ch];
+        for bi in 0..b {
+            for c in 0..ch {
+                let base = (bi * ch + c) * sp;
+                for s in 0..sp {
+                    sum_dy[c] += dyd[base + s];
+                    sum_dy_xh[c] += dyd[base + s] * xh[base + s];
+                }
+            }
+        }
+        for c in 0..ch {
+            self.dbeta.data_mut()[c] += sum_dy[c];
+            self.dgamma.data_mut()[c] += sum_dy_xh[c];
+        }
+
+        let mut dx = vec![0.0f32; dyd.len()];
+        for bi in 0..b {
+            for c in 0..ch {
+                let base = (bi * ch + c) * sp;
+                let g = self.gamma.data()[c];
+                let k = g * cache.inv_std[c];
+                for s in 0..sp {
+                    let i = base + s;
+                    dx[i] = k * (dyd[i] - sum_dy[c] / n - xh[i] * sum_dy_xh[c] / n);
+                }
+            }
+        }
+        Tensor::from_vec(dx, dims)
+    }
+
+    fn param_len(&self) -> usize {
+        4 * self.ch
+    }
+
+    fn collect_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.gamma.data());
+        out.extend_from_slice(self.beta.data());
+        out.extend_from_slice(self.running_mean.data());
+        out.extend_from_slice(self.running_var.data());
+    }
+
+    fn load_params(&mut self, src: &[f32]) -> usize {
+        let c = self.ch;
+        self.gamma.data_mut().copy_from_slice(&src[..c]);
+        self.beta.data_mut().copy_from_slice(&src[c..2 * c]);
+        self.running_mean.data_mut().copy_from_slice(&src[2 * c..3 * c]);
+        self.running_var.data_mut().copy_from_slice(&src[3 * c..4 * c]);
+        4 * c
+    }
+
+    fn collect_grads(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.dgamma.data());
+        out.extend_from_slice(self.dbeta.data());
+        // Buffers are not optimized: contribute zero gradient.
+        out.extend(std::iter::repeat(0.0).take(2 * self.ch));
+    }
+
+    fn zero_grads(&mut self) {
+        self.dgamma.map_inplace(|_| 0.0);
+        self.dbeta.map_inplace(|_| 0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "batchnorm"
+    }
+
+    fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
+        in_dims.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use vc_tensor::NormalSampler;
+
+    #[test]
+    fn train_output_is_normalized() {
+        let mut bn = BatchNorm::new(2, 0.9);
+        let mut s = NormalSampler::seed_from(1);
+        let x = Tensor::randn(&[8, 2, 4, 4], 3.0, 2.0, &mut s);
+        let y = bn.forward(&x, true);
+        // Each channel of y should have ~zero mean and ~unit variance.
+        let (b, ch, sp) = (8, 2, 16);
+        for c in 0..ch {
+            let mut vals = Vec::new();
+            for bi in 0..b {
+                let base = (bi * ch + c) * sp;
+                vals.extend_from_slice(&y.data()[base..base + sp]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm::new(1, 0.0); // momentum 0: running = last batch
+        let mut s = NormalSampler::seed_from(2);
+        let x = Tensor::randn(&[64, 1], 5.0, 3.0, &mut s);
+        bn.forward(&x, true);
+        // In eval mode the same batch should now also normalize to ~N(0,1).
+        let y = bn.forward(&x, false);
+        let mean = y.mean();
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn rank2_and_rank4_agree() {
+        // A [batch, ch] input must behave as [batch, ch, 1, 1].
+        let mut bn2 = BatchNorm::new(3, 0.9);
+        let mut bn4 = BatchNorm::new(3, 0.9);
+        let mut s = NormalSampler::seed_from(3);
+        let x2 = Tensor::randn(&[6, 3], 0.0, 1.0, &mut s);
+        let x4 = x2.clone().reshape(&[6, 3, 1, 1]);
+        let y2 = bn2.forward(&x2, true);
+        let y4 = bn4.forward(&x4, true);
+        assert_eq!(y2.data(), y4.data());
+    }
+
+    #[test]
+    fn gradcheck_inputs() {
+        let mut bn = BatchNorm::new(2, 0.9);
+        let mut s = NormalSampler::seed_from(4);
+        let x = Tensor::randn(&[4, 2, 2, 2], 0.0, 1.0, &mut s);
+        gradcheck::check_input_grad(&mut bn, &x, 3e-2);
+    }
+
+    #[test]
+    fn gradcheck_params() {
+        let mut bn = BatchNorm::new(3, 0.9);
+        let mut s = NormalSampler::seed_from(5);
+        let x = Tensor::randn(&[5, 3], 0.0, 1.0, &mut s);
+        gradcheck::check_param_grad(&mut bn, &x, 3e-2);
+    }
+
+    #[test]
+    fn param_vector_carries_buffers() {
+        let mut bn = BatchNorm::new(2, 0.5);
+        let mut s = NormalSampler::seed_from(6);
+        let x = Tensor::randn(&[16, 2], 1.0, 1.0, &mut s);
+        bn.forward(&x, true);
+        let mut p = Vec::new();
+        bn.collect_params(&mut p);
+        assert_eq!(p.len(), 8);
+        // Running mean (slots 4..6) moved toward the batch mean of ~1.0.
+        assert!(p[4] > 0.2, "running mean {}", p[4]);
+        // Restoring into a fresh layer reproduces eval outputs exactly.
+        let mut bn2 = BatchNorm::new(2, 0.5);
+        bn2.load_params(&p);
+        let y1 = bn.forward(&x, false);
+        let y2 = bn2.forward(&x, false);
+        assert_eq!(y1.data(), y2.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 or 4")]
+    fn rejects_rank3() {
+        let mut bn = BatchNorm::new(2, 0.9);
+        bn.forward(&Tensor::zeros(&[2, 2, 2]), false);
+    }
+}

@@ -1,0 +1,276 @@
+//! Pooling and reshaping layers.
+
+use crate::layer::Layer;
+use vc_tensor::Tensor;
+
+/// 2×2 max pooling with stride 2 over `[batch, ch, h, w]`. Requires even
+/// spatial extents (the reference models are built that way).
+pub struct MaxPool2 {
+    argmax: Option<Vec<usize>>,
+    in_dims: Option<Vec<usize>>,
+}
+
+impl MaxPool2 {
+    /// Builds the pooling layer.
+    pub fn new() -> Self {
+        MaxPool2 {
+            argmax: None,
+            in_dims: None,
+        }
+    }
+}
+
+impl Default for MaxPool2 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let dims = x.dims();
+        assert_eq!(dims.len(), 4, "MaxPool2 expects [batch, ch, h, w]");
+        let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        assert!(h % 2 == 0 && w % 2 == 0, "MaxPool2 needs even h, w");
+        let (oh, ow) = (h / 2, w / 2);
+        let src = x.data();
+        let mut out = vec![0.0f32; b * c * oh * ow];
+        let mut arg = vec![0usize; out.len()];
+        for bc in 0..b * c {
+            let plane = &src[bc * h * w..(bc + 1) * h * w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best_idx = (2 * oy) * w + 2 * ox;
+                    let mut best = plane[best_idx];
+                    for (dy, dx) in [(0, 1), (1, 0), (1, 1)] {
+                        let idx = (2 * oy + dy) * w + 2 * ox + dx;
+                        if plane[idx] > best {
+                            best = plane[idx];
+                            best_idx = idx;
+                        }
+                    }
+                    let o = bc * oh * ow + oy * ow + ox;
+                    out[o] = best;
+                    arg[o] = bc * h * w + best_idx;
+                }
+            }
+        }
+        if train {
+            self.argmax = Some(arg);
+            self.in_dims = Some(dims.to_vec());
+        }
+        Tensor::from_vec(out, &[b, c, oh, ow])
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let arg = self
+            .argmax
+            .as_ref()
+            .expect("MaxPool2::backward called without a cached forward");
+        let in_dims = self.in_dims.as_ref().unwrap();
+        let mut dx = vec![0.0f32; in_dims.iter().product()];
+        for (g, &src_idx) in dy.data().iter().zip(arg) {
+            dx[src_idx] += g;
+        }
+        Tensor::from_vec(dx, in_dims)
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2"
+    }
+
+    fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
+        assert_eq!(in_dims.len(), 4);
+        vec![in_dims[0], in_dims[1], in_dims[2] / 2, in_dims[3] / 2]
+    }
+}
+
+/// Global average pooling: `[batch, ch, h, w] -> [batch, ch]`, the ResNetV2
+/// head reduction.
+pub struct AvgPoolGlobal {
+    in_dims: Option<Vec<usize>>,
+}
+
+impl AvgPoolGlobal {
+    /// Builds the pooling layer.
+    pub fn new() -> Self {
+        AvgPoolGlobal { in_dims: None }
+    }
+}
+
+impl Default for AvgPoolGlobal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for AvgPoolGlobal {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let dims = x.dims();
+        assert_eq!(dims.len(), 4, "AvgPoolGlobal expects [batch, ch, h, w]");
+        let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let area = (h * w) as f32;
+        let src = x.data();
+        let mut out = vec![0.0f32; b * c];
+        for bc in 0..b * c {
+            out[bc] = src[bc * h * w..(bc + 1) * h * w].iter().sum::<f32>() / area;
+        }
+        if train {
+            self.in_dims = Some(dims.to_vec());
+        }
+        Tensor::from_vec(out, &[b, c])
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let in_dims = self
+            .in_dims
+            .as_ref()
+            .expect("AvgPoolGlobal::backward called without a cached forward");
+        let (h, w) = (in_dims[2], in_dims[3]);
+        let area = (h * w) as f32;
+        let mut dx = vec![0.0f32; in_dims.iter().product()];
+        for (bc, &g) in dy.data().iter().enumerate() {
+            let v = g / area;
+            for p in &mut dx[bc * h * w..(bc + 1) * h * w] {
+                *p = v;
+            }
+        }
+        Tensor::from_vec(dx, in_dims)
+    }
+
+    fn name(&self) -> &'static str {
+        "avgpool_global"
+    }
+
+    fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
+        assert_eq!(in_dims.len(), 4);
+        vec![in_dims[0], in_dims[1]]
+    }
+}
+
+/// Flattens `[batch, ...]` to `[batch, prod(...)]`.
+pub struct Flatten {
+    in_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Builds the reshaping layer.
+    pub fn new() -> Self {
+        Flatten { in_dims: None }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let dims = x.dims();
+        assert!(dims.len() >= 2, "Flatten expects a batch axis");
+        let batch = dims[0];
+        let rest: usize = dims[1..].iter().product();
+        if train {
+            self.in_dims = Some(dims.to_vec());
+        }
+        x.clone().reshape(&[batch, rest])
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let in_dims = self
+            .in_dims
+            .as_ref()
+            .expect("Flatten::backward called without a cached forward");
+        dy.clone().reshape(in_dims)
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
+        vec![in_dims[0], in_dims[1..].iter().product()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use vc_tensor::NormalSampler;
+
+    #[test]
+    fn maxpool_picks_window_max() {
+        let mut p = MaxPool2::new();
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                0.0, 0.0, 1.0, 0.0, //
+                0.0, -1.0, 0.0, 0.5,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let y = p.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 8.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut p = MaxPool2::new();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        p.forward(&x, true);
+        let dx = p.backward(&Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]));
+        assert_eq!(dx.data(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn maxpool_gradcheck() {
+        let mut p = MaxPool2::new();
+        let mut s = NormalSampler::seed_from(2);
+        // distinct values keep argmax stable under the probe epsilon
+        let x = Tensor::randn(&[1, 2, 4, 4], 0.0, 10.0, &mut s);
+        gradcheck::check_input_grad(&mut p, &x, 1e-2);
+    }
+
+    #[test]
+    fn avgpool_means_planes() {
+        let mut p = AvgPoolGlobal::new();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0], &[1, 2, 2, 2]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.data(), &[2.5, 10.0]);
+    }
+
+    #[test]
+    fn avgpool_gradcheck() {
+        let mut p = AvgPoolGlobal::new();
+        let mut s = NormalSampler::seed_from(3);
+        let x = Tensor::randn(&[2, 3, 2, 2], 0.0, 1.0, &mut s);
+        gradcheck::check_input_grad(&mut p, &x, 1e-2);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::ones(&[2, 3, 4]);
+        let y = f.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 12]);
+        let dx = f.backward(&y);
+        assert_eq!(dx.dims(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn out_dims_agree_with_forward() {
+        let mut p = MaxPool2::new();
+        let x = Tensor::zeros(&[2, 5, 8, 6]);
+        assert_eq!(p.forward(&x, false).dims(), p.out_dims(&[2, 5, 8, 6]).as_slice());
+        let mut a = AvgPoolGlobal::new();
+        assert_eq!(a.forward(&x, false).dims(), a.out_dims(&[2, 5, 8, 6]).as_slice());
+        let mut f = Flatten::new();
+        assert_eq!(f.forward(&x, false).dims(), f.out_dims(&[2, 5, 8, 6]).as_slice());
+    }
+}

@@ -1,0 +1,296 @@
+//! # vc-optim
+//!
+//! Optimizers and learning-rate schedules for the `vc-dl` workspace.
+//!
+//! The paper trains client replicas with the Adam optimizer at a constant
+//! learning rate of 0.001, no momentum-SGD, no regularization (§IV-A); all
+//! of those variants exist here anyway because the baselines (Downpour,
+//! EASGD, the serial reference) use them, and because ablations sweep them.
+//!
+//! Optimizers operate on *flat* parameter/gradient vectors — the same
+//! representation the distributed layer ships across the simulated network —
+//! so a client's optimizer state never needs to understand the model.
+
+pub mod clip;
+pub mod schedule;
+pub mod trainer;
+
+pub use clip::clip_by_global_norm;
+pub use schedule::LrSchedule;
+pub use trainer::{train_minibatch, TrainBatchStats};
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration for an optimizer, serializable so experiment configs can
+/// carry it (the paper ships training code + hyperparameters to clients).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerSpec {
+    /// Plain stochastic gradient descent.
+    Sgd { lr: f32 },
+    /// SGD with classical momentum.
+    Momentum { lr: f32, beta: f32 },
+    /// Adam (Kingma & Ba). The paper's client optimizer with
+    /// `lr = 0.001, beta1 = 0.9, beta2 = 0.999`.
+    Adam { lr: f32, beta1: f32, beta2: f32, eps: f32 },
+}
+
+impl OptimizerSpec {
+    /// The paper's client configuration: Adam, constant lr 0.001.
+    pub fn paper_adam() -> Self {
+        OptimizerSpec::Adam {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Instantiates optimizer state for a parameter vector of length `n`.
+    pub fn build(&self, n: usize) -> Optimizer {
+        Optimizer::new(self.clone(), n)
+    }
+}
+
+/// Optimizer state bound to a parameter vector length.
+pub struct Optimizer {
+    spec: OptimizerSpec,
+    /// First-moment buffer (momentum / Adam m).
+    m: Vec<f32>,
+    /// Second-moment buffer (Adam v).
+    v: Vec<f32>,
+    /// Step counter for Adam bias correction.
+    t: u64,
+    /// Decoupled weight decay applied before the gradient step (AdamW
+    /// style); 0 disables it. The paper trains without regularization
+    /// (§IV-A) — this exists for the ablation benches and library users.
+    weight_decay: f32,
+}
+
+impl Optimizer {
+    /// Creates fresh state. Buffers are allocated lazily per variant.
+    pub fn new(spec: OptimizerSpec, n: usize) -> Self {
+        let (need_m, need_v) = match spec {
+            OptimizerSpec::Sgd { .. } => (false, false),
+            OptimizerSpec::Momentum { .. } => (true, false),
+            OptimizerSpec::Adam { .. } => (true, true),
+        };
+        Optimizer {
+            spec,
+            m: if need_m { vec![0.0; n] } else { Vec::new() },
+            v: if need_v { vec![0.0; n] } else { Vec::new() },
+            t: 0,
+            weight_decay: 0.0,
+        }
+    }
+
+    /// Enables decoupled weight decay at rate `wd` per step (builder
+    /// style).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        assert!((0.0..1.0).contains(&wd), "weight decay {wd} outside [0, 1)");
+        self.weight_decay = wd;
+        self
+    }
+
+    /// The configured base learning rate.
+    pub fn lr(&self) -> f32 {
+        match self.spec {
+            OptimizerSpec::Sgd { lr }
+            | OptimizerSpec::Momentum { lr, .. }
+            | OptimizerSpec::Adam { lr, .. } => lr,
+        }
+    }
+
+    /// Number of optimizer steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update in place: `params -= update(grads)`, using
+    /// `lr_scale` as a multiplier on the base learning rate (for schedules).
+    pub fn step_scaled(&mut self, params: &mut [f32], grads: &[f32], lr_scale: f32) {
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "params/grads length mismatch: {} vs {}",
+            params.len(),
+            grads.len()
+        );
+        self.t += 1;
+        if self.weight_decay > 0.0 {
+            let keep = 1.0 - self.weight_decay * lr_scale;
+            for p in params.iter_mut() {
+                *p *= keep;
+            }
+        }
+        match self.spec {
+            OptimizerSpec::Sgd { lr } => {
+                let step = lr * lr_scale;
+                for (p, &g) in params.iter_mut().zip(grads) {
+                    *p -= step * g;
+                }
+            }
+            OptimizerSpec::Momentum { lr, beta } => {
+                assert_eq!(self.m.len(), params.len(), "optimizer built for another model");
+                let step = lr * lr_scale;
+                for ((p, &g), m) in params.iter_mut().zip(grads).zip(&mut self.m) {
+                    *m = beta * *m + g;
+                    *p -= step * *m;
+                }
+            }
+            OptimizerSpec::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
+                assert_eq!(self.m.len(), params.len(), "optimizer built for another model");
+                let t = self.t as f32;
+                let bc1 = 1.0 - beta1.powf(t);
+                let bc2 = 1.0 - beta2.powf(t);
+                let step = lr * lr_scale;
+                for (((p, &g), m), v) in params
+                    .iter_mut()
+                    .zip(grads)
+                    .zip(&mut self.m)
+                    .zip(&mut self.v)
+                {
+                    *m = beta1 * *m + (1.0 - beta1) * g;
+                    *v = beta2 * *v + (1.0 - beta2) * g * g;
+                    let m_hat = *m / bc1;
+                    let v_hat = *v / bc2;
+                    *p -= step * m_hat / (v_hat.sqrt() + eps);
+                }
+            }
+        }
+    }
+
+    /// One update at the base learning rate.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        self.step_scaled(params, grads, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = x^2 from x = 5 and returns the trajectory endpoint.
+    fn descend(spec: OptimizerSpec, iters: usize) -> f32 {
+        let mut opt = spec.build(1);
+        let mut x = vec![5.0f32];
+        for _ in 0..iters {
+            let g = vec![2.0 * x[0]];
+            opt.step(&mut x, &g);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = descend(OptimizerSpec::Sgd { lr: 0.1 }, 100);
+        assert!(x.abs() < 1e-4, "x = {x}");
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        let x = descend(
+            OptimizerSpec::Momentum { lr: 0.02, beta: 0.9 },
+            300,
+        );
+        assert!(x.abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Adam's effective step is ~lr per iteration, so crossing from
+        // x = 5 to the optimum needs >5000 steps at lr = 1e-3.
+        let x = descend(OptimizerSpec::paper_adam(), 10_000);
+        assert!(x.abs() < 0.05, "x = {x}");
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction, Adam's very first step is ~lr regardless of
+        // gradient magnitude.
+        let mut opt = OptimizerSpec::paper_adam().build(1);
+        let mut x = vec![0.0f32];
+        opt.step(&mut x, &[1234.5]);
+        assert!((x[0] + 1e-3).abs() < 1e-5, "step {}", x[0]);
+    }
+
+    #[test]
+    fn sgd_matches_hand_computation() {
+        let mut opt = OptimizerSpec::Sgd { lr: 0.5 }.build(2);
+        let mut p = vec![1.0f32, -2.0];
+        opt.step(&mut p, &[0.2, -0.4]);
+        assert_eq!(p, vec![0.9, -1.8]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut opt = OptimizerSpec::Momentum { lr: 1.0, beta: 1.0 }.build(1);
+        let mut p = vec![0.0f32];
+        opt.step(&mut p, &[1.0]); // v=1, p=-1
+        opt.step(&mut p, &[1.0]); // v=2, p=-3
+        assert_eq!(p[0], -3.0);
+    }
+
+    #[test]
+    fn lr_scale_multiplies_step() {
+        let mut a = OptimizerSpec::Sgd { lr: 0.1 }.build(1);
+        let mut b = OptimizerSpec::Sgd { lr: 0.1 }.build(1);
+        let mut pa = vec![1.0f32];
+        let mut pb = vec![1.0f32];
+        a.step_scaled(&mut pa, &[1.0], 1.0);
+        b.step_scaled(&mut pb, &[1.0], 0.5);
+        assert!((1.0 - pa[0]) > (1.0 - pb[0]));
+        assert!(((1.0 - pa[0]) - 2.0 * (1.0 - pb[0])).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_grads() {
+        let mut opt = OptimizerSpec::Sgd { lr: 0.1 }.build(2);
+        let mut p = vec![0.0f32, 0.0];
+        opt.step(&mut p, &[1.0]);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_without_gradient() {
+        let mut opt = OptimizerSpec::Sgd { lr: 0.1 }.build(2).with_weight_decay(0.01);
+        let mut p = vec![10.0f32, -10.0];
+        opt.step(&mut p, &[0.0, 0.0]);
+        assert!((p[0] - 9.9).abs() < 1e-5);
+        assert!((p[1] + 9.9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn weight_decay_is_decoupled_from_adam_moments() {
+        // With AdamW-style decay the shrinkage is applied to the weights,
+        // not folded into the gradient moments: a constant gradient gives
+        // the same first step with or without decay, on top of the shrink.
+        let g = [1.0f32];
+        let mut plain = OptimizerSpec::paper_adam().build(1);
+        let mut decayed = OptimizerSpec::paper_adam().build(1).with_weight_decay(0.1);
+        let mut p1 = vec![1.0f32];
+        let mut p2 = vec![1.0f32];
+        plain.step(&mut p1, &g);
+        decayed.step(&mut p2, &g);
+        let adam_step = 1.0 - p1[0];
+        assert!(((1.0 * 0.9 - p2[0]) - adam_step).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn weight_decay_range_checked() {
+        let _ = OptimizerSpec::Sgd { lr: 0.1 }.build(1).with_weight_decay(1.0);
+    }
+
+    #[test]
+    fn spec_serializes() {
+        let spec = OptimizerSpec::paper_adam();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: OptimizerSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -1,0 +1,104 @@
+//! Learning-rate schedules.
+//!
+//! The paper keeps the client learning rate constant at 0.001 but draws an
+//! explicit analogy between its epoch-varying α schedule and "the learning
+//! rate scheduler used in optimizers such as SGD" (§III-C). These schedules
+//! serve the ablation benches that test that analogy on the optimizer side.
+
+use serde::{Deserialize, Serialize};
+
+/// A multiplier applied to the optimizer's base learning rate as a function
+/// of the (0-based) epoch index.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant multiplier 1.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs (step decay).
+    StepDecay { gamma: f32, every: usize },
+    /// Linear ramp from 1 down to `floor` across `over` epochs.
+    LinearDecay { floor: f32, over: usize },
+    /// `1 / (1 + k·epoch)` hyperbolic decay — the classical Robbins–Monro
+    /// shape, the optimizer-side mirror of the paper's `α_e = e/(e+1)`.
+    Hyperbolic { k: f32 },
+}
+
+impl LrSchedule {
+    /// The multiplier for `epoch` (0-based).
+    pub fn scale(&self, epoch: usize) -> f32 {
+        match self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::StepDecay { gamma, every } => {
+                assert!(*every > 0, "StepDecay.every must be positive");
+                gamma.powi((epoch / every) as i32)
+            }
+            LrSchedule::LinearDecay { floor, over } => {
+                if *over == 0 || epoch >= *over {
+                    *floor
+                } else {
+                    let frac = epoch as f32 / *over as f32;
+                    1.0 + frac * (floor - 1.0)
+                }
+            }
+            LrSchedule::Hyperbolic { k } => 1.0 / (1.0 + k * epoch as f32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one_everywhere() {
+        for e in [0, 1, 100] {
+            assert_eq!(LrSchedule::Constant.scale(e), 1.0);
+        }
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay {
+            gamma: 0.5,
+            every: 10,
+        };
+        assert_eq!(s.scale(0), 1.0);
+        assert_eq!(s.scale(9), 1.0);
+        assert_eq!(s.scale(10), 0.5);
+        assert_eq!(s.scale(25), 0.25);
+    }
+
+    #[test]
+    fn linear_decay_reaches_floor() {
+        let s = LrSchedule::LinearDecay {
+            floor: 0.1,
+            over: 10,
+        };
+        assert_eq!(s.scale(0), 1.0);
+        assert!((s.scale(5) - 0.55).abs() < 1e-6);
+        assert_eq!(s.scale(10), 0.1);
+        assert_eq!(s.scale(50), 0.1);
+    }
+
+    #[test]
+    fn hyperbolic_is_monotone_decreasing() {
+        let s = LrSchedule::Hyperbolic { k: 0.5 };
+        let mut prev = f32::INFINITY;
+        for e in 0..20 {
+            let v = s.scale(e);
+            assert!(v < prev);
+            assert!(v > 0.0);
+            prev = v;
+        }
+        assert_eq!(s.scale(0), 1.0);
+    }
+
+    #[test]
+    fn schedules_serialize() {
+        let s = LrSchedule::StepDecay {
+            gamma: 0.9,
+            every: 5,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<LrSchedule>(&json).unwrap(), s);
+    }
+}

@@ -1,0 +1,170 @@
+//! Mini-batch training loop shared by client subtasks and baselines.
+
+use crate::clip::clip_by_global_norm;
+use crate::Optimizer;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use vc_nn::{Layer, Sequential, SoftmaxCrossEntropy};
+use vc_tensor::Tensor;
+
+/// Statistics from one pass of [`train_minibatch`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrainBatchStats {
+    /// Mean training loss over all processed batches.
+    pub mean_loss: f32,
+    /// Number of optimizer steps taken.
+    pub steps: usize,
+    /// Number of samples seen (with repetition across local epochs).
+    pub samples: usize,
+}
+
+/// Trains `model` in place for `local_epochs` passes over `(images, labels)`
+/// with shuffled mini-batches, clipping gradients at `clip_norm` (pass
+/// `f32::INFINITY` to disable). This is precisely what a volunteer client
+/// executes for one training subtask.
+pub fn train_minibatch<R: Rng>(
+    model: &mut Sequential,
+    opt: &mut Optimizer,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+    local_epochs: usize,
+    clip_norm: f32,
+    rng: &mut R,
+) -> TrainBatchStats {
+    let n = images.dims()[0];
+    assert_eq!(n, labels.len(), "images/labels length mismatch");
+    assert!(batch_size > 0, "batch_size must be positive");
+    let sample_len: usize = images.dims()[1..].iter().product();
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut total_loss = 0.0;
+    let mut steps = 0usize;
+    let mut samples = 0usize;
+
+    let mut params = model.params_flat();
+    for _ in 0..local_epochs {
+        order.shuffle(rng);
+        for chunk in order.chunks(batch_size) {
+            // Gather the shuffled batch.
+            let mut batch_data = Vec::with_capacity(chunk.len() * sample_len);
+            let mut batch_labels = Vec::with_capacity(chunk.len());
+            for &idx in chunk {
+                batch_data
+                    .extend_from_slice(&images.data()[idx * sample_len..(idx + 1) * sample_len]);
+                batch_labels.push(labels[idx]);
+            }
+            let mut dims = vec![chunk.len()];
+            dims.extend_from_slice(&images.dims()[1..]);
+            let batch = Tensor::from_vec(batch_data, &dims);
+
+            let logits = model.forward(&batch, true);
+            let (loss, dlogits) = SoftmaxCrossEntropy::loss_and_grad(&logits, &batch_labels);
+            model.zero_grads_all();
+            model.backward(&dlogits);
+            let mut grads = model.grads_flat();
+            if clip_norm.is_finite() {
+                clip_by_global_norm(&mut grads, clip_norm);
+            }
+            opt.step(&mut params, &grads);
+            model.set_params_flat(&params);
+
+            total_loss += loss;
+            steps += 1;
+            samples += chunk.len();
+        }
+    }
+
+    TrainBatchStats {
+        mean_loss: if steps == 0 { 0.0 } else { total_loss / steps as f32 },
+        steps,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OptimizerSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vc_nn::metrics::evaluate;
+    use vc_nn::spec::mlp;
+    use vc_tensor::NormalSampler;
+
+    /// Two linearly separable Gaussian blobs.
+    fn blobs(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut s = NormalSampler::seed_from(seed);
+        let mut data = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            let cx = if class == 0 { -2.0 } else { 2.0 };
+            data.push(s.sample() * 0.5 + cx);
+            data.push(s.sample() * 0.5);
+            labels.push(class);
+        }
+        (Tensor::from_vec(data, &[n, 2]), labels)
+    }
+
+    #[test]
+    fn learns_separable_blobs() {
+        let spec = mlp(&[2], 16, 2);
+        let mut model = spec.build(1);
+        let mut opt = OptimizerSpec::Adam {
+            lr: 0.01,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+        .build(model.param_count());
+        let (x, y) = blobs(200, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let stats = train_minibatch(&mut model, &mut opt, &x, &y, 32, 10, 5.0, &mut rng);
+        assert!(stats.steps > 0);
+        assert_eq!(stats.samples, 2000);
+        let (_, acc) = evaluate(&mut model, &x, &y, 64);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn loss_decreases_across_epochs() {
+        let spec = mlp(&[2], 8, 2);
+        let mut model = spec.build(4);
+        let mut opt = OptimizerSpec::Sgd { lr: 0.1 }.build(model.param_count());
+        let (x, y) = blobs(100, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let first = train_minibatch(&mut model, &mut opt, &x, &y, 16, 1, f32::INFINITY, &mut rng);
+        for _ in 0..5 {
+            train_minibatch(&mut model, &mut opt, &x, &y, 16, 1, f32::INFINITY, &mut rng);
+        }
+        let last = train_minibatch(&mut model, &mut opt, &x, &y, 16, 1, f32::INFINITY, &mut rng);
+        assert!(last.mean_loss < first.mean_loss);
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let spec = mlp(&[2], 8, 2);
+        let run = || {
+            let mut model = spec.build(7);
+            let mut opt = OptimizerSpec::paper_adam().build(model.param_count());
+            let (x, y) = blobs(50, 8);
+            let mut rng = StdRng::seed_from_u64(9);
+            train_minibatch(&mut model, &mut opt, &x, &y, 10, 2, 1.0, &mut rng);
+            model.params_flat()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn handles_batch_larger_than_dataset() {
+        let spec = mlp(&[2], 4, 2);
+        let mut model = spec.build(10);
+        let mut opt = OptimizerSpec::Sgd { lr: 0.01 }.build(model.param_count());
+        let (x, y) = blobs(5, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let stats = train_minibatch(&mut model, &mut opt, &x, &y, 64, 1, 1.0, &mut rng);
+        assert_eq!(stats.steps, 1);
+        assert_eq!(stats.samples, 5);
+    }
+}

@@ -1,0 +1,156 @@
+//! Preemptible-instance termination models (§IV-E).
+//!
+//! The paper models instance usage as independent Bernoulli trials with
+//! per-subtask termination probability `p`, derives the expected training-
+//! time inflation `E[extra] = n·p·t_o`, and reports AWS interruption-
+//! frequency bands (<5 %, 5–10 %, …, >20 %). Both that analytic model and a
+//! stochastic per-subtask / per-lifetime process are provided; the §IV-E
+//! bench verifies that simulation and analysis agree.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How instance terminations are generated.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PreemptionModel {
+    /// No terminations (standard instances).
+    None,
+    /// Each subtask execution is an independent Bernoulli trial: with
+    /// probability `p` the instance is reclaimed mid-subtask (the paper's
+    /// model).
+    BernoulliPerSubtask { p: f64 },
+    /// Instance lifetimes are exponential with the given mean (hours); a
+    /// subtask is killed when the instance's lifetime expires during it.
+    ExponentialLifetime { mean_hours: f64 },
+}
+
+impl PreemptionModel {
+    /// AWS interruption-frequency band "<5 %" from the spot-instance
+    /// advisor, the band the paper's instances fall in.
+    pub fn aws_band_under_5pct() -> Self {
+        PreemptionModel::BernoulliPerSubtask { p: 0.05 }
+    }
+
+    /// Draws whether a subtask execution of `duration_s` seconds on an
+    /// instance gets preempted, and if so after how many seconds.
+    pub fn draw_preemption<R: Rng>(&self, duration_s: f64, rng: &mut R) -> Option<f64> {
+        match *self {
+            PreemptionModel::None => None,
+            PreemptionModel::BernoulliPerSubtask { p } => {
+                assert!((0.0..=1.0).contains(&p), "probability out of range");
+                if rng.gen::<f64>() < p {
+                    // Uniform kill point within the execution.
+                    Some(rng.gen::<f64>() * duration_s)
+                } else {
+                    None
+                }
+            }
+            PreemptionModel::ExponentialLifetime { mean_hours } => {
+                assert!(mean_hours > 0.0);
+                let mean_s = mean_hours * 3600.0;
+                // Memoryless: time-to-kill ~ Exp(1/mean) from subtask start.
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                let kill_after = -mean_s * u.ln();
+                (kill_after < duration_s).then_some(kill_after)
+            }
+        }
+    }
+
+    /// The paper's expectation: extra training time from timeouts, where
+    /// `n` subtask waves can each accrue one timeout of `t_o` seconds with
+    /// probability `p` (§IV-E: `E = n·p·t_o`).
+    pub fn expected_extra_s(n: f64, p: f64, timeout_s: f64) -> f64 {
+        n * p * timeout_s
+    }
+}
+
+/// The paper's §IV-E worked example, reusable by tests, benches and docs.
+pub mod sec4e_example {
+    /// Subtasks per training job (40 epochs × 50 subtasks).
+    pub const N_S: f64 = 2000.0;
+    /// Client instances.
+    pub const N_C: f64 = 5.0;
+    /// Simultaneous subtasks per client.
+    pub const N_TC: f64 = 2.0;
+    /// Timeout, seconds (5 minutes).
+    pub const T_O: f64 = 300.0;
+
+    /// Waves of subtasks that can each accrue a timeout:
+    /// `n = n_s / (n_c × n_tc)` = 200.
+    pub fn n_waves() -> f64 {
+        N_S / (N_C * N_TC)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_never_preempts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(PreemptionModel::None.draw_preemption(1e6, &mut rng), None);
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_matches_p() {
+        let m = PreemptionModel::BernoulliPerSubtask { p: 0.2 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let hits = (0..n)
+            .filter(|_| m.draw_preemption(100.0, &mut rng).is_some())
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn bernoulli_kill_point_inside_duration() {
+        let m = PreemptionModel::BernoulliPerSubtask { p: 1.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let at = m.draw_preemption(60.0, &mut rng).unwrap();
+            assert!((0.0..60.0).contains(&at));
+        }
+    }
+
+    #[test]
+    fn exponential_rate_matches_closed_form() {
+        // P(kill within d) = 1 - exp(-d / mean).
+        let mean_h = 2.0;
+        let m = PreemptionModel::ExponentialLifetime { mean_hours: mean_h };
+        let d = 3600.0; // one hour
+        let expect = 1.0 - (-0.5f64).exp();
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let hits = (0..n)
+            .filter(|_| m.draw_preemption(d, &mut rng).is_some())
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - expect).abs() < 0.01, "rate {rate} vs {expect}");
+    }
+
+    #[test]
+    fn paper_expectation_values() {
+        // §IV-E: with p = 0.05 the expected increase is 50 minutes; with
+        // p = 0.20 it is 200 minutes.
+        use sec4e_example::*;
+        let n = n_waves();
+        assert_eq!(n, 200.0);
+        let e05 = PreemptionModel::expected_extra_s(n, 0.05, T_O) / 60.0;
+        let e20 = PreemptionModel::expected_extra_s(n, 0.20, T_O) / 60.0;
+        assert!((e05 - 50.0).abs() < 1e-9, "{e05}");
+        assert!((e20 - 200.0).abs() < 1e-9, "{e20}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn rejects_bad_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        PreemptionModel::BernoulliPerSubtask { p: 1.5 }.draw_preemption(1.0, &mut rng);
+    }
+}

@@ -1,0 +1,471 @@
+//! Rayon-parallel linear algebra and convolution transforms.
+//!
+//! The hot kernels of the DL substrate live here:
+//!
+//! * [`matmul`] — blocked, row-parallel matrix multiplication. Client
+//!   training in the simulated fleet runs many models concurrently via
+//!   rayon's work stealing, so the kernel parallelizes over output rows
+//!   (cheap to split, no synchronization) rather than using nested
+//!   parallelism.
+//! * [`im2col`] / [`col2im`] — the standard lowering of 2-D convolution to
+//!   matmul, used by `vc_nn::Conv2d` forward and backward passes.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Threshold (in output elements) below which matmul runs serially; spawning
+/// rayon tasks for tiny matrices costs more than the multiply.
+const PAR_THRESHOLD: usize = 64 * 64;
+
+/// Matrix multiplication `[m,k] x [k,n] -> [m,n]`.
+///
+/// Parallelizes over rows of the output when the problem is large enough.
+/// The inner loop is written `i-k-j` so the innermost accesses are contiguous
+/// in both `b` and the output row, which lets LLVM vectorize it.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert!(
+        a.shape().matmul_compatible(b.shape()),
+        "matmul shape mismatch: {} x {}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+
+    let row_kernel = |i: usize, out_row: &mut [f32]| {
+        for p in 0..k {
+            let aik = ad[i * k + p];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(brow) {
+                *o += aik * bv;
+            }
+        }
+    };
+
+    if m * n >= PAR_THRESHOLD && m > 1 {
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| row_kernel(i, row));
+    } else {
+        for (i, row) in out.chunks_mut(n).enumerate() {
+            row_kernel(i, row);
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `a^T x b` without materializing the transpose: `[k,m]^T x [k,n] -> [m,n]`.
+/// Used by dense-layer weight gradients (`dW = x^T · dy`).
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2);
+    assert_eq!(b.shape().rank(), 2);
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_at_b inner dims {k} vs {k2}");
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    // out[i][j] = sum_p a[p][i] * b[p][j]; accumulate row-by-row of a/b so
+    // every pass is contiguous.
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `a x b^T`: `[m,k] x [n,k]^T -> [m,n]`. Used by dense-layer input
+/// gradients (`dx = dy · W^T`).
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2);
+    assert_eq!(b.shape().rank(), 2);
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, k2) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_a_bt inner dims {k} vs {k2}");
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    let kernel = |i: usize, orow: &mut [f32]| {
+        let arow = &ad[i * k..(i + 1) * k];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    };
+    if m * n >= PAR_THRESHOLD && m > 1 {
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| kernel(i, row));
+    } else {
+        for (i, row) in out.chunks_mut(n).enumerate() {
+            kernel(i, row);
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Geometry of a 2-D convolution / pooling window over an input plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Input height and width.
+    pub h: usize,
+    pub w: usize,
+    /// Kernel height and width.
+    pub kh: usize,
+    pub kw: usize,
+    /// Stride along both axes.
+    pub stride: usize,
+    /// Symmetric zero padding along both axes.
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output height after convolving.
+    pub fn out_h(&self) -> usize {
+        (self.h + 2 * self.pad - self.kh) / self.stride + 1
+    }
+
+    /// Output width after convolving.
+    pub fn out_w(&self) -> usize {
+        (self.w + 2 * self.pad - self.kw) / self.stride + 1
+    }
+
+    /// Validates the geometry (kernel fits in the padded input).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.stride == 0 {
+            return Err("stride must be positive".into());
+        }
+        if self.h + 2 * self.pad < self.kh || self.w + 2 * self.pad < self.kw {
+            return Err(format!(
+                "kernel {}x{} larger than padded input {}x{}",
+                self.kh,
+                self.kw,
+                self.h + 2 * self.pad,
+                self.w + 2 * self.pad
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Lowers an input image batch `[batch, ch, h, w]` to a matrix
+/// `[batch * out_h * out_w, ch * kh * kw]` so convolution becomes a matmul
+/// against the reshaped kernel.
+pub fn im2col(input: &Tensor, ch: usize, geom: ConvGeom) -> Tensor {
+    let dims = input.dims();
+    assert_eq!(dims.len(), 4, "im2col expects [batch, ch, h, w]");
+    let (batch, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert_eq!(c, ch);
+    assert_eq!(h, geom.h);
+    assert_eq!(w, geom.w);
+    geom.validate().expect("invalid conv geometry");
+
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let patch = ch * geom.kh * geom.kw;
+    let rows = batch * oh * ow;
+    let mut out = vec![0.0f32; rows * patch];
+    let data = input.data();
+
+    let fill_row = |row_idx: usize, dst: &mut [f32]| {
+        let b = row_idx / (oh * ow);
+        let rest = row_idx % (oh * ow);
+        let oy = rest / ow;
+        let ox = rest % ow;
+        let iy0 = (oy * geom.stride) as isize - geom.pad as isize;
+        let ix0 = (ox * geom.stride) as isize - geom.pad as isize;
+        let mut k = 0;
+        for c in 0..ch {
+            let plane = &data[(b * ch + c) * h * w..(b * ch + c + 1) * h * w];
+            for ky in 0..geom.kh {
+                let iy = iy0 + ky as isize;
+                for kx in 0..geom.kw {
+                    let ix = ix0 + kx as isize;
+                    dst[k] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                        plane[iy as usize * w + ix as usize]
+                    } else {
+                        0.0
+                    };
+                    k += 1;
+                }
+            }
+        }
+    };
+
+    if rows * patch >= PAR_THRESHOLD {
+        out.par_chunks_mut(patch)
+            .enumerate()
+            .for_each(|(i, dst)| fill_row(i, dst));
+    } else {
+        for (i, dst) in out.chunks_mut(patch).enumerate() {
+            fill_row(i, dst);
+        }
+    }
+    Tensor::from_vec(out, &[rows, patch])
+}
+
+/// The adjoint of [`im2col`]: scatters a column matrix back onto an image
+/// batch of shape `[batch, ch, h, w]`, summing overlapping contributions.
+/// Used to compute input gradients of convolutions.
+pub fn col2im(cols: &Tensor, batch: usize, ch: usize, geom: ConvGeom) -> Tensor {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let patch = ch * geom.kh * geom.kw;
+    assert_eq!(cols.dims(), &[batch * oh * ow, patch], "col2im shape");
+    let (h, w) = (geom.h, geom.w);
+    let mut out = vec![0.0f32; batch * ch * h * w];
+    let data = cols.data();
+
+    // Scatter is a reduction into the output image, so parallelize over the
+    // batch axis: rows of a given image never collide with another image's.
+    let per_image = |b: usize, img: &mut [f32]| {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (b * oh + oy) * ow + ox;
+                let src = &data[row * patch..(row + 1) * patch];
+                let iy0 = (oy * geom.stride) as isize - geom.pad as isize;
+                let ix0 = (ox * geom.stride) as isize - geom.pad as isize;
+                let mut k = 0;
+                for c in 0..ch {
+                    for ky in 0..geom.kh {
+                        let iy = iy0 + ky as isize;
+                        for kx in 0..geom.kw {
+                            let ix = ix0 + kx as isize;
+                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                img[(c * h + iy as usize) * w + ix as usize] += src[k];
+                            }
+                            k += 1;
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    if batch > 1 && batch * ch * h * w >= PAR_THRESHOLD {
+        out.par_chunks_mut(ch * h * w)
+            .enumerate()
+            .for_each(|(b, img)| per_image(b, img));
+    } else {
+        for (b, img) in out.chunks_mut(ch * h * w).enumerate() {
+            per_image(b, img);
+        }
+    }
+    Tensor::from_vec(out, &[batch, ch, h, w])
+}
+
+/// Reference (naive, serial) matmul used by tests to validate the parallel
+/// kernels.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a.data()[i * k + p] * b.data()[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::NormalSampler;
+    use crate::{approx_eq, TEST_EPS};
+
+    fn randt(dims: &[usize], seed: u64) -> Tensor {
+        let mut s = NormalSampler::seed_from(seed);
+        Tensor::randn(dims, 0.0, 1.0, &mut s)
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = randt(&[5, 5], 1);
+        let mut eye = Tensor::zeros(&[5, 5]);
+        for i in 0..5 {
+            *eye.at_mut(&[i, i]) = 1.0;
+        }
+        assert!(approx_eq(&matmul(&a, &eye), &a, TEST_EPS));
+        assert!(approx_eq(&matmul(&eye, &a), &a, TEST_EPS));
+    }
+
+    #[test]
+    fn parallel_matches_naive_large() {
+        let a = randt(&[130, 70], 2);
+        let b = randt(&[70, 90], 3);
+        assert!(approx_eq(&matmul(&a, &b), &matmul_naive(&a, &b), 1e-3));
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = randt(&[40, 17], 4);
+        let b = randt(&[40, 23], 5);
+        let via_t = matmul(&a.transpose(), &b);
+        assert!(approx_eq(&matmul_at_b(&a, &b), &via_t, 1e-3));
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = randt(&[40, 17], 6);
+        let b = randt(&[23, 17], 7);
+        let via_t = matmul(&a, &b.transpose());
+        assert!(approx_eq(&matmul_a_bt(&a, &b), &via_t, 1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_mismatch() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[2, 3]));
+    }
+
+    #[test]
+    fn conv_geom_output_dims() {
+        let g = ConvGeom {
+            h: 16,
+            w: 16,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        assert_eq!((g.out_h(), g.out_w()), (16, 16));
+        let g2 = ConvGeom { stride: 2, ..g };
+        assert_eq!((g2.out_h(), g2.out_w()), (8, 8));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn conv_geom_rejects_oversized_kernel() {
+        let g = ConvGeom {
+            h: 2,
+            w: 2,
+            kh: 5,
+            kw: 5,
+            stride: 1,
+            pad: 0,
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel_1x1() {
+        // A 1x1 kernel with stride 1 and no padding is a pure reshuffle.
+        let input = randt(&[2, 3, 4, 4], 8);
+        let g = ConvGeom {
+            h: 4,
+            w: 4,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let cols = im2col(&input, 3, g);
+        assert_eq!(cols.dims(), &[2 * 16, 3]);
+        // Element [b, c, y, x] must appear at cols[(b*16 + y*4 + x), c].
+        assert_eq!(cols.at(&[0, 0]), input.at(&[0, 0, 0, 0]));
+        assert_eq!(cols.at(&[5, 2]), input.at(&[0, 2, 1, 1]));
+        assert_eq!(cols.at(&[16 + 3, 1]), input.at(&[1, 1, 0, 3]));
+    }
+
+    #[test]
+    fn im2col_padding_zeroes_border() {
+        let input = Tensor::ones(&[1, 1, 2, 2]);
+        let g = ConvGeom {
+            h: 2,
+            w: 2,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let cols = im2col(&input, 1, g);
+        assert_eq!(cols.dims(), &[4, 9]);
+        // Top-left output position: only the bottom-right 2x2 of the kernel
+        // overlaps real pixels.
+        let row0: Vec<f32> = cols.data()[0..9].to_vec();
+        assert_eq!(row0, vec![0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for arbitrary x, y: the defining
+        // property of an adjoint pair, which is exactly what backprop needs.
+        let g = ConvGeom {
+            h: 5,
+            w: 4,
+            kh: 3,
+            kw: 2,
+            stride: 1,
+            pad: 1,
+        };
+        let x = randt(&[2, 3, 5, 4], 9);
+        let cols_shape = [2 * g.out_h() * g.out_w(), 3 * g.kh * g.kw];
+        let y = randt(&cols_shape, 10);
+        let lhs: f32 = im2col(&x, 3, g)
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .data()
+            .iter()
+            .zip(col2im(&y, 2, 3, g).data())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_via_im2col_matches_direct() {
+        // Convolve a single 3x3 input with a single 2x2 kernel by hand and
+        // via the im2col-matmul lowering.
+        let input = Tensor::from_vec((1..=9).map(|x| x as f32).collect(), &[1, 1, 3, 3]);
+        let kernel = Tensor::from_vec(vec![1.0, 0.0, 0.0, -1.0], &[1, 4]); // [out_ch, ch*kh*kw]
+        let g = ConvGeom {
+            h: 3,
+            w: 3,
+            kh: 2,
+            kw: 2,
+            stride: 1,
+            pad: 0,
+        };
+        let cols = im2col(&input, 1, g);
+        let out = matmul_a_bt(&cols, &kernel); // [4, 1]
+        // direct: out[y][x] = in[y][x] - in[y+1][x+1]
+        let expect = [1.0 - 5.0, 2.0 - 6.0, 4.0 - 8.0, 5.0 - 9.0];
+        for (o, e) in out.data().iter().zip(expect) {
+            assert!((o - e).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Dynamic tensor shapes.
+//!
+//! A [`Shape`] is an ordered list of dimension extents. All tensors in the
+//! workspace are stored row-major (C order), so the last axis is contiguous.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a [`crate::Tensor`]: a small vector of dimension extents.
+///
+/// A rank-0 shape (no dims) denotes a scalar with exactly one element, which
+/// keeps reductions like `sum()` composable.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Builds a shape from dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Extent of axis `i`. Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides, in elements. The last axis has stride 1.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-index. Panics on rank mismatch or an
+    /// out-of-range coordinate (in debug builds).
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.0.len(),
+            "index rank {} does not match shape rank {}",
+            index.len(),
+            self.0.len()
+        );
+        let mut off = 0;
+        let strides = self.strides();
+        for (i, (&ix, &stride)) in index.iter().zip(&strides).enumerate() {
+            debug_assert!(ix < self.0[i], "index {ix} out of range for axis {i}");
+            off += ix * stride;
+        }
+        off
+    }
+
+    /// True when the two shapes describe matrices that can be multiplied
+    /// (`self` is `[m, k]`, `other` is `[k, n]`).
+    pub fn matmul_compatible(&self, other: &Shape) -> bool {
+        self.rank() == 2 && other.rank() == 2 && self.dim(1) == other.dim(0)
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_of_scalar_is_one() {
+        assert_eq!(Shape::new(&[]).numel(), 1);
+    }
+
+    #[test]
+    fn numel_is_product() {
+        assert_eq!(Shape::new(&[3, 4, 5]).numel(), 60);
+        assert_eq!(Shape::new(&[7]).numel(), 7);
+        assert_eq!(Shape::new(&[2, 0, 4]).numel(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert_eq!(Shape::new(&[]).strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_walks_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[0, 0, 3]), 3);
+        assert_eq!(s.offset(&[0, 1, 0]), 4);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape rank")]
+    fn offset_panics_on_rank_mismatch() {
+        Shape::new(&[2, 3]).offset(&[1]);
+    }
+
+    #[test]
+    fn matmul_compat() {
+        assert!(Shape::new(&[2, 3]).matmul_compatible(&Shape::new(&[3, 4])));
+        assert!(!Shape::new(&[2, 3]).matmul_compatible(&Shape::new(&[2, 4])));
+        assert!(!Shape::new(&[2, 3, 1]).matmul_compatible(&Shape::new(&[3, 4])));
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2x3]");
+        assert_eq!(Shape::new(&[]).to_string(), "[]");
+    }
+}

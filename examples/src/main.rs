@@ -1,0 +1,10 @@
+//! The `vc-examples` package hosts runnable example binaries under
+//! `src/bin/`; this stub binary just lists them.
+
+fn main() {
+    println!("vc-dl examples (run with `cargo run -p vc-examples --bin <name> --release`):");
+    println!("  quickstart          three-client VC-ASGD training in under a minute");
+    println!("  heterogeneous_fleet Table-I fleet with stragglers, timeouts and reassignment");
+    println!("  preemptible_cost    interruption-probability sweep: time inflation and dollars");
+    println!("  alpha_tuning        alpha-schedule sweep with time-to-accuracy reporting");
+}

@@ -1,0 +1,3 @@
+//! `vc-integration` is a test-only crate: the cross-crate integration and
+//! property tests live in `tests/tests/*.rs`. See DESIGN.md §7 for the
+//! testing strategy.

@@ -1,0 +1,184 @@
+//! Failure-injection tests against the middleware state machine: the
+//! §III-B fault-tolerance guarantees under adversarial schedules.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vc_middleware::{
+    BoincServer, FiniteBlobValidator, HostId, MiddlewareConfig, ReportStatus, ValidationVerdict,
+    Validator,
+};
+use vc_simnet::{table1, SimTime};
+
+fn t(s: f64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+fn fleet(n: usize, slots: usize) -> Vec<(vc_simnet::InstanceSpec, usize)> {
+    (0..n).map(|_| (table1::client_8v_2_2(), slots)).collect()
+}
+
+/// Randomized schedule: hosts flap, results arrive or vanish, the clock
+/// jumps — every workunit must still complete exactly once.
+#[test]
+fn every_workunit_completes_exactly_once_under_chaos() {
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut server = BoincServer::new(
+            MiddlewareConfig {
+                timeout_s: 100.0,
+                ..Default::default()
+            },
+            fleet(3, 2),
+        );
+        let wus = 20usize;
+        server.add_epoch(1, wus, 1, t(0.0));
+
+        let mut now = 0.0f64;
+        let mut in_flight: Vec<(vc_middleware::WuId, HostId)> = Vec::new();
+        let mut completions = 0usize;
+        let mut steps = 0;
+        while !server.all_done() {
+            steps += 1;
+            assert!(steps < 50_000, "chaos schedule failed to converge");
+            now += rng.gen_range(1.0..40.0);
+            let now_t = t(now);
+            server.scan_timeouts(now_t);
+            // Random host flaps.
+            if rng.gen_bool(0.05) {
+                let h = HostId(rng.gen_range(0..3));
+                server.preempt_host(h);
+                in_flight.retain(|&(_, host)| host != h);
+            }
+            if rng.gen_bool(0.1) {
+                let h = HostId(rng.gen_range(0..3));
+                server.revive_host(h);
+            }
+            // Hosts poll.
+            for hid in 0..3 {
+                while let Some(a) = server.request_work(HostId(hid), now_t) {
+                    in_flight.push((a.wu.id, HostId(hid)));
+                }
+            }
+            // Some in-flight work finishes; some is silently lost.
+            let mut still = Vec::new();
+            for (wu, host) in in_flight.drain(..) {
+                let roll: f64 = rng.gen();
+                if roll < 0.3 {
+                    if server.report_success(wu, host, now_t) == ReportStatus::Accepted {
+                        completions += 1;
+                    }
+                } else if roll < 0.4 {
+                    // lost forever; the transitioner must recover it
+                } else {
+                    still.push((wu, host));
+                }
+            }
+            in_flight = still;
+        }
+        assert_eq!(completions, wus, "seed {seed}: duplicate or missing completions");
+        let m = server.metrics();
+        assert_eq!(m.completed as usize, wus);
+    }
+}
+
+#[test]
+fn validator_rejects_poisoned_uploads_and_job_recovers() {
+    let validator = FiniteBlobValidator::with_len(4);
+    let mut server = BoincServer::new(MiddlewareConfig::default(), fleet(2, 1));
+    server.add_workunit(1, 0, 1, t(0.0));
+
+    let a = server.request_work(HostId(0), t(0.0)).unwrap();
+
+    // Host 0 uploads NaN-poisoned parameters.
+    let mut blob = Vec::new();
+    blob.extend_from_slice(&0x5643_5031u32.to_le_bytes());
+    blob.extend_from_slice(&4u64.to_le_bytes());
+    for v in [1.0f32, f32::NAN, 0.0, 2.0] {
+        blob.extend_from_slice(&v.to_le_bytes());
+    }
+    let verdict = validator.validate(&blob);
+    assert!(matches!(verdict, ValidationVerdict::Invalid { .. }));
+    server.report_invalid(a.wu.id, HostId(0), t(10.0));
+
+    // The workunit is re-issued; a healthy client completes it.
+    let b = server.request_work(HostId(1), t(10.0)).unwrap();
+    assert_eq!(b.wu.id, a.wu.id);
+    let mut good = Vec::new();
+    good.extend_from_slice(&0x5643_5031u32.to_le_bytes());
+    good.extend_from_slice(&4u64.to_le_bytes());
+    for v in [1.0f32, -1.0, 0.0, 2.0] {
+        good.extend_from_slice(&v.to_le_bytes());
+    }
+    assert!(validator.validate(&good).is_valid());
+    assert_eq!(
+        server.report_success(b.wu.id, HostId(1), t(20.0)),
+        ReportStatus::Accepted
+    );
+    assert!(server.all_done());
+    assert_eq!(server.metrics().invalid_results, 1);
+    // The offending host lost reliability; the healthy one gained standing.
+    assert!(server.hosts()[0].reliability < server.hosts()[1].reliability);
+}
+
+#[test]
+fn total_host_loss_then_recovery() {
+    // Every host dies mid-epoch; after replacements come up, the epoch
+    // still completes.
+    let mut server = BoincServer::new(
+        MiddlewareConfig {
+            timeout_s: 60.0,
+            ..Default::default()
+        },
+        fleet(2, 2),
+    );
+    server.add_epoch(1, 4, 1, t(0.0));
+    let mut assigned = Vec::new();
+    for h in 0..2 {
+        while let Some(a) = server.request_work(HostId(h), t(0.0)) {
+            assigned.push(a);
+        }
+    }
+    assert_eq!(assigned.len(), 4);
+    server.preempt_host(HostId(0));
+    server.preempt_host(HostId(1));
+    // Nothing completes; deadlines pass.
+    assert_eq!(server.scan_timeouts(t(61.0)).len(), 4);
+    // Replacements arrive.
+    server.revive_host(HostId(0));
+    server.revive_host(HostId(1));
+    let mut done = 0;
+    for h in 0..2 {
+        while let Some(a) = server.request_work(HostId(h), t(61.0)) {
+            server.report_success(a.wu.id, HostId(h), t(100.0));
+            done += 1;
+        }
+    }
+    assert_eq!(done, 4);
+    assert!(server.all_done());
+}
+
+#[test]
+fn repeated_timeouts_count_attempts() {
+    let mut server = BoincServer::new(
+        MiddlewareConfig {
+            timeout_s: 10.0,
+            ..Default::default()
+        },
+        fleet(1, 1),
+    );
+    let wu = server.add_workunit(1, 0, 1, t(0.0));
+    let mut now = 0.0;
+    for round in 1..=5u32 {
+        let a = server.request_work(HostId(0), t(now)).unwrap();
+        assert_eq!(a.attempt, round);
+        now += 11.0;
+        assert_eq!(server.scan_timeouts(t(now)).len(), 1);
+    }
+    assert_eq!(server.attempts(wu), 5);
+    assert_eq!(server.metrics().timeouts, 5);
+    // Reliability collapsed to the probe slot but work continues.
+    assert_eq!(server.hosts()[0].effective_slots(), 1);
+    let a = server.request_work(HostId(0), t(now)).unwrap();
+    server.report_success(a.wu.id, HostId(0), t(now + 1.0));
+    assert!(server.all_done());
+}

@@ -1,0 +1,166 @@
+//! Property-based tests (proptest) over the workspace's core invariants.
+
+use proptest::prelude::*;
+use vc_asgd::alpha::{blend_eq1, eq2_closed_form};
+use vc_data::{DataShard, Dataset, ShardSet};
+use vc_kvstore::VersionedStore;
+use vc_simnet::{EventQueue, SimTime};
+use vc_tensor::{decode_f32s, encode_f32s, Tensor};
+
+proptest! {
+    /// Codec: every f32 vector round-trips bit-exactly.
+    #[test]
+    fn codec_roundtrip(values in prop::collection::vec(-1e30f32..1e30, 0..512)) {
+        let blob = encode_f32s(&values);
+        let back = decode_f32s(&blob).unwrap();
+        prop_assert_eq!(back, values);
+    }
+
+    /// Codec: decoding any corrupted prefix fails rather than misreads.
+    #[test]
+    fn codec_truncation_always_errors(
+        values in prop::collection::vec(-1e3f32..1e3, 1..64),
+        cut in 1usize..16,
+    ) {
+        let blob = encode_f32s(&values);
+        let cut = cut.min(blob.len() - 1);
+        prop_assert!(decode_f32s(&blob[..blob.len() - cut]).is_err());
+    }
+
+    /// Eq. (2) is exactly repeated Eq. (1) — the paper's algebra holds for
+    /// arbitrary client parameter values and α.
+    #[test]
+    fn eq1_iterates_to_eq2(
+        w0 in prop::collection::vec(-10.0f32..10.0, 1..32),
+        clients in prop::collection::vec(
+            prop::collection::vec(-10.0f32..10.0, 1..32), 1..12),
+        alpha in 0.01f32..0.999,
+    ) {
+        let n = w0.len();
+        let clients: Vec<Vec<f32>> = clients
+            .into_iter()
+            .map(|mut c| { c.resize(n, 0.0); c })
+            .collect();
+        let mut recursive = w0.clone();
+        for c in &clients {
+            blend_eq1(&mut recursive, c, alpha);
+        }
+        let closed = eq2_closed_form(&w0, &clients, alpha);
+        for (r, c) in recursive.iter().zip(&closed) {
+            prop_assert!((r - c).abs() < 1e-3, "{} vs {}", r, c);
+        }
+    }
+
+    /// VC-ASGD convexity: a blend of values inside [lo, hi] stays inside —
+    /// the server copy can never escape the convex hull of what it has
+    /// seen, for any α sequence.
+    #[test]
+    fn blend_stays_in_convex_hull(
+        start in -5.0f32..5.0,
+        updates in prop::collection::vec((-5.0f32..5.0, 0.0f32..1.0), 1..64),
+    ) {
+        let mut w = vec![start];
+        let mut lo = start;
+        let mut hi = start;
+        for (c, alpha) in updates {
+            blend_eq1(&mut w, &[c], alpha);
+            lo = lo.min(c);
+            hi = hi.max(c);
+            prop_assert!(w[0] >= lo - 1e-4 && w[0] <= hi + 1e-4);
+        }
+    }
+
+    /// Event queue: pops are globally time-ordered regardless of insertion
+    /// order, and ties preserve insertion order.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0.0f64..1e6, 1..256)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i);
+        }
+        let mut prev_t = f64::NEG_INFINITY;
+        let mut prev_seq_at_t = 0usize;
+        while let Some((t, seq)) = q.pop() {
+            prop_assert!(t.as_secs() >= prev_t);
+            if t.as_secs() == prev_t {
+                prop_assert!(seq > prev_seq_at_t, "tie broke insertion order");
+            }
+            prev_t = t.as_secs();
+            prev_seq_at_t = seq;
+        }
+    }
+
+    /// Shard split: a partition (every sample exactly once, sizes within
+    /// one), and encode/decode round-trips.
+    #[test]
+    fn shard_split_partitions(n in 10usize..200, k in 1usize..10) {
+        let k = k.min(n);
+        let images = Tensor::zeros(&[n, 1, 2, 2]);
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let ds = Dataset::new(images, labels, 3);
+        let set = ShardSet::split(&ds, k);
+        prop_assert_eq!(set.total_samples(), n);
+        let sizes: Vec<usize> = set.iter().map(|s| s.data.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+        let blob = set.shard(0).encode();
+        prop_assert_eq!(&DataShard::decode(&blob).unwrap(), set.shard(0));
+    }
+
+    /// KV store versions increase strictly monotonically per key under any
+    /// interleaving of the three write paths.
+    #[test]
+    fn store_versions_monotone(ops in prop::collection::vec(0u8..3, 1..64)) {
+        let store = VersionedStore::new();
+        let mut last = 0u64;
+        for op in ops {
+            let v = match op {
+                0 => store.put("k", bytes::Bytes::from_static(b"x")),
+                1 => {
+                    let (_, seen) = store.get("k");
+                    store.put_versioned("k", seen, bytes::Bytes::from_static(b"y")).new_version
+                }
+                _ => store.transact("k", |c, _| (c.clone(), ())).0,
+            };
+            prop_assert!(v > last, "version went {} -> {}", last, v);
+            last = v;
+        }
+    }
+
+    /// Tensor algebra: (a + b) - b == a elementwise within tolerance, and
+    /// scale distributes over add.
+    #[test]
+    fn tensor_add_sub_inverse(
+        a in prop::collection::vec(-1e3f32..1e3, 1..64),
+        b in prop::collection::vec(-1e3f32..1e3, 1..64),
+        s in -10.0f32..10.0,
+    ) {
+        let n = a.len().min(b.len());
+        let ta = Tensor::from_vec(a[..n].to_vec(), &[n]);
+        let tb = Tensor::from_vec(b[..n].to_vec(), &[n]);
+        let roundtrip = ta.add(&tb).sub(&tb);
+        for (x, y) in roundtrip.data().iter().zip(ta.data()) {
+            prop_assert!((x - y).abs() <= 1e-1 + y.abs() * 1e-5);
+        }
+        let lhs = ta.add(&tb).scale(s);
+        let rhs = ta.scale(s).add(&tb.scale(s));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() <= 1e-2 + x.abs().max(y.abs()) * 1e-4);
+        }
+    }
+
+    /// Matmul distributes over addition: A(B + C) == AB + AC.
+    #[test]
+    fn matmul_distributes(seed in 0u64..1000) {
+        use vc_tensor::ops::matmul;
+        use vc_tensor::NormalSampler;
+        let mut s = NormalSampler::seed_from(seed);
+        let a = Tensor::randn(&[4, 5], 0.0, 1.0, &mut s);
+        let b = Tensor::randn(&[5, 3], 0.0, 1.0, &mut s);
+        let c = Tensor::randn(&[5, 3], 0.0, 1.0, &mut s);
+        let lhs = matmul(&a, &b.add(&c));
+        let rhs = matmul(&a, &b).add(&matmul(&a, &c));
+        prop_assert!(vc_tensor::approx_eq(&lhs, &rhs, 1e-3));
+    }
+}
