@@ -66,12 +66,7 @@ pub fn run_dcasgd(cfg: &DcAsgdConfig) -> AsyncCurve {
         // One mini-batch gradient at the stale copy.
         let data = &env.client_data[c];
         let bs = cfg.batch_size.min(data.len());
-        let idx: Vec<usize> = (0..bs)
-            .map(|k| {
-                let i = (cursors[c] + k) % data.len();
-                i
-            })
-            .collect();
+        let idx: Vec<usize> = (0..bs).map(|k| (cursors[c] + k) % data.len()).collect();
         cursors[c] = (cursors[c] + bs) % data.len();
         let _ = &mut rngs[c]; // reserved for future stochastic batch picks
         let sub = data.select(&idx);

@@ -148,7 +148,12 @@ impl AsyncEnv {
     /// Validation accuracy of a parameter vector.
     pub fn score(&mut self, params: &[f32]) -> f32 {
         self.eval_model.set_params_flat(params);
-        let (_, acc) = evaluate(&mut self.eval_model, &self.val.images, &self.val.labels, 256);
+        let (_, acc) = evaluate(
+            &mut self.eval_model,
+            &self.val.images,
+            &self.val.labels,
+            256,
+        );
         acc
     }
 
@@ -179,7 +184,7 @@ mod tests {
     fn fast_clients_sampled_more() {
         let cfg = AsyncEnvConfig::small(2);
         let mut env = cfg.build();
-        let mut counts = vec![0usize; 4];
+        let mut counts = [0usize; 4];
         for _ in 0..4000 {
             counts[env.sample_client()] += 1;
         }

@@ -56,8 +56,7 @@ impl SerialConfig {
     /// shards' subtasks executed back-to-back on this instance, sped up by
     /// the intra-op parallelism a dedicated box sustains.
     pub fn epoch_duration_s(&self, shards_equivalent: usize) -> f64 {
-        let per_subtask =
-            self.compute.base_subtask_s / self.instance.core_speed();
+        let per_subtask = self.compute.base_subtask_s / self.instance.core_speed();
         shards_equivalent as f64 * per_subtask / self.effective_cores
     }
 }

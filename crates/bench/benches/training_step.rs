@@ -25,7 +25,9 @@ fn bench_subtask(c: &mut Criterion) {
             let mut opt = OptimizerSpec::paper_adam().build(init.len());
             let mut rng = StdRng::seed_from_u64(3);
             let d = &shards.shard(0).data;
-            train_minibatch(&mut model, &mut opt, &d.images, &d.labels, 32, 2, 5.0, &mut rng);
+            train_minibatch(
+                &mut model, &mut opt, &d.images, &d.labels, 32, 2, 5.0, &mut rng,
+            );
             model.params_flat()
         });
     });
@@ -39,7 +41,9 @@ fn bench_subtask(c: &mut Criterion) {
             let mut opt = OptimizerSpec::paper_adam().build(mlp_init.len());
             let mut rng = StdRng::seed_from_u64(3);
             let d = &shards.shard(0).data;
-            train_minibatch(&mut model, &mut opt, &d.images, &d.labels, 32, 2, 5.0, &mut rng);
+            train_minibatch(
+                &mut model, &mut opt, &d.images, &d.labels, 32, 2, 5.0, &mut rng,
+            );
             model.params_flat()
         });
     });

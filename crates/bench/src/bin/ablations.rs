@@ -29,7 +29,10 @@ fn base() -> JobConfig {
 fn main() {
     // --- Sticky files ---------------------------------------------------
     println!("Ablation 1: sticky-file caching (bytes over the network)");
-    println!("{:<10} {:>12} {:>12} {:>10}", "sticky", "GB moved", "cache hits", "hours");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "sticky", "GB moved", "cache hits", "hours"
+    );
     for sticky in [true, false] {
         let mut cfg = base();
         cfg.middleware.sticky_files = sticky;
@@ -45,7 +48,10 @@ fn main() {
 
     // --- Timeout sensitivity --------------------------------------------
     println!("\nAblation 2: timeout t_o under a 10% preemption storm");
-    println!("{:<12} {:>10} {:>10} {:>12} {:>10}", "t_o (min)", "hours", "timeouts", "reassigned", "stale");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>10}",
+        "t_o (min)", "hours", "timeouts", "reassigned", "stale"
+    );
     for to_min in [1.5, 5.0, 15.0, 45.0] {
         let mut cfg = base();
         cfg.preemption = PreemptionModel::BernoulliPerSubtask { p: 0.10 };
@@ -63,7 +69,10 @@ fn main() {
 
     // --- Consistency × Pn -------------------------------------------------
     println!("\nAblation 3: consistency mode as parameter servers scale");
-    println!("{:<10} {:>4} {:>10} {:>14}", "mode", "Pn", "hours", "lost updates");
+    println!(
+        "{:<10} {:>4} {:>10} {:>14}",
+        "mode", "Pn", "hours", "lost updates"
+    );
     for pn in [1usize, 3, 5, 8] {
         for mode in [Consistency::Eventual, Consistency::Strong] {
             let mut cfg = base().with_pct(pn, 3, 4);
@@ -86,12 +95,18 @@ fn main() {
         let mut cfg = base().with_pct(5, 5, 2);
         cfg.fleet = fleet;
         let r = run_job(cfg).unwrap();
-        println!("{:<10} {:>10.2} {:>10}", name, r.total_time_h, r.server_metrics.timeouts);
+        println!(
+            "{:<10} {:>10.2} {:>10}",
+            name, r.total_time_h, r.server_metrics.timeouts
+        );
     }
 
     // --- Replication under preemption --------------------------------------
     println!("\nAblation 5: workunit replication under a 20% preemption storm (P3C4T2)");
-    println!("{:<12} {:>10} {:>10} {:>12}", "replication", "hours", "timeouts", "assignments");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12}",
+        "replication", "hours", "timeouts", "assignments"
+    );
     for replication in [1u32, 2, 3] {
         let mut cfg = base().with_pct(3, 4, 2);
         cfg.preemption = PreemptionModel::BernoulliPerSubtask { p: 0.20 };

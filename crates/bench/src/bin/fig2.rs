@@ -32,7 +32,12 @@ fn main() {
     println!("Figure 2 summary (alpha = 0.95, {epochs} epochs):");
     println!("{:<10} {:>10} {:>11}", "config", "final acc", "total hours");
     for (label, r) in &runs {
-        println!("{:<10} {:>10.3} {:>11.2}", label, r.final_mean_acc(), r.total_time_h);
+        println!(
+            "{:<10} {:>10.3} {:>11.2}",
+            label,
+            r.final_mean_acc(),
+            r.total_time_h
+        );
     }
     write_results("fig2.csv", &runs_to_csv(&runs));
 }

@@ -46,8 +46,7 @@ fn main() {
         Some(r) => r,
         None => {
             eprintln!("# results/fig4.csv missing — running fig4's sweep first");
-            let status = std::process::Command::new(std::env::current_exe().unwrap())
-                .status();
+            let status = std::process::Command::new(std::env::current_exe().unwrap()).status();
             let _ = status; // self-exec would loop; instruct instead
             eprintln!("# run `cargo run -p vc-bench --bin fig4 --release` and retry");
             std::process::exit(2);

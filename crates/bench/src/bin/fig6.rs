@@ -32,7 +32,10 @@ fn main() {
     let serial = run_serial(&scfg);
 
     println!("Figure 6: distributed (P5C5T2, Var) vs single-instance serial");
-    println!("{:<12} {:>8} {:>10} {:>10}", "curve", "hours", "val acc", "test acc");
+    println!(
+        "{:<12} {:>8} {:>10} {:>10}",
+        "curve", "hours", "val acc", "test acc"
+    );
     for e in &dist.epochs {
         println!(
             "{:<12} {:>8.2} {:>10.3} {:>10}",
@@ -54,7 +57,9 @@ fn main() {
     let t = dist.total_time_h;
     let serial_at = serial.val_acc_at_hours(t).unwrap_or(0.0);
     let dist_final = dist.final_mean_acc();
-    println!("\nAt {t:.1} h: serial {serial_at:.3} vs distributed {dist_final:.3} (paper: 0.82 vs 0.73)");
+    println!(
+        "\nAt {t:.1} h: serial {serial_at:.3} vs distributed {dist_final:.3} (paper: 0.82 vs 0.73)"
+    );
 
     // Smoothness: mean absolute epoch-to-epoch change of validation
     // accuracy (the paper's third observation — distributed is smoother).

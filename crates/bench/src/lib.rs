@@ -29,7 +29,10 @@ pub fn repro_epochs() -> usize {
             return n.max(1);
         }
     }
-    if std::env::var("REPRO_FAST").map(|v| v == "1").unwrap_or(false) {
+    if std::env::var("REPRO_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         12
     } else {
         40
@@ -82,7 +85,10 @@ pub fn runs_to_csv(runs: &[(String, JobReport)]) -> String {
 /// Prints an epoch table for one run, paper-style.
 pub fn print_run(label: &str, report: &JobReport) {
     println!("## {label}");
-    println!("{:>5} {:>7} {:>8} {:>7} {:>7} {:>7}", "epoch", "alpha", "hours", "mean", "min", "max");
+    println!(
+        "{:>5} {:>7} {:>8} {:>7} {:>7} {:>7}",
+        "epoch", "alpha", "hours", "mean", "min", "max"
+    );
     for e in &report.epochs {
         println!(
             "{:>5} {:>7.3} {:>8.3} {:>7.3} {:>7.3} {:>7.3}",

@@ -75,10 +75,7 @@ pub fn blend_eq1(w_s: &mut [f32], w_c: &[f32], alpha: f32) {
 /// paper's algebra.
 pub fn eq2_closed_form(w_start: &[f32], w_cs: &[Vec<f32>], alpha: f32) -> Vec<f32> {
     let n_t = w_cs.len() as i32;
-    let mut out: Vec<f32> = w_start
-        .iter()
-        .map(|&w| alpha.powi(n_t) * w)
-        .collect();
+    let mut out: Vec<f32> = w_start.iter().map(|&w| alpha.powi(n_t) * w).collect();
     // Client j (1-based arrival order) contributes (1-α)·α^(n_t - j).
     for (j, wc) in w_cs.iter().enumerate() {
         let coeff = (1.0 - alpha) * alpha.powi(n_t - 1 - j as i32);

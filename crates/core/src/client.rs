@@ -1,0 +1,147 @@
+//! The client-side compute step, shared by the discrete-event simulator
+//! ([`crate::job`]) and the real multi-threaded runtime (`vc-runtime`).
+//!
+//! A BOINC client that receives a workunit does exactly one thing: load the
+//! shipped parameter snapshot into a model replica, run `local_epochs`
+//! passes of minibatch SGD over its shard, and upload the replica's
+//! parameters. Both execution substrates must perform this step
+//! *identically* — same model build, same optimizer state, same RNG stream
+//! per `(seed, epoch, shard)` — so that a simulated run and a real threaded
+//! run differ only in scheduling, never in the learning dynamics of an
+//! individual subtask.
+
+use crate::config::JobConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vc_data::Dataset;
+use vc_optim::train_minibatch;
+
+/// The RNG stream a client replica uses for `(epoch, shard)`. Deterministic
+/// per `(seed, epoch, shard)` — a reassigned subtask reproduces the same
+/// result, like re-running the same workunit payload.
+pub fn client_rng(seed: u64, epoch: usize, shard: usize) -> StdRng {
+    StdRng::seed_from_u64(
+        seed.wrapping_mul(0x100_0193)
+            .wrapping_add((epoch * 1_000_003 + shard) as u64),
+    )
+}
+
+/// Trains one client replica: start from `snapshot`, run
+/// `cfg.local_epochs` over the shard's `data`, return the replica's
+/// parameters (the payload the client uploads).
+pub fn train_client_replica(
+    cfg: &JobConfig,
+    snapshot: &[f32],
+    data: &Dataset,
+    epoch: usize,
+    shard: usize,
+) -> Vec<f32> {
+    let mut model = cfg.model.build(cfg.seed);
+    model.set_params_flat(snapshot);
+    let mut opt = cfg.optimizer.build(snapshot.len());
+    let mut rng = client_rng(cfg.seed, epoch, shard);
+    train_minibatch(
+        &mut model,
+        &mut opt,
+        &data.images,
+        &data.labels,
+        cfg.batch_size,
+        cfg.local_epochs,
+        5.0,
+        &mut rng,
+    );
+    model.params_flat()
+}
+
+/// Client-side result sanity check: a diverged replica (NaN/Inf anywhere in
+/// the parameter vector) uploads anyway and the server-side validator
+/// rejects it — this predicate is that validator's criterion.
+pub fn result_is_valid(params: &[f32]) -> bool {
+    params.iter().all(|v| v.is_finite())
+}
+
+/// Runs the configured warm-start epochs (§II-B): serial synchronous passes
+/// over all shards starting from `init`, returning the warmed parameters.
+/// Returns `None` when no warm start is configured.
+pub fn warm_start_params(
+    cfg: &JobConfig,
+    shards: &vc_data::ShardSet,
+    init: &[f32],
+) -> Option<Vec<f32>> {
+    if cfg.warm_start_epochs == 0 {
+        return None;
+    }
+    let mut model = cfg.model.build(cfg.seed);
+    model.set_params_flat(init);
+    let mut opt = cfg.optimizer.build(init.len());
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xDA7A));
+    // The serial phase sees the full training set, shard by shard.
+    for _ in 0..cfg.warm_start_epochs {
+        for shard in 0..cfg.shards {
+            let d = &shards.shard(shard).data;
+            train_minibatch(
+                &mut model,
+                &mut opt,
+                &d.images,
+                &d.labels,
+                cfg.batch_size,
+                1,
+                5.0,
+                &mut rng,
+            );
+        }
+    }
+    Some(model.params_flat())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_data::ShardSet;
+
+    #[test]
+    fn replica_training_is_deterministic() {
+        let cfg = JobConfig::test_small(11);
+        let (train, _, _) = cfg.data.generate();
+        let shards = ShardSet::split(&train, cfg.shards);
+        let init = cfg.model.build(cfg.seed).params_flat();
+        let a = train_client_replica(&cfg, &init, &shards.shard(3).data, 2, 3);
+        let b = train_client_replica(&cfg, &init, &shards.shard(3).data, 2, 3);
+        assert_eq!(a, b, "same (seed, epoch, shard) must reproduce exactly");
+        // A different shard draws a different RNG stream.
+        let c = train_client_replica(&cfg, &init, &shards.shard(3).data, 2, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn training_moves_parameters() {
+        let cfg = JobConfig::test_small(12);
+        let (train, _, _) = cfg.data.generate();
+        let shards = ShardSet::split(&train, cfg.shards);
+        let init = cfg.model.build(cfg.seed).params_flat();
+        let out = train_client_replica(&cfg, &init, &shards.shard(0).data, 1, 0);
+        assert_eq!(out.len(), init.len());
+        assert!(out != init, "SGD must move the replica off the snapshot");
+        assert!(result_is_valid(&out));
+    }
+
+    #[test]
+    fn validity_check_catches_divergence() {
+        assert!(result_is_valid(&[0.0, -1.5, 3.0]));
+        assert!(!result_is_valid(&[0.0, f32::NAN]));
+        assert!(!result_is_valid(&[f32::INFINITY]));
+    }
+
+    #[test]
+    fn warm_start_respects_config() {
+        let mut cfg = JobConfig::test_small(13);
+        let (train, _, _) = cfg.data.generate();
+        let shards = ShardSet::split(&train, cfg.shards);
+        let init = cfg.model.build(cfg.seed).params_flat();
+        assert!(warm_start_params(&cfg, &shards, &init).is_none());
+        cfg.warm_start_epochs = 1;
+        let warmed = warm_start_params(&cfg, &shards, &init).unwrap();
+        assert_eq!(warmed.len(), init.len());
+        assert!(warmed != init);
+    }
+}

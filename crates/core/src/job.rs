@@ -22,6 +22,7 @@
 //! validation statistics and generates the next epoch.
 
 use crate::assimilator::VcAsgdAssimilator;
+use crate::client::{result_is_valid, train_client_replica, warm_start_params};
 use crate::config::JobConfig;
 use crate::report::{EpochStats, JobReport};
 use rand::rngs::StdRng;
@@ -33,7 +34,6 @@ use vc_kvstore::{Consistency, VersionedStore};
 use vc_middleware::{BoincServer, HostId, ReportStatus, WuId};
 use vc_nn::metrics::evaluate;
 use vc_nn::Sequential;
-use vc_optim::train_minibatch;
 use vc_simnet::{EventQueue, InstanceSpec, SimTime};
 use vc_tensor::codec::encoded_len;
 
@@ -131,7 +131,7 @@ impl TrainingJob {
             fleet.iter().map(|s| (s.clone(), cfg.tn)).collect(),
         );
 
-        let store = Arc::new(VersionedStore::new());
+        let store = VersionedStore::shared();
         let assim = VcAsgdAssimilator::new(store.clone(), cfg.consistency, cfg.alpha);
 
         let init_model = cfg.model.build(cfg.seed);
@@ -145,9 +145,7 @@ impl TrainingJob {
         let cn = fleet.len();
         Ok(TrainingJob {
             net_rng: StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x2545_F491).wrapping_add(11)),
-            preempt_rng: StdRng::seed_from_u64(
-                cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(13),
-            ),
+            preempt_rng: StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(13)),
             eval_model: init_model,
             shards,
             val,
@@ -185,10 +183,10 @@ impl TrainingJob {
 
         // Kick off epoch 1 and the first round of polls.
         let v = self.store.version(crate::assimilator::PARAMS_KEY);
-        self.server
-            .add_epoch(1, self.cfg.shards, v, SimTime::ZERO);
+        self.server.add_epoch(1, self.cfg.shards, v, SimTime::ZERO);
         for h in 0..self.fleet.len() {
-            self.events.schedule_in(start_at, Ev::Poll(HostId(h as u32)));
+            self.events
+                .schedule_in(start_at, Ev::Poll(HostId(h as u32)));
         }
 
         let mut safety = 0u64;
@@ -283,9 +281,7 @@ impl TrainingJob {
     }
 
     fn on_task_done(&mut self, host: HostId, gen: u32, wu: WuId) {
-        if self.generations[host.0 as usize] != gen
-            || !self.server.hosts()[host.0 as usize].alive
-        {
+        if self.generations[host.0 as usize] != gen || !self.server.hosts()[host.0 as usize].alive {
             return; // the instance died before finishing
         }
         let now = self.events.now();
@@ -294,19 +290,17 @@ impl TrainingJob {
 
         // Client-side sanity: a diverged replica uploads anyway; the
         // server-side validator rejects it (BOINC validator step).
-        let valid = params.iter().all(|v| v.is_finite());
-        if !valid {
+        if !result_is_valid(&params) {
             self.server.report_invalid(wu, host, now);
             self.events.schedule_in(0.0, Ev::Poll(host));
             return;
         }
 
         let spec = &self.fleet[host.0 as usize];
-        let up = self.cfg.network.transfer_s(
-            spec,
-            encoded_len(self.param_count),
-            &mut self.net_rng,
-        );
+        let up =
+            self.cfg
+                .network
+                .transfer_s(spec, encoded_len(self.param_count), &mut self.net_rng);
         self.bytes += encoded_len(self.param_count) as u64;
         self.events
             .schedule_in(up, Ev::UploadDone { host, gen, wu });
@@ -399,8 +393,7 @@ impl TrainingJob {
         let updated = match snapshot {
             Some((snap, version)) => {
                 let (updated, _clobbered) =
-                    self.assim
-                        .commit_eventual(snap, version, &client, epoch);
+                    self.assim.commit_eventual(snap, version, &client, epoch);
                 updated
             }
             None => self.assim.assimilate_strong(&client, epoch),
@@ -440,7 +433,12 @@ impl TrainingJob {
         let test_acc = if self.cfg.track_test_acc && !self.cfg.timing_only {
             let (params, _) = self.assim.read_params();
             self.eval_model.set_params_flat(&params);
-            let (_, t) = evaluate(&mut self.eval_model, &self.test.images, &self.test.labels, 256);
+            let (_, t) = evaluate(
+                &mut self.eval_model,
+                &self.test.images,
+                &self.test.labels,
+                256,
+            );
             Some(t)
         } else {
             None
@@ -459,11 +457,7 @@ impl TrainingJob {
             timeouts: sm.timeouts,
         });
 
-        let reached_target = self
-            .cfg
-            .target_accuracy
-            .map(|t| mean >= t)
-            .unwrap_or(false);
+        let reached_target = self.cfg.target_accuracy.map(|t| mean >= t).unwrap_or(false);
         if reached_target || self.epoch >= self.cfg.epochs {
             self.done = true;
             return;
@@ -523,30 +517,11 @@ impl TrainingJob {
             / server_spec.core_speed()
             / 4.0;
         if !self.cfg.timing_only {
-            let mut model = self.cfg.model.build(self.cfg.seed);
-            model.set_params_flat(self.snapshots.get(&1).expect("seed snapshot"));
-            let mut opt = self.cfg.optimizer.build(self.param_count);
-            let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(0xDA7A));
-            // Rebuild the full training set from the shards (the serial
-            // phase sees everything, §II-B).
-            for _ in 0..self.cfg.warm_start_epochs {
-                for shard in 0..self.cfg.shards {
-                    let d = &self.shards.shard(shard).data;
-                    train_minibatch(
-                        &mut model,
-                        &mut opt,
-                        &d.images,
-                        &d.labels,
-                        self.cfg.batch_size,
-                        1,
-                        5.0,
-                        &mut rng,
-                    );
-                }
+            let init = self.snapshots.get(&1).expect("seed snapshot").clone();
+            if let Some(warmed) = warm_start_params(&self.cfg, &self.shards, &init) {
+                self.assim.seed_params(&warmed);
+                self.snapshots.insert(1, Arc::new(warmed));
             }
-            let warmed = model.params_flat();
-            self.assim.seed_params(&warmed);
-            self.snapshots.insert(1, Arc::new(warmed));
         }
         self.cfg.warm_start_epochs as f64 * epoch_s
     }
@@ -589,27 +564,10 @@ impl TrainingJob {
             self.client_cache.insert((epoch, shard), snapshot.clone());
             return snapshot;
         }
-        let mut model = self.cfg.model.build(self.cfg.seed);
-        model.set_params_flat(&snapshot);
-        let mut opt = self.cfg.optimizer.build(self.param_count);
         let data = &self.shards.shard(shard).data;
-        let mut rng = StdRng::seed_from_u64(
-            self.cfg
-                .seed
-                .wrapping_mul(0x100_0193)
-                .wrapping_add((epoch * 1_000_003 + shard) as u64),
-        );
-        train_minibatch(
-            &mut model,
-            &mut opt,
-            &data.images,
-            &data.labels,
-            self.cfg.batch_size,
-            self.cfg.local_epochs,
-            5.0,
-            &mut rng,
-        );
-        let result = Arc::new(model.params_flat());
+        let result = Arc::new(train_client_replica(
+            &self.cfg, &snapshot, data, epoch, shard,
+        ));
         self.client_cache.insert((epoch, shard), result.clone());
         result
     }
@@ -641,11 +599,7 @@ impl TrainingJob {
             epochs: self.epoch_stats.clone(),
             final_test_acc: final_test,
             final_val_acc: final_val,
-            total_time_h: self
-                .epoch_stats
-                .last()
-                .map(|e| e.end_time_h)
-                .unwrap_or(0.0),
+            total_time_h: self.epoch_stats.last().map(|e| e.end_time_h).unwrap_or(0.0),
             server_metrics: self.server.metrics(),
             bytes_transferred: self.bytes,
             store_ops: self.store.metrics().snapshot(),
@@ -785,8 +739,16 @@ mod tests {
         let r = run_job(JobConfig::test_small(8)).unwrap();
         // At minimum: every assignment downloads a parameter blob and every
         // completion uploads one.
-        let min_bytes = (r.server_metrics.completed * 2) as u64
-            * encoded_len(vc_nn::spec::mlp(&[3, 16, 16], 32, 10).build(1).param_count()) as u64;
-        assert!(r.bytes_transferred >= min_bytes / 2, "{}", r.bytes_transferred);
+        let min_bytes = (r.server_metrics.completed * 2)
+            * encoded_len(
+                vc_nn::spec::mlp(&[3, 16, 16], 32, 10)
+                    .build(1)
+                    .param_count(),
+            ) as u64;
+        assert!(
+            r.bytes_transferred >= min_bytes / 2,
+            "{}",
+            r.bytes_transferred
+        );
     }
 }

@@ -35,12 +35,14 @@
 
 pub mod alpha;
 pub mod assimilator;
+pub mod client;
 pub mod config;
 pub mod job;
 pub mod report;
 
 pub use alpha::AlphaSchedule;
 pub use assimilator::VcAsgdAssimilator;
+pub use client::{result_is_valid, train_client_replica, warm_start_params};
 pub use config::{FleetKind, JobConfig};
 pub use job::TrainingJob;
 pub use report::{EpochStats, JobReport};

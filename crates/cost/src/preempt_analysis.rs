@@ -109,9 +109,7 @@ mod tests {
     fn expected_time_is_base_plus_extra() {
         let a = TimeoutAnalysis::paper_p5c5t2();
         let p = 0.1;
-        assert!(
-            (a.expected_time_s(p) - (a.base_time_s() + a.expected_extra_s(p))).abs() < 1e-9
-        );
+        assert!((a.expected_time_s(p) - (a.base_time_s() + a.expected_extra_s(p))).abs() < 1e-9);
     }
 
     #[test]

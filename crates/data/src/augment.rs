@@ -60,12 +60,12 @@ impl Augment {
                         let sx_pre = if flip { w - 1 - x } else { x };
                         let sy = y as isize + dy;
                         let sx = sx_pre as isize + dx;
-                        dst[y * w + x] =
-                            if sy >= 0 && sy < h as isize && sx >= 0 && sx < w as isize {
-                                plane[sy as usize * w + sx as usize]
-                            } else {
-                                0.0
-                            };
+                        dst[y * w + x] = if sy >= 0 && sy < h as isize && sx >= 0 && sx < w as isize
+                        {
+                            plane[sy as usize * w + sx as usize]
+                        } else {
+                            0.0
+                        };
                     }
                 }
             }

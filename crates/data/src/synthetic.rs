@@ -76,7 +76,10 @@ impl SyntheticSpec {
     pub fn generate(&self) -> (Dataset, Dataset, Dataset) {
         assert!(self.classes >= 2, "need at least two classes");
         let [ch, h, w] = self.img;
-        assert!(h > 2 * self.max_shift && w > 2 * self.max_shift, "image too small for shift");
+        assert!(
+            h > 2 * self.max_shift && w > 2 * self.max_shift,
+            "image too small for shift"
+        );
         let mut sampler = NormalSampler::seed_from(self.seed);
         let prototypes: Vec<Vec<f32>> = (0..self.classes)
             .map(|_| smooth_prototype(ch, h, w, &mut sampler))
@@ -281,7 +284,7 @@ mod tests {
 
     #[test]
     fn box_blur_preserves_constant_images() {
-        let img = vec![2.5f32; 1 * 4 * 4];
+        let img = vec![2.5f32; 4 * 4];
         let out = box_blur(&img, 1, 4, 4);
         assert!(out.iter().all(|&v| (v - 2.5).abs() < 1e-6));
     }

@@ -85,6 +85,14 @@ impl VersionedStore {
         }
     }
 
+    /// An empty store behind an [`Arc`], ready to hand to many threads —
+    /// the shape every multi-writer user (parameter-server pools, the
+    /// `vc-runtime` assimilator threads) wants. The store is fully
+    /// `Sync`: all interior state is lock-protected per key.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
     fn entry(&self, key: &str) -> Arc<Mutex<Entry>> {
         if let Some(e) = self.map.read().get(key) {
             return e.clone();

@@ -1,0 +1,77 @@
+//! Wall-clock drivability.
+//!
+//! [`crate::BoincServer`] is a pure state machine over [`SimTime`]: every
+//! entry point takes `now` explicitly, so the *caller* decides what a clock
+//! is. The discrete-event simulator feeds it event-queue timestamps; a real
+//! runtime feeds it wall-clock readings through this adapter, which maps
+//! monotonic [`Instant`]s onto the `SimTime` axis (seconds since clock
+//! start, plus an optional resume offset).
+
+use std::time::Instant;
+use vc_simnet::SimTime;
+
+/// Maps real elapsed time onto the [`SimTime`] axis the middleware's
+/// deadlines and metrics are expressed in.
+#[derive(Clone, Copy, Debug)]
+pub struct WallClock {
+    start: Instant,
+    /// Seconds already on the clock when this process started (non-zero
+    /// when resuming from a checkpoint, so reported times stay cumulative).
+    offset_s: f64,
+}
+
+impl WallClock {
+    /// Starts a clock at `SimTime::ZERO`.
+    pub fn start() -> Self {
+        WallClock {
+            start: Instant::now(),
+            offset_s: 0.0,
+        }
+    }
+
+    /// Starts a clock that already shows `offset_s` seconds elapsed.
+    pub fn resumed_at(offset_s: f64) -> Self {
+        assert!(
+            offset_s.is_finite() && offset_s >= 0.0,
+            "invalid clock offset {offset_s}"
+        );
+        WallClock {
+            start: Instant::now(),
+            offset_s,
+        }
+    }
+
+    /// The current reading, suitable for every `now` parameter of
+    /// [`crate::BoincServer`].
+    pub fn now(&self) -> SimTime {
+        SimTime::from_secs(self.offset_s + self.start.elapsed().as_secs_f64())
+    }
+
+    /// Seconds elapsed since [`WallClock::start`] (excluding any resume
+    /// offset) — the wall time *this process* has spent.
+    pub fn elapsed_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic_and_measures_sleep() {
+        let c = WallClock::start();
+        let a = c.now();
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        let b = c.now();
+        assert!(b > a);
+        assert!(b - a >= 0.014, "slept 15ms but clock shows {}", b - a);
+    }
+
+    #[test]
+    fn resume_offset_shifts_readings() {
+        let c = WallClock::resumed_at(100.0);
+        assert!(c.now().as_secs() >= 100.0);
+        assert!(c.elapsed_s() < 1.0, "offset must not count as elapsed");
+    }
+}

@@ -18,12 +18,14 @@
 //! through the driver, exactly as BOINC moves files through its web server
 //! while the scheduler tracks workunit state.
 
+pub mod clock;
 pub mod host;
 pub mod server;
 pub mod validate;
 pub mod workunit;
 
+pub use clock::WallClock;
 pub use host::{HostId, HostRecord};
 pub use server::{Assignment, BoincServer, MiddlewareConfig, ReportStatus, ServerMetrics};
 pub use validate::{FiniteBlobValidator, ValidationVerdict, Validator};
-pub use workunit::{WuId, WuPhase, WorkUnit};
+pub use workunit::{WorkUnit, WuId, WuPhase};

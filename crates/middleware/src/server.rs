@@ -197,8 +197,11 @@ impl BoincServer {
         } else {
             None
         };
-        let pick = cached_pick
-            .or_else(|| self.queue.iter().position(|&id| self.assignable_to(id, host)))?;
+        let pick = cached_pick.or_else(|| {
+            self.queue
+                .iter()
+                .position(|&id| self.assignable_to(id, host))
+        })?;
 
         let wu_id = self.queue[pick];
         let rec = &mut self.wus[wu_id.0 as usize];
@@ -392,9 +395,7 @@ impl BoincServer {
         self.wus
             .iter()
             .filter_map(|r| match &r.phase {
-                WuPhase::InProgress { assignments } => {
-                    assignments.iter().map(|a| a.deadline).min()
-                }
+                WuPhase::InProgress { assignments } => assignments.iter().map(|a| a.deadline).min(),
                 _ => None,
             })
             .min()

@@ -71,9 +71,7 @@ impl WuPhase {
     /// The hosts currently executing this workunit.
     pub fn running_on(&self) -> Vec<HostId> {
         match self {
-            WuPhase::InProgress { assignments } => {
-                assignments.iter().map(|a| a.host).collect()
-            }
+            WuPhase::InProgress { assignments } => assignments.iter().map(|a| a.host).collect(),
             _ => Vec::new(),
         }
     }

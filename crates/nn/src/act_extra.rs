@@ -104,7 +104,7 @@ pub struct LeakyRelu {
 impl LeakyRelu {
     /// Builds the layer with the given negative-side slope (e.g. 0.01).
     pub fn new(slope: f32) -> Self {
-        assert!(slope >= 0.0 && slope < 1.0, "slope {slope} outside [0, 1)");
+        assert!((0.0..1.0).contains(&slope), "slope {slope} outside [0, 1)");
         LeakyRelu {
             slope,
             x_cache: None,
@@ -187,7 +187,13 @@ mod tests {
 
     #[test]
     fn leaky_relu_gradcheck_off_kink() {
-        let x = probe(3).map(|v| if v.abs() < 0.2 { 0.5_f32.copysign(v) } else { v });
+        let x = probe(3).map(|v| {
+            if v.abs() < 0.2 {
+                0.5_f32.copysign(v)
+            } else {
+                v
+            }
+        });
         gradcheck::check_input_grad(&mut LeakyRelu::new(0.05), &x, 1e-2);
     }
 

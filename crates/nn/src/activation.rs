@@ -80,10 +80,12 @@ mod tests {
         // Keep inputs away from 0 where ReLU is non-differentiable.
         let mut r = Relu::new();
         let mut s = NormalSampler::seed_from(1);
-        let x = Tensor::randn(&[2, 5], 0.0, 1.0, &mut s).map(|v| if v.abs() < 0.2 {
-            0.5_f32.copysign(v)
-        } else {
-            v
+        let x = Tensor::randn(&[2, 5], 0.0, 1.0, &mut s).map(|v| {
+            if v.abs() < 0.2 {
+                0.5_f32.copysign(v)
+            } else {
+                v
+            }
         });
         gradcheck::check_input_grad(&mut r, &x, 1e-2);
     }

@@ -124,7 +124,7 @@ impl Layer for Conv2d {
             .as_ref()
             .expect("Conv2d::backward called without a cached forward");
         let dy_rows = Self::images_to_rows(dy); // [rows, out_ch]
-        // dK = dy_rows^T · cols -> [out_ch, patch]
+                                                // dK = dy_rows^T · cols -> [out_ch, patch]
         self.dkernel.add_assign(&matmul_at_b(&dy_rows, &cache.cols));
         self.dbias.add_assign(&dy_rows.sum_axis0());
         // dcols = dy_rows · K -> [rows, patch]

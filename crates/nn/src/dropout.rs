@@ -22,7 +22,10 @@ impl Dropout {
     /// Builds a dropout layer with drop probability `p` in `[0, 1)` and a
     /// deterministic seed (volunteer replicas must be reproducible).
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability {p} outside [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability {p} outside [0, 1)"
+        );
         Dropout {
             p,
             rng: StdRng::seed_from_u64(seed),
@@ -45,14 +48,15 @@ impl Layer for Dropout {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         let mask: Vec<f32> = (0..x.numel())
-            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .map(|_| {
+                if self.rng.gen::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
             .collect();
-        let data = x
-            .data()
-            .iter()
-            .zip(&mask)
-            .map(|(&v, &m)| v * m)
-            .collect();
+        let data = x.data().iter().zip(&mask).map(|(&v, &m)| v * m).collect();
         self.mask = Some(mask);
         Tensor::from_vec(data, x.dims())
     }
@@ -62,12 +66,7 @@ impl Layer for Dropout {
             None => dy.clone(),
             Some(mask) => {
                 assert_eq!(mask.len(), dy.numel(), "Dropout mask/grad mismatch");
-                let data = dy
-                    .data()
-                    .iter()
-                    .zip(mask)
-                    .map(|(&g, &m)| g * m)
-                    .collect();
+                let data = dy.data().iter().zip(mask).map(|(&g, &m)| g * m).collect();
                 Tensor::from_vec(data, dy.dims())
             }
         }

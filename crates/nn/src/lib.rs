@@ -25,8 +25,8 @@
 pub mod act_extra;
 pub mod activation;
 pub mod conv;
-pub mod dropout;
 pub mod dense;
+pub mod dropout;
 pub mod layer;
 pub mod loss;
 pub mod metrics;
@@ -38,9 +38,9 @@ pub mod spec;
 
 pub use act_extra::{LeakyRelu, Sigmoid, Tanh};
 pub use activation::Relu;
-pub use dropout::Dropout;
 pub use conv::Conv2d;
 pub use dense::Dense;
+pub use dropout::Dropout;
 pub use layer::Layer;
 pub use loss::SoftmaxCrossEntropy;
 pub use model::Sequential;

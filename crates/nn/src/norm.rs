@@ -97,13 +97,11 @@ impl Layer for BatchNorm {
                 *v /= n;
             }
             // Update running statistics.
-            for c in 0..ch {
-                let rm = &mut self.running_mean.data_mut()[c];
-                *rm = self.momentum * *rm + (1.0 - self.momentum) * mean[c];
+            for (rm, &m) in self.running_mean.data_mut().iter_mut().zip(&mean) {
+                *rm = self.momentum * *rm + (1.0 - self.momentum) * m;
             }
-            for c in 0..ch {
-                let rv = &mut self.running_var.data_mut()[c];
-                *rv = self.momentum * *rv + (1.0 - self.momentum) * var[c];
+            for (rv, &v) in self.running_var.data_mut().iter_mut().zip(&var) {
+                *rv = self.momentum * *rv + (1.0 - self.momentum) * v;
             }
             (mean, var)
         } else {
@@ -197,8 +195,12 @@ impl Layer for BatchNorm {
         let c = self.ch;
         self.gamma.data_mut().copy_from_slice(&src[..c]);
         self.beta.data_mut().copy_from_slice(&src[c..2 * c]);
-        self.running_mean.data_mut().copy_from_slice(&src[2 * c..3 * c]);
-        self.running_var.data_mut().copy_from_slice(&src[3 * c..4 * c]);
+        self.running_mean
+            .data_mut()
+            .copy_from_slice(&src[2 * c..3 * c]);
+        self.running_var
+            .data_mut()
+            .copy_from_slice(&src[3 * c..4 * c]);
         4 * c
     }
 
@@ -206,7 +208,7 @@ impl Layer for BatchNorm {
         out.extend_from_slice(self.dgamma.data());
         out.extend_from_slice(self.dbeta.data());
         // Buffers are not optimized: contribute zero gradient.
-        out.extend(std::iter::repeat(0.0).take(2 * self.ch));
+        out.resize(out.len() + 2 * self.ch, 0.0);
     }
 
     fn zero_grads(&mut self) {

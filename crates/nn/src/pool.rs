@@ -239,7 +239,10 @@ mod tests {
     #[test]
     fn avgpool_means_planes() {
         let mut p = AvgPoolGlobal::new();
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0], &[1, 2, 2, 2]);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
+            &[1, 2, 2, 2],
+        );
         let y = p.forward(&x, false);
         assert_eq!(y.dims(), &[1, 2]);
         assert_eq!(y.data(), &[2.5, 10.0]);
@@ -267,10 +270,19 @@ mod tests {
     fn out_dims_agree_with_forward() {
         let mut p = MaxPool2::new();
         let x = Tensor::zeros(&[2, 5, 8, 6]);
-        assert_eq!(p.forward(&x, false).dims(), p.out_dims(&[2, 5, 8, 6]).as_slice());
+        assert_eq!(
+            p.forward(&x, false).dims(),
+            p.out_dims(&[2, 5, 8, 6]).as_slice()
+        );
         let mut a = AvgPoolGlobal::new();
-        assert_eq!(a.forward(&x, false).dims(), a.out_dims(&[2, 5, 8, 6]).as_slice());
+        assert_eq!(
+            a.forward(&x, false).dims(),
+            a.out_dims(&[2, 5, 8, 6]).as_slice()
+        );
         let mut f = Flatten::new();
-        assert_eq!(f.forward(&x, false).dims(), f.out_dims(&[2, 5, 8, 6]).as_slice());
+        assert_eq!(
+            f.forward(&x, false).dims(),
+            f.out_dims(&[2, 5, 8, 6]).as_slice()
+        );
     }
 }

@@ -171,7 +171,10 @@ pub fn mlp(input: &[usize], hidden: usize, classes: usize) -> ModelSpec {
 pub fn small_cnn(input: &[usize], classes: usize) -> ModelSpec {
     assert_eq!(input.len(), 3, "small_cnn expects [ch, h, w]");
     let (ch, h, w) = (input[0], input[1], input[2]);
-    assert!(h % 4 == 0 && w % 4 == 0, "small_cnn needs h, w divisible by 4");
+    assert!(
+        h % 4 == 0 && w % 4 == 0,
+        "small_cnn needs h, w divisible by 4"
+    );
     let flat = 32 * (h / 4) * (w / 4);
     ModelSpec {
         name: "small-cnn".into(),

@@ -31,7 +31,12 @@ pub enum OptimizerSpec {
     Momentum { lr: f32, beta: f32 },
     /// Adam (Kingma & Ba). The paper's client optimizer with
     /// `lr = 0.001, beta1 = 0.9, beta2 = 0.999`.
-    Adam { lr: f32, beta1: f32, beta2: f32, eps: f32 },
+    Adam {
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+    },
 }
 
 impl OptimizerSpec {
@@ -130,7 +135,11 @@ impl Optimizer {
                 }
             }
             OptimizerSpec::Momentum { lr, beta } => {
-                assert_eq!(self.m.len(), params.len(), "optimizer built for another model");
+                assert_eq!(
+                    self.m.len(),
+                    params.len(),
+                    "optimizer built for another model"
+                );
                 let step = lr * lr_scale;
                 for ((p, &g), m) in params.iter_mut().zip(grads).zip(&mut self.m) {
                     *m = beta * *m + g;
@@ -143,7 +152,11 @@ impl Optimizer {
                 beta2,
                 eps,
             } => {
-                assert_eq!(self.m.len(), params.len(), "optimizer built for another model");
+                assert_eq!(
+                    self.m.len(),
+                    params.len(),
+                    "optimizer built for another model"
+                );
                 let t = self.t as f32;
                 let bc1 = 1.0 - beta1.powf(t);
                 let bc2 = 1.0 - beta2.powf(t);
@@ -194,7 +207,10 @@ mod tests {
     #[test]
     fn momentum_converges_on_quadratic() {
         let x = descend(
-            OptimizerSpec::Momentum { lr: 0.02, beta: 0.9 },
+            OptimizerSpec::Momentum {
+                lr: 0.02,
+                beta: 0.9,
+            },
             300,
         );
         assert!(x.abs() < 1e-3, "x = {x}");
@@ -257,7 +273,9 @@ mod tests {
 
     #[test]
     fn weight_decay_shrinks_params_without_gradient() {
-        let mut opt = OptimizerSpec::Sgd { lr: 0.1 }.build(2).with_weight_decay(0.01);
+        let mut opt = OptimizerSpec::Sgd { lr: 0.1 }
+            .build(2)
+            .with_weight_decay(0.01);
         let mut p = vec![10.0f32, -10.0];
         opt.step(&mut p, &[0.0, 0.0]);
         assert!((p[0] - 9.9).abs() < 1e-5);
@@ -283,7 +301,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside [0, 1)")]
     fn weight_decay_range_checked() {
-        let _ = OptimizerSpec::Sgd { lr: 0.1 }.build(1).with_weight_decay(1.0);
+        let _ = OptimizerSpec::Sgd { lr: 0.1 }
+            .build(1)
+            .with_weight_decay(1.0);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub struct TrainBatchStats {
 /// with shuffled mini-batches, clipping gradients at `clip_norm` (pass
 /// `f32::INFINITY` to disable). This is precisely what a volunteer client
 /// executes for one training subtask.
+#[allow(clippy::too_many_arguments)]
 pub fn train_minibatch<R: Rng>(
     model: &mut Sequential,
     opt: &mut Optimizer,
@@ -76,7 +77,11 @@ pub fn train_minibatch<R: Rng>(
     }
 
     TrainBatchStats {
-        mean_loss: if steps == 0 { 0.0 } else { total_loss / steps as f32 },
+        mean_loss: if steps == 0 {
+            0.0
+        } else {
+            total_loss / steps as f32
+        },
         steps,
         samples,
     }

@@ -1,0 +1,156 @@
+//! Checkpoint format and (atomic) disk I/O.
+//!
+//! A checkpoint captures everything the coordinator needs to continue an
+//! interrupted run mid-epoch: the run configuration, the in-progress
+//! epoch's parameter snapshot (what un-assimilated subtasks must train
+//! from), the *current* server parameters (what already-assimilated results
+//! blended into), which shards already assimilated, and the completed-epoch
+//! series. Client results themselves are never checkpointed — subtask
+//! training is deterministic per `(seed, epoch, shard)`, so lost in-flight
+//! work is simply recomputed, exactly like a BOINC re-issue.
+//!
+//! Serialization is `serde_json`; `f32` parameters survive the round trip
+//! exactly (they widen to `f64` losslessly and print shortest-round-trip).
+//! An FNV-1a digest over the raw parameter bits guards against truncated or
+//! hand-edited files.
+
+use crate::config::RuntimeConfig;
+use crate::report::RuntimeEpoch;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Bumped on incompatible layout changes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// FNV-1a over the little-endian bit patterns of a parameter vector.
+fn params_digest(params: &[&[f32]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in params {
+        for v in *chunk {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+/// A point-in-time capture of a running job.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Layout version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The full run configuration, so `Runtime::resume` needs nothing else.
+    pub cfg: RuntimeConfig,
+    /// The in-progress epoch (1-based).
+    pub epoch: usize,
+    /// The epoch-start parameter snapshot (Eq. (2)'s `W_{s,e-1}`) the
+    /// epoch's remaining subtasks must train from.
+    pub snapshot: Vec<f32>,
+    /// The current server parameters (snapshot plus the epoch's
+    /// assimilations so far).
+    pub params: Vec<f32>,
+    /// `(shard, post-assimilation validation accuracy)` for shards already
+    /// assimilated this epoch.
+    pub done: Vec<(usize, f32)>,
+    /// Completed epochs.
+    pub stats: Vec<RuntimeEpoch>,
+    /// Total assimilations so far (drives the checkpoint cadence across
+    /// resumes).
+    pub assimilations: u64,
+    /// Parameter bytes transferred so far.
+    pub bytes_transferred: u64,
+    /// Wall-clock seconds consumed so far (the resumed clock starts here).
+    pub wall_s: f64,
+    /// FNV-1a digest over `snapshot` then `params`.
+    pub digest: u64,
+}
+
+impl Checkpoint {
+    /// Computes the digest field for the current `snapshot`/`params`.
+    pub fn seal(&mut self) {
+        self.digest = params_digest(&[&self.snapshot, &self.params]);
+    }
+
+    /// Writes atomically: serialize to `<path>.tmp`, then rename over
+    /// `path`, so a crash mid-write never leaves a torn checkpoint.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), String> {
+        let path = path.as_ref();
+        let json = serde_json::to_string(self).map_err(|e| e.to_string())?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("rename to {}: {e}", path.display()))
+    }
+
+    /// Loads and verifies a checkpoint.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let json =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let ck: Checkpoint = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+        if ck.version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint version {} != supported {CHECKPOINT_VERSION}",
+                ck.version
+            ));
+        }
+        if ck.digest != params_digest(&[&ck.snapshot, &ck.params]) {
+            return Err("checkpoint digest mismatch: file corrupted".into());
+        }
+        if ck.snapshot.len() != ck.params.len() {
+            return Err("checkpoint snapshot/params length mismatch".into());
+        }
+        ck.cfg.validate()?;
+        Ok(ck)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut ck = Checkpoint {
+            version: CHECKPOINT_VERSION,
+            cfg: RuntimeConfig::test_small(5),
+            epoch: 2,
+            snapshot: vec![0.1, -0.25, 1e-7],
+            params: vec![0.11, -0.26, 2e-7],
+            done: vec![(0, 0.3), (4, 0.31)],
+            stats: Vec::new(),
+            assimilations: 10,
+            bytes_transferred: 1234,
+            wall_s: 3.5,
+            digest: 0,
+        };
+        ck.seal();
+        ck
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_exact() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("vc_runtime_ck_roundtrip.json");
+        let ck = sample();
+        ck.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(ck, back, "f32 parameters must round-trip bit-exactly");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("vc_runtime_ck_corrupt.json");
+        let ck = sample();
+        ck.save(&path).unwrap();
+        let tampered = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("-0.25", "-0.75");
+        std::fs::write(&path, tampered).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(err.contains("digest"), "got: {err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,130 @@
+//! Runtime configuration: a [`JobConfig`] plus the knobs that only exist
+//! once time is real — polling cadence, fault plan, checkpoint policy.
+
+use crate::fault::FaultPlan;
+use serde::{Deserialize, Serialize};
+use vc_asgd::JobConfig;
+
+/// Everything a real threaded run needs.
+///
+/// The embedded [`JobConfig`] is interpreted as follows: `cn` is the number
+/// of worker OS threads, `pn` the number of parameter-server (assimilator)
+/// OS threads, `tn` the per-host slot cap the scheduler enforces, and
+/// `middleware.timeout_s` is a *wall-clock* deadline. The simulator-only
+/// fields (`compute`, `network`, `preemption`, `timing_only`,
+/// `pn_autoscale`) are ignored — compute time is real, transfers are
+/// channel sends, and preemption comes from [`FaultPlan`] instead.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// The training job (model, data, shards, `PnCnTn`, α, consistency…).
+    pub job: JobConfig,
+    /// Seconds a worker sleeps after a `NoWork` reply before polling again.
+    pub poll_interval_s: f64,
+    /// Seconds a worker waits for a scheduler reply before re-polling
+    /// (covers replies lost to its own death/respawn cycle).
+    pub reply_timeout_s: f64,
+    /// Fault injection plan.
+    pub faults: FaultPlan,
+    /// Write a checkpoint after every N assimilations (requires
+    /// `checkpoint_path`).
+    pub checkpoint_every_assims: Option<u64>,
+    /// Where checkpoints are written (atomically: temp file + rename).
+    pub checkpoint_path: Option<String>,
+    /// Test hook: stop the run cleanly after this many assimilations,
+    /// writing a final checkpoint when a path is configured. The report is
+    /// marked `halted_early`.
+    pub halt_after_assims: Option<u64>,
+    /// Safety net: abort (with `halted_early`) if the run exceeds this many
+    /// wall-clock seconds — a hung fleet must not hang the test suite.
+    pub max_wall_s: f64,
+}
+
+impl RuntimeConfig {
+    /// Wraps a job with no faults, no checkpoints and default cadences.
+    pub fn new(job: JobConfig) -> Self {
+        RuntimeConfig {
+            job,
+            poll_interval_s: 0.01,
+            reply_timeout_s: 1.0,
+            faults: FaultPlan::none(),
+            checkpoint_every_assims: None,
+            checkpoint_path: None,
+            halt_after_assims: None,
+            max_wall_s: 600.0,
+        }
+    }
+
+    /// The test-scale job with a wall-clock-appropriate middleware timeout:
+    /// subtasks take milliseconds of real compute, so a dead worker's
+    /// assignment should be declared lost after ~2 s, not the simulated
+    /// default of 300 s.
+    pub fn test_small(seed: u64) -> Self {
+        let mut job = JobConfig::test_small(seed);
+        job.middleware.timeout_s = 2.0;
+        Self::new(job)
+    }
+
+    /// Validates cross-field invariants; the runtime constructor calls
+    /// this.
+    pub fn validate(&self) -> Result<(), String> {
+        self.job.validate()?;
+        self.faults.validate(self.job.cn)?;
+        if self.job.timing_only {
+            return Err("timing_only is simulator-only: the runtime always trains for real".into());
+        }
+        if self.poll_interval_s <= 0.0 || !self.poll_interval_s.is_finite() {
+            return Err(format!("invalid poll_interval_s {}", self.poll_interval_s));
+        }
+        if self.reply_timeout_s <= 0.0 || !self.reply_timeout_s.is_finite() {
+            return Err(format!("invalid reply_timeout_s {}", self.reply_timeout_s));
+        }
+        if self.max_wall_s <= 0.0 || !self.max_wall_s.is_finite() {
+            return Err(format!("invalid max_wall_s {}", self.max_wall_s));
+        }
+        if self.checkpoint_every_assims == Some(0) {
+            return Err("checkpoint_every_assims must be >= 1".into());
+        }
+        if self.checkpoint_every_assims.is_some() && self.checkpoint_path.is_none() {
+            return Err("checkpoint_every_assims needs a checkpoint_path".into());
+        }
+        if self.halt_after_assims == Some(0) {
+            return Err("halt_after_assims must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_small_is_valid_and_wall_clock_scaled() {
+        let cfg = RuntimeConfig::test_small(1);
+        cfg.validate().unwrap();
+        assert!(cfg.job.middleware.timeout_s <= 5.0);
+    }
+
+    #[test]
+    fn rejects_timing_only_and_bad_checkpoint_policy() {
+        let mut cfg = RuntimeConfig::test_small(1);
+        cfg.job.timing_only = true;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = RuntimeConfig::test_small(1);
+        cfg.checkpoint_every_assims = Some(4);
+        assert!(cfg.validate().is_err(), "checkpoint interval without path");
+        cfg.checkpoint_path = Some("/tmp/ck.json".into());
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn config_roundtrips_through_json() {
+        let mut cfg = RuntimeConfig::test_small(3);
+        cfg.faults.kill_hosts = vec![0];
+        cfg.faults.respawn_after_s = Some(1.5);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: RuntimeConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

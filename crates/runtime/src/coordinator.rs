@@ -1,0 +1,338 @@
+//! The coordinator thread (BOINC server) and the assimilator pool.
+//!
+//! The coordinator owns the [`BoincServer`] state machine and drives it
+//! with wall-clock readings: scheduler RPCs and uploads arrive over one
+//! MPMC inbox, timeouts are scanned against real deadlines, and accepted
+//! results are handed to `Pn` assimilator threads that contend on the
+//! shared [`vc_kvstore::VersionedStore`] for real — in eventual mode,
+//! overlapping read-blend-write cycles genuinely lose updates, not by
+//! simulation but by racing.
+
+use crate::checkpoint::{Checkpoint, CHECKPOINT_VERSION};
+use crate::config::RuntimeConfig;
+use crate::fault::FaultStats;
+use crate::protocol::{AssimTask, ToServer, ToWorker};
+use crate::report::{RuntimeEpoch, RuntimeReport};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use vc_asgd::{result_is_valid, VcAsgdAssimilator};
+use vc_data::Dataset;
+use vc_kvstore::{Consistency, VersionedStore};
+use vc_middleware::{BoincServer, ReportStatus, WallClock};
+use vc_nn::metrics::evaluate;
+use vc_tensor::codec::encoded_len;
+
+/// Everything one assimilator (parameter-server) thread needs.
+pub struct AssimCtx {
+    /// Shared Eq. (1) applier over the shared store.
+    pub assim: Arc<VcAsgdAssimilator>,
+    /// Consistency mode (decides the store access pattern).
+    pub mode: Consistency,
+    /// Shared run configuration (model spec for the eval replica).
+    pub cfg: Arc<RuntimeConfig>,
+    /// The validation subset scored after every assimilation.
+    pub val_eval: Arc<Dataset>,
+    /// Task intake (MPMC: the pool shares one receiver).
+    pub task_rx: Receiver<AssimTask>,
+    /// Outcome uplink into the coordinator's inbox.
+    pub out: Sender<ToServer>,
+}
+
+/// The assimilator thread body: blend, score, report, until the task
+/// channel closes.
+pub fn assimilator_main(ctx: AssimCtx) {
+    let mut eval_model = ctx.cfg.job.model.build(ctx.cfg.job.seed);
+    while let Ok(t) = ctx.task_rx.recv() {
+        let updated = match ctx.mode {
+            Consistency::Eventual => {
+                // Read-blend-write with the read at cycle start: the window
+                // between begin and commit is a real race against the other
+                // assimilator threads. The yield widens it the same way a
+                // network hop to Redis would.
+                let (snap, version) = ctx.assim.begin_eventual();
+                std::thread::yield_now();
+                ctx.assim
+                    .commit_eventual(snap, version, &t.client, t.epoch)
+                    .0
+            }
+            Consistency::Strong => ctx.assim.assimilate_strong(&t.client, t.epoch),
+        };
+        // Parameter-server validation scoring (§III-A).
+        eval_model.set_params_flat(&updated);
+        let (_, acc) = evaluate(
+            &mut eval_model,
+            &ctx.val_eval.images,
+            &ctx.val_eval.labels,
+            256,
+        );
+        if ctx
+            .out
+            .send(ToServer::Assimilated {
+                wu: t.wu,
+                epoch: t.epoch,
+                shard_id: t.shard_id,
+                acc,
+            })
+            .is_err()
+        {
+            return; // coordinator gone
+        }
+    }
+}
+
+/// The coordinator's mutable state, assembled by `Runtime::run`.
+pub struct Coordinator {
+    /// Shared run configuration.
+    pub cfg: Arc<RuntimeConfig>,
+    /// The middleware state machine.
+    pub server: BoincServer,
+    /// Eq. (1) applier (same instance the pool shares).
+    pub assim: Arc<VcAsgdAssimilator>,
+    /// The shared parameter store (for operation counters).
+    pub store: Arc<VersionedStore>,
+    /// Wall clock driving every middleware `now`.
+    pub clock: WallClock,
+    /// Per-epoch parameter snapshots, keyed by epoch.
+    pub snapshots: HashMap<usize, Arc<Vec<f32>>>,
+    /// The in-progress epoch.
+    pub epoch: usize,
+    /// `(shard, acc)` assimilated so far this epoch.
+    pub done: Vec<(usize, f32)>,
+    /// Completed epochs.
+    pub stats: Vec<RuntimeEpoch>,
+    /// Total assimilations (cumulative across resumes).
+    pub assimilations: u64,
+    /// Parameter payload bytes (cumulative across resumes).
+    pub bytes: u64,
+    /// Wall seconds already on the clock at process start (resume offset).
+    pub wall_base_s: f64,
+    /// Parameter count (sizes the byte accounting).
+    pub param_count: usize,
+    /// Reply channels, indexed by host id.
+    pub worker_txs: Vec<Sender<ToWorker>>,
+    /// The shared inbox.
+    pub inbox: Receiver<ToServer>,
+    /// Intake of the assimilator pool.
+    pub assim_tx: Sender<AssimTask>,
+    /// Shared fault counters.
+    pub stats_faults: Arc<FaultStats>,
+}
+
+/// Why the coordinator stopped.
+enum Stop {
+    /// All epochs finished (or the accuracy target was reached).
+    Finished,
+    /// `halt_after_assims` fired or `max_wall_s` ran out.
+    Halted,
+}
+
+impl Coordinator {
+    /// Runs the job to completion (or halt), shuts the fleet down, and
+    /// returns the report. Final accuracies are evaluated by the caller —
+    /// the coordinator has no model of its own.
+    pub fn run(mut self) -> (RuntimeReport, Arc<VcAsgdAssimilator>) {
+        let stop = self.event_loop();
+        // Orderly shutdown: tell every worker, close the assimilator
+        // intake. Dead workers' channels error harmlessly.
+        for tx in &self.worker_txs {
+            let _ = tx.send(ToWorker::Shutdown);
+        }
+        let halted = matches!(stop, Stop::Halted);
+        let (kills, respawns, delayed) = self.stats_faults.snapshot();
+        let report = RuntimeReport {
+            label: self.cfg.job.pct_label(),
+            epochs: self.stats.clone(),
+            final_val_acc: 0.0,  // filled by Runtime::run
+            final_test_acc: 0.0, // filled by Runtime::run
+            wall_s: self.wall_base_s + self.clock.elapsed_s(),
+            workers: self.worker_txs.len(),
+            server_metrics: self.server.metrics(),
+            store_ops: self.store.metrics().snapshot(),
+            bytes_transferred: self.bytes,
+            kills,
+            respawns,
+            delayed_msgs: delayed,
+            halted_early: halted,
+        };
+        (report, self.assim)
+    }
+
+    fn event_loop(&mut self) -> Stop {
+        loop {
+            let now = self.clock.now();
+            self.server.scan_timeouts(now);
+            if self.clock.elapsed_s() > self.cfg.max_wall_s {
+                self.write_checkpoint();
+                return Stop::Halted;
+            }
+            match self.inbox.recv_timeout(Duration::from_millis(20)) {
+                Ok(msg) => {
+                    if let Some(stop) = self.handle(msg) {
+                        return stop;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Every worker and assimilator is gone; nothing can
+                    // ever complete the job.
+                    return Stop::Halted;
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, msg: ToServer) -> Option<Stop> {
+        let now = self.clock.now();
+        match msg {
+            ToServer::RequestWork { host } => {
+                let reply = match self.server.request_work(host, now) {
+                    Some(asg) => {
+                        // Byte accounting mirrors the simulator: parameters
+                        // always travel; the shard payload only on a
+                        // sticky-file cache miss.
+                        self.bytes += encoded_len(self.param_count) as u64;
+                        let snapshot = self
+                            .snapshots
+                            .get(&asg.wu.epoch)
+                            .expect("snapshot exists for every generated epoch")
+                            .clone();
+                        ToWorker::Assign {
+                            wu: asg.wu,
+                            snapshot,
+                        }
+                    }
+                    None => ToWorker::NoWork,
+                };
+                // A dead worker's channel errors; its assignment (if any)
+                // recovers through the timeout path like any lost host.
+                let _ = self.worker_txs[host.0 as usize].send(reply);
+                None
+            }
+            ToServer::Result { host, wu, params } => {
+                if !result_is_valid(&params) {
+                    self.server.report_invalid(wu, host, now);
+                    return None;
+                }
+                if self.server.report_success(wu, host, now) != ReportStatus::Accepted {
+                    return None; // stale: the workunit was already satisfied
+                }
+                self.bytes += encoded_len(self.param_count) as u64;
+                let info = self.server.workunit(wu).clone();
+                let _ = self.assim_tx.send(AssimTask {
+                    wu,
+                    epoch: info.epoch,
+                    shard_id: info.shard_id,
+                    client: params,
+                });
+                None
+            }
+            ToServer::Assimilated {
+                wu: _,
+                epoch,
+                shard_id,
+                acc,
+            } => {
+                self.assimilations += 1;
+                let mut finished = false;
+                if epoch == self.epoch {
+                    self.done.push((shard_id, acc));
+                    if self.done.len() == self.cfg.job.shards {
+                        finished = self.finish_epoch();
+                    }
+                }
+                if let Some(every) = self.cfg.checkpoint_every_assims {
+                    if self.assimilations.is_multiple_of(every) {
+                        self.write_checkpoint();
+                    }
+                }
+                if finished {
+                    return Some(Stop::Finished);
+                }
+                if self
+                    .cfg
+                    .halt_after_assims
+                    .is_some_and(|h| self.assimilations >= h)
+                {
+                    self.write_checkpoint();
+                    return Some(Stop::Halted);
+                }
+                None
+            }
+        }
+    }
+
+    /// Closes out the current epoch; returns `true` when the job is over.
+    fn finish_epoch(&mut self) -> bool {
+        let accs: Vec<f32> = self.done.iter().map(|d| d.1).collect();
+        let mean = accs.iter().sum::<f32>() / accs.len() as f32;
+        let min = accs.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = accs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let sm = self.server.metrics();
+        self.stats.push(RuntimeEpoch {
+            epoch: self.epoch,
+            alpha: self.cfg.job.alpha.alpha(self.epoch),
+            end_wall_s: self.wall_base_s + self.clock.elapsed_s(),
+            mean_val_acc: mean,
+            min_val_acc: min,
+            max_val_acc: max,
+            assimilated: accs.len(),
+            lost_updates: self.assim.lost_updates(),
+            timeouts: sm.timeouts,
+            reassignments: sm.reassignments,
+        });
+        self.done.clear();
+
+        let reached = self
+            .cfg
+            .job
+            .target_accuracy
+            .map(|t| mean >= t)
+            .unwrap_or(false);
+        if reached || self.epoch >= self.cfg.job.epochs {
+            return true;
+        }
+
+        // Next epoch: snapshot the server parameters for all of its
+        // subtasks (Eq. (2)'s W_{s,e-1}).
+        self.epoch += 1;
+        let (params, version) = self.assim.read_params();
+        self.snapshots.insert(self.epoch, Arc::new(params));
+        let now = self.clock.now();
+        self.server
+            .add_epoch(self.epoch, self.cfg.job.shards, version, now);
+        false
+    }
+
+    /// Serializes the current state to the configured path (no-op without
+    /// one). I/O errors are reported to stderr, not fatal: losing a
+    /// checkpoint must not kill a healthy run.
+    fn write_checkpoint(&mut self) {
+        let Some(path) = self.cfg.checkpoint_path.clone() else {
+            return;
+        };
+        let snapshot = self
+            .snapshots
+            .get(&self.epoch)
+            .expect("snapshot exists for the current epoch");
+        let (params, _) = self.assim.read_params();
+        let mut ck = Checkpoint {
+            version: CHECKPOINT_VERSION,
+            cfg: (*self.cfg).clone(),
+            epoch: self.epoch,
+            snapshot: (**snapshot).clone(),
+            params,
+            done: self.done.clone(),
+            stats: self.stats.clone(),
+            assimilations: self.assimilations,
+            bytes_transferred: self.bytes,
+            wall_s: self.wall_base_s + self.clock.elapsed_s(),
+            digest: 0,
+        };
+        ck.seal();
+        if let Err(e) = ck.save(&path) {
+            eprintln!("vc-runtime: checkpoint write failed: {e}");
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! # vc-runtime
+//!
+//! A real multi-threaded volunteer-fleet runtime for VC-ASGD: the same
+//! training job the `vc-asgd` discrete-event simulator models, executed on
+//! actual OS threads over actual wall-clock time.
+//!
+//! ## Architecture
+//!
+//! One **coordinator** thread runs the `vc-middleware` [`BoincServer`]
+//! state machine (scheduler, transitioner, validator) driven by a
+//! [`vc_middleware::WallClock`]; `Pn` **assimilator** threads apply
+//! Eq. (1) against the shared `vc-kvstore` store — contending for real, so
+//! eventual consistency loses updates by racing, not by simulation; `Cn`
+//! **worker** threads each impersonate one volunteer host: poll for work,
+//! receive the epoch parameter snapshot, train their shard with real SGD
+//! (the exact [`vc_asgd::train_client_replica`] step the simulator uses),
+//! and upload the replica. All traffic flows over `crossbeam` channels.
+//!
+//! ## Faults and recovery
+//!
+//! A [`FaultPlan`] preempts chosen workers mid-subtask — they vanish
+//! silently, and the server discovers the loss the BOINC way, through
+//! wall-clock assignment timeouts, then reassigns to surviving hosts. An
+//! optional delay line randomly delays and reorders worker messages.
+//! Periodic [`Checkpoint`]s capture server parameters plus open-workunit
+//! state; [`Runtime::resume`] continues an interrupted job mid-epoch.
+
+pub mod checkpoint;
+pub mod config;
+pub mod coordinator;
+pub mod fault;
+pub mod protocol;
+pub mod report;
+pub mod transport;
+pub mod worker;
+
+pub use checkpoint::Checkpoint;
+pub use config::RuntimeConfig;
+pub use fault::FaultPlan;
+pub use report::{RuntimeEpoch, RuntimeReport};
+
+use coordinator::{assimilator_main, AssimCtx, Coordinator};
+use crossbeam::channel::unbounded;
+use fault::FaultStats;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+use transport::{delay_line_main, Outbox};
+use vc_asgd::assimilator::PARAMS_KEY;
+use vc_asgd::{warm_start_params, VcAsgdAssimilator};
+use vc_data::ShardSet;
+use vc_kvstore::VersionedStore;
+use vc_middleware::{BoincServer, HostId, WallClock};
+use vc_nn::metrics::evaluate;
+use vc_simnet::SimTime;
+use worker::{worker_main, WorkerCtx};
+
+/// A configured (possibly resumed) run, executed with [`Runtime::run`].
+pub struct Runtime {
+    cfg: RuntimeConfig,
+    resume: Option<Checkpoint>,
+}
+
+impl Runtime {
+    /// Builds a fresh run.
+    pub fn new(cfg: RuntimeConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(Runtime { cfg, resume: None })
+    }
+
+    /// Rebuilds a run from a checkpoint written by a previous process. The
+    /// checkpoint embeds the full [`RuntimeConfig`], so nothing else is
+    /// needed; adjust it through [`Runtime::config_mut`] before running
+    /// (e.g. to clear a one-shot `halt_after_assims` hook).
+    pub fn resume(path: impl AsRef<Path>) -> Result<Self, String> {
+        let ck = Checkpoint::load(path)?;
+        Ok(Runtime {
+            cfg: ck.cfg.clone(),
+            resume: Some(ck),
+        })
+    }
+
+    /// The run configuration (mutable, for pre-run adjustments).
+    pub fn config_mut(&mut self) -> &mut RuntimeConfig {
+        &mut self.cfg
+    }
+
+    /// Executes the job: spawns the fleet, trains to completion (or halt),
+    /// joins every thread, and reports.
+    pub fn run(mut self) -> Result<RuntimeReport, String> {
+        self.cfg.validate()?;
+        if let Some(ck) = &self.resume {
+            // config_mut may have edited simulator-visible fields; the
+            // parameter geometry must still match the checkpoint.
+            if self.cfg.job.shards != ck.cfg.job.shards {
+                return Err("cannot change shard count across a resume".into());
+            }
+        }
+        let cfg = Arc::new(self.cfg);
+        let job = &cfg.job;
+
+        // --- data ---------------------------------------------------------
+        let (train, val, test) = job.data.generate();
+        let shards = Arc::new(ShardSet::split(&train, job.shards));
+        let val_eval = Arc::new(val.select(&(0..job.val_eval_n).collect::<Vec<_>>()));
+
+        // --- parameter store ----------------------------------------------
+        let store = VersionedStore::shared();
+        let assim = Arc::new(VcAsgdAssimilator::new(
+            store.clone(),
+            job.consistency,
+            job.alpha,
+        ));
+        let mut snapshots: HashMap<usize, Arc<Vec<f32>>> = HashMap::new();
+        let (epoch, done, stats, assimilations, bytes, wall_base_s) = match &self.resume {
+            None => {
+                let mut init = job.model.build(job.seed).params_flat();
+                if let Some(warmed) = warm_start_params(job, &shards, &init) {
+                    init = warmed;
+                }
+                assim.seed_params(&init);
+                snapshots.insert(1, Arc::new(init));
+                (1, Vec::new(), Vec::new(), 0, 0, 0.0)
+            }
+            Some(ck) => {
+                assim.seed_params(&ck.params);
+                snapshots.insert(ck.epoch, Arc::new(ck.snapshot.clone()));
+                (
+                    ck.epoch,
+                    ck.done.clone(),
+                    ck.stats.clone(),
+                    ck.assimilations,
+                    ck.bytes_transferred,
+                    ck.wall_s,
+                )
+            }
+        };
+        let param_count = snapshots.values().next().expect("seeded above").len();
+
+        // --- middleware ----------------------------------------------------
+        let fleet = job.fleet.build(job.cn);
+        let mut server = BoincServer::new(
+            job.middleware.clone(),
+            fleet.iter().map(|s| (s.clone(), job.tn)).collect(),
+        );
+        let clock = WallClock::resumed_at(wall_base_s);
+        let version = store.version(PARAMS_KEY);
+        match &self.resume {
+            None => server.add_epoch(1, job.shards, version, SimTime::ZERO),
+            Some(ck) => {
+                // Re-issue only the shards the interrupted epoch still owes;
+                // the already-assimilated ones live on inside `params`.
+                // In-flight client results are simply recomputed — subtask
+                // training is deterministic per (seed, epoch, shard).
+                for shard in 0..job.shards {
+                    if !ck.done.iter().any(|&(s, _)| s == shard) {
+                        server.add_workunit(ck.epoch, shard, version, SimTime::ZERO);
+                    }
+                }
+            }
+        }
+        self.resume = None;
+
+        // --- channels ------------------------------------------------------
+        let (server_tx, server_rx) = unbounded();
+        let (assim_tx, assim_rx) = unbounded();
+        let fstats = Arc::new(FaultStats::default());
+        let (delay_tx, delay_handle) = if cfg.faults.max_msg_delay_s > 0.0 {
+            let (dtx, drx) = unbounded();
+            let out = server_tx.clone();
+            let h = std::thread::Builder::new()
+                .name("vc-delay-line".into())
+                .spawn(move || delay_line_main(drx, out))
+                .map_err(|e| e.to_string())?;
+            (Some(dtx), Some(h))
+        } else {
+            (None, None)
+        };
+
+        // --- assimilator pool ---------------------------------------------
+        let mut assim_handles = Vec::new();
+        for i in 0..job.pn {
+            let ctx = AssimCtx {
+                assim: assim.clone(),
+                mode: job.consistency,
+                cfg: cfg.clone(),
+                val_eval: val_eval.clone(),
+                task_rx: assim_rx.clone(),
+                out: server_tx.clone(),
+            };
+            assim_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("vc-assim-{i}"))
+                    .spawn(move || assimilator_main(ctx))
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        drop(assim_rx);
+
+        // --- workers -------------------------------------------------------
+        let mut worker_txs = Vec::new();
+        let mut worker_handles = Vec::new();
+        for h in 0..job.cn {
+            let (tx, rx) = unbounded();
+            worker_txs.push(tx);
+            let outbox = match &delay_tx {
+                Some(dtx) => Outbox::Delayed {
+                    tx: dtx.clone(),
+                    max_delay_s: cfg.faults.max_msg_delay_s,
+                    stats: fstats.clone(),
+                },
+                None => Outbox::Direct(server_tx.clone()),
+            };
+            let ctx = WorkerCtx {
+                id: HostId(h as u32),
+                cfg: cfg.clone(),
+                shards: shards.clone(),
+                cmd_rx: rx,
+                outbox,
+                stats: fstats.clone(),
+            };
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("vc-worker-{h}"))
+                    .spawn(move || worker_main(ctx))
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        // The coordinator's inbox must disconnect once the fleet is gone:
+        // only workers, assimilators and the delay line may hold senders.
+        drop(delay_tx);
+        drop(server_tx);
+
+        // --- coordinate ----------------------------------------------------
+        let coordinator = Coordinator {
+            cfg: cfg.clone(),
+            server,
+            assim,
+            store,
+            clock,
+            snapshots,
+            epoch,
+            done,
+            stats,
+            assimilations,
+            bytes,
+            wall_base_s,
+            param_count,
+            worker_txs,
+            inbox: server_rx,
+            assim_tx,
+            stats_faults: fstats,
+        };
+        let (mut report, assim) = coordinator.run();
+
+        // The coordinator dropped its channel ends on return: every worker's
+        // next recv/send errors, the assimilator intake closes, the delay
+        // line drains and exits. Join them all.
+        for h in worker_handles {
+            h.join().map_err(|_| "a worker thread panicked")?;
+        }
+        for h in assim_handles {
+            h.join().map_err(|_| "an assimilator thread panicked")?;
+        }
+        if let Some(h) = delay_handle {
+            h.join().map_err(|_| "the delay-line thread panicked")?;
+        }
+
+        // Final evaluation on the full splits, mirroring the simulator.
+        let (params, _) = assim.read_params();
+        let mut model = cfg.job.model.build(cfg.job.seed);
+        model.set_params_flat(&params);
+        let (_, v) = evaluate(&mut model, &val.images, &val.labels, 256);
+        let (_, t) = evaluate(&mut model, &test.images, &test.labels, 256);
+        report.final_val_acc = v;
+        report.final_test_acc = t;
+        Ok(report)
+    }
+}
+
+/// Convenience: build and run in one call.
+pub fn run_runtime(cfg: RuntimeConfig) -> Result<RuntimeReport, String> {
+    Runtime::new(cfg)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tentpole acceptance: ≥ 4 real worker threads train the synthetic
+    /// dataset to the same learnability threshold as the simulated driver.
+    #[test]
+    fn threaded_fleet_learns_above_chance() {
+        let mut cfg = RuntimeConfig::test_small(2);
+        cfg.job.cn = 4;
+        cfg.job.tn = 2;
+        cfg.job.epochs = 5;
+        let report = run_runtime(cfg.clone()).unwrap();
+        assert!(!report.halted_early, "run must finish on its own");
+        assert_eq!(report.epochs.len(), cfg.job.epochs);
+        for (i, e) in report.epochs.iter().enumerate() {
+            assert_eq!(e.epoch, i + 1);
+            assert_eq!(e.assimilated, cfg.job.shards);
+        }
+        assert!(
+            report.final_mean_acc() > 0.2,
+            "accuracy {}",
+            report.final_mean_acc()
+        );
+        // Final full-split evaluations broadly agree with the epoch series.
+        assert!((report.final_val_acc - report.final_mean_acc()).abs() < 0.25);
+        assert!(report.wall_s > 0.0);
+        assert!(report.bytes_transferred > 0);
+    }
+
+    /// Satellite: checkpoint mid-epoch, resume in a fresh `Runtime`, and
+    /// the final accuracy matches an uninterrupted run within tolerance.
+    #[test]
+    fn checkpoint_roundtrip_matches_uninterrupted() {
+        let path = std::env::temp_dir().join("vc_runtime_resume_test.json");
+        let path_s = path.to_string_lossy().into_owned();
+        std::fs::remove_file(&path).ok();
+
+        let mut base = RuntimeConfig::test_small(11);
+        base.job.cn = 4;
+        base.job.epochs = 3;
+
+        let clean = run_runtime(base.clone()).unwrap();
+        assert!(clean.final_mean_acc() > 0.15, "{}", clean.final_mean_acc());
+
+        // Interrupt mid-job: halt after 11 assimilations (mid-epoch-2 with
+        // 8 shards per epoch), checkpointing at the halt.
+        let mut first = base.clone();
+        first.checkpoint_path = Some(path_s.clone());
+        first.halt_after_assims = Some(11);
+        let partial = run_runtime(first).unwrap();
+        assert!(partial.halted_early);
+        assert!(partial.epochs.len() < 3);
+
+        let mut resumed = Runtime::resume(&path).unwrap();
+        resumed.config_mut().halt_after_assims = None;
+        resumed.config_mut().checkpoint_every_assims = None;
+        resumed.config_mut().checkpoint_path = None;
+        let done = resumed.run().unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert!(!done.halted_early);
+        assert_eq!(done.epochs.len(), 3, "resume completes the job");
+        // Both runs assimilate the same deterministic client results; only
+        // arrival order (and thus blend order) differs across threads.
+        assert!(
+            (done.final_mean_acc() - clean.final_mean_acc()).abs() < 0.15,
+            "resumed {} vs clean {}",
+            done.final_mean_acc(),
+            clean.final_mean_acc()
+        );
+        assert!(done.final_mean_acc() > 0.15, "{}", done.final_mean_acc());
+        // The resumed clock continues where the checkpoint left off.
+        assert!(done.wall_s > partial.wall_s);
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let mut cfg = RuntimeConfig::test_small(1);
+        cfg.job.timing_only = true;
+        assert!(Runtime::new(cfg).is_err());
+
+        let mut cfg = RuntimeConfig::test_small(1);
+        cfg.faults.kill_hosts = (0..cfg.job.cn as u32).collect();
+        assert!(
+            Runtime::new(cfg).is_err(),
+            "whole-fleet kill without respawn must be rejected"
+        );
+    }
+}

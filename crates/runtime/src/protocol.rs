@@ -1,0 +1,74 @@
+//! The channel protocol between workers, the coordinator and the
+//! assimilator pool.
+//!
+//! The message set deliberately mirrors BOINC's HTTP scheduler RPCs: a
+//! client only ever *requests work* and *reports results*; the server only
+//! ever answers the request it was asked. There is no death notification —
+//! when a worker disappears, the server finds out the way the real system
+//! does, through assignment timeouts.
+
+use std::sync::Arc;
+use vc_middleware::{HostId, WorkUnit, WuId};
+
+/// Worker → coordinator (and assimilator → coordinator) traffic. All
+/// senders share one MPMC channel; the coordinator is the single consumer.
+#[derive(Debug)]
+pub enum ToServer {
+    /// Scheduler RPC: `host` asks for one subtask.
+    RequestWork {
+        /// The polling host.
+        host: HostId,
+    },
+    /// Upload: a trained replica's parameter vector.
+    Result {
+        /// The reporting host.
+        host: HostId,
+        /// The workunit the result answers.
+        wu: WuId,
+        /// The replica parameters (validated server-side).
+        params: Vec<f32>,
+    },
+    /// A parameter server finished assimilating an accepted result.
+    Assimilated {
+        /// The workunit whose result was assimilated.
+        wu: WuId,
+        /// The epoch the workunit belongs to.
+        epoch: usize,
+        /// The shard the workunit trained.
+        shard_id: usize,
+        /// Validation accuracy of the post-update server copy.
+        acc: f32,
+    },
+}
+
+/// Coordinator → worker replies, one channel per worker.
+#[derive(Debug)]
+pub enum ToWorker {
+    /// One subtask plus the epoch-start parameter snapshot it trains from
+    /// (Eq. (2)'s `W_{s,e-1}`, shared by every subtask of the epoch).
+    Assign {
+        /// The assigned workunit.
+        wu: WorkUnit,
+        /// The epoch's parameter snapshot.
+        snapshot: Arc<Vec<f32>>,
+    },
+    /// Nothing schedulable right now; poll again after the configured
+    /// interval.
+    NoWork,
+    /// The job is over; exit.
+    Shutdown,
+}
+
+/// One accepted result queued for the assimilator pool (MPMC: any free
+/// parameter-server thread picks it up).
+#[derive(Debug)]
+pub struct AssimTask {
+    /// The workunit the result answers.
+    pub wu: WuId,
+    /// The epoch the workunit belongs to.
+    pub epoch: usize,
+    /// The shard the workunit trained.
+    pub shard_id: usize,
+    /// The client replica's parameters.
+    pub client: Vec<f32>,
+}

@@ -1,0 +1,125 @@
+//! Run reports, mirroring `vc-asgd`'s [`vc_asgd::EpochStats`] /
+//! [`vc_asgd::JobReport`] with wall-clock seconds in place of simulated
+//! hours, plus the fault-injection counters.
+
+use serde::{Deserialize, Serialize};
+use vc_middleware::ServerMetrics;
+
+/// Per-epoch statistics of a real threaded run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeEpoch {
+    /// Epoch number (1-based).
+    pub epoch: usize,
+    /// The α this epoch's assimilations used.
+    pub alpha: f32,
+    /// Wall-clock seconds from job start (cumulative across resumes) when
+    /// the epoch's last shard assimilated.
+    pub end_wall_s: f64,
+    /// Mean validation accuracy over the epoch's assimilations.
+    pub mean_val_acc: f32,
+    /// Minimum over the epoch's assimilations.
+    pub min_val_acc: f32,
+    /// Maximum over the epoch's assimilations.
+    pub max_val_acc: f32,
+    /// Results assimilated this epoch (always equals the shard count).
+    pub assimilated: usize,
+    /// Cumulative lost updates in the parameter store.
+    pub lost_updates: u64,
+    /// Cumulative assignment timeouts.
+    pub timeouts: u64,
+    /// Cumulative reassignments.
+    pub reassignments: u64,
+}
+
+/// The full report of a [`crate::Runtime`] run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeReport {
+    /// Experiment label (`P{pn}C{cn}T{tn}`).
+    pub label: String,
+    /// Per-epoch series.
+    pub epochs: Vec<RuntimeEpoch>,
+    /// Validation accuracy of the final server parameters (full split).
+    pub final_val_acc: f32,
+    /// Test accuracy of the final server parameters.
+    pub final_test_acc: f32,
+    /// Total wall-clock seconds (cumulative across resumes).
+    pub wall_s: f64,
+    /// Worker threads the run started with.
+    pub workers: usize,
+    /// Middleware counters.
+    pub server_metrics: ServerMetrics,
+    /// Store counters `(reads, writes, transactions, lost_updates)`.
+    pub store_ops: (u64, u64, u64, u64),
+    /// Parameter payload bytes that crossed worker channels.
+    pub bytes_transferred: u64,
+    /// Workers the fault injector preempted.
+    pub kills: u64,
+    /// Replacement workers that came up.
+    pub respawns: u64,
+    /// Messages routed through the delay line.
+    pub delayed_msgs: u64,
+    /// True when the run stopped before completing (halt hook or the
+    /// `max_wall_s` safety net) — final accuracies are still measured on
+    /// whatever the server held.
+    pub halted_early: bool,
+}
+
+impl RuntimeReport {
+    /// Mean validation accuracy of the last completed epoch (0 when none).
+    pub fn final_mean_acc(&self) -> f32 {
+        self.epochs.last().map(|e| e.mean_val_acc).unwrap_or(0.0)
+    }
+
+    /// Wall-clock seconds until the epoch-mean validation accuracy first
+    /// reached `target`, when it did.
+    pub fn time_to_accuracy(&self, target: f32) -> Option<f64> {
+        self.epochs
+            .iter()
+            .find(|e| e.mean_val_acc >= target)
+            .map(|e| e.end_wall_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch(n: usize, acc: f32, t: f64) -> RuntimeEpoch {
+        RuntimeEpoch {
+            epoch: n,
+            alpha: 0.6,
+            end_wall_s: t,
+            mean_val_acc: acc,
+            min_val_acc: acc - 0.05,
+            max_val_acc: acc + 0.05,
+            assimilated: 8,
+            lost_updates: 0,
+            timeouts: 0,
+            reassignments: 0,
+        }
+    }
+
+    #[test]
+    fn accessors_walk_the_series() {
+        let r = RuntimeReport {
+            label: "P2C4T2".into(),
+            epochs: vec![epoch(1, 0.2, 1.0), epoch(2, 0.45, 2.5)],
+            final_val_acc: 0.45,
+            final_test_acc: 0.44,
+            wall_s: 2.6,
+            workers: 4,
+            server_metrics: ServerMetrics::default(),
+            store_ops: (0, 0, 0, 0),
+            bytes_transferred: 0,
+            kills: 0,
+            respawns: 0,
+            delayed_msgs: 0,
+            halted_early: false,
+        };
+        assert_eq!(r.final_mean_acc(), 0.45);
+        assert_eq!(r.time_to_accuracy(0.4), Some(2.5));
+        assert_eq!(r.time_to_accuracy(0.9), None);
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<RuntimeReport>(&json).unwrap(), r);
+    }
+}

@@ -1,0 +1,198 @@
+//! Worker→server transport, optionally routed through a delay line.
+//!
+//! With fault injection enabled, every worker message is stamped with a
+//! random future delivery instant and handed to a dedicated delay-line
+//! thread, which holds messages in a min-heap and releases them in
+//! *delivery-time* order. Messages with different draws overtake each
+//! other, so the coordinator sees genuinely reordered traffic (a result can
+//! arrive after the poll that was sent later, a straggler upload after its
+//! workunit already timed out and was reassigned).
+
+use crate::fault::FaultStats;
+use crate::protocol::ToServer;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A worker's handle for sending to the coordinator: direct, or via the
+/// delay line.
+pub enum Outbox {
+    /// In-order delivery straight into the coordinator's inbox.
+    Direct(Sender<ToServer>),
+    /// Delivery through the delay line with a per-message uniform delay in
+    /// `[0, max_delay_s]`.
+    Delayed {
+        /// Input of the delay-line thread.
+        tx: Sender<(Instant, ToServer)>,
+        /// Upper bound of the injected delay, seconds.
+        max_delay_s: f64,
+        /// Shared fault counters.
+        stats: Arc<FaultStats>,
+    },
+}
+
+impl Outbox {
+    /// Sends one message, drawing its delay from `rng` when delayed.
+    /// Returns `Err` when the coordinator (or delay line) is gone — the
+    /// only failure mode, so the error carries no payload.
+    #[allow(clippy::result_unit_err)]
+    pub fn send(&self, rng: &mut StdRng, msg: ToServer) -> Result<(), ()> {
+        match self {
+            Outbox::Direct(tx) => tx.send(msg).map_err(|_| ()),
+            Outbox::Delayed {
+                tx,
+                max_delay_s,
+                stats,
+            } => {
+                let delay = rng.gen_range(0.0..=*max_delay_s);
+                stats
+                    .delayed_msgs
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                tx.send((Instant::now() + Duration::from_secs_f64(delay), msg))
+                    .map_err(|_| ())
+            }
+        }
+    }
+}
+
+/// Heap entry ordered by delivery instant (earliest first under `Reverse`),
+/// with an arrival sequence number breaking exact ties FIFO.
+struct Pending {
+    at: Instant,
+    seq: u64,
+    msg: ToServer,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The delay-line thread body: stamps incoming messages into the heap and
+/// releases each when its delivery instant passes. Drains the heap after
+/// the input disconnects, then exits.
+pub fn delay_line_main(rx: Receiver<(Instant, ToServer)>, out: Sender<ToServer>) {
+    let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut open = true;
+    while open || !heap.is_empty() {
+        // Wait for the next due delivery or the next incoming message.
+        let next_due = heap.peek().map(|p| p.at);
+        if open {
+            let incoming = match next_due {
+                Some(at) => {
+                    let wait = at.saturating_duration_since(Instant::now());
+                    match rx.recv_timeout(wait) {
+                        Ok(m) => Some(m),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            open = false;
+                            None
+                        }
+                    }
+                }
+                None => match rx.recv() {
+                    Ok(m) => Some(m),
+                    Err(_) => {
+                        open = false;
+                        None
+                    }
+                },
+            };
+            if let Some((at, msg)) = incoming {
+                heap.push(Pending { at, seq, msg });
+                seq += 1;
+            }
+        } else if let Some(at) = next_due {
+            std::thread::sleep(at.saturating_duration_since(Instant::now()));
+        }
+        let now = Instant::now();
+        while heap.peek().is_some_and(|p| p.at <= now) {
+            let p = heap.pop().expect("peeked");
+            if out.send(p.msg).is_err() {
+                return; // coordinator gone: drop the rest
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use rand::SeedableRng;
+    use vc_middleware::HostId;
+
+    #[test]
+    fn direct_outbox_preserves_order() {
+        let (tx, rx) = unbounded();
+        let ob = Outbox::Direct(tx);
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..5 {
+            ob.send(&mut rng, ToServer::RequestWork { host: HostId(i) })
+                .unwrap();
+        }
+        for i in 0..5 {
+            match rx.recv().unwrap() {
+                ToServer::RequestWork { host } => assert_eq!(host, HostId(i)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn delay_line_delivers_everything_by_delivery_time() {
+        let (in_tx, in_rx) = unbounded();
+        let (out_tx, out_rx) = unbounded();
+        let line = std::thread::spawn(move || delay_line_main(in_rx, out_tx));
+        let stats = Arc::new(FaultStats::default());
+        let ob = Outbox::Delayed {
+            tx: in_tx,
+            max_delay_s: 0.05,
+            stats: stats.clone(),
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 64u32;
+        for i in 0..n {
+            ob.send(&mut rng, ToServer::RequestWork { host: HostId(i) })
+                .unwrap();
+        }
+        drop(ob); // disconnect the input so the line drains and exits
+        let mut seen = vec![false; n as usize];
+        let mut reordered = false;
+        let mut last = 0u32;
+        for k in 0..n {
+            let msg = out_rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("delay line must drain every message");
+            let ToServer::RequestWork { host } = msg else {
+                panic!("unexpected message");
+            };
+            seen[host.0 as usize] = true;
+            if k > 0 && host.0 < last {
+                reordered = true;
+            }
+            last = host.0;
+        }
+        line.join().unwrap();
+        assert!(seen.iter().all(|&s| s), "no message may be lost");
+        assert!(reordered, "random delays over 64 messages must reorder");
+        assert_eq!(stats.snapshot().2, n as u64);
+    }
+}

@@ -1,0 +1,131 @@
+//! The worker (volunteer client) thread.
+//!
+//! Each worker owns one host identity and runs the BOINC client loop for
+//! real: poll the scheduler, train the assigned shard with actual SGD
+//! (through the same [`vc_asgd::train_client_replica`] the simulator
+//! uses), upload the replica parameters, repeat. A worker executes one
+//! subtask at a time; the server-side slot cap (`Tn`) still bounds how much
+//! work can be assigned to its host record.
+//!
+//! Death is silent: a preempted worker simply stops participating, exactly
+//! like a terminated spot instance. The server learns only when the
+//! assignment's wall-clock deadline passes.
+
+use crate::config::RuntimeConfig;
+use crate::fault::FaultStats;
+use crate::protocol::{ToServer, ToWorker};
+use crate::transport::Outbox;
+use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+use vc_asgd::{train_client_replica, JobConfig};
+use vc_data::ShardSet;
+use vc_middleware::HostId;
+
+/// Everything one worker thread needs.
+pub struct WorkerCtx {
+    /// This worker's host identity.
+    pub id: HostId,
+    /// Shared run configuration.
+    pub cfg: Arc<RuntimeConfig>,
+    /// The sharded training set (workers read their assigned shard).
+    pub shards: Arc<ShardSet>,
+    /// Replies from the coordinator.
+    pub cmd_rx: Receiver<ToWorker>,
+    /// Uplink to the coordinator (possibly through the delay line).
+    pub outbox: Outbox,
+    /// Shared fault counters.
+    pub stats: Arc<FaultStats>,
+}
+
+/// The worker thread body.
+pub fn worker_main(ctx: WorkerCtx) {
+    let WorkerCtx {
+        id,
+        cfg,
+        shards,
+        cmd_rx,
+        outbox,
+        stats,
+    } = ctx;
+    let job: &JobConfig = &cfg.job;
+    let mut delay_rng = StdRng::seed_from_u64(
+        cfg.faults
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(id.0)),
+    );
+    let poll = Duration::from_secs_f64(cfg.poll_interval_s);
+    let reply_timeout = Duration::from_secs_f64(cfg.reply_timeout_s);
+    let mut life: u32 = 0;
+    let mut assignments_this_life: u64 = 0;
+
+    loop {
+        if outbox
+            .send(&mut delay_rng, ToServer::RequestWork { host: id })
+            .is_err()
+        {
+            return; // coordinator gone
+        }
+        match cmd_rx.recv_timeout(reply_timeout) {
+            Err(RecvTimeoutError::Disconnected) | Ok(ToWorker::Shutdown) => return,
+            Err(RecvTimeoutError::Timeout) => continue, // reply lost somewhere: re-poll
+            Ok(ToWorker::NoWork) => std::thread::sleep(poll),
+            Ok(ToWorker::Assign { wu, snapshot }) => {
+                assignments_this_life += 1;
+                if cfg.faults.should_kill(id.0, life, assignments_this_life) {
+                    if !die(&cfg, &cmd_rx, &stats) {
+                        return;
+                    }
+                    life += 1;
+                    assignments_this_life = 0;
+                    continue;
+                }
+                let data = &shards.shard(wu.shard_id).data;
+                let params = train_client_replica(job, &snapshot, data, wu.epoch, wu.shard_id);
+                if outbox
+                    .send(
+                        &mut delay_rng,
+                        ToServer::Result {
+                            host: id,
+                            wu: wu.id,
+                            params,
+                        },
+                    )
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Preemption: the in-hand assignment is dropped without a word. With a
+/// respawn delay configured, the thread then impersonates the replacement
+/// instance: it waits out the provisioning delay and discards every message
+/// addressed to its dead predecessor. Returns `true` when a replacement
+/// came up, `false` when the host is gone for good.
+fn die(cfg: &RuntimeConfig, cmd_rx: &Receiver<ToWorker>, stats: &FaultStats) -> bool {
+    stats
+        .kills
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let Some(delay_s) = cfg.faults.respawn_after_s else {
+        return false;
+    };
+    std::thread::sleep(Duration::from_secs_f64(delay_s));
+    // A fresh instance has no memory of in-flight replies.
+    loop {
+        match cmd_rx.try_recv() {
+            Ok(ToWorker::Shutdown) | Err(TryRecvError::Disconnected) => return false,
+            Ok(_) => continue,
+            Err(TryRecvError::Empty) => break,
+        }
+    }
+    stats
+        .respawns
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    true
+}

@@ -137,7 +137,7 @@ mod tests {
         let t = m.subtask_s(&c, 2);
         // Two resident tasks on 8 vCPUs wanting 4 cores each: no sharing,
         // just the linear overhead.
-        assert!(t >= 144.0 && t <= 160.0, "{t}");
+        assert!((144.0..=160.0).contains(&t), "{t}");
         assert!(t / 60.0 <= 2.6, "t_e = {} min", t / 60.0);
     }
 

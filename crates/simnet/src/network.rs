@@ -54,8 +54,7 @@ impl NetworkModel {
             self.rtt_median_s
         };
         let payload = bytes as f64 * self.compression;
-        let bytes_per_s =
-            instance.bandwidth_gbps * self.bandwidth_efficiency * 1e9 / 8.0;
+        let bytes_per_s = instance.bandwidth_gbps * self.bandwidth_efficiency * 1e9 / 8.0;
         rtt + payload / bytes_per_s
     }
 
@@ -88,7 +87,10 @@ mod tests {
 
     #[test]
     fn slower_links_take_longer() {
-        let m = NetworkModel { rtt_sigma: 0.0, ..Default::default() };
+        let m = NetworkModel {
+            rtt_sigma: 0.0,
+            ..Default::default()
+        };
         let fast = m.expected_transfer_s(&table1::client_8v_2_2(), 21 << 20); // 5 Gbps
         let slow = m.expected_transfer_s(&table1::client_8v_2_8(), 21 << 20); // 2 Gbps
         assert!(slow > fast);
@@ -135,8 +137,15 @@ mod tests {
 
     #[test]
     fn compression_scales_payload() {
-        let base = NetworkModel { rtt_sigma: 0.0, ..Default::default() };
-        let gz = NetworkModel { compression: 0.5, rtt_sigma: 0.0, ..Default::default() };
+        let base = NetworkModel {
+            rtt_sigma: 0.0,
+            ..Default::default()
+        };
+        let gz = NetworkModel {
+            compression: 0.5,
+            rtt_sigma: 0.0,
+            ..Default::default()
+        };
         let c = table1::client_8v_2_8();
         let t0 = base.expected_transfer_s(&c, 10 << 20) - base.rtt_median_s;
         let t1 = gz.expected_transfer_s(&c, 10 << 20) - gz.rtt_median_s;

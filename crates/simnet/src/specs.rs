@@ -156,7 +156,10 @@ mod tests {
     #[test]
     fn table1_matches_paper_rows() {
         let s = table1::server();
-        assert_eq!((s.vcpus, s.clock_ghz, s.ram_gb, s.bandwidth_gbps), (8, 2.3, 61.0, 10.0));
+        assert_eq!(
+            (s.vcpus, s.clock_ghz, s.ram_gb, s.bandwidth_gbps),
+            (8, 2.3, 61.0, 10.0)
+        );
         let c = table1::client_types();
         assert_eq!(c.len(), 4);
         assert_eq!(c[0].vcpus, 8);

@@ -111,10 +111,7 @@ mod tests {
     fn rejects_bad_magic() {
         let mut blob = encode_f32s(&[1.0]).to_vec();
         blob[0] ^= 0xff;
-        assert!(matches!(
-            decode_f32s(&blob),
-            Err(CodecError::BadMagic(_))
-        ));
+        assert!(matches!(decode_f32s(&blob), Err(CodecError::BadMagic(_))));
     }
 
     #[test]

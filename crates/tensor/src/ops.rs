@@ -462,7 +462,7 @@ mod tests {
         };
         let cols = im2col(&input, 1, g);
         let out = matmul_a_bt(&cols, &kernel); // [4, 1]
-        // direct: out[y][x] = in[y][x] - in[y+1][x+1]
+                                               // direct: out[y][x] = in[y][x] - in[y+1][x+1]
         let expect = [1.0 - 5.0, 2.0 - 6.0, 4.0 - 8.0, 5.0 - 9.0];
         for (o, e) in out.data().iter().zip(expect) {
             assert!((o - e).abs() < 1e-6);

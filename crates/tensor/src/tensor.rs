@@ -310,8 +310,9 @@ impl Tensor {
         let (m, n) = (self.shape.dim(0), self.shape.dim(1));
         let mut out = vec![0.0; n];
         for i in 0..m {
-            for j in 0..n {
-                out[j] += self.data[i * n + j];
+            let row = &self.data[i * n..(i + 1) * n];
+            for (o, v) in out.iter_mut().zip(row) {
+                *o += v;
             }
         }
         Tensor::from_vec(out, &[n])

@@ -47,9 +47,18 @@ fn main() {
     let m = report.server_metrics;
     println!();
     println!("middleware under churn:");
-    println!("  assigned {:>5}   completed {:>5}", m.assigned, m.completed);
-    println!("  timeouts {:>5}   reassigned {:>4}", m.timeouts, m.reassignments);
-    println!("  stale    {:>5}   cache hits {:>4}", m.stale_results, m.cache_hits);
+    println!(
+        "  assigned {:>5}   completed {:>5}",
+        m.assigned, m.completed
+    );
+    println!(
+        "  timeouts {:>5}   reassigned {:>4}",
+        m.timeouts, m.reassignments
+    );
+    println!(
+        "  stale    {:>5}   cache hits {:>4}",
+        m.stale_results, m.cache_hits
+    );
     println!("  preemptions survived: {}", report.preemptions);
     assert_eq!(
         report.epochs.len(),

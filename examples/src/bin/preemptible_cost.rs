@@ -15,9 +15,7 @@ fn main() {
 
     // Timing-only P5C5T2 job; real training is irrelevant to cost.
     let base_hours = job_hours(PreemptionModel::None);
-    println!(
-        "P5C5T2 baseline: {base_hours:.2} simulated hours without interruptions\n"
-    );
+    println!("P5C5T2 baseline: {base_hours:.2} simulated hours without interruptions\n");
     println!(
         "{:>6} {:>12} {:>12} {:>12} {:>12} {:>10}",
         "p", "sim hours", "analytic +", "sim +", "$ preempt", "$ standard"
@@ -40,9 +38,7 @@ fn main() {
     }
 
     println!();
-    println!(
-        "even at p = 0.20 the preemptible fleet costs a fraction of standard pricing —"
-    );
+    println!("even at p = 0.20 the preemptible fleet costs a fraction of standard pricing —");
     println!("the paper's 70-90% saving holds after paying for the delay.");
 }
 

@@ -26,7 +26,11 @@ fn main() {
     cfg.local_epochs = 3;
     cfg.alpha = AlphaSchedule::VarEOverE1;
 
-    println!("model: {} ({} parameters)", cfg.model.name, cfg.model.build(0).param_count());
+    println!(
+        "model: {} ({} parameters)",
+        cfg.model.name,
+        cfg.model.build(0).param_count()
+    );
     println!(
         "job:   {} · {} shards · alpha schedule {}",
         cfg.pct_label(),

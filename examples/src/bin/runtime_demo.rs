@@ -1,0 +1,81 @@
+//! Runtime demo: the same VC-ASGD job the simulator models, executed on a
+//! real threaded volunteer fleet — worker threads training for real, a
+//! fault injector preempting a third of them mid-subtask, wall-clock
+//! timeouts recovering the lost work, and a checkpoint/resume cycle in the
+//! middle of the run.
+//!
+//! Run: `cargo run -p vc-examples --bin runtime_demo --release`
+
+use vc_runtime::{run_runtime, FaultPlan, Runtime, RuntimeConfig, RuntimeReport};
+
+fn print_report(tag: &str, r: &RuntimeReport) {
+    println!(
+        "{:>5} {:>7} {:>9} {:>9} {:>17}",
+        "epoch", "alpha", "wall", "val acc", "min..max"
+    );
+    for e in &r.epochs {
+        println!(
+            "{:>5} {:>7.3} {:>8.2}s {:>9.3} {:>8.3}..{:.3}",
+            e.epoch, e.alpha, e.end_wall_s, e.mean_val_acc, e.min_val_acc, e.max_val_acc
+        );
+    }
+    println!(
+        "{tag}: val {:.3}, test {:.3} in {:.2}s wall · {} assigned, {} timeouts, {} reassigned",
+        r.final_val_acc,
+        r.final_test_acc,
+        r.wall_s,
+        r.server_metrics.assigned,
+        r.server_metrics.timeouts,
+        r.server_metrics.reassignments,
+    );
+    println!(
+        "faults: {} kills, {} respawns, {} delayed messages · {:.1} MB moved",
+        r.kills,
+        r.respawns,
+        r.delayed_msgs,
+        r.bytes_transferred as f64 / 1e6
+    );
+    println!();
+}
+
+fn main() {
+    let mut cfg = RuntimeConfig::test_small(7);
+    cfg.job.cn = 6; // six real worker threads
+    cfg.job.pn = 2; // two parameter-server threads racing on the store
+    cfg.job.epochs = 5;
+
+    // Preempt a third of the fleet on its second assignment; replacements
+    // come up after half a second. Worker messages are randomly delayed.
+    cfg.faults = FaultPlan {
+        kill_hosts: FaultPlan::fraction_of(cfg.job.cn, 0.34),
+        kill_on_nth_assignment: 2,
+        respawn_after_s: Some(0.5),
+        max_msg_delay_s: 0.02,
+        seed: 7,
+    };
+
+    println!(
+        "fleet: {} workers ({:?} will be preempted), {} parameter servers, {} shards\n",
+        cfg.job.cn, cfg.faults.kill_hosts, cfg.job.pn, cfg.job.shards
+    );
+    let clean = run_runtime(cfg.clone()).expect("config is valid");
+    print_report("faulty fleet", &clean);
+
+    // Same job again, now interrupted after 12 assimilations and resumed
+    // from the checkpoint — the resumed run finishes the remaining epochs.
+    let ck_path = std::env::temp_dir().join("vc_runtime_demo_ck.json");
+    cfg.checkpoint_path = Some(ck_path.to_string_lossy().into_owned());
+    cfg.halt_after_assims = Some(12);
+    let partial = run_runtime(cfg).expect("config is valid");
+    println!(
+        "interrupted after {} epochs ({} assimilations) — resuming from {}",
+        partial.epochs.len(),
+        12,
+        ck_path.display()
+    );
+    let mut resumed = Runtime::resume(&ck_path).expect("checkpoint is readable");
+    resumed.config_mut().halt_after_assims = None;
+    let done = resumed.run().expect("resume is valid");
+    std::fs::remove_file(&ck_path).ok();
+    print_report("resumed run", &done);
+}

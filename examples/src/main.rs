@@ -7,4 +7,5 @@ fn main() {
     println!("  heterogeneous_fleet Table-I fleet with stragglers, timeouts and reassignment");
     println!("  preemptible_cost    interruption-probability sweep: time inflation and dollars");
     println!("  alpha_tuning        alpha-schedule sweep with time-to-accuracy reporting");
+    println!("  runtime_demo        real threaded fleet with preemptions and checkpoint/resume");
 }

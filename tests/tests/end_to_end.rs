@@ -21,10 +21,7 @@ fn pipeline_trains_and_reports_consistently() {
     // Every epoch assimilated exactly `shards` results.
     assert!(r.epochs.iter().all(|e| e.assimilated == cfg.shards));
     // The server accepted exactly epochs × shards results.
-    assert_eq!(
-        r.server_metrics.completed,
-        (cfg.epochs * cfg.shards) as u64
-    );
+    assert_eq!(r.server_metrics.completed, (cfg.epochs * cfg.shards) as u64);
     // Accuracy fields are coherent probabilities.
     for e in &r.epochs {
         assert!(e.min_val_acc <= e.mean_val_acc && e.mean_val_acc <= e.max_val_acc);

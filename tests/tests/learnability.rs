@@ -17,7 +17,16 @@ fn small_cnn_learns_cifar_like() {
     let mut opt = OptimizerSpec::paper_adam().build(model.param_count());
     let mut rng = StdRng::seed_from_u64(2);
     for e in 0..8 {
-        let st = train_minibatch(&mut model, &mut opt, &train.images, &train.labels, 32, 1, 5.0, &mut rng);
+        let st = train_minibatch(
+            &mut model,
+            &mut opt,
+            &train.images,
+            &train.labels,
+            32,
+            1,
+            5.0,
+            &mut rng,
+        );
         let (_, acc) = evaluate(&mut model, &val.images, &val.labels, 128);
         eprintln!("epoch {e}: loss {:.3} val acc {:.3}", st.mean_loss, acc);
     }

@@ -75,7 +75,10 @@ fn every_workunit_completes_exactly_once_under_chaos() {
             }
             in_flight = still;
         }
-        assert_eq!(completions, wus, "seed {seed}: duplicate or missing completions");
+        assert_eq!(
+            completions, wus,
+            "seed {seed}: duplicate or missing completions"
+        );
         let m = server.metrics();
         assert_eq!(m.completed as usize, wus);
     }

@@ -33,7 +33,10 @@ fn fig3_p1c3_dips_at_t4_and_rises_at_t8() {
     let t4 = run_job(timing_cfg(1, 3, 4)).unwrap().total_time_h;
     let t8 = run_job(timing_cfg(1, 3, 8)).unwrap().total_time_h;
     assert!(t4 < t2, "T4 {t4} should beat T2 {t2}");
-    assert!(t8 > t4, "T8 {t8} should be slower than T4 {t4} (server bound)");
+    assert!(
+        t8 > t4,
+        "T8 {t8} should be slower than T4 {t4} (server bound)"
+    );
 }
 
 #[test]
@@ -42,7 +45,10 @@ fn fig3_more_parameter_servers_fix_the_t8_bottleneck() {
     // indeed decreases" (by ~3 h on the paper's testbed).
     let p1 = run_job(timing_cfg(1, 3, 8)).unwrap().total_time_h;
     let p3 = run_job(timing_cfg(3, 3, 8)).unwrap().total_time_h;
-    assert!(p3 < p1 - 1.0, "P3C3T8 {p3} should be hours faster than P1C3T8 {p1}");
+    assert!(
+        p3 < p1 - 1.0,
+        "P3C3T8 {p3} should be hours faster than P1C3T8 {p1}"
+    );
 }
 
 #[test]
@@ -65,7 +71,10 @@ fn sec4d_strong_consistency_stretches_training() {
     st.consistency = Consistency::Strong;
     let ev_h = run_job(ev).unwrap().total_time_h;
     let st_h = run_job(st).unwrap().total_time_h;
-    assert!(st_h > ev_h, "strong {st_h} must be slower than eventual {ev_h}");
+    assert!(
+        st_h > ev_h,
+        "strong {st_h} must be slower than eventual {ev_h}"
+    );
     // The gap is bounded by update-count × latency-gap (the updates only
     // partially sit on the critical path).
     let max_gap_h = 2000.0 * (1.29 - 0.87) / 3600.0;

@@ -1,0 +1,110 @@
+//! Chaos test of the threaded runtime: preempt 30% of the worker fleet
+//! mid-epoch and assert the job still trains to the learnability threshold,
+//! with the lost work recovered through wall-clock timeouts and
+//! reassignment — the paper's core fault-tolerance claim (§IV-E), on real
+//! threads instead of simulated ones.
+
+use vc_runtime::{run_runtime, FaultPlan, RuntimeConfig};
+
+/// 30% of a 7-worker fleet dies silently on its second assignment and
+/// never comes back. The scheduler must notice via deadlines and re-issue
+/// their subtasks to the survivors.
+#[test]
+fn fleet_survives_losing_a_third_of_its_workers() {
+    let mut cfg = RuntimeConfig::test_small(21);
+    cfg.job.cn = 7;
+    cfg.job.tn = 2;
+    cfg.job.epochs = 4;
+    cfg.faults = FaultPlan {
+        kill_hosts: FaultPlan::fraction_of(cfg.job.cn, 0.3),
+        kill_on_nth_assignment: 2,
+        respawn_after_s: None,
+        max_msg_delay_s: 0.0,
+        seed: 21,
+    };
+    assert_eq!(cfg.faults.kill_hosts.len(), 3);
+
+    let report = run_runtime(cfg.clone()).unwrap();
+
+    assert!(!report.halted_early, "job must finish despite the losses");
+    assert_eq!(report.epochs.len(), cfg.job.epochs);
+    for e in &report.epochs {
+        assert_eq!(e.assimilated, cfg.job.shards, "every shard assimilated");
+    }
+    assert_eq!(report.kills, 3, "every doomed worker died");
+    assert_eq!(report.respawns, 0);
+    assert!(
+        report.server_metrics.timeouts > 0,
+        "dead workers' assignments must expire"
+    );
+    assert!(
+        report.server_metrics.reassignments > 0,
+        "expired assignments must be re-issued"
+    );
+    assert!(
+        report.final_mean_acc() > 0.2,
+        "learnability threshold despite chaos: {}",
+        report.final_mean_acc()
+    );
+}
+
+/// Same storm, but replacements come up after a delay and worker messages
+/// travel through the delay line (random delay, possible reordering). The
+/// job must still finish and learn.
+#[test]
+fn fleet_survives_preemption_with_respawn_and_message_chaos() {
+    let mut cfg = RuntimeConfig::test_small(22);
+    cfg.job.cn = 6;
+    cfg.job.tn = 2;
+    cfg.job.epochs = 3;
+    cfg.faults = FaultPlan {
+        kill_hosts: FaultPlan::fraction_of(cfg.job.cn, 0.34),
+        kill_on_nth_assignment: 1,
+        respawn_after_s: Some(0.3),
+        max_msg_delay_s: 0.01,
+        seed: 22,
+    };
+
+    let doomed = cfg.faults.kill_hosts.len() as u64;
+    let report = run_runtime(cfg.clone()).unwrap();
+
+    assert!(!report.halted_early);
+    assert_eq!(report.epochs.len(), cfg.job.epochs);
+    assert_eq!(report.kills, doomed);
+    assert_eq!(report.respawns, doomed, "replacement instances came up");
+    assert!(
+        report.delayed_msgs > 0,
+        "traffic went through the delay line"
+    );
+    assert!(
+        report.server_metrics.reassignments > 0,
+        "the dropped first assignments must be re-issued"
+    );
+    assert!(
+        report.final_mean_acc() > 0.2,
+        "learnability threshold despite chaos: {}",
+        report.final_mean_acc()
+    );
+}
+
+/// The runtime and the simulator assimilate the same deterministic client
+/// results, so their learning outcomes agree — the runtime is a real-time
+/// replay of the simulated job, not a different algorithm.
+#[test]
+fn runtime_and_simulator_agree_on_learning_outcome() {
+    let mut cfg = RuntimeConfig::test_small(23);
+    cfg.job.cn = 4;
+    cfg.job.epochs = 4;
+
+    let rt = run_runtime(cfg.clone()).unwrap();
+    let sim = vc_asgd::job::run_job(cfg.job).unwrap();
+
+    assert_eq!(rt.epochs.len(), sim.epochs.len());
+    assert!(
+        (rt.final_mean_acc() - sim.final_mean_acc()).abs() < 0.15,
+        "runtime {} vs simulator {}",
+        rt.final_mean_acc(),
+        sim.final_mean_acc()
+    );
+    assert!(rt.final_mean_acc() > 0.15 && sim.final_mean_acc() > 0.15);
+}

@@ -1,0 +1,6 @@
+// Vendored code: exempt from workspace lint policy.
+#![allow(clippy::all)]
+
+//! Vendored `crossbeam` shim: the `channel` module only.
+
+pub mod channel;

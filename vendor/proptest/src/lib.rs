@@ -1,0 +1,138 @@
+// Vendored code: exempt from workspace lint policy.
+#![allow(clippy::all)]
+
+//! Vendored `proptest` shim.
+//!
+//! Supports the subset this workspace's property tests use: the `proptest!`
+//! macro over named `arg in strategy` bindings, numeric range strategies,
+//! tuples of strategies, and `prop::collection::vec`. Each test runs a fixed
+//! number of cases sampled from a deterministic per-test RNG (seeded from the
+//! test name), so failures reproduce without a persistence file. Shrinking is
+//! not implemented — a failing case panics with the sampled inputs left in
+//! the assertion message.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    pub mod prop {
+        //! The `prop::` path alias used as `prop::collection::vec(..)`.
+        pub use crate::collection;
+    }
+}
+
+/// Cases each property runs. Fixed and modest: several properties in this
+/// workspace do real numeric work per case.
+pub const CASES: u32 = 48;
+
+/// Deterministic per-test RNG so every run explores the same cases.
+pub fn rng_for(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that samples the strategies [`CASES`] times.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng = $crate::rng_for(stringify!($name));
+                for __proptest_case in 0..$crate::CASES {
+                    let _ = __proptest_case;
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut __proptest_rng);
+                    )+
+                    // Zero-argument closure (bindings captured by move, with
+                    // their concrete types) so `prop_assume!` can skip the
+                    // case with an early return.
+                    (move || $body)();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skips the current case when its sampled inputs don't satisfy a
+/// precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        /// Doc comments before the attribute must parse.
+        #[test]
+        fn vec_and_tuple_strategies(
+            v in prop::collection::vec((0u8..4, -1.0f32..1.0), 2..9),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            for (a, b) in v {
+                prop_assert!(a < 4);
+                prop_assert!((-1.0..1.0).contains(&b));
+            }
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn same_name_same_samples() {
+        use crate::strategy::Strategy;
+        let mut a = crate::rng_for("t");
+        let mut b = crate::rng_for("t");
+        let s = 0u64..1000;
+        for _ in 0..16 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

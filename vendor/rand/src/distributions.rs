@@ -1,0 +1,128 @@
+//! Distributions (`Distribution`, `WeightedIndex`).
+
+use crate::{Rng, RngCore};
+use std::borrow::Borrow;
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+}
+
+/// Samples indices proportionally to a weight list.
+#[derive(Clone, Debug)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+/// Error for invalid weight lists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightedError {
+    /// No weights were supplied.
+    NoItem,
+    /// A weight was negative or non-finite, or all weights were zero.
+    InvalidWeight,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no weights"),
+            WeightedError::InvalidWeight => write!(f, "invalid weight"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+impl WeightedIndex {
+    /// Builds a sampler from any iterator of (borrowed) `f64` weights.
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: std::borrow::Borrow<f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = *w.borrow();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::InvalidWeight);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.gen_range(0.0..self.total);
+        // First cumulative weight strictly above x.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).unwrap())
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert_eq!(
+            WeightedIndex::new(Vec::<f64>::new()),
+            Err(WeightedError::NoItem)
+        );
+        assert_eq!(
+            WeightedIndex::new([0.0, 0.0]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+        assert_eq!(
+            WeightedIndex::new([1.0, -1.0]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+    }
+
+    impl PartialEq for WeightedIndex {
+        fn eq(&self, other: &Self) -> bool {
+            self.cumulative == other.cumulative
+        }
+    }
+
+    #[test]
+    fn heavier_weights_sample_more_often() {
+        let d = WeightedIndex::new([1.0, 3.0]).unwrap();
+        let mut r = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 2];
+        for _ in 0..10_000 {
+            counts[d.sample(&mut r)] += 1;
+        }
+        assert!(counts[1] > 2 * counts[0], "counts {counts:?}");
+        assert_eq!(counts[0] + counts[1], 10_000);
+    }
+
+    #[test]
+    fn zero_weight_entries_never_sampled() {
+        let d = WeightedIndex::new([0.0, 1.0, 0.0]).unwrap();
+        let mut r = StdRng::seed_from_u64(10);
+        for _ in 0..1000 {
+            assert_eq!(d.sample(&mut r), 1);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+// Vendored code: exempt from workspace lint policy.
+#![allow(clippy::all)]
+
+//! Vendored `rayon` shim.
+//!
+//! Provides the parallel-slice API the tensor kernels use
+//! (`par_chunks_mut(..).enumerate().for_each(..)`) on `std::thread::scope`
+//! instead of a work-stealing pool. Each call splits the chunk list evenly
+//! across up to [`max_threads`] OS threads; callers (the tensor kernels)
+//! already gate small inputs onto a serial path, so per-call spawn overhead
+//! only occurs on matrices large enough to amortize it.
+
+use std::sync::OnceLock;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::ParallelSliceMut;
+}
+
+/// Number of worker threads a parallel call may use.
+pub fn max_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    })
+}
+
+/// Parallel mutable-slice operations.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel analog of `chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate(self)
+    }
+
+    /// Applies `f` to every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated parallel chunk iterator.
+pub struct ParChunksMutEnumerate<'a, T>(ParChunksMut<'a, T>);
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    /// Applies `f` to every `(index, chunk)` pair, fanning the chunk list
+    /// out over scoped threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunk_size = self.0.chunk_size;
+        let mut chunks: Vec<(usize, &mut [T])> =
+            self.0.slice.chunks_mut(chunk_size).enumerate().collect();
+        let threads = max_threads().min(chunks.len());
+        if threads <= 1 {
+            for item in chunks {
+                f(item);
+            }
+            return;
+        }
+        // Split the chunk list into `threads` contiguous portions; each
+        // scoped thread owns one portion outright, so no work queue or
+        // synchronization is needed.
+        let per = chunks.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            while !chunks.is_empty() {
+                let take = per.min(chunks.len());
+                let portion: Vec<(usize, &mut [T])> = chunks.drain(..take).collect();
+                let f = &f;
+                s.spawn(move || {
+                    for item in portion {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_chunks_visited_with_correct_indices() {
+        let mut v = vec![0usize; 103];
+        v.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i + 1;
+            }
+        });
+        for (pos, &x) in v.iter().enumerate() {
+            assert_eq!(x, pos / 10 + 1);
+        }
+    }
+
+    #[test]
+    fn runs_every_chunk_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let mut v = vec![0u8; 64];
+        v.par_chunks_mut(1).for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn single_chunk_stays_serial() {
+        let mut v = vec![1.0f32; 7];
+        v.par_chunks_mut(100).enumerate().for_each(|(i, c)| {
+            assert_eq!(i, 0);
+            for x in c.iter_mut() {
+                *x *= 2.0;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 2.0));
+    }
+}

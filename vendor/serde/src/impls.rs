@@ -1,0 +1,279 @@
+//! `Serialize`/`Deserialize` impls for the primitives and containers the
+//! workspace's derived types are built from.
+
+use crate::{Content, DeError, Deserialize, Serialize};
+
+// --- booleans --------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+// --- integers --------------------------------------------------------------
+
+macro_rules! int_impls {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                #[allow(unused_comparisons)]
+                if (*self as i128) < 0 {
+                    Content::I64(*self as i64)
+                } else {
+                    Content::U64(*self as u64)
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                let wide: i128 = match c {
+                    Content::I64(v) => i128::from(*v),
+                    Content::U64(v) => i128::from(*v),
+                    // JSON has one number type; accept integral floats.
+                    Content::F64(v) if v.fract() == 0.0 && v.abs() < 1.8e19 => *v as i128,
+                    _ => return Err(DeError::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// --- floats ----------------------------------------------------------------
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            _ => Err(DeError::expected("number", "f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        // Exact widening; narrows back exactly on deserialize.
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        f64::deserialize(c).map(|v| v as f32)
+    }
+}
+
+// --- strings ---------------------------------------------------------------
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+// --- containers ------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            Some(v) => v.serialize(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "Vec"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let s = c
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "array"))?;
+        if s.len() != N {
+            return Err(DeError(format!(
+                "expected sequence of length {N}, got {}",
+                s.len()
+            )));
+        }
+        let v: Vec<T> = s.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        v.try_into()
+            .map_err(|_| DeError::expected("exact-length sequence", "array"))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Content {
+        Content::Seq(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let s = c
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "tuple"))?;
+        if s.len() != 2 {
+            return Err(DeError::expected("2-element sequence", "tuple"));
+        }
+        Ok((A::deserialize(&s[0])?, B::deserialize(&s[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Content {
+        Content::Seq(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let s = c
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "tuple"))?;
+        if s.len() != 3 {
+            return Err(DeError::expected("3-element sequence", "tuple"));
+        }
+        Ok((
+            A::deserialize(&s[0])?,
+            B::deserialize(&s[1])?,
+            C::deserialize(&s[2])?,
+        ))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn serialize(&self) -> Content {
+        Content::Seq(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+            self.3.serialize(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize> Deserialize for (A, B, C, D) {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let s = c
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "tuple"))?;
+        if s.len() != 4 {
+            return Err(DeError::expected("4-element sequence", "tuple"));
+        }
+        Ok((
+            A::deserialize(&s[0])?,
+            B::deserialize(&s[1])?,
+            C::deserialize(&s[2])?,
+            D::deserialize(&s[3])?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_roundtrip_across_content_forms() {
+        assert_eq!(usize::deserialize(&42u64.serialize()).unwrap(), 42);
+        assert_eq!(i32::deserialize(&Content::I64(-7)).unwrap(), -7);
+        assert_eq!(u8::deserialize(&Content::F64(3.0)).unwrap(), 3);
+        assert!(u8::deserialize(&Content::I64(-1)).is_err());
+        assert!(u8::deserialize(&Content::F64(0.5)).is_err());
+    }
+
+    #[test]
+    fn f32_widens_exactly() {
+        for v in [0.1f32, -1e30, 3.14159, f32::MIN_POSITIVE] {
+            let c = v.serialize();
+            assert_eq!(f32::deserialize(&c).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn arrays_check_length() {
+        let c = [1usize, 2, 3].serialize();
+        assert_eq!(<[usize; 3]>::deserialize(&c).unwrap(), [1, 2, 3]);
+        assert!(<[usize; 2]>::deserialize(&c).is_err());
+    }
+
+    #[test]
+    fn option_uses_null() {
+        assert_eq!(Option::<u32>::deserialize(&Content::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::deserialize(&Content::U64(5)).unwrap(),
+            Some(5)
+        );
+        assert_eq!(None::<u32>.serialize(), Content::Null);
+    }
+}

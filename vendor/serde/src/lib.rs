@@ -1,0 +1,118 @@
+// Vendored code: exempt from workspace lint policy.
+#![allow(clippy::all)]
+
+//! Vendored `serde` shim.
+//!
+//! Instead of upstream's visitor architecture, values round-trip through an
+//! owned [`Content`] tree (the same idea as `serde_json::Value`): `Serialize`
+//! renders a value *to* a `Content`, `Deserialize` reads a value *from* one.
+//! That is dramatically simpler than the streaming design and is fully
+//! adequate for this workspace, which only (de)serializes small config and
+//! report structures through `serde_json`.
+//!
+//! Maps preserve insertion order (`Vec` of pairs) so emitted JSON keeps
+//! struct field order, matching upstream derive output.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+
+/// An owned, self-describing value tree — the interchange format between
+/// [`Serialize`], [`Deserialize`], and the `serde_json` shim.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also `None` and non-finite floats).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Negative integer.
+    I64(i64),
+    /// Non-negative integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Key/value map in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Map entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Sequence elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// String contents if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A value renderable to a [`Content`] tree.
+pub trait Serialize {
+    /// Renders `self` as a content tree.
+    fn serialize(&self) -> Content;
+}
+
+/// A value reconstructible from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reads a value out of a content tree.
+    fn deserialize(c: &Content) -> Result<Self, DeError>;
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Clone, Debug)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Type mismatch while deserializing `ty`.
+    pub fn expected(what: &str, ty: &str) -> DeError {
+        DeError(format!("expected {what} while deserializing {ty}"))
+    }
+
+    /// Enum tag did not match any variant of `ty`.
+    pub fn unknown_variant(tag: &str, ty: &str) -> DeError {
+        DeError(format!("unknown variant `{tag}` for {ty}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Looks up a struct field in a map's entries. Used by generated
+/// `Deserialize` impls; missing fields are an error (no `#[serde(default)]`
+/// in this shim).
+pub fn field<'a>(
+    entries: &'a [(String, Content)],
+    name: &str,
+    ty: &str,
+) -> Result<&'a Content, DeError> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("missing field `{name}` while deserializing {ty}")))
+}

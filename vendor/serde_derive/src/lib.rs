@@ -1,0 +1,431 @@
+//! Vendored `serde_derive` shim.
+//!
+//! Derives `serde::Serialize` / `serde::Deserialize` for the shapes this
+//! workspace actually uses: structs with named fields, tuple structs, unit
+//! structs, and enums whose variants are unit, newtype, tuple, or
+//! struct-like. Generics, lifetimes, and `#[serde(...)]` field attributes
+//! are not supported (the attribute is accepted and ignored so adding one
+//! is a compile-time no-op rather than an error).
+//!
+//! The implementation deliberately avoids `syn`/`quote`: the item is parsed
+//! by walking `proc_macro::TokenTree`s — only names and field shapes are
+//! needed, never types, because the generated code lets inference pick the
+//! right `Deserialize` impl per field. The impls are assembled as source
+//! strings and re-parsed into a `TokenStream`.
+//!
+//! Wire shape matches upstream serde's defaults (externally tagged enums):
+//! unit variant → `"Name"`, newtype variant → `{"Name": value}`, tuple
+//! variant → `{"Name": [..]}`, struct variant → `{"Name": {..}}`, newtype
+//! struct → the inner value, tuple struct → `[..]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Item model + token-walking parser
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Item {
+        let toks: Vec<TokenTree> = input.into_iter().collect();
+        let mut i = 0;
+        skip_attrs_and_vis(&toks, &mut i);
+        let kw = expect_ident(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+        match kw.as_str() {
+            "struct" => {
+                let fields = match toks.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Fields::Named(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Fields::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    _ => Fields::Unit,
+                };
+                Item {
+                    name,
+                    kind: Kind::Struct(fields),
+                }
+            }
+            "enum" => {
+                let g = match toks.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                    _ => panic!("serde_derive shim: malformed enum `{name}`"),
+                };
+                Item {
+                    name,
+                    kind: Kind::Enum(parse_variants(g.stream())),
+                }
+            }
+            other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+        }
+    }
+}
+
+/// Advances past any `#[...]` attributes (incl. doc comments) and a `pub` /
+/// `pub(...)` visibility qualifier.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2, // '#' + [...]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive shim: expected identifier, found {other:?}"),
+    }
+}
+
+/// `{ a: T, b: U }` → `["a", "b"]`. Types are skipped by scanning to the
+/// next comma outside any `<...>` nesting (delimited groups are single
+/// tokens, so only angle brackets need balancing).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        fields.push(expect_ident(&toks, &mut i));
+        i += 1; // ':'
+        let mut angle_depth = 0i32;
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// `(pub u64,)` / `(f32, f32)` → field count.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut angle_depth = 0i32;
+    let mut segment_has_tokens = false;
+    for t in &toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if segment_has_tokens {
+                        count += 1;
+                    }
+                    segment_has_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segment_has_tokens = true;
+    }
+    if segment_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // Skip anything up to the separating comma (e.g. a discriminant).
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f})),")
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{entries}])")
+        }
+        Kind::Struct(Fields::Tuple(1)) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: String = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize(&self.{k}),"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{items}])")
+        }
+        Kind::Struct(Fields::Unit) => "::serde::Content::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => {
+                        format!("{name}::{v} => ::serde::Content::Str(\"{v}\".to_string()),")
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(f0) => ::serde::Content::Map(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::serialize(f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: String = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Content::Map(vec![(\"{v}\".to_string(), \
+                             ::serde::Content::Seq(vec![{items}]))]),",
+                            binds.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let entries: String = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::serialize({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Content::Map(vec![\
+                             (\"{v}\".to_string(), ::serde::Content::Map(vec![{entries}]))]),"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                         ::serde::field(m, \"{f}\", \"{name}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let m = c.as_map().ok_or_else(|| \
+                 ::serde::DeError::expected(\"map\", \"{name}\"))?;\n\
+                 Ok({name} {{ {inits} }})"
+            )
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize(c)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: String = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize(&s[{k}])?,"))
+                .collect();
+            format!(
+                "let s = c.as_seq().ok_or_else(|| \
+                 ::serde::DeError::expected(\"sequence\", \"{name}\"))?;\n\
+                 if s.len() != {n} {{ return Err(::serde::DeError::expected(\
+                 \"sequence of {n}\", \"{name}\")); }}\n\
+                 Ok({name}({items}))"
+            )
+        }
+        Kind::Struct(Fields::Unit) => format!("let _ = c; Ok({name})"),
+        Kind::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(c: &::serde::Content) \
+              -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+        .collect();
+    let payload_variants: Vec<&(String, Fields)> = variants
+        .iter()
+        .filter(|(_, f)| !matches!(f, Fields::Unit))
+        .collect();
+
+    let str_arm = format!(
+        "::serde::Content::Str(s) => match s.as_str() {{\n\
+             {unit_arms}\n\
+             other => Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+         }},"
+    );
+
+    let map_arm = if payload_variants.is_empty() {
+        String::new()
+    } else {
+        let arms: String = payload_variants
+            .iter()
+            .map(|(v, fields)| match fields {
+                Fields::Tuple(1) => format!(
+                    "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::deserialize(payload)?)),"
+                ),
+                Fields::Tuple(n) => {
+                    let items: String = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::deserialize(&s[{k}])?,"))
+                        .collect();
+                    format!(
+                        "\"{v}\" => {{\n\
+                             let s = payload.as_seq().ok_or_else(|| \
+                             ::serde::DeError::expected(\"sequence\", \"{name}::{v}\"))?;\n\
+                             if s.len() != {n} {{ return Err(::serde::DeError::expected(\
+                             \"sequence of {n}\", \"{name}::{v}\")); }}\n\
+                             Ok({name}::{v}({items}))\n\
+                         }}"
+                    )
+                }
+                Fields::Named(fs) => {
+                    let inits: String = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::deserialize(\
+                                 ::serde::field(m, \"{f}\", \"{name}::{v}\")?)?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "\"{v}\" => {{\n\
+                             let m = payload.as_map().ok_or_else(|| \
+                             ::serde::DeError::expected(\"map\", \"{name}::{v}\"))?;\n\
+                             Ok({name}::{v} {{ {inits} }})\n\
+                         }}"
+                    )
+                }
+                Fields::Unit => unreachable!(),
+            })
+            .collect();
+        format!(
+            "::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                 let payload = &entries[0].1;\n\
+                 match entries[0].0.as_str() {{\n\
+                     {arms}\n\
+                     other => Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+                 }}\n\
+             }},"
+        )
+    };
+
+    format!(
+        "match c {{\n\
+             {str_arm}\n\
+             {map_arm}\n\
+             _ => Err(::serde::DeError::expected(\
+             \"variant string or single-entry map\", \"{name}\")),\n\
+         }}"
+    )
+}
