@@ -26,8 +26,10 @@
 //! * [`LatencyModel`] — the per-operation costs charged against simulated
 //!   time, calibrated to the paper's measurements and scaled by blob size.
 
+pub mod history;
 pub mod latency;
 pub mod store;
 
+pub use history::{check_sequential, count_lost_updates, HistoryEvent, Op};
 pub use latency::LatencyModel;
 pub use store::{Consistency, StoreMetrics, VersionedStore, WriteOutcome};

@@ -1,5 +1,6 @@
 //! The versioned blob store.
 
+use crate::history::{HistoryEvent, Op};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -66,14 +67,26 @@ struct Entry {
     version: u64,
 }
 
+#[derive(Default)]
+struct HistoryLog {
+    seq: u64,
+    events: Vec<HistoryEvent>,
+}
+
 /// A thread-safe, versioned, in-memory blob store.
 ///
 /// One instance stands for the shared database backing all parameter
 /// servers. Keys are model identifiers; values are encoded parameter blobs
 /// (the paper stores "all the parameters of a model as a single value").
+///
+/// A store built with [`VersionedStore::recording`] additionally logs every
+/// completed operation as a [`HistoryEvent`] — while still holding the
+/// per-key lock, so per-key log order equals serialization order. The
+/// checkers in [`crate::history`] consume these logs.
 pub struct VersionedStore {
     map: RwLock<HashMap<String, Arc<Mutex<Entry>>>>,
     metrics: StoreMetrics,
+    history: Option<Mutex<HistoryLog>>,
 }
 
 impl VersionedStore {
@@ -82,6 +95,16 @@ impl VersionedStore {
         VersionedStore {
             map: RwLock::new(HashMap::new()),
             metrics: StoreMetrics::default(),
+            history: None,
+        }
+    }
+
+    /// An empty store that records an operation history for the
+    /// [`crate::history`] checkers.
+    pub fn recording() -> Self {
+        VersionedStore {
+            history: Some(Mutex::new(HistoryLog::default())),
+            ..Self::new()
         }
     }
 
@@ -91,6 +114,41 @@ impl VersionedStore {
     /// `Sync`: all interior state is lock-protected per key.
     pub fn shared() -> Arc<Self> {
         Arc::new(Self::new())
+    }
+
+    /// [`VersionedStore::recording`] behind an [`Arc`].
+    pub fn shared_recording() -> Arc<Self> {
+        Arc::new(Self::recording())
+    }
+
+    /// True when this store logs an operation history.
+    pub fn is_recording(&self) -> bool {
+        self.history.is_some()
+    }
+
+    /// Drains and returns the recorded history (empty for non-recording
+    /// stores). Log order is the store's serialization order per key.
+    pub fn take_history(&self) -> Vec<HistoryEvent> {
+        match &self.history {
+            Some(h) => std::mem::take(&mut h.lock().events),
+            None => Vec::new(),
+        }
+    }
+
+    /// Appends one event to the history log (no-op when not recording).
+    /// Callers invoke this while still holding the key's entry lock, which
+    /// makes the log a serialization witness.
+    fn record(&self, key: &str, op: Op) {
+        if let Some(h) = &self.history {
+            let mut g = h.lock();
+            let seq = g.seq;
+            g.seq += 1;
+            g.events.push(HistoryEvent {
+                seq,
+                key: key.to_string(),
+                op,
+            });
+        }
     }
 
     fn entry(&self, key: &str) -> Arc<Mutex<Entry>> {
@@ -114,6 +172,7 @@ impl VersionedStore {
         self.metrics.reads.fetch_add(1, Ordering::Relaxed);
         let e = self.entry(key);
         let g = e.lock();
+        self.record(key, Op::Get { version: g.version });
         (g.value.clone(), g.version)
     }
 
@@ -125,6 +184,12 @@ impl VersionedStore {
         let mut g = e.lock();
         g.version += 1;
         g.value = value;
+        self.record(
+            key,
+            Op::Put {
+                new_version: g.version,
+            },
+        );
         g.version
     }
 
@@ -144,6 +209,14 @@ impl VersionedStore {
         }
         g.version += 1;
         g.value = value;
+        self.record(
+            key,
+            Op::PutVersioned {
+                read_version,
+                new_version: g.version,
+                clobbered,
+            },
+        );
         WriteOutcome {
             new_version: g.version,
             clobbered,
@@ -158,9 +231,17 @@ impl VersionedStore {
         self.metrics.writes.fetch_add(1, Ordering::Relaxed);
         let e = self.entry(key);
         let mut g = e.lock();
+        let read_version = g.version;
         let (new_value, out) = f(&g.value, g.version);
         g.version += 1;
         g.value = new_value;
+        self.record(
+            key,
+            Op::Transact {
+                read_version,
+                new_version: g.version,
+            },
+        );
         (g.version, out)
     }
 
@@ -323,6 +404,59 @@ mod tests {
             1600 - final_n
         );
         assert!(lost > 0, "contention produced no lost updates");
+    }
+
+    #[test]
+    fn recorded_strong_history_admits_a_sequential_witness() {
+        let s = Arc::new(VersionedStore::recording());
+        s.put("w", Bytes::from(0u64.to_le_bytes().to_vec()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    s.transact("w", |cur, _| {
+                        let mut b = [0u8; 8];
+                        b.copy_from_slice(cur);
+                        (
+                            Bytes::from((u64::from_le_bytes(b) + 1).to_le_bytes().to_vec()),
+                            (),
+                        )
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let history = s.take_history();
+        assert_eq!(history.len(), 201, "put + 200 transactions");
+        crate::history::check_sequential(&history).unwrap();
+        assert_eq!(crate::history::count_lost_updates(&history), 0);
+    }
+
+    #[test]
+    fn recorded_eventual_history_recounts_the_lost_update_metric() {
+        let s = VersionedStore::recording();
+        s.put("w", Bytes::from_static(b"base")); // v1
+        let (_, v) = s.get("w");
+        s.put("w", Bytes::from_static(b"other")); // v2: concurrent writer
+        s.put_versioned("w", v, Bytes::from_static(b"mine")); // clobbers 1
+        let history = s.take_history();
+        assert_eq!(
+            crate::history::count_lost_updates(&history),
+            s.metrics().snapshot().3,
+            "history recount must equal the metric"
+        );
+        assert!(crate::history::check_sequential(&history).is_err());
+    }
+
+    #[test]
+    fn non_recording_store_has_no_history() {
+        let s = VersionedStore::new();
+        assert!(!s.is_recording());
+        s.put("w", Bytes::from_static(b"x"));
+        assert!(s.take_history().is_empty());
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod server;
 pub mod validate;
 pub mod workunit;
 
-pub use clock::WallClock;
+pub use clock::{Clock, VirtualClock, WallClock};
 pub use host::{HostId, HostRecord};
 pub use server::{Assignment, BoincServer, MiddlewareConfig, ReportStatus, ServerMetrics};
 pub use validate::{FiniteBlobValidator, ValidationVerdict, Validator};

@@ -11,27 +11,26 @@
 //!
 //! Serialization is `serde_json`; `f32` parameters survive the round trip
 //! exactly (they widen to `f64` losslessly and print shortest-round-trip).
-//! An FNV-1a digest over the raw parameter bits guards against truncated or
-//! hand-edited files.
+//! An FNV-1a digest over the *entire* serialized checkpoint (computed with
+//! the digest field zeroed) guards against truncation, bit-flips and
+//! hand-edits anywhere in the file — config, counters and epoch series
+//! included, not just the parameter vectors.
 
 use crate::config::RuntimeConfig;
 use crate::report::RuntimeEpoch;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
-/// Bumped on incompatible layout changes.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Bumped on incompatible layout changes. Version 2 widened the digest from
+/// parameters-only to the whole serialized file.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
-/// FNV-1a over the little-endian bit patterns of a parameter vector.
-fn params_digest(params: &[&[f32]]) -> u64 {
+/// FNV-1a over a byte stream.
+fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for chunk in params {
-        for v in *chunk {
-            for b in v.to_bits().to_le_bytes() {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        }
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
 }
@@ -63,40 +62,84 @@ pub struct Checkpoint {
     pub bytes_transferred: u64,
     /// Wall-clock seconds consumed so far (the resumed clock starts here).
     pub wall_s: f64,
-    /// FNV-1a digest over `snapshot` then `params`.
+    /// FNV-1a digest over the whole checkpoint as serialized with this
+    /// field set to zero.
     pub digest: u64,
 }
 
+/// The digest field's serialized marker. `digest` is the struct's last
+/// field, so the canonical text ends `…,"digest":N}` and `rfind` always
+/// locates the field itself, never a string that mentions it.
+const DIGEST_FIELD: &str = "\"digest\":";
+
 impl Checkpoint {
-    /// Computes the digest field for the current `snapshot`/`params`.
+    /// The digest of this checkpoint's canonical serialization with the
+    /// digest field zeroed — exactly the bytes [`Checkpoint::load`]
+    /// verifies. `serde_json` emits struct fields in declaration order and
+    /// floats shortest-round-trip, so the bytes are stable across
+    /// save/load cycles.
+    fn body_digest(&self) -> u64 {
+        let mut body = self.clone();
+        body.digest = 0;
+        let json = serde_json::to_string(&body).expect("checkpoint serializes");
+        fnv1a(json.as_bytes())
+    }
+
+    /// Computes and installs the digest for the current contents. Call
+    /// after any mutation, before [`Checkpoint::save`].
     pub fn seal(&mut self) {
-        self.digest = params_digest(&[&self.snapshot, &self.params]);
+        self.digest = self.body_digest();
     }
 
     /// Writes atomically: serialize to `<path>.tmp`, then rename over
-    /// `path`, so a crash mid-write never leaves a torn checkpoint.
+    /// `path`, so a crash mid-write never leaves a torn checkpoint. The
+    /// digest is recomputed over the exact bytes written (digest field
+    /// zeroed), so verification at load works on raw file bytes — any
+    /// single-byte substitution anywhere in the file is detected (FNV-1a
+    /// over a same-length substitution is injective per position).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), String> {
         let path = path.as_ref();
-        let json = serde_json::to_string(self).map_err(|e| e.to_string())?;
+        let mut body = self.clone();
+        body.digest = 0;
+        let json = serde_json::to_string(&body).map_err(|e| e.to_string())?;
+        let h = fnv1a(json.as_bytes());
+        let at = json
+            .rfind(DIGEST_FIELD)
+            .ok_or("checkpoint serialization lost its digest field")?;
+        let sealed = format!("{}{h}}}", &json[..at + DIGEST_FIELD.len()]);
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, json).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        std::fs::write(&tmp, sealed).map_err(|e| format!("write {}: {e}", tmp.display()))?;
         std::fs::rename(&tmp, path).map_err(|e| format!("rename to {}: {e}", path.display()))
     }
 
-    /// Loads and verifies a checkpoint.
+    /// Loads and verifies a checkpoint. The digest check runs over the raw
+    /// bytes as read (with the digest value textually zeroed), before any
+    /// JSON parsing, so corruption is reported as corruption rather than
+    /// as whatever parse error it happens to cause.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
         let path = path.as_ref();
         let json =
             std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let at = json
+            .rfind(DIGEST_FIELD)
+            .ok_or("checkpoint digest field missing: file corrupted")?;
+        let num_start = at + DIGEST_FIELD.len();
+        let num_len = json[num_start..]
+            .find('}')
+            .ok_or("checkpoint digest unterminated: file corrupted")?;
+        let claimed: u64 = json[num_start..num_start + num_len]
+            .parse()
+            .map_err(|_| "checkpoint digest unreadable: file corrupted".to_string())?;
+        let zeroed = format!("{}0{}", &json[..num_start], &json[num_start + num_len..]);
+        if fnv1a(zeroed.as_bytes()) != claimed {
+            return Err("checkpoint digest mismatch: file corrupted".into());
+        }
         let ck: Checkpoint = serde_json::from_str(&json).map_err(|e| e.to_string())?;
         if ck.version != CHECKPOINT_VERSION {
             return Err(format!(
                 "checkpoint version {} != supported {CHECKPOINT_VERSION}",
                 ck.version
             ));
-        }
-        if ck.digest != params_digest(&[&ck.snapshot, &ck.params]) {
-            return Err("checkpoint digest mismatch: file corrupted".into());
         }
         if ck.snapshot.len() != ck.params.len() {
             return Err("checkpoint snapshot/params length mismatch".into());

@@ -28,6 +28,12 @@ pub struct RuntimeConfig {
     /// Write a checkpoint after every N assimilations (requires
     /// `checkpoint_path`).
     pub checkpoint_every_assims: Option<u64>,
+    /// Write a checkpoint every this-many seconds of runtime — wall-clock
+    /// in the threaded runtime, virtual time in the simulation (requires
+    /// `checkpoint_path`). Composes with `checkpoint_every_assims`: either
+    /// trigger writes.
+    #[serde(default)]
+    pub checkpoint_every_s: Option<f64>,
     /// Where checkpoints are written (atomically: temp file + rename).
     pub checkpoint_path: Option<String>,
     /// Test hook: stop the run cleanly after this many assimilations,
@@ -48,6 +54,7 @@ impl RuntimeConfig {
             reply_timeout_s: 1.0,
             faults: FaultPlan::none(),
             checkpoint_every_assims: None,
+            checkpoint_every_s: None,
             checkpoint_path: None,
             halt_after_assims: None,
             max_wall_s: 600.0,
@@ -87,6 +94,14 @@ impl RuntimeConfig {
         if self.checkpoint_every_assims.is_some() && self.checkpoint_path.is_none() {
             return Err("checkpoint_every_assims needs a checkpoint_path".into());
         }
+        if let Some(every_s) = self.checkpoint_every_s {
+            if every_s <= 0.0 || !every_s.is_finite() {
+                return Err(format!("invalid checkpoint_every_s {every_s}"));
+            }
+            if self.checkpoint_path.is_none() {
+                return Err("checkpoint_every_s needs a checkpoint_path".into());
+            }
+        }
         if self.halt_after_assims == Some(0) {
             return Err("halt_after_assims must be >= 1".into());
         }
@@ -116,6 +131,14 @@ mod tests {
         assert!(cfg.validate().is_err(), "checkpoint interval without path");
         cfg.checkpoint_path = Some("/tmp/ck.json".into());
         cfg.validate().unwrap();
+
+        cfg.checkpoint_every_s = Some(0.0);
+        assert!(cfg.validate().is_err(), "timer interval must be positive");
+        cfg.checkpoint_every_s = Some(0.5);
+        cfg.validate().unwrap();
+        cfg.checkpoint_path = None;
+        cfg.checkpoint_every_assims = None;
+        assert!(cfg.validate().is_err(), "timer interval without path");
     }
 
     #[test]

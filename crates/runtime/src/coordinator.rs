@@ -7,6 +7,12 @@
 //! shared [`vc_kvstore::VersionedStore`] for real — in eventual mode,
 //! overlapping read-blend-write cycles genuinely lose updates, not by
 //! simulation but by racing.
+//!
+//! The coordinator is generic over its [`Clock`]: the threaded runtime
+//! instantiates it with [`WallClock`], the deterministic simulation
+//! (`crate::sim`) with a `VirtualClock` and drives [`Coordinator::handle`]
+//! directly from its event loop instead of running the blocking
+//! [`Coordinator::event_loop`].
 
 use crate::checkpoint::{Checkpoint, CHECKPOINT_VERSION};
 use crate::config::RuntimeConfig;
@@ -20,7 +26,7 @@ use std::time::Duration;
 use vc_asgd::{result_is_valid, VcAsgdAssimilator};
 use vc_data::Dataset;
 use vc_kvstore::{Consistency, VersionedStore};
-use vc_middleware::{BoincServer, ReportStatus, WallClock};
+use vc_middleware::{BoincServer, Clock, ReportStatus};
 use vc_nn::metrics::evaluate;
 use vc_tensor::codec::encoded_len;
 
@@ -82,8 +88,10 @@ pub fn assimilator_main(ctx: AssimCtx) {
     }
 }
 
-/// The coordinator's mutable state, assembled by `Runtime::run`.
-pub struct Coordinator {
+/// The coordinator's mutable state, assembled by `Runtime::run` (with a
+/// [`vc_middleware::WallClock`]) or by the simulation (with a
+/// `VirtualClock`).
+pub struct Coordinator<C: Clock> {
     /// Shared run configuration.
     pub cfg: Arc<RuntimeConfig>,
     /// The middleware state machine.
@@ -92,8 +100,8 @@ pub struct Coordinator {
     pub assim: Arc<VcAsgdAssimilator>,
     /// The shared parameter store (for operation counters).
     pub store: Arc<VersionedStore>,
-    /// Wall clock driving every middleware `now`.
-    pub clock: WallClock,
+    /// Clock driving every middleware `now` (wall or virtual).
+    pub clock: C,
     /// Per-epoch parameter snapshots, keyed by epoch.
     pub snapshots: HashMap<usize, Arc<Vec<f32>>>,
     /// The in-progress epoch.
@@ -118,22 +126,32 @@ pub struct Coordinator {
     pub assim_tx: Sender<AssimTask>,
     /// Shared fault counters.
     pub stats_faults: Arc<FaultStats>,
+    /// Runtime second (clock `elapsed_s`) at which the next timed
+    /// checkpoint is due; `None` disables the timer.
+    pub next_checkpoint_s: Option<f64>,
 }
 
 /// Why the coordinator stopped.
-enum Stop {
+pub(crate) enum Stop {
     /// All epochs finished (or the accuracy target was reached).
     Finished,
     /// `halt_after_assims` fired or `max_wall_s` ran out.
     Halted,
 }
 
-impl Coordinator {
+impl<C: Clock> Coordinator<C> {
     /// Runs the job to completion (or halt), shuts the fleet down, and
     /// returns the report. Final accuracies are evaluated by the caller —
     /// the coordinator has no model of its own.
     pub fn run(mut self) -> (RuntimeReport, Arc<VcAsgdAssimilator>) {
         let stop = self.event_loop();
+        self.finalize(stop)
+    }
+
+    /// Shuts the fleet down and builds the report. Split from [`Self::run`]
+    /// so the simulation, which pumps [`Self::handle`] itself, can close a
+    /// run the same way the threaded path does.
+    pub(crate) fn finalize(self, stop: Stop) -> (RuntimeReport, Arc<VcAsgdAssimilator>) {
         // Orderly shutdown: tell every worker, close the assimilator
         // intake. Dead workers' channels error harmlessly.
         for tx in &self.worker_txs {
@@ -163,6 +181,7 @@ impl Coordinator {
         loop {
             let now = self.clock.now();
             self.server.scan_timeouts(now);
+            self.maybe_timed_checkpoint();
             if self.clock.elapsed_s() > self.cfg.max_wall_s {
                 self.write_checkpoint();
                 return Stop::Halted;
@@ -183,7 +202,7 @@ impl Coordinator {
         }
     }
 
-    fn handle(&mut self, msg: ToServer) -> Option<Stop> {
+    pub(crate) fn handle(&mut self, msg: ToServer) -> Option<Stop> {
         let now = self.clock.now();
         match msg {
             ToServer::RequestWork { host } => {
@@ -305,10 +324,24 @@ impl Coordinator {
         false
     }
 
+    /// Fires the interval checkpoint timer when its due second has passed,
+    /// then re-arms it relative to the current reading — wall-clock in the
+    /// threaded runtime, virtual time in the simulation.
+    pub(crate) fn maybe_timed_checkpoint(&mut self) {
+        let Some(every) = self.cfg.checkpoint_every_s else {
+            return;
+        };
+        let elapsed = self.clock.elapsed_s();
+        if self.next_checkpoint_s.is_some_and(|due| elapsed >= due) {
+            self.write_checkpoint();
+            self.next_checkpoint_s = Some(elapsed + every);
+        }
+    }
+
     /// Serializes the current state to the configured path (no-op without
     /// one). I/O errors are reported to stderr, not fatal: losing a
     /// checkpoint must not kill a healthy run.
-    fn write_checkpoint(&mut self) {
+    pub(crate) fn write_checkpoint(&mut self) {
         let Some(path) = self.cfg.checkpoint_path.clone() else {
             return;
         };

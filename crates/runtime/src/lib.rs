@@ -31,6 +31,8 @@ pub mod coordinator;
 pub mod fault;
 pub mod protocol;
 pub mod report;
+pub mod scheduler;
+pub mod sim;
 pub mod transport;
 pub mod worker;
 
@@ -38,6 +40,8 @@ pub use checkpoint::Checkpoint;
 pub use config::RuntimeConfig;
 pub use fault::FaultPlan;
 pub use report::{RuntimeEpoch, RuntimeReport};
+pub use scheduler::StepScheduler;
+pub use sim::{run_scenario, sweep, Scenario, SimOutcome};
 
 use coordinator::{assimilator_main, AssimCtx, Coordinator};
 use crossbeam::channel::unbounded;
@@ -250,6 +254,7 @@ impl Runtime {
             inbox: server_rx,
             assim_tx,
             stats_faults: fstats,
+            next_checkpoint_s: cfg.checkpoint_every_s,
         };
         let (mut report, assim) = coordinator.run();
 

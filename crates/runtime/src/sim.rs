@@ -1,0 +1,731 @@
+//! Deterministic simulation testing (DST) for the volunteer-fleet runtime.
+//!
+//! FoundationDB-style: the *same* coordinator state machine, worker fault
+//! arithmetic, assimilation paths and checkpoint timer that the threaded
+//! runtime runs on OS threads are executed here single-threaded, under a
+//! [`vc_middleware::VirtualClock`] and the seeded [`StepScheduler`]. Every
+//! race, straggler, timeout, preemption and message reordering is then a
+//! pure function of `(Scenario, seed)`:
+//!
+//! - **replayable** — a failing chaos run re-executes bit-for-bit from its
+//!   seed, no wall-clock timeouts or OS scheduling involved;
+//! - **fast** — a minute of simulated deadlines costs microseconds, so a
+//!   32-seed sweep of fleet-kill scenarios finishes in seconds;
+//! - **checkable** — the parameter store records its operation history
+//!   (see [`vc_kvstore::history`]), and [`SimOutcome::verify_consistency`]
+//!   asserts the mode's contract on every run: strong histories must admit
+//!   a sequential witness, eventual histories must recount exactly the
+//!   lost updates [`vc_kvstore::StoreMetrics`] claims.
+//!
+//! The entry point is [`run_scenario`]; [`sweep`] runs a seed range and
+//! panics with the offending seed in the message, so any CI failure is a
+//! one-command local replay.
+
+use crate::config::RuntimeConfig;
+use crate::coordinator::{Coordinator, Stop};
+use crate::fault::{FaultPlan, FaultStats};
+use crate::protocol::{AssimTask, ToServer, ToWorker};
+use crate::report::RuntimeReport;
+use crate::scheduler::StepScheduler;
+use crate::worker::WorkerCore;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::Rng;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use vc_asgd::assimilator::PARAMS_KEY;
+use vc_asgd::{train_client_replica, warm_start_params, VcAsgdAssimilator};
+use vc_data::{Dataset, ShardSet};
+use vc_kvstore::{check_sequential, count_lost_updates, Consistency, HistoryEvent, VersionedStore};
+use vc_middleware::{BoincServer, Clock, HostId, VirtualClock, WuId};
+use vc_nn::metrics::evaluate;
+use vc_nn::Sequential;
+use vc_simnet::SimTime;
+
+/// One deterministic chaos scenario: a runtime configuration plus the
+/// virtual-time costs of the things that take real time on threads.
+///
+/// `seed` drives the [`StepScheduler`] (scheduling jitter + same-instant
+/// picks) and, via [`Scenario::new`], the job's data/model seed — so one
+/// number names the entire run.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The replay handle: scheduler seed (and default job seed).
+    pub seed: u64,
+    /// The full runtime configuration (job, faults, checkpoints). The
+    /// simulation honors the same fields the threaded runtime does;
+    /// `max_wall_s` bounds *virtual* seconds here.
+    pub cfg: RuntimeConfig,
+    /// Base virtual seconds one subtask's training occupies a worker.
+    pub train_s: f64,
+    /// Straggler spread: per-subtask extra uniform in `[0, this]`, drawn
+    /// from the worker's private RNG stream.
+    pub train_jitter_s: f64,
+    /// Virtual seconds between an assimilation's begin (stale read) and
+    /// commit (write-back) — the race window eventual mode loses updates
+    /// in.
+    pub assim_s: f64,
+    /// Cadence of the coordinator's housekeeping tick (timeout scans,
+    /// checkpoint timer, `max_wall_s` safety net).
+    pub tick_s: f64,
+    /// Scheduling-latency bound the [`StepScheduler`] adds to every event.
+    pub sched_jitter_s: f64,
+}
+
+impl Scenario {
+    /// The test-scale scenario: `seed` names the schedule *and* the job's
+    /// data/model seed, faults off, virtual costs sized so assignment
+    /// timeouts (2 s) catch dead workers without firing on stragglers.
+    pub fn new(seed: u64) -> Self {
+        let mut cfg = RuntimeConfig::test_small(seed);
+        cfg.poll_interval_s = 0.05;
+        Scenario {
+            seed,
+            cfg,
+            train_s: 0.8,
+            train_jitter_s: 0.4,
+            assim_s: 0.05,
+            tick_s: 0.25,
+            sched_jitter_s: 0.002,
+        }
+    }
+
+    /// Sets the worker (client) count `Cn`.
+    pub fn cn(mut self, cn: usize) -> Self {
+        self.cfg.job.cn = cn;
+        self
+    }
+
+    /// Sets the parameter-server count `Pn`.
+    pub fn pn(mut self, pn: usize) -> Self {
+        self.cfg.job.pn = pn;
+        self
+    }
+
+    /// Sets the per-host slot cap `Tn`.
+    pub fn tn(mut self, tn: usize) -> Self {
+        self.cfg.job.tn = tn;
+        self
+    }
+
+    /// Sets the epoch count.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.cfg.job.epochs = epochs;
+        self
+    }
+
+    /// Sets the store consistency mode.
+    pub fn consistency(mut self, mode: Consistency) -> Self {
+        self.cfg.job.consistency = mode;
+        self
+    }
+
+    /// Installs a fault plan (its `seed` also feeds the per-worker RNG
+    /// streams).
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
+    /// Preempts the first `ceil(frac · cn)` hosts on their `nth`
+    /// assignment, seeding the plan from the scenario seed.
+    pub fn kill_fraction(mut self, frac: f64, nth: u64) -> Self {
+        self.cfg.faults.kill_hosts = FaultPlan::fraction_of(self.cfg.job.cn, frac);
+        self.cfg.faults.kill_on_nth_assignment = nth;
+        self.cfg.faults.seed = self.seed;
+        self
+    }
+
+    /// Brings killed hosts back after `delay_s` virtual seconds.
+    pub fn respawn_after(mut self, delay_s: f64) -> Self {
+        self.cfg.faults.respawn_after_s = Some(delay_s);
+        self
+    }
+
+    /// Routes worker→server messages through the delay line: uniform
+    /// delays in `[0, max_s]`, so messages overtake each other.
+    pub fn delays(mut self, max_s: f64) -> Self {
+        self.cfg.faults.max_msg_delay_s = max_s;
+        self.cfg.faults.seed = self.seed;
+        self
+    }
+
+    /// Enables the virtual-time checkpoint timer.
+    pub fn checkpoint_every(mut self, every_s: f64, path: impl Into<String>) -> Self {
+        self.cfg.checkpoint_every_s = Some(every_s);
+        self.cfg.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Cross-field validation (config plus the sim-only knobs).
+    pub fn validate(&self) -> Result<(), String> {
+        self.cfg.validate()?;
+        for (name, v) in [
+            ("train_s", self.train_s),
+            ("assim_s", self.assim_s),
+            ("tick_s", self.tick_s),
+        ] {
+            if v <= 0.0 || !v.is_finite() {
+                return Err(format!("invalid {name} {v}"));
+            }
+        }
+        for (name, v) in [
+            ("train_jitter_s", self.train_jitter_s),
+            ("sched_jitter_s", self.sched_jitter_s),
+        ] {
+            if v < 0.0 || !v.is_finite() {
+                return Err(format!("invalid {name} {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Everything a finished deterministic run yields: the report the threaded
+/// runtime would have produced, plus the store's recorded operation
+/// history.
+pub struct SimOutcome {
+    /// The consistency mode the run used (decides which checker applies).
+    pub consistency: Consistency,
+    /// The run report — byte-identical across replays of the same
+    /// `(Scenario, seed)`.
+    pub report: RuntimeReport,
+    /// The store's per-key serialization-order operation log.
+    pub history: Vec<HistoryEvent>,
+}
+
+impl SimOutcome {
+    /// Canonical JSON of the report, for byte-identity assertions.
+    pub fn report_json(&self) -> String {
+        serde_json::to_string(&self.report).expect("report serializes")
+    }
+
+    /// Independent recount of lost updates from the history's versions.
+    pub fn lost_updates_recount(&self) -> u64 {
+        count_lost_updates(&self.history)
+    }
+
+    /// Asserts the consistency mode's contract on the recorded history:
+    ///
+    /// - both modes: the history's independent lost-update recount must
+    ///   equal the `StoreMetrics` counter exactly;
+    /// - strong: the history must admit a sequential witness (and thus
+    ///   zero lost updates);
+    /// - eventual: clobbers are permitted — the recount cross-check above
+    ///   is the whole claim.
+    pub fn verify_consistency(&self) -> Result<(), String> {
+        let metric = self.report.store_ops.3;
+        let recount = self.lost_updates_recount();
+        if recount != metric {
+            return Err(format!(
+                "history recounts {recount} lost updates but StoreMetrics claims {metric}"
+            ));
+        }
+        if self.consistency == Consistency::Strong {
+            check_sequential(&self.history).map_err(|e| format!("strong history rejected: {e}"))?;
+            if metric != 0 {
+                return Err(format!("strong run lost {metric} updates"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A simulated worker: the same [`WorkerCore`] the threaded worker runs,
+/// plus the liveness state its thread encodes implicitly.
+struct SimWorker {
+    core: WorkerCore,
+    state: WState,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum WState {
+    Alive,
+    AwaitingRespawn,
+    Gone,
+}
+
+/// One virtual parameter-server slot of the `Pn` pool.
+struct Slot {
+    eval: Sequential,
+    busy: Option<InFlight>,
+}
+
+/// An assimilation between begin and commit. `begun` holds the stale
+/// snapshot in eventual mode; strong mode reads inside the commit
+/// transaction.
+struct InFlight {
+    task: AssimTask,
+    begun: Option<(Vec<f32>, u64)>,
+}
+
+/// The simulation's event alphabet.
+enum Ev {
+    /// Worker `host` wakes and requests work.
+    Poll(u32),
+    /// A worker→server message reaches the coordinator (possibly after a
+    /// delay-line hold).
+    Deliver(ToServer),
+    /// Worker `host` finishes training `wu` after its virtual compute
+    /// time.
+    TrainDone {
+        host: u32,
+        wu: WuId,
+        params: Vec<f32>,
+    },
+    /// Host `host`'s replacement instance comes up.
+    Respawn(u32),
+    /// Parameter-server slot `slot` commits its in-flight assimilation.
+    Commit(usize),
+    /// Coordinator housekeeping: timeout scan, checkpoint timer, safety
+    /// net.
+    Tick,
+}
+
+struct Sim {
+    sc: Scenario,
+    sched: StepScheduler<Ev>,
+    coord: Coordinator<VirtualClock>,
+    workers: Vec<SimWorker>,
+    worker_rxs: Vec<Receiver<ToWorker>>,
+    assim_rx: Receiver<AssimTask>,
+    slots: Vec<Slot>,
+    assim_queue: VecDeque<AssimTask>,
+    shards: Arc<ShardSet>,
+    val_eval: Arc<Dataset>,
+    fstats: Arc<FaultStats>,
+    /// Keeps the coordinator's inbox formally connected (never read: the
+    /// sim calls `Coordinator::handle` directly).
+    _server_tx: Sender<ToServer>,
+}
+
+impl Sim {
+    fn run_loop(&mut self) -> Stop {
+        loop {
+            let Some((_, ev)) = self.sched.next() else {
+                // Nothing scheduled anywhere: every actor is idle forever,
+                // so the job can never finish.
+                return Stop::Halted;
+            };
+            if let Some(stop) = self.exec(ev) {
+                return stop;
+            }
+        }
+    }
+
+    fn exec(&mut self, ev: Ev) -> Option<Stop> {
+        match ev {
+            Ev::Poll(h) => {
+                if self.workers[h as usize].state == WState::Alive {
+                    self.send_to_server(h, ToServer::RequestWork { host: HostId(h) });
+                }
+                None
+            }
+            Ev::Deliver(msg) => {
+                // Mirror the threaded event loop: deadlines are scanned
+                // before each message is served.
+                let now = self.sched.now();
+                self.coord.server.scan_timeouts(now);
+                let stop = self.coord.handle(msg);
+                self.pump();
+                stop
+            }
+            Ev::TrainDone { host, wu, params } => {
+                if self.workers[host as usize].state == WState::Alive {
+                    self.send_to_server(
+                        host,
+                        ToServer::Result {
+                            host: HostId(host),
+                            wu,
+                            params,
+                        },
+                    );
+                    // The threaded worker loops straight back into a poll
+                    // after uploading.
+                    self.sched.schedule_in(0.0, Ev::Poll(host));
+                }
+                None
+            }
+            Ev::Respawn(h) => {
+                let w = &mut self.workers[h as usize];
+                if w.state == WState::AwaitingRespawn {
+                    w.core.respawn();
+                    w.state = WState::Alive;
+                    self.fstats.respawns.fetch_add(1, Ordering::Relaxed);
+                    self.sched.schedule_in(0.0, Ev::Poll(h));
+                }
+                None
+            }
+            Ev::Commit(slot) => {
+                self.commit(slot);
+                None
+            }
+            Ev::Tick => {
+                let now = self.sched.now();
+                self.coord.server.scan_timeouts(now);
+                self.coord.maybe_timed_checkpoint();
+                if self.coord.clock.elapsed_s() > self.coord.cfg.max_wall_s {
+                    self.coord.write_checkpoint();
+                    return Some(Stop::Halted);
+                }
+                self.sched.schedule_in(self.sc.tick_s, Ev::Tick);
+                None
+            }
+        }
+    }
+
+    /// Sends a worker message toward the coordinator — directly, or with
+    /// the delay line's uniform hold drawn from the worker's own RNG
+    /// stream (the exact draw `Outbox::Delayed` makes on threads).
+    fn send_to_server(&mut self, host: u32, msg: ToServer) {
+        let max = self.coord.cfg.faults.max_msg_delay_s;
+        let delay = if max > 0.0 {
+            self.fstats.delayed_msgs.fetch_add(1, Ordering::Relaxed);
+            self.workers[host as usize].core.rng.gen_range(0.0..=max)
+        } else {
+            0.0
+        };
+        self.sched.schedule_in(delay, Ev::Deliver(msg));
+    }
+
+    /// Drains everything the coordinator just produced: assimilation tasks
+    /// into the virtual `Pn` pool, replies into the worker state machines.
+    fn pump(&mut self) {
+        while let Ok(task) = self.assim_rx.try_recv() {
+            self.intake(task);
+        }
+        for h in 0..self.workers.len() {
+            while let Ok(msg) = self.worker_rxs[h].try_recv() {
+                self.worker_recv(h as u32, msg);
+            }
+        }
+    }
+
+    fn worker_recv(&mut self, h: u32, msg: ToWorker) {
+        let w = &mut self.workers[h as usize];
+        match msg {
+            ToWorker::Assign { wu, snapshot } => {
+                if w.state != WState::Alive {
+                    // Reply addressed to a dead instance: dropped, and the
+                    // server recovers the slot through the timeout path.
+                    return;
+                }
+                if w.core.on_assign(&self.coord.cfg.faults) {
+                    self.fstats.kills.fetch_add(1, Ordering::Relaxed);
+                    match self.coord.cfg.faults.respawn_after_s {
+                        Some(d) => {
+                            w.state = WState::AwaitingRespawn;
+                            self.sched.schedule_in(d, Ev::Respawn(h));
+                        }
+                        None => w.state = WState::Gone,
+                    }
+                    return;
+                }
+                let data = &self.shards.shard(wu.shard_id).data;
+                let params = train_client_replica(
+                    &self.coord.cfg.job,
+                    &snapshot,
+                    data,
+                    wu.epoch,
+                    wu.shard_id,
+                );
+                let mut dur = self.sc.train_s;
+                if self.sc.train_jitter_s > 0.0 {
+                    dur += w.core.rng.gen_range(0.0..=self.sc.train_jitter_s);
+                }
+                self.sched.schedule_in(
+                    dur,
+                    Ev::TrainDone {
+                        host: h,
+                        wu: wu.id,
+                        params,
+                    },
+                );
+            }
+            ToWorker::NoWork => {
+                let poll = self.coord.cfg.poll_interval_s;
+                self.sched.schedule_in(poll, Ev::Poll(h));
+            }
+            ToWorker::Shutdown => w.state = WState::Gone,
+        }
+    }
+
+    /// Routes one accepted result to a free parameter-server slot, or
+    /// queues it for the first one to finish.
+    fn intake(&mut self, task: AssimTask) {
+        match self.slots.iter().position(|s| s.busy.is_none()) {
+            Some(i) => self.start(i, task),
+            None => self.assim_queue.push_back(task),
+        }
+    }
+
+    fn start(&mut self, slot: usize, task: AssimTask) {
+        // Eventual mode reads its (possibly stale) snapshot when the
+        // assimilation *starts*; the commit lands `assim_s` later, and
+        // anything that commits in between is clobbered — the same race
+        // the threaded pool runs, under scheduler control.
+        let begun = match self.coord.assim.mode() {
+            Consistency::Eventual => Some(self.coord.assim.begin_eventual()),
+            Consistency::Strong => None,
+        };
+        self.slots[slot].busy = Some(InFlight { task, begun });
+        self.sched.schedule_in(self.sc.assim_s, Ev::Commit(slot));
+    }
+
+    fn commit(&mut self, slot: usize) {
+        let InFlight { task, begun } = self.slots[slot]
+            .busy
+            .take()
+            .expect("commit event for an idle slot");
+        let updated = match begun {
+            Some((snap, version)) => {
+                self.coord
+                    .assim
+                    .commit_eventual(snap, version, &task.client, task.epoch)
+                    .0
+            }
+            None => self.coord.assim.assimilate_strong(&task.client, task.epoch),
+        };
+        let s = &mut self.slots[slot];
+        s.eval.set_params_flat(&updated);
+        let (_, acc) = evaluate(
+            &mut s.eval,
+            &self.val_eval.images,
+            &self.val_eval.labels,
+            256,
+        );
+        if let Some(next) = self.assim_queue.pop_front() {
+            self.start(slot, next);
+        }
+        // The outcome travels through the scheduler like any other message
+        // so it interleaves with the rest of the traffic.
+        self.sched.schedule_in(
+            0.0,
+            Ev::Deliver(ToServer::Assimilated {
+                wu: task.wu,
+                epoch: task.epoch,
+                shard_id: task.shard_id,
+                acc,
+            }),
+        );
+    }
+}
+
+/// Executes one scenario deterministically and returns its outcome. The
+/// entire run — every timeout, preemption, reordering and parameter value —
+/// is a pure function of the scenario (including its seed).
+pub fn run_scenario(sc: &Scenario) -> Result<SimOutcome, String> {
+    sc.validate()?;
+    let cfg = Arc::new(sc.cfg.clone());
+    let job = &cfg.job;
+
+    // --- data (same construction as Runtime::run) ----------------------
+    let (train, val, test) = job.data.generate();
+    let shards = Arc::new(ShardSet::split(&train, job.shards));
+    let val_eval = Arc::new(val.select(&(0..job.val_eval_n).collect::<Vec<_>>()));
+
+    // --- recording parameter store -------------------------------------
+    let store = VersionedStore::shared_recording();
+    let assim = Arc::new(VcAsgdAssimilator::new(
+        store.clone(),
+        job.consistency,
+        job.alpha,
+    ));
+    let mut init = job.model.build(job.seed).params_flat();
+    if let Some(warmed) = warm_start_params(job, &shards, &init) {
+        init = warmed;
+    }
+    assim.seed_params(&init);
+    let param_count = init.len();
+    let mut snapshots = HashMap::new();
+    snapshots.insert(1, Arc::new(init));
+
+    // --- middleware ------------------------------------------------------
+    let fleet = job.fleet.build(job.cn);
+    let mut server = BoincServer::new(
+        job.middleware.clone(),
+        fleet.iter().map(|s| (s.clone(), job.tn)).collect(),
+    );
+    let version = store.version(PARAMS_KEY);
+    server.add_epoch(1, job.shards, version, SimTime::ZERO);
+
+    // --- actors ----------------------------------------------------------
+    let sched = StepScheduler::new(sc.seed, sc.sched_jitter_s);
+    let clock = sched.clock();
+    let (server_tx, server_rx) = unbounded();
+    let (assim_tx, assim_rx) = unbounded();
+    let fstats = Arc::new(FaultStats::default());
+    let mut worker_txs = Vec::new();
+    let mut worker_rxs = Vec::new();
+    for _ in 0..job.cn {
+        let (tx, rx) = unbounded();
+        worker_txs.push(tx);
+        worker_rxs.push(rx);
+    }
+    let workers = (0..job.cn)
+        .map(|h| SimWorker {
+            core: WorkerCore::new(HostId(h as u32), cfg.faults.seed),
+            state: WState::Alive,
+        })
+        .collect();
+    let slots = (0..job.pn)
+        .map(|_| Slot {
+            eval: job.model.build(job.seed),
+            busy: None,
+        })
+        .collect();
+
+    let coord = Coordinator {
+        cfg: cfg.clone(),
+        server,
+        assim: assim.clone(),
+        store: store.clone(),
+        clock,
+        snapshots,
+        epoch: 1,
+        done: Vec::new(),
+        stats: Vec::new(),
+        assimilations: 0,
+        bytes: 0,
+        wall_base_s: 0.0,
+        param_count,
+        worker_txs,
+        inbox: server_rx,
+        assim_tx,
+        stats_faults: fstats.clone(),
+        next_checkpoint_s: cfg.checkpoint_every_s,
+    };
+
+    let mut sim = Sim {
+        sc: sc.clone(),
+        sched,
+        coord,
+        workers,
+        worker_rxs,
+        assim_rx,
+        slots,
+        assim_queue: VecDeque::new(),
+        shards,
+        val_eval,
+        fstats,
+        _server_tx: server_tx,
+    };
+    for h in 0..job.cn as u32 {
+        sim.sched.schedule_in(0.0, Ev::Poll(h));
+    }
+    sim.sched.schedule_in(sc.tick_s, Ev::Tick);
+
+    let stop = sim.run_loop();
+    let (mut report, assim) = sim.coord.finalize(stop);
+
+    // Final full-split evaluation, as in Runtime::run.
+    let (params, _) = assim.read_params();
+    let mut model = cfg.job.model.build(cfg.job.seed);
+    model.set_params_flat(&params);
+    let (_, v) = evaluate(&mut model, &val.images, &val.labels, 256);
+    let (_, t) = evaluate(&mut model, &test.images, &test.labels, 256);
+    report.final_val_acc = v;
+    report.final_test_acc = t;
+
+    Ok(SimOutcome {
+        consistency: job.consistency,
+        report,
+        history: store.take_history(),
+    })
+}
+
+/// Runs `make(seed)` for every seed in the range, verifying each outcome's
+/// consistency contract. Any failure panics with the seed in the message,
+/// so the exact run replays locally with `run_scenario(&make(seed))`.
+pub fn sweep(
+    seeds: std::ops::Range<u64>,
+    make: impl Fn(u64) -> Scenario,
+) -> Vec<(u64, SimOutcome)> {
+    seeds
+        .map(|seed| {
+            let out = run_scenario(&make(seed)).unwrap_or_else(|e| {
+                panic!("DST seed {seed}: {e} — replay with run_scenario(&make({seed}))")
+            });
+            out.verify_consistency().unwrap_or_else(|e| {
+                panic!("DST seed {seed}: {e} — replay with run_scenario(&make({seed}))")
+            });
+            (seed, out)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::Checkpoint;
+
+    fn tiny(seed: u64) -> Scenario {
+        let mut sc = Scenario::new(seed).cn(3).epochs(2);
+        sc.cfg.job.val_eval_n = 60;
+        sc
+    }
+
+    #[test]
+    fn fault_free_scenario_finishes_and_learns() {
+        let out = run_scenario(&tiny(1)).unwrap();
+        assert!(!out.report.halted_early);
+        assert_eq!(out.report.epochs.len(), 2);
+        for (i, e) in out.report.epochs.iter().enumerate() {
+            assert_eq!(e.epoch, i + 1);
+            assert_eq!(e.assimilated, 8);
+        }
+        assert!(out.report.wall_s > 0.0, "virtual time must pass");
+        assert!(out.report.final_mean_acc() > 0.15);
+        out.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn same_seed_is_byte_identical_different_seed_is_not() {
+        let a = run_scenario(&tiny(5)).unwrap();
+        let b = run_scenario(&tiny(5)).unwrap();
+        assert_eq!(
+            a.report_json(),
+            b.report_json(),
+            "replay must be bit-for-bit"
+        );
+        assert_eq!(a.history, b.history, "down to the store's op history");
+        let c = run_scenario(&tiny(6)).unwrap();
+        assert_ne!(a.report_json(), c.report_json());
+    }
+
+    #[test]
+    fn preempted_fleet_recovers_through_virtual_timeouts() {
+        let sc = tiny(9).cn(4).kill_fraction(0.3, 2);
+        assert_eq!(sc.cfg.faults.kill_hosts.len(), 2);
+        let out = run_scenario(&sc).unwrap();
+        assert!(!out.report.halted_early, "survivors must finish the job");
+        assert_eq!(out.report.kills, 2);
+        assert!(out.report.server_metrics.timeouts > 0, "deadlines fired");
+        assert!(out.report.server_metrics.reassignments > 0);
+        out.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn virtual_checkpoint_timer_fires() {
+        let path = std::env::temp_dir().join("vc_sim_ck_timer.json");
+        std::fs::remove_file(&path).ok();
+        let sc = tiny(3).checkpoint_every(2.0, path.to_string_lossy());
+        let out = run_scenario(&sc).unwrap();
+        assert!(!out.report.halted_early);
+        let ck = Checkpoint::load(&path).expect("timer must have written a checkpoint");
+        assert!(ck.wall_s >= 2.0, "checkpoint stamped with virtual time");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_invalid_scenarios() {
+        let mut sc = tiny(1);
+        sc.train_s = 0.0;
+        assert!(run_scenario(&sc).is_err());
+        let sc = tiny(1).cn(2).kill_fraction(1.0, 1);
+        assert!(
+            run_scenario(&sc).is_err(),
+            "whole-fleet kill without respawn is rejected"
+        );
+    }
+}

@@ -1,12 +1,17 @@
 //! Worker→server transport, optionally routed through a delay line.
 //!
 //! With fault injection enabled, every worker message is stamped with a
-//! random future delivery instant and handed to a dedicated delay-line
-//! thread, which holds messages in a min-heap and releases them in
-//! *delivery-time* order. Messages with different draws overtake each
-//! other, so the coordinator sees genuinely reordered traffic (a result can
-//! arrive after the poll that was sent later, a straggler upload after its
-//! workunit already timed out and was reassigned).
+//! random future delivery instant and held in a [`DelayQueue`], which
+//! releases messages in *delivery-time* order. Messages with different
+//! draws overtake each other, so the coordinator sees genuinely reordered
+//! traffic (a result can arrive after the poll that was sent later, a
+//! straggler upload after its workunit already timed out and was
+//! reassigned).
+//!
+//! The queue is generic over its time axis: the threaded runtime drives it
+//! with [`Instant`]s from a dedicated delay-line thread, the deterministic
+//! simulation (`crate::sim`) with [`vc_simnet::SimTime`] stamps from the
+//! virtual clock — one reordering semantics, two substrates.
 
 use crate::fault::FaultStats;
 use crate::protocol::ToServer;
@@ -58,42 +63,101 @@ impl Outbox {
     }
 }
 
-/// Heap entry ordered by delivery instant (earliest first under `Reverse`),
-/// with an arrival sequence number breaking exact ties FIFO.
-struct Pending {
-    at: Instant,
+/// Heap entry ordered by delivery instant (earliest first under the
+/// reversed [`Ord`]), with an arrival sequence number breaking exact ties
+/// FIFO.
+struct Pending<T, M> {
+    at: T,
     seq: u64,
-    msg: ToServer,
+    msg: M,
 }
 
-impl PartialEq for Pending {
+impl<T: Ord, M> PartialEq for Pending<T, M> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl Eq for Pending {}
-impl PartialOrd for Pending {
+impl<T: Ord, M> Eq for Pending<T, M> {}
+impl<T: Ord, M> PartialOrd for Pending<T, M> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Pending {
+impl<T: Ord, M> Ord for Pending<T, M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        (&other.at, other.seq).cmp(&(&self.at, self.seq))
     }
 }
 
-/// The delay-line thread body: stamps incoming messages into the heap and
-/// releases each when its delivery instant passes. Drains the heap after
+/// A min-heap of messages keyed by delivery time: the reordering core of
+/// the delay line, shared by the wall-clock thread and the deterministic
+/// simulation.
+pub struct DelayQueue<T, M> {
+    heap: BinaryHeap<Pending<T, M>>,
+    seq: u64,
+}
+
+impl<T: Ord + Copy, M> DelayQueue<T, M> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        DelayQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Holds `msg` for delivery at `at`.
+    pub fn push(&mut self, at: T, msg: M) {
+        self.heap.push(Pending {
+            at,
+            seq: self.seq,
+            msg,
+        });
+        self.seq += 1;
+    }
+
+    /// The earliest pending delivery time.
+    pub fn next_due(&self) -> Option<T> {
+        self.heap.peek().map(|p| p.at)
+    }
+
+    /// Releases the earliest message if its delivery time has passed
+    /// (`at <= now`). Call in a loop to drain everything due.
+    pub fn pop_due(&mut self, now: T) -> Option<M> {
+        if self.heap.peek().is_some_and(|p| p.at <= now) {
+            Some(self.heap.pop().expect("peeked").msg)
+        } else {
+            None
+        }
+    }
+
+    /// Number of held messages.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T: Ord + Copy, M> Default for DelayQueue<T, M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The delay-line thread body: stamps incoming messages into the queue and
+/// releases each when its delivery instant passes. Drains the queue after
 /// the input disconnects, then exits.
 pub fn delay_line_main(rx: Receiver<(Instant, ToServer)>, out: Sender<ToServer>) {
-    let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
-    let mut seq = 0u64;
+    let mut queue: DelayQueue<Instant, ToServer> = DelayQueue::new();
     let mut open = true;
-    while open || !heap.is_empty() {
+    while open || !queue.is_empty() {
         // Wait for the next due delivery or the next incoming message.
-        let next_due = heap.peek().map(|p| p.at);
+        let next_due = queue.next_due();
         if open {
             let incoming = match next_due {
                 Some(at) => {
@@ -116,16 +180,14 @@ pub fn delay_line_main(rx: Receiver<(Instant, ToServer)>, out: Sender<ToServer>)
                 },
             };
             if let Some((at, msg)) = incoming {
-                heap.push(Pending { at, seq, msg });
-                seq += 1;
+                queue.push(at, msg);
             }
         } else if let Some(at) = next_due {
             std::thread::sleep(at.saturating_duration_since(Instant::now()));
         }
         let now = Instant::now();
-        while heap.peek().is_some_and(|p| p.at <= now) {
-            let p = heap.pop().expect("peeked");
-            if out.send(p.msg).is_err() {
+        while let Some(msg) = queue.pop_due(now) {
+            if out.send(msg).is_err() {
                 return; // coordinator gone: drop the rest
             }
         }
@@ -154,6 +216,23 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn delay_queue_releases_in_delivery_order_fifo_on_ties() {
+        let mut q: DelayQueue<u64, &str> = DelayQueue::new();
+        q.push(30, "c");
+        q.push(10, "a1");
+        q.push(10, "a2");
+        q.push(20, "b");
+        assert_eq!(q.next_due(), Some(10));
+        assert_eq!(q.pop_due(5), None, "nothing due yet");
+        assert_eq!(q.pop_due(25), Some("a1"), "ties release FIFO");
+        assert_eq!(q.pop_due(25), Some("a2"));
+        assert_eq!(q.pop_due(25), Some("b"));
+        assert_eq!(q.pop_due(25), None, "30 not due at 25");
+        assert_eq!(q.pop_due(30), Some("c"));
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -10,9 +10,15 @@
 //! Death is silent: a preempted worker simply stops participating, exactly
 //! like a terminated spot instance. The server learns only when the
 //! assignment's wall-clock deadline passes.
+//!
+//! The identity/fault-arithmetic part of the loop lives in [`WorkerCore`],
+//! which the deterministic simulation (`crate::sim`) drives from its own
+//! event loop — threaded and simulated workers share one notion of lives,
+//! assignment counts, and per-worker RNG streams, so a fault plan means the
+//! same thing in both substrates.
 
 use crate::config::RuntimeConfig;
-use crate::fault::FaultStats;
+use crate::fault::{FaultPlan, FaultStats};
 use crate::protocol::{ToServer, ToWorker};
 use crate::transport::Outbox;
 use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
@@ -23,6 +29,50 @@ use std::time::Duration;
 use vc_asgd::{train_client_replica, JobConfig};
 use vc_data::ShardSet;
 use vc_middleware::HostId;
+
+/// The substrate-independent worker state: identity, life/assignment
+/// counters for the fault plan, and the worker's private RNG stream.
+pub struct WorkerCore {
+    /// This worker's host identity.
+    pub id: HostId,
+    /// 0 for the original instance, +1 per respawn.
+    pub life: u32,
+    /// 1-based count of assignments received in the current life.
+    pub assignments_this_life: u64,
+    /// Per-worker RNG (message-delay draws, sim jitter). Seeded from the
+    /// fault-plan seed and the host id, so streams are independent across
+    /// workers but identical across substrates.
+    pub rng: StdRng,
+}
+
+impl WorkerCore {
+    /// A fresh worker on its first life.
+    pub fn new(id: HostId, fault_seed: u64) -> Self {
+        WorkerCore {
+            id,
+            life: 0,
+            assignments_this_life: 0,
+            rng: StdRng::seed_from_u64(
+                fault_seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(u64::from(id.0)),
+            ),
+        }
+    }
+
+    /// Records one received assignment and returns `true` when the fault
+    /// plan says this worker dies instead of executing it.
+    pub fn on_assign(&mut self, plan: &FaultPlan) -> bool {
+        self.assignments_this_life += 1;
+        plan.should_kill(self.id.0, self.life, self.assignments_this_life)
+    }
+
+    /// Starts the replacement instance's life.
+    pub fn respawn(&mut self) {
+        self.life += 1;
+        self.assignments_this_life = 0;
+    }
+}
 
 /// Everything one worker thread needs.
 pub struct WorkerCtx {
@@ -51,20 +101,13 @@ pub fn worker_main(ctx: WorkerCtx) {
         stats,
     } = ctx;
     let job: &JobConfig = &cfg.job;
-    let mut delay_rng = StdRng::seed_from_u64(
-        cfg.faults
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(u64::from(id.0)),
-    );
+    let mut core = WorkerCore::new(id, cfg.faults.seed);
     let poll = Duration::from_secs_f64(cfg.poll_interval_s);
     let reply_timeout = Duration::from_secs_f64(cfg.reply_timeout_s);
-    let mut life: u32 = 0;
-    let mut assignments_this_life: u64 = 0;
 
     loop {
         if outbox
-            .send(&mut delay_rng, ToServer::RequestWork { host: id })
+            .send(&mut core.rng, ToServer::RequestWork { host: id })
             .is_err()
         {
             return; // coordinator gone
@@ -74,20 +117,18 @@ pub fn worker_main(ctx: WorkerCtx) {
             Err(RecvTimeoutError::Timeout) => continue, // reply lost somewhere: re-poll
             Ok(ToWorker::NoWork) => std::thread::sleep(poll),
             Ok(ToWorker::Assign { wu, snapshot }) => {
-                assignments_this_life += 1;
-                if cfg.faults.should_kill(id.0, life, assignments_this_life) {
+                if core.on_assign(&cfg.faults) {
                     if !die(&cfg, &cmd_rx, &stats) {
                         return;
                     }
-                    life += 1;
-                    assignments_this_life = 0;
+                    core.respawn();
                     continue;
                 }
                 let data = &shards.shard(wu.shard_id).data;
                 let params = train_client_replica(job, &snapshot, data, wu.epoch, wu.shard_id);
                 if outbox
                     .send(
-                        &mut delay_rng,
+                        &mut core.rng,
                         ToServer::Result {
                             host: id,
                             wu: wu.id,
@@ -128,4 +169,39 @@ fn die(cfg: &RuntimeConfig, cmd_rx: &Receiver<ToWorker>, stats: &FaultStats) -> 
         .respawns
         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_counts_assignments_and_dies_on_schedule() {
+        let mut plan = FaultPlan::none();
+        plan.kill_hosts = vec![3];
+        plan.kill_on_nth_assignment = 2;
+        let mut core = WorkerCore::new(HostId(3), plan.seed);
+        assert!(!core.on_assign(&plan), "first assignment survives");
+        assert!(core.on_assign(&plan), "second assignment kills");
+        core.respawn();
+        assert_eq!((core.life, core.assignments_this_life), (1, 0));
+        assert!(!core.on_assign(&plan), "replacement instances are safe");
+    }
+
+    #[test]
+    fn rng_streams_differ_by_host_but_not_by_call() {
+        use rand::Rng;
+        let mut a1 = WorkerCore::new(HostId(0), 42);
+        let mut a2 = WorkerCore::new(HostId(0), 42);
+        let mut b = WorkerCore::new(HostId(1), 42);
+        let x1: f64 = a1.rng.gen_range(0.0..1.0);
+        let x2: f64 = a2.rng.gen_range(0.0..1.0);
+        let y: f64 = b.rng.gen_range(0.0..1.0);
+        assert_eq!(
+            x1.to_bits(),
+            x2.to_bits(),
+            "same (seed, host) → same stream"
+        );
+        assert_ne!(x1.to_bits(), y.to_bits(), "hosts draw independent streams");
+    }
 }

@@ -1,0 +1,99 @@
+//! Property tests for the checkpoint format: round trips are bit-exact,
+//! and corrupting *any* byte of the file is detected at load.
+//!
+//! The digest (FNV-1a) is computed over the raw serialized bytes with the
+//! digest field zeroed, so a same-length substitution anywhere in the file
+//! changes the hash deterministically — these properties exercise that
+//! guarantee with arbitrary parameter vectors and arbitrary corruption
+//! positions.
+
+use proptest::prelude::*;
+use vc_runtime::checkpoint::{Checkpoint, CHECKPOINT_VERSION};
+use vc_runtime::RuntimeConfig;
+
+fn build(seed: u64, snapshot: Vec<f32>, params: Vec<f32>, wall_s: f64) -> Checkpoint {
+    let mut ck = Checkpoint {
+        version: CHECKPOINT_VERSION,
+        cfg: RuntimeConfig::test_small(seed),
+        epoch: 1 + (seed as usize % 3),
+        snapshot,
+        params,
+        done: vec![(0, 0.25), (3, 0.5)],
+        stats: Vec::new(),
+        assimilations: seed * 7,
+        bytes_transferred: seed * 1024,
+        wall_s,
+        digest: 0,
+    };
+    ck.seal();
+    ck
+}
+
+fn tmp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("vc_ck_prop_{tag}_{}.json", std::process::id()))
+}
+
+proptest! {
+    /// Serialize → deserialize reproduces the checkpoint exactly — every
+    /// f32 bit pattern, counter and the digest itself.
+    #[test]
+    fn roundtrip_is_bit_exact(
+        seed in 1u64..1000,
+        snapshot in prop::collection::vec(-1e30f32..1e30, 1..64),
+        wall_s in 0.0f64..1e6,
+    ) {
+        // params must match snapshot's length (load enforces geometry).
+        let params: Vec<f32> = snapshot.iter().map(|v| v * 0.5 + 1e-3).collect();
+        let ck = build(seed, snapshot, params, wall_s);
+        let path = tmp_path("roundtrip");
+        ck.save(&path).unwrap();
+        let back = Checkpoint::load(&path);
+        std::fs::remove_file(&path).ok();
+        let back = back.unwrap();
+        prop_assert_eq!(ck, back);
+    }
+
+    /// Substituting any single byte of the saved file — parameters, config,
+    /// counters, or the digest itself — makes load fail.
+    #[test]
+    fn corrupting_any_byte_is_detected(
+        seed in 1u64..1000,
+        snapshot in prop::collection::vec(-1e3f32..1e3, 1..32),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..255,
+    ) {
+        let params = snapshot.clone();
+        let ck = build(seed, snapshot, params, 4.25);
+        let path = tmp_path("corrupt");
+        ck.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= flip; // guaranteed different: flip is non-zero
+        std::fs::write(&path, &bytes).unwrap();
+        let res = Checkpoint::load(&path);
+        std::fs::remove_file(&path).ok();
+        prop_assert!(
+            res.is_err(),
+            "byte {} xor {:#04x} loaded fine",
+            pos,
+            flip
+        );
+    }
+
+    /// Truncating the file anywhere is detected.
+    #[test]
+    fn truncation_is_detected(
+        seed in 1u64..1000,
+        cut_frac in 0.01f64..0.99,
+    ) {
+        let ck = build(seed, vec![0.5, -1.5], vec![0.25, -0.75], 1.0);
+        let path = tmp_path("trunc");
+        ck.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let keep = 1 + ((bytes.len() - 2) as f64 * cut_frac) as usize;
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+        let res = Checkpoint::load(&path);
+        std::fs::remove_file(&path).ok();
+        prop_assert!(res.is_err(), "kept {keep} of {} bytes", bytes.len());
+    }
+}

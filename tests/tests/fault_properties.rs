@@ -1,0 +1,91 @@
+//! Property tests for [`vc_runtime::FaultPlan`]: the fault plan's
+//! arithmetic must be safe for *arbitrary* fleet sizes and fractions, not
+//! just the handful the chaos tests pick.
+
+use proptest::prelude::*;
+use vc_runtime::FaultPlan;
+
+proptest! {
+    /// `fraction_of` is bounded by the fleet: it selects `ceil(frac · cn)`
+    /// distinct in-range hosts, never more than `cn`.
+    #[test]
+    fn fraction_of_is_bounded_and_in_range(cn in 1usize..200, frac in 0.0f64..1.0) {
+        let hosts = FaultPlan::fraction_of(cn, frac);
+        let expect = ((cn as f64 * frac).ceil() as usize).min(cn);
+        prop_assert_eq!(hosts.len(), expect);
+        for (i, &h) in hosts.iter().enumerate() {
+            prop_assert_eq!(h as usize, i, "prefix selection, so ids are distinct");
+            prop_assert!((h as usize) < cn);
+        }
+    }
+
+    /// `fraction_of` is monotone in the fraction: asking for a larger share
+    /// of the fleet never selects fewer hosts, and the smaller selection is
+    /// always a prefix of the larger.
+    #[test]
+    fn fraction_of_is_monotone_in_frac(
+        cn in 1usize..200,
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let small = FaultPlan::fraction_of(cn, lo);
+        let big = FaultPlan::fraction_of(cn, hi);
+        prop_assert!(small.len() <= big.len());
+        prop_assert_eq!(&big[..small.len()], &small[..]);
+    }
+
+    /// Any plan that passes `validate(cn)` can never kill a host outside
+    /// the fleet: `should_kill(host, …)` is false for every host ≥ cn, for
+    /// every life and assignment number.
+    #[test]
+    fn validated_plans_never_kill_outside_the_fleet(
+        cn in 2usize..64,
+        frac in 0.0f64..1.0,
+        nth in 1u64..10,
+        life in 0u32..4,
+        probe in 0u32..256,
+        assignment in 1u64..20,
+    ) {
+        let mut plan = FaultPlan::none();
+        plan.kill_hosts = FaultPlan::fraction_of(cn, frac);
+        plan.kill_on_nth_assignment = nth;
+        prop_assume!(plan.validate(cn).is_ok()); // whole-fleet kills are rejected
+        if probe as usize >= cn {
+            prop_assert!(
+                !plan.should_kill(probe, life, assignment),
+                "validated plan killed host {} of a {}-host fleet",
+                probe,
+                cn
+            );
+        }
+    }
+
+    /// `should_kill` fires exactly at `(life 0, nth assignment)` for doomed
+    /// hosts and nowhere else — one death per doomed host, ever.
+    #[test]
+    fn kill_fires_exactly_once_per_doomed_host(
+        cn in 2usize..32,
+        frac in 0.01f64..0.99,
+        nth in 1u64..8,
+        host in 0u32..32,
+        life in 0u32..3,
+        assignment in 1u64..12,
+    ) {
+        let mut plan = FaultPlan::none();
+        plan.kill_hosts = FaultPlan::fraction_of(cn, frac);
+        plan.kill_on_nth_assignment = nth;
+        prop_assume!(plan.validate(cn).is_ok());
+        let doomed = plan.kill_hosts.contains(&host);
+        let fires = plan.should_kill(host, life, assignment);
+        prop_assert_eq!(
+            fires,
+            doomed && life == 0 && assignment == nth,
+            "host {} life {} assignment {} (nth {})",
+            host,
+            life,
+            assignment,
+            nth
+        );
+    }
+}
