@@ -83,7 +83,7 @@ fn main() {
                 mode.to_string(),
                 pn,
                 r.total_time_h,
-                r.store_ops.3
+                r.store_ops.lost_updates
             );
         }
     }

@@ -1,0 +1,107 @@
+//! Threaded-runtime latency benchmark.
+//!
+//! Runs a small real fleet (OS threads, real SGD) twice — fault-free and
+//! under a kill/respawn storm — and writes `results/BENCH_runtime.json`
+//! with the latency percentiles the telemetry registry collected:
+//! assimilation latency, per-operation store latencies, worker training
+//! time, and the eventual-mode staleness distribution.
+
+use serde::Serialize;
+use vc_bench::write_results;
+use vc_runtime::{run_runtime, RuntimeConfig, RuntimeReport};
+use vc_telemetry::HistogramSnapshot;
+
+/// Percentile summary of one histogram, in its native unit.
+#[derive(Serialize)]
+struct Pcts {
+    count: u64,
+    mean: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
+
+fn pcts(h: &HistogramSnapshot) -> Pcts {
+    Pcts {
+        count: h.count,
+        mean: h.mean(),
+        p50: h.quantile(0.50),
+        p95: h.quantile(0.95),
+        p99: h.quantile(0.99),
+    }
+}
+
+/// One run's latency summary (seconds unless the name says otherwise).
+#[derive(Serialize)]
+struct RunSummary {
+    label: String,
+    wall_s: f64,
+    kills: u64,
+    respawns: u64,
+    assim_latency_s: Pcts,
+    store_read_s: Pcts,
+    store_write_s: Pcts,
+    store_transact_s: Pcts,
+    worker_train_s: Pcts,
+    staleness_versions: Pcts,
+}
+
+fn summarize(name: &str, report: &RuntimeReport) -> RunSummary {
+    let t = &report.telemetry;
+    println!(
+        "{name}: wall {:.2}s, assim p50 {:.4}s p99 {:.4}s ({} samples), \
+         store write p50 {:.6}s, train p50 {:.4}s",
+        report.wall_s,
+        t.assim_latency_s.quantile(0.50),
+        t.assim_latency_s.quantile(0.99),
+        t.assim_latency_s.count,
+        t.store_write_s.quantile(0.50),
+        t.worker_train_s.quantile(0.50),
+    );
+    RunSummary {
+        label: report.label.clone(),
+        wall_s: report.wall_s,
+        kills: report.kills,
+        respawns: report.respawns,
+        assim_latency_s: pcts(&t.assim_latency_s),
+        store_read_s: pcts(&t.store_read_s),
+        store_write_s: pcts(&t.store_write_s),
+        store_transact_s: pcts(&t.store_transact_s),
+        worker_train_s: pcts(&t.worker_train_s),
+        staleness_versions: pcts(&t.staleness_versions),
+    }
+}
+
+#[derive(Serialize)]
+struct BenchRuntime {
+    fault_free: RunSummary,
+    chaos: RunSummary,
+}
+
+fn main() {
+    println!("# Threaded-runtime latency benchmark\n");
+
+    let mut clean = RuntimeConfig::test_small(7);
+    clean.job.cn = 4;
+    clean.job.pn = 2;
+    clean.job.tn = 2;
+    clean.job.epochs = 3;
+    let clean_report = run_runtime(clean).expect("fault-free run");
+
+    let mut chaos = RuntimeConfig::test_small(7);
+    chaos.job.cn = 5;
+    chaos.job.pn = 2;
+    chaos.job.tn = 2;
+    chaos.job.epochs = 3;
+    chaos.faults.kill_hosts = vec![0, 1];
+    chaos.faults.kill_on_nth_assignment = 2;
+    chaos.faults.respawn_after_s = Some(0.5);
+    let chaos_report = run_runtime(chaos).expect("chaos run");
+
+    let out = BenchRuntime {
+        fault_free: summarize("fault-free", &clean_report),
+        chaos: summarize("chaos", &chaos_report),
+    };
+    let json = serde_json::to_string_pretty(&out).expect("summary serializes");
+    write_results("BENCH_runtime.json", &json);
+}

@@ -81,8 +81,8 @@ fn main() {
             "{:<10} {:>12.2} {:>14} {:>13}",
             mode.to_string(),
             r.total_time_h,
-            r.store_ops.3,
-            r.store_ops.2
+            r.store_ops.lost_updates,
+            r.store_ops.transactions
         );
     }
 }

@@ -100,7 +100,7 @@ pub fn print_run(label: &str, report: &JobReport) {
         report.total_time_h,
         report.final_val_acc,
         report.final_test_acc,
-        report.store_ops.3,
+        report.store_ops.lost_updates,
         report.server_metrics.timeouts
     );
 }

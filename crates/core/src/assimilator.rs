@@ -103,7 +103,7 @@ impl VcAsgdAssimilator {
 
     /// Lost updates recorded so far by the shared store.
     pub fn lost_updates(&self) -> u64 {
-        self.store.metrics().snapshot().3
+        self.store.metrics().snapshot().lost_updates
     }
 }
 

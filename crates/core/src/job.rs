@@ -725,11 +725,14 @@ mod tests {
         let mut cfg_s = cfg;
         cfg_s.consistency = Consistency::Strong;
         let st = run_job(cfg_s).unwrap();
-        assert_eq!(st.store_ops.3, 0, "strong mode never loses updates");
+        assert_eq!(
+            st.store_ops.lost_updates, 0,
+            "strong mode never loses updates"
+        );
         // Eventual mode *can* lose updates (it does whenever two
         // assimilations overlap, which pn=4 with 8 shards makes likely).
         assert!(
-            ev.store_ops.3 > 0,
+            ev.store_ops.lost_updates > 0,
             "expected overlapping assimilations to clobber"
         );
     }

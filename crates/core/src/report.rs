@@ -1,6 +1,7 @@
 //! Run results: the per-epoch series the paper's figures plot.
 
 use serde::{Deserialize, Serialize};
+use vc_kvstore::StoreOps;
 use vc_middleware::ServerMetrics;
 
 /// One marker on the paper's accuracy-vs-time curves: the state at the end
@@ -52,8 +53,8 @@ pub struct JobReport {
     pub server_metrics: ServerMetrics,
     /// Bytes moved over the simulated network (downloads + uploads).
     pub bytes_transferred: u64,
-    /// Parameter-store `(reads, writes, transactions, lost_updates)`.
-    pub store_ops: (u64, u64, u64, u64),
+    /// Parameter-store operation counters.
+    pub store_ops: StoreOps,
     /// Preemptions that occurred during the run.
     pub preemptions: u64,
 }
@@ -117,7 +118,7 @@ mod tests {
             total_time_h: 1.5,
             server_metrics: ServerMetrics::default(),
             bytes_transferred: 0,
-            store_ops: (0, 0, 0, 0),
+            store_ops: StoreOps::default(),
             preemptions: 0,
         }
     }

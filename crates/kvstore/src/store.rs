@@ -6,6 +6,17 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use vc_telemetry::{Histogram, Level, Telemetry};
+
+/// Histogram name: `get` latency in seconds.
+pub const STORE_READ_S: &str = "store_read_s";
+/// Histogram name: `put` / `put_versioned` latency in seconds.
+pub const STORE_WRITE_S: &str = "store_write_s";
+/// Histogram name: `transact` latency in seconds.
+pub const STORE_TRANSACT_S: &str = "store_transact_s";
+/// Histogram name: write staleness in versions
+/// (`server_version − read_version`, observed on every `put_versioned`).
+pub const STORE_STALENESS_VERSIONS: &str = "store_staleness_versions";
 
 /// Consistency mode for parameter updates, selecting which access pattern
 /// the parameter servers use.
@@ -41,15 +52,30 @@ pub struct StoreMetrics {
 }
 
 impl StoreMetrics {
-    /// Snapshot of `(reads, writes, transactions, lost_updates)`.
-    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
-        (
-            self.reads.load(Ordering::Relaxed),
-            self.writes.load(Ordering::Relaxed),
-            self.transactions.load(Ordering::Relaxed),
-            self.lost_updates.load(Ordering::Relaxed),
-        )
+    /// Point-in-time copy of the counters as a named struct.
+    pub fn snapshot(&self) -> StoreOps {
+        StoreOps {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            transactions: self.transactions.load(Ordering::Relaxed),
+            lost_updates: self.lost_updates.load(Ordering::Relaxed),
+        }
     }
+}
+
+/// A snapshot of [`StoreMetrics`]. Previously an anonymous
+/// `(u64, u64, u64, u64)` whose positional order call sites silently
+/// relied on; the fields now carry their names through reports and JSON.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct StoreOps {
+    /// Completed reads.
+    pub reads: u64,
+    /// Completed writes (both paths; transactions count as writes too).
+    pub writes: u64,
+    /// Serialized transactions executed.
+    pub transactions: u64,
+    /// Updates overwritten unseen (eventual mode only).
+    pub lost_updates: u64,
 }
 
 /// Outcome of an eventual-mode write.
@@ -73,6 +99,32 @@ struct HistoryLog {
     events: Vec<HistoryEvent>,
 }
 
+/// Cached telemetry handles: one registry lookup at construction, two
+/// atomic adds per instrumented operation afterwards. Latencies are
+/// measured through the telemetry `TimeSource`, so under the DST virtual
+/// clock every span is zero-length and recorder output stays
+/// deterministic.
+struct Instruments {
+    tel: Telemetry,
+    read_s: Arc<Histogram>,
+    write_s: Arc<Histogram>,
+    transact_s: Arc<Histogram>,
+    staleness: Arc<Histogram>,
+}
+
+impl Instruments {
+    fn new(tel: &Telemetry) -> Self {
+        let reg = tel.registry();
+        Instruments {
+            tel: tel.clone(),
+            read_s: reg.histogram(STORE_READ_S),
+            write_s: reg.histogram(STORE_WRITE_S),
+            transact_s: reg.histogram(STORE_TRANSACT_S),
+            staleness: reg.histogram_with(STORE_STALENESS_VERSIONS, Histogram::version_bounds),
+        }
+    }
+}
+
 /// A thread-safe, versioned, in-memory blob store.
 ///
 /// One instance stands for the shared database backing all parameter
@@ -87,6 +139,7 @@ pub struct VersionedStore {
     map: RwLock<HashMap<String, Arc<Mutex<Entry>>>>,
     metrics: StoreMetrics,
     history: Option<Mutex<HistoryLog>>,
+    instruments: Option<Instruments>,
 }
 
 impl VersionedStore {
@@ -96,7 +149,17 @@ impl VersionedStore {
             map: RwLock::new(HashMap::new()),
             metrics: StoreMetrics::default(),
             history: None,
+            instruments: None,
         }
+    }
+
+    /// Attaches a telemetry handle: operation latencies flow into the
+    /// `store_*_s` histograms, write staleness into
+    /// [`STORE_STALENESS_VERSIONS`], and every clobbering write emits a
+    /// `lost_update` event.
+    pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
+        self.instruments = Some(Instruments::new(tel));
+        self
     }
 
     /// An empty store that records an operation history for the
@@ -169,16 +232,23 @@ impl VersionedStore {
     /// Reads the current value and its version. Version 0 with an empty
     /// value means "never written".
     pub fn get(&self, key: &str) -> (Bytes, u64) {
+        let t0 = self.instruments.as_ref().map(|i| i.tel.now_s());
         self.metrics.reads.fetch_add(1, Ordering::Relaxed);
         let e = self.entry(key);
         let g = e.lock();
         self.record(key, Op::Get { version: g.version });
-        (g.value.clone(), g.version)
+        let out = (g.value.clone(), g.version);
+        drop(g);
+        if let (Some(ins), Some(t0)) = (&self.instruments, t0) {
+            ins.read_s.observe(ins.tel.now_s() - t0);
+        }
+        out
     }
 
     /// Unconditional write; returns the new version. Used for initial
     /// seeding of the parameter blob.
     pub fn put(&self, key: &str, value: Bytes) -> u64 {
+        let t0 = self.instruments.as_ref().map(|i| i.tel.now_s());
         self.metrics.writes.fetch_add(1, Ordering::Relaxed);
         let e = self.entry(key);
         let mut g = e.lock();
@@ -190,7 +260,12 @@ impl VersionedStore {
                 new_version: g.version,
             },
         );
-        g.version
+        let ver = g.version;
+        drop(g);
+        if let (Some(ins), Some(t0)) = (&self.instruments, t0) {
+            ins.write_s.observe(ins.tel.now_s() - t0);
+        }
+        ver
     }
 
     /// Eventual-consistency write: last-write-wins, recording how many
@@ -198,6 +273,7 @@ impl VersionedStore {
     /// the Redis path — the store never blocks the writer, it just loses
     /// the concurrent updates.
     pub fn put_versioned(&self, key: &str, read_version: u64, value: Bytes) -> WriteOutcome {
+        let t0 = self.instruments.as_ref().map(|i| i.tel.now_s());
         self.metrics.writes.fetch_add(1, Ordering::Relaxed);
         let e = self.entry(key);
         let mut g = e.lock();
@@ -217,16 +293,34 @@ impl VersionedStore {
                 clobbered,
             },
         );
-        WriteOutcome {
+        let out = WriteOutcome {
             new_version: g.version,
             clobbered,
+        };
+        drop(g);
+        if let (Some(ins), Some(t0)) = (&self.instruments, t0) {
+            ins.write_s.observe(ins.tel.now_s() - t0);
+            ins.staleness.observe(clobbered as f64);
+            if clobbered > 0 {
+                ins.tel.event(
+                    Level::Debug,
+                    "lost_update",
+                    vec![
+                        ("key", key.into()),
+                        ("clobbered", clobbered.into()),
+                        ("new_version", out.new_version.into()),
+                    ],
+                );
+            }
         }
+        out
     }
 
     /// Strong-consistency transaction: runs `f` on the current value under
     /// the key lock and installs its result atomically. No concurrent
     /// transaction on the same key can interleave — the MySQL path.
     pub fn transact<T>(&self, key: &str, f: impl FnOnce(&Bytes, u64) -> (Bytes, T)) -> (u64, T) {
+        let t0 = self.instruments.as_ref().map(|i| i.tel.now_s());
         self.metrics.transactions.fetch_add(1, Ordering::Relaxed);
         self.metrics.writes.fetch_add(1, Ordering::Relaxed);
         let e = self.entry(key);
@@ -242,7 +336,12 @@ impl VersionedStore {
                 new_version: g.version,
             },
         );
-        (g.version, out)
+        let ver = g.version;
+        drop(g);
+        if let (Some(ins), Some(t0)) = (&self.instruments, t0) {
+            ins.transact_s.observe(ins.tel.now_s() - t0);
+        }
+        (ver, out)
     }
 
     /// Current version of a key (0 when absent).
@@ -311,7 +410,7 @@ mod tests {
         assert_eq!(out.new_version, 3);
         let (v, _) = s.get("w");
         assert_eq!(&v[..], b"mine"); // last write wins
-        assert_eq!(s.metrics().snapshot().3, 1);
+        assert_eq!(s.metrics().snapshot().lost_updates, 1);
     }
 
     #[test]
@@ -321,7 +420,7 @@ mod tests {
         let (_, v) = s.get("w");
         let out = s.put_versioned("w", v, Bytes::from_static(b"next"));
         assert_eq!(out.clobbered, 0);
-        assert_eq!(s.metrics().snapshot().3, 0);
+        assert_eq!(s.metrics().snapshot().lost_updates, 0);
     }
 
     #[test]
@@ -363,7 +462,7 @@ mod tests {
         let mut b = [0u8; 8];
         b.copy_from_slice(&s.get("ctr").0);
         assert_eq!(u64::from_le_bytes(b), 800);
-        assert_eq!(s.metrics().snapshot().3, 0, "no lost updates");
+        assert_eq!(s.metrics().snapshot().lost_updates, 0, "no lost updates");
     }
 
     #[test]
@@ -394,7 +493,7 @@ mod tests {
         let mut b = [0u8; 8];
         b.copy_from_slice(&s.get("ctr").0);
         let final_n = u64::from_le_bytes(b);
-        let lost = s.metrics().snapshot().3;
+        let lost = s.metrics().snapshot().lost_updates;
         assert!(final_n <= 1600);
         // Every increment missing from the counter sat inside at least one
         // writer's read→write gap, so the clobber metric bounds the deficit.
@@ -445,7 +544,7 @@ mod tests {
         let history = s.take_history();
         assert_eq!(
             crate::history::count_lost_updates(&history),
-            s.metrics().snapshot().3,
+            s.metrics().snapshot().lost_updates,
             "history recount must equal the metric"
         );
         assert!(crate::history::check_sequential(&history).is_err());
@@ -476,9 +575,38 @@ mod tests {
         s.get("k");
         s.get("k");
         s.transact("k", |c, _| (c.clone(), ()));
-        let (r, w, t, _) = s.metrics().snapshot();
-        assert_eq!(r, 2);
-        assert_eq!(w, 2); // put + transact
-        assert_eq!(t, 1);
+        let ops = s.metrics().snapshot();
+        assert_eq!(
+            ops,
+            StoreOps {
+                reads: 2,
+                writes: 2, // put + transact
+                transactions: 1,
+                lost_updates: 0,
+            }
+        );
+        // The named struct serializes with its field names.
+        let json = serde_json::to_string(&ops).unwrap();
+        assert!(json.contains("\"lost_updates\""), "{json}");
+    }
+
+    #[test]
+    fn instrumented_store_feeds_latency_and_staleness_histograms() {
+        let tel = Telemetry::with_echo(64, None);
+        let s = VersionedStore::new().with_telemetry(&tel);
+        s.put("w", Bytes::from_static(b"base")); // v1
+        let (_, seen) = s.get("w");
+        s.put("w", Bytes::from_static(b"other")); // v2: concurrent writer
+        s.put_versioned("w", seen, Bytes::from_static(b"mine")); // clobbers 1
+        s.transact("w", |c, _| (c.clone(), ()));
+
+        let snap = tel.registry().snapshot();
+        assert_eq!(snap.histogram(STORE_READ_S).unwrap().count, 1);
+        assert_eq!(snap.histogram(STORE_WRITE_S).unwrap().count, 3);
+        assert_eq!(snap.histogram(STORE_TRANSACT_S).unwrap().count, 1);
+        let staleness = snap.histogram(STORE_STALENESS_VERSIONS).unwrap();
+        assert_eq!(staleness.count, 1, "observed once per put_versioned");
+        assert_eq!(staleness.sum, 1.0, "one version clobbered");
+        assert_eq!(tel.recorder().count_named("lost_update"), 1);
     }
 }

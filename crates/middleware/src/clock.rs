@@ -196,6 +196,21 @@ impl Default for VirtualClock {
     }
 }
 
+// Both clocks also serve as telemetry time sources, so event timestamps
+// ride the same SimTime axis as the middleware's deadlines — wall-driven
+// on threads, simulation-driven (and therefore replayable) under DST.
+impl vc_telemetry::TimeSource for WallClock {
+    fn now_s(&self) -> f64 {
+        WallClock::now(self).as_secs()
+    }
+}
+
+impl vc_telemetry::TimeSource for VirtualClock {
+    fn now_s(&self) -> f64 {
+        VirtualClock::now(self).as_secs()
+    }
+}
+
 impl Clock for VirtualClock {
     fn now(&self) -> SimTime {
         VirtualClock::now(self)

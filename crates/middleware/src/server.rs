@@ -5,6 +5,7 @@ use crate::workunit::{ActiveAssignment, WorkUnit, WuId, WuPhase};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use vc_simnet::{InstanceSpec, SimTime};
+use vc_telemetry::{FieldValue, Level, Telemetry};
 
 /// Server-side policy knobs (BOINC project configuration).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -90,6 +91,7 @@ pub struct BoincServer {
     wus: Vec<WuRecord>,
     queue: VecDeque<WuId>,
     metrics: ServerMetrics,
+    telemetry: Option<Telemetry>,
 }
 
 impl BoincServer {
@@ -109,6 +111,21 @@ impl BoincServer {
             wus: Vec::new(),
             queue: VecDeque::new(),
             metrics: ServerMetrics::default(),
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a telemetry handle: workunit lifecycle transitions
+    /// (assign, complete, stale, invalid, timeout, reassign) become
+    /// structured events timestamped with the caller's `now`.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.telemetry = Some(tel);
+    }
+
+    /// Emits one lifecycle event at `now` (no-op without telemetry).
+    fn emit(&self, now: SimTime, level: Level, name: &str, fields: Vec<(&str, FieldValue)>) {
+        if let Some(tel) = &self.telemetry {
+            tel.event_at(now.as_secs(), level, name, fields);
         }
     }
 
@@ -239,6 +256,18 @@ impl BoincServer {
             h.cached_shards.insert(shard_id);
         }
         self.metrics.assigned += 1;
+        self.emit(
+            now,
+            Level::Debug,
+            "wu_assigned",
+            vec![
+                ("wu", wu_id.0.into()),
+                ("host", host.0.into()),
+                ("attempt", attempt.into()),
+                ("shard", shard_id.into()),
+                ("cached", shard_cached.into()),
+            ],
+        );
         Some(Assignment {
             wu: self.wus[wu_id.0 as usize].wu.clone(),
             attempt,
@@ -284,6 +313,12 @@ impl BoincServer {
             // idempotent either way.
             self.release_assignment(wu_id, host);
             self.metrics.stale_results += 1;
+            self.emit(
+                now,
+                Level::Debug,
+                "wu_stale",
+                vec![("wu", wu_id.0.into()), ("host", host.0.into())],
+            );
             return ReportStatus::Stale;
         }
         // Winner: release this host's assignment (if it timed out earlier
@@ -304,16 +339,34 @@ impl BoincServer {
         }
         self.hosts[host.0 as usize].record_success();
         self.metrics.completed += 1;
+        self.emit(
+            now,
+            Level::Debug,
+            "wu_completed",
+            vec![("wu", wu_id.0.into()), ("host", host.0.into())],
+        );
         ReportStatus::Accepted
     }
 
     /// The validator rejected `host`'s upload for `wu_id`: drop the replica
     /// and penalize the host; re-queue if no replicas remain.
-    pub fn report_invalid(&mut self, wu_id: WuId, host: HostId, _now: SimTime) {
+    pub fn report_invalid(&mut self, wu_id: WuId, host: HostId, now: SimTime) {
         self.metrics.invalid_results += 1;
+        self.emit(
+            now,
+            Level::Warn,
+            "wu_invalid",
+            vec![("wu", wu_id.0.into()), ("host", host.0.into())],
+        );
         if self.release_assignment(wu_id, host) {
             self.hosts[host.0 as usize].record_timeout();
             self.metrics.reassignments += 1;
+            self.emit(
+                now,
+                Level::Info,
+                "wu_reassigned",
+                vec![("wu", wu_id.0.into()), ("cause", "invalid".into())],
+            );
             self.ensure_queued(wu_id);
         }
     }
@@ -338,6 +391,18 @@ impl BoincServer {
                 self.hosts[host.0 as usize].record_timeout();
                 self.metrics.timeouts += 1;
                 self.metrics.reassignments += 1;
+                self.emit(
+                    now,
+                    Level::Info,
+                    "wu_timeout",
+                    vec![("wu", wu_id.0.into()), ("host", host.0.into())],
+                );
+                self.emit(
+                    now,
+                    Level::Info,
+                    "wu_reassigned",
+                    vec![("wu", wu_id.0.into()), ("cause", "timeout".into())],
+                );
                 if expired.last() != Some(&wu_id) {
                     expired.push(wu_id);
                 }

@@ -43,6 +43,11 @@ pub struct RuntimeConfig {
     /// Safety net: abort (with `halted_early`) if the run exceeds this many
     /// wall-clock seconds — a hung fleet must not hang the test suite.
     pub max_wall_s: f64,
+    /// Where the coordinator dumps the telemetry flight recorder (JSONL,
+    /// one event per line) when it finalizes. `None` disables the dump;
+    /// the in-memory recorder still runs either way.
+    #[serde(default)]
+    pub flight_recorder_path: Option<String>,
 }
 
 impl RuntimeConfig {
@@ -58,6 +63,7 @@ impl RuntimeConfig {
             checkpoint_path: None,
             halt_after_assims: None,
             max_wall_s: 600.0,
+            flight_recorder_path: None,
         }
     }
 

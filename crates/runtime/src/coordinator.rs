@@ -18,7 +18,7 @@ use crate::checkpoint::{Checkpoint, CHECKPOINT_VERSION};
 use crate::config::RuntimeConfig;
 use crate::fault::FaultStats;
 use crate::protocol::{AssimTask, ToServer, ToWorker};
-use crate::report::{RuntimeEpoch, RuntimeReport};
+use crate::report::{RuntimeEpoch, RuntimeReport, RuntimeTelemetry, ASSIM_LATENCY_S};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -28,6 +28,7 @@ use vc_data::Dataset;
 use vc_kvstore::{Consistency, VersionedStore};
 use vc_middleware::{BoincServer, Clock, ReportStatus};
 use vc_nn::metrics::evaluate;
+use vc_telemetry::{event, Histogram, Telemetry};
 use vc_tensor::codec::encoded_len;
 
 /// Everything one assimilator (parameter-server) thread needs.
@@ -80,6 +81,7 @@ pub fn assimilator_main(ctx: AssimCtx) {
                 epoch: t.epoch,
                 shard_id: t.shard_id,
                 acc,
+                accepted_at: t.accepted_at,
             })
             .is_err()
         {
@@ -129,6 +131,8 @@ pub struct Coordinator<C: Clock> {
     /// Runtime second (clock `elapsed_s`) at which the next timed
     /// checkpoint is due; `None` disables the timer.
     pub next_checkpoint_s: Option<f64>,
+    /// The run's telemetry hub (registry + flight recorder).
+    pub telemetry: Telemetry,
 }
 
 /// Why the coordinator stopped.
@@ -159,6 +163,24 @@ impl<C: Clock> Coordinator<C> {
         }
         let halted = matches!(stop, Stop::Halted);
         let (kills, respawns, delayed) = self.stats_faults.snapshot();
+        event!(
+            self.telemetry,
+            Info,
+            "run_finalized",
+            halted = halted,
+            assimilations = self.assimilations
+        );
+        if let Some(path) = &self.cfg.flight_recorder_path {
+            if let Err(e) = self.telemetry.recorder().dump_to_file(path) {
+                event!(
+                    self.telemetry,
+                    Warn,
+                    "flight_recorder_dump_failed",
+                    path = path.as_str(),
+                    err = e.to_string()
+                );
+            }
+        }
         let report = RuntimeReport {
             label: self.cfg.job.pct_label(),
             epochs: self.stats.clone(),
@@ -168,6 +190,7 @@ impl<C: Clock> Coordinator<C> {
             workers: self.worker_txs.len(),
             server_metrics: self.server.metrics(),
             store_ops: self.store.metrics().snapshot(),
+            telemetry: RuntimeTelemetry::from_registry(self.telemetry.registry()),
             bytes_transferred: self.bytes,
             kills,
             respawns,
@@ -244,16 +267,31 @@ impl<C: Clock> Coordinator<C> {
                     epoch: info.epoch,
                     shard_id: info.shard_id,
                     client: params,
+                    accepted_at: now,
                 });
                 None
             }
             ToServer::Assimilated {
-                wu: _,
+                wu,
                 epoch,
                 shard_id,
                 acc,
+                accepted_at,
             } => {
                 self.assimilations += 1;
+                self.telemetry
+                    .registry()
+                    .histogram_with(ASSIM_LATENCY_S, Histogram::latency_bounds)
+                    .observe((now - accepted_at).max(0.0));
+                event!(
+                    self.telemetry,
+                    Debug,
+                    "assimilated",
+                    wu = wu.0,
+                    epoch = epoch,
+                    shard = shard_id,
+                    acc = acc
+                );
                 let mut finished = false;
                 if epoch == self.epoch {
                     self.done.push((shard_id, acc));
@@ -301,6 +339,14 @@ impl<C: Clock> Coordinator<C> {
             timeouts: sm.timeouts,
             reassignments: sm.reassignments,
         });
+        event!(
+            self.telemetry,
+            Info,
+            "epoch_finished",
+            epoch = self.epoch,
+            mean_val_acc = mean,
+            assimilated = accs.len()
+        );
         self.done.clear();
 
         let reached = self
@@ -339,8 +385,8 @@ impl<C: Clock> Coordinator<C> {
     }
 
     /// Serializes the current state to the configured path (no-op without
-    /// one). I/O errors are reported to stderr, not fatal: losing a
-    /// checkpoint must not kill a healthy run.
+    /// one). I/O errors become `checkpoint_write_failed` telemetry events,
+    /// not fatal: losing a checkpoint must not kill a healthy run.
     pub(crate) fn write_checkpoint(&mut self) {
         let Some(path) = self.cfg.checkpoint_path.clone() else {
             return;
@@ -364,8 +410,22 @@ impl<C: Clock> Coordinator<C> {
             digest: 0,
         };
         ck.seal();
-        if let Err(e) = ck.save(&path) {
-            eprintln!("vc-runtime: checkpoint write failed: {e}");
+        match ck.save(&path) {
+            Ok(()) => event!(
+                self.telemetry,
+                Info,
+                "checkpoint_written",
+                path = path.as_str(),
+                epoch = self.epoch,
+                assimilations = self.assimilations
+            ),
+            Err(e) => event!(
+                self.telemetry,
+                Warn,
+                "checkpoint_write_failed",
+                path = path.as_str(),
+                err = e
+            ),
         }
     }
 }

@@ -39,9 +39,12 @@ pub mod worker;
 pub use checkpoint::Checkpoint;
 pub use config::RuntimeConfig;
 pub use fault::FaultPlan;
-pub use report::{RuntimeEpoch, RuntimeReport};
+pub use report::{
+    RuntimeEpoch, RuntimeReport, RuntimeTelemetry, ASSIM_LATENCY_S, DELAY_LINE_DELAY_S,
+    WORKER_POLL_S, WORKER_TRAIN_S, WORKER_UPLOAD_S,
+};
 pub use scheduler::StepScheduler;
-pub use sim::{run_scenario, sweep, Scenario, SimOutcome};
+pub use sim::{run_scenario, sweep, verify_seed, Scenario, SimOutcome};
 
 use coordinator::{assimilator_main, AssimCtx, Coordinator};
 use crossbeam::channel::unbounded;
@@ -57,19 +60,25 @@ use vc_kvstore::VersionedStore;
 use vc_middleware::{BoincServer, HostId, WallClock};
 use vc_nn::metrics::evaluate;
 use vc_simnet::SimTime;
+use vc_telemetry::Telemetry;
 use worker::{worker_main, WorkerCtx};
 
 /// A configured (possibly resumed) run, executed with [`Runtime::run`].
 pub struct Runtime {
     cfg: RuntimeConfig,
     resume: Option<Checkpoint>,
+    telemetry: Option<Telemetry>,
 }
 
 impl Runtime {
     /// Builds a fresh run.
     pub fn new(cfg: RuntimeConfig) -> Result<Self, String> {
         cfg.validate()?;
-        Ok(Runtime { cfg, resume: None })
+        Ok(Runtime {
+            cfg,
+            resume: None,
+            telemetry: None,
+        })
     }
 
     /// Rebuilds a run from a checkpoint written by a previous process. The
@@ -81,12 +90,22 @@ impl Runtime {
         Ok(Runtime {
             cfg: ck.cfg.clone(),
             resume: Some(ck),
+            telemetry: None,
         })
     }
 
     /// The run configuration (mutable, for pre-run adjustments).
     pub fn config_mut(&mut self) -> &mut RuntimeConfig {
         &mut self.cfg
+    }
+
+    /// Uses `tel` as the run's telemetry hub instead of the default
+    /// [`Telemetry::from_env`]-built one, so a caller can keep a handle to
+    /// the registry and flight recorder after the run. The run retargets
+    /// the hub's time source at its own clock.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.telemetry = Some(tel);
+        self
     }
 
     /// Executes the job: spawns the fleet, trains to completion (or halt),
@@ -100,6 +119,7 @@ impl Runtime {
                 return Err("cannot change shard count across a resume".into());
             }
         }
+        let tel = self.telemetry.take().unwrap_or_else(Telemetry::from_env);
         let cfg = Arc::new(self.cfg);
         let job = &cfg.job;
 
@@ -109,7 +129,7 @@ impl Runtime {
         let val_eval = Arc::new(val.select(&(0..job.val_eval_n).collect::<Vec<_>>()));
 
         // --- parameter store ----------------------------------------------
-        let store = VersionedStore::shared();
+        let store = Arc::new(VersionedStore::new().with_telemetry(&tel));
         let assim = Arc::new(VcAsgdAssimilator::new(
             store.clone(),
             job.consistency,
@@ -148,6 +168,10 @@ impl Runtime {
             fleet.iter().map(|s| (s.clone(), job.tn)).collect(),
         );
         let clock = WallClock::resumed_at(wall_base_s);
+        // Event timestamps ride the same SimTime axis as the middleware's
+        // deadlines (cumulative across resumes).
+        tel.set_time_source(Arc::new(clock));
+        server.set_telemetry(tel.clone());
         let version = store.version(PARAMS_KEY);
         match &self.resume {
             None => server.add_epoch(1, job.shards, version, SimTime::ZERO),
@@ -212,6 +236,7 @@ impl Runtime {
                     tx: dtx.clone(),
                     max_delay_s: cfg.faults.max_msg_delay_s,
                     stats: fstats.clone(),
+                    telemetry: tel.clone(),
                 },
                 None => Outbox::Direct(server_tx.clone()),
             };
@@ -222,6 +247,7 @@ impl Runtime {
                 cmd_rx: rx,
                 outbox,
                 stats: fstats.clone(),
+                telemetry: tel.clone(),
             };
             worker_handles.push(
                 std::thread::Builder::new()
@@ -255,6 +281,7 @@ impl Runtime {
             assim_tx,
             stats_faults: fstats,
             next_checkpoint_s: cfg.checkpoint_every_s,
+            telemetry: tel,
         };
         let (mut report, assim) = coordinator.run();
 

@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 use vc_middleware::{HostId, WorkUnit, WuId};
+use vc_simnet::SimTime;
 
 /// Worker → coordinator (and assimilator → coordinator) traffic. All
 /// senders share one MPMC channel; the coordinator is the single consumer.
@@ -38,6 +39,11 @@ pub enum ToServer {
         shard_id: usize,
         /// Validation accuracy of the post-update server copy.
         acc: f32,
+        /// When the coordinator accepted the result (echoed from
+        /// [`AssimTask::accepted_at`]), so assimilation latency —
+        /// acceptance to blended-and-evaluated — can be measured at the
+        /// coordinator without any cross-thread clock reads.
+        accepted_at: SimTime,
     },
 }
 
@@ -71,4 +77,6 @@ pub struct AssimTask {
     pub shard_id: usize,
     /// The client replica's parameters.
     pub client: Vec<f32>,
+    /// When the coordinator accepted the result (its clock's reading).
+    pub accepted_at: SimTime,
 }

@@ -3,7 +3,23 @@
 //! hours, plus the fault-injection counters.
 
 use serde::{Deserialize, Serialize};
+use vc_kvstore::{
+    StoreOps, STORE_READ_S, STORE_STALENESS_VERSIONS, STORE_TRANSACT_S, STORE_WRITE_S,
+};
 use vc_middleware::ServerMetrics;
+use vc_telemetry::{Histogram, HistogramSnapshot, Registry};
+
+/// Registry name of the assimilation-latency histogram (seconds from the
+/// coordinator accepting a result to the blended parameters evaluated).
+pub const ASSIM_LATENCY_S: &str = "assim_latency_s";
+/// Registry name of the worker scheduler-poll round-trip histogram.
+pub const WORKER_POLL_S: &str = "worker_poll_s";
+/// Registry name of the worker subtask-training duration histogram.
+pub const WORKER_TRAIN_S: &str = "worker_train_s";
+/// Registry name of the worker result-upload (channel send) histogram.
+pub const WORKER_UPLOAD_S: &str = "worker_upload_s";
+/// Registry name of the delay-line drawn-delay histogram.
+pub const DELAY_LINE_DELAY_S: &str = "delay_line_delay_s";
 
 /// Per-epoch statistics of a real threaded run.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -48,8 +64,10 @@ pub struct RuntimeReport {
     pub workers: usize,
     /// Middleware counters.
     pub server_metrics: ServerMetrics,
-    /// Store counters `(reads, writes, transactions, lost_updates)`.
-    pub store_ops: (u64, u64, u64, u64),
+    /// Store operation counters.
+    pub store_ops: StoreOps,
+    /// Latency/staleness histograms collected by the telemetry registry.
+    pub telemetry: RuntimeTelemetry,
     /// Parameter payload bytes that crossed worker channels.
     pub bytes_transferred: u64,
     /// Workers the fault injector preempted.
@@ -62,6 +80,50 @@ pub struct RuntimeReport {
     /// `max_wall_s` safety net) — final accuracies are still measured on
     /// whatever the server held.
     pub halted_early: bool,
+}
+
+/// The histogram family a run's telemetry registry collected, embedded in
+/// the report so latency percentiles survive alongside the counters.
+///
+/// Every field is always present — [`RuntimeTelemetry::from_registry`]
+/// get-or-creates each histogram, so a run that never exercised a path
+/// reports an empty histogram rather than a missing field.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeTelemetry {
+    /// Seconds from result acceptance to blended-and-evaluated parameters.
+    pub assim_latency_s: HistogramSnapshot,
+    /// Staleness of eventual-mode writes, in `server_version − read_version`.
+    pub staleness_versions: HistogramSnapshot,
+    /// Parameter-store read latency, seconds.
+    pub store_read_s: HistogramSnapshot,
+    /// Parameter-store write latency, seconds.
+    pub store_write_s: HistogramSnapshot,
+    /// Parameter-store transaction latency, seconds.
+    pub store_transact_s: HistogramSnapshot,
+    /// Worker subtask-training duration, seconds.
+    pub worker_train_s: HistogramSnapshot,
+}
+
+impl RuntimeTelemetry {
+    /// Snapshots the run's histograms out of `registry`, creating any the
+    /// run never touched so the report shape is stable.
+    pub fn from_registry(registry: &Registry) -> Self {
+        let grab = |name: &str| {
+            registry
+                .histogram_with(name, Histogram::latency_bounds)
+                .snapshot()
+        };
+        RuntimeTelemetry {
+            assim_latency_s: grab(ASSIM_LATENCY_S),
+            staleness_versions: registry
+                .histogram_with(STORE_STALENESS_VERSIONS, Histogram::version_bounds)
+                .snapshot(),
+            store_read_s: grab(STORE_READ_S),
+            store_write_s: grab(STORE_WRITE_S),
+            store_transact_s: grab(STORE_TRANSACT_S),
+            worker_train_s: grab(WORKER_TRAIN_S),
+        }
+    }
 }
 
 impl RuntimeReport {
@@ -109,7 +171,8 @@ mod tests {
             wall_s: 2.6,
             workers: 4,
             server_metrics: ServerMetrics::default(),
-            store_ops: (0, 0, 0, 0),
+            store_ops: StoreOps::default(),
+            telemetry: RuntimeTelemetry::from_registry(&Registry::default()),
             bytes_transferred: 0,
             kills: 0,
             respawns: 0,
@@ -121,5 +184,20 @@ mod tests {
         assert_eq!(r.time_to_accuracy(0.9), None);
         let json = serde_json::to_string(&r).unwrap();
         assert_eq!(serde_json::from_str::<RuntimeReport>(&json).unwrap(), r);
+    }
+
+    #[test]
+    fn from_registry_materializes_every_histogram() {
+        let reg = Registry::default();
+        reg.histogram_with(ASSIM_LATENCY_S, Histogram::latency_bounds)
+            .observe(0.002);
+        let t = RuntimeTelemetry::from_registry(&reg);
+        assert_eq!(t.assim_latency_s.count, 1);
+        // Untouched paths still appear, as empty histograms with real bounds.
+        assert_eq!(t.worker_train_s.count, 0);
+        assert!(!t.worker_train_s.bounds.is_empty());
+        assert!(!t.staleness_versions.bounds.is_empty());
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(serde_json::from_str::<RuntimeTelemetry>(&json).unwrap(), t);
     }
 }

@@ -25,7 +25,7 @@ use crate::config::RuntimeConfig;
 use crate::coordinator::{Coordinator, Stop};
 use crate::fault::{FaultPlan, FaultStats};
 use crate::protocol::{AssimTask, ToServer, ToWorker};
-use crate::report::RuntimeReport;
+use crate::report::{RuntimeReport, DELAY_LINE_DELAY_S, WORKER_TRAIN_S};
 use crate::scheduler::StepScheduler;
 use crate::worker::WorkerCore;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -41,6 +41,7 @@ use vc_middleware::{BoincServer, Clock, HostId, VirtualClock, WuId};
 use vc_nn::metrics::evaluate;
 use vc_nn::Sequential;
 use vc_simnet::SimTime;
+use vc_telemetry::{event, Histogram, Telemetry};
 
 /// One deterministic chaos scenario: a runtime configuration plus the
 /// virtual-time costs of the things that take real time on threads.
@@ -192,6 +193,9 @@ pub struct SimOutcome {
     pub report: RuntimeReport,
     /// The store's per-key serialization-order operation log.
     pub history: Vec<HistoryEvent>,
+    /// The run's telemetry hub: the flight recorder holds the event trace
+    /// (virtual-clock timestamps, so replays dump byte-identical JSONL).
+    pub telemetry: Telemetry,
 }
 
 impl SimOutcome {
@@ -214,7 +218,7 @@ impl SimOutcome {
     /// - eventual: clobbers are permitted — the recount cross-check above
     ///   is the whole claim.
     pub fn verify_consistency(&self) -> Result<(), String> {
-        let metric = self.report.store_ops.3;
+        let metric = self.report.store_ops.lost_updates;
         let recount = self.lost_updates_recount();
         if recount != metric {
             return Err(format!(
@@ -352,6 +356,13 @@ impl Sim {
                     w.core.respawn();
                     w.state = WState::Alive;
                     self.fstats.respawns.fetch_add(1, Ordering::Relaxed);
+                    event!(
+                        self.coord.telemetry,
+                        Info,
+                        "worker_respawn",
+                        host = h,
+                        life = w.core.life
+                    );
                     self.sched.schedule_in(0.0, Ev::Poll(h));
                 }
                 None
@@ -381,7 +392,13 @@ impl Sim {
         let max = self.coord.cfg.faults.max_msg_delay_s;
         let delay = if max > 0.0 {
             self.fstats.delayed_msgs.fetch_add(1, Ordering::Relaxed);
-            self.workers[host as usize].core.rng.gen_range(0.0..=max)
+            let d = self.workers[host as usize].core.rng.gen_range(0.0..=max);
+            self.coord
+                .telemetry
+                .registry()
+                .histogram_with(DELAY_LINE_DELAY_S, Histogram::latency_bounds)
+                .observe(d);
+            d
         } else {
             0.0
         };
@@ -412,6 +429,13 @@ impl Sim {
                 }
                 if w.core.on_assign(&self.coord.cfg.faults) {
                     self.fstats.kills.fetch_add(1, Ordering::Relaxed);
+                    event!(
+                        self.coord.telemetry,
+                        Info,
+                        "worker_kill",
+                        host = h,
+                        life = w.core.life
+                    );
                     match self.coord.cfg.faults.respawn_after_s {
                         Some(d) => {
                             w.state = WState::AwaitingRespawn;
@@ -433,6 +457,13 @@ impl Sim {
                 if self.sc.train_jitter_s > 0.0 {
                     dur += w.core.rng.gen_range(0.0..=self.sc.train_jitter_s);
                 }
+                // The virtual analogue of the threaded worker's measured
+                // training time.
+                self.coord
+                    .telemetry
+                    .registry()
+                    .histogram_with(WORKER_TRAIN_S, Histogram::latency_bounds)
+                    .observe(dur);
                 self.sched.schedule_in(
                     dur,
                     Ev::TrainDone {
@@ -506,6 +537,7 @@ impl Sim {
                 epoch: task.epoch,
                 shard_id: task.shard_id,
                 acc,
+                accepted_at: task.accepted_at,
             }),
         );
     }
@@ -524,8 +556,17 @@ pub fn run_scenario(sc: &Scenario) -> Result<SimOutcome, String> {
     let shards = Arc::new(ShardSet::split(&train, job.shards));
     let val_eval = Arc::new(val.select(&(0..job.val_eval_n).collect::<Vec<_>>()));
 
+    // --- virtual time + telemetry ---------------------------------------
+    // The telemetry hub reads the virtual clock from the very first store
+    // operation, so every event timestamp and latency observation is a
+    // pure function of the schedule — replays dump byte-identical traces.
+    let sched = StepScheduler::new(sc.seed, sc.sched_jitter_s);
+    let clock = sched.clock();
+    let tel = Telemetry::silent();
+    tel.set_time_source(Arc::new(clock.clone()));
+
     // --- recording parameter store -------------------------------------
-    let store = VersionedStore::shared_recording();
+    let store = Arc::new(VersionedStore::recording().with_telemetry(&tel));
     let assim = Arc::new(VcAsgdAssimilator::new(
         store.clone(),
         job.consistency,
@@ -546,12 +587,11 @@ pub fn run_scenario(sc: &Scenario) -> Result<SimOutcome, String> {
         job.middleware.clone(),
         fleet.iter().map(|s| (s.clone(), job.tn)).collect(),
     );
+    server.set_telemetry(tel.clone());
     let version = store.version(PARAMS_KEY);
     server.add_epoch(1, job.shards, version, SimTime::ZERO);
 
     // --- actors ----------------------------------------------------------
-    let sched = StepScheduler::new(sc.seed, sc.sched_jitter_s);
-    let clock = sched.clock();
     let (server_tx, server_rx) = unbounded();
     let (assim_tx, assim_rx) = unbounded();
     let fstats = Arc::new(FaultStats::default());
@@ -594,6 +634,7 @@ pub fn run_scenario(sc: &Scenario) -> Result<SimOutcome, String> {
         assim_tx,
         stats_faults: fstats.clone(),
         next_checkpoint_s: cfg.checkpoint_every_s,
+        telemetry: tel.clone(),
     };
 
     let mut sim = Sim {
@@ -631,7 +672,23 @@ pub fn run_scenario(sc: &Scenario) -> Result<SimOutcome, String> {
         consistency: job.consistency,
         report,
         history: store.take_history(),
+        telemetry: tel,
     })
+}
+
+/// Verifies one outcome's consistency contract. On failure the flight
+/// recorder is dumped to `vc-dst-seed-<seed>.jsonl` in the temp directory —
+/// the full event trace of the failing run, with virtual-clock timestamps,
+/// so the panic message names a replayable artifact — then panics.
+pub fn verify_seed(seed: u64, out: &SimOutcome) {
+    if let Err(e) = out.verify_consistency() {
+        let path = std::env::temp_dir().join(format!("vc-dst-seed-{seed}.jsonl"));
+        let note = match out.telemetry.recorder().dump_to_file(&path) {
+            Ok(()) => format!("; flight recorder dumped to {}", path.display()),
+            Err(io) => format!("; flight recorder dump failed: {io}"),
+        };
+        panic!("DST seed {seed}: {e}{note} — replay with run_scenario(&make({seed}))");
+    }
 }
 
 /// Runs `make(seed)` for every seed in the range, verifying each outcome's
@@ -646,9 +703,7 @@ pub fn sweep(
             let out = run_scenario(&make(seed)).unwrap_or_else(|e| {
                 panic!("DST seed {seed}: {e} — replay with run_scenario(&make({seed}))")
             });
-            out.verify_consistency().unwrap_or_else(|e| {
-                panic!("DST seed {seed}: {e} — replay with run_scenario(&make({seed}))")
-            });
+            verify_seed(seed, &out);
             (seed, out)
         })
         .collect()

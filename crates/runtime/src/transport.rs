@@ -15,12 +15,14 @@
 
 use crate::fault::FaultStats;
 use crate::protocol::ToServer;
+use crate::report::DELAY_LINE_DELAY_S;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use vc_telemetry::{Histogram, Telemetry};
 
 /// A worker's handle for sending to the coordinator: direct, or via the
 /// delay line.
@@ -36,6 +38,8 @@ pub enum Outbox {
         max_delay_s: f64,
         /// Shared fault counters.
         stats: Arc<FaultStats>,
+        /// The run's telemetry hub (drawn delays feed a histogram).
+        telemetry: Telemetry,
     },
 }
 
@@ -51,11 +55,16 @@ impl Outbox {
                 tx,
                 max_delay_s,
                 stats,
+                telemetry,
             } => {
                 let delay = rng.gen_range(0.0..=*max_delay_s);
                 stats
                     .delayed_msgs
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                telemetry
+                    .registry()
+                    .histogram_with(DELAY_LINE_DELAY_S, Histogram::latency_bounds)
+                    .observe(delay);
                 tx.send((Instant::now() + Duration::from_secs_f64(delay), msg))
                     .map_err(|_| ())
             }
@@ -241,10 +250,12 @@ mod tests {
         let (out_tx, out_rx) = unbounded();
         let line = std::thread::spawn(move || delay_line_main(in_rx, out_tx));
         let stats = Arc::new(FaultStats::default());
+        let tel = Telemetry::silent();
         let ob = Outbox::Delayed {
             tx: in_tx,
             max_delay_s: 0.05,
             stats: stats.clone(),
+            telemetry: tel.clone(),
         };
         let mut rng = StdRng::seed_from_u64(7);
         let n = 64u32;
@@ -273,5 +284,8 @@ mod tests {
         assert!(seen.iter().all(|&s| s), "no message may be lost");
         assert!(reordered, "random delays over 64 messages must reorder");
         assert_eq!(stats.snapshot().2, n as u64);
+        let snap = tel.registry().snapshot();
+        let h = snap.histogram(DELAY_LINE_DELAY_S).unwrap();
+        assert_eq!(h.count, n as u64, "every drawn delay is observed");
     }
 }

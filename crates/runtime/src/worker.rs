@@ -29,6 +29,9 @@ use std::time::Duration;
 use vc_asgd::{train_client_replica, JobConfig};
 use vc_data::ShardSet;
 use vc_middleware::HostId;
+use vc_telemetry::{event, Histogram, Telemetry};
+
+use crate::report::{WORKER_POLL_S, WORKER_TRAIN_S, WORKER_UPLOAD_S};
 
 /// The substrate-independent worker state: identity, life/assignment
 /// counters for the fault plan, and the worker's private RNG stream.
@@ -88,6 +91,8 @@ pub struct WorkerCtx {
     pub outbox: Outbox,
     /// Shared fault counters.
     pub stats: Arc<FaultStats>,
+    /// The run's telemetry hub (phase timings, kill/respawn events).
+    pub telemetry: Telemetry,
 }
 
 /// The worker thread body.
@@ -99,33 +104,52 @@ pub fn worker_main(ctx: WorkerCtx) {
         cmd_rx,
         outbox,
         stats,
+        telemetry,
     } = ctx;
     let job: &JobConfig = &cfg.job;
     let mut core = WorkerCore::new(id, cfg.faults.seed);
     let poll = Duration::from_secs_f64(cfg.poll_interval_s);
     let reply_timeout = Duration::from_secs_f64(cfg.reply_timeout_s);
+    let poll_h = telemetry
+        .registry()
+        .histogram_with(WORKER_POLL_S, Histogram::latency_bounds);
+    let train_h = telemetry
+        .registry()
+        .histogram_with(WORKER_TRAIN_S, Histogram::latency_bounds);
+    let upload_h = telemetry
+        .registry()
+        .histogram_with(WORKER_UPLOAD_S, Histogram::latency_bounds);
 
     loop {
+        let poll_t0 = telemetry.now_s();
         if outbox
             .send(&mut core.rng, ToServer::RequestWork { host: id })
             .is_err()
         {
             return; // coordinator gone
         }
-        match cmd_rx.recv_timeout(reply_timeout) {
+        let reply = cmd_rx.recv_timeout(reply_timeout);
+        if reply.is_ok() {
+            // Scheduler round-trip: request sent to reply in hand.
+            poll_h.observe((telemetry.now_s() - poll_t0).max(0.0));
+        }
+        match reply {
             Err(RecvTimeoutError::Disconnected) | Ok(ToWorker::Shutdown) => return,
             Err(RecvTimeoutError::Timeout) => continue, // reply lost somewhere: re-poll
             Ok(ToWorker::NoWork) => std::thread::sleep(poll),
             Ok(ToWorker::Assign { wu, snapshot }) => {
                 if core.on_assign(&cfg.faults) {
-                    if !die(&cfg, &cmd_rx, &stats) {
+                    if !die(&cfg, &cmd_rx, &stats, &telemetry, id, core.life) {
                         return;
                     }
                     core.respawn();
                     continue;
                 }
                 let data = &shards.shard(wu.shard_id).data;
+                let train_t0 = telemetry.now_s();
                 let params = train_client_replica(job, &snapshot, data, wu.epoch, wu.shard_id);
+                train_h.observe((telemetry.now_s() - train_t0).max(0.0));
+                let upload_t0 = telemetry.now_s();
                 if outbox
                     .send(
                         &mut core.rng,
@@ -139,6 +163,7 @@ pub fn worker_main(ctx: WorkerCtx) {
                 {
                     return;
                 }
+                upload_h.observe((telemetry.now_s() - upload_t0).max(0.0));
             }
         }
     }
@@ -149,10 +174,18 @@ pub fn worker_main(ctx: WorkerCtx) {
 /// instance: it waits out the provisioning delay and discards every message
 /// addressed to its dead predecessor. Returns `true` when a replacement
 /// came up, `false` when the host is gone for good.
-fn die(cfg: &RuntimeConfig, cmd_rx: &Receiver<ToWorker>, stats: &FaultStats) -> bool {
+fn die(
+    cfg: &RuntimeConfig,
+    cmd_rx: &Receiver<ToWorker>,
+    stats: &FaultStats,
+    telemetry: &Telemetry,
+    id: HostId,
+    life: u32,
+) -> bool {
     stats
         .kills
         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    event!(telemetry, Info, "worker_kill", host = id.0, life = life);
     let Some(delay_s) = cfg.faults.respawn_after_s else {
         return false;
     };
@@ -168,6 +201,13 @@ fn die(cfg: &RuntimeConfig, cmd_rx: &Receiver<ToWorker>, stats: &FaultStats) -> 
     stats
         .respawns
         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    event!(
+        telemetry,
+        Info,
+        "worker_respawn",
+        host = id.0,
+        life = life + 1
+    );
     true
 }
 

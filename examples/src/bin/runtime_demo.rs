@@ -4,9 +4,15 @@
 //! timeouts recovering the lost work, and a checkpoint/resume cycle in the
 //! middle of the run.
 //!
+//! All three runs share one telemetry hub: structured events echo to
+//! stderr at the `VC_LOG` level (try `VC_LOG=debug`), latency histograms
+//! accumulate across runs, and the merged metrics snapshot lands in
+//! `results/runtime_demo_metrics.json`.
+//!
 //! Run: `cargo run -p vc-examples --bin runtime_demo --release`
 
-use vc_runtime::{run_runtime, FaultPlan, Runtime, RuntimeConfig, RuntimeReport};
+use vc_runtime::{FaultPlan, Runtime, RuntimeConfig, RuntimeReport};
+use vc_telemetry::{install_panic_dump, Telemetry};
 
 fn print_report(tag: &str, r: &RuntimeReport) {
     println!(
@@ -35,10 +41,26 @@ fn print_report(tag: &str, r: &RuntimeReport) {
         r.delayed_msgs,
         r.bytes_transferred as f64 / 1e6
     );
+    let h = &r.telemetry.assim_latency_s;
+    println!(
+        "assimilation latency: p50 {:.4}s, p95 {:.4}s, p99 {:.4}s over {} results",
+        h.quantile(0.50),
+        h.quantile(0.95),
+        h.quantile(0.99),
+        h.count
+    );
     println!();
 }
 
 fn main() {
+    // One hub for the whole demo: events echo to stderr per `VC_LOG`, and
+    // a panic anywhere dumps the flight recorder for post-mortem replay.
+    let tel = Telemetry::from_env();
+    install_panic_dump(
+        &tel,
+        std::env::temp_dir().join("vc_runtime_demo_crash.jsonl"),
+    );
+
     let mut cfg = RuntimeConfig::test_small(7);
     cfg.job.cn = 6; // six real worker threads
     cfg.job.pn = 2; // two parameter-server threads racing on the store
@@ -58,7 +80,11 @@ fn main() {
         "fleet: {} workers ({:?} will be preempted), {} parameter servers, {} shards\n",
         cfg.job.cn, cfg.faults.kill_hosts, cfg.job.pn, cfg.job.shards
     );
-    let clean = run_runtime(cfg.clone()).expect("config is valid");
+    let clean = Runtime::new(cfg.clone())
+        .expect("config is valid")
+        .with_telemetry(tel.clone())
+        .run()
+        .expect("run completes");
     print_report("faulty fleet", &clean);
 
     // Same job again, now interrupted after 12 assimilations and resumed
@@ -66,7 +92,11 @@ fn main() {
     let ck_path = std::env::temp_dir().join("vc_runtime_demo_ck.json");
     cfg.checkpoint_path = Some(ck_path.to_string_lossy().into_owned());
     cfg.halt_after_assims = Some(12);
-    let partial = run_runtime(cfg).expect("config is valid");
+    let partial = Runtime::new(cfg)
+        .expect("config is valid")
+        .with_telemetry(tel.clone())
+        .run()
+        .expect("run completes");
     println!(
         "interrupted after {} epochs ({} assimilations) — resuming from {}",
         partial.epochs.len(),
@@ -75,7 +105,21 @@ fn main() {
     );
     let mut resumed = Runtime::resume(&ck_path).expect("checkpoint is readable");
     resumed.config_mut().halt_after_assims = None;
-    let done = resumed.run().expect("resume is valid");
+    let done = resumed
+        .with_telemetry(tel.clone())
+        .run()
+        .expect("resume is valid");
     std::fs::remove_file(&ck_path).ok();
     print_report("resumed run", &done);
+
+    // Dump the merged registry — all three runs' counters and histograms.
+    let snapshot = tel.registry().snapshot();
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    std::fs::create_dir_all("results").expect("results dir");
+    let out = "results/runtime_demo_metrics.json";
+    std::fs::write(out, json).expect("metrics snapshot writes");
+    println!(
+        "metrics snapshot ({} histograms) written to {out}",
+        snapshot.histograms.len()
+    );
 }

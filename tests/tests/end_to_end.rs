@@ -28,7 +28,7 @@ fn pipeline_trains_and_reports_consistently() {
         assert!((0.0..=1.0).contains(&e.mean_val_acc));
     }
     // Store writes: 1 seed + one per assimilation.
-    assert_eq!(r.store_ops.1, 1 + r.server_metrics.completed);
+    assert_eq!(r.store_ops.writes, 1 + r.server_metrics.completed);
 }
 
 #[test]
@@ -60,9 +60,12 @@ fn strong_consistency_serializes_under_contention() {
     cfg.pn = 4;
     cfg.consistency = Consistency::Strong;
     let r = run_job(cfg).unwrap();
-    assert_eq!(r.store_ops.3, 0, "strong mode must not lose updates");
+    assert_eq!(
+        r.store_ops.lost_updates, 0,
+        "strong mode must not lose updates"
+    );
     // Strong path counts transactions, not raw puts.
-    assert!(r.store_ops.2 >= r.server_metrics.completed);
+    assert!(r.store_ops.transactions >= r.server_metrics.completed);
 }
 
 #[test]

@@ -171,6 +171,10 @@ fn store_write_counts_match_the_workload() {
     assim.assimilate_strong(&[1.0; 8], 1);
     assim.assimilate_strong(&[2.0; 8], 1);
     let after = store.metrics().snapshot();
-    assert_eq!(after.2 - before.2, 2, "two transactions");
-    assert_eq!(after.3, 0);
+    assert_eq!(
+        after.transactions - before.transactions,
+        2,
+        "two transactions"
+    );
+    assert_eq!(after.lost_updates, 0);
 }

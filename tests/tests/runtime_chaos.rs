@@ -91,7 +91,7 @@ fn dst_strong_histories_admit_a_sequential_witness_on_every_seed() {
         let r = &out.report;
         assert!(!r.halted_early, "DST seed {seed}: halted early");
         assert_eq!(
-            r.store_ops.3, 0,
+            r.store_ops.lost_updates, 0,
             "DST seed {seed}: strong mode lost updates"
         );
         assert_eq!(r.kills, 2, "DST seed {seed}");
@@ -129,12 +129,59 @@ fn dst_chaos_replay_is_byte_identical() {
         "same seed must replay bit-for-bit"
     );
     assert_eq!(a.history, b.history, "down to the store's operation log");
+    // The flight recorder rides the virtual clock, so the full event trace
+    // replays byte-for-byte too.
+    assert_eq!(
+        a.telemetry.recorder().dump_jsonl(),
+        b.telemetry.recorder().dump_jsonl(),
+        "same seed must dump an identical flight-recorder trace"
+    );
     let c = run_scenario(&storm(18)).unwrap();
     assert_ne!(
         a.report_json(),
         c.report_json(),
         "different seeds must explore different runs"
     );
+}
+
+/// Acceptance criterion: the flight-recorder JSONL of a 30% fleet-kill
+/// chaos run must agree *exactly* with the report's counters — every kill,
+/// respawn and timeout the runtime counted appears as exactly one recorded
+/// event, and nothing was dropped from the ring.
+#[test]
+fn dst_flight_recorder_counts_match_report_counters() {
+    let sc = delay_storm(29);
+    let out = run_scenario(&sc).unwrap();
+    let r = &out.report;
+    assert!(
+        r.kills > 0 && r.respawns > 0,
+        "scenario must exercise faults"
+    );
+    assert_eq!(out.telemetry.recorder().dropped(), 0, "ring must not wrap");
+
+    let path = std::env::temp_dir().join("vc_chaos_flight_recorder.jsonl");
+    std::fs::remove_file(&path).ok();
+    out.telemetry.recorder().dump_to_file(&path).unwrap();
+    let dump = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let mut counts = std::collections::HashMap::new();
+    for line in dump.lines() {
+        let ev: vc_telemetry::Event = serde_json::from_str(line).expect("every line parses");
+        *counts.entry(ev.name.clone()).or_insert(0u64) += 1;
+    }
+    let count = |name: &str| counts.get(name).copied().unwrap_or(0);
+    assert_eq!(count("worker_kill"), r.kills);
+    assert_eq!(count("worker_respawn"), r.respawns);
+    assert_eq!(count("wu_timeout"), r.server_metrics.timeouts);
+    assert_eq!(count("wu_assigned"), r.server_metrics.assigned);
+    assert_eq!(count("wu_completed"), r.server_metrics.completed);
+    assert_eq!(
+        count("wu_reassigned"),
+        r.server_metrics.reassignments,
+        "every reassignment (timeout or invalid) leaves one event"
+    );
+    assert_eq!(count("epoch_finished") as usize, r.epochs.len());
 }
 
 /// Nightly-scale sweep, ignored by default. CI's manual dispatch runs it
@@ -152,7 +199,10 @@ fn dst_nightly_wide_sweep() {
     }
     for (seed, out) in sweep(0..n, strong_storm) {
         assert!(!out.report.halted_early, "DST seed {seed}: halted early");
-        assert_eq!(out.report.store_ops.3, 0, "DST seed {seed}: lost updates");
+        assert_eq!(
+            out.report.store_ops.lost_updates, 0,
+            "DST seed {seed}: lost updates"
+        );
     }
 }
 
@@ -172,8 +222,26 @@ fn threaded_fleet_survives_preemption_with_respawn_and_message_chaos() {
         seed: 22,
     };
 
+    let fr_path = std::env::temp_dir().join("vc_threaded_chaos_flight.jsonl");
+    std::fs::remove_file(&fr_path).ok();
+    cfg.flight_recorder_path = Some(fr_path.to_string_lossy().into_owned());
+
     let doomed = cfg.faults.kill_hosts.len() as u64;
     let report = run_runtime(cfg.clone()).unwrap();
+
+    // The coordinator dumps the flight recorder on finalize; its event
+    // counts agree with the report's counters even on real threads.
+    let dump = std::fs::read_to_string(&fr_path).expect("finalize dumps the flight recorder");
+    std::fs::remove_file(&fr_path).ok();
+    let count = |name: &str| {
+        dump.lines()
+            .map(|l| serde_json::from_str::<vc_telemetry::Event>(l).expect("line parses"))
+            .filter(|ev| ev.name == name)
+            .count() as u64
+    };
+    assert_eq!(count("worker_kill"), report.kills);
+    assert_eq!(count("worker_respawn"), report.respawns);
+    assert_eq!(count("wu_timeout"), report.server_metrics.timeouts);
 
     assert!(!report.halted_early);
     assert_eq!(report.epochs.len(), cfg.job.epochs);
