@@ -1,0 +1,273 @@
+//! Training-throughput benchmark: before/after numbers for the compute
+//! substrate (blocked kernels + persistent pool + zero-alloc workspace).
+//!
+//! Three sections, all written to `results/BENCH_train.json`:
+//!
+//! 1. **Kernels** — GFLOP/s of the three matmul shapes at 128³/256³/512³,
+//!    the frozen pre-optimization kernels ([`vc_bench::legacy`]) against the
+//!    current blocked micro-kernels.
+//! 2. **End-to-end** — optimizer steps/sec training the paper's `small_cnn`
+//!    on `[1, 28, 28]` inputs, the legacy layer path against
+//!    [`vc_optim::train_minibatch_ws`].
+//! 3. **Scaling** — blocked-matmul GFLOP/s as the persistent pool's thread
+//!    cap sweeps 1..=max, the serial-vs-pool curve.
+//!
+//! `--smoke` runs the whole thing on tiny shapes in well under a second,
+//! asserts the results are finite/sane, and writes nothing — the CI guard.
+
+use serde::Serialize;
+use std::time::Instant;
+use vc_bench::legacy::{legacy_matmul, legacy_matmul_a_bt, legacy_matmul_at_b, LegacySmallCnn};
+use vc_nn::spec::small_cnn;
+use vc_optim::{train_minibatch_ws, OptimizerSpec, TrainWorkspace};
+use vc_tensor::ops::{matmul, matmul_a_bt, matmul_at_b};
+use vc_tensor::{NormalSampler, Tensor};
+
+/// Minimum wall-clock time over `reps` runs of `f` (after one warmup call).
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup (first-touch, pool spawn, page faults)
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[derive(Serialize)]
+struct KernelRow {
+    /// Which matmul variant (`matmul` = A·B, `at_b` = Aᵀ·B, `a_bt` = A·Bᵀ).
+    op: String,
+    /// Square problem size (m = n = k).
+    n: usize,
+    /// Pre-PR kernel throughput, GFLOP/s.
+    legacy_gflops: f64,
+    /// Blocked micro-kernel throughput, GFLOP/s.
+    blocked_gflops: f64,
+    /// blocked / legacy.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct E2e {
+    /// Model + data shape the steps ran on.
+    model: String,
+    batch_size: usize,
+    timed_steps: usize,
+    /// Legacy layer path (clone churn, fresh allocations, old kernels).
+    legacy_steps_per_s: f64,
+    /// Workspace path ([`train_minibatch_ws`] with fused ReLU epilogues).
+    ws_steps_per_s: f64,
+    /// ws / legacy.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct ScalingPoint {
+    threads: usize,
+    gflops: f64,
+}
+
+#[derive(Serialize)]
+struct BenchTrain {
+    /// Persistent-pool worker count the blocked numbers used.
+    pool_threads: usize,
+    /// Spawn-per-call thread count the legacy numbers used.
+    legacy_threads: usize,
+    kernels: Vec<KernelRow>,
+    e2e: E2e,
+    /// Blocked `matmul` GFLOP/s at the scaling size vs pool thread cap.
+    scaling_n: usize,
+    scaling: Vec<ScalingPoint>,
+}
+
+fn gflops(n: usize, secs: f64) -> f64 {
+    2.0 * (n as f64).powi(3) / secs / 1e9
+}
+
+fn bench_kernels(sizes: &[usize], reps: usize) -> Vec<KernelRow> {
+    let mut rows = Vec::new();
+    let mut s = NormalSampler::seed_from(7);
+    for &n in sizes {
+        let a = Tensor::randn(&[n, n], 0.0, 1.0, &mut s);
+        let b = Tensor::randn(&[n, n], 0.0, 1.0, &mut s);
+        let pairs: [(&'static str, f64, f64); 3] = [
+            (
+                "matmul",
+                time_best(reps, || drop(legacy_matmul(&a, &b))),
+                time_best(reps, || drop(matmul(&a, &b))),
+            ),
+            (
+                "at_b",
+                time_best(reps, || drop(legacy_matmul_at_b(&a, &b))),
+                time_best(reps, || drop(matmul_at_b(&a, &b))),
+            ),
+            (
+                "a_bt",
+                time_best(reps, || drop(legacy_matmul_a_bt(&a, &b))),
+                time_best(reps, || drop(matmul_a_bt(&a, &b))),
+            ),
+        ];
+        for (op, t_legacy, t_blocked) in pairs {
+            let row = KernelRow {
+                op: op.to_string(),
+                n,
+                legacy_gflops: gflops(n, t_legacy),
+                blocked_gflops: gflops(n, t_blocked),
+                speedup: t_legacy / t_blocked,
+            };
+            println!(
+                "kernel {op:>6} n={n:<4} legacy {:8.2} GFLOP/s  blocked {:8.2} GFLOP/s  ({:.2}x)",
+                row.legacy_gflops, row.blocked_gflops, row.speedup
+            );
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+fn bench_e2e(input: [usize; 3], samples: usize, batch: usize, timed_epochs: usize) -> E2e {
+    let classes = 10;
+    let lr = 0.01f32;
+    let mut s = NormalSampler::seed_from(11);
+    let dims = [samples, input[0], input[1], input[2]];
+    let images = Tensor::randn(&dims, 0.0, 1.0, &mut s);
+    let labels: Vec<usize> = (0..samples).map(|i| i % classes).collect();
+    let sample_len = input.iter().product::<usize>();
+    let steps_per_epoch = samples.div_ceil(batch);
+    let timed_steps = timed_epochs * steps_per_epoch;
+
+    // Legacy path: in-order batches, fresh batch tensor per step, exactly
+    // the allocation profile of the seed trainer.
+    let mut net = LegacySmallCnn::new(input, classes, 42);
+    let run_legacy_epoch = |net: &mut LegacySmallCnn| {
+        for (step, chunk) in labels.chunks(batch).enumerate() {
+            let start = step * batch * sample_len;
+            let xb = Tensor::from_vec(
+                images.data()[start..start + chunk.len() * sample_len].to_vec(),
+                &[chunk.len(), input[0], input[1], input[2]],
+            );
+            let loss = net.train_step(&xb, chunk, lr);
+            assert!(loss.is_finite(), "legacy path diverged");
+        }
+    };
+    run_legacy_epoch(&mut net); // warmup
+    let t0 = Instant::now();
+    for _ in 0..timed_epochs {
+        run_legacy_epoch(&mut net);
+    }
+    let legacy_steps_per_s = timed_steps as f64 / t0.elapsed().as_secs_f64();
+
+    // Workspace path: the real production trainer, same SGD step rule.
+    use rand::SeedableRng;
+    let mut model = small_cnn(&input, classes).build(42);
+    let mut opt = OptimizerSpec::Sgd { lr }.build(model.params_flat().len());
+    let mut tws = TrainWorkspace::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    // Warmup epoch fills the workspace pools.
+    let stats = train_minibatch_ws(
+        &mut model, &mut opt, &images, &labels, batch, 1, 5.0, &mut rng, &mut tws, None,
+    );
+    assert!(stats.mean_loss.is_finite(), "ws path diverged");
+    let t0 = Instant::now();
+    train_minibatch_ws(
+        &mut model,
+        &mut opt,
+        &images,
+        &labels,
+        batch,
+        timed_epochs,
+        5.0,
+        &mut rng,
+        &mut tws,
+        None,
+    );
+    let ws_steps_per_s = timed_steps as f64 / t0.elapsed().as_secs_f64();
+
+    let e2e = E2e {
+        model: format!("small_cnn {:?} classes={classes}", input),
+        batch_size: batch,
+        timed_steps,
+        legacy_steps_per_s,
+        ws_steps_per_s,
+        speedup: ws_steps_per_s / legacy_steps_per_s,
+    };
+    println!(
+        "e2e {} batch={batch}: legacy {legacy_steps_per_s:8.2} steps/s  ws {ws_steps_per_s:8.2} steps/s  ({:.2}x)",
+        e2e.model, e2e.speedup
+    );
+    e2e
+}
+
+fn bench_scaling(n: usize, reps: usize) -> Vec<ScalingPoint> {
+    let mut s = NormalSampler::seed_from(13);
+    let a = Tensor::randn(&[n, n], 0.0, 1.0, &mut s);
+    let b = Tensor::randn(&[n, n], 0.0, 1.0, &mut s);
+    let max = rayon::max_threads();
+    let mut points = Vec::new();
+    for t in 1..=max {
+        rayon::set_thread_cap(t);
+        let secs = time_best(reps, || drop(matmul(&a, &b)));
+        let p = ScalingPoint {
+            threads: t,
+            gflops: gflops(n, secs),
+        };
+        println!("scaling n={n} threads={t}: {:.2} GFLOP/s", p.gflops);
+        points.push(p);
+    }
+    rayon::set_thread_cap(max);
+    points
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sizes, reps, input, samples, batch, epochs, scaling_n): (
+        Vec<usize>,
+        usize,
+        [usize; 3],
+        usize,
+        usize,
+        usize,
+        usize,
+    ) = if smoke {
+        (vec![32, 64], 2, [1, 8, 8], 32, 8, 1, 64)
+    } else {
+        (vec![128, 256, 512], 3, [1, 28, 28], 256, 32, 2, 256)
+    };
+
+    let kernels = bench_kernels(&sizes, reps);
+    let e2e = bench_e2e(input, samples, batch, epochs);
+    let scaling = bench_scaling(scaling_n, reps);
+
+    let content = BenchTrain {
+        pool_threads: rayon::max_threads(),
+        legacy_threads: vc_bench::legacy::legacy_threads(),
+        kernels,
+        e2e,
+        scaling_n,
+        scaling,
+    };
+
+    for row in &content.kernels {
+        assert!(
+            row.legacy_gflops.is_finite() && row.blocked_gflops > 0.0,
+            "degenerate kernel measurement: {} n={}",
+            row.op,
+            row.n
+        );
+    }
+    assert!(content.e2e.ws_steps_per_s > 0.0);
+
+    if smoke {
+        println!(
+            "smoke OK: {} kernel rows, e2e + scaling sane",
+            content.kernels.len()
+        );
+        return;
+    }
+    vc_bench::write_results(
+        "BENCH_train.json",
+        &serde_json::to_string_pretty(&content).expect("serialize"),
+    );
+}

@@ -14,7 +14,7 @@ use crate::config::JobConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vc_data::Dataset;
-use vc_optim::train_minibatch;
+use vc_optim::{train_minibatch, train_minibatch_ws, StepTimer, TrainWorkspace};
 
 /// The RNG stream a client replica uses for `(epoch, shard)`. Deterministic
 /// per `(seed, epoch, shard)` — a reassigned subtask reproduces the same
@@ -49,6 +49,39 @@ pub fn train_client_replica(
         cfg.local_epochs,
         5.0,
         &mut rng,
+    );
+    model.params_flat()
+}
+
+/// [`train_client_replica`] through the zero-allocation workspace path.
+/// Bit-identical to the plain variant for the same `(seed, epoch, shard)`
+/// (see [`vc_optim::train_minibatch_ws`]); a long-lived worker passes the
+/// same `tws` to every subtask so steady-state steps reuse all buffers.
+/// `timer`, when given, receives one observation per optimizer step.
+pub fn train_client_replica_ws(
+    cfg: &JobConfig,
+    snapshot: &[f32],
+    data: &Dataset,
+    epoch: usize,
+    shard: usize,
+    tws: &mut TrainWorkspace,
+    timer: Option<&StepTimer<'_>>,
+) -> Vec<f32> {
+    let mut model = cfg.model.build(cfg.seed);
+    model.set_params_flat(snapshot);
+    let mut opt = cfg.optimizer.build(snapshot.len());
+    let mut rng = client_rng(cfg.seed, epoch, shard);
+    train_minibatch_ws(
+        &mut model,
+        &mut opt,
+        &data.images,
+        &data.labels,
+        cfg.batch_size,
+        cfg.local_epochs,
+        5.0,
+        &mut rng,
+        tws,
+        timer,
     );
     model.params_flat()
 }
@@ -111,6 +144,21 @@ mod tests {
         // A different shard draws a different RNG stream.
         let c = train_client_replica(&cfg, &init, &shards.shard(3).data, 2, 4);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ws_replica_is_bit_identical_to_plain() {
+        let cfg = JobConfig::test_small(14);
+        let (train, _, _) = cfg.data.generate();
+        let shards = ShardSet::split(&train, cfg.shards);
+        let init = cfg.model.build(cfg.seed).params_flat();
+        let plain = train_client_replica(&cfg, &init, &shards.shard(1).data, 3, 1);
+        let mut tws = vc_optim::TrainWorkspace::new();
+        let ws1 = train_client_replica_ws(&cfg, &init, &shards.shard(1).data, 3, 1, &mut tws, None);
+        assert_eq!(plain, ws1, "workspace path must reproduce the plain path");
+        // Reusing the same workspace across subtasks stays correct.
+        let ws2 = train_client_replica_ws(&cfg, &init, &shards.shard(1).data, 3, 1, &mut tws, None);
+        assert_eq!(plain, ws2);
     }
 
     #[test]

@@ -1,17 +1,34 @@
 //! Activation functions.
 
 use crate::layer::Layer;
-use vc_tensor::Tensor;
+use vc_tensor::{Tensor, Workspace};
 
 /// Rectified linear unit: `y = max(0, x)`, applied elementwise to any shape.
+///
+/// When the preceding layer fuses the rectification into its GEMM epilogue
+/// (see [`Layer::enable_relu_fusion`]), this layer degenerates into a
+/// mask-only pass-through: the incoming values are already `max(0, ·)`, and
+/// because `relu(x) > 0 ⇔ x > 0` the backward mask computed from them is
+/// bit-identical to the unfused one.
 pub struct Relu {
     mask: Option<Vec<bool>>,
+    fused_upstream: bool,
 }
 
 impl Relu {
     /// Builds a ReLU layer.
     pub fn new() -> Self {
-        Relu { mask: None }
+        Relu {
+            mask: None,
+            fused_upstream: false,
+        }
+    }
+
+    /// Records `x > 0` per element into the reused mask buffer.
+    fn record_mask(&mut self, x: &Tensor) {
+        let mask = self.mask.get_or_insert_with(Vec::new);
+        mask.clear();
+        mask.extend(x.data().iter().map(|&v| v > 0.0));
     }
 }
 
@@ -24,9 +41,14 @@ impl Default for Relu {
 impl Layer for Relu {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         if train {
-            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+            self.record_mask(x);
         }
-        x.map(|v| v.max(0.0))
+        if self.fused_upstream {
+            // Upstream epilogue already rectified; values pass unchanged.
+            x.clone()
+        } else {
+            x.map(|v| v.max(0.0))
+        }
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
@@ -42,6 +64,40 @@ impl Layer for Relu {
             .map(|(&g, &m)| if m { g } else { 0.0 })
             .collect();
         Tensor::from_vec(data, dy.dims())
+    }
+
+    fn forward_ws(&mut self, mut x: Tensor, train: bool, _ws: &mut Workspace) -> Tensor {
+        if train {
+            self.record_mask(&x);
+        }
+        if !self.fused_upstream {
+            for v in x.data_mut() {
+                *v = v.max(0.0);
+            }
+        }
+        x
+    }
+
+    fn backward_ws(&mut self, mut dy: Tensor, _ws: &mut Workspace) -> Tensor {
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("Relu::backward called without a cached forward");
+        assert_eq!(mask.len(), dy.numel(), "Relu mask/grad length mismatch");
+        for (g, &m) in dy.data_mut().iter_mut().zip(mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        dy
+    }
+
+    fn is_relu(&self) -> bool {
+        true
+    }
+
+    fn set_fused_upstream(&mut self) {
+        self.fused_upstream = true;
     }
 
     fn name(&self) -> &'static str {

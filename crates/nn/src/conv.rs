@@ -1,8 +1,11 @@
 //! 2-D convolution via im2col lowering.
 
 use crate::layer::Layer;
-use vc_tensor::ops::{col2im, im2col, matmul, matmul_a_bt, matmul_at_b, ConvGeom};
-use vc_tensor::{NormalSampler, Tensor};
+use vc_tensor::ops::{
+    col2im_into, im2col, im2col_into, matmul_a_bt_epi_into, matmul_at_b_epi_into, matmul_epi_into,
+    ConvGeom, Epilogue,
+};
+use vc_tensor::{NormalSampler, Tensor, Workspace};
 
 /// A 2-D convolution over `[batch, in_ch, h, w]` inputs producing
 /// `[batch, out_ch, oh, ow]`.
@@ -23,6 +26,9 @@ pub struct Conv2d {
     stride: usize,
     pad: usize,
     cache: Option<ConvCache>,
+    /// When set (by [`Layer::enable_relu_fusion`]), the GEMM epilogue also
+    /// applies `max(0, ·)` so the following ReLU layer becomes mask-only.
+    fused_relu: bool,
 }
 
 struct ConvCache {
@@ -54,6 +60,7 @@ impl Conv2d {
             stride,
             pad,
             cache: None,
+            fused_relu: false,
         }
     }
 
@@ -69,10 +76,16 @@ impl Conv2d {
     }
 
     /// Permutes `[batch*oh*ow, out_ch]` (im2col output order) into the image
-    /// layout `[batch, out_ch, oh, ow]`.
-    fn rows_to_images(flat: &Tensor, batch: usize, out_ch: usize, oh: usize, ow: usize) -> Tensor {
-        let src = flat.data();
-        let mut out = vec![0.0f32; batch * out_ch * oh * ow];
+    /// layout `[batch, out_ch, oh, ow]`, writing into `out`.
+    fn rows_to_images_into(
+        src: &[f32],
+        batch: usize,
+        out_ch: usize,
+        oh: usize,
+        ow: usize,
+        out: &mut [f32],
+    ) {
+        debug_assert_eq!(out.len(), batch * out_ch * oh * ow);
         for b in 0..batch {
             for p in 0..oh * ow {
                 let row = (b * oh * ow + p) * out_ch;
@@ -81,15 +94,14 @@ impl Conv2d {
                 }
             }
         }
-        Tensor::from_vec(out, &[batch, out_ch, oh, ow])
     }
 
-    /// Inverse of [`Self::rows_to_images`].
-    fn images_to_rows(img: &Tensor) -> Tensor {
+    /// Inverse of [`Self::rows_to_images_into`].
+    fn images_to_rows_into(img: &Tensor, out: &mut [f32]) {
         let dims = img.dims();
         let (batch, ch, oh, ow) = (dims[0], dims[1], dims[2], dims[3]);
+        debug_assert_eq!(out.len(), batch * oh * ow * ch);
         let src = img.data();
-        let mut out = vec![0.0f32; batch * oh * ow * ch];
         for b in 0..batch {
             for c in 0..ch {
                 for p in 0..oh * ow {
@@ -97,7 +109,33 @@ impl Conv2d {
                 }
             }
         }
+    }
+
+    /// Test/inspection wrapper over [`Self::images_to_rows_into`].
+    #[cfg(test)]
+    fn images_to_rows(img: &Tensor) -> Tensor {
+        let dims = img.dims();
+        let (batch, ch, oh, ow) = (dims[0], dims[1], dims[2], dims[3]);
+        let mut out = vec![0.0f32; batch * oh * ow * ch];
+        Self::images_to_rows_into(img, &mut out);
         Tensor::from_vec(out, &[batch * oh * ow, ch])
+    }
+
+    /// Test/inspection wrapper over [`Self::rows_to_images_into`].
+    #[cfg(test)]
+    fn rows_to_images(flat: &Tensor, batch: usize, out_ch: usize, oh: usize, ow: usize) -> Tensor {
+        let mut out = vec![0.0f32; batch * out_ch * oh * ow];
+        Self::rows_to_images_into(flat.data(), batch, out_ch, oh, ow, &mut out);
+        Tensor::from_vec(out, &[batch, out_ch, oh, ow])
+    }
+
+    /// Bias (or fused bias+ReLU) epilogue for the forward GEMM.
+    fn epilogue(&self) -> Epilogue<'_> {
+        if self.fused_relu {
+            Epilogue::BiasRelu(self.bias.data())
+        } else {
+            Epilogue::Bias(self.bias.data())
+        }
     }
 }
 
@@ -108,28 +146,127 @@ impl Layer for Conv2d {
         assert_eq!(dims[1], self.in_ch, "Conv2d channel mismatch");
         let (batch, h, w) = (dims[0], dims[2], dims[3]);
         let geom = self.geom_for(h, w);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let rows = batch * oh * ow;
         let cols = im2col(x, self.in_ch, geom);
-        // [rows, patch] x [out_ch, patch]^T -> [rows, out_ch]
-        let flat = matmul_a_bt(&cols, &self.kernel).add_row_broadcast(&self.bias);
-        let y = Self::rows_to_images(&flat, batch, self.out_ch, geom.out_h(), geom.out_w());
+        // [rows, patch] x [out_ch, patch]^T -> [rows, out_ch], bias fused
+        let mut flat = vec![0.0f32; rows * self.out_ch];
+        matmul_a_bt_epi_into(&cols, &self.kernel, &mut flat, self.epilogue());
+        let mut y = vec![0.0f32; batch * self.out_ch * oh * ow];
+        Self::rows_to_images_into(&flat, batch, self.out_ch, oh, ow, &mut y);
         if train {
             self.cache = Some(ConvCache { cols, geom, batch });
         }
-        y
+        Tensor::from_vec(y, &[batch, self.out_ch, oh, ow])
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         let cache = self
             .cache
-            .as_ref()
+            .take()
             .expect("Conv2d::backward called without a cached forward");
-        let dy_rows = Self::images_to_rows(dy); // [rows, out_ch]
-                                                // dK = dy_rows^T · cols -> [out_ch, patch]
-        self.dkernel.add_assign(&matmul_at_b(&dy_rows, &cache.cols));
+        let (oh, ow) = (cache.geom.out_h(), cache.geom.out_w());
+        let rows = cache.batch * oh * ow;
+        let patch = self.in_ch * self.kh * self.kw;
+        let mut dy_rows = vec![0.0f32; rows * self.out_ch];
+        Self::images_to_rows_into(dy, &mut dy_rows);
+        let dy_rows = Tensor::from_vec(dy_rows, &[rows, self.out_ch]);
+        // dK += dy_rows^T · cols -> [out_ch, patch]
+        matmul_at_b_epi_into(
+            &dy_rows,
+            &cache.cols,
+            self.dkernel.data_mut(),
+            Epilogue::Accumulate,
+        );
         self.dbias.add_assign(&dy_rows.sum_axis0());
         // dcols = dy_rows · K -> [rows, patch]
-        let dcols = matmul(&dy_rows, &self.kernel);
-        col2im(&dcols, cache.batch, self.in_ch, cache.geom)
+        let mut dcols = vec![0.0f32; rows * patch];
+        matmul_epi_into(&dy_rows, &self.kernel, &mut dcols, Epilogue::Store);
+        let dcols = Tensor::from_vec(dcols, &[rows, patch]);
+        let mut dx = vec![0.0f32; cache.batch * self.in_ch * cache.geom.h * cache.geom.w];
+        col2im_into(&dcols, cache.batch, self.in_ch, cache.geom, &mut dx);
+        let dims = [cache.batch, self.in_ch, cache.geom.h, cache.geom.w];
+        self.cache = Some(cache);
+        Tensor::from_vec(dx, &dims)
+    }
+
+    fn forward_ws(&mut self, x: Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let dims = x.dims();
+        assert_eq!(dims.len(), 4, "Conv2d expects [batch, ch, h, w]");
+        assert_eq!(dims[1], self.in_ch, "Conv2d channel mismatch");
+        let (batch, h, w) = (dims[0], dims[2], dims[3]);
+        let geom = self.geom_for(h, w);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let rows = batch * oh * ow;
+        let patch = self.in_ch * self.kh * self.kw;
+        // Recycle last step's cache before taking, so one warm-up step is
+        // enough to make the pool self-sufficient.
+        if let Some(prev) = self.cache.take() {
+            ws.recycle(prev.cols.into_vec());
+        }
+        let mut cols_buf = ws.take(rows * patch);
+        im2col_into(&x, self.in_ch, geom, &mut cols_buf);
+        let cols = Tensor::from_vec(cols_buf, &[rows, patch]);
+        ws.recycle(x.into_vec());
+        let mut flat = ws.take(rows * self.out_ch);
+        matmul_a_bt_epi_into(&cols, &self.kernel, &mut flat, self.epilogue());
+        let mut y = ws.take(batch * self.out_ch * oh * ow);
+        Self::rows_to_images_into(&flat, batch, self.out_ch, oh, ow, &mut y);
+        ws.recycle(flat);
+        if train {
+            self.cache = Some(ConvCache { cols, geom, batch });
+        } else {
+            ws.recycle(cols.into_vec());
+        }
+        Tensor::from_vec(y, &[batch, self.out_ch, oh, ow])
+    }
+
+    fn backward_ws(&mut self, dy: Tensor, ws: &mut Workspace) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("Conv2d::backward called without a cached forward");
+        let (oh, ow) = (cache.geom.out_h(), cache.geom.out_w());
+        let rows = cache.batch * oh * ow;
+        let patch = self.in_ch * self.kh * self.kw;
+        let mut dy_rows_buf = ws.take(rows * self.out_ch);
+        Self::images_to_rows_into(&dy, &mut dy_rows_buf);
+        ws.recycle(dy.into_vec());
+        let dy_rows = Tensor::from_vec(dy_rows_buf, &[rows, self.out_ch]);
+        matmul_at_b_epi_into(
+            &dy_rows,
+            &cache.cols,
+            self.dkernel.data_mut(),
+            Epilogue::Accumulate,
+        );
+        // dbias += column sums of dy_rows, in `sum_axis0`'s accumulation
+        // order so both backward paths stay bit-identical.
+        let mut colsum = ws.take(self.out_ch);
+        for r in 0..rows {
+            let row = &dy_rows.data()[r * self.out_ch..(r + 1) * self.out_ch];
+            for (o, v) in colsum.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        for (d, s) in self.dbias.data_mut().iter_mut().zip(&colsum) {
+            *d += s;
+        }
+        ws.recycle(colsum);
+        let mut dcols = ws.take(rows * patch);
+        matmul_epi_into(&dy_rows, &self.kernel, &mut dcols, Epilogue::Store);
+        ws.recycle(dy_rows.into_vec());
+        let dcols = Tensor::from_vec(dcols, &[rows, patch]);
+        let mut dx = ws.take(cache.batch * self.in_ch * cache.geom.h * cache.geom.w);
+        col2im_into(&dcols, cache.batch, self.in_ch, cache.geom, &mut dx);
+        ws.recycle(dcols.into_vec());
+        let dims = [cache.batch, self.in_ch, cache.geom.h, cache.geom.w];
+        self.cache = Some(cache);
+        Tensor::from_vec(dx, &dims)
+    }
+
+    fn enable_relu_fusion(&mut self) -> bool {
+        self.fused_relu = true;
+        true
     }
 
     fn param_len(&self) -> usize {

@@ -1,8 +1,8 @@
 //! Fully-connected layer.
 
 use crate::layer::Layer;
-use vc_tensor::ops::{matmul, matmul_a_bt, matmul_at_b};
-use vc_tensor::{NormalSampler, Tensor};
+use vc_tensor::ops::{matmul_a_bt_epi_into, matmul_at_b_epi_into, matmul_epi_into, Epilogue};
+use vc_tensor::{NormalSampler, Tensor, Workspace};
 
 /// A dense (fully-connected) layer: `y = x · W + b`, `x: [batch, in]`,
 /// `W: [in, out]`, `b: [out]`.
@@ -14,6 +14,9 @@ pub struct Dense {
     x_cache: Option<Tensor>,
     in_dim: usize,
     out_dim: usize,
+    /// When set (by [`Layer::enable_relu_fusion`]), the GEMM epilogue also
+    /// applies `max(0, ·)` so the following ReLU layer becomes mask-only.
+    fused_relu: bool,
 }
 
 impl Dense {
@@ -28,6 +31,7 @@ impl Dense {
             x_cache: None,
             in_dim,
             out_dim,
+            fused_relu: false,
         }
     }
 
@@ -45,10 +49,8 @@ impl Dense {
     pub fn weights(&self) -> &Tensor {
         &self.w
     }
-}
 
-impl Layer for Dense {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+    fn check_input(&self, x: &Tensor) {
         assert_eq!(x.dims().len(), 2, "Dense expects [batch, features]");
         assert_eq!(
             x.dims()[1],
@@ -57,21 +59,94 @@ impl Layer for Dense {
             self.in_dim,
             x.dims()[1]
         );
+    }
+
+    /// Bias (or fused bias+ReLU) epilogue for the forward GEMM.
+    fn epilogue(&self) -> Epilogue<'_> {
+        if self.fused_relu {
+            Epilogue::BiasRelu(self.b.data())
+        } else {
+            Epilogue::Bias(self.b.data())
+        }
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.check_input(x);
         if train {
             self.x_cache = Some(x.clone());
         }
-        matmul(x, &self.w).add_row_broadcast(&self.b)
+        let m = x.dims()[0];
+        let mut y = vec![0.0f32; m * self.out_dim];
+        matmul_epi_into(x, &self.w, &mut y, self.epilogue());
+        Tensor::from_vec(y, &[m, self.out_dim])
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         let x = self
             .x_cache
-            .as_ref()
+            .take()
             .expect("Dense::backward called without a cached forward");
-        // dW = x^T · dy ; db = column-sums of dy ; dx = dy · W^T
-        self.dw.add_assign(&matmul_at_b(x, dy));
+        // dW += x^T · dy ; db += column-sums of dy ; dx = dy · W^T
+        matmul_at_b_epi_into(&x, dy, self.dw.data_mut(), Epilogue::Accumulate);
         self.db.add_assign(&dy.sum_axis0());
-        matmul_a_bt(dy, &self.w)
+        self.x_cache = Some(x);
+        let m = dy.dims()[0];
+        let mut dx = vec![0.0f32; m * self.in_dim];
+        matmul_a_bt_epi_into(dy, &self.w, &mut dx, Epilogue::Store);
+        Tensor::from_vec(dx, &[m, self.in_dim])
+    }
+
+    fn forward_ws(&mut self, x: Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        self.check_input(&x);
+        // Recycle last step's cache before taking, so one warm-up step is
+        // enough to make the pool self-sufficient.
+        if let Some(prev) = self.x_cache.take() {
+            ws.recycle(prev.into_vec());
+        }
+        let m = x.dims()[0];
+        let mut y = ws.take(m * self.out_dim);
+        matmul_epi_into(&x, &self.w, &mut y, self.epilogue());
+        if train {
+            self.x_cache = Some(x);
+        } else {
+            ws.recycle(x.into_vec());
+        }
+        Tensor::from_vec(y, &[m, self.out_dim])
+    }
+
+    fn backward_ws(&mut self, dy: Tensor, ws: &mut Workspace) -> Tensor {
+        let x = self
+            .x_cache
+            .take()
+            .expect("Dense::backward called without a cached forward");
+        matmul_at_b_epi_into(&x, &dy, self.dw.data_mut(), Epilogue::Accumulate);
+        self.x_cache = Some(x);
+        // db += column sums of dy, in `sum_axis0`'s exact accumulation order
+        // (zero-initialized partial sum, rows ascending) so both backward
+        // paths stay bit-identical.
+        let m = dy.dims()[0];
+        let mut colsum = ws.take(self.out_dim);
+        for r in 0..m {
+            let row = &dy.data()[r * self.out_dim..(r + 1) * self.out_dim];
+            for (o, v) in colsum.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        for (d, s) in self.db.data_mut().iter_mut().zip(&colsum) {
+            *d += s;
+        }
+        ws.recycle(colsum);
+        let mut dx = ws.take(m * self.in_dim);
+        matmul_a_bt_epi_into(&dy, &self.w, &mut dx, Epilogue::Store);
+        ws.recycle(dy.into_vec());
+        Tensor::from_vec(dx, &[m, self.in_dim])
+    }
+
+    fn enable_relu_fusion(&mut self) -> bool {
+        self.fused_relu = true;
+        true
     }
 
     fn param_len(&self) -> usize {

@@ -1,6 +1,6 @@
 //! The [`Layer`] trait: the contract every network component implements.
 
-use vc_tensor::Tensor;
+use vc_tensor::{Tensor, Workspace};
 
 /// A differentiable network component.
 ///
@@ -11,6 +11,17 @@ use vc_tensor::Tensor;
 /// `Send` is required so entire models can be moved into rayon tasks — the
 /// simulated volunteer fleet trains one independent model replica per
 /// subtask, in parallel.
+///
+/// ## Workspace path
+///
+/// [`forward_ws`](Layer::forward_ws) / [`backward_ws`](Layer::backward_ws)
+/// are the allocation-free variants the training hot loop uses: tensors move
+/// *by value* through the layer chain, each layer draws its output buffer
+/// from the replica's [`Workspace`] and recycles the buffers it consumed.
+/// The defaults fall back to the borrowing `forward`/`backward`, so custom
+/// layers stay correct without opting in; the layers on the paper-CNN hot
+/// path (conv, dense, relu, pooling, flatten) all override them. Both paths
+/// compute bit-identical values.
 pub trait Layer: Send {
     /// Computes the layer output. When `train` is true the layer may cache
     /// activations for `backward` and use batch statistics (BatchNorm);
@@ -21,6 +32,42 @@ pub trait Layer: Send {
     /// accumulates parameter gradients into layer-local buffers. Must be
     /// called after a `forward(.., true)` on the same input.
     fn backward(&mut self, dy: &Tensor) -> Tensor;
+
+    /// Workspace variant of [`forward`](Layer::forward): consumes the input
+    /// tensor and recycles its storage once no longer needed.
+    fn forward_ws(&mut self, x: Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let y = self.forward(&x, train);
+        ws.recycle(x.into_vec());
+        y
+    }
+
+    /// Workspace variant of [`backward`](Layer::backward): consumes the
+    /// output gradient and recycles its storage once no longer needed.
+    fn backward_ws(&mut self, dy: Tensor, ws: &mut Workspace) -> Tensor {
+        let dx = self.backward(&dy);
+        ws.recycle(dy.into_vec());
+        dx
+    }
+
+    /// Asks the layer to fuse a ReLU into its output epilogue (the
+    /// bias+activation epilogue of the blocked GEMM). Returns `true` when
+    /// the layer supports it and has switched it on; the following ReLU
+    /// layer must then be told via [`set_fused_upstream`]
+    /// (Layer::set_fused_upstream). Default: unsupported.
+    fn enable_relu_fusion(&mut self) -> bool {
+        false
+    }
+
+    /// True for ReLU layers — the fusion peephole's target. Fusing is
+    /// bit-exact: `relu(x) > 0 ⇔ x > 0`, so the downstream mask and values
+    /// are unchanged.
+    fn is_relu(&self) -> bool {
+        false
+    }
+
+    /// Informs a ReLU layer that its upstream neighbour already applies the
+    /// rectification, so its forward becomes a mask-only pass-through.
+    fn set_fused_upstream(&mut self) {}
 
     /// Number of scalar parameters this layer owns (including buffers that
     /// must travel with the weights, e.g. BatchNorm running statistics —
@@ -96,5 +143,18 @@ mod tests {
         let y = l.forward(&x, false);
         assert_eq!(y.data(), x.data());
         assert_eq!(l.name(), "identity");
+    }
+
+    #[test]
+    fn ws_defaults_fall_back_and_recycle() {
+        let mut l = Identity;
+        let mut ws = Workspace::new();
+        let y = l.forward_ws(Tensor::ones(&[2, 3]), true, &mut ws);
+        assert_eq!(y.dims(), &[2, 3]);
+        assert_eq!(ws.pooled(), 1, "consumed input must be recycled");
+        let dy = l.backward_ws(y, &mut ws);
+        assert_eq!(dy.dims(), &[2, 3]);
+        assert!(!l.enable_relu_fusion());
+        assert!(!l.is_relu());
     }
 }

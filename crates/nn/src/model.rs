@@ -1,7 +1,7 @@
 //! The [`Sequential`] model container.
 
 use crate::layer::{BoxedLayer, Layer};
-use vc_tensor::Tensor;
+use vc_tensor::{Tensor, Workspace};
 
 /// A model as an ordered pipeline of layers.
 ///
@@ -12,12 +12,17 @@ use vc_tensor::Tensor;
 /// installs a server copy received over the (simulated) network.
 pub struct Sequential {
     layers: Vec<BoxedLayer>,
+    /// Whether the ReLU-fusion peephole has run over this pipeline.
+    fused: bool,
 }
 
 impl Sequential {
     /// An empty pipeline.
     pub fn new() -> Self {
-        Sequential { layers: Vec::new() }
+        Sequential {
+            layers: Vec::new(),
+            fused: false,
+        }
     }
 
     /// Appends a layer (builder style).
@@ -49,10 +54,16 @@ impl Sequential {
     /// Copies all parameters into one flat vector.
     pub fn params_flat(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count());
-        for l in &self.layers {
-            l.collect_params(&mut out);
-        }
+        self.params_flat_into(&mut out);
         out
+    }
+
+    /// [`Self::params_flat`] into a reused vector: cleared, then filled.
+    pub fn params_flat_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        for l in &self.layers {
+            l.collect_params(out);
+        }
     }
 
     /// Installs a flat parameter vector. Panics when the length disagrees
@@ -76,10 +87,18 @@ impl Sequential {
     /// [`Self::params_flat`]).
     pub fn grads_flat(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count());
-        for l in &self.layers {
-            l.collect_grads(&mut out);
-        }
+        self.grads_flat_into(&mut out);
         out
+    }
+
+    /// [`Self::grads_flat`] into a reused vector: cleared, then filled. After
+    /// the first call the vector's capacity suffices, so the per-step
+    /// gradient gather in the workspace trainer allocates nothing.
+    pub fn grads_flat_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        for l in &self.layers {
+            l.collect_grads(out);
+        }
     }
 
     /// Clears gradients in every layer.
@@ -91,9 +110,42 @@ impl Sequential {
 
     /// Runs the pipeline in inference mode.
     pub fn predict(&mut self, x: &Tensor) -> Tensor {
-        let mut cur = x.clone();
+        Layer::forward(self, x, false)
+    }
+
+    /// Fuses each ReLU that directly follows a fusion-capable layer (dense,
+    /// conv) into that layer's GEMM epilogue. Bit-exact: the downstream
+    /// values and masks are unchanged (`relu(x) > 0 ⇔ x > 0`); the fused
+    /// pipeline just skips one full pass over each activation. Idempotent;
+    /// called automatically by the workspace training path.
+    pub fn fuse_relu(&mut self) {
+        if self.fused {
+            return;
+        }
+        self.fused = true;
+        for i in 0..self.layers.len().saturating_sub(1) {
+            if self.layers[i + 1].is_relu() && self.layers[i].enable_relu_fusion() {
+                self.layers[i + 1].set_fused_upstream();
+            }
+        }
+    }
+
+    /// Workspace-path forward over the whole pipeline (training-mode
+    /// tensors move by value; buffers recycle through `ws`).
+    pub fn forward_pipeline_ws(&mut self, x: Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let mut cur = x;
         for l in &mut self.layers {
-            cur = l.forward(&cur, false);
+            cur = l.forward_ws(cur, train, ws);
+        }
+        cur
+    }
+
+    /// Workspace-path backward over the whole pipeline; the returned input
+    /// gradient's buffer also comes from `ws`.
+    pub fn backward_pipeline_ws(&mut self, dy: Tensor, ws: &mut Workspace) -> Tensor {
+        let mut cur = dy;
+        for l in self.layers.iter_mut().rev() {
+            cur = l.backward_ws(cur, ws);
         }
         cur
     }
@@ -116,19 +168,35 @@ impl Default for Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let mut cur = x.clone();
-        for l in &mut self.layers {
+        // Feed the borrowed input straight to the first layer instead of
+        // cloning it at entry; only layer outputs move through the chain.
+        let Some((first, rest)) = self.layers.split_first_mut() else {
+            return x.clone();
+        };
+        let mut cur = first.forward(x, train);
+        for l in rest {
             cur = l.forward(&cur, train);
         }
         cur
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let mut cur = dy.clone();
-        for l in self.layers.iter_mut().rev() {
+        let Some((last, front)) = self.layers.split_last_mut() else {
+            return dy.clone();
+        };
+        let mut cur = last.backward(dy);
+        for l in front.iter_mut().rev() {
             cur = l.backward(&cur);
         }
         cur
+    }
+
+    fn forward_ws(&mut self, x: Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        self.forward_pipeline_ws(x, train, ws)
+    }
+
+    fn backward_ws(&mut self, dy: Tensor, ws: &mut Workspace) -> Tensor {
+        self.backward_pipeline_ws(dy, ws)
     }
 
     fn param_len(&self) -> usize {
@@ -260,5 +328,66 @@ mod tests {
     #[test]
     fn summary_names_layers() {
         assert_eq!(tiny_model(11).summary(), "dense→relu→dense");
+    }
+
+    #[test]
+    fn ws_pipeline_with_fusion_is_bitwise_identical() {
+        use crate::conv::Conv2d;
+        use crate::pool::{Flatten, MaxPool2};
+
+        let build = |seed| {
+            let mut s = NormalSampler::seed_from(seed);
+            Sequential::new()
+                .push(Conv2d::new(1, 4, 3, 1, 1, &mut s))
+                .push(Relu::new())
+                .push(MaxPool2::new())
+                .push(Flatten::new())
+                .push(Dense::new(4 * 4 * 4, 8, &mut s))
+                .push(Relu::new())
+                .push(Dense::new(8, 3, &mut s))
+        };
+        let mut plain = build(40);
+        let mut fused = build(41);
+        fused.set_params_flat(&plain.params_flat());
+        fused.fuse_relu();
+
+        let mut s = NormalSampler::seed_from(42);
+        let x = Tensor::randn(&[2, 1, 8, 8], 0.0, 1.0, &mut s);
+        let labels = [1usize, 2];
+        let mut ws = Workspace::new();
+
+        // Plain borrowing path on the unfused model.
+        let logits_p = plain.forward(&x, true);
+        let (loss_p, dy_p) = SoftmaxCrossEntropy::loss_and_grad(&logits_p, &labels);
+        plain.zero_grads_all();
+        plain.backward(&dy_p);
+
+        // Workspace path on the fused model must be bit-identical.
+        let logits_w = fused.forward_pipeline_ws(x.clone(), true, &mut ws);
+        assert_eq!(logits_p.data(), logits_w.data());
+        let (loss_w, dy_w) = SoftmaxCrossEntropy::loss_and_grad_ws(logits_w, &labels);
+        assert_eq!(loss_p.to_bits(), loss_w.to_bits());
+        fused.zero_grads_all();
+        let _ = fused.backward_pipeline_ws(dy_w, &mut ws);
+        assert_eq!(plain.grads_flat(), fused.grads_flat());
+
+        // Steady state: a second ws step must not miss the buffer pool.
+        let (_, misses_warm) = ws.stats();
+        let logits2 = fused.forward_pipeline_ws(x.clone(), true, &mut ws);
+        let (_, dy2) = SoftmaxCrossEntropy::loss_and_grad_ws(logits2, &labels);
+        let _ = fused.backward_pipeline_ws(dy2, &mut ws);
+        let (_, misses_steady) = ws.stats();
+        assert_eq!(misses_warm, misses_steady, "steady-state step allocated");
+    }
+
+    #[test]
+    fn fused_predict_matches_unfused_predict() {
+        let mut plain = tiny_model(50);
+        let mut fused = tiny_model(51);
+        fused.set_params_flat(&plain.params_flat());
+        fused.fuse_relu();
+        let mut s = NormalSampler::seed_from(52);
+        let x = Tensor::randn(&[3, 4], 0.0, 1.0, &mut s);
+        assert_eq!(plain.predict(&x).data(), fused.predict(&x).data());
     }
 }

@@ -1,41 +1,41 @@
 //! Pooling and reshaping layers.
 
 use crate::layer::Layer;
-use vc_tensor::Tensor;
+use vc_tensor::{Shape, Tensor, Workspace};
 
 /// 2×2 max pooling with stride 2 over `[batch, ch, h, w]`. Requires even
 /// spatial extents (the reference models are built that way).
 pub struct MaxPool2 {
-    argmax: Option<Vec<usize>>,
-    in_dims: Option<Vec<usize>>,
+    /// Flat source index of each window maximum; reused across steps.
+    argmax: Vec<usize>,
+    in_shape: Option<Shape>,
 }
 
 impl MaxPool2 {
     /// Builds the pooling layer.
     pub fn new() -> Self {
         MaxPool2 {
-            argmax: None,
-            in_dims: None,
+            argmax: Vec::new(),
+            in_shape: None,
         }
     }
-}
 
-impl Default for MaxPool2 {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Layer for MaxPool2 {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let dims = x.dims();
-        assert_eq!(dims.len(), 4, "MaxPool2 expects [batch, ch, h, w]");
-        let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
-        assert!(h % 2 == 0 && w % 2 == 0, "MaxPool2 needs even h, w");
+    /// The pooling kernel: fills `out` and, when `arg` is given, the argmax
+    /// indices (resized to match `out`).
+    fn run(
+        src: &[f32],
+        b: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        out: &mut [f32],
+        mut arg: Option<&mut Vec<usize>>,
+    ) {
         let (oh, ow) = (h / 2, w / 2);
-        let src = x.data();
-        let mut out = vec![0.0f32; b * c * oh * ow];
-        let mut arg = vec![0usize; out.len()];
+        if let Some(a) = arg.as_deref_mut() {
+            a.clear();
+            a.resize(out.len(), 0);
+        }
         for bc in 0..b * c {
             let plane = &src[bc * h * w..(bc + 1) * h * w];
             for oy in 0..oh {
@@ -51,28 +51,80 @@ impl Layer for MaxPool2 {
                     }
                     let o = bc * oh * ow + oy * ow + ox;
                     out[o] = best;
-                    arg[o] = bc * h * w + best_idx;
+                    if let Some(a) = arg.as_deref_mut() {
+                        a[o] = bc * h * w + best_idx;
+                    }
                 }
             }
         }
+    }
+
+    fn checked_dims(x: &Tensor) -> (usize, usize, usize, usize) {
+        let dims = x.dims();
+        assert_eq!(dims.len(), 4, "MaxPool2 expects [batch, ch, h, w]");
+        let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        assert!(h % 2 == 0 && w % 2 == 0, "MaxPool2 needs even h, w");
+        (b, c, h, w)
+    }
+
+    fn scatter_backward(&self, dy: &Tensor, dx: &mut [f32]) {
+        for (g, &src_idx) in dy.data().iter().zip(&self.argmax) {
+            dx[src_idx] += g;
+        }
+    }
+}
+
+impl Default for MaxPool2 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (b, c, h, w) = Self::checked_dims(x);
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = vec![0.0f32; b * c * oh * ow];
         if train {
-            self.argmax = Some(arg);
-            self.in_dims = Some(dims.to_vec());
+            Self::run(x.data(), b, c, h, w, &mut out, Some(&mut self.argmax));
+            self.in_shape = Some(*x.shape());
+        } else {
+            Self::run(x.data(), b, c, h, w, &mut out, None);
         }
         Tensor::from_vec(out, &[b, c, oh, ow])
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let arg = self
-            .argmax
-            .as_ref()
+        let in_shape = self
+            .in_shape
             .expect("MaxPool2::backward called without a cached forward");
-        let in_dims = self.in_dims.as_ref().unwrap();
-        let mut dx = vec![0.0f32; in_dims.iter().product()];
-        for (g, &src_idx) in dy.data().iter().zip(arg) {
-            dx[src_idx] += g;
+        let mut dx = vec![0.0f32; in_shape.numel()];
+        self.scatter_backward(dy, &mut dx);
+        Tensor::from_vec(dx, in_shape.dims())
+    }
+
+    fn forward_ws(&mut self, x: Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let (b, c, h, w) = Self::checked_dims(&x);
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = ws.take(b * c * oh * ow);
+        if train {
+            Self::run(x.data(), b, c, h, w, &mut out, Some(&mut self.argmax));
+            self.in_shape = Some(*x.shape());
+        } else {
+            Self::run(x.data(), b, c, h, w, &mut out, None);
         }
-        Tensor::from_vec(dx, in_dims)
+        ws.recycle(x.into_vec());
+        Tensor::from_vec(out, &[b, c, oh, ow])
+    }
+
+    fn backward_ws(&mut self, dy: Tensor, ws: &mut Workspace) -> Tensor {
+        let in_shape = self
+            .in_shape
+            .expect("MaxPool2::backward called without a cached forward");
+        let mut dx = ws.take(in_shape.numel()); // zero-filled by take
+        self.scatter_backward(&dy, &mut dx);
+        ws.recycle(dy.into_vec());
+        Tensor::from_vec(dx, in_shape.dims())
     }
 
     fn name(&self) -> &'static str {
@@ -88,13 +140,33 @@ impl Layer for MaxPool2 {
 /// Global average pooling: `[batch, ch, h, w] -> [batch, ch]`, the ResNetV2
 /// head reduction.
 pub struct AvgPoolGlobal {
-    in_dims: Option<Vec<usize>>,
+    in_shape: Option<Shape>,
 }
 
 impl AvgPoolGlobal {
     /// Builds the pooling layer.
     pub fn new() -> Self {
-        AvgPoolGlobal { in_dims: None }
+        AvgPoolGlobal { in_shape: None }
+    }
+
+    fn mean_planes(x: &Tensor, out: &mut [f32]) {
+        let dims = x.dims();
+        let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let area = (h * w) as f32;
+        let src = x.data();
+        for bc in 0..b * c {
+            out[bc] = src[bc * h * w..(bc + 1) * h * w].iter().sum::<f32>() / area;
+        }
+    }
+
+    fn spread_backward(dy: &Tensor, h: usize, w: usize, dx: &mut [f32]) {
+        let area = (h * w) as f32;
+        for (bc, &g) in dy.data().iter().enumerate() {
+            let v = g / area;
+            for p in &mut dx[bc * h * w..(bc + 1) * h * w] {
+                *p = v;
+            }
+        }
     }
 }
 
@@ -108,34 +180,49 @@ impl Layer for AvgPoolGlobal {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         let dims = x.dims();
         assert_eq!(dims.len(), 4, "AvgPoolGlobal expects [batch, ch, h, w]");
-        let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
-        let area = (h * w) as f32;
-        let src = x.data();
+        let (b, c) = (dims[0], dims[1]);
         let mut out = vec![0.0f32; b * c];
-        for bc in 0..b * c {
-            out[bc] = src[bc * h * w..(bc + 1) * h * w].iter().sum::<f32>() / area;
-        }
+        Self::mean_planes(x, &mut out);
         if train {
-            self.in_dims = Some(dims.to_vec());
+            self.in_shape = Some(*x.shape());
         }
         Tensor::from_vec(out, &[b, c])
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let in_dims = self
-            .in_dims
-            .as_ref()
+        let in_shape = self
+            .in_shape
             .expect("AvgPoolGlobal::backward called without a cached forward");
-        let (h, w) = (in_dims[2], in_dims[3]);
-        let area = (h * w) as f32;
-        let mut dx = vec![0.0f32; in_dims.iter().product()];
-        for (bc, &g) in dy.data().iter().enumerate() {
-            let v = g / area;
-            for p in &mut dx[bc * h * w..(bc + 1) * h * w] {
-                *p = v;
-            }
+        let dims = in_shape.dims();
+        let mut dx = vec![0.0f32; in_shape.numel()];
+        Self::spread_backward(dy, dims[2], dims[3], &mut dx);
+        Tensor::from_vec(dx, dims)
+    }
+
+    fn forward_ws(&mut self, x: Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let dims = x.dims();
+        assert_eq!(dims.len(), 4, "AvgPoolGlobal expects [batch, ch, h, w]");
+        let (b, c) = (dims[0], dims[1]);
+        let mut out = ws.take(b * c);
+        Self::mean_planes(&x, &mut out);
+        if train {
+            self.in_shape = Some(*x.shape());
         }
-        Tensor::from_vec(dx, in_dims)
+        ws.recycle(x.into_vec());
+        Tensor::from_vec(out, &[b, c])
+    }
+
+    fn backward_ws(&mut self, dy: Tensor, ws: &mut Workspace) -> Tensor {
+        let in_shape = self
+            .in_shape
+            .expect("AvgPoolGlobal::backward called without a cached forward");
+        let mut dx = ws.take(in_shape.numel());
+        {
+            let dims = in_shape.dims();
+            Self::spread_backward(&dy, dims[2], dims[3], &mut dx);
+        }
+        ws.recycle(dy.into_vec());
+        Tensor::from_vec(dx, in_shape.dims())
     }
 
     fn name(&self) -> &'static str {
@@ -150,13 +237,13 @@ impl Layer for AvgPoolGlobal {
 
 /// Flattens `[batch, ...]` to `[batch, prod(...)]`.
 pub struct Flatten {
-    in_dims: Option<Vec<usize>>,
+    in_shape: Option<Shape>,
 }
 
 impl Flatten {
     /// Builds the reshaping layer.
     pub fn new() -> Self {
-        Flatten { in_dims: None }
+        Flatten { in_shape: None }
     }
 }
 
@@ -173,17 +260,35 @@ impl Layer for Flatten {
         let batch = dims[0];
         let rest: usize = dims[1..].iter().product();
         if train {
-            self.in_dims = Some(dims.to_vec());
+            self.in_shape = Some(*x.shape());
         }
         x.clone().reshape(&[batch, rest])
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let in_dims = self
-            .in_dims
-            .as_ref()
+        let in_shape = self
+            .in_shape
             .expect("Flatten::backward called without a cached forward");
-        dy.clone().reshape(in_dims)
+        dy.clone().reshape(in_shape.dims())
+    }
+
+    fn forward_ws(&mut self, x: Tensor, train: bool, _ws: &mut Workspace) -> Tensor {
+        let dims = x.dims();
+        assert!(dims.len() >= 2, "Flatten expects a batch axis");
+        let batch = dims[0];
+        let rest: usize = dims[1..].iter().product();
+        if train {
+            self.in_shape = Some(*x.shape());
+        }
+        // Reshape of an owned tensor moves the buffer: no copy, no alloc.
+        x.reshape(&[batch, rest])
+    }
+
+    fn backward_ws(&mut self, dy: Tensor, _ws: &mut Workspace) -> Tensor {
+        let in_shape = self
+            .in_shape
+            .expect("Flatten::backward called without a cached forward");
+        dy.reshape(in_shape.dims())
     }
 
     fn name(&self) -> &'static str {
@@ -264,6 +369,37 @@ mod tests {
         assert_eq!(y.dims(), &[2, 12]);
         let dx = f.backward(&y);
         assert_eq!(dx.dims(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn ws_paths_match_plain_paths() {
+        let mut s = NormalSampler::seed_from(5);
+        let x = Tensor::randn(&[2, 3, 4, 4], 0.0, 1.0, &mut s);
+        let dy_small = Tensor::randn(&[2, 3, 2, 2], 0.0, 1.0, &mut s);
+        let mut ws = Workspace::new();
+
+        let mut p = MaxPool2::new();
+        let y_plain = p.forward(&x, true);
+        let dx_plain = p.backward(&dy_small);
+        let y_ws = p.forward_ws(x.clone(), true, &mut ws);
+        let dx_ws = p.backward_ws(dy_small.clone(), &mut ws);
+        assert_eq!(y_plain.data(), y_ws.data());
+        assert_eq!(dx_plain.data(), dx_ws.data());
+
+        let mut a = AvgPoolGlobal::new();
+        let dy_flat = Tensor::randn(&[2, 3], 0.0, 1.0, &mut s);
+        let y_plain = a.forward(&x, true);
+        let dx_plain = a.backward(&dy_flat);
+        let y_ws = a.forward_ws(x.clone(), true, &mut ws);
+        let dx_ws = a.backward_ws(dy_flat.clone(), &mut ws);
+        assert_eq!(y_plain.data(), y_ws.data());
+        assert_eq!(dx_plain.data(), dx_ws.data());
+
+        let mut f = Flatten::new();
+        let y_ws = f.forward_ws(x.clone(), true, &mut ws);
+        assert_eq!(y_ws.dims(), &[2, 48]);
+        let dx_ws = f.backward_ws(y_ws, &mut ws);
+        assert_eq!(dx_ws.dims(), &[2, 3, 4, 4]);
     }
 
     #[test]

@@ -17,7 +17,9 @@ pub mod trainer;
 
 pub use clip::clip_by_global_norm;
 pub use schedule::LrSchedule;
-pub use trainer::{train_minibatch, TrainBatchStats};
+pub use trainer::{
+    train_minibatch, train_minibatch_ws, StepTimer, TrainBatchStats, TrainWorkspace,
+};
 
 use serde::{Deserialize, Serialize};
 

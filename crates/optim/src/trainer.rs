@@ -5,7 +5,8 @@ use crate::Optimizer;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use vc_nn::{Layer, Sequential, SoftmaxCrossEntropy};
-use vc_tensor::Tensor;
+use vc_telemetry::{Histogram, Telemetry};
+use vc_tensor::{Tensor, Workspace};
 
 /// Statistics from one pass of [`train_minibatch`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -16,6 +17,46 @@ pub struct TrainBatchStats {
     pub steps: usize,
     /// Number of samples seen (with repetition across local epochs).
     pub samples: usize,
+}
+
+/// Per-replica reusable training state: the tensor [`Workspace`] plus the
+/// flat parameter/gradient vectors, the shuffle order and the label batch.
+/// Hold one per worker thread (or simulated client) and pass it to every
+/// [`train_minibatch_ws`] call; after the first step warms the pools, the
+/// steady-state training loop performs zero heap allocations.
+#[derive(Default)]
+pub struct TrainWorkspace {
+    /// Buffer pool for activations, columns and gradients.
+    pub ws: Workspace,
+    grads: Vec<f32>,
+    params: Vec<f32>,
+    order: Vec<usize>,
+    batch_labels: Vec<usize>,
+}
+
+impl TrainWorkspace {
+    /// An empty workspace; the first training step fills the pools.
+    pub fn new() -> Self {
+        TrainWorkspace::default()
+    }
+
+    /// `(takes, misses)` of the underlying buffer pool — see
+    /// [`Workspace::stats`].
+    pub fn pool_stats(&self) -> (u64, u64) {
+        self.ws.stats()
+    }
+}
+
+/// Per-step timing sink for [`train_minibatch_ws`]: each optimizer step's
+/// wall-clock duration (from the telemetry hub's time source, so virtual
+/// clocks work too) is observed into `histogram`. This keeps the per-step
+/// numbers in `BENCH_train.json` and the runtime's phase histograms in
+/// `BENCH_runtime.json` directly comparable.
+pub struct StepTimer<'a> {
+    /// The run's telemetry hub (provides the clock).
+    pub telemetry: &'a Telemetry,
+    /// Destination histogram, e.g. the runtime's `worker_train_step_s`.
+    pub histogram: &'a Histogram,
 }
 
 /// Trains `model` in place for `local_epochs` passes over `(images, labels)`
@@ -70,6 +111,101 @@ pub fn train_minibatch<R: Rng>(
             opt.step(&mut params, &grads);
             model.set_params_flat(&params);
 
+            total_loss += loss;
+            steps += 1;
+            samples += chunk.len();
+        }
+    }
+
+    TrainBatchStats {
+        mean_loss: if steps == 0 {
+            0.0
+        } else {
+            total_loss / steps as f32
+        },
+        steps,
+        samples,
+    }
+}
+
+/// [`train_minibatch`] through the zero-allocation workspace path: tensors
+/// move by value through the layer chain drawing buffers from `tws`, the
+/// ReLU activations are fused into the GEMM epilogues, and the flat
+/// parameter/gradient vectors are reused across steps. Bit-identical to
+/// [`train_minibatch`] for the same inputs and RNG — the fused kernels
+/// perform the same floating-point operations in the same order — so the
+/// two variants are interchangeable mid-run.
+///
+/// When `timer` is given, each optimizer step's duration is observed into
+/// its histogram.
+#[allow(clippy::too_many_arguments)]
+pub fn train_minibatch_ws<R: Rng>(
+    model: &mut Sequential,
+    opt: &mut Optimizer,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+    local_epochs: usize,
+    clip_norm: f32,
+    rng: &mut R,
+    tws: &mut TrainWorkspace,
+    timer: Option<&StepTimer<'_>>,
+) -> TrainBatchStats {
+    let n = images.dims()[0];
+    assert_eq!(n, labels.len(), "images/labels length mismatch");
+    assert!(batch_size > 0, "batch_size must be positive");
+    let rank = images.dims().len();
+    let sample_len: usize = images.dims()[1..].iter().product();
+
+    tws.order.clear();
+    tws.order.extend(0..n);
+    let mut total_loss = 0.0;
+    let mut steps = 0usize;
+    let mut samples = 0usize;
+
+    model.fuse_relu();
+    model.params_flat_into(&mut tws.params);
+    for _ in 0..local_epochs {
+        tws.order.shuffle(rng);
+        // `order` is borrowed across the step, so split it off the rest of
+        // the workspace fields.
+        let TrainWorkspace {
+            ws,
+            grads,
+            params,
+            order,
+            batch_labels,
+        } = tws;
+        for chunk in order.chunks(batch_size) {
+            let t0 = timer.map(|t| t.telemetry.now_s());
+            // Gather the shuffled batch into pooled storage.
+            let mut batch_data = ws.take(chunk.len() * sample_len);
+            batch_labels.clear();
+            for (bi, &idx) in chunk.iter().enumerate() {
+                batch_data[bi * sample_len..(bi + 1) * sample_len]
+                    .copy_from_slice(&images.data()[idx * sample_len..(idx + 1) * sample_len]);
+                batch_labels.push(labels[idx]);
+            }
+            let mut dims = [0usize; 4];
+            dims[0] = chunk.len();
+            dims[1..rank].copy_from_slice(&images.dims()[1..]);
+            let batch = Tensor::from_vec(batch_data, &dims[..rank]);
+
+            let logits = model.forward_pipeline_ws(batch, true, ws);
+            let (loss, dlogits) = SoftmaxCrossEntropy::loss_and_grad_ws(logits, batch_labels);
+            model.zero_grads_all();
+            let dx = model.backward_pipeline_ws(dlogits, ws);
+            ws.recycle(dx.into_vec());
+            model.grads_flat_into(grads);
+            if clip_norm.is_finite() {
+                clip_by_global_norm(grads, clip_norm);
+            }
+            opt.step(params, grads);
+            model.set_params_flat(params);
+
+            if let (Some(t), Some(t0)) = (timer, t0) {
+                t.histogram.observe((t.telemetry.now_s() - t0).max(0.0));
+            }
             total_loss += loss;
             steps += 1;
             samples += chunk.len();
@@ -159,6 +295,78 @@ mod tests {
             model.params_flat()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn ws_variant_is_bit_identical_to_plain() {
+        let spec = mlp(&[2], 8, 2);
+        let (x, y) = blobs(60, 20);
+        let plain = {
+            let mut model = spec.build(21);
+            let mut opt = OptimizerSpec::paper_adam().build(model.param_count());
+            let mut rng = StdRng::seed_from_u64(22);
+            train_minibatch(&mut model, &mut opt, &x, &y, 16, 3, 1.0, &mut rng);
+            model.params_flat()
+        };
+        let mut model = spec.build(21);
+        let mut opt = OptimizerSpec::paper_adam().build(model.param_count());
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut tws = TrainWorkspace::new();
+        let stats = train_minibatch_ws(
+            &mut model, &mut opt, &x, &y, 16, 3, 1.0, &mut rng, &mut tws, None,
+        );
+        assert_eq!(stats.samples, 180);
+        assert_eq!(model.params_flat(), plain, "ws path must be bit-identical");
+    }
+
+    #[test]
+    fn ws_variant_steady_state_reuses_buffers() {
+        let spec = mlp(&[2], 8, 2);
+        let mut model = spec.build(30);
+        let mut opt = OptimizerSpec::Sgd { lr: 0.05 }.build(model.param_count());
+        let (x, y) = blobs(48, 31);
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut tws = TrainWorkspace::new();
+        train_minibatch_ws(
+            &mut model, &mut opt, &x, &y, 16, 1, 1.0, &mut rng, &mut tws, None,
+        );
+        let (_, warm_misses) = tws.pool_stats();
+        train_minibatch_ws(
+            &mut model, &mut opt, &x, &y, 16, 2, 1.0, &mut rng, &mut tws, None,
+        );
+        let (takes, misses) = tws.pool_stats();
+        assert_eq!(misses, warm_misses, "steady-state steps must not allocate");
+        assert!(takes > warm_misses);
+    }
+
+    #[test]
+    fn step_timer_observes_every_step() {
+        use vc_telemetry::Telemetry;
+        let tel = Telemetry::with_echo(16, None);
+        let hist = tel.registry().histogram("train_step_s");
+        let spec = mlp(&[2], 4, 2);
+        let mut model = spec.build(33);
+        let mut opt = OptimizerSpec::Sgd { lr: 0.05 }.build(model.param_count());
+        let (x, y) = blobs(40, 34);
+        let mut rng = StdRng::seed_from_u64(35);
+        let mut tws = TrainWorkspace::new();
+        let timer = StepTimer {
+            telemetry: &tel,
+            histogram: &hist,
+        };
+        let stats = train_minibatch_ws(
+            &mut model,
+            &mut opt,
+            &x,
+            &y,
+            8,
+            2,
+            1.0,
+            &mut rng,
+            &mut tws,
+            Some(&timer),
+        );
+        assert_eq!(hist.snapshot().count, stats.steps as u64);
     }
 
     #[test]

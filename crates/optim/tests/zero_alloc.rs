@@ -1,0 +1,91 @@
+//! Counting-allocator proof of the workspace trainer's zero-alloc claim:
+//! after one warm-up pass, steady-state `train_minibatch_ws` steps perform
+//! **no heap allocation at all** — forward caches, im2col columns, gradient
+//! flats, batch assembly and optimizer state all live in reused buffers.
+//!
+//! Runs under `VC_THREADS=1` (set before the pool's first use; this file
+//! must stay a single-test binary) so the measurement also covers the pool
+//! dispatch path: with one thread, parallel calls run inline and allocation-
+//! free. Multi-threaded dispatch costs one `Arc<Job>` per parallel *call*
+//! (not per step datum); that bound is documented in DESIGN.md §8.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(l)
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(p, l, new_size)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_training_steps_do_not_allocate() {
+    std::env::set_var("VC_THREADS", "1");
+    use rand::SeedableRng;
+    use vc_optim::{train_minibatch_ws, OptimizerSpec, TrainWorkspace};
+    use vc_tensor::{NormalSampler, Tensor};
+
+    let mut model = vc_nn::spec::small_cnn(&[1, 8, 8], 4).build(7);
+    let mut opt = OptimizerSpec::paper_adam().build(model.params_flat().len());
+    let mut s = NormalSampler::seed_from(3);
+    let images = Tensor::randn(&[16, 1, 8, 8], 0.0, 1.0, &mut s);
+    let labels: Vec<usize> = (0..16).map(|i| i % 4).collect();
+    let mut tws = TrainWorkspace::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+
+    // Warm-up: fills the workspace pools, the flat param/grad vectors and
+    // the optimizer state to their steady-state high-water marks.
+    train_minibatch_ws(
+        &mut model, &mut opt, &images, &labels, 4, 2, 5.0, &mut rng, &mut tws, None,
+    );
+
+    let (takes_before, misses_before) = tws.pool_stats();
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let stats = train_minibatch_ws(
+        &mut model, &mut opt, &images, &labels, 4, 3, 5.0, &mut rng, &mut tws, None,
+    );
+    COUNTING.store(false, Ordering::SeqCst);
+
+    assert!(stats.mean_loss.is_finite());
+    let (takes, misses) = tws.pool_stats();
+    assert!(
+        takes > takes_before,
+        "the measured pass must have exercised the pool"
+    );
+    assert_eq!(
+        misses, misses_before,
+        "steady state must never miss the buffer pool"
+    );
+    assert_eq!(
+        ALLOCS.load(Ordering::SeqCst),
+        0,
+        "steady-state train_minibatch_ws steps must not touch the heap"
+    );
+}

@@ -16,6 +16,9 @@ pub const ASSIM_LATENCY_S: &str = "assim_latency_s";
 pub const WORKER_POLL_S: &str = "worker_poll_s";
 /// Registry name of the worker subtask-training duration histogram.
 pub const WORKER_TRAIN_S: &str = "worker_train_s";
+/// Registry name of the worker per-optimizer-step duration histogram
+/// (observed by the workspace trainer; comparable with `BENCH_train.json`).
+pub const WORKER_TRAIN_STEP_S: &str = "worker_train_step_s";
 /// Registry name of the worker result-upload (channel send) histogram.
 pub const WORKER_UPLOAD_S: &str = "worker_upload_s";
 /// Registry name of the delay-line drawn-delay histogram.
@@ -102,6 +105,8 @@ pub struct RuntimeTelemetry {
     pub store_transact_s: HistogramSnapshot,
     /// Worker subtask-training duration, seconds.
     pub worker_train_s: HistogramSnapshot,
+    /// Worker per-optimizer-step duration, seconds.
+    pub worker_train_step_s: HistogramSnapshot,
 }
 
 impl RuntimeTelemetry {
@@ -122,6 +127,7 @@ impl RuntimeTelemetry {
             store_write_s: grab(STORE_WRITE_S),
             store_transact_s: grab(STORE_TRANSACT_S),
             worker_train_s: grab(WORKER_TRAIN_S),
+            worker_train_step_s: grab(WORKER_TRAIN_STEP_S),
         }
     }
 }

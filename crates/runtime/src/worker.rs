@@ -26,12 +26,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Duration;
-use vc_asgd::{train_client_replica, JobConfig};
+use vc_asgd::{train_client_replica_ws, JobConfig};
 use vc_data::ShardSet;
 use vc_middleware::HostId;
+use vc_optim::{StepTimer, TrainWorkspace};
 use vc_telemetry::{event, Histogram, Telemetry};
 
-use crate::report::{WORKER_POLL_S, WORKER_TRAIN_S, WORKER_UPLOAD_S};
+use crate::report::{WORKER_POLL_S, WORKER_TRAIN_S, WORKER_TRAIN_STEP_S, WORKER_UPLOAD_S};
 
 /// The substrate-independent worker state: identity, life/assignment
 /// counters for the fault plan, and the worker's private RNG stream.
@@ -116,9 +117,15 @@ pub fn worker_main(ctx: WorkerCtx) {
     let train_h = telemetry
         .registry()
         .histogram_with(WORKER_TRAIN_S, Histogram::latency_bounds);
+    let train_step_h = telemetry
+        .registry()
+        .histogram_with(WORKER_TRAIN_STEP_S, Histogram::latency_bounds);
     let upload_h = telemetry
         .registry()
         .histogram_with(WORKER_UPLOAD_S, Histogram::latency_bounds);
+    // One workspace per worker thread: after the first subtask warms its
+    // pools, steady-state training steps allocate nothing.
+    let mut tws = TrainWorkspace::new();
 
     loop {
         let poll_t0 = telemetry.now_s();
@@ -147,7 +154,19 @@ pub fn worker_main(ctx: WorkerCtx) {
                 }
                 let data = &shards.shard(wu.shard_id).data;
                 let train_t0 = telemetry.now_s();
-                let params = train_client_replica(job, &snapshot, data, wu.epoch, wu.shard_id);
+                let step_timer = StepTimer {
+                    telemetry: &telemetry,
+                    histogram: &train_step_h,
+                };
+                let params = train_client_replica_ws(
+                    job,
+                    &snapshot,
+                    data,
+                    wu.epoch,
+                    wu.shard_id,
+                    &mut tws,
+                    Some(&step_timer),
+                );
                 train_h.observe((telemetry.now_s() - train_t0).max(0.0));
                 let upload_t0 = telemetry.now_s();
                 if outbox

@@ -26,11 +26,13 @@ pub mod ops;
 pub mod rng;
 pub mod shape;
 pub mod tensor;
+pub mod workspace;
 
 pub use codec::{decode_f32s, encode_f32s};
 pub use rng::NormalSampler;
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::Workspace;
 
 /// Absolute tolerance used by the test suites across the workspace when
 /// comparing floating-point tensors produced by mathematically-equivalent

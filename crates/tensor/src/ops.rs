@@ -1,126 +1,410 @@
-//! Rayon-parallel linear algebra and convolution transforms.
+//! Blocked, pool-parallel linear algebra and convolution transforms.
 //!
-//! The hot kernels of the DL substrate live here:
+//! The hot kernels of the DL substrate live here. All three matmul variants
+//! route through one cache-blocked GEMM in the GotoBLAS style:
 //!
-//! * [`matmul`] — blocked, row-parallel matrix multiplication. Client
-//!   training in the simulated fleet runs many models concurrently via
-//!   rayon's work stealing, so the kernel parallelizes over output rows
-//!   (cheap to split, no synchronization) rather than using nested
-//!   parallelism.
-//! * [`im2col`] / [`col2im`] — the standard lowering of 2-D convolution to
-//!   matmul, used by `vc_nn::Conv2d` forward and backward passes.
+//! * **B is packed** once per call into zero-padded column panels of
+//!   [`NR`] columns, k-major, so the microkernel streams it linearly.
+//! * **A is packed** per 4-row quad into a `[k][`[`MR`]`]` micro-panel held
+//!   in thread-local scratch, so packing costs the same whether A is given
+//!   row-major ([`matmul`]) or transposed ([`matmul_at_b`]).
+//! * The **microkernel** keeps an `MR × NR` register accumulator tile and
+//!   reduces over `k` in fixed ascending order with fused multiply-adds —
+//!   the same order and rounding the scalar reference uses — so results are
+//!   **byte-identical** to [`matmul_naive`] and run-to-run deterministic
+//!   under any thread count (each output element is one sequential fused
+//!   `f32` chain; threads only decide *which* disjoint rows they produce,
+//!   never the order within a sum). On x86-64 with AVX2+FMA — detected at
+//!   runtime, no special build flags — the tile is computed with 256-bit
+//!   `vfmadd` intrinsics; elsewhere a portable `f32::mul_add` loop computes
+//!   the identical bits. That invariant is what DST byte-identity rests on.
+//! * An [`Epilogue`] is applied at accumulator write-back: plain store,
+//!   accumulate (`+=`, for weight-gradient accumulation without a temp
+//!   tensor), fused bias add, or fused bias+ReLU — used by `vc_nn` dense
+//!   and conv forward passes so the bias/activation never costs an extra
+//!   pass over the output.
+//!
+//! The previous kernels special-cased `a[i][k] == 0.0` to skip work; on the
+//! dense activations this codebase produces, that branch mispredicts and
+//! defeats vectorization (see `bench_train`'s legacy-vs-new numbers), so
+//! the blocked inner loops are branch-free.
+//!
+//! Parallelism is over disjoint [`ROW_BLOCK`]-row bands of the output via
+//! the persistent worker pool in the vendored `rayon` shim; `matmul_at_b`
+//! (the weight-gradient path, previously serial) parallelizes the same way
+//! because packing makes its transposed A layout a non-issue.
+//!
+//! [`im2col`] / [`col2im`] lower 2-D convolution to matmul; the `_into`
+//! variants of every kernel write into caller-provided buffers so the
+//! training workspace can run the whole step without heap allocation.
 
 use crate::tensor::Tensor;
 use rayon::prelude::*;
 
-/// Threshold (in output elements) below which matmul runs serially; spawning
-/// rayon tasks for tiny matrices costs more than the multiply.
+/// Threshold (in output elements) below which kernels run serially; farming
+/// tiny matrices out to the pool costs more than the multiply.
 const PAR_THRESHOLD: usize = 64 * 64;
 
-/// Matrix multiplication `[m,k] x [k,n] -> [m,n]`.
+/// Rows per register tile of the microkernel.
+const MR: usize = 4;
+/// Columns per register tile / packed B panel width: two 8-lane vectors per
+/// row on AVX2, giving the kernel 8 independent FMA chains — enough to hide
+/// the FMA latency and saturate both FMA ports.
+const NR: usize = 16;
+/// Output rows per parallel task.
+const ROW_BLOCK: usize = 64;
+
+/// What the GEMM does with each finished accumulator tile.
+#[derive(Clone, Copy)]
+pub enum Epilogue<'a> {
+    /// `out = acc`.
+    Store,
+    /// `out += acc` — weight-gradient accumulation (`dW += xᵀ·dy`).
+    Accumulate,
+    /// `out = acc + bias[j]` — fused dense/conv bias.
+    Bias(&'a [f32]),
+    /// `out = max(acc + bias[j], 0)` — fused bias + ReLU activation.
+    BiasRelu(&'a [f32]),
+}
+
+/// The logical A operand: `A[i][p]`, `i < m`, `p < k`.
+#[derive(Clone, Copy)]
+enum AMat<'a> {
+    /// Row-major `[m, k]` storage: `A[i][p] = d[i*k + p]`.
+    RowMajor(&'a [f32]),
+    /// Transposed view of row-major `[k, m]` storage:
+    /// `A[i][p] = d[p*m + i]` (the `matmul_at_b` layout, never materialized).
+    Trans { d: &'a [f32], m: usize },
+}
+
+/// The logical B operand: `B[p][j]`, `p < k`, `j < n`.
+#[derive(Clone, Copy)]
+enum BMat<'a> {
+    /// Row-major `[k, n]` storage: `B[p][j] = d[p*n + j]`.
+    RowMajor(&'a [f32]),
+    /// Transposed view of row-major `[n, k]` storage:
+    /// `B[p][j] = d[j*k + p]` (the `matmul_a_bt` layout).
+    Trans { d: &'a [f32], k: usize },
+}
+
+// Thread-local pack scratch. Capacities persist across calls, so after the
+// first step at each problem size the kernels allocate nothing.
+thread_local! {
+    static PACK_A: std::cell::Cell<Vec<f32>> = const { std::cell::Cell::new(Vec::new()) };
+    static PACK_B: std::cell::Cell<Vec<f32>> = const { std::cell::Cell::new(Vec::new()) };
+}
+
+/// Packs B into `n.div_ceil(NR)` column panels, each `k × NR` in k-major
+/// order, zero-padding the ragged last panel:
+/// `bpack[jp*k*NR + p*NR + jj] = B[p][jp*NR + jj]`.
+fn pack_b(b: BMat, k: usize, n: usize, bpack: &mut Vec<f32>) {
+    let n_panels = n.div_ceil(NR);
+    bpack.clear();
+    bpack.resize(n_panels * k * NR, 0.0);
+    match b {
+        BMat::RowMajor(d) => {
+            for p in 0..k {
+                let brow = &d[p * n..(p + 1) * n];
+                for (jp, chunk) in brow.chunks(NR).enumerate() {
+                    let dst = &mut bpack[jp * k * NR + p * NR..jp * k * NR + p * NR + chunk.len()];
+                    dst.copy_from_slice(chunk);
+                }
+            }
+        }
+        BMat::Trans { d, k: kk } => {
+            debug_assert_eq!(k, kk);
+            for j in 0..n {
+                let bcol = &d[j * k..(j + 1) * k]; // contiguous in p
+                let (jp, jj) = (j / NR, j % NR);
+                let panel = &mut bpack[jp * k * NR..(jp + 1) * k * NR];
+                for (p, &v) in bcol.iter().enumerate() {
+                    panel[p * NR + jj] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Packs rows `i0 .. i0+mr` of A into a `[k][MR]` micro-panel, zero-padding
+/// lanes past `mr`: `apack[p*MR + ii] = A[i0+ii][p]`.
+fn pack_a(a: AMat, i0: usize, mr: usize, k: usize, apack: &mut [f32]) {
+    debug_assert_eq!(apack.len(), k * MR);
+    if mr < MR {
+        apack.fill(0.0);
+    }
+    match a {
+        AMat::RowMajor(d) => {
+            for ii in 0..mr {
+                let row = &d[(i0 + ii) * k..(i0 + ii + 1) * k];
+                for (p, &v) in row.iter().enumerate() {
+                    apack[p * MR + ii] = v;
+                }
+            }
+        }
+        AMat::Trans { d, m } => {
+            for p in 0..k {
+                let src = &d[p * m + i0..p * m + i0 + mr];
+                apack[p * MR..p * MR + mr].copy_from_slice(src);
+            }
+        }
+    }
+}
+
+/// The register-tile kernel: `acc[ii][jj] = fma(apack[p][ii], bpanel[p][jj],
+/// acc[ii][jj])` for `p` ascending — the deterministic reduction order.
 ///
-/// Parallelizes over rows of the output when the problem is large enough.
-/// The inner loop is written `i-k-j` so the innermost accesses are contiguous
-/// in both `b` and the output row, which lets LLVM vectorize it.
+/// Every update is a **fused** multiply-add. IEEE 754 specifies
+/// `fusedMultiplyAdd` exactly (one rounding), so the AVX2 `vfmadd`
+/// intrinsics, scalar `f32::mul_add`, and [`matmul_naive`]'s reference loop
+/// all produce the same bit pattern — the dispatch below can never change a
+/// result, only its speed.
+#[inline(always)]
+fn micro_kernel(apack: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: the required CPU features were just detected.
+        unsafe { micro_kernel_avx2(apack, bpanel, acc) };
+        return;
+    }
+    micro_kernel_generic(apack, bpanel, acc);
+}
+
+/// Portable microkernel. `mul_add` keeps it bit-compatible with the AVX2
+/// path (and fast on targets whose baseline ISA has fused ops, e.g.
+/// aarch64); x86 CPUs old enough to lack AVX2 fall back to libm's `fmaf`.
+fn micro_kernel_generic(apack: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (bp, ap) in bpanel.chunks_exact(NR).zip(apack.chunks_exact(MR)) {
+        for ii in 0..MR {
+            let a = ap[ii];
+            for jj in 0..NR {
+                acc[ii][jj] = a.mul_add(bp[jj], acc[ii][jj]);
+            }
+        }
+    }
+}
+
+/// The 4×16 AVX2+FMA microkernel: 8 accumulator vectors (two per row of the
+/// tile) make 8 independent FMA dependency chains, hiding the ~4-cycle FMA
+/// latency so the loop runs at the FMA ports' throughput.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn micro_kernel_avx2(apack: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+    let k = apack.len() / MR;
+    debug_assert_eq!(bpanel.len(), k * NR);
+    let mut c: [[__m256; 2]; MR] = [[_mm256_setzero_ps(); 2]; MR];
+    let mut ap = apack.as_ptr();
+    let mut bp = bpanel.as_ptr();
+    for _ in 0..k {
+        let b0 = _mm256_loadu_ps(bp);
+        let b1 = _mm256_loadu_ps(bp.add(8));
+        for (ii, ci) in c.iter_mut().enumerate() {
+            let a = _mm256_broadcast_ss(&*ap.add(ii));
+            ci[0] = _mm256_fmadd_ps(a, b0, ci[0]);
+            ci[1] = _mm256_fmadd_ps(a, b1, ci[1]);
+        }
+        ap = ap.add(MR);
+        bp = bp.add(NR);
+    }
+    for (ii, ci) in c.iter().enumerate() {
+        _mm256_storeu_ps(acc[ii].as_mut_ptr(), ci[0]);
+        _mm256_storeu_ps(acc[ii].as_mut_ptr().add(8), ci[1]);
+    }
+}
+
+/// Applies the epilogue to the valid `mr × nr` region of a finished tile.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // internal kernel plumbing: tile coordinates are scalars by design
+fn write_back(
+    acc: &[[f32; NR]; MR],
+    out_block: &mut [f32],
+    local_row: usize,
+    n: usize,
+    j0: usize,
+    mr: usize,
+    nr: usize,
+    epi: Epilogue<'_>,
+) {
+    for ii in 0..mr {
+        let orow = &mut out_block[(local_row + ii) * n + j0..(local_row + ii) * n + j0 + nr];
+        match epi {
+            Epilogue::Store => orow.copy_from_slice(&acc[ii][..nr]),
+            Epilogue::Accumulate => {
+                for (o, &v) in orow.iter_mut().zip(&acc[ii][..nr]) {
+                    *o += v;
+                }
+            }
+            Epilogue::Bias(bias) => {
+                for (jj, o) in orow.iter_mut().enumerate() {
+                    *o = acc[ii][jj] + bias[j0 + jj];
+                }
+            }
+            Epilogue::BiasRelu(bias) => {
+                for (jj, o) in orow.iter_mut().enumerate() {
+                    *o = (acc[ii][jj] + bias[j0 + jj]).max(0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Computes rows `r0 .. r0+rows` of the output into `out_block`
+/// (a `rows × n` slice), reading packed B.
+#[allow(clippy::too_many_arguments)] // internal kernel plumbing: tile coordinates are scalars by design
+fn gemm_block(
+    a: AMat,
+    bpack: &[f32],
+    k: usize,
+    n: usize,
+    r0: usize,
+    rows: usize,
+    out_block: &mut [f32],
+    epi: Epilogue<'_>,
+) {
+    let n_panels = n.div_ceil(NR);
+    let mut apack = PACK_A.with(|c| c.take());
+    apack.clear();
+    apack.resize(k * MR, 0.0);
+    let mut iq = 0;
+    while iq < rows {
+        let mr = MR.min(rows - iq);
+        pack_a(a, r0 + iq, mr, k, &mut apack);
+        for jp in 0..n_panels {
+            let j0 = jp * NR;
+            let nr = NR.min(n - j0);
+            let mut acc = [[0.0f32; NR]; MR];
+            micro_kernel(&apack, &bpack[jp * k * NR..(jp + 1) * k * NR], &mut acc);
+            write_back(&acc, out_block, iq, n, j0, mr, nr, epi);
+        }
+        iq += MR;
+    }
+    PACK_A.with(|c| c.set(apack));
+}
+
+/// The shared blocked GEMM driver: `out[m,n] ⊕= A[m,k] · B[k,n]` where `⊕`
+/// is the epilogue. `out.len()` must be `m * n`.
+fn gemm(a: AMat, b: BMat, m: usize, k: usize, n: usize, out: &mut [f32], epi: Epilogue<'_>) {
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let mut bpack = PACK_B.with(|c| c.take());
+    pack_b(b, k, n, &mut bpack);
+    if m * n >= PAR_THRESHOLD && m > 1 {
+        let bp = &bpack;
+        out.par_chunks_mut(ROW_BLOCK * n)
+            .enumerate()
+            .for_each(|(bi, block)| {
+                gemm_block(a, bp, k, n, bi * ROW_BLOCK, block.len() / n, block, epi);
+            });
+    } else {
+        gemm_block(a, &bpack, k, n, 0, m, out, epi);
+    }
+    PACK_B.with(|c| c.set(bpack));
+}
+
+/// Matrix multiplication `[m,k] x [k,n] -> [m,n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, n) = matmul_check(a, b);
+    let mut out = vec![0.0f32; m * n];
+    matmul_epi_into(a, b, &mut out, Epilogue::Store);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// [`matmul`] into a caller-provided buffer with a fused [`Epilogue`].
+pub fn matmul_epi_into(a: &Tensor, b: &Tensor, out: &mut [f32], epi: Epilogue<'_>) {
+    let (m, n) = matmul_check(a, b);
+    let k = a.dims()[1];
+    assert_eq!(out.len(), m * n, "matmul output buffer length");
+    gemm(
+        AMat::RowMajor(a.data()),
+        BMat::RowMajor(b.data()),
+        m,
+        k,
+        n,
+        out,
+        epi,
+    );
+}
+
+fn matmul_check(a: &Tensor, b: &Tensor) -> (usize, usize) {
     assert!(
         a.shape().matmul_compatible(b.shape()),
         "matmul shape mismatch: {} x {}",
         a.shape(),
         b.shape()
     );
-    let (m, k) = (a.dims()[0], a.dims()[1]);
-    let n = b.dims()[1];
-    let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-
-    let row_kernel = |i: usize, out_row: &mut [f32]| {
-        for p in 0..k {
-            let aik = ad[i * k + p];
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(brow) {
-                *o += aik * bv;
-            }
-        }
-    };
-
-    if m * n >= PAR_THRESHOLD && m > 1 {
-        out.par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, row)| row_kernel(i, row));
-    } else {
-        for (i, row) in out.chunks_mut(n).enumerate() {
-            row_kernel(i, row);
-        }
-    }
-    Tensor::from_vec(out, &[m, n])
+    (a.dims()[0], b.dims()[1])
 }
 
 /// `a^T x b` without materializing the transpose: `[k,m]^T x [k,n] -> [m,n]`.
 /// Used by dense-layer weight gradients (`dW = x^T · dy`).
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, n) = at_b_check(a, b);
+    let mut out = vec![0.0f32; m * n];
+    matmul_at_b_epi_into(a, b, &mut out, Epilogue::Store);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// [`matmul_at_b`] into a caller-provided buffer with a fused [`Epilogue`].
+/// `Epilogue::Accumulate` turns this into `out += aᵀ·b`, the gradient
+/// accumulation the dense and conv backward passes need.
+pub fn matmul_at_b_epi_into(a: &Tensor, b: &Tensor, out: &mut [f32], epi: Epilogue<'_>) {
+    let (m, n) = at_b_check(a, b);
+    let k = a.dims()[0];
+    assert_eq!(out.len(), m * n, "matmul_at_b output buffer length");
+    gemm(
+        AMat::Trans { d: a.data(), m },
+        BMat::RowMajor(b.data()),
+        m,
+        k,
+        n,
+        out,
+        epi,
+    );
+}
+
+fn at_b_check(a: &Tensor, b: &Tensor) -> (usize, usize) {
     assert_eq!(a.shape().rank(), 2);
     assert_eq!(b.shape().rank(), 2);
     let (k, m) = (a.dims()[0], a.dims()[1]);
     let (k2, n) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul_at_b inner dims {k} vs {k2}");
-    let ad = a.data();
-    let bd = b.data();
-    let mut out = vec![0.0f32; m * n];
-    // out[i][j] = sum_p a[p][i] * b[p][j]; accumulate row-by-row of a/b so
-    // every pass is contiguous.
-    for p in 0..k {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
-    Tensor::from_vec(out, &[m, n])
+    (m, n)
 }
 
 /// `a x b^T`: `[m,k] x [n,k]^T -> [m,n]`. Used by dense-layer input
-/// gradients (`dx = dy · W^T`).
+/// gradients (`dx = dy · W^T`) and conv forward (`cols · Kᵀ`).
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, n) = a_bt_check(a, b);
+    let mut out = vec![0.0f32; m * n];
+    matmul_a_bt_epi_into(a, b, &mut out, Epilogue::Store);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// [`matmul_a_bt`] into a caller-provided buffer with a fused [`Epilogue`].
+pub fn matmul_a_bt_epi_into(a: &Tensor, b: &Tensor, out: &mut [f32], epi: Epilogue<'_>) {
+    let (m, n) = a_bt_check(a, b);
+    let k = a.dims()[1];
+    assert_eq!(out.len(), m * n, "matmul_a_bt output buffer length");
+    gemm(
+        AMat::RowMajor(a.data()),
+        BMat::Trans { d: b.data(), k },
+        m,
+        k,
+        n,
+        out,
+        epi,
+    );
+}
+
+fn a_bt_check(a: &Tensor, b: &Tensor) -> (usize, usize) {
     assert_eq!(a.shape().rank(), 2);
     assert_eq!(b.shape().rank(), 2);
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (n, k2) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul_a_bt inner dims {k} vs {k2}");
-    let ad = a.data();
-    let bd = b.data();
-    let mut out = vec![0.0f32; m * n];
-    let kernel = |i: usize, orow: &mut [f32]| {
-        let arow = &ad[i * k..(i + 1) * k];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in arow.iter().zip(brow) {
-                acc += av * bv;
-            }
-            *o = acc;
-        }
-    };
-    if m * n >= PAR_THRESHOLD && m > 1 {
-        out.par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, row)| kernel(i, row));
-    } else {
-        for (i, row) in out.chunks_mut(n).enumerate() {
-            kernel(i, row);
-        }
-    }
-    Tensor::from_vec(out, &[m, n])
+    (m, n)
 }
 
 /// Geometry of a 2-D convolution / pooling window over an input plane.
@@ -171,6 +455,17 @@ impl ConvGeom {
 /// `[batch * out_h * out_w, ch * kh * kw]` so convolution becomes a matmul
 /// against the reshaped kernel.
 pub fn im2col(input: &Tensor, ch: usize, geom: ConvGeom) -> Tensor {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let patch = ch * geom.kh * geom.kw;
+    let rows = input.dims()[0] * oh * ow;
+    let mut out = vec![0.0f32; rows * patch];
+    im2col_into(input, ch, geom, &mut out);
+    Tensor::from_vec(out, &[rows, patch])
+}
+
+/// [`im2col`] into a caller-provided buffer of length
+/// `batch * out_h * out_w * ch * kh * kw`.
+pub fn im2col_into(input: &Tensor, ch: usize, geom: ConvGeom, out: &mut [f32]) {
     let dims = input.dims();
     assert_eq!(dims.len(), 4, "im2col expects [batch, ch, h, w]");
     let (batch, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
@@ -182,7 +477,7 @@ pub fn im2col(input: &Tensor, ch: usize, geom: ConvGeom) -> Tensor {
     let (oh, ow) = (geom.out_h(), geom.out_w());
     let patch = ch * geom.kh * geom.kw;
     let rows = batch * oh * ow;
-    let mut out = vec![0.0f32; rows * patch];
+    assert_eq!(out.len(), rows * patch, "im2col output buffer length");
     let data = input.data();
 
     let fill_row = |row_idx: usize, dst: &mut [f32]| {
@@ -219,18 +514,26 @@ pub fn im2col(input: &Tensor, ch: usize, geom: ConvGeom) -> Tensor {
             fill_row(i, dst);
         }
     }
-    Tensor::from_vec(out, &[rows, patch])
 }
 
 /// The adjoint of [`im2col`]: scatters a column matrix back onto an image
 /// batch of shape `[batch, ch, h, w]`, summing overlapping contributions.
 /// Used to compute input gradients of convolutions.
 pub fn col2im(cols: &Tensor, batch: usize, ch: usize, geom: ConvGeom) -> Tensor {
+    let mut out = vec![0.0f32; batch * ch * geom.h * geom.w];
+    col2im_into(cols, batch, ch, geom, &mut out);
+    Tensor::from_vec(out, &[batch, ch, geom.h, geom.w])
+}
+
+/// [`col2im`] into a caller-provided buffer; the buffer is overwritten (the
+/// scatter-sum starts from zero).
+pub fn col2im_into(cols: &Tensor, batch: usize, ch: usize, geom: ConvGeom, out: &mut [f32]) {
     let (oh, ow) = (geom.out_h(), geom.out_w());
     let patch = ch * geom.kh * geom.kw;
     assert_eq!(cols.dims(), &[batch * oh * ow, patch], "col2im shape");
     let (h, w) = (geom.h, geom.w);
-    let mut out = vec![0.0f32; batch * ch * h * w];
+    assert_eq!(out.len(), batch * ch * h * w, "col2im output buffer length");
+    out.fill(0.0);
     let data = cols.data();
 
     // Scatter is a reduction into the output image, so parallelize over the
@@ -268,20 +571,21 @@ pub fn col2im(cols: &Tensor, batch: usize, ch: usize, geom: ConvGeom) -> Tensor 
             per_image(b, img);
         }
     }
-    Tensor::from_vec(out, &[batch, ch, h, w])
 }
 
-/// Reference (naive, serial) matmul used by tests to validate the parallel
-/// kernels.
+/// Reference (naive, serial) matmul used by tests to validate the blocked
+/// kernels. Reduces over `k` ascending with fused multiply-adds — the same
+/// order and rounding the microkernel uses, so the blocked kernels match it
+/// *bitwise*, not just approximately.
 pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let n = b.dims()[1];
     let mut out = vec![0.0f32; m * n];
     for i in 0..m {
         for j in 0..n {
-            let mut acc = 0.0;
+            let mut acc = 0.0f32;
             for p in 0..k {
-                acc += a.data()[i * k + p] * b.data()[p * n + j];
+                acc = a.data()[i * k + p].mul_add(b.data()[p * n + j], acc);
             }
             out[i * n + j] = acc;
         }
@@ -327,6 +631,24 @@ mod tests {
     }
 
     #[test]
+    fn blocked_kernel_is_bitwise_naive() {
+        // The microkernel reduces over k in the same ascending order as the
+        // scalar reference, so equality is exact, not approximate.
+        let a = randt(&[97, 61], 20);
+        let b = randt(&[61, 83], 21);
+        let blocked = matmul(&a, &b);
+        let naive = matmul_naive(&a, &b);
+        assert_eq!(
+            blocked
+                .data()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+            naive.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn at_b_matches_explicit_transpose() {
         let a = randt(&[40, 17], 4);
         let b = randt(&[40, 23], 5);
@@ -340,6 +662,71 @@ mod tests {
         let b = randt(&[23, 17], 7);
         let via_t = matmul(&a, &b.transpose());
         assert!(approx_eq(&matmul_a_bt(&a, &b), &via_t, 1e-3));
+    }
+
+    #[test]
+    fn at_b_parallel_path_matches_transpose() {
+        // Large enough to cross PAR_THRESHOLD: exercises the row-block
+        // parallel path of the (previously serial) weight-gradient kernel.
+        let a = randt(&[90, 130], 14);
+        let b = randt(&[90, 75], 15);
+        let via_t = matmul(&a.transpose(), &b);
+        assert!(approx_eq(&matmul_at_b(&a, &b), &via_t, 1e-2));
+    }
+
+    #[test]
+    fn epilogues_fuse_bias_and_relu() {
+        let a = randt(&[9, 7], 11);
+        let b = randt(&[7, 13], 12);
+        let bias = randt(&[13], 13);
+        let base = matmul(&a, &b);
+
+        let mut with_bias = vec![0.0f32; 9 * 13];
+        matmul_epi_into(&a, &b, &mut with_bias, Epilogue::Bias(bias.data()));
+        let expect = base.add_row_broadcast(&bias);
+        assert!(approx_eq(
+            &Tensor::from_vec(with_bias.clone(), &[9, 13]),
+            &expect,
+            0.0
+        ));
+
+        let mut with_relu = vec![0.0f32; 9 * 13];
+        matmul_epi_into(&a, &b, &mut with_relu, Epilogue::BiasRelu(bias.data()));
+        assert!(approx_eq(
+            &Tensor::from_vec(with_relu, &[9, 13]),
+            &expect.map(|v| v.max(0.0)),
+            0.0
+        ));
+
+        let mut acc = with_bias;
+        matmul_epi_into(&a, &b, &mut acc, Epilogue::Accumulate);
+        let expect_acc = expect.add(&base);
+        assert!(approx_eq(
+            &Tensor::from_vec(acc, &[9, 13]),
+            &expect_acc,
+            1e-5
+        ));
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        // k = 0: the sum is empty, the output is all zeros.
+        let c = matmul(&Tensor::zeros(&[3, 0]), &Tensor::zeros(&[0, 4]));
+        assert_eq!(c.dims(), &[3, 4]);
+        assert!(c.data().iter().all(|&x| x == 0.0));
+        // m = 0 / n = 0: empty outputs.
+        assert_eq!(
+            matmul(&Tensor::zeros(&[0, 5]), &Tensor::zeros(&[5, 4])).numel(),
+            0
+        );
+        assert_eq!(
+            matmul(&Tensor::zeros(&[4, 5]), &Tensor::zeros(&[5, 0])).numel(),
+            0
+        );
+        // 1×k and k×1.
+        let a = randt(&[1, 9], 16);
+        let b = randt(&[9, 1], 17);
+        assert!(approx_eq(&matmul(&a, &b), &matmul_naive(&a, &b), 1e-5));
     }
 
     #[test]
@@ -444,6 +831,23 @@ mod tests {
             .map(|(a, b)| a * b)
             .sum();
         assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_into_overwrites_stale_contents() {
+        let g = ConvGeom {
+            h: 3,
+            w: 3,
+            kh: 2,
+            kw: 2,
+            stride: 1,
+            pad: 0,
+        };
+        let cols = randt(&[4, 4], 18);
+        let fresh = col2im(&cols, 1, 1, g);
+        let mut buf = vec![99.0f32; 9];
+        col2im_into(&cols, 1, 1, g, &mut buf);
+        assert_eq!(buf, fresh.data());
     }
 
     #[test]

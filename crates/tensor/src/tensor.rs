@@ -173,7 +173,7 @@ impl Tensor {
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
         Tensor {
-            shape: self.shape.clone(),
+            shape: self.shape,
             data: self.data.iter().map(|&x| f(x)).collect(),
         }
     }
@@ -193,7 +193,7 @@ impl Tensor {
             self.shape, other.shape
         );
         Tensor {
-            shape: self.shape.clone(),
+            shape: self.shape,
             data: self
                 .data
                 .iter()

@@ -1,0 +1,134 @@
+//! Reusable scratch buffers for the per-replica training hot loop.
+//!
+//! A [`Workspace`] is a pool of `Vec<f32>` buffers owned by one replica
+//! (one worker thread / one simulated client). Layers and the trainer
+//! [`take`](Workspace::take) buffers for activations, im2col columns and
+//! gradient scratch at the start of an operation and
+//! [`recycle`](Workspace::recycle) them once consumed. After a warm-up step
+//! has populated the pool with every size the model needs, the steady-state
+//! training loop performs **zero heap allocations**: every `take` is served
+//! by reusing a previously recycled buffer's capacity.
+//!
+//! The pool is deliberately dumb — a flat list with best-fit-by-capacity
+//! matching — because one replica only cycles through a handful of distinct
+//! buffer sizes (one or two per layer), so the list stays short and the
+//! linear scan is cheaper than any indexing scheme.
+//!
+//! Not `Sync` and not meant to be shared: one workspace per replica.
+
+/// A recycling pool of `f32` buffers. See the module docs.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Recycled buffers, unordered. Capacities persist across reuse.
+    free: Vec<Vec<f32>>,
+    /// `take` calls that could not reuse a pooled buffer (stats only).
+    misses: u64,
+    /// Total `take` calls (stats only).
+    takes: u64,
+}
+
+impl Workspace {
+    /// An empty workspace; the first pass through a model fills the pool.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Hands out a zero-filled buffer of exactly `len` elements, reusing the
+    /// smallest pooled buffer whose capacity suffices (best fit). Allocates
+    /// only when no pooled buffer is large enough.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        self.takes += 1;
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.free.iter().enumerate() {
+            if buf.capacity() >= len
+                && best.is_none_or(|b| buf.capacity() < self.free[b].capacity())
+            {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => {
+                let mut buf = self.free.swap_remove(i);
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => {
+                self.misses += 1;
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// Returns a buffer's storage to the pool for later reuse. The contents
+    /// are discarded; only the capacity matters.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+
+    /// `(takes, misses)` since construction. A warm steady state shows takes
+    /// increasing while misses stay flat — the property the zero-allocation
+    /// test asserts.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.takes, self.misses)
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_zero_fills_recycled_garbage() {
+        let mut ws = Workspace::new();
+        let mut a = ws.take(8);
+        a.iter_mut().for_each(|x| *x = 7.0);
+        ws.recycle(a);
+        let b = ws.take(4);
+        assert_eq!(b, vec![0.0; 4], "recycled contents must not leak through");
+    }
+
+    #[test]
+    fn steady_state_has_no_misses() {
+        let mut ws = Workspace::new();
+        // Warm-up: the two sizes the "model" uses.
+        let a = ws.take(100);
+        let b = ws.take(50);
+        ws.recycle(a);
+        ws.recycle(b);
+        let (_, warm_misses) = ws.stats();
+        for _ in 0..10 {
+            let a = ws.take(100);
+            let b = ws.take(50);
+            ws.recycle(a);
+            ws.recycle(b);
+        }
+        let (takes, misses) = ws.stats();
+        assert_eq!(misses, warm_misses, "steady state must reuse, not allocate");
+        assert_eq!(takes, 22);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut ws = Workspace::new();
+        ws.recycle(Vec::with_capacity(1000));
+        ws.recycle(Vec::with_capacity(10));
+        let buf = ws.take(5);
+        assert!(buf.capacity() < 1000, "should have taken the small buffer");
+        assert_eq!(ws.pooled(), 1);
+    }
+
+    #[test]
+    fn empty_buffers_are_not_pooled() {
+        let mut ws = Workspace::new();
+        ws.recycle(Vec::new());
+        assert_eq!(ws.pooled(), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the blocked GEMM kernels.
+//!
+//! The microkernel's contract is stronger than "approximately right": every
+//! variant must match [`matmul_naive`]'s ascending-`k` fused-multiply-add
+//! chain **bitwise**, for any shape including degenerate ones (empty
+//! matrices, single rows/columns, shapes past the parallel threshold). These
+//! properties are what the DST byte-identity suite rests on, so they are
+//! checked here as bit patterns, never with a tolerance.
+
+use proptest::prelude::*;
+use vc_tensor::ops::{matmul, matmul_a_bt, matmul_at_b, matmul_naive, Epilogue};
+use vc_tensor::ops::{matmul_a_bt_epi_into, matmul_at_b_epi_into, matmul_epi_into};
+use vc_tensor::{NormalSampler, Tensor};
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|x| x.to_bits()).collect()
+}
+
+fn rand_pair(m: usize, k: usize, n: usize, seed: u64) -> (Tensor, Tensor) {
+    let mut s = NormalSampler::seed_from(seed);
+    (
+        Tensor::randn(&[m, k], 0.0, 1.0, &mut s),
+        Tensor::randn(&[k, n], 0.0, 1.0, &mut s),
+    )
+}
+
+proptest! {
+    #[test]
+    fn blocked_matmul_is_bitwise_naive(dims in (0usize..48, 0usize..40, 0usize..48), seed in 0u64..1_000_000) {
+        let (m, k, n) = dims;
+        let (a, b) = rand_pair(m, k, n, seed);
+        prop_assert_eq!(bits(&matmul(&a, &b)), bits(&matmul_naive(&a, &b)));
+    }
+
+    #[test]
+    fn at_b_is_bitwise_naive(dims in (0usize..40, 0usize..40, 0usize..40), seed in 0u64..1_000_000) {
+        // matmul_at_b(aᵀ, b) computes a·b without materializing aᵀᵀ; packing
+        // normalizes the layout, so even the transposed path is bit-exact.
+        let (m, k, n) = dims;
+        let (a, b) = rand_pair(m, k, n, seed);
+        prop_assert_eq!(bits(&matmul_at_b(&a.transpose(), &b)), bits(&matmul_naive(&a, &b)));
+    }
+
+    #[test]
+    fn a_bt_is_bitwise_naive(dims in (0usize..40, 0usize..40, 0usize..40), seed in 0u64..1_000_000) {
+        let (m, k, n) = dims;
+        let (a, b) = rand_pair(m, k, n, seed);
+        prop_assert_eq!(bits(&matmul_a_bt(&a, &b.transpose())), bits(&matmul_naive(&a, &b)));
+    }
+
+    #[test]
+    fn epilogue_variants_agree_across_kernels(dims in (1usize..24, 1usize..24, 1usize..24), seed in 0u64..1_000_000) {
+        // All three kernels with the same logical operands and epilogue must
+        // write the same bits: they share one gemm and one reduction order.
+        let (m, k, n) = dims;
+        let (a, b) = rand_pair(m, k, n, seed);
+        let mut s = NormalSampler::seed_from(seed ^ 0xb1a5);
+        let bias = Tensor::randn(&[n], 0.0, 1.0, &mut s);
+        let epi = Epilogue::BiasRelu(bias.data());
+        let mut o1 = vec![0.0f32; m * n];
+        let mut o2 = vec![0.0f32; m * n];
+        let mut o3 = vec![0.0f32; m * n];
+        matmul_epi_into(&a, &b, &mut o1, epi);
+        matmul_at_b_epi_into(&a.transpose(), &b, &mut o2, epi);
+        matmul_a_bt_epi_into(&a, &b.transpose(), &mut o3, epi);
+        let b1: Vec<u32> = o1.iter().map(|x| x.to_bits()).collect();
+        let b2: Vec<u32> = o2.iter().map(|x| x.to_bits()).collect();
+        let b3: Vec<u32> = o3.iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(&b1, &b2);
+        prop_assert_eq!(&b1, &b3);
+    }
+}
+
+/// Shapes well past `PAR_THRESHOLD` run on the persistent pool; repeated
+/// calls must reproduce the same bytes (threads pick *which* row band to
+/// compute, never the order within an output element's reduction).
+#[test]
+fn parallel_path_is_run_to_run_deterministic() {
+    let (a, b) = rand_pair(130, 70, 90, 99);
+    let first = bits(&matmul(&a, &b));
+    for _ in 0..8 {
+        assert_eq!(bits(&matmul(&a, &b)), first, "pool run changed the bytes");
+    }
+    assert_eq!(first, bits(&matmul_naive(&a, &b)));
+    // Same property through the accumulate epilogue (the gradient path).
+    let mut acc1 = vec![0.0f32; 130 * 90];
+    let mut acc2 = vec![0.0f32; 130 * 90];
+    for _ in 0..3 {
+        matmul_epi_into(&a, &b, &mut acc1, Epilogue::Accumulate);
+        matmul_epi_into(&a, &b, &mut acc2, Epilogue::Accumulate);
+    }
+    assert_eq!(
+        acc1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        acc2.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+    );
+}
+
+/// The degenerate shapes the trainer can actually produce (last ragged
+/// batch, 1-sample batches, empty label sets) all round-trip the kernels.
+#[test]
+fn degenerate_shapes_are_bitwise_naive() {
+    for (m, k, n) in [
+        (0, 5, 7),
+        (5, 0, 7),
+        (5, 7, 0),
+        (1, 1, 1),
+        (1, 33, 1),
+        (17, 1, 19),
+        (1, 9, 64),
+        (64, 9, 1),
+    ] {
+        let (a, b) = rand_pair(m, k, n, (m * 1000 + k * 100 + n) as u64);
+        assert_eq!(
+            bits(&matmul(&a, &b)),
+            bits(&matmul_naive(&a, &b)),
+            "shape ({m},{k},{n})"
+        );
+    }
+}

@@ -1,32 +1,309 @@
 // Vendored code: exempt from workspace lint policy.
 #![allow(clippy::all)]
 
-//! Vendored `rayon` shim.
+//! Vendored `rayon` shim: a real persistent worker pool.
 //!
-//! Provides the parallel-slice API the tensor kernels use
-//! (`par_chunks_mut(..).enumerate().for_each(..)`) on `std::thread::scope`
-//! instead of a work-stealing pool. Each call splits the chunk list evenly
-//! across up to [`max_threads`] OS threads; callers (the tensor kernels)
-//! already gate small inputs onto a serial path, so per-call spawn overhead
-//! only occurs on matrices large enough to amortize it.
+//! The original shim spawned and joined scoped OS threads on *every*
+//! parallel call, which put thread start-up latency on the matmul hot path
+//! of every training step. This version keeps the same public surface
+//! (`par_chunks_mut(..).enumerate().for_each(..)`) but executes on:
+//!
+//! * **long-lived worker threads**, spawned lazily on the first parallel
+//!   call and parked on a condvar between jobs;
+//! * a **shared injector**: submitted jobs are pushed to a queue; idle
+//!   workers and the submitting thread race on each job's **atomic chunk
+//!   cursor**, so chunk distribution self-balances (a slow thread simply
+//!   claims fewer chunks) without any per-chunk channel traffic;
+//! * a [`join`] two-closure primitive in the classic rayon style.
+//!
+//! ## Determinism
+//!
+//! Which thread executes a chunk never affects *what* the chunk computes:
+//! every chunk owns a disjoint output range and runs an internally
+//! sequential kernel. Results are therefore byte-identical for any thread
+//! count, including 1 (see `VC_THREADS`).
+//!
+//! ## Configuration
+//!
+//! * `VC_THREADS=n` caps total parallelism (workers + caller) at `n`;
+//!   `VC_THREADS=1` runs every parallel call inline on the caller.
+//! * [`set_thread_cap`] adjusts the cap at runtime (used by the scaling
+//!   benches); the cap never exceeds the spawned worker count + 1.
+//!
+//! ## Panic safety
+//!
+//! A panicking chunk poisons only its own job: workers catch the payload,
+//! finish draining the job, and the panic resumes on the *submitting*
+//! thread once the job completes. Worker threads never die, so a panicked
+//! call does not wedge later calls.
+//!
+//! ## Nested calls
+//!
+//! A parallel call from inside a worker thread pushes a child job and the
+//! nested caller drains it itself (other workers may help if idle), so
+//! nesting cannot deadlock: progress never waits on a thread that is
+//! waiting on us.
 
-use std::sync::OnceLock;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 pub mod prelude {
     //! Glob-import surface mirroring `rayon::prelude`.
     pub use crate::ParallelSliceMut;
 }
 
-/// Number of worker threads a parallel call may use.
+// --------------------------------------------------------------------- pool
+
+/// Runtime cap on total parallelism (workers helping + the caller).
+/// `usize::MAX` means "no extra cap beyond the pool size".
+static THREAD_CAP: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Caps the number of threads (including the calling thread) that later
+/// parallel calls may use. Intended for benchmarks measuring scaling
+/// curves; `n` is clamped to at least 1. Returns the previous cap.
+pub fn set_thread_cap(n: usize) -> usize {
+    THREAD_CAP.swap(n.max(1), Ordering::SeqCst)
+}
+
+/// Total parallelism the pool was built for (workers + caller), after the
+/// `VC_THREADS` override but before [`set_thread_cap`].
 pub fn max_threads() -> usize {
-    static N: OnceLock<usize> = OnceLock::new();
-    *N.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(8)
+    pool().n_threads
+}
+
+/// Parallelism the next call will actually use.
+fn effective_threads() -> usize {
+    max_threads().min(THREAD_CAP.load(Ordering::Relaxed))
+}
+
+fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("VC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Type-erased `Fn(chunk_index)` that may borrow the submitting thread's
+/// stack. Safety: the pointee outlives every call because the submitter
+/// blocks in `Job::wait_done` until all chunks have completed.
+struct FnPtr(*const (dyn Fn(usize) + Sync));
+unsafe impl Send for FnPtr {}
+unsafe impl Sync for FnPtr {}
+
+/// One submitted parallel-for: an atomic cursor over `n_items` chunks.
+struct Job {
+    func: FnPtr,
+    n_items: usize,
+    /// Next chunk index to claim.
+    cursor: AtomicUsize,
+    /// Chunks not yet finished (claimed or not).
+    pending: AtomicUsize,
+    /// Workers currently helping (the submitter is not counted).
+    helpers: AtomicUsize,
+    /// Max workers allowed to help (thread cap minus the submitter).
+    helper_cap: usize,
+    /// First panic payload raised by any chunk.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Job {
+    /// Claims and runs chunks until the cursor is exhausted. Panics are
+    /// captured, never propagated — the submitter re-raises them.
+    fn run_items(&self) {
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n_items {
+                return;
+            }
+            let f = unsafe { &*self.func.0 };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+                let mut p = self.panic.lock().unwrap();
+                if p.is_none() {
+                    *p = Some(payload);
+                }
+            }
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut d = self.done.lock().unwrap();
+                *d = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.cursor.load(Ordering::Relaxed) >= self.n_items
+    }
+
+    fn wait_done(&self) {
+        let mut d = self.done.lock().unwrap();
+        while !*d {
+            d = self.done_cv.wait(d).unwrap();
+        }
+    }
+}
+
+struct Injector {
+    /// Jobs with unclaimed chunks, in submission order.
+    queue: Mutex<Vec<Arc<Job>>>,
+    cv: Condvar,
+}
+
+struct Pool {
+    injector: Arc<Injector>,
+    /// Total parallelism: worker threads + the submitting thread.
+    n_threads: usize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let n_threads = configured_threads();
+        let injector = Arc::new(Injector {
+            queue: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+        });
+        for w in 0..n_threads.saturating_sub(1) {
+            let inj = Arc::clone(&injector);
+            std::thread::Builder::new()
+                .name(format!("vc-pool-{w}"))
+                .spawn(move || worker_loop(inj))
+                .expect("spawn pool worker");
+        }
+        Pool {
+            injector,
+            n_threads,
+        }
     })
 }
+
+fn worker_loop(inj: Arc<Injector>) {
+    loop {
+        let job = {
+            let mut q = inj.queue.lock().unwrap();
+            loop {
+                // Claim a helper slot under the lock so the per-job helper
+                // cap is exact.
+                let found = q.iter().position(|j| {
+                    !j.exhausted() && j.helpers.load(Ordering::Relaxed) < j.helper_cap
+                });
+                if let Some(pos) = found {
+                    let j = Arc::clone(&q[pos]);
+                    j.helpers.fetch_add(1, Ordering::Relaxed);
+                    break j;
+                }
+                q = inj.cv.wait(q).unwrap();
+            }
+        };
+        job.run_items();
+        job.helpers.fetch_sub(1, Ordering::Relaxed);
+        // Drop the exhausted job from the injector so the queue stays short.
+        let mut q = inj.queue.lock().unwrap();
+        if let Some(pos) = q.iter().position(|x| Arc::ptr_eq(x, &job) && x.exhausted()) {
+            q.remove(pos);
+        }
+    }
+}
+
+/// Runs `f(0..n_items)` across the pool, blocking until every chunk has
+/// completed. Panics from chunks are re-raised here, on the caller.
+fn run_parallel(n_items: usize, f: &(dyn Fn(usize) + Sync)) {
+    if n_items == 0 {
+        return;
+    }
+    let threads = effective_threads();
+    if threads <= 1 || n_items == 1 {
+        for i in 0..n_items {
+            f(i);
+        }
+        return;
+    }
+    let p = pool();
+    let job = Arc::new(Job {
+        // Safety: the lifetime is erased but the submitter blocks in
+        // `wait_done` below until every chunk finished, so `f` outlives
+        // all uses through this pointer.
+        func: FnPtr(unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
+        }),
+        n_items,
+        cursor: AtomicUsize::new(0),
+        pending: AtomicUsize::new(n_items),
+        helpers: AtomicUsize::new(0),
+        helper_cap: threads - 1,
+        panic: Mutex::new(None),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+    {
+        let mut q = p.injector.queue.lock().unwrap();
+        q.push(Arc::clone(&job));
+    }
+    p.injector.cv.notify_all();
+    job.run_items();
+    job.wait_done();
+    {
+        let mut q = p.injector.queue.lock().unwrap();
+        if let Some(pos) = q.iter().position(|x| Arc::ptr_eq(x, &job)) {
+            q.remove(pos);
+        }
+    }
+    let payload = job.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+/// Runs both closures and returns both results; `b` is offered to the pool
+/// while the caller runs `a`, and the caller runs `b` itself if no worker
+/// picked it up by then. Panics from either side propagate after both have
+/// finished.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if effective_threads() <= 1 {
+        return (a(), b());
+    }
+    let b_fn: Mutex<Option<B>> = Mutex::new(Some(b));
+    let b_out: Mutex<Option<RB>> = Mutex::new(None);
+    let run_b = |_i: usize| {
+        if let Some(bf) = b_fn.lock().unwrap().take() {
+            *b_out.lock().unwrap() = Some(bf());
+        }
+    };
+    let mut ra: Option<RA> = None;
+    // Catch `a`'s panic so the caller's frame (which `run_b` borrows) stays
+    // alive until the `b` job has fully completed, then re-raise.
+    let a_result = {
+        let ra = &mut ra;
+        catch_unwind(AssertUnwindSafe(move || *ra = Some(a())))
+    };
+    run_parallel(1, &run_b);
+    if let Err(payload) = a_result {
+        resume_unwind(payload);
+    }
+    (
+        ra.expect("join: closure `a` completed without a result"),
+        b_out
+            .into_inner()
+            .unwrap()
+            .expect("join: closure `b` completed without a result"),
+    )
+}
+
+// ----------------------------------------------------------- slice surface
 
 /// Parallel mutable-slice operations.
 pub trait ParallelSliceMut<T: Send> {
@@ -69,45 +346,41 @@ impl<'a, T: Send> ParChunksMut<'a, T> {
 pub struct ParChunksMutEnumerate<'a, T>(ParChunksMut<'a, T>);
 
 impl<T: Send> ParChunksMutEnumerate<'_, T> {
-    /// Applies `f` to every `(index, chunk)` pair, fanning the chunk list
-    /// out over scoped threads.
+    /// Applies `f` to every `(index, chunk)` pair across the pool.
     pub fn for_each<F>(self, f: F)
     where
         F: Fn((usize, &mut [T])) + Sync,
     {
         let chunk_size = self.0.chunk_size;
-        let mut chunks: Vec<(usize, &mut [T])> =
-            self.0.slice.chunks_mut(chunk_size).enumerate().collect();
-        let threads = max_threads().min(chunks.len());
-        if threads <= 1 {
-            for item in chunks {
-                f(item);
-            }
+        let len = self.0.slice.len();
+        if len == 0 {
             return;
         }
-        // Split the chunk list into `threads` contiguous portions; each
-        // scoped thread owns one portion outright, so no work queue or
-        // synchronization is needed.
-        let per = chunks.len().div_ceil(threads);
-        std::thread::scope(|s| {
-            while !chunks.is_empty() {
-                let take = per.min(chunks.len());
-                let portion: Vec<(usize, &mut [T])> = chunks.drain(..take).collect();
-                let f = &f;
-                s.spawn(move || {
-                    for item in portion {
-                        f(item);
-                    }
-                });
-            }
-        });
+        let n_chunks = len.div_ceil(chunk_size);
+        let base = self.0.slice.as_mut_ptr() as usize;
+        let run = |i: usize| {
+            let start = i * chunk_size;
+            let clen = chunk_size.min(len - start);
+            // Safety: chunk `i` is a disjoint subrange of the borrowed
+            // slice, each index is claimed exactly once by the job cursor,
+            // and the borrow outlives the job (run_parallel blocks).
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(start), clen) };
+            f((i, chunk));
+        };
+        run_parallel(n_chunks, &run);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Tests that touch the global [`set_thread_cap`] must not interleave.
+    static CAP_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn all_chunks_visited_with_correct_indices() {
@@ -142,5 +415,119 @@ mod tests {
             }
         });
         assert!(v.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn empty_slice_is_a_noop() {
+        let mut v: Vec<u8> = Vec::new();
+        v.par_chunks_mut(4)
+            .for_each(|_| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_task() {
+        let mut v = vec![0u32; 256];
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            v.par_chunks_mut(8).enumerate().for_each(|(i, _)| {
+                if i == 7 {
+                    panic!("poisoned chunk");
+                }
+            });
+        }));
+        assert!(r.is_err(), "panic must propagate to the submitter");
+        // Later calls must still run to completion on the same pool.
+        let mut w = vec![0usize; 333];
+        w.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i;
+            }
+        });
+        for (pos, &x) in w.iter().enumerate() {
+            assert_eq!(x, pos / 7);
+        }
+    }
+
+    #[test]
+    fn nested_par_calls_do_not_deadlock() {
+        let mut outer = vec![0usize; 16];
+        outer.par_chunks_mut(4).enumerate().for_each(|(i, chunk)| {
+            let mut inner = vec![0usize; 64];
+            inner.par_chunks_mut(8).enumerate().for_each(|(j, c)| {
+                for x in c.iter_mut() {
+                    *x = j + 1;
+                }
+            });
+            let sum: usize = inner.iter().sum();
+            for x in chunk.iter_mut() {
+                *x = i * 1000 + sum;
+            }
+        });
+        let expect: usize = (0..8).map(|j| (j + 1) * 8).sum();
+        for (pos, &x) in outer.iter().enumerate() {
+            assert_eq!(x, (pos / 4) * 1000 + expect);
+        }
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "right".len());
+        assert_eq!((a, b), (4, 5));
+    }
+
+    #[test]
+    fn join_nests() {
+        let ((a, b), (c, d)) = join(|| join(|| 1, || 2), || join(|| 3, || 4));
+        assert_eq!((a, b, c, d), (1, 2, 3, 4));
+    }
+
+    #[test]
+    fn join_propagates_b_panic() {
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            join(|| 1, || -> i32 { panic!("b failed") })
+        }));
+        assert!(r.is_err());
+        // Pool still usable.
+        let (a, b) = join(|| 10, || 20);
+        assert_eq!((a, b), (10, 20));
+    }
+
+    #[test]
+    fn thread_cap_one_runs_inline() {
+        let _g = CAP_LOCK.lock().unwrap();
+        let prev = set_thread_cap(1);
+        let caller = std::thread::current().id();
+        let mut v = vec![0u8; 4096];
+        v.par_chunks_mut(16).for_each(|chunk| {
+            assert_eq!(std::thread::current().id(), caller);
+            for x in chunk.iter_mut() {
+                *x = 1;
+            }
+        });
+        set_thread_cap(prev);
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn results_identical_across_thread_caps() {
+        let _g = CAP_LOCK.lock().unwrap();
+        // The kernels' determinism argument in miniature: the chunk→output
+        // mapping is fixed, so any cap produces byte-identical results.
+        let run = |cap: usize| {
+            let prev = set_thread_cap(cap);
+            let mut v = vec![0f32; 10_000];
+            v.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = (i * 64 + j) as f32 * 0.5;
+                }
+            });
+            set_thread_cap(prev);
+            v
+        };
+        let serial = run(1);
+        let parallel = run(usize::MAX);
+        assert_eq!(
+            serial.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            parallel.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
     }
 }
