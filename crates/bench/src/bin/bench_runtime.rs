@@ -1,10 +1,13 @@
 //! Threaded-runtime latency benchmark.
 //!
-//! Runs a small real fleet (OS threads, real SGD) twice — fault-free and
-//! under a kill/respawn storm — and writes `results/BENCH_runtime.json`
-//! with the latency percentiles the telemetry registry collected:
-//! assimilation latency, per-operation store latencies, worker training
-//! time, and the eventual-mode staleness distribution.
+//! Runs a small real fleet (OS threads, real SGD) three times — fault-free,
+//! under a kill/respawn storm, and with replication-2/quorum-2 redundancy —
+//! and writes `results/BENCH_runtime.json` with the latency percentiles the
+//! telemetry registry collected: assimilation latency, per-operation store
+//! latencies, worker training time, and the eventual-mode staleness
+//! distribution.
+//!
+//! `--smoke` shrinks every run to one epoch for CI.
 
 use serde::Serialize;
 use vc_bench::write_results;
@@ -76,31 +79,46 @@ fn summarize(name: &str, report: &RuntimeReport) -> RunSummary {
 struct BenchRuntime {
     fault_free: RunSummary,
     chaos: RunSummary,
+    quorum: RunSummary,
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let epochs = if smoke { 1 } else { 3 };
     println!("# Threaded-runtime latency benchmark\n");
 
     let mut clean = RuntimeConfig::test_small(7);
     clean.job.cn = 4;
     clean.job.pn = 2;
     clean.job.tn = 2;
-    clean.job.epochs = 3;
+    clean.job.epochs = epochs;
     let clean_report = run_runtime(clean).expect("fault-free run");
 
     let mut chaos = RuntimeConfig::test_small(7);
     chaos.job.cn = 5;
     chaos.job.pn = 2;
     chaos.job.tn = 2;
-    chaos.job.epochs = 3;
+    chaos.job.epochs = epochs;
     chaos.faults.kill_hosts = vec![0, 1];
     chaos.faults.kill_on_nth_assignment = 2;
     chaos.faults.respawn_after_s = Some(0.5);
     let chaos_report = run_runtime(chaos).expect("chaos run");
 
+    // Redundant computing: every workunit runs twice and needs two
+    // agreeing results — the latency cost of the byzantine defense.
+    let mut quorum = RuntimeConfig::test_small(7);
+    quorum.job.cn = 5;
+    quorum.job.pn = 2;
+    quorum.job.tn = 2;
+    quorum.job.epochs = epochs;
+    quorum.job.middleware.replication = 2;
+    quorum.job.middleware.quorum = 2;
+    let quorum_report = run_runtime(quorum).expect("quorum run");
+
     let out = BenchRuntime {
         fault_free: summarize("fault-free", &clean_report),
         chaos: summarize("chaos", &chaos_report),
+        quorum: summarize("quorum", &quorum_report),
     };
     let json = serde_json::to_string_pretty(&out).expect("summary serializes");
     write_results("BENCH_runtime.json", &json);

@@ -206,6 +206,7 @@ impl JobConfig {
                 return Err("custom fleet size must equal cn".into());
             }
         }
+        self.middleware.validate()?;
         Ok(())
     }
 

@@ -278,6 +278,15 @@ impl TrainingJob {
             let delay = (asg.deadline - now) + 0.001;
             self.events.schedule_in(delay, Ev::DeadlineScan);
         }
+        // A host barred by fetch backoff re-polls right after the bar
+        // lifts; nothing else is guaranteed to wake it before the event
+        // queue drains.
+        if let Some(until) = self.server.hosts()[host.0 as usize].backoff_until {
+            if self.server.hosts()[host.0 as usize].alive && until > now {
+                self.events
+                    .schedule_in((until - now) + 0.001, Ev::Poll(host));
+            }
+        }
     }
 
     fn on_task_done(&mut self, host: HostId, gen: u32, wu: WuId) {
@@ -311,14 +320,21 @@ impl TrainingJob {
             return; // died mid-upload; the timeout will recover the workunit
         }
         let now = self.events.now();
-        let status = self.server.report_success(wu, host, now);
+        let info = self.server.workunit(wu).clone();
+        let client = self.client_result(info.epoch, info.shard_id);
+        let status = self.server.report_result(wu, host, &client, now);
         // Either way the slot is free again.
         self.events.schedule_in(0.0, Ev::Poll(host));
         if status != ReportStatus::Accepted {
+            // Pending: the vote is banked server-side until quorum; other
+            // hosts may need to pick up the extra replicas it requested.
+            if status == ReportStatus::Pending {
+                for h in 0..self.fleet.len() {
+                    self.events.schedule_in(0.0, Ev::Poll(HostId(h as u32)));
+                }
+            }
             return;
         }
-        let info = self.server.workunit(wu).clone();
-        let client = self.client_result(info.epoch, info.shard_id);
         self.assim_queue.push(PendingAssim {
             wu,
             epoch: info.epoch,
@@ -499,7 +515,7 @@ impl TrainingJob {
     }
 
     fn on_revive(&mut self, host: HostId) {
-        self.server.revive_host(host);
+        self.server.revive_host(host, self.events.now());
         self.generations[host.0 as usize] += 1;
         self.events.schedule_in(0.0, Ev::Poll(host));
     }

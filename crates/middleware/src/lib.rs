@@ -25,7 +25,13 @@ pub mod validate;
 pub mod workunit;
 
 pub use clock::{Clock, VirtualClock, WallClock};
-pub use host::{HostId, HostRecord};
-pub use server::{Assignment, BoincServer, MiddlewareConfig, ReportStatus, ServerMetrics};
-pub use validate::{FiniteBlobValidator, ValidationVerdict, Validator};
+pub use host::{HostId, HostRecord, HostSummary};
+pub use server::{
+    Assignment, BoincServer, MiddlewareConfig, ReportStatus, ServerMetrics, HOST_TURNAROUND_S,
+    WU_DEADLINE_S,
+};
+pub use validate::{
+    AcceptAllValidator, BitwiseComparator, FiniteBlobValidator, ResultComparator,
+    ToleranceComparator, ValidationVerdict, Validator,
+};
 pub use workunit::{WorkUnit, WuId, WuPhase};

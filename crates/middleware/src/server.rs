@@ -1,17 +1,31 @@
 //! The BOINC-like server: scheduler + transitioner in one state machine.
 
 use crate::host::{HostId, HostRecord};
+use crate::validate::{BitwiseComparator, ResultComparator};
 use crate::workunit::{ActiveAssignment, WorkUnit, WuId, WuPhase};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use vc_simnet::{InstanceSpec, SimTime};
-use vc_telemetry::{FieldValue, Level, Telemetry};
+use vc_telemetry::{FieldValue, Histogram, Level, Telemetry};
+
+/// Registry name of the per-host observed-turnaround histogram (seconds
+/// from assignment to upload).
+pub const HOST_TURNAROUND_S: &str = "host_turnaround_s";
+/// Registry name of the issued-deadline-length histogram (seconds granted
+/// per assignment by the adaptive-deadline policy).
+pub const WU_DEADLINE_S: &str = "wu_deadline_s";
+
+/// When a deadline blows, the host's turnaround EWMA is fed the blown
+/// deadline length scaled by this factor, so repeat offenders earn longer
+/// (not tighter) deadlines — BOINC's "exponential deadline growth".
+const TIMEOUT_TURNAROUND_GROWTH: f64 = 1.5;
 
 /// Server-side policy knobs (BOINC project configuration).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MiddlewareConfig {
-    /// Result timeout `t_o`: how long after assignment the transitioner
-    /// declares a replica lost and re-queues the workunit. Paper: 5 min.
+    /// Baseline result timeout `t_o`: the deadline before any turnaround
+    /// has been observed for a host, after which the per-host EWMA takes
+    /// over. Paper: 5 min, fixed; here it is only the seed.
     pub timeout_s: f64,
     /// Attempts after which a workunit is still re-queued but counted as
     /// pathological (surfaced in metrics; BOINC would error the workunit).
@@ -21,6 +35,53 @@ pub struct MiddlewareConfig {
     /// Replication factor: how many hosts may execute the same workunit
     /// concurrently for redundancy (§II-C). 1 disables replication.
     pub replication: u32,
+    /// Floor of the adaptive deadline (widened down to `timeout_s` when
+    /// `timeout_s` is configured lower).
+    #[serde(default = "default_min_timeout_s")]
+    pub min_timeout_s: f64,
+    /// Ceiling of the adaptive deadline (widened up to `timeout_s` when
+    /// `timeout_s` is configured higher).
+    #[serde(default = "default_max_timeout_s")]
+    pub max_timeout_s: f64,
+    /// Deadline = `deadline_grace ×` the host's turnaround EWMA, clamped.
+    #[serde(default = "default_deadline_grace")]
+    pub deadline_grace: f64,
+    /// Smoothing factor of the turnaround EWMA.
+    #[serde(default = "default_deadline_alpha")]
+    pub deadline_alpha: f64,
+    /// Matching uploads required before a result is handed to the
+    /// assimilator (BOINC's `min_quorum`). Must be ≤ `replication`.
+    #[serde(default = "default_quorum")]
+    pub quorum: u32,
+    /// First backoff interval imposed on a host after a failure; doubles
+    /// per consecutive failure. 0 disables fetch backoff.
+    #[serde(default = "default_backoff_base_s")]
+    pub backoff_base_s: f64,
+    /// Backoff ceiling.
+    #[serde(default = "default_backoff_max_s")]
+    pub backoff_max_s: f64,
+}
+
+fn default_min_timeout_s() -> f64 {
+    30.0
+}
+fn default_max_timeout_s() -> f64 {
+    3600.0
+}
+fn default_deadline_grace() -> f64 {
+    3.0
+}
+fn default_deadline_alpha() -> f64 {
+    0.25
+}
+fn default_quorum() -> u32 {
+    1
+}
+fn default_backoff_base_s() -> f64 {
+    15.0
+}
+fn default_backoff_max_s() -> f64 {
+    900.0
 }
 
 impl Default for MiddlewareConfig {
@@ -30,7 +91,55 @@ impl Default for MiddlewareConfig {
             max_attempts: 8,
             sticky_files: true,
             replication: 1,
+            min_timeout_s: default_min_timeout_s(),
+            max_timeout_s: default_max_timeout_s(),
+            deadline_grace: default_deadline_grace(),
+            deadline_alpha: default_deadline_alpha(),
+            quorum: default_quorum(),
+            backoff_base_s: default_backoff_base_s(),
+            backoff_max_s: default_backoff_max_s(),
         }
+    }
+}
+
+impl MiddlewareConfig {
+    /// Rejects configurations the scheduler cannot honor.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("timeout_s", self.timeout_s),
+            ("min_timeout_s", self.min_timeout_s),
+            ("max_timeout_s", self.max_timeout_s),
+            ("deadline_grace", self.deadline_grace),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("middleware.{name} must be finite and positive"));
+            }
+        }
+        if self.min_timeout_s > self.max_timeout_s {
+            return Err("middleware.min_timeout_s exceeds max_timeout_s".into());
+        }
+        if !self.deadline_alpha.is_finite()
+            || self.deadline_alpha <= 0.0
+            || self.deadline_alpha > 1.0
+        {
+            return Err("middleware.deadline_alpha must be in (0, 1]".into());
+        }
+        if self.max_attempts == 0 {
+            return Err("middleware.max_attempts must be >= 1".into());
+        }
+        if self.replication == 0 {
+            return Err("middleware.replication must be >= 1".into());
+        }
+        if self.quorum == 0 || self.quorum > self.replication {
+            return Err("middleware.quorum must be in 1..=replication".into());
+        }
+        if !self.backoff_base_s.is_finite() || self.backoff_base_s < 0.0 {
+            return Err("middleware.backoff_base_s must be finite and >= 0".into());
+        }
+        if !self.backoff_max_s.is_finite() || self.backoff_max_s < self.backoff_base_s {
+            return Err("middleware.backoff_max_s must be >= backoff_base_s".into());
+        }
+        Ok(())
     }
 }
 
@@ -53,6 +162,18 @@ pub struct ServerMetrics {
     pub cache_hits: u64,
     /// Redundant replicas cancelled because another host finished first.
     pub cancelled_replicas: u64,
+    /// Quorum rounds where candidates disagreed and extra replicas were
+    /// issued.
+    #[serde(default)]
+    pub quorum_disagreements: u64,
+    /// Backoff intervals imposed on flaky hosts.
+    #[serde(default)]
+    pub backoffs: u64,
+    /// Assignments orphaned by a replacement instance registering: their
+    /// later expiry is still a timeout, but is not blamed on the new
+    /// incarnation.
+    #[serde(default)]
+    pub revive_orphaned: u64,
 }
 
 /// What a client receives from [`BoincServer::request_work`].
@@ -71,9 +192,13 @@ pub struct Assignment {
 /// Outcome of reporting a result.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReportStatus {
-    /// First valid result for this workunit: assimilate it.
+    /// The upload completed a quorum: assimilate this payload.
     Accepted,
-    /// The workunit was already completed; discard the payload.
+    /// The upload joined a quorum that is not yet decided; the server keeps
+    /// a copy, the caller must not assimilate.
+    Pending,
+    /// The workunit was already completed (or the host double-voted);
+    /// discard the payload.
     Stale,
 }
 
@@ -82,6 +207,12 @@ struct WuRecord {
     phase: WuPhase,
     attempts: u32,
     queued: bool,
+    /// Valid uploads awaiting quorum: (reporter, payload). One vote per
+    /// host.
+    candidates: Vec<(HostId, Vec<f32>)>,
+    /// Results the scheduler wants for this workunit: starts at the
+    /// replication factor, extended when candidates disagree.
+    target_results: u32,
 }
 
 /// The in-process BOINC server.
@@ -92,6 +223,7 @@ pub struct BoincServer {
     queue: VecDeque<WuId>,
     metrics: ServerMetrics,
     telemetry: Option<Telemetry>,
+    comparator: Box<dyn ResultComparator>,
 }
 
 impl BoincServer {
@@ -99,7 +231,9 @@ impl BoincServer {
     /// subtask limit (the paper's `Tn`).
     pub fn new(cfg: MiddlewareConfig, fleet: Vec<(InstanceSpec, usize)>) -> Self {
         assert!(!fleet.is_empty(), "a server needs at least one host");
-        assert!(cfg.replication >= 1, "replication factor must be >= 1");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid middleware config: {e}");
+        }
         let hosts = fleet
             .into_iter()
             .enumerate()
@@ -112,7 +246,15 @@ impl BoincServer {
             queue: VecDeque::new(),
             metrics: ServerMetrics::default(),
             telemetry: None,
+            comparator: Box::new(BitwiseComparator),
         }
+    }
+
+    /// Swaps the quorum comparator (bitwise by default; use
+    /// [`crate::ToleranceComparator`] for clients with benign numeric
+    /// divergence).
+    pub fn set_comparator(&mut self, cmp: Box<dyn ResultComparator>) {
+        self.comparator = cmp;
     }
 
     /// Attaches a telemetry handle: workunit lifecycle transitions
@@ -169,6 +311,8 @@ impl BoincServer {
             phase: WuPhase::Unsent,
             attempts: 0,
             queued: true,
+            candidates: Vec::new(),
+            target_results: self.cfg.replication,
         });
         self.queue.push_back(id);
         id
@@ -181,27 +325,87 @@ impl BoincServer {
         }
     }
 
-    /// True when `host` may take a replica of `wu_id` (workunit open, below
-    /// the replication cap, and not already running on this host).
+    /// True when `host` may take a replica of `wu_id`: the workunit is
+    /// open, still wants more results (live replicas + banked candidate
+    /// votes below its target), is not already running on this host, and
+    /// the host has not voted on it.
     fn assignable_to(&self, wu_id: WuId, host: HostId) -> bool {
         let rec = &self.wus[wu_id.0 as usize];
+        if !rec.phase.is_open() {
+            return false;
+        }
+        if rec.candidates.iter().any(|(h, _)| *h == host) {
+            return false;
+        }
+        if rec.phase.replica_count() + rec.candidates.len() >= rec.target_results as usize {
+            return false;
+        }
         match &rec.phase {
-            WuPhase::Unsent => true,
-            WuPhase::InProgress { assignments } => {
-                assignments.len() < self.cfg.replication as usize
-                    && assignments.iter().all(|a| a.host != host)
+            WuPhase::InProgress { assignments } => assignments.iter().all(|a| a.host != host),
+            _ => true,
+        }
+    }
+
+    /// The adaptive completion deadline for `host`: `deadline_grace ×` its
+    /// turnaround EWMA, clamped to `[min_timeout_s, max_timeout_s]` (both
+    /// widened to admit the configured `timeout_s`, which is also the
+    /// unseeded default).
+    fn deadline_for(&self, host: HostId) -> f64 {
+        match self.hosts[host.0 as usize].turnaround_ewma_s {
+            Some(ewma) => {
+                let lo = self.cfg.min_timeout_s.min(self.cfg.timeout_s);
+                let hi = self.cfg.max_timeout_s.max(self.cfg.timeout_s);
+                (self.cfg.deadline_grace * ewma).clamp(lo, hi)
             }
-            WuPhase::Done { .. } => false,
+            None => self.cfg.timeout_s,
+        }
+    }
+
+    /// Observes one sample into a named registry histogram (no-op without
+    /// telemetry).
+    fn observe(&self, name: &'static str, value: f64) {
+        if let Some(tel) = &self.telemetry {
+            tel.registry()
+                .histogram_with(name, Histogram::latency_bounds)
+                .observe(value);
+        }
+    }
+
+    /// Puts `host` in exponential fetch backoff after a failure (no-op when
+    /// disabled or the host has no failure streak).
+    fn apply_backoff(&mut self, host: HostId, now: SimTime) {
+        let dur = self.hosts[host.0 as usize].start_backoff(
+            now,
+            self.cfg.backoff_base_s,
+            self.cfg.backoff_max_s,
+        );
+        if dur > 0.0 {
+            self.metrics.backoffs += 1;
+            let streak = self.hosts[host.0 as usize].consecutive_failures;
+            self.emit(
+                now,
+                Level::Info,
+                "host_backoff",
+                vec![
+                    ("host", host.0.into()),
+                    ("secs", dur.into()),
+                    ("failures", streak.into()),
+                ],
+            );
         }
     }
 
     /// Scheduler: host `host` asks for work at `now`. Returns at most one
     /// assignment per call; callers loop while slots remain. Prefers a
     /// queued workunit whose shard the host already caches (sticky files),
-    /// falling back to FIFO order.
+    /// falling back to FIFO order. Hosts serving a failure backoff get
+    /// nothing until it expires.
     pub fn request_work(&mut self, host: HostId, now: SimTime) -> Option<Assignment> {
-        if !self.hosts[host.0 as usize].has_capacity() {
-            return None;
+        {
+            let h = &self.hosts[host.0 as usize];
+            if !h.has_capacity() || h.in_backoff(now) {
+                return None;
+            }
         }
         // Candidate positions in the queue this host may take.
         let cached_pick = if self.cfg.sticky_files {
@@ -221,11 +425,14 @@ impl BoincServer {
         })?;
 
         let wu_id = self.queue[pick];
+        let deadline_s = self.deadline_for(host);
         let rec = &mut self.wus[wu_id.0 as usize];
         rec.attempts += 1;
-        let deadline = now + self.cfg.timeout_s;
+        let deadline = now + deadline_s;
         let assignment = ActiveAssignment {
             host,
+            incarnation: self.hosts[host.0 as usize].lives,
+            issued_at: now,
             deadline,
             attempt: rec.attempts,
         };
@@ -238,12 +445,13 @@ impl BoincServer {
             WuPhase::InProgress { assignments } => assignments.push(assignment),
             WuPhase::Done { .. } => unreachable!("assignable_to filtered Done"),
         }
-        // Leave the workunit queued while it still wants more replicas.
-        if rec.phase.replica_count() >= self.cfg.replication as usize {
+        // Leave the workunit queued while it still wants more results.
+        if rec.phase.replica_count() + rec.candidates.len() >= rec.target_results as usize {
             self.queue.remove(pick);
             // rec borrow ended above; re-borrow to flip the flag
             self.wus[wu_id.0 as usize].queued = false;
         }
+        self.observe(WU_DEADLINE_S, deadline_s);
 
         let attempt = self.wus[wu_id.0 as usize].attempts;
         let shard_id = self.wus[wu_id.0 as usize].wu.shard_id;
@@ -282,12 +490,16 @@ impl BoincServer {
         let rec = &mut self.wus[wu_id.0 as usize];
         if let WuPhase::InProgress { assignments } = &mut rec.phase {
             if let Some(pos) = assignments.iter().position(|a| a.host == host) {
-                assignments.remove(pos);
+                let a = assignments.remove(pos);
                 if assignments.is_empty() {
                     rec.phase = WuPhase::Unsent;
                 }
                 let h = &mut self.hosts[host.0 as usize];
-                h.in_flight = h.in_flight.saturating_sub(1);
+                // An orphaned assignment (issued to a dead predecessor)
+                // never occupied the replacement's ledger.
+                if a.incarnation == h.lives {
+                    h.in_flight = h.in_flight.saturating_sub(1);
+                }
                 return true;
             }
         }
@@ -303,14 +515,35 @@ impl BoincServer {
         }
     }
 
-    /// A client uploads a (already validated) result. First valid result
-    /// wins; anything else is stale. Late results for still-open workunits
-    /// are accepted (BOINC behaviour).
+    /// Compatibility wrapper over [`BoincServer::report_result`] with an
+    /// empty payload. Under the default quorum of 1 this is the classic
+    /// first-valid-result-wins behaviour; with a real quorum configured,
+    /// callers must use `report_result` so payloads can be compared.
     pub fn report_success(&mut self, wu_id: WuId, host: HostId, now: SimTime) -> ReportStatus {
-        if !self.wus[wu_id.0 as usize].phase.is_open() {
-            // Free the reporter's slot if it still held a (cancelled)
-            // replica record — by construction it does not, but the call is
-            // idempotent either way.
+        self.report_result(wu_id, host, &[], now)
+    }
+
+    /// A client uploads an (already validator-screened) result payload.
+    ///
+    /// The upload becomes a quorum candidate; when `quorum` candidates
+    /// agree under the configured comparator, the workunit completes and
+    /// the caller assimilates the payload it is holding (`Accepted`).
+    /// Until then the server banks a copy (`Pending`), extending the
+    /// result target when the outstanding replicas can no longer reach
+    /// quorum. Uploads for decided workunits, or second votes from the
+    /// same host, are `Stale`.
+    pub fn report_result(
+        &mut self,
+        wu_id: WuId,
+        host: HostId,
+        payload: &[f32],
+        now: SimTime,
+    ) -> ReportStatus {
+        let idx = wu_id.0 as usize;
+        let duplicate_vote = self.wus[idx].candidates.iter().any(|(h, _)| *h == host);
+        if !self.wus[idx].phase.is_open() || duplicate_vote {
+            // Free the reporter's slot if it still held a replica record —
+            // by construction it does not, but the call is idempotent.
             self.release_assignment(wu_id, host);
             self.metrics.stale_results += 1;
             self.emit(
@@ -321,45 +554,180 @@ impl BoincServer {
             );
             return ReportStatus::Stale;
         }
-        // Winner: release this host's assignment (if it timed out earlier
-        // this is a no-op), cancel every other replica, mark done.
+        // Turnaround is observed only while the reporter still holds a live
+        // assignment from its current incarnation (a late post-timeout
+        // upload carries no timing signal — the blown deadline already fed
+        // the EWMA — and an orphan's clock belongs to a dead predecessor).
+        if let WuPhase::InProgress { assignments } = &self.wus[idx].phase {
+            if let Some(a) = assignments
+                .iter()
+                .find(|a| a.host == host && a.incarnation == self.hosts[host.0 as usize].lives)
+            {
+                let turnaround = (now - a.issued_at).max(0.0);
+                self.hosts[host.0 as usize].record_turnaround(turnaround, self.cfg.deadline_alpha);
+                self.observe(HOST_TURNAROUND_S, turnaround);
+            }
+        }
         self.release_assignment(wu_id, host);
+        self.wus[idx].candidates.push((host, payload.to_vec()));
+        let agreeing = {
+            let rec = &self.wus[idx];
+            rec.candidates
+                .iter()
+                .filter(|(_, p)| self.comparator.matches(p, payload))
+                .count()
+        };
+        if agreeing >= self.cfg.quorum as usize {
+            self.decide(wu_id, host, payload, now);
+            return ReportStatus::Accepted;
+        }
+        // Quorum still open. If the largest agreeing group plus every vote
+        // that could still arrive (live replicas + unissued target slots)
+        // cannot reach quorum, issue more replicas — BOINC's transitioner
+        // reacting to a validator "inconclusive".
+        let (best_group, live, banked, target) = {
+            let rec = &self.wus[idx];
+            let best = rec
+                .candidates
+                .iter()
+                .map(|(_, a)| {
+                    rec.candidates
+                        .iter()
+                        .filter(|(_, b)| self.comparator.matches(a, b))
+                        .count()
+                })
+                .max()
+                .unwrap_or(0);
+            (
+                best,
+                rec.phase.replica_count(),
+                rec.candidates.len(),
+                rec.target_results as usize,
+            )
+        };
+        let quorum = self.cfg.quorum as usize;
+        let outstanding = target.saturating_sub(live + banked);
+        if best_group + live + outstanding < quorum {
+            let cap = self.cfg.max_attempts.max(self.cfg.replication) as usize;
+            let need = quorum - (best_group + live + outstanding);
+            let new_target = (target + need).min(cap.max(target));
+            if new_target > target {
+                self.wus[idx].target_results = new_target as u32;
+                self.metrics.quorum_disagreements += 1;
+                self.emit(
+                    now,
+                    Level::Warn,
+                    "wu_quorum_disagree",
+                    vec![
+                        ("wu", wu_id.0.into()),
+                        ("host", host.0.into()),
+                        ("candidates", banked.into()),
+                        ("target", new_target.into()),
+                    ],
+                );
+            }
+        }
+        self.ensure_queued(wu_id);
+        if self.cfg.quorum > 1 {
+            self.emit(
+                now,
+                Level::Debug,
+                "wu_quorum_pending",
+                vec![
+                    ("wu", wu_id.0.into()),
+                    ("host", host.0.into()),
+                    ("votes", agreeing.into()),
+                    ("quorum", self.cfg.quorum.into()),
+                ],
+            );
+        }
+        ReportStatus::Pending
+    }
+
+    /// Completes `wu_id` with `winner`'s `payload`: cancels live replicas,
+    /// credits every candidate that agreed with the winning result, and
+    /// penalizes the outvoted ones like validator rejects.
+    fn decide(&mut self, wu_id: WuId, winner: HostId, payload: &[f32], now: SimTime) {
         let others = self.wus[wu_id.0 as usize].phase.running_on();
         for other in others {
             self.release_assignment(wu_id, other);
             self.metrics.cancelled_replicas += 1;
         }
         let rec = &mut self.wus[wu_id.0 as usize];
-        rec.phase = WuPhase::Done { host, at: now };
+        let candidates = std::mem::take(&mut rec.candidates);
+        rec.phase = WuPhase::Done {
+            host: winner,
+            at: now,
+        };
         if rec.queued {
             rec.queued = false;
             if let Some(pos) = self.queue.iter().position(|&q| q == wu_id) {
                 self.queue.remove(pos);
             }
         }
-        self.hosts[host.0 as usize].record_success();
+        let total_votes = candidates.len();
+        let mut agreeing = 0usize;
+        for (h, p) in &candidates {
+            if self.comparator.matches(p, payload) {
+                agreeing += 1;
+                self.hosts[h.0 as usize].record_success();
+            } else {
+                self.hosts[h.0 as usize].record_invalid();
+                self.metrics.invalid_results += 1;
+                self.emit(
+                    now,
+                    Level::Warn,
+                    "wu_invalid",
+                    vec![
+                        ("wu", wu_id.0.into()),
+                        ("host", h.0.into()),
+                        ("cause", "quorum".into()),
+                    ],
+                );
+                self.apply_backoff(*h, now);
+            }
+        }
         self.metrics.completed += 1;
         self.emit(
             now,
             Level::Debug,
             "wu_completed",
-            vec![("wu", wu_id.0.into()), ("host", host.0.into())],
+            vec![("wu", wu_id.0.into()), ("host", winner.0.into())],
         );
-        ReportStatus::Accepted
+        if self.cfg.quorum > 1 {
+            self.emit(
+                now,
+                Level::Info,
+                "wu_quorum_reached",
+                vec![
+                    ("wu", wu_id.0.into()),
+                    ("host", winner.0.into()),
+                    ("agreeing", agreeing.into()),
+                    ("votes", total_votes.into()),
+                ],
+            );
+        }
     }
 
-    /// The validator rejected `host`'s upload for `wu_id`: drop the replica
-    /// and penalize the host; re-queue if no replicas remain.
+    /// The validator rejected `host`'s upload for `wu_id`: drop the
+    /// replica, penalize the host (as an *invalid*, not a timeout — the
+    /// two stay disjoint in host stats and metrics), put it in fetch
+    /// backoff, and re-queue if no replicas remain.
     pub fn report_invalid(&mut self, wu_id: WuId, host: HostId, now: SimTime) {
         self.metrics.invalid_results += 1;
         self.emit(
             now,
             Level::Warn,
             "wu_invalid",
-            vec![("wu", wu_id.0.into()), ("host", host.0.into())],
+            vec![
+                ("wu", wu_id.0.into()),
+                ("host", host.0.into()),
+                ("cause", "validator".into()),
+            ],
         );
         if self.release_assignment(wu_id, host) {
-            self.hosts[host.0 as usize].record_timeout();
+            self.hosts[host.0 as usize].record_invalid();
+            self.apply_backoff(host, now);
             self.metrics.reassignments += 1;
             self.emit(
                 now,
@@ -383,12 +751,30 @@ impl BoincServer {
                     WuPhase::InProgress { assignments } => assignments
                         .iter()
                         .find(|a| a.deadline <= now)
-                        .map(|a| a.host),
+                        .map(|a| (a.host, a.incarnation, a.issued_at, a.deadline)),
                     _ => None,
                 };
-                let Some(host) = victim else { break };
+                let Some((host, incarnation, issued_at, deadline)) = victim else {
+                    break;
+                };
                 self.release_assignment(wu_id, host);
-                self.hosts[host.0 as usize].record_timeout();
+                // An orphaned assignment (its incarnation died and a
+                // replacement registered) still only resurfaces here — the
+                // server learns about lost work through timeouts (§III-E) —
+                // but the expiry is not the new incarnation's fault, so the
+                // host record takes no penalty, EWMA growth, or backoff.
+                if incarnation == self.hosts[host.0 as usize].lives {
+                    // Feed the EWMA a grown estimate of the blown deadline
+                    // so a slow-but-honest host earns a longer one next
+                    // time instead of timing out forever.
+                    let blown = (deadline - issued_at) / self.cfg.deadline_grace
+                        * TIMEOUT_TURNAROUND_GROWTH;
+                    let alpha = self.cfg.deadline_alpha;
+                    let h = &mut self.hosts[host.0 as usize];
+                    h.record_timeout();
+                    h.record_turnaround(blown, alpha);
+                    self.apply_backoff(host, now);
+                }
                 self.metrics.timeouts += 1;
                 self.metrics.reassignments += 1;
                 self.emit(
@@ -421,13 +807,45 @@ impl BoincServer {
         self.hosts[id.0 as usize].alive = false;
     }
 
-    /// A replacement instance comes up for a terminated host slot. The
-    /// sticky-file cache is lost with the instance.
-    pub fn revive_host(&mut self, id: HostId) {
+    /// A replacement instance comes up for a terminated host slot. The dead
+    /// incarnation's assignments are *orphaned*, not cancelled: the server
+    /// still learns about the lost work only when their deadlines pass
+    /// (§III-E), but that expiry is charged to the run metrics alone — the
+    /// host record, now a fresh incarnation that never held the work, takes
+    /// no timeout penalty or backoff for it. The in-flight ledger restarts
+    /// at zero so the replacement cannot over-commit past
+    /// `effective_slots`, and orphan expiry no longer decrements it. The
+    /// sticky-file cache dies with the instance; reputation survives (it
+    /// tracks the volunteer, not the instance), but any pending fetch
+    /// backoff is lifted so the fresh instance gets an immediate probe.
+    /// Reviving an already-live host is a no-op.
+    pub fn revive_host(&mut self, id: HostId, now: SimTime) {
+        if self.hosts[id.0 as usize].alive {
+            return;
+        }
+        let orphaned: u64 = self
+            .wus
+            .iter()
+            .map(|r| match &r.phase {
+                WuPhase::InProgress { assignments } => {
+                    assignments.iter().filter(|a| a.host == id).count() as u64
+                }
+                _ => 0,
+            })
+            .sum();
+        self.metrics.revive_orphaned += orphaned;
         let h = &mut self.hosts[id.0 as usize];
+        h.lives += 1;
+        h.in_flight = 0;
         h.alive = true;
         h.cached_shards.clear();
-        h.in_flight = 0;
+        h.clear_backoff();
+        self.emit(
+            now,
+            Level::Info,
+            "host_revived",
+            vec![("host", id.0.into()), ("orphaned", orphaned.into())],
+        );
     }
 
     /// Workunits still needing a result.
@@ -453,6 +871,17 @@ impl BoincServer {
     /// Attempts consumed by a workunit (all replicas counted).
     pub fn attempts(&self, wu_id: WuId) -> u32 {
         self.wus[wu_id.0 as usize].attempts
+    }
+
+    /// Results the scheduler currently wants for a workunit (replication
+    /// factor, plus quorum-disagreement extensions).
+    pub fn target_results(&self, wu_id: WuId) -> u32 {
+        self.wus[wu_id.0 as usize].target_results
+    }
+
+    /// Banked quorum candidates for a workunit.
+    pub fn candidate_count(&self, wu_id: WuId) -> usize {
+        self.wus[wu_id.0 as usize].candidates.len()
     }
 
     /// Earliest in-progress deadline, for event-driven timeout scans.
@@ -611,14 +1040,20 @@ mod tests {
     }
 
     #[test]
-    fn invalid_result_requeues() {
+    fn invalid_result_requeues_after_backoff() {
         let mut s = server(1, 1);
         s.add_workunit(1, 0, 1, t(0.0));
         let a = s.request_work(HostId(0), t(0.0)).unwrap();
         s.report_invalid(a.wu.id, HostId(0), t(5.0));
         assert_eq!(s.metrics().invalid_results, 1);
         assert_eq!(s.open_count(), 1);
-        let b = s.request_work(HostId(0), t(5.0)).unwrap();
+        // The offender sits out its fetch backoff (15 s base) first...
+        assert!(s.request_work(HostId(0), t(5.0)).is_none());
+        assert!(s.hosts()[0].in_backoff(t(19.9)));
+        // ...and the penalty is an invalid, not a timeout.
+        assert_eq!((s.hosts()[0].invalids, s.hosts()[0].timeouts), (1, 0));
+        assert_eq!(s.metrics().timeouts, 0);
+        let b = s.request_work(HostId(0), t(20.0)).unwrap();
         assert_eq!(b.wu.id, a.wu.id);
         assert_eq!(b.attempt, 2);
     }
@@ -651,11 +1086,46 @@ mod tests {
         s.add_workunit(1, 9, 1, t(0.0));
         s.request_work(HostId(0), t(0.0)).unwrap();
         s.preempt_host(HostId(0));
-        s.revive_host(HostId(0));
+        s.revive_host(HostId(0), t(1.0));
         let h = &s.hosts()[0];
         assert!(h.alive);
         assert!(h.cached_shards.is_empty());
         assert_eq!(h.in_flight, 0);
+    }
+
+    #[test]
+    fn revive_orphans_stale_assignments_without_penalty() {
+        let mut s = server(2, 2);
+        s.add_epoch(1, 4, 1, t(0.0));
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        let b = s.request_work(HostId(0), t(0.0)).unwrap();
+        s.preempt_host(HostId(0));
+        s.revive_host(HostId(0), t(10.0));
+        // The dead incarnation's assignments stay in flight — the server
+        // only learns about lost work through timeouts (§III-E) — but the
+        // replacement's ledger starts clean: it takes a full complement of
+        // *fresh* work immediately, with no over-commit past its slots.
+        assert_eq!(s.metrics().revive_orphaned, 2);
+        assert_eq!(s.hosts()[0].in_flight, 0);
+        let c = s.request_work(HostId(0), t(10.0)).unwrap();
+        let d = s.request_work(HostId(0), t(10.0)).unwrap();
+        assert!(s.request_work(HostId(0), t(10.0)).is_none());
+        assert!(c.wu.id != a.wu.id && d.wu.id != a.wu.id);
+        // When the orphans' deadlines pass the work is recovered and the
+        // run-level timeout metric counts the loss...
+        let expired = s.scan_timeouts(t(300.5));
+        assert!(expired.contains(&a.wu.id) && expired.contains(&b.wu.id));
+        assert_eq!(s.metrics().timeouts, 2);
+        // ...but the new incarnation is not blamed: reputation, backoff and
+        // the ledger for its own live work are untouched.
+        assert_eq!(s.hosts()[0].reliability, 1.0);
+        assert_eq!(s.hosts()[0].timeouts, 0);
+        assert!(!s.hosts()[0].in_backoff(t(300.5)));
+        assert_eq!(s.hosts()[0].in_flight, 2);
+        // Reviving a live host changes nothing.
+        s.revive_host(HostId(0), t(301.0));
+        assert_eq!(s.hosts()[0].in_flight, 2);
+        assert_eq!(s.metrics().revive_orphaned, 2);
     }
 
     #[test]
@@ -739,8 +1209,10 @@ mod tests {
         let expired = s.scan_timeouts(t(301.0));
         assert_eq!(expired, vec![a.wu.id]);
         assert_eq!(s.phase(a.wu.id).replica_count(), 1);
-        // Workunit is open and re-queued (it lost a replica).
-        let c = s.request_work(HostId(0), t(301.0)).unwrap();
+        // Workunit is open and re-queued (it lost a replica); the timed-out
+        // host re-takes it once its fetch backoff (15 s) expires.
+        assert!(s.request_work(HostId(0), t(301.0)).is_none());
+        let c = s.request_work(HostId(0), t(317.0)).unwrap();
         assert_eq!(c.wu.id, a.wu.id);
         // Host 1 finishes; everyone else is cancelled.
         assert_eq!(
@@ -758,5 +1230,249 @@ mod tests {
         let _a = s.request_work(HostId(0), t(0.0)).unwrap();
         // Second host cannot take a replica at replication = 1.
         assert!(s.request_work(HostId(1), t(0.0)).is_none());
+    }
+
+    // ------------------------------------------------ adaptive deadlines
+
+    #[test]
+    fn deadline_adapts_to_observed_turnaround() {
+        let mut s = server(1, 1);
+        s.add_epoch(1, 3, 1, t(0.0));
+        // Unseeded host: the configured timeout applies verbatim.
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        assert_eq!(a.deadline, t(300.0));
+        s.report_success(a.wu.id, HostId(0), t(10.0));
+        // One 10 s observation seeds the EWMA; grace 3 × 10 = 30 (the
+        // floor), far below the old fixed 300.
+        let b = s.request_work(HostId(0), t(10.0)).unwrap();
+        assert_eq!(b.deadline, t(40.0));
+        // A slower result drags the EWMA (and deadline) back up.
+        s.report_success(b.wu.id, HostId(0), t(110.0));
+        let c = s.request_work(HostId(0), t(110.0)).unwrap();
+        let granted = c.deadline - t(110.0);
+        assert!(
+            granted > 30.0 && granted < 300.0,
+            "blended deadline: {granted}"
+        );
+    }
+
+    #[test]
+    fn timeout_grows_the_next_deadline() {
+        let mut s = BoincServer::new(
+            MiddlewareConfig {
+                timeout_s: 10.0,
+                min_timeout_s: 10.0,
+                backoff_base_s: 0.0,
+                ..Default::default()
+            },
+            vec![(table1::client_8v_2_2(), 1)],
+        );
+        s.add_workunit(1, 0, 1, t(0.0));
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        assert_eq!(a.deadline, t(10.0));
+        s.scan_timeouts(t(11.0));
+        // The blown 10 s deadline feeds the EWMA as (10/grace)·1.5, so the
+        // re-issue gets 1.5× the old allowance instead of timing out on the
+        // same fixed clock forever.
+        let b = s.request_work(HostId(0), t(11.0)).unwrap();
+        let granted = b.deadline - t(11.0);
+        assert!((granted - 15.0).abs() < 1e-9, "granted {granted}");
+    }
+
+    #[test]
+    fn deadline_clamp_is_widened_by_an_extreme_timeout_s() {
+        // timeout_s below min_timeout_s: the clamp floor follows timeout_s
+        // down, so a fast-turnaround config is not silently raised.
+        let cfg = MiddlewareConfig {
+            timeout_s: 2.0,
+            min_timeout_s: 30.0,
+            ..Default::default()
+        };
+        let mut s = BoincServer::new(cfg, vec![(table1::client_8v_2_2(), 1)]);
+        s.add_epoch(1, 2, 1, t(0.0));
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        assert_eq!(a.deadline, t(2.0), "unseeded: configured timeout");
+        s.report_success(a.wu.id, HostId(0), t(0.5));
+        let b = s.request_work(HostId(0), t(0.5)).unwrap();
+        assert_eq!(b.deadline - t(0.5), 2.0, "clamped to timeout_s, not 30");
+    }
+
+    // -------------------------------------------------- backoff & fetch
+
+    #[test]
+    fn backoff_blocks_fetch_until_it_expires() {
+        let mut s = BoincServer::new(
+            MiddlewareConfig {
+                timeout_s: 10.0,
+                min_timeout_s: 10.0,
+                backoff_base_s: 5.0,
+                backoff_max_s: 40.0,
+                ..Default::default()
+            },
+            vec![(table1::client_8v_2_2(), 1); 2],
+        );
+        s.add_epoch(1, 2, 1, t(0.0));
+        s.request_work(HostId(0), t(0.0)).unwrap();
+        s.scan_timeouts(t(10.0));
+        assert_eq!(s.metrics().backoffs, 1);
+        // Barred for 5 s; the other host is unaffected.
+        assert!(s.request_work(HostId(0), t(12.0)).is_none());
+        let b = s.request_work(HostId(1), t(12.0)).unwrap();
+        assert!(s.request_work(HostId(0), t(15.0)).is_some());
+        // Success clears the streak entirely.
+        s.report_success(b.wu.id, HostId(1), t(16.0));
+        assert!(!s.hosts()[1].in_backoff(t(16.0)));
+    }
+
+    // ------------------------------------------------------------ quorum
+
+    fn quorate(hosts: usize, replication: u32, quorum: u32) -> BoincServer {
+        let fleet = (0..hosts).map(|_| (table1::client_8v_2_2(), 2)).collect();
+        BoincServer::new(
+            MiddlewareConfig {
+                replication,
+                quorum,
+                ..Default::default()
+            },
+            fleet,
+        )
+    }
+
+    #[test]
+    fn quorum_two_pends_until_agreement() {
+        let mut s = quorate(2, 2, 2);
+        s.add_workunit(1, 0, 1, t(0.0));
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        let b = s.request_work(HostId(1), t(0.0)).unwrap();
+        assert_eq!(a.wu.id, b.wu.id);
+        let result = [1.0f32, 2.0, 3.0];
+        assert_eq!(
+            s.report_result(a.wu.id, HostId(0), &result, t(5.0)),
+            ReportStatus::Pending
+        );
+        assert!(s.phase(a.wu.id).is_open(), "one vote is not a quorum");
+        assert_eq!(s.candidate_count(a.wu.id), 1);
+        assert_eq!(
+            s.report_result(b.wu.id, HostId(1), &result, t(6.0)),
+            ReportStatus::Accepted
+        );
+        assert!(s.all_done());
+        // Both quorum members are credited.
+        assert_eq!(s.hosts()[0].completed, 1);
+        assert_eq!(s.hosts()[1].completed, 1);
+        assert_eq!(s.metrics().completed, 1);
+    }
+
+    #[test]
+    fn quorum_disagreement_extends_target_and_penalizes_loser() {
+        let mut s = quorate(3, 2, 2);
+        s.add_workunit(1, 0, 1, t(0.0));
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        let b = s.request_work(HostId(1), t(0.0)).unwrap();
+        // Host 0 uploads a poisoned result, host 1 the honest one.
+        assert_eq!(
+            s.report_result(a.wu.id, HostId(0), &[999.0], t(5.0)),
+            ReportStatus::Pending
+        );
+        assert_eq!(
+            s.report_result(b.wu.id, HostId(1), &[1.0], t(6.0)),
+            ReportStatus::Pending
+        );
+        // Two disagreeing votes, none outstanding: the target grows so a
+        // tie-breaker replica can be issued.
+        assert!(s.target_results(a.wu.id) > 2);
+        assert!(s.metrics().quorum_disagreements > 0);
+        let c = s.request_work(HostId(2), t(7.0)).unwrap();
+        assert_eq!(c.wu.id, a.wu.id);
+        assert_eq!(
+            s.report_result(c.wu.id, HostId(2), &[1.0], t(12.0)),
+            ReportStatus::Accepted
+        );
+        assert!(s.all_done());
+        // Winners credited; the outvoted host penalized like a validator
+        // reject (invalid, not timeout) and sent into backoff.
+        assert_eq!(s.hosts()[1].completed, 1);
+        assert_eq!(s.hosts()[2].completed, 1);
+        assert_eq!(s.hosts()[0].completed, 0);
+        assert_eq!(s.hosts()[0].invalids, 1);
+        assert_eq!(s.metrics().invalid_results, 1);
+        assert!(s.hosts()[0].in_backoff(t(13.0)));
+        assert!(s.hosts()[0].reliability < s.hosts()[1].reliability);
+    }
+
+    #[test]
+    fn quorum_rejects_double_votes() {
+        let mut s = quorate(2, 2, 2);
+        s.add_workunit(1, 0, 1, t(0.0));
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        assert_eq!(
+            s.report_result(a.wu.id, HostId(0), &[1.0], t(5.0)),
+            ReportStatus::Pending
+        );
+        // The same host cannot vote itself into a quorum.
+        assert_eq!(
+            s.report_result(a.wu.id, HostId(0), &[1.0], t(6.0)),
+            ReportStatus::Stale
+        );
+        assert_eq!(s.candidate_count(a.wu.id), 1);
+        // Nor re-take the workunit it already voted on.
+        assert!(s.request_work(HostId(0), t(7.0)).is_none());
+    }
+
+    #[test]
+    fn tolerance_comparator_closes_quorum_on_close_results() {
+        let mut s = quorate(2, 2, 2);
+        s.set_comparator(Box::new(crate::ToleranceComparator {
+            atol: 1e-3,
+            rtol: 0.0,
+        }));
+        s.add_workunit(1, 0, 1, t(0.0));
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        let b = s.request_work(HostId(1), t(0.0)).unwrap();
+        assert_eq!(
+            s.report_result(a.wu.id, HostId(0), &[1.0], t(5.0)),
+            ReportStatus::Pending
+        );
+        assert_eq!(
+            s.report_result(b.wu.id, HostId(1), &[1.0005], t(6.0)),
+            ReportStatus::Accepted
+        );
+        assert!(s.all_done());
+    }
+
+    #[test]
+    fn quorum_turnaround_feeds_the_deadline_of_both_replicas() {
+        let mut s = quorate(2, 2, 2);
+        s.add_workunit(1, 0, 1, t(0.0));
+        s.add_workunit(1, 1, 1, t(0.0));
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        let b = s.request_work(HostId(1), t(0.0)).unwrap();
+        s.report_result(a.wu.id, HostId(0), &[1.0], t(20.0));
+        s.report_result(b.wu.id, HostId(1), &[1.0], t(40.0));
+        assert_eq!(s.hosts()[0].turnaround_ewma_s, Some(20.0));
+        assert_eq!(s.hosts()[1].turnaround_ewma_s, Some(40.0));
+    }
+
+    #[test]
+    fn config_validation_rejects_inconsistent_knobs() {
+        let bad_quorum = MiddlewareConfig {
+            replication: 2,
+            quorum: 3,
+            ..Default::default()
+        };
+        assert!(bad_quorum.validate().is_err());
+        let bad_bounds = MiddlewareConfig {
+            min_timeout_s: 100.0,
+            max_timeout_s: 10.0,
+            ..Default::default()
+        };
+        assert!(bad_bounds.validate().is_err());
+        let bad_backoff = MiddlewareConfig {
+            backoff_base_s: 10.0,
+            backoff_max_s: 1.0,
+            ..Default::default()
+        };
+        assert!(bad_backoff.validate().is_err());
+        assert!(MiddlewareConfig::default().validate().is_ok());
     }
 }

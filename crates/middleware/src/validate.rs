@@ -63,8 +63,21 @@ impl Validator for FiniteBlobValidator {
                 reason: format!("bad magic 0x{magic:08x}"),
             };
         }
-        let n = u64::from_le_bytes(payload[4..12].try_into().unwrap()) as usize;
-        if payload.len() < Self::HEADER + 4 * n {
+        let claimed = u64::from_le_bytes(payload[4..12].try_into().unwrap());
+        // The count is attacker-controlled: compute the implied byte length
+        // with checked arithmetic so a hostile header is rejected instead of
+        // wrapping the multiply (release) or panicking (debug).
+        let Some(body_end) = usize::try_from(claimed)
+            .ok()
+            .and_then(|n| n.checked_mul(4))
+            .and_then(|bytes| bytes.checked_add(Self::HEADER))
+        else {
+            return ValidationVerdict::Invalid {
+                reason: format!("implausible value count {claimed}"),
+            };
+        };
+        let n = claimed as usize;
+        if payload.len() < body_end {
             return ValidationVerdict::Invalid {
                 reason: format!("truncated: header claims {n} values"),
             };
@@ -98,6 +111,44 @@ pub struct AcceptAllValidator;
 impl Validator for AcceptAllValidator {
     fn validate(&self, _payload: &[u8]) -> ValidationVerdict {
         ValidationVerdict::Valid
+    }
+}
+
+/// Decides whether two already-validated result payloads agree for quorum
+/// purposes (BOINC's `check_pair`). Payloads are screened by a [`Validator`]
+/// before they get here, so implementations may assume finite values.
+pub trait ResultComparator: Send + Sync {
+    /// True when the two payloads count as the same result.
+    fn matches(&self, a: &[f32], b: &[f32]) -> bool;
+}
+
+/// Exact agreement: same length, bit-identical values. The right choice for
+/// deterministic clients — ours are, since subtask training is a pure
+/// function of (snapshot, epoch, shard).
+pub struct BitwiseComparator;
+
+impl ResultComparator for BitwiseComparator {
+    fn matches(&self, a: &[f32], b: &[f32]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+}
+
+/// Tolerance-based agreement for clients with benign numeric divergence
+/// (fused-math kernels, different SIMD widths): every element within
+/// `atol + rtol·|b|`.
+pub struct ToleranceComparator {
+    /// Absolute tolerance.
+    pub atol: f32,
+    /// Relative tolerance, scaled by the second operand's magnitude.
+    pub rtol: f32,
+}
+
+impl ResultComparator for ToleranceComparator {
+    fn matches(&self, a: &[f32], b: &[f32]) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| (x - y).abs() <= self.atol + self.rtol * y.abs())
     }
 }
 
@@ -151,5 +202,101 @@ mod tests {
     #[test]
     fn accept_all_accepts_garbage() {
         assert!(AcceptAllValidator.validate(b"anything").is_valid());
+    }
+
+    /// A hostile header whose count overflows `4 * n + HEADER` must come
+    /// back `Invalid`, not wrap into a bogus bound or panic the server.
+    #[test]
+    fn rejects_overflowing_counts_in_hostile_headers() {
+        let v = FiniteBlobValidator { expected_len: None };
+        for n in [
+            u64::MAX,
+            u64::MAX / 4,
+            u64::MAX / 4 + 1,
+            (usize::MAX as u64).saturating_add(1),
+            u64::MAX - 2, // 4*n wraps to a tiny value in release builds
+        ] {
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&0x5643_5031u32.to_le_bytes());
+            payload.extend_from_slice(&n.to_le_bytes());
+            payload.extend_from_slice(&[0u8; 64]);
+            let verdict = v.validate(&payload);
+            assert!(
+                matches!(
+                    verdict,
+                    ValidationVerdict::Invalid { ref reason }
+                        if reason.contains("implausible") || reason.contains("truncated")
+                ),
+                "count {n}: {verdict:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bitwise_comparator_demands_exact_bits() {
+        let c = BitwiseComparator;
+        assert!(c.matches(&[1.0, -2.5], &[1.0, -2.5]));
+        assert!(!c.matches(&[1.0], &[1.0 + f32::EPSILON]));
+        assert!(!c.matches(&[1.0], &[1.0, 2.0]));
+        assert!(c.matches(&[], &[]));
+    }
+
+    #[test]
+    fn tolerance_comparator_admits_benign_divergence() {
+        let c = ToleranceComparator {
+            atol: 1e-6,
+            rtol: 1e-4,
+        };
+        assert!(c.matches(&[100.0, -3.0], &[100.005, -3.0]));
+        assert!(!c.matches(&[100.0], &[101.0]));
+        assert!(!c.matches(&[1.0, 2.0], &[1.0]));
+    }
+
+    mod adversarial {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Stretch a raw draw across the regions that matter: tiny counts,
+        /// counts near the `4·n` overflow edge, and full-width garbage.
+        fn stretch_count(raw: u64, scheme: u64) -> u64 {
+            match scheme % 4 {
+                0 => raw % 64,                  // plausibly small
+                1 => u64::MAX - (raw % 64),     // wraps 4·n
+                2 => u64::MAX / 4 + (raw % 64), // straddles the edge
+                _ => raw,                       // anywhere
+            }
+        }
+
+        proptest! {
+            /// Adversarial headers — well-formed magic, hostile count —
+            /// never panic the validator, and any `Valid` verdict implies
+            /// the payload really carries the claimed body.
+            #[test]
+            fn validator_never_panics_on_adversarial_headers(
+                raw in 0u64..u64::MAX,
+                scheme in 0u64..4,
+                tail in prop::collection::vec(0u8..255, 0..128),
+            ) {
+                let count = stretch_count(raw, scheme);
+                let mut payload = Vec::new();
+                payload.extend_from_slice(&0x5643_5031u32.to_le_bytes());
+                payload.extend_from_slice(&count.to_le_bytes());
+                payload.extend_from_slice(&tail);
+                let v = FiniteBlobValidator { expected_len: None };
+                if v.validate(&payload).is_valid() {
+                    // Valid ⇒ the header was honest about the body length.
+                    prop_assert!(count as usize <= tail.len() / 4);
+                }
+            }
+
+            /// Raw garbage (arbitrary magic, no framing) never panics
+            /// either.
+            #[test]
+            fn validator_never_panics_on_raw_bytes(
+                bytes in prop::collection::vec(0u8..255, 0..64),
+            ) {
+                let _ = FiniteBlobValidator { expected_len: None }.validate(&bytes);
+            }
+        }
     }
 }

@@ -37,6 +37,12 @@ pub struct WorkUnit {
 pub struct ActiveAssignment {
     /// The executing host.
     pub host: HostId,
+    /// The host incarnation the replica was issued to; when it lags the
+    /// host's live count the instance died and a replacement registered,
+    /// so expiry must not be blamed on the new incarnation.
+    pub incarnation: u32,
+    /// When the scheduler issued this replica (turnaround measurement).
+    pub issued_at: SimTime,
     /// When the transitioner will declare this replica lost.
     pub deadline: SimTime,
     /// 1-based attempt number of this assignment.
@@ -100,11 +106,15 @@ mod tests {
             assignments: vec![
                 ActiveAssignment {
                     host: HostId(3),
+                    incarnation: 0,
+                    issued_at: SimTime::from_secs(0.0),
                     deadline: SimTime::from_secs(10.0),
                     attempt: 1,
                 },
                 ActiveAssignment {
                     host: HostId(5),
+                    incarnation: 0,
+                    issued_at: SimTime::from_secs(2.0),
                     deadline: SimTime::from_secs(12.0),
                     attempt: 2,
                 },

@@ -74,6 +74,13 @@ impl RuntimeConfig {
     pub fn test_small(seed: u64) -> Self {
         let mut job = JobConfig::test_small(seed);
         job.middleware.timeout_s = 2.0;
+        // Scale the adaptive-deadline clamp and fetch backoff to the same
+        // wall-clock regime; the simulated defaults (30 s floor, 15 s base
+        // backoff) would make a test run crawl.
+        job.middleware.min_timeout_s = 2.0;
+        job.middleware.max_timeout_s = 10.0;
+        job.middleware.backoff_base_s = 0.2;
+        job.middleware.backoff_max_s = 2.0;
         Self::new(job)
     }
 

@@ -26,7 +26,7 @@ use std::time::Duration;
 use vc_asgd::{result_is_valid, VcAsgdAssimilator};
 use vc_data::Dataset;
 use vc_kvstore::{Consistency, VersionedStore};
-use vc_middleware::{BoincServer, Clock, ReportStatus};
+use vc_middleware::{BoincServer, Clock, HostSummary, ReportStatus};
 use vc_nn::metrics::evaluate;
 use vc_telemetry::{event, Histogram, Telemetry};
 use vc_tensor::codec::encoded_len;
@@ -189,6 +189,7 @@ impl<C: Clock> Coordinator<C> {
             wall_s: self.wall_base_s + self.clock.elapsed_s(),
             workers: self.worker_txs.len(),
             server_metrics: self.server.metrics(),
+            hosts: self.server.hosts().iter().map(HostSummary::from).collect(),
             store_ops: self.store.metrics().snapshot(),
             telemetry: RuntimeTelemetry::from_registry(self.telemetry.registry()),
             bytes_transferred: self.bytes,
@@ -257,18 +258,25 @@ impl<C: Clock> Coordinator<C> {
                     self.server.report_invalid(wu, host, now);
                     return None;
                 }
-                if self.server.report_success(wu, host, now) != ReportStatus::Accepted {
-                    return None; // stale: the workunit was already satisfied
+                match self.server.report_result(wu, host, &params, now) {
+                    ReportStatus::Accepted => {
+                        self.bytes += encoded_len(self.param_count) as u64;
+                        let info = self.server.workunit(wu).clone();
+                        let _ = self.assim_tx.send(AssimTask {
+                            wu,
+                            epoch: info.epoch,
+                            shard_id: info.shard_id,
+                            client: params,
+                            accepted_at: now,
+                        });
+                    }
+                    // The upload happened and is banked for quorum: its
+                    // bytes count, but nothing is assimilated yet.
+                    ReportStatus::Pending => {
+                        self.bytes += encoded_len(self.param_count) as u64;
+                    }
+                    ReportStatus::Stale => {}
                 }
-                self.bytes += encoded_len(self.param_count) as u64;
-                let info = self.server.workunit(wu).clone();
-                let _ = self.assim_tx.send(AssimTask {
-                    wu,
-                    epoch: info.epoch,
-                    shard_id: info.shard_id,
-                    client: params,
-                    accepted_at: now,
-                });
                 None
             }
             ToServer::Assimilated {

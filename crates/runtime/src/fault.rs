@@ -8,6 +8,31 @@
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// How a byzantine worker corrupts the parameter vectors it uploads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ByzantineMode {
+    /// Upload a finite but poisoned parameter vector (a constant fill,
+    /// salted per host so two byzantine workers never agree bitwise). The
+    /// blob passes format validation; only result comparison at quorum ≥ 2
+    /// can catch it.
+    #[default]
+    Poison,
+    /// Upload NaNs. The finite-blob validator rejects these even at
+    /// quorum 1.
+    NonFinite,
+}
+
+impl ByzantineMode {
+    /// Overwrites `params` with this mode's corruption for `host`.
+    pub fn corrupt(self, host: u32, params: &mut [f32]) {
+        let fill = match self {
+            ByzantineMode::Poison => 997.0 + host as f32,
+            ByzantineMode::NonFinite => f32::NAN,
+        };
+        params.fill(fill);
+    }
+}
+
 /// A scripted fault schedule for one runtime run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -26,6 +51,14 @@ pub struct FaultPlan {
     /// results and poll requests arrive reordered. `0` disables the delay
     /// line entirely.
     pub max_msg_delay_s: f64,
+    /// Host ids of workers that train honestly but corrupt every result
+    /// they upload (hostile volunteers, §II-C's motivation for redundant
+    /// computing).
+    #[serde(default)]
+    pub byzantine_hosts: Vec<u32>,
+    /// What corruption the byzantine hosts apply.
+    #[serde(default)]
+    pub byzantine_mode: ByzantineMode,
     /// Seed of the delay-draw RNG streams.
     pub seed: u64,
 }
@@ -38,13 +71,22 @@ impl FaultPlan {
             kill_on_nth_assignment: 1,
             respawn_after_s: None,
             max_msg_delay_s: 0.0,
+            byzantine_hosts: Vec::new(),
+            byzantine_mode: ByzantineMode::default(),
             seed: 0,
         }
     }
 
     /// True when the plan injects nothing.
     pub fn is_none(&self) -> bool {
-        self.kill_hosts.is_empty() && self.max_msg_delay_s == 0.0
+        self.kill_hosts.is_empty() && self.max_msg_delay_s == 0.0 && self.byzantine_hosts.is_empty()
+    }
+
+    /// `Some(mode)` when `host` is scripted to corrupt its uploads.
+    pub fn byzantine(&self, host: u32) -> Option<ByzantineMode> {
+        self.byzantine_hosts
+            .contains(&host)
+            .then_some(self.byzantine_mode)
     }
 
     /// The first `ceil(frac · cn)` host ids — a deterministic "kill this
@@ -78,6 +120,12 @@ impl FaultPlan {
         }
         if !self.kill_hosts.is_empty() && self.kill_hosts.len() >= cn {
             return Err("refusing to kill the whole fleet: the job could never finish".into());
+        }
+        if self.byzantine_hosts.iter().any(|&h| h as usize >= cn) {
+            return Err(format!("byzantine_hosts references a host >= cn ({cn})"));
+        }
+        if !self.byzantine_hosts.is_empty() && self.byzantine_hosts.len() >= cn {
+            return Err("refusing an all-byzantine fleet: no honest result could ever win".into());
         }
         Ok(())
     }
@@ -127,6 +175,33 @@ mod tests {
         assert!(p.should_kill(1, 0, 2));
         assert!(!p.should_kill(1, 1, 2), "respawned instances are safe");
         assert!(!p.should_kill(0, 0, 2), "host 0 is not doomed");
+    }
+
+    #[test]
+    fn byzantine_lookup_and_validation() {
+        let mut p = FaultPlan::none();
+        assert!(p.byzantine(0).is_none());
+        p.byzantine_hosts = vec![1];
+        assert!(!p.is_none());
+        assert_eq!(p.byzantine(1), Some(ByzantineMode::Poison));
+        assert!(p.byzantine(0).is_none());
+        assert!(p.validate(3).is_ok());
+        p.byzantine_hosts = vec![0, 1, 2];
+        assert!(p.validate(3).is_err(), "all-byzantine fleet refused");
+        p.byzantine_hosts = vec![7];
+        assert!(p.validate(3).is_err(), "host id beyond fleet");
+    }
+
+    #[test]
+    fn corruption_modes_fill_as_specified() {
+        let mut a = vec![1.0f32; 4];
+        ByzantineMode::Poison.corrupt(2, &mut a);
+        assert!(a.iter().all(|&x| x == 999.0));
+        let mut b = vec![1.0f32; 4];
+        ByzantineMode::Poison.corrupt(3, &mut b);
+        assert_ne!(a, b, "per-host salt keeps byzantine hosts from agreeing");
+        ByzantineMode::NonFinite.corrupt(0, &mut a);
+        assert!(a.iter().all(|x| x.is_nan()));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod worker;
 
 pub use checkpoint::Checkpoint;
 pub use config::RuntimeConfig;
-pub use fault::FaultPlan;
+pub use fault::{ByzantineMode, FaultPlan};
 pub use report::{
     RuntimeEpoch, RuntimeReport, RuntimeTelemetry, ASSIM_LATENCY_S, DELAY_LINE_DELAY_S,
     WORKER_POLL_S, WORKER_TRAIN_S, WORKER_UPLOAD_S,

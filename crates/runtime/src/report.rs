@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 use vc_kvstore::{
     StoreOps, STORE_READ_S, STORE_STALENESS_VERSIONS, STORE_TRANSACT_S, STORE_WRITE_S,
 };
-use vc_middleware::ServerMetrics;
+use vc_middleware::{HostSummary, ServerMetrics, HOST_TURNAROUND_S, WU_DEADLINE_S};
 use vc_telemetry::{Histogram, HistogramSnapshot, Registry};
 
 /// Registry name of the assimilation-latency histogram (seconds from the
@@ -67,6 +67,9 @@ pub struct RuntimeReport {
     pub workers: usize,
     /// Middleware counters.
     pub server_metrics: ServerMetrics,
+    /// Per-host scheduler accounting (reputation, turnaround, backoffs).
+    #[serde(default)]
+    pub hosts: Vec<HostSummary>,
     /// Store operation counters.
     pub store_ops: StoreOps,
     /// Latency/staleness histograms collected by the telemetry registry.
@@ -107,6 +110,12 @@ pub struct RuntimeTelemetry {
     pub worker_train_s: HistogramSnapshot,
     /// Worker per-optimizer-step duration, seconds.
     pub worker_train_step_s: HistogramSnapshot,
+    /// Observed host turnaround (issue → valid upload), seconds.
+    #[serde(default)]
+    pub host_turnaround_s: HistogramSnapshot,
+    /// Deadlines the adaptive scheduler granted, seconds.
+    #[serde(default)]
+    pub wu_deadline_s: HistogramSnapshot,
 }
 
 impl RuntimeTelemetry {
@@ -128,6 +137,8 @@ impl RuntimeTelemetry {
             store_transact_s: grab(STORE_TRANSACT_S),
             worker_train_s: grab(WORKER_TRAIN_S),
             worker_train_step_s: grab(WORKER_TRAIN_STEP_S),
+            host_turnaround_s: grab(HOST_TURNAROUND_S),
+            wu_deadline_s: grab(WU_DEADLINE_S),
         }
     }
 }
@@ -177,6 +188,7 @@ mod tests {
             wall_s: 2.6,
             workers: 4,
             server_metrics: ServerMetrics::default(),
+            hosts: Vec::new(),
             store_ops: StoreOps::default(),
             telemetry: RuntimeTelemetry::from_registry(&Registry::default()),
             bytes_transferred: 0,

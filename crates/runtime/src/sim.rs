@@ -23,7 +23,7 @@
 
 use crate::config::RuntimeConfig;
 use crate::coordinator::{Coordinator, Stop};
-use crate::fault::{FaultPlan, FaultStats};
+use crate::fault::{ByzantineMode, FaultPlan, FaultStats};
 use crate::protocol::{AssimTask, ToServer, ToWorker};
 use crate::report::{RuntimeReport, DELAY_LINE_DELAY_S, WORKER_TRAIN_S};
 use crate::scheduler::StepScheduler;
@@ -125,6 +125,27 @@ impl Scenario {
     /// streams).
     pub fn faults(mut self, faults: FaultPlan) -> Self {
         self.cfg.faults = faults;
+        self
+    }
+
+    /// Sets the replication factor (replicas issued per workunit).
+    pub fn replication(mut self, k: u32) -> Self {
+        self.cfg.job.middleware.replication = k;
+        self
+    }
+
+    /// Sets the validation quorum (agreeing results required to accept a
+    /// workunit).
+    pub fn quorum(mut self, m: u32) -> Self {
+        self.cfg.job.middleware.quorum = m;
+        self
+    }
+
+    /// Marks `hosts` as byzantine: they train honestly, then corrupt every
+    /// result they upload in the given mode.
+    pub fn byzantine(mut self, hosts: Vec<u32>, mode: ByzantineMode) -> Self {
+        self.cfg.faults.byzantine_hosts = hosts;
+        self.cfg.faults.byzantine_mode = mode;
         self
     }
 
@@ -446,13 +467,18 @@ impl Sim {
                     return;
                 }
                 let data = &self.shards.shard(wu.shard_id).data;
-                let params = train_client_replica(
+                let mut params = train_client_replica(
                     &self.coord.cfg.job,
                     &snapshot,
                     data,
                     wu.epoch,
                     wu.shard_id,
                 );
+                // A byzantine host does the work, then lies about it —
+                // same corruption point as the threaded worker.
+                if let Some(mode) = self.coord.cfg.faults.byzantine(h) {
+                    mode.corrupt(h, &mut params);
+                }
                 let mut dur = self.sc.train_s;
                 if self.sc.train_jitter_s > 0.0 {
                     dur += w.core.rng.gen_range(0.0..=self.sc.train_jitter_s);

@@ -158,7 +158,7 @@ pub fn worker_main(ctx: WorkerCtx) {
                     telemetry: &telemetry,
                     histogram: &train_step_h,
                 };
-                let params = train_client_replica_ws(
+                let mut params = train_client_replica_ws(
                     job,
                     &snapshot,
                     data,
@@ -168,6 +168,10 @@ pub fn worker_main(ctx: WorkerCtx) {
                     Some(&step_timer),
                 );
                 train_h.observe((telemetry.now_s() - train_t0).max(0.0));
+                // A byzantine host does the work, then lies about it.
+                if let Some(mode) = cfg.faults.byzantine(id.0) {
+                    mode.corrupt(id.0, &mut params);
+                }
                 let upload_t0 = telemetry.now_s();
                 if outbox
                     .send(

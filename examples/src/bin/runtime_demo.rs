@@ -73,8 +73,9 @@ fn main() {
         kill_on_nth_assignment: 2,
         respawn_after_s: Some(0.5),
         max_msg_delay_s: 0.02,
-        seed: 7,
+        ..FaultPlan::none()
     };
+    cfg.faults.seed = 7;
 
     println!(
         "fleet: {} workers ({:?} will be preempted), {} parameter servers, {} shards\n",

@@ -31,6 +31,10 @@ fn every_workunit_completes_exactly_once_under_chaos() {
         let mut server = BoincServer::new(
             MiddlewareConfig {
                 timeout_s: 100.0,
+                // A snappy backoff: flaky hosts sit out briefly instead of
+                // stretching the schedule toward the step cap.
+                backoff_base_s: 1.0,
+                backoff_max_s: 50.0,
                 ..Default::default()
             },
             fleet(3, 2),
@@ -60,7 +64,7 @@ fn every_workunit_completes_exactly_once_under_chaos() {
             }
             if rng.gen_bool(0.1) {
                 let h = HostId(rng.gen_range(0..3));
-                server.revive_host(h);
+                server.revive_host(h, now_t);
             }
             // Hosts poll.
             for hid in 0..3 {
@@ -136,6 +140,11 @@ fn validator_rejects_poisoned_uploads_and_job_recovers() {
     assert_eq!(server.metrics().invalid_results, 1);
     // The offending host lost reliability; the healthy one gained standing.
     assert!(server.hosts()[0].reliability < server.hosts()[1].reliability);
+    // The penalty is booked as an *invalid*, never a timeout — the two
+    // stay disjoint in both host stats and run metrics.
+    assert_eq!(server.hosts()[0].invalids, 1);
+    assert_eq!(server.hosts()[0].timeouts, 0);
+    assert_eq!(server.metrics().timeouts, 0);
 }
 
 #[test]
@@ -161,9 +170,10 @@ fn total_host_loss_then_recovery() {
     server.preempt_host(HostId(1));
     // Nothing completes; deadlines pass.
     assert_eq!(server.scan_timeouts(t(61.0)).len(), 4);
-    // Replacements arrive.
-    server.revive_host(HostId(0));
-    server.revive_host(HostId(1));
+    // Replacements arrive (revive also lifts the timeout backoff, so the
+    // fresh instances can fetch immediately).
+    server.revive_host(HostId(0), t(61.0));
+    server.revive_host(HostId(1), t(61.0));
     let mut done = 0;
     for h in 0..2 {
         while let Some(a) = server.request_work(HostId(h), t(61.0)) {
@@ -180,6 +190,9 @@ fn repeated_timeouts_count_attempts() {
     let mut server = BoincServer::new(
         MiddlewareConfig {
             timeout_s: 10.0,
+            min_timeout_s: 10.0,
+            // Isolate attempt accounting from fetch backoff.
+            backoff_base_s: 0.0,
             ..Default::default()
         },
         fleet(1, 1),
@@ -189,7 +202,9 @@ fn repeated_timeouts_count_attempts() {
     for round in 1..=5u32 {
         let a = server.request_work(HostId(0), t(now)).unwrap();
         assert_eq!(a.attempt, round);
-        now += 11.0;
+        // Each blown attempt grows the next adaptive deadline; follow the
+        // one the scheduler actually granted.
+        now = (a.deadline - SimTime::ZERO) + 1.0;
         assert_eq!(server.scan_timeouts(t(now)).len(), 1);
     }
     assert_eq!(server.attempts(wu), 5);
@@ -198,5 +213,52 @@ fn repeated_timeouts_count_attempts() {
     assert_eq!(server.hosts()[0].effective_slots(), 1);
     let a = server.request_work(HostId(0), t(now)).unwrap();
     server.report_success(a.wu.id, HostId(0), t(now + 1.0));
+    assert!(server.all_done());
+}
+
+/// Regression for the preempt → revive → timeout interleaving: a
+/// replacement instance registering before the dead incarnation's
+/// deadlines pass must start with a clean slot ledger (no over-commit, no
+/// underflow when the orphans expire) and must not eat the timeout
+/// penalties for work it never held.
+#[test]
+fn revive_does_not_charge_the_replacement_for_stale_assignments() {
+    let mut server = BoincServer::new(
+        MiddlewareConfig {
+            timeout_s: 60.0,
+            ..Default::default()
+        },
+        fleet(2, 2),
+    );
+    server.add_epoch(1, 4, 1, t(0.0));
+    let a = server.request_work(HostId(0), t(0.0)).unwrap();
+    let b = server.request_work(HostId(0), t(0.0)).unwrap();
+    server.preempt_host(HostId(0));
+    // The replacement registers well before the stale deadlines pass.
+    server.revive_host(HostId(0), t(5.0));
+    // Fresh incarnation, fresh ledger: a full complement of new work and
+    // not a subtask more.
+    let c = server.request_work(HostId(0), t(5.0)).unwrap();
+    let d = server.request_work(HostId(0), t(5.0)).unwrap();
+    assert!(server.request_work(HostId(0), t(5.0)).is_none());
+    assert!(c.wu.id != a.wu.id && d.wu.id != b.wu.id);
+    // The stale deadlines fire: the lost work is still recovered through
+    // the timeout path (§III-E)...
+    let expired = server.scan_timeouts(t(61.0));
+    assert!(expired.contains(&a.wu.id) && expired.contains(&b.wu.id));
+    assert_eq!(server.metrics().timeouts, 2);
+    // ...but the new incarnation is not blamed, and its own live work is
+    // untouched by the orphan expiry.
+    assert_eq!(server.hosts()[0].timeouts, 0);
+    assert_eq!(server.hosts()[0].reliability, 1.0);
+    assert!(!server.hosts()[0].in_backoff(t(61.0)));
+    assert_eq!(server.hosts()[0].in_flight, 2);
+    // The replacement finishes everything, including the recovered work.
+    server.report_success(c.wu.id, HostId(0), t(62.0));
+    server.report_success(d.wu.id, HostId(0), t(62.0));
+    for _ in 0..2 {
+        let e = server.request_work(HostId(0), t(62.0)).unwrap();
+        server.report_success(e.wu.id, HostId(0), t(63.0));
+    }
     assert!(server.all_done());
 }

@@ -92,7 +92,12 @@ fn sec4e_expected_delay_formula() {
 #[test]
 fn sec4e_des_preemption_cost_is_same_order_as_model() {
     // The full fleet simulation should inflate training time by the same
-    // order of magnitude the binomial model predicts at p = 0.10.
+    // order of magnitude the binomial model predicts at p = 0.10. The
+    // model assumes a fixed timeout `t_o`; the adaptive scheduler instead
+    // grants `deadline_grace × EWMA(turnaround)`, which stretches each
+    // loss-discovery wait by roughly the grace factor (see
+    // EXPERIMENTS.md), so the band is wider than a fixed-timeout run
+    // would need.
     let base = run_job(timing_cfg(5, 5, 2)).unwrap().total_time_h;
     let mut stormy = timing_cfg(5, 5, 2);
     stormy.preemption = PreemptionModel::BernoulliPerSubtask { p: 0.10 };
@@ -101,7 +106,7 @@ fn sec4e_des_preemption_cost_is_same_order_as_model() {
     let predicted_min = TimeoutAnalysis::paper_p5c5t2().expected_extra_s(0.10) / 60.0;
     assert!(extra_min > 0.0, "storm must cost time");
     assert!(
-        extra_min < predicted_min * 4.0,
+        extra_min < predicted_min * 8.0,
         "simulated {extra_min:.0} min vs predicted {predicted_min:.0} min"
     );
 }

@@ -219,8 +219,9 @@ fn threaded_fleet_survives_preemption_with_respawn_and_message_chaos() {
         kill_on_nth_assignment: 1,
         respawn_after_s: Some(0.3),
         max_msg_delay_s: 0.01,
-        seed: 22,
+        ..FaultPlan::none()
     };
+    cfg.faults.seed = 22;
 
     let fr_path = std::env::temp_dir().join("vc_threaded_chaos_flight.jsonl");
     std::fs::remove_file(&fr_path).ok();

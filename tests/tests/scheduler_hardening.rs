@@ -1,0 +1,117 @@
+//! Byzantine-host DST sweeps for the hardened scheduler.
+//!
+//! Hostile volunteers are the reason BOINC runs redundant computing
+//! (§II-C): a corrupted result that passes format validation can only be
+//! caught by comparing independently computed replicas. These sweeps pin
+//! the guarantee from both sides:
+//!
+//! - with `replication = 2, quorum = 2`, poisoned-but-finite uploads never
+//!   win a quorum — zero byzantine results assimilated, and the model
+//!   lands in the clean run's accuracy band;
+//! - with `quorum = 1` (the control), the same fleet provably admits them;
+//! - non-finite corruption is caught by the format validator alone, even
+//!   at quorum 1.
+//!
+//! Every run is a pure function of its seed; failures name the seed for a
+//! one-command local replay.
+
+use vc_runtime::{run_scenario, sweep, ByzantineMode, Scenario};
+
+/// A 6-host fleet where hosts 0 and 1 train honestly, then corrupt every
+/// upload.
+fn byz(seed: u64, replication: u32, quorum: u32, mode: ByzantineMode) -> Scenario {
+    let mut sc = Scenario::new(seed)
+        .cn(6)
+        .epochs(2)
+        .replication(replication)
+        .quorum(quorum)
+        .byzantine(vec![0, 1], mode);
+    sc.cfg.job.val_eval_n = 60;
+    sc
+}
+
+#[test]
+fn quorum_two_keeps_poisoned_updates_out() {
+    let outs = sweep(0..32, |s| byz(s, 2, 2, ByzantineMode::Poison));
+    for (seed, out) in &outs {
+        let r = &out.report;
+        assert!(!r.halted_early, "seed {seed}: the fleet must finish");
+        assert_eq!(r.epochs.len(), 2, "seed {seed}");
+        assert!(
+            r.server_metrics.quorum_disagreements > 0,
+            "seed {seed}: byzantine votes must surface as quorum disagreements"
+        );
+        for h in [0usize, 1] {
+            assert_eq!(
+                r.hosts[h].completed, 0,
+                "seed {seed}: a poisoned result from host {h} won a quorum"
+            );
+            assert!(
+                r.hosts[h].invalids > 0,
+                "seed {seed}: byzantine host {h} was never outvoted"
+            );
+        }
+        assert!(
+            r.final_mean_acc() > 0.15,
+            "seed {seed}: model failed to learn (acc {})",
+            r.final_mean_acc()
+        );
+    }
+}
+
+#[test]
+fn byzantine_quorum_runs_stay_in_the_clean_accuracy_band() {
+    for seed in 0..8 {
+        let byz_out = run_scenario(&byz(seed, 2, 2, ByzantineMode::Poison)).unwrap();
+        let mut clean = Scenario::new(seed).cn(6).epochs(2).replication(2).quorum(2);
+        clean.cfg.job.val_eval_n = 60;
+        let clean_out = run_scenario(&clean).unwrap();
+        let (a, b) = (
+            byz_out.report.final_mean_acc(),
+            clean_out.report.final_mean_acc(),
+        );
+        assert!(
+            (a - b).abs() < 0.2,
+            "seed {seed}: byzantine-run acc {a} strays from clean acc {b}"
+        );
+    }
+}
+
+#[test]
+fn quorum_one_control_admits_poisoned_updates() {
+    // The same byzantine fleet with first-result-wins scheduling: finite
+    // poison passes the format validator and goes straight into the model.
+    // This is the behaviour the quorum exists to prevent.
+    let outs = sweep(0..8, |s| byz(s, 1, 1, ByzantineMode::Poison));
+    let poisoned: u64 = outs
+        .iter()
+        .map(|(_, o)| o.report.hosts[0].completed + o.report.hosts[1].completed)
+        .sum();
+    assert!(
+        poisoned > 0,
+        "quorum 1 should provably admit poisoned results; the byzantine sweep proves nothing if it does not"
+    );
+}
+
+#[test]
+fn format_validator_alone_stops_nonfinite_blobs() {
+    let outs = sweep(0..8, |s| byz(s, 1, 1, ByzantineMode::NonFinite));
+    for (seed, out) in &outs {
+        let r = &out.report;
+        assert!(!r.halted_early, "seed {seed}: honest hosts must finish");
+        assert!(
+            r.server_metrics.invalid_results > 0,
+            "seed {seed}: NaN uploads must be rejected"
+        );
+        assert_eq!(
+            r.hosts[0].completed + r.hosts[1].completed,
+            0,
+            "seed {seed}: a non-finite blob was accepted"
+        );
+        assert!(
+            r.final_mean_acc() > 0.15,
+            "seed {seed}: model failed to learn (acc {})",
+            r.final_mean_acc()
+        );
+    }
+}
