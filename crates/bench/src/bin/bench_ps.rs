@@ -1,0 +1,275 @@
+//! Parameter-service benchmark: what sharding buys on the wire and in the
+//! merge path.
+//!
+//! Three sections, written to `results/BENCH_ps.json`:
+//!
+//! 1. **Fetch** — snapshot-fetch throughput (cold: every shard crosses the
+//!    wire; warm: the sticky cache answers) for shard counts {1, 4, 16} on
+//!    both transports, in-memory and TCP loopback. Same codec, same
+//!    frames; TCP adds real sockets.
+//! 2. **Push** — single-shard push+merge round-trips per second.
+//! 3. **Assimilation** — per-operation latency of `assimilate_strong`
+//!    under 4 concurrent mergers. With one shard every merge serializes on
+//!    one key; with more shards the mergers pipeline through the per-shard
+//!    transactions, which is exactly the contention the paper's
+//!    single-value store suffers (§V). The headline number is p95 at 4
+//!    shards vs 1.
+//!
+//! `--smoke` runs tiny sizes, asserts sanity, writes nothing (CI guard).
+//! `--check` additionally asserts `p95(4 shards) < p95(1 shard)`.
+
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+use vc_asgd::AlphaSchedule;
+use vc_kvstore::{Consistency, VersionedStore};
+use vc_ps::{
+    MemClient, PsClient, PsService, ShardCache, ShardedAssimilator, TcpClient, TcpPsServer,
+};
+
+#[derive(Serialize)]
+struct FetchRow {
+    transport: String,
+    shards: usize,
+    /// Parameter vector bytes (f32 payload, pre-framing).
+    payload_bytes: usize,
+    /// Cold sync (empty cache → all shards travel), MB/s of payload.
+    cold_mb_s: f64,
+    /// Warm sync (cache current → version check only), syncs/s.
+    warm_syncs_per_s: f64,
+    /// Push+merge round-trips per second (one shard per push).
+    pushes_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct AssimRow {
+    shards: usize,
+    threads: usize,
+    ops: usize,
+    /// Per-op `assimilate_strong` latency percentiles, seconds.
+    p50_s: f64,
+    p95_s: f64,
+    max_s: f64,
+}
+
+#[derive(Serialize)]
+struct BenchPs {
+    param_count: usize,
+    fetch: Vec<FetchRow>,
+    assim: Vec<AssimRow>,
+}
+
+fn service(param_count: usize, shards: usize) -> Arc<PsService> {
+    let store = Arc::new(VersionedStore::new());
+    let assim = Arc::new(ShardedAssimilator::new(
+        store,
+        param_count,
+        shards,
+        Consistency::Strong,
+        AlphaSchedule::Const(0.6),
+    ));
+    let params: Vec<f32> = (0..param_count).map(|i| (i % 97) as f32 * 0.01).collect();
+    assim.seed_params(&params);
+    let svc = Arc::new(PsService::new(assim.clone()));
+    svc.publish_snapshot(1, &params, &assim.versions());
+    svc
+}
+
+/// Cold/warm fetch and push rates through `client` against `svc`.
+fn measure_transport(
+    name: &str,
+    svc: &Arc<PsService>,
+    client: &mut dyn PsClient,
+    param_count: usize,
+    shards: usize,
+    iters: usize,
+) -> FetchRow {
+    let manifest: Vec<u64> = svc.assimilator().versions();
+    let layout = *svc.assimilator().layout();
+
+    // Cold: a fresh cache per iteration, every shard crosses the wire.
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let mut cache = ShardCache::new(layout);
+        let p = cache.sync(1, &manifest, client).expect("cold sync");
+        assert_eq!(p.len(), param_count);
+    }
+    let cold_s = t0.elapsed().as_secs_f64() / iters as f64;
+
+    // Warm: one cache kept current — only the manifest comparison runs.
+    let mut cache = ShardCache::new(layout);
+    cache.sync(1, &manifest, client).expect("warm-up sync");
+    let warm_iters = iters * 20;
+    let t0 = Instant::now();
+    for _ in 0..warm_iters {
+        cache.sync(1, &manifest, client).expect("warm sync");
+    }
+    let warm_s = t0.elapsed().as_secs_f64() / warm_iters as f64;
+
+    // Push: merge one (the largest) shard per round-trip.
+    let shard_len = layout.len(0);
+    let part = vec![0.25f32; shard_len];
+    let t0 = Instant::now();
+    for i in 0..iters {
+        client.push(0, i as u64 + 2, &part).expect("push");
+    }
+    let push_s = t0.elapsed().as_secs_f64() / iters as f64;
+
+    let payload_bytes = param_count * 4;
+    FetchRow {
+        transport: name.to_string(),
+        shards,
+        payload_bytes,
+        cold_mb_s: payload_bytes as f64 / 1e6 / cold_s,
+        warm_syncs_per_s: 1.0 / warm_s,
+        pushes_per_s: 1.0 / push_s,
+    }
+}
+
+/// `threads` concurrent workers each running `ops` strong assimilations of
+/// the full vector; returns every per-op latency, pooled. A barrier holds
+/// every thread at the line until all are warmed up, so the measured ops
+/// genuinely contend — without it thread-spawn skew lets the mergers run
+/// one after another and the single-shard case never queues.
+fn assim_latencies(param_count: usize, shards: usize, threads: usize, ops: usize) -> Vec<f64> {
+    let store = Arc::new(VersionedStore::new());
+    let assim = Arc::new(ShardedAssimilator::new(
+        store,
+        param_count,
+        shards,
+        Consistency::Strong,
+        AlphaSchedule::Const(0.6),
+    ));
+    assim.seed_params(&vec![0.0f32; param_count]);
+
+    let start = Arc::new(std::sync::Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let assim = assim.clone();
+            let start = start.clone();
+            std::thread::spawn(move || {
+                let client = vec![(t + 1) as f32 * 0.1; param_count];
+                // Warm-up op outside the measurement.
+                assim.assimilate_strong(&client, 1);
+                start.wait();
+                let mut lat = Vec::with_capacity(ops);
+                for e in 0..ops {
+                    let t0 = Instant::now();
+                    assim.assimilate_strong(&client, e + 1);
+                    lat.push(t0.elapsed().as_secs_f64());
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut all: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("assim thread"))
+        .collect();
+    all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    all
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+
+    let (param_count, fetch_iters, assim_ops) = if smoke {
+        (10_000, 5, 200)
+    } else {
+        (250_000, 40, 400)
+    };
+    let shard_counts = [1usize, 4, 16];
+    let threads = 4;
+
+    let mut fetch = Vec::new();
+    for &shards in &shard_counts {
+        let svc = service(param_count, shards);
+        let mut mem = MemClient::new(svc.clone());
+        fetch.push(measure_transport(
+            "mem",
+            &svc,
+            &mut mem,
+            param_count,
+            shards,
+            fetch_iters,
+        ));
+
+        let svc = service(param_count, shards);
+        let server = TcpPsServer::bind(svc.clone(), shards.min(4)).expect("bind loopback");
+        let mut tcp = TcpClient::connect(server.addrs(), server.groups()).expect("connect");
+        fetch.push(measure_transport(
+            "tcp",
+            &svc,
+            &mut tcp,
+            param_count,
+            shards,
+            fetch_iters,
+        ));
+        drop(tcp);
+        server.shutdown();
+    }
+
+    let mut assim = Vec::new();
+    for &shards in &shard_counts {
+        let lat = assim_latencies(param_count, shards, threads, assim_ops);
+        assim.push(AssimRow {
+            shards,
+            threads,
+            ops: lat.len(),
+            p50_s: percentile(&lat, 0.50),
+            p95_s: percentile(&lat, 0.95),
+            max_s: *lat.last().unwrap(),
+        });
+    }
+
+    for r in &fetch {
+        assert!(
+            r.cold_mb_s.is_finite() && r.cold_mb_s > 0.0,
+            "bad fetch rate: {} x{}",
+            r.transport,
+            r.shards
+        );
+        assert!(r.warm_syncs_per_s > 0.0 && r.pushes_per_s > 0.0);
+        println!(
+            "fetch {:>3} shards={:>2}: cold {:>8.1} MB/s  warm {:>9.0}/s  push {:>8.0}/s",
+            r.transport, r.shards, r.cold_mb_s, r.warm_syncs_per_s, r.pushes_per_s
+        );
+    }
+    for a in &assim {
+        assert!(a.p95_s.is_finite() && a.p95_s > 0.0);
+        println!(
+            "assim shards={:>2} ({} threads): p50 {:.2e}s  p95 {:.2e}s  max {:.2e}s",
+            a.shards, a.threads, a.p50_s, a.p95_s, a.max_s
+        );
+    }
+    if check {
+        let p95_1 = assim.iter().find(|a| a.shards == 1).unwrap().p95_s;
+        let p95_4 = assim.iter().find(|a| a.shards == 4).unwrap().p95_s;
+        assert!(
+            p95_4 < p95_1,
+            "sharded assimilation must cut tail latency: p95@4 {p95_4:.3e}s vs p95@1 {p95_1:.3e}s"
+        );
+        println!("check: p95@4 {p95_4:.3e}s < p95@1 {p95_1:.3e}s ✓");
+    }
+
+    if smoke {
+        println!("smoke OK (nothing written)");
+        return;
+    }
+    let out = BenchPs {
+        param_count,
+        fetch,
+        assim,
+    };
+    vc_bench::write_results(
+        "BENCH_ps.json",
+        &serde_json::to_string_pretty(&out).expect("serialize"),
+    );
+}

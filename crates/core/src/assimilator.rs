@@ -3,7 +3,7 @@
 use crate::alpha::{blend_eq1, AlphaSchedule};
 use std::sync::Arc;
 use vc_kvstore::{Consistency, LatencyModel, VersionedStore};
-use vc_tensor::codec::{decode_f32s, encode_f32s};
+use vc_tensor::codec::{decode_f32s, decode_f32s_into, encode_f32s};
 
 /// Key under which the shared server parameter blob lives in the store.
 pub const PARAMS_KEY: &str = "model/params";
@@ -54,6 +54,16 @@ impl VcAsgdAssimilator {
         let (blob, version) = self.store.get(PARAMS_KEY);
         let params = decode_f32s(&blob).expect("store holds a valid parameter blob");
         (params, version)
+    }
+
+    /// Reads the current server parameters into a caller-owned buffer. The
+    /// store's `get` already hands back a shared view of the blob (no
+    /// copy); with a warm `out` the decode allocates nothing either, so
+    /// repeated reads on the hot fetch path are allocation-free.
+    pub fn read_params_into(&self, out: &mut Vec<f32>) -> u64 {
+        let (blob, version) = self.store.get(PARAMS_KEY);
+        decode_f32s_into(&blob, out).expect("store holds a valid parameter blob");
+        version
     }
 
     /// Eventual-mode assimilation, split to mirror the wire protocol:

@@ -47,6 +47,13 @@ pub struct JobConfig {
     pub data: SyntheticSpec,
     /// Number of data subsets = subtasks per epoch (paper: 50).
     pub shards: usize,
+    /// Parameter-service shards: how many contiguous pieces the flat
+    /// parameter vector is split into, each with its own store key, version
+    /// counter and per-shard VC-ASGD merge (`vc-ps`). 1 reproduces the
+    /// paper's single-value store exactly; the Eq. (1) blend is elementwise,
+    /// so any shard count is bitwise-identical math under sequential
+    /// merges — sharding changes contention and transfer, not results.
+    pub ps_shards: usize,
     /// Parameter servers (`Pn`).
     pub pn: usize,
     /// Clients (`Cn`).
@@ -115,6 +122,7 @@ impl JobConfig {
             model,
             data,
             shards: 50,
+            ps_shards: 1,
             pn: 3,
             cn: 3,
             tn: 4,
@@ -179,6 +187,9 @@ impl JobConfig {
     pub fn validate(&self) -> Result<(), String> {
         if self.shards == 0 || self.pn == 0 || self.cn == 0 || self.tn == 0 {
             return Err("shards, pn, cn and tn must all be positive".into());
+        }
+        if self.ps_shards == 0 {
+            return Err("ps_shards must be positive (1 = unsharded store)".into());
         }
         if self.epochs == 0 {
             return Err("need at least one epoch".into());

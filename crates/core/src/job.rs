@@ -104,6 +104,9 @@ pub struct TrainingJob {
     queue_len_samples: u64,
     assim_queue: Vec<PendingAssim>,
     eval_model: Sequential,
+    /// Reused decode buffer for server-parameter evaluations (the hot
+    /// fetch path stays allocation-free once warm).
+    eval_params: Vec<f32>,
     // Fleet state.
     fleet: Vec<InstanceSpec>,
     generations: Vec<u32>,
@@ -147,6 +150,7 @@ impl TrainingJob {
             net_rng: StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x2545_F491).wrapping_add(11)),
             preempt_rng: StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(13)),
             eval_model: init_model,
+            eval_params: Vec::new(),
             shards,
             val,
             test,
@@ -447,8 +451,8 @@ impl TrainingJob {
         let max = accs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let sm = self.server.metrics();
         let test_acc = if self.cfg.track_test_acc && !self.cfg.timing_only {
-            let (params, _) = self.assim.read_params();
-            self.eval_model.set_params_flat(&params);
+            self.assim.read_params_into(&mut self.eval_params);
+            self.eval_model.set_params_flat(&self.eval_params);
             let (_, t) = evaluate(
                 &mut self.eval_model,
                 &self.test.images,
@@ -594,8 +598,8 @@ impl TrainingJob {
         let (final_val, final_test) = if self.cfg.timing_only {
             (0.0, 0.0)
         } else {
-            let (params, _) = self.assim.read_params();
-            self.eval_model.set_params_flat(&params);
+            self.assim.read_params_into(&mut self.eval_params);
+            self.eval_model.set_params_flat(&self.eval_params);
             let (_, v) = evaluate(
                 &mut self.eval_model,
                 &self.val.images,

@@ -231,6 +231,11 @@ impl VersionedStore {
 
     /// Reads the current value and its version. Version 0 with an empty
     /// value means "never written".
+    ///
+    /// The returned [`Bytes`] shares the stored allocation — the hot fetch
+    /// path hands out a reference-counted view, never a copy of the blob,
+    /// no matter how large the parameter vector is. (Writers install fresh
+    /// buffers, so a held read view is never mutated underneath.)
     pub fn get(&self, key: &str) -> (Bytes, u64) {
         let t0 = self.instruments.as_ref().map(|i| i.tel.now_s());
         self.metrics.reads.fetch_add(1, Ordering::Relaxed);
@@ -556,6 +561,27 @@ mod tests {
         assert!(!s.is_recording());
         s.put("w", Bytes::from_static(b"x"));
         assert!(s.take_history().is_empty());
+    }
+
+    #[test]
+    fn get_returns_shared_bytes_not_a_copy() {
+        // The fetch path must be zero-copy: every `get` of the same value
+        // returns a view over the *same* allocation as the stored blob —
+        // reference-counted sharing, not a per-read clone. Pointer equality
+        // of the backing buffers is the whole claim.
+        let s = VersionedStore::new();
+        let blob = Bytes::from(vec![7u8; 1 << 20]); // 1 MiB parameter blob
+        let stored_ptr = blob.as_ptr();
+        s.put("w", blob);
+        let (a, _) = s.get("w");
+        let (b, _) = s.get("w");
+        assert_eq!(a.as_ptr(), stored_ptr, "get must alias the stored buffer");
+        assert_eq!(b.as_ptr(), stored_ptr, "every read shares one allocation");
+        // A subsequent write installs a new buffer without disturbing the
+        // view a reader still holds.
+        s.put("w", Bytes::from(vec![9u8; 4]));
+        assert_eq!(a[0], 7, "held views are immutable snapshots");
+        assert_ne!(s.get("w").0.as_ptr(), stored_ptr);
     }
 
     #[test]

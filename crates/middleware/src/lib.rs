@@ -34,4 +34,4 @@ pub use validate::{
     AcceptAllValidator, BitwiseComparator, FiniteBlobValidator, ResultComparator,
     ToleranceComparator, ValidationVerdict, Validator,
 };
-pub use workunit::{WorkUnit, WuId, WuPhase};
+pub use workunit::{ShardManifest, WorkUnit, WuId, WuPhase};

@@ -2,7 +2,7 @@
 
 use crate::host::{HostId, HostRecord};
 use crate::validate::{BitwiseComparator, ResultComparator};
-use crate::workunit::{ActiveAssignment, WorkUnit, WuId, WuPhase};
+use crate::workunit::{ActiveAssignment, ShardManifest, WorkUnit, WuId, WuPhase};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use vc_simnet::{InstanceSpec, SimTime};
@@ -299,13 +299,26 @@ impl BoincServer {
         param_version: u64,
         now: SimTime,
     ) -> WuId {
+        self.add_workunit_sharded(epoch, shard_id, ShardManifest::single(param_version), now)
+    }
+
+    /// [`Self::add_workunit`] with a full per-parameter-shard version
+    /// manifest (the sharded parameter service's snapshot fingerprint).
+    pub fn add_workunit_sharded(
+        &mut self,
+        epoch: usize,
+        shard_id: usize,
+        manifest: ShardManifest,
+        now: SimTime,
+    ) -> WuId {
         let id = WuId(self.wus.len() as u64);
         self.wus.push(WuRecord {
             wu: WorkUnit {
                 id,
                 epoch,
                 shard_id,
-                param_version,
+                param_version: manifest.max_version(),
+                param_versions: manifest,
                 created_at: now,
             },
             phase: WuPhase::Unsent,
@@ -320,8 +333,20 @@ impl BoincServer {
 
     /// Enqueues one epoch's worth of subtasks (one per shard).
     pub fn add_epoch(&mut self, epoch: usize, shards: usize, param_version: u64, now: SimTime) {
+        self.add_epoch_sharded(epoch, shards, &ShardManifest::single(param_version), now);
+    }
+
+    /// [`Self::add_epoch`] with a per-parameter-shard version manifest,
+    /// shared by every subtask of the epoch.
+    pub fn add_epoch_sharded(
+        &mut self,
+        epoch: usize,
+        shards: usize,
+        manifest: &ShardManifest,
+        now: SimTime,
+    ) {
         for s in 0..shards {
-            self.add_workunit(epoch, s, param_version, now);
+            self.add_workunit_sharded(epoch, s, manifest.clone(), now);
         }
     }
 

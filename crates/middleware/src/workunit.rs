@@ -14,6 +14,26 @@ impl std::fmt::Display for WuId {
     }
 }
 
+/// Per-parameter-shard versions of the server snapshot a workunit trains
+/// from. Workers use this as the cache key for partial fetches: a shard
+/// whose manifest version they already hold is never re-transferred. With
+/// an unsharded parameter service the manifest is a single entry.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardManifest(pub Vec<u64>);
+
+impl ShardManifest {
+    /// The manifest of an unsharded (single-value) parameter store.
+    pub fn single(version: u64) -> Self {
+        ShardManifest(vec![version])
+    }
+
+    /// The highest shard version — the scalar stand-in where one version
+    /// number is wanted (logs, legacy fields).
+    pub fn max_version(&self) -> u64 {
+        self.0.iter().copied().max().unwrap_or(0)
+    }
+}
+
 /// A training subtask: one data shard trained for one epoch starting from
 /// the server parameter snapshot taken at workunit creation.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -24,8 +44,11 @@ pub struct WorkUnit {
     pub epoch: usize,
     /// Index of the data subset this subtask trains on.
     pub shard_id: usize,
-    /// Version of the server parameter snapshot shipped with the subtask.
+    /// Version of the server parameter snapshot shipped with the subtask
+    /// (the manifest's highest entry).
     pub param_version: u64,
+    /// Per-parameter-shard snapshot versions for partial fetches.
+    pub param_versions: ShardManifest,
     /// Creation time.
     pub created_at: SimTime,
 }

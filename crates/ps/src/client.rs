@@ -1,0 +1,418 @@
+//! Worker-side access to the parameter service.
+//!
+//! [`ShardCache`] is the sticky per-worker cache: it remembers which shard
+//! versions it holds and asks the service only for shards whose manifest
+//! version moved. When nothing moved, [`ShardCache::sync`] returns the
+//! assembled vector without touching the transport — and without a single
+//! heap allocation (`tests/fetch_alloc.rs` pins that down).
+//!
+//! Transports implement [`PsClient`]. [`MemClient`] runs requests through
+//! the full wire codec against an in-process [`PsService`] — the frames are
+//! byte-identical to what a socket would carry, so deterministic sweeps
+//! exercise the real protocol. [`DelayedMemClient`] additionally reorders
+//! response frames through a [`DelayQueue`], proving shard application is
+//! order-independent.
+
+use crate::queue::DelayQueue;
+use crate::service::PsService;
+use crate::wire::{decode_all, FetchReq, FetchSummary, Frame, FrameKind, PushAck, WireError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use vc_kvstore::ShardLayout;
+use vc_tensor::codec::{decode_f32s_into, encode_f32s};
+
+/// Why a parameter-service request failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PsError {
+    /// Bytes failed to parse as frames.
+    Wire(WireError),
+    /// The transport failed (socket error, service gone).
+    Transport(String),
+    /// The service answered with an error frame.
+    Server(String),
+    /// The response did not cover everything the request asked for.
+    ShortResponse(&'static str),
+}
+
+impl std::fmt::Display for PsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PsError::Wire(e) => write!(f, "wire: {e}"),
+            PsError::Transport(e) => write!(f, "transport: {e}"),
+            PsError::Server(e) => write!(f, "server: {e}"),
+            PsError::ShortResponse(what) => write!(f, "short response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PsError {}
+
+impl From<WireError> for PsError {
+    fn from(e: WireError) -> Self {
+        PsError::Wire(e)
+    }
+}
+
+/// A transport to the parameter service.
+pub trait PsClient: Send {
+    /// Fetches the listed `(shard_id, cached_version)` pairs from the
+    /// `epoch` snapshot. Shard frames are appended to `out`; the summary
+    /// is returned.
+    fn fetch(
+        &mut self,
+        epoch: u64,
+        wants: &[(u32, u64)],
+        out: &mut Vec<Frame>,
+    ) -> Result<FetchSummary, PsError>;
+
+    /// Pushes one trained client shard for merging.
+    fn push(&mut self, shard_id: u32, epoch: u64, values: &[f32]) -> Result<PushAck, PsError>;
+}
+
+/// Scans a decoded response for the frames a fetch expects.
+pub(crate) fn collect_fetch_response(
+    frames: Vec<Frame>,
+    out: &mut Vec<Frame>,
+) -> Result<FetchSummary, PsError> {
+    let mut summary = None;
+    for f in frames {
+        match f.kind {
+            FrameKind::Shard => out.push(f),
+            FrameKind::FetchDone => summary = Some(FetchSummary::from_frame(&f)?),
+            FrameKind::Error => {
+                return Err(PsError::Server(
+                    String::from_utf8_lossy(&f.payload).into_owned(),
+                ))
+            }
+            _ => return Err(PsError::ShortResponse("unexpected frame in fetch response")),
+        }
+    }
+    summary.ok_or(PsError::ShortResponse("missing FetchDone"))
+}
+
+/// Scans a decoded response for a push acknowledgement.
+pub(crate) fn collect_push_response(frames: Vec<Frame>) -> Result<PushAck, PsError> {
+    for f in frames {
+        match f.kind {
+            FrameKind::PushAck => return Ok(PushAck::from_frame(&f)?),
+            FrameKind::Error => {
+                return Err(PsError::Server(
+                    String::from_utf8_lossy(&f.payload).into_owned(),
+                ))
+            }
+            _ => {}
+        }
+    }
+    Err(PsError::ShortResponse("missing PushAck"))
+}
+
+/// In-process transport: requests round-trip through the byte-level wire
+/// codec against a shared [`PsService`]. Synchronous and deterministic.
+pub struct MemClient {
+    service: Arc<PsService>,
+    req_bytes: Vec<u8>,
+    resp_bytes: Vec<u8>,
+}
+
+impl MemClient {
+    /// A client of `service`.
+    pub fn new(service: Arc<PsService>) -> Self {
+        MemClient {
+            service,
+            req_bytes: Vec::new(),
+            resp_bytes: Vec::new(),
+        }
+    }
+
+    fn roundtrip(&mut self, req: &Frame) -> Result<Vec<Frame>, PsError> {
+        self.req_bytes.clear();
+        req.encode_into(&mut self.req_bytes);
+        self.resp_bytes.clear();
+        self.service
+            .handle_bytes(&self.req_bytes, &mut self.resp_bytes)?;
+        let mut frames = Vec::new();
+        decode_all(&self.resp_bytes, &mut frames)?;
+        Ok(frames)
+    }
+}
+
+impl PsClient for MemClient {
+    fn fetch(
+        &mut self,
+        epoch: u64,
+        wants: &[(u32, u64)],
+        out: &mut Vec<Frame>,
+    ) -> Result<FetchSummary, PsError> {
+        let req = FetchReq {
+            epoch,
+            wants: wants.to_vec(),
+        }
+        .to_frame();
+        let frames = self.roundtrip(&req)?;
+        collect_fetch_response(frames, out)
+    }
+
+    fn push(&mut self, shard_id: u32, epoch: u64, values: &[f32]) -> Result<PushAck, PsError> {
+        let req = Frame {
+            kind: FrameKind::Push,
+            shard_id,
+            version: epoch,
+            payload: encode_f32s(values),
+        };
+        let frames = self.roundtrip(&req)?;
+        collect_push_response(frames)
+    }
+}
+
+/// [`MemClient`] with a reordering stage: response frames are stamped with
+/// deterministic pseudo-random delivery ticks and released through a
+/// [`DelayQueue`], so shard frames arrive out of order — the single-thread
+/// stand-in for a congested socket.
+pub struct DelayedMemClient {
+    inner: MemClient,
+    rng: StdRng,
+}
+
+impl DelayedMemClient {
+    /// A reordering client with its own deterministic seed.
+    pub fn new(service: Arc<PsService>, seed: u64) -> Self {
+        DelayedMemClient {
+            inner: MemClient::new(service),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn reorder(&mut self, frames: Vec<Frame>) -> Vec<Frame> {
+        let mut queue: DelayQueue<u64, Frame> = DelayQueue::new();
+        let horizon = (frames.len() as u64).max(1) * 4;
+        for f in frames {
+            let tick = self.rng.gen_range(0..horizon);
+            queue.push(tick, f);
+        }
+        let mut out = Vec::with_capacity(queue.len());
+        while let Some(f) = queue.pop_due(horizon) {
+            out.push(f);
+        }
+        out
+    }
+}
+
+impl PsClient for DelayedMemClient {
+    fn fetch(
+        &mut self,
+        epoch: u64,
+        wants: &[(u32, u64)],
+        out: &mut Vec<Frame>,
+    ) -> Result<FetchSummary, PsError> {
+        let req = FetchReq {
+            epoch,
+            wants: wants.to_vec(),
+        }
+        .to_frame();
+        let frames = self.inner.roundtrip(&req)?;
+        let frames = self.reorder(frames);
+        collect_fetch_response(frames, out)
+    }
+
+    fn push(&mut self, shard_id: u32, epoch: u64, values: &[f32]) -> Result<PushAck, PsError> {
+        self.inner.push(shard_id, epoch, values)
+    }
+}
+
+/// A worker's sticky shard cache: versions held, assembled parameters, and
+/// reused buffers for the refresh path.
+pub struct ShardCache {
+    layout: ShardLayout,
+    versions: Vec<u64>,
+    full: Vec<f32>,
+    wants: Vec<(u32, u64)>,
+    frames: Vec<Frame>,
+    scratch: Vec<f32>,
+}
+
+impl ShardCache {
+    /// An empty cache for `layout` (version 0 everywhere — the store's
+    /// versions start at 1, so the first sync fetches every shard).
+    pub fn new(layout: ShardLayout) -> Self {
+        let n = layout.param_count();
+        let shards = layout.shards();
+        ShardCache {
+            layout,
+            versions: vec![0; shards],
+            full: vec![0.0; n],
+            wants: Vec::with_capacity(shards),
+            frames: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The cached shard versions.
+    pub fn versions(&self) -> &[u64] {
+        &self.versions
+    }
+
+    /// The assembled parameter vector as of the last successful sync.
+    pub fn params(&self) -> &[f32] {
+        &self.full
+    }
+
+    /// Brings the cache up to `manifest` for `epoch` and returns the
+    /// assembled vector. A full cache hit performs no transport call and
+    /// no allocation; otherwise the fetch request lists *every* shard with
+    /// its cached version and the service ships back only the stale ones
+    /// (counting the rest as cache hits).
+    pub fn sync(
+        &mut self,
+        epoch: u64,
+        manifest: &[u64],
+        client: &mut dyn PsClient,
+    ) -> Result<&[f32], PsError> {
+        assert_eq!(manifest.len(), self.layout.shards(), "manifest length");
+        if self.versions == manifest {
+            return Ok(&self.full);
+        }
+        self.wants.clear();
+        for (i, &have) in self.versions.iter().enumerate() {
+            self.wants.push((i as u32, have));
+        }
+        self.frames.clear();
+        let mut frames = std::mem::take(&mut self.frames);
+        let result = client.fetch(epoch, &self.wants, &mut frames);
+        let summary = match result {
+            Ok(s) => s,
+            Err(e) => {
+                self.frames = frames;
+                return Err(e);
+            }
+        };
+        let mut applied = 0usize;
+        for f in &frames {
+            let i = f.shard_id as usize;
+            if i >= self.layout.shards() {
+                self.frames = frames;
+                return Err(PsError::ShortResponse("shard id out of range"));
+            }
+            let range = self.layout.range(i);
+            if decode_f32s_into(&f.payload, &mut self.scratch).is_err()
+                || self.scratch.len() != range.len()
+            {
+                self.frames = frames;
+                return Err(PsError::ShortResponse("shard blob malformed"));
+            }
+            self.full[range].copy_from_slice(&self.scratch);
+            self.versions[i] = f.version;
+            applied += 1;
+        }
+        self.frames = frames;
+        if applied != summary.sent as usize {
+            return Err(PsError::ShortResponse("shard count != summary"));
+        }
+        // Every wanted shard must now match the manifest; a skipped shard
+        // we did not hold is a protocol violation.
+        for (i, &want) in manifest.iter().enumerate() {
+            if self.versions[i] != want {
+                return Err(PsError::ShortResponse("wanted shard not delivered"));
+            }
+        }
+        Ok(&self.full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::ShardedAssimilator;
+    use vc_asgd::AlphaSchedule;
+    use vc_kvstore::{Consistency, VersionedStore};
+
+    fn setup(n: usize, p: usize) -> (Arc<PsService>, Vec<f32>, Vec<u64>) {
+        let assim = Arc::new(ShardedAssimilator::new(
+            Arc::new(VersionedStore::new()),
+            n,
+            p,
+            Consistency::Eventual,
+            AlphaSchedule::Const(0.5),
+        ));
+        let params: Vec<f32> = (0..n).map(|i| (i as f32) * 0.25).collect();
+        assim.seed_params(&params);
+        let svc = Arc::new(PsService::new(assim));
+        let (full, manifest) = svc.assimilator().read_params();
+        svc.publish_snapshot(1, &full, &manifest);
+        (svc, full, manifest)
+    }
+
+    #[test]
+    fn cold_sync_fetches_everything() {
+        let (svc, want, manifest) = setup(20, 4);
+        let mut client = MemClient::new(svc.clone());
+        let mut cache = ShardCache::new(*svc.assimilator().layout());
+        let got = cache.sync(1, &manifest, &mut client).unwrap();
+        assert_eq!(got, &want[..]);
+        assert_eq!(svc.ops().shards_sent, 4);
+    }
+
+    #[test]
+    fn warm_sync_is_a_cache_hit() {
+        let (svc, want, manifest) = setup(20, 4);
+        let mut client = MemClient::new(svc.clone());
+        let mut cache = ShardCache::new(*svc.assimilator().layout());
+        cache.sync(1, &manifest, &mut client).unwrap();
+        let fetches_before = svc.ops().fetches;
+        let got = cache.sync(1, &manifest, &mut client).unwrap();
+        assert_eq!(got, &want[..]);
+        assert_eq!(svc.ops().fetches, fetches_before, "no transport call");
+    }
+
+    #[test]
+    fn partial_sync_fetches_only_moved_shards() {
+        let (svc, _, manifest) = setup(20, 4);
+        let mut client = MemClient::new(svc.clone());
+        let mut cache = ShardCache::new(*svc.assimilator().layout());
+        cache.sync(1, &manifest, &mut client).unwrap();
+        // One shard merges: its version moves; republish as epoch 2.
+        let part = vec![5.0; svc.assimilator().layout().len(2)];
+        svc.assimilator().merge_shard(2, &part, 1);
+        let (full, manifest2) = svc.assimilator().read_params();
+        svc.publish_snapshot(2, &full, &manifest2);
+        let before = svc.ops();
+        let got = cache.sync(2, &manifest2, &mut client).unwrap();
+        assert_eq!(got, &full[..]);
+        let after = svc.ops();
+        assert_eq!(after.shards_sent - before.shards_sent, 1);
+        assert_eq!(after.cache_hits - before.cache_hits, 3);
+    }
+
+    #[test]
+    fn reordered_shard_frames_assemble_identically() {
+        let (svc, want, manifest) = setup(40, 8);
+        let mut direct = MemClient::new(svc.clone());
+        let mut c1 = ShardCache::new(*svc.assimilator().layout());
+        let a = c1.sync(1, &manifest, &mut direct).unwrap().to_vec();
+        let mut reordering = DelayedMemClient::new(svc.clone(), 0xDEAD);
+        let mut c2 = ShardCache::new(*svc.assimilator().layout());
+        let b = c2.sync(1, &manifest, &mut reordering).unwrap().to_vec();
+        assert_eq!(a, want);
+        assert_eq!(b, want, "frame order must not matter");
+        assert_eq!(c1.versions(), c2.versions());
+    }
+
+    #[test]
+    fn server_error_surfaces_as_ps_error() {
+        let (svc, _, manifest) = setup(10, 2);
+        let mut client = MemClient::new(svc.clone());
+        let mut cache = ShardCache::new(*svc.assimilator().layout());
+        let err = cache.sync(42, &manifest, &mut client).unwrap_err();
+        assert!(matches!(err, PsError::Server(_)), "{err:?}");
+    }
+
+    #[test]
+    fn push_through_mem_client_merges() {
+        let (svc, _, _) = setup(10, 2);
+        let mut client = MemClient::new(svc.clone());
+        let n0 = svc.assimilator().layout().len(0);
+        let ack = client.push(0, 1, &vec![8.0; n0]).unwrap();
+        assert_eq!(ack.new_version, 2);
+        assert_eq!(svc.ops().pushes, 1);
+    }
+}

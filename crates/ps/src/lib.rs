@@ -1,0 +1,39 @@
+//! # vc-ps — the sharded parameter service
+//!
+//! The paper stores "all the parameters of a model as a single value" in
+//! one database key, so every assimilation serializes on one row and every
+//! fetch ships the full 21.2 MB file. This crate splits the flat parameter
+//! vector into `P` contiguous shards — each its own store key, version
+//! counter, and per-shard VC-ASGD merge — behind a length-prefixed binary
+//! wire protocol with two interchangeable transports:
+//!
+//! * **TCP** ([`TcpPsServer`]/[`TcpClient`]): blocking sockets on loopback,
+//!   one listener per shard group.
+//! * **In-memory** ([`MemClient`]): the same bytes through the same codec
+//!   against an in-process service, synchronous, so deterministic
+//!   simulation sweeps stay single-threaded and byte-identical.
+//!
+//! Because the Eq. (1) blend is elementwise, sharding never changes the
+//! math: `P = 1` reproduces the single-value store *exactly* (same key,
+//! same operation sequence), and any `P` produces bitwise-identical
+//! parameters under the same merge order. What sharding changes is
+//! contention — concurrent mergers pipeline through shards instead of
+//! serializing on one row — and wire traffic: workers cache shards by
+//! version ([`ShardCache`]) and fetch only what moved.
+
+pub mod client;
+pub mod merge;
+pub mod queue;
+pub mod service;
+pub mod tcp;
+pub mod wire;
+
+pub use client::{DelayedMemClient, MemClient, PsClient, PsError, ShardCache};
+pub use merge::{shard_key, ShardSnapshot, ShardedAssimilator, PS_MERGE_S, PS_SHARD_SKEW_VERSIONS};
+pub use queue::DelayQueue;
+pub use service::{PsOps, PsService};
+pub use tcp::{ShardGroups, TcpClient, TcpPsServer};
+pub use wire::{
+    crc32, error_frame, Crc32, FetchReq, FetchSummary, Frame, FrameKind, FrameReadError, PushAck,
+    WireError, HEADER_LEN, MAX_PAYLOAD,
+};

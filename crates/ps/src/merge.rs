@@ -1,0 +1,437 @@
+//! Per-shard VC-ASGD merging over the versioned store.
+//!
+//! The Eq. (1) blend `W_s ← α·W_s + (1−α)·W_c` is elementwise, so
+//! splitting the flat parameter vector into contiguous shards — each its
+//! own store key with its own version counter — changes *contention and
+//! transfer granularity*, never the math: merging shard by shard in order
+//! is bitwise-identical to merging the whole vector at once. With one
+//! shard this type performs exactly the same store operations on exactly
+//! the same key as the unsharded `vc_asgd::VcAsgdAssimilator`, which is
+//! what keeps single-shard runs byte-identical to the historical
+//! trajectories.
+
+use crate::wire::PushAck;
+use std::sync::Arc;
+use vc_asgd::alpha::{blend_eq1, AlphaSchedule};
+use vc_asgd::assimilator::PARAMS_KEY;
+use vc_kvstore::{Consistency, ShardLayout, VersionedStore};
+use vc_telemetry::{Histogram, Telemetry};
+use vc_tensor::codec::{decode_f32s, decode_f32s_into, encode_f32s};
+
+/// Histogram: wall (or virtual) seconds per single-shard merge.
+pub const PS_MERGE_S: &str = "ps_merge_s";
+/// Histogram: version spread `max-min` across shard versions at each full
+/// parameter read — how far the shards have drifted apart.
+pub const PS_SHARD_SKEW_VERSIONS: &str = "ps_shard_skew_versions";
+
+/// The key a shard's blob lives under. One shard collapses to the
+/// unsharded key so existing histories and checkpoints line up.
+pub fn shard_key(shards: usize, i: usize) -> String {
+    if shards == 1 {
+        PARAMS_KEY.to_string()
+    } else {
+        format!("{PARAMS_KEY}/s{i}")
+    }
+}
+
+/// An eventual-mode snapshot taken at assimilation start: each shard's
+/// stale copy and the version it was read at.
+pub struct ShardSnapshot {
+    parts: Vec<Vec<f32>>,
+    versions: Vec<u64>,
+}
+
+impl ShardSnapshot {
+    /// Versions the shards were read at.
+    pub fn versions(&self) -> &[u64] {
+        &self.versions
+    }
+}
+
+/// A parameter-server assimilation pipeline over `P` shards.
+pub struct ShardedAssimilator {
+    store: Arc<VersionedStore>,
+    layout: ShardLayout,
+    keys: Vec<String>,
+    mode: Consistency,
+    schedule: AlphaSchedule,
+    instruments: Option<Instruments>,
+}
+
+struct Instruments {
+    tel: Telemetry,
+    merge_s: Arc<Histogram>,
+    skew: Arc<Histogram>,
+}
+
+impl ShardedAssimilator {
+    /// Builds the pipeline: `ps_shards` near-equal contiguous shards over a
+    /// `param_count`-element vector, stored in `store`.
+    pub fn new(
+        store: Arc<VersionedStore>,
+        param_count: usize,
+        ps_shards: usize,
+        mode: Consistency,
+        schedule: AlphaSchedule,
+    ) -> Self {
+        let layout = ShardLayout::new(param_count, ps_shards);
+        let keys = (0..layout.shards())
+            .map(|i| shard_key(layout.shards(), i))
+            .collect();
+        ShardedAssimilator {
+            store,
+            layout,
+            keys,
+            mode,
+            schedule,
+            instruments: None,
+        }
+    }
+
+    /// Attaches per-shard merge telemetry.
+    pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
+        let reg = tel.registry();
+        self.instruments = Some(Instruments {
+            tel: tel.clone(),
+            merge_s: reg.histogram(PS_MERGE_S),
+            skew: reg.histogram_with(PS_SHARD_SKEW_VERSIONS, Histogram::version_bounds),
+        });
+        self
+    }
+
+    /// The shard layout.
+    pub fn layout(&self) -> &ShardLayout {
+        &self.layout
+    }
+
+    /// The store key of shard `i`.
+    pub fn key(&self, i: usize) -> &str {
+        &self.keys[i]
+    }
+
+    /// The consistency mode in use.
+    pub fn mode(&self) -> Consistency {
+        self.mode
+    }
+
+    /// The configured α schedule.
+    pub fn schedule(&self) -> AlphaSchedule {
+        self.schedule
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<VersionedStore> {
+        &self.store
+    }
+
+    /// Seeds every shard from the initial parameter vector (version 1).
+    pub fn seed_params(&self, params: &[f32]) {
+        assert_eq!(params.len(), self.layout.param_count(), "seed length");
+        for (i, range) in self.layout.iter() {
+            self.store.put(&self.keys[i], encode_f32s(&params[range]));
+        }
+    }
+
+    /// Current version of every shard (no read is recorded).
+    pub fn versions(&self) -> Vec<u64> {
+        self.keys.iter().map(|k| self.store.version(k)).collect()
+    }
+
+    /// Reads the full parameter vector and the per-shard version manifest.
+    pub fn read_params(&self) -> (Vec<f32>, Vec<u64>) {
+        let mut params = Vec::new();
+        let mut manifest = Vec::new();
+        self.read_params_into(&mut params, &mut manifest);
+        (params, manifest)
+    }
+
+    /// [`Self::read_params`] into caller-owned buffers: with warm buffers
+    /// the hot fetch path allocates nothing (the store hands back shared
+    /// blob views, the decode reuses `params`).
+    pub fn read_params_into(&self, params: &mut Vec<f32>, manifest: &mut Vec<u64>) {
+        params.clear();
+        params.reserve(self.layout.param_count());
+        manifest.clear();
+        let mut scratch = Vec::new();
+        for (i, range) in self.layout.iter() {
+            let (blob, version) = self.store.get(&self.keys[i]);
+            decode_f32s_into(&blob, &mut scratch).expect("store holds a valid shard blob");
+            assert_eq!(scratch.len(), range.len(), "shard {i} length drifted");
+            params.extend_from_slice(&scratch);
+            manifest.push(version);
+        }
+        if let Some(ins) = &self.instruments {
+            let min = manifest.iter().copied().min().unwrap_or(0);
+            let max = manifest.iter().copied().max().unwrap_or(0);
+            ins.skew.observe((max - min) as f64);
+        }
+    }
+
+    /// Eventual-mode assimilation start: snapshots every shard (the stale
+    /// read whose age decides what gets clobbered at commit).
+    pub fn begin_eventual(&self) -> ShardSnapshot {
+        let mut parts = Vec::with_capacity(self.layout.shards());
+        let mut versions = Vec::with_capacity(self.layout.shards());
+        for i in 0..self.layout.shards() {
+            let (blob, version) = self.store.get(&self.keys[i]);
+            parts.push(decode_f32s(&blob).expect("store holds a valid shard blob"));
+            versions.push(version);
+        }
+        ShardSnapshot { parts, versions }
+    }
+
+    /// Eventual-mode assimilation end: shard by shard, blends the client
+    /// copy into the snapshot and writes it back last-write-wins. Returns
+    /// the updated full vector and the total clobbered-update count.
+    pub fn commit_eventual(
+        &self,
+        mut snapshot: ShardSnapshot,
+        client: &[f32],
+        epoch: usize,
+    ) -> (Vec<f32>, u64) {
+        assert_eq!(client.len(), self.layout.param_count(), "client length");
+        let alpha = self.schedule.alpha(epoch);
+        let mut clobbered = 0;
+        let mut full = Vec::with_capacity(self.layout.param_count());
+        for (i, range) in self.layout.iter() {
+            let t0 = self.instruments.as_ref().map(|ins| ins.tel.now_s());
+            let part = &mut snapshot.parts[i];
+            blend_eq1(part, &client[range], alpha);
+            let out =
+                self.store
+                    .put_versioned(&self.keys[i], snapshot.versions[i], encode_f32s(part));
+            clobbered += out.clobbered;
+            full.extend_from_slice(part);
+            if let (Some(ins), Some(t0)) = (&self.instruments, t0) {
+                ins.merge_s.observe(ins.tel.now_s() - t0);
+            }
+        }
+        (full, clobbered)
+    }
+
+    /// Strong-mode assimilation: one serialized read-blend-write
+    /// transaction *per shard*, in shard order. Under concurrency this
+    /// pipelines — while one merger transacts shard `i+1`, the next can
+    /// already be in shard `i` — which is where sharding buys its latency.
+    /// Returns the post-update full vector.
+    pub fn assimilate_strong(&self, client: &[f32], epoch: usize) -> Vec<f32> {
+        assert_eq!(client.len(), self.layout.param_count(), "client length");
+        let alpha = self.schedule.alpha(epoch);
+        let mut full = Vec::with_capacity(self.layout.param_count());
+        for (i, range) in self.layout.iter() {
+            let t0 = self.instruments.as_ref().map(|ins| ins.tel.now_s());
+            let client_part = &client[range];
+            let (_, updated) = self.store.transact(&self.keys[i], |blob, _v| {
+                let mut part = decode_f32s(blob).expect("store holds a valid shard blob");
+                blend_eq1(&mut part, client_part, alpha);
+                (encode_f32s(&part), part)
+            });
+            full.extend_from_slice(&updated);
+            if let (Some(ins), Some(t0)) = (&self.instruments, t0) {
+                ins.merge_s.observe(ins.tel.now_s() - t0);
+            }
+        }
+        full
+    }
+
+    /// Merges a single client shard, independent of the others — the live
+    /// path behind a wire [`crate::wire::FrameKind::Push`]. Uses the
+    /// configured consistency mode for just that shard.
+    pub fn merge_shard(&self, shard_id: usize, client_part: &[f32], epoch: usize) -> PushAck {
+        assert_eq!(client_part.len(), self.layout.len(shard_id), "shard length");
+        let alpha = self.schedule.alpha(epoch);
+        let t0 = self.instruments.as_ref().map(|ins| ins.tel.now_s());
+        let ack = match self.mode {
+            Consistency::Strong => {
+                let (new_version, _) = self.store.transact(&self.keys[shard_id], |blob, _v| {
+                    let mut part = decode_f32s(blob).expect("store holds a valid shard blob");
+                    blend_eq1(&mut part, client_part, alpha);
+                    (encode_f32s(&part), ())
+                });
+                PushAck {
+                    new_version,
+                    clobbered: 0,
+                }
+            }
+            Consistency::Eventual => {
+                let (blob, read_version) = self.store.get(&self.keys[shard_id]);
+                let mut part = decode_f32s(&blob).expect("store holds a valid shard blob");
+                blend_eq1(&mut part, client_part, alpha);
+                let out = self.store.put_versioned(
+                    &self.keys[shard_id],
+                    read_version,
+                    encode_f32s(&part),
+                );
+                PushAck {
+                    new_version: out.new_version,
+                    clobbered: out.clobbered,
+                }
+            }
+        };
+        if let (Some(ins), Some(t0)) = (&self.instruments, t0) {
+            ins.merge_s.observe(ins.tel.now_s() - t0);
+        }
+        ack
+    }
+
+    /// Lost updates recorded so far by the shared store.
+    pub fn lost_updates(&self) -> u64 {
+        self.store.metrics().snapshot().lost_updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_asgd::VcAsgdAssimilator;
+
+    fn vec_of(n: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+        (0..n).map(f).collect()
+    }
+
+    fn sharded(n: usize, p: usize, mode: Consistency) -> ShardedAssimilator {
+        ShardedAssimilator::new(
+            Arc::new(VersionedStore::new()),
+            n,
+            p,
+            mode,
+            AlphaSchedule::Const(0.7),
+        )
+    }
+
+    #[test]
+    fn one_shard_uses_the_legacy_key_and_op_sequence() {
+        let store = VersionedStore::shared_recording();
+        let a = ShardedAssimilator::new(
+            store.clone(),
+            4,
+            1,
+            Consistency::Eventual,
+            AlphaSchedule::Const(0.5),
+        );
+        assert_eq!(a.key(0), PARAMS_KEY);
+        a.seed_params(&[0.0; 4]);
+        let snap = a.begin_eventual();
+        a.commit_eventual(snap, &[1.0; 4], 1);
+        let history = store.take_history();
+        // Exactly Put, Get, PutVersioned on the one legacy key — the same
+        // ops the unsharded assimilator performs.
+        assert_eq!(history.len(), 3);
+        assert!(history.iter().all(|e| e.key == PARAMS_KEY));
+    }
+
+    #[test]
+    fn sharded_strong_matches_unsharded_bitwise() {
+        let n = 103;
+        let w0 = vec_of(n, |i| (i as f32).sin());
+        let clients: Vec<Vec<f32>> = (0..4)
+            .map(|c| vec_of(n, |i| ((i + c * 31) as f32).cos()))
+            .collect();
+        let reference = VcAsgdAssimilator::new(
+            Arc::new(VersionedStore::new()),
+            Consistency::Strong,
+            AlphaSchedule::Const(0.7),
+        );
+        reference.seed_params(&w0);
+        let mut want = Vec::new();
+        for c in &clients {
+            want = reference.assimilate_strong(c, 1);
+        }
+        for p in [1, 4, 16] {
+            let a = sharded(n, p, Consistency::Strong);
+            a.seed_params(&w0);
+            let mut got = Vec::new();
+            for c in &clients {
+                got = a.assimilate_strong(c, 1);
+            }
+            let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+            let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got_bits, want_bits, "{p} shards must be bitwise identical");
+        }
+    }
+
+    #[test]
+    fn sharded_eventual_matches_unsharded_bitwise() {
+        let n = 64;
+        let w0 = vec_of(n, |i| i as f32 * 0.1);
+        let c1 = vec_of(n, |i| -(i as f32));
+        let c2 = vec_of(n, |i| (i as f32) * 2.0);
+        let reference = VcAsgdAssimilator::new(
+            Arc::new(VersionedStore::new()),
+            Consistency::Eventual,
+            AlphaSchedule::Const(0.7),
+        );
+        reference.seed_params(&w0);
+        // Two overlapping assimilations: both read the seed.
+        let (s1, v1) = reference.begin_eventual();
+        let (s2, v2) = reference.begin_eventual();
+        reference.commit_eventual(s1, v1, &c1, 1);
+        let (want, want_clobbered) = reference.commit_eventual(s2, v2, &c2, 1);
+        assert_eq!(want_clobbered, 1);
+
+        let a = sharded(n, 4, Consistency::Eventual);
+        a.seed_params(&w0);
+        let s1 = a.begin_eventual();
+        let s2 = a.begin_eventual();
+        a.commit_eventual(s1, &c1, 1);
+        let (got, got_clobbered) = a.commit_eventual(s2, &c2, 1);
+        // Each of the 4 shards clobbers one concurrent update.
+        assert_eq!(got_clobbered, 4);
+        let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+        let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got_bits, want_bits);
+    }
+
+    #[test]
+    fn read_params_reassembles_and_reports_manifest() {
+        let n = 10;
+        let a = sharded(n, 3, Consistency::Strong);
+        let w0 = vec_of(n, |i| i as f32);
+        a.seed_params(&w0);
+        let (params, manifest) = a.read_params();
+        assert_eq!(params, w0);
+        assert_eq!(manifest, vec![1, 1, 1]);
+        // Touch only shard 1: its version moves, the others stay.
+        let part = vec![9.0; a.layout().len(1)];
+        a.merge_shard(1, &part, 1);
+        assert_eq!(a.versions(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn merge_shard_updates_only_its_range() {
+        let n = 9;
+        let a = sharded(n, 3, Consistency::Eventual);
+        a.seed_params(&vec![0.0; n]);
+        let range = a.layout().range(2);
+        let part = vec![10.0; range.len()];
+        let ack = a.merge_shard(2, &part, 1);
+        assert_eq!(ack.clobbered, 0);
+        let (params, _) = a.read_params();
+        for (i, v) in params.iter().enumerate() {
+            if range.contains(&i) {
+                assert!((v - 3.0).abs() < 1e-6, "alpha 0.7: 0.7*0 + 0.3*10");
+            } else {
+                assert_eq!(*v, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_counts_per_shard_merges() {
+        let tel = Telemetry::silent();
+        let a = ShardedAssimilator::new(
+            Arc::new(VersionedStore::new()),
+            16,
+            4,
+            Consistency::Strong,
+            AlphaSchedule::Const(0.5),
+        )
+        .with_telemetry(&tel);
+        a.seed_params(&[0.0; 16]);
+        a.assimilate_strong(&[1.0; 16], 1);
+        a.read_params();
+        let snap = tel.registry().snapshot();
+        assert_eq!(snap.histogram(PS_MERGE_S).unwrap().count, 4);
+        assert_eq!(snap.histogram(PS_SHARD_SKEW_VERSIONS).unwrap().count, 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! A delivery-time-ordered message queue.
+//!
+//! The reordering core shared by every delayed transport in the workspace:
+//! the runtime's worker→coordinator delay line drives it with wall-clock
+//! `Instant`s, the deterministic simulation with virtual-time stamps, and
+//! the parameter service's delayed in-memory transport with logical ticks.
+//! One reordering semantics, three substrates.
+
+use std::collections::BinaryHeap;
+
+/// Heap entry ordered by delivery instant (earliest first under the
+/// reversed [`Ord`]), with an arrival sequence number breaking exact ties
+/// FIFO.
+struct Pending<T, M> {
+    at: T,
+    seq: u64,
+    msg: M,
+}
+
+impl<T: Ord, M> PartialEq for Pending<T, M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T: Ord, M> Eq for Pending<T, M> {}
+impl<T: Ord, M> PartialOrd for Pending<T, M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: Ord, M> Ord for Pending<T, M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (&other.at, other.seq).cmp(&(&self.at, self.seq))
+    }
+}
+
+/// A min-heap of messages keyed by delivery time. Messages with different
+/// stamps overtake each other; equal stamps release FIFO.
+pub struct DelayQueue<T, M> {
+    heap: BinaryHeap<Pending<T, M>>,
+    seq: u64,
+}
+
+impl<T: Ord + Copy, M> DelayQueue<T, M> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        DelayQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Holds `msg` for delivery at `at`.
+    pub fn push(&mut self, at: T, msg: M) {
+        self.heap.push(Pending {
+            at,
+            seq: self.seq,
+            msg,
+        });
+        self.seq += 1;
+    }
+
+    /// The earliest pending delivery time.
+    pub fn next_due(&self) -> Option<T> {
+        self.heap.peek().map(|p| p.at)
+    }
+
+    /// Releases the earliest message if its delivery time has passed
+    /// (`at <= now`). Call in a loop to drain everything due.
+    pub fn pop_due(&mut self, now: T) -> Option<M> {
+        if self.heap.peek().is_some_and(|p| p.at <= now) {
+            Some(self.heap.pop().expect("peeked").msg)
+        } else {
+            None
+        }
+    }
+
+    /// Number of held messages.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T: Ord + Copy, M> Default for DelayQueue<T, M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn releases_in_delivery_order_fifo_on_ties() {
+        let mut q: DelayQueue<u64, &str> = DelayQueue::new();
+        q.push(30, "c");
+        q.push(10, "a1");
+        q.push(10, "a2");
+        q.push(20, "b");
+        assert_eq!(q.next_due(), Some(10));
+        assert_eq!(q.pop_due(5), None, "nothing due yet");
+        assert_eq!(q.pop_due(25), Some("a1"), "ties release FIFO");
+        assert_eq!(q.pop_due(25), Some("a2"));
+        assert_eq!(q.pop_due(25), Some("b"));
+        assert_eq!(q.pop_due(25), None, "30 not due at 25");
+        assert_eq!(q.pop_due(30), Some("c"));
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,418 @@
+//! The parameter service: one request handler shared by every transport.
+//!
+//! [`PsService::handle`] maps a request frame to its response frames;
+//! [`PsService::handle_bytes`] runs the same logic through the full wire
+//! codec. The TCP server and the in-memory transport both call into here,
+//! so a sweep under the in-memory transport exercises byte-identical
+//! frames to a real socket run.
+//!
+//! Fetches are served from *epoch snapshots*: at each epoch boundary the
+//! coordinator publishes the assembled parameter vector with its per-shard
+//! version manifest, and workers fetch against that epoch. A worker that
+//! already caches a shard at the manifest version gets it skipped — the
+//! partial-fetch path that makes sharding pay off on the wire. Pushes go
+//! straight to the live per-shard merge.
+
+use crate::merge::ShardedAssimilator;
+use crate::wire::{decode_all, error_frame, FetchReq, FetchSummary, Frame, FrameKind, WireError};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use vc_tensor::codec::{decode_f32s, encode_f32s};
+
+/// Counter names for the service's wire accounting.
+pub const PS_BYTES_RX: &str = "ps_bytes_rx";
+/// Counter: response bytes the service produced.
+pub const PS_BYTES_TX: &str = "ps_bytes_tx";
+
+/// One epoch's published parameters, pre-encoded per shard.
+struct EpochSnapshot {
+    manifest: Vec<u64>,
+    blobs: Vec<Bytes>,
+}
+
+/// Monotonic counters describing the service's traffic. All counts are
+/// deterministic functions of the request stream, so DST reports can
+/// assert on them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PsOps {
+    /// Fetch requests served.
+    pub fetches: u64,
+    /// Shard blobs actually sent.
+    pub shards_sent: u64,
+    /// Shards skipped because the worker's cache was current.
+    pub cache_hits: u64,
+    /// Push merges performed.
+    pub pushes: u64,
+    /// Request bytes received (frame-encoded size).
+    pub bytes_rx: u64,
+    /// Response bytes sent (frame-encoded size).
+    pub bytes_tx: u64,
+}
+
+#[derive(Default)]
+struct Metrics {
+    fetches: AtomicU64,
+    shards_sent: AtomicU64,
+    cache_hits: AtomicU64,
+    pushes: AtomicU64,
+    bytes_rx: AtomicU64,
+    bytes_tx: AtomicU64,
+}
+
+/// The sharded parameter service.
+pub struct PsService {
+    assim: Arc<ShardedAssimilator>,
+    snapshots: RwLock<HashMap<u64, EpochSnapshot>>,
+    metrics: Metrics,
+}
+
+impl PsService {
+    /// Wraps an assimilator as a frame-serving service.
+    pub fn new(assim: Arc<ShardedAssimilator>) -> Self {
+        PsService {
+            assim,
+            snapshots: RwLock::new(HashMap::new()),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// The merge pipeline behind this service.
+    pub fn assimilator(&self) -> &Arc<ShardedAssimilator> {
+        &self.assim
+    }
+
+    /// Publishes `params` as the snapshot workers fetch for `epoch`.
+    /// `manifest` carries each shard's store version at publish time.
+    pub fn publish_snapshot(&self, epoch: u64, params: &[f32], manifest: &[u64]) {
+        let layout = self.assim.layout();
+        assert_eq!(params.len(), layout.param_count(), "snapshot length");
+        assert_eq!(manifest.len(), layout.shards(), "manifest length");
+        let blobs = layout
+            .iter()
+            .map(|(_, range)| encode_f32s(&params[range]))
+            .collect();
+        self.snapshots.write().insert(
+            epoch,
+            EpochSnapshot {
+                manifest: manifest.to_vec(),
+                blobs,
+            },
+        );
+    }
+
+    /// Drops snapshots older than `keep_from` (epochs are monotonic; the
+    /// coordinator retires snapshots its checkpoints no longer need).
+    pub fn retire_snapshots_before(&self, keep_from: u64) {
+        self.snapshots.write().retain(|&e, _| e >= keep_from);
+    }
+
+    /// Reassembles the full parameter vector of a published epoch
+    /// snapshot, if still retained.
+    pub fn snapshot_params(&self, epoch: u64) -> Option<Vec<f32>> {
+        let snaps = self.snapshots.read();
+        let snap = snaps.get(&epoch)?;
+        let mut full = Vec::with_capacity(self.assim.layout().param_count());
+        for blob in &snap.blobs {
+            let part = decode_f32s(blob).expect("snapshot blobs are valid");
+            full.extend_from_slice(&part);
+        }
+        Some(full)
+    }
+
+    /// Traffic counters so far.
+    pub fn ops(&self) -> PsOps {
+        PsOps {
+            fetches: self.metrics.fetches.load(Ordering::Relaxed),
+            shards_sent: self.metrics.shards_sent.load(Ordering::Relaxed),
+            cache_hits: self.metrics.cache_hits.load(Ordering::Relaxed),
+            pushes: self.metrics.pushes.load(Ordering::Relaxed),
+            bytes_rx: self.metrics.bytes_rx.load(Ordering::Relaxed),
+            bytes_tx: self.metrics.bytes_tx.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Handles one request frame, appending response frames to `out`.
+    /// Protocol-level failures become [`FrameKind::Error`] frames rather
+    /// than errors — the connection survives a bad request.
+    pub fn handle(&self, req: &Frame, out: &mut Vec<Frame>) {
+        let before = out.len();
+        self.metrics
+            .bytes_rx
+            .fetch_add(req.encoded_len() as u64, Ordering::Relaxed);
+        match req.kind {
+            FrameKind::Fetch => self.handle_fetch(req, out),
+            FrameKind::Push => self.handle_push(req, out),
+            _ => out.push(error_frame("unexpected frame kind")),
+        }
+        let tx: usize = out[before..].iter().map(|f| f.encoded_len()).sum();
+        self.metrics
+            .bytes_tx
+            .fetch_add(tx as u64, Ordering::Relaxed);
+    }
+
+    fn handle_fetch(&self, req: &Frame, out: &mut Vec<Frame>) {
+        let fetch = match FetchReq::from_frame(req) {
+            Ok(f) => f,
+            Err(e) => {
+                out.push(error_frame(&format!("bad fetch: {e}")));
+                return;
+            }
+        };
+        let snaps = self.snapshots.read();
+        let Some(snap) = snaps.get(&fetch.epoch) else {
+            out.push(error_frame(&format!(
+                "no snapshot for epoch {}",
+                fetch.epoch
+            )));
+            return;
+        };
+        let shards = self.assim.layout().shards();
+        let mut sent = 0u32;
+        let mut skipped = 0u32;
+        for &(id, cached) in &fetch.wants {
+            let i = id as usize;
+            if i >= shards {
+                out.push(error_frame(&format!("shard {id} out of range")));
+                return;
+            }
+            if snap.manifest[i] == cached {
+                skipped += 1;
+                continue;
+            }
+            sent += 1;
+            out.push(Frame {
+                kind: FrameKind::Shard,
+                shard_id: id,
+                version: snap.manifest[i],
+                payload: snap.blobs[i].clone(),
+            });
+        }
+        self.metrics.fetches.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .shards_sent
+            .fetch_add(sent as u64, Ordering::Relaxed);
+        self.metrics
+            .cache_hits
+            .fetch_add(skipped as u64, Ordering::Relaxed);
+        out.push(FetchSummary { sent, skipped }.to_frame(fetch.epoch));
+    }
+
+    fn handle_push(&self, req: &Frame, out: &mut Vec<Frame>) {
+        let shard_id = req.shard_id as usize;
+        let layout = self.assim.layout();
+        if shard_id >= layout.shards() {
+            out.push(error_frame(&format!("shard {shard_id} out of range")));
+            return;
+        }
+        let part = match decode_f32s(&req.payload) {
+            Ok(p) => p,
+            Err(e) => {
+                out.push(error_frame(&format!("bad push blob: {e}")));
+                return;
+            }
+        };
+        if part.len() != layout.len(shard_id) {
+            out.push(error_frame(&format!(
+                "push length {} != shard {shard_id} length {}",
+                part.len(),
+                layout.len(shard_id)
+            )));
+            return;
+        }
+        let epoch = req.version as usize;
+        let ack = self.assim.merge_shard(shard_id, &part, epoch);
+        self.metrics.pushes.fetch_add(1, Ordering::Relaxed);
+        out.push(ack.to_frame(req.shard_id));
+    }
+
+    /// The full wire path: decodes request bytes, handles each frame, and
+    /// encodes the responses into `out_bytes`. Malformed request *bytes*
+    /// (as opposed to well-formed frames with bad contents) are a
+    /// transport-level error — a real socket would drop the connection.
+    pub fn handle_bytes(&self, req_bytes: &[u8], out_bytes: &mut Vec<u8>) -> Result<(), WireError> {
+        let mut reqs = Vec::new();
+        decode_all(req_bytes, &mut reqs)?;
+        let mut out = Vec::new();
+        for req in &reqs {
+            self.handle(req, &mut out);
+        }
+        for frame in &out {
+            frame.encode_into(out_bytes);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_asgd::AlphaSchedule;
+    use vc_kvstore::{Consistency, VersionedStore};
+
+    fn service(n: usize, p: usize) -> PsService {
+        let assim = Arc::new(ShardedAssimilator::new(
+            Arc::new(VersionedStore::new()),
+            n,
+            p,
+            Consistency::Eventual,
+            AlphaSchedule::Const(0.5),
+        ));
+        let params: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        assim.seed_params(&params);
+        let svc = PsService::new(assim);
+        let (params, manifest) = svc.assimilator().read_params();
+        svc.publish_snapshot(1, &params, &manifest);
+        svc
+    }
+
+    fn fetch_all(svc: &PsService, epoch: u64, shards: usize) -> Vec<Frame> {
+        let req = FetchReq {
+            epoch,
+            wants: (0..shards as u32).map(|i| (i, 0)).collect(),
+        }
+        .to_frame();
+        let mut out = Vec::new();
+        svc.handle(&req, &mut out);
+        out
+    }
+
+    #[test]
+    fn fetch_returns_every_shard_then_done() {
+        let svc = service(10, 3);
+        let out = fetch_all(&svc, 1, 3);
+        assert_eq!(out.len(), 4);
+        for (i, f) in out[..3].iter().enumerate() {
+            assert_eq!(f.kind, FrameKind::Shard);
+            assert_eq!(f.shard_id, i as u32);
+            assert_eq!(f.version, 1);
+        }
+        let done = FetchSummary::from_frame(&out[3]).unwrap();
+        assert_eq!(
+            done,
+            FetchSummary {
+                sent: 3,
+                skipped: 0
+            }
+        );
+        let ops = svc.ops();
+        assert_eq!(ops.fetches, 1);
+        assert_eq!(ops.shards_sent, 3);
+        assert!(ops.bytes_tx > ops.bytes_rx, "shards dominate the wire");
+    }
+
+    #[test]
+    fn cached_shards_are_skipped() {
+        let svc = service(10, 3);
+        let req = FetchReq {
+            epoch: 1,
+            wants: vec![(0, 1), (1, 0), (2, 1)],
+        }
+        .to_frame();
+        let mut out = Vec::new();
+        svc.handle(&req, &mut out);
+        assert_eq!(out.len(), 2, "only shard 1 plus the summary");
+        assert_eq!(out[0].shard_id, 1);
+        let done = FetchSummary::from_frame(&out[1]).unwrap();
+        assert_eq!(
+            done,
+            FetchSummary {
+                sent: 1,
+                skipped: 2
+            }
+        );
+        assert_eq!(svc.ops().cache_hits, 2);
+    }
+
+    #[test]
+    fn unknown_epoch_is_an_error_frame() {
+        let svc = service(10, 3);
+        let out = fetch_all(&svc, 99, 3);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, FrameKind::Error);
+    }
+
+    #[test]
+    fn push_merges_and_acks() {
+        let svc = service(8, 2);
+        let layout_len = svc.assimilator().layout().len(0);
+        let push = Frame {
+            kind: FrameKind::Push,
+            shard_id: 0,
+            version: 1, // epoch
+            payload: encode_f32s(&vec![100.0; layout_len]),
+        };
+        let mut out = Vec::new();
+        svc.handle(&push, &mut out);
+        assert_eq!(out.len(), 1);
+        let ack = crate::wire::PushAck::from_frame(&out[0]).unwrap();
+        assert_eq!(ack.new_version, 2);
+        assert_eq!(ack.clobbered, 0);
+        // alpha 0.5 over seed [0,1,..]: shard 0 values move halfway to 100.
+        let (params, _) = svc.assimilator().read_params();
+        assert!((params[0] - 50.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn bad_push_lengths_and_shards_are_error_frames() {
+        let svc = service(8, 2);
+        let mut out = Vec::new();
+        svc.handle(
+            &Frame {
+                kind: FrameKind::Push,
+                shard_id: 9,
+                version: 1,
+                payload: encode_f32s(&[1.0]),
+            },
+            &mut out,
+        );
+        svc.handle(
+            &Frame {
+                kind: FrameKind::Push,
+                shard_id: 0,
+                version: 1,
+                payload: encode_f32s(&[1.0]),
+            },
+            &mut out,
+        );
+        svc.handle(
+            &Frame {
+                kind: FrameKind::Push,
+                shard_id: 0,
+                version: 1,
+                payload: Bytes::copy_from_slice(b"garbage"),
+            },
+            &mut out,
+        );
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|f| f.kind == FrameKind::Error));
+    }
+
+    #[test]
+    fn handle_bytes_is_the_same_protocol() {
+        let svc = service(10, 3);
+        let req = FetchReq {
+            epoch: 1,
+            wants: vec![(0, 0), (1, 0), (2, 0)],
+        }
+        .to_frame();
+        let mut direct = Vec::new();
+        svc.handle(&req, &mut direct);
+        let mut wire_out = Vec::new();
+        svc.handle_bytes(&req.encode(), &mut wire_out).unwrap();
+        let mut decoded = Vec::new();
+        decode_all(&wire_out, &mut decoded).unwrap();
+        assert_eq!(decoded, direct, "transport must not change the frames");
+    }
+
+    #[test]
+    fn snapshot_params_reassembles_and_retires() {
+        let svc = service(10, 3);
+        let full = svc.snapshot_params(1).unwrap();
+        assert_eq!(full, (0..10).map(|i| i as f32).collect::<Vec<_>>());
+        svc.retire_snapshots_before(2);
+        assert!(svc.snapshot_params(1).is_none());
+    }
+}

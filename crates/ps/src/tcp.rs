@@ -1,0 +1,405 @@
+//! Real-socket transport: blocking TCP on loopback.
+//!
+//! Shards are partitioned into contiguous *groups*, one listener (and one
+//! client stream) per group — the paper's "several parameter servers"
+//! shape, where different parts of the model live behind different
+//! endpoints. Every connection speaks the same frame protocol as the
+//! in-memory transport, handled by the same [`PsService`]; the only
+//! difference is that bytes cross a socket.
+
+use crate::client::{collect_fetch_response, collect_push_response, PsClient, PsError};
+use crate::service::PsService;
+use crate::wire::{
+    read_frame, write_frame, FetchReq, FetchSummary, Frame, FrameKind, FrameReadError, PushAck,
+};
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use vc_tensor::codec::encode_f32s;
+
+/// Maps shards onto `groups` contiguous endpoint groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardGroups {
+    shards: usize,
+    groups: usize,
+}
+
+impl ShardGroups {
+    /// `groups` is clamped to `1..=shards`.
+    pub fn new(shards: usize, groups: usize) -> Self {
+        ShardGroups {
+            shards: shards.max(1),
+            groups: groups.clamp(1, shards.max(1)),
+        }
+    }
+
+    /// Number of endpoint groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// The group serving `shard`.
+    pub fn group_of(&self, shard: u32) -> usize {
+        let per = self.shards.div_ceil(self.groups);
+        ((shard as usize) / per).min(self.groups - 1)
+    }
+}
+
+/// A running TCP front for a [`PsService`]: one loopback listener per
+/// shard group, each with its own accept thread.
+pub struct TcpPsServer {
+    addrs: Vec<SocketAddr>,
+    groups: ShardGroups,
+    stop: Arc<AtomicBool>,
+    accept_threads: Vec<JoinHandle<()>>,
+    // Clones of every accepted connection, so shutdown can unblock the
+    // connection threads' reads even while clients are still connected.
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl TcpPsServer {
+    /// Binds `groups` listeners on `127.0.0.1:0` and starts serving.
+    pub fn bind(service: Arc<PsService>, groups: usize) -> std::io::Result<Self> {
+        let shards = service.assimilator().layout().shards();
+        let groups = ShardGroups::new(shards, groups);
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let mut addrs = Vec::with_capacity(groups.groups());
+        let mut accept_threads = Vec::with_capacity(groups.groups());
+        for g in 0..groups.groups() {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(listener.local_addr()?);
+            let service = service.clone();
+            let stop = stop.clone();
+            let conns = conns.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("vc-ps-listen-{g}"))
+                .spawn(move || accept_loop(listener, service, stop, conns))
+                .expect("spawn ps listener");
+            accept_threads.push(handle);
+        }
+        Ok(TcpPsServer {
+            addrs,
+            groups,
+            stop,
+            accept_threads,
+            conns,
+        })
+    }
+
+    /// The bound addresses, one per shard group.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// The shard→group mapping clients must use.
+    pub fn groups(&self) -> ShardGroups {
+        self.groups
+    }
+
+    /// Stops serving and joins every server thread, even while clients
+    /// are still connected: open connection sockets are shut down, which
+    /// unblocks their reads mid-wait.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for conn in self.conns.lock().expect("ps conn registry").iter() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        // Unblock each accept() with a throwaway connection.
+        for addr in &self.addrs {
+            let _ = TcpStream::connect(addr);
+        }
+        for t in self.accept_threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<PsService>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+) {
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(s) => s,
+            Err(_) => break,
+        };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Ok(clone) = stream.try_clone() {
+            conns.lock().expect("ps conn registry").push(clone);
+        }
+        let service = service.clone();
+        let stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("vc-ps-conn".to_string())
+            .spawn(move || connection_loop(stream, service, stop))
+            .expect("spawn ps connection");
+        handles.push(handle);
+    }
+    for c in handles {
+        let _ = c.join();
+    }
+}
+
+/// Serves one connection: read a frame, handle it, write the responses.
+/// Transport-level garbage (bad length, bad CRC) closes the connection;
+/// protocol-level mistakes come back as error frames and the connection
+/// lives on.
+fn connection_loop(mut stream: TcpStream, service: Arc<PsService>, stop: Arc<AtomicBool>) {
+    let _ = stream.set_nodelay(true);
+    let mut scratch = Vec::new();
+    let mut write_scratch = Vec::new();
+    let mut responses = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        let frame = match read_frame(&mut stream, &mut scratch) {
+            Ok(f) => f,
+            Err(FrameReadError::Eof) => break,
+            Err(_) => break, // hostile or broken stream: drop the connection
+        };
+        responses.clear();
+        service.handle(&frame, &mut responses);
+        let mut failed = false;
+        for resp in &responses {
+            if write_frame(&mut stream, resp, &mut write_scratch).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        if failed || stream.flush().is_err() {
+            break;
+        }
+    }
+    // A registry clone of this stream outlives us (see `TcpPsServer::
+    // shutdown`), so dropping the fd alone would leave the socket open:
+    // close it for real so the peer sees EOF.
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Client side of the TCP transport: one stream per shard group.
+pub struct TcpClient {
+    streams: Vec<TcpStream>,
+    groups: ShardGroups,
+    read_scratch: Vec<u8>,
+    write_scratch: Vec<u8>,
+    // Reused per-group request split.
+    per_group: Vec<Vec<(u32, u64)>>,
+}
+
+impl TcpClient {
+    /// Connects one stream to each group endpoint.
+    pub fn connect(addrs: &[SocketAddr], groups: ShardGroups) -> std::io::Result<Self> {
+        assert_eq!(addrs.len(), groups.groups(), "one address per group");
+        let mut streams = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let s = TcpStream::connect(addr)?;
+            s.set_nodelay(true)?;
+            streams.push(s);
+        }
+        Ok(TcpClient {
+            streams,
+            groups,
+            read_scratch: Vec::new(),
+            write_scratch: Vec::new(),
+            per_group: vec![Vec::new(); groups.groups()],
+        })
+    }
+
+    fn io_err(e: std::io::Error) -> PsError {
+        PsError::Transport(e.to_string())
+    }
+
+    fn read_err(e: FrameReadError) -> PsError {
+        match e {
+            FrameReadError::Wire(w) => PsError::Wire(w),
+            other => PsError::Transport(other.to_string()),
+        }
+    }
+
+    /// Sends one request on group `g` and collects response frames until
+    /// the terminator `done(kind)` says the exchange is over.
+    fn exchange(
+        &mut self,
+        g: usize,
+        req: &Frame,
+        out: &mut Vec<Frame>,
+        done: impl Fn(FrameKind) -> bool,
+    ) -> Result<(), PsError> {
+        let stream = &mut self.streams[g];
+        write_frame(stream, req, &mut self.write_scratch).map_err(Self::io_err)?;
+        stream.flush().map_err(Self::io_err)?;
+        loop {
+            let frame = read_frame(stream, &mut self.read_scratch).map_err(Self::read_err)?;
+            let kind = frame.kind;
+            out.push(frame);
+            if done(kind) || kind == FrameKind::Error {
+                return Ok(());
+            }
+        }
+    }
+}
+
+impl PsClient for TcpClient {
+    fn fetch(
+        &mut self,
+        epoch: u64,
+        wants: &[(u32, u64)],
+        out: &mut Vec<Frame>,
+    ) -> Result<FetchSummary, PsError> {
+        for group in &mut self.per_group {
+            group.clear();
+        }
+        for &(id, ver) in wants {
+            let g = self.groups.group_of(id);
+            self.per_group[g].push((id, ver));
+        }
+        let mut total = FetchSummary {
+            sent: 0,
+            skipped: 0,
+        };
+        for g in 0..self.groups.groups() {
+            let group_wants = std::mem::take(&mut self.per_group[g]);
+            if group_wants.is_empty() {
+                self.per_group[g] = group_wants;
+                continue;
+            }
+            let req = FetchReq {
+                epoch,
+                wants: group_wants.clone(),
+            }
+            .to_frame();
+            self.per_group[g] = group_wants;
+            let mut frames = Vec::new();
+            self.exchange(g, &req, &mut frames, |k| k == FrameKind::FetchDone)?;
+            let summary = collect_fetch_response(frames, out)?;
+            total.sent += summary.sent;
+            total.skipped += summary.skipped;
+        }
+        Ok(total)
+    }
+
+    fn push(&mut self, shard_id: u32, epoch: u64, values: &[f32]) -> Result<PushAck, PsError> {
+        let g = self.groups.group_of(shard_id);
+        let req = Frame {
+            kind: FrameKind::Push,
+            shard_id,
+            version: epoch,
+            payload: encode_f32s(values),
+        };
+        let mut frames = Vec::new();
+        self.exchange(g, &req, &mut frames, |k| k == FrameKind::PushAck)?;
+        collect_push_response(frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ShardCache;
+    use crate::merge::ShardedAssimilator;
+    use vc_asgd::AlphaSchedule;
+    use vc_kvstore::{Consistency, VersionedStore};
+
+    fn service(n: usize, p: usize) -> Arc<PsService> {
+        let assim = Arc::new(ShardedAssimilator::new(
+            Arc::new(VersionedStore::new()),
+            n,
+            p,
+            Consistency::Eventual,
+            AlphaSchedule::Const(0.5),
+        ));
+        let params: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        assim.seed_params(&params);
+        let svc = Arc::new(PsService::new(assim));
+        let (full, manifest) = svc.assimilator().read_params();
+        svc.publish_snapshot(1, &full, &manifest);
+        svc
+    }
+
+    #[test]
+    fn group_mapping_is_contiguous_and_total() {
+        let g = ShardGroups::new(16, 4);
+        assert_eq!(g.groups(), 4);
+        for shard in 0..16u32 {
+            assert_eq!(g.group_of(shard), (shard / 4) as usize);
+        }
+        // More groups than shards clamps.
+        assert_eq!(ShardGroups::new(2, 8).groups(), 2);
+    }
+
+    #[test]
+    fn loopback_fetch_and_push_roundtrip() {
+        let svc = service(40, 8);
+        let server = TcpPsServer::bind(svc.clone(), 3).unwrap();
+        let mut client = TcpClient::connect(server.addrs(), server.groups()).unwrap();
+        let (want, manifest) = svc.assimilator().read_params();
+        let mut cache = ShardCache::new(*svc.assimilator().layout());
+        let got = cache.sync(1, &manifest, &mut client).unwrap();
+        assert_eq!(got, &want[..]);
+        // Second sync: all cache hits, no shard crosses the socket.
+        let sent_before = svc.ops().shards_sent;
+        cache.sync(1, &manifest, &mut client).unwrap();
+        assert_eq!(svc.ops().shards_sent, sent_before);
+        // Push one shard through the socket and watch its version move.
+        let n0 = svc.assimilator().layout().len(0);
+        let ack = client.push(0, 1, &vec![7.0; n0]).unwrap();
+        assert_eq!(ack.new_version, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn two_clients_share_the_server() {
+        let svc = service(24, 4);
+        let server = TcpPsServer::bind(svc.clone(), 2).unwrap();
+        let addrs = server.addrs().to_vec();
+        let groups = server.groups();
+        let (want, manifest) = svc.assimilator().read_params();
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let addrs = addrs.clone();
+                let manifest = manifest.clone();
+                let want = want.clone();
+                let svc = svc.clone();
+                std::thread::spawn(move || {
+                    let mut client = TcpClient::connect(&addrs, groups).unwrap();
+                    let mut cache = ShardCache::new(*svc.assimilator().layout());
+                    let got = cache.sync(1, &manifest, &mut client).unwrap();
+                    assert_eq!(got, &want[..]);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_on_the_socket_drops_the_connection_not_the_server() {
+        let svc = service(10, 2);
+        let server = TcpPsServer::bind(svc.clone(), 1).unwrap();
+        // Hostile connection: a forged 4 GiB length prefix.
+        {
+            let mut s = TcpStream::connect(server.addrs()[0]).unwrap();
+            s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+            s.write_all(&[0u8; 32]).unwrap();
+            // The server closes on us; either the read returns 0 or errors.
+            let mut buf = [0u8; 8];
+            use std::io::Read;
+            let _ = s.read(&mut buf);
+        }
+        // A well-formed client still gets served afterwards.
+        let mut client = TcpClient::connect(server.addrs(), server.groups()).unwrap();
+        let (want, manifest) = svc.assimilator().read_params();
+        let mut cache = ShardCache::new(*svc.assimilator().layout());
+        let got = cache.sync(1, &manifest, &mut client).unwrap();
+        assert_eq!(got, &want[..]);
+        server.shutdown();
+    }
+}

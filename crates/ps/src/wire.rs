@@ -1,0 +1,683 @@
+//! Length-prefixed binary frames for the parameter service.
+//!
+//! Every message between a worker and the parameter service is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     len       u32 LE — bytes after this field (17 + payload)
+//! 4       1     kind      FrameKind discriminant
+//! 5       4     shard_id  u32 LE
+//! 9       8     version   u64 LE — shard version, epoch, or ack version
+//! 17      4     crc32     u32 LE — IEEE CRC-32 of kind..version + payload
+//! 21      len-17  payload
+//! ```
+//!
+//! The decoder is hostile-input safe: it length-checks before every read,
+//! rejects frames whose declared length exceeds [`MAX_PAYLOAD`] *before*
+//! allocating anything (a forged 4 GiB length cannot OOM the server), and
+//! verifies the checksum before the payload is interpreted. Shard payloads
+//! reuse the `vc-tensor` `VCP1` parameter-blob codec, so a frame's payload
+//! is exactly the value stored in the kvstore — no re-encoding on either
+//! side of the wire.
+
+use bytes::{Buf, BufMut, Bytes};
+use std::io::{Read, Write};
+
+/// Hard ceiling on a frame payload (64 MiB — three times the paper's
+/// 21.2 MB full parameter file, and shards are strictly smaller).
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Bytes after the length prefix that belong to the header
+/// (kind + shard_id + version + crc32).
+pub const HEADER_LEN: usize = 17;
+
+/// What a frame means. Discriminants are the on-wire `kind` byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Worker → service: request shards for an epoch snapshot. `version`
+    /// carries the epoch; the payload lists `(shard_id, cached_version)`
+    /// pairs so the service can skip shards the worker already holds.
+    Fetch = 1,
+    /// Service → worker: one shard's parameter blob. `version` is the
+    /// shard's snapshot version.
+    Shard = 2,
+    /// Service → worker: fetch complete. `version` echoes the epoch; the
+    /// payload counts shards sent and shards skipped (cache hits).
+    FetchDone = 3,
+    /// Worker → service: a trained client replica of one shard to merge.
+    /// `version` carries the epoch driving the α schedule.
+    Push = 4,
+    /// Service → worker: push merged. `version` is the shard's new store
+    /// version; the payload carries the clobbered-update count.
+    PushAck = 5,
+    /// Service → worker: request failed; payload is a UTF-8 message.
+    Error = 6,
+}
+
+impl FrameKind {
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        Ok(match b {
+            1 => FrameKind::Fetch,
+            2 => FrameKind::Shard,
+            3 => FrameKind::FetchDone,
+            4 => FrameKind::Push,
+            5 => FrameKind::PushAck,
+            6 => FrameKind::Error,
+            other => return Err(WireError::UnknownKind(other)),
+        })
+    }
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Message type.
+    pub kind: FrameKind,
+    /// Shard the message concerns (0 for epoch-level messages).
+    pub shard_id: u32,
+    /// Kind-dependent: shard version, epoch, or ack version.
+    pub version: u64,
+    /// Kind-dependent body (shared, not copied, when cloned).
+    pub payload: Bytes,
+}
+
+/// Why a byte sequence failed to decode as a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// More bytes are needed; `need` is the total frame size once known.
+    Incomplete {
+        /// Total bytes the frame occupies (or the minimum to learn that).
+        need: usize,
+    },
+    /// The declared length is impossibly small or exceeds [`MAX_PAYLOAD`].
+    BadLength(u32),
+    /// Checksum mismatch: the frame was corrupted in flight.
+    BadCrc {
+        /// Checksum carried by the frame.
+        expect: u32,
+        /// Checksum computed over the received bytes.
+        got: u32,
+    },
+    /// The kind byte is not a known [`FrameKind`].
+    UnknownKind(u8),
+    /// The frame decoded but its payload does not fit its kind.
+    BadPayload(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Incomplete { need } => write!(f, "incomplete frame: need {need} bytes"),
+            WireError::BadLength(len) => write!(f, "bad frame length {len}"),
+            WireError::BadCrc { expect, got } => {
+                write!(
+                    f,
+                    "crc mismatch: frame says {expect:#010x}, got {got:#010x}"
+                )
+            }
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::BadPayload(what) => write!(f, "bad payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// IEEE CRC-32 (reflected, polynomial 0xEDB88320), the Ethernet/zip
+/// polynomial. Table-driven, streaming via [`Crc32`].
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+impl Crc32 {
+    /// A fresh checksum state.
+    pub fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Folds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.0;
+        for &b in bytes {
+            c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.0 = c;
+    }
+
+    /// The final checksum value.
+    pub fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+impl Frame {
+    /// Total bytes this frame occupies on the wire.
+    pub fn encoded_len(&self) -> usize {
+        4 + HEADER_LEN + self.payload.len()
+    }
+
+    fn crc(&self) -> u32 {
+        let mut header = [0u8; 13];
+        header[0] = self.kind as u8;
+        header[1..5].copy_from_slice(&self.shard_id.to_le_bytes());
+        header[5..13].copy_from_slice(&self.version.to_le_bytes());
+        let mut c = Crc32::new();
+        c.update(&header);
+        c.update(&self.payload);
+        c.finish()
+    }
+
+    /// Appends the encoded frame to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        assert!(
+            self.payload.len() <= MAX_PAYLOAD,
+            "payload over MAX_PAYLOAD"
+        );
+        out.reserve(self.encoded_len());
+        out.put_u32_le((HEADER_LEN + self.payload.len()) as u32);
+        out.put_u8(self.kind as u8);
+        out.put_u32_le(self.shard_id);
+        out.put_u64_le(self.version);
+        out.put_u32_le(self.crc());
+        out.extend_from_slice(&self.payload);
+    }
+
+    /// Encodes into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes one frame from the front of `buf`, returning it and the
+    /// number of bytes consumed. Never panics and never allocates more
+    /// than [`MAX_PAYLOAD`] regardless of input.
+    pub fn decode(buf: &[u8]) -> Result<(Frame, usize), WireError> {
+        if buf.len() < 4 {
+            return Err(WireError::Incomplete { need: 4 });
+        }
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        let body_len = len as usize;
+        if body_len < HEADER_LEN || body_len - HEADER_LEN > MAX_PAYLOAD {
+            return Err(WireError::BadLength(len));
+        }
+        let total = 4 + body_len;
+        if buf.len() < total {
+            return Err(WireError::Incomplete { need: total });
+        }
+        let mut body = &buf[4..total];
+        let kind_byte = body.get_u8();
+        let shard_id = body.get_u32_le();
+        let version = body.get_u64_le();
+        let expect = body.get_u32_le();
+        let payload = body; // remaining bytes
+        let mut c = Crc32::new();
+        c.update(&buf[4..HEADER_LEN]); // kind + shard_id + version (13 bytes)
+        c.update(payload);
+        let got = c.finish();
+        if got != expect {
+            return Err(WireError::BadCrc { expect, got });
+        }
+        let kind = FrameKind::from_byte(kind_byte)?;
+        Ok((
+            Frame {
+                kind,
+                shard_id,
+                version,
+                payload: Bytes::copy_from_slice(payload),
+            },
+            total,
+        ))
+    }
+}
+
+/// Writes one frame to a stream, reusing `scratch` as the encode buffer.
+/// Returns the bytes written.
+pub fn write_frame(
+    w: &mut impl Write,
+    frame: &Frame,
+    scratch: &mut Vec<u8>,
+) -> std::io::Result<usize> {
+    scratch.clear();
+    frame.encode_into(scratch);
+    w.write_all(scratch)?;
+    Ok(scratch.len())
+}
+
+/// A frame read from a stream failed.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// The stream ended cleanly between frames.
+    Eof,
+    /// The stream errored.
+    Io(std::io::Error),
+    /// The bytes arrived but were not a valid frame.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameReadError::Eof => write!(f, "connection closed"),
+            FrameReadError::Io(e) => write!(f, "io error: {e}"),
+            FrameReadError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameReadError {}
+
+impl From<WireError> for FrameReadError {
+    fn from(e: WireError) -> Self {
+        FrameReadError::Wire(e)
+    }
+}
+
+/// Reads one frame from a blocking stream, reusing `scratch`. Validates
+/// the declared length *before* allocating the body buffer.
+pub fn read_frame(r: &mut impl Read, scratch: &mut Vec<u8>) -> Result<Frame, FrameReadError> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Err(FrameReadError::Eof),
+            Ok(0) => return Err(FrameReadError::Wire(WireError::Incomplete { need: 4 })),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameReadError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    let body_len = len as usize;
+    if body_len < HEADER_LEN || body_len - HEADER_LEN > MAX_PAYLOAD {
+        return Err(FrameReadError::Wire(WireError::BadLength(len)));
+    }
+    scratch.clear();
+    scratch.extend_from_slice(&len_bytes);
+    scratch.resize(4 + body_len, 0);
+    r.read_exact(&mut scratch[4..]).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FrameReadError::Wire(WireError::Incomplete { need: 4 + body_len })
+        } else {
+            FrameReadError::Io(e)
+        }
+    })?;
+    let (frame, consumed) = Frame::decode(scratch)?;
+    debug_assert_eq!(consumed, scratch.len());
+    Ok(frame)
+}
+
+/// Decodes every frame in `buf`; errors if any byte fails to parse.
+pub fn decode_all(mut buf: &[u8], out: &mut Vec<Frame>) -> Result<(), WireError> {
+    while !buf.is_empty() {
+        let (frame, used) = Frame::decode(buf)?;
+        out.push(frame);
+        buf = &buf[used..];
+    }
+    Ok(())
+}
+
+/// Payload of a [`FrameKind::Fetch`] frame: which shards the worker wants
+/// and what it already holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchReq {
+    /// Epoch snapshot to fetch from.
+    pub epoch: u64,
+    /// `(shard_id, cached_version)` pairs; version 0 means "not cached".
+    pub wants: Vec<(u32, u64)>,
+}
+
+impl FetchReq {
+    /// Encodes as a frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut payload = Vec::with_capacity(4 + self.wants.len() * 12);
+        payload.put_u32_le(self.wants.len() as u32);
+        for &(id, ver) in &self.wants {
+            payload.put_u32_le(id);
+            payload.put_u64_le(ver);
+        }
+        Frame {
+            kind: FrameKind::Fetch,
+            shard_id: 0,
+            version: self.epoch,
+            payload: Bytes::from(payload),
+        }
+    }
+
+    /// Parses a [`FrameKind::Fetch`] frame's payload.
+    pub fn from_frame(frame: &Frame) -> Result<Self, WireError> {
+        if frame.kind != FrameKind::Fetch {
+            return Err(WireError::BadPayload("not a Fetch frame"));
+        }
+        let mut p: &[u8] = &frame.payload;
+        if p.len() < 4 {
+            return Err(WireError::BadPayload("fetch payload too short"));
+        }
+        let count = p.get_u32_le() as usize;
+        if p.len() != count * 12 {
+            return Err(WireError::BadPayload("fetch want-list length mismatch"));
+        }
+        let mut wants = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = p.get_u32_le();
+            let ver = p.get_u64_le();
+            wants.push((id, ver));
+        }
+        Ok(FetchReq {
+            epoch: frame.version,
+            wants,
+        })
+    }
+}
+
+/// Payload of a [`FrameKind::FetchDone`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchSummary {
+    /// Shards whose blobs were sent.
+    pub sent: u32,
+    /// Shards skipped because the worker's cached version matched.
+    pub skipped: u32,
+}
+
+impl FetchSummary {
+    /// Encodes as a frame echoing `epoch`.
+    pub fn to_frame(&self, epoch: u64) -> Frame {
+        let mut payload = Vec::with_capacity(8);
+        payload.put_u32_le(self.sent);
+        payload.put_u32_le(self.skipped);
+        Frame {
+            kind: FrameKind::FetchDone,
+            shard_id: 0,
+            version: epoch,
+            payload: Bytes::from(payload),
+        }
+    }
+
+    /// Parses a [`FrameKind::FetchDone`] frame's payload.
+    pub fn from_frame(frame: &Frame) -> Result<Self, WireError> {
+        if frame.kind != FrameKind::FetchDone {
+            return Err(WireError::BadPayload("not a FetchDone frame"));
+        }
+        let mut p: &[u8] = &frame.payload;
+        if p.len() != 8 {
+            return Err(WireError::BadPayload("fetch summary must be 8 bytes"));
+        }
+        Ok(FetchSummary {
+            sent: p.get_u32_le(),
+            skipped: p.get_u32_le(),
+        })
+    }
+}
+
+/// Payload of a [`FrameKind::PushAck`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushAck {
+    /// The shard's version after the merge.
+    pub new_version: u64,
+    /// Concurrent updates this merge clobbered (eventual mode).
+    pub clobbered: u64,
+}
+
+impl PushAck {
+    /// Encodes as a frame for `shard_id`.
+    pub fn to_frame(&self, shard_id: u32) -> Frame {
+        let mut payload = Vec::with_capacity(8);
+        payload.put_u64_le(self.clobbered);
+        Frame {
+            kind: FrameKind::PushAck,
+            shard_id,
+            version: self.new_version,
+            payload: Bytes::from(payload),
+        }
+    }
+
+    /// Parses a [`FrameKind::PushAck`] frame's payload.
+    pub fn from_frame(frame: &Frame) -> Result<Self, WireError> {
+        if frame.kind != FrameKind::PushAck {
+            return Err(WireError::BadPayload("not a PushAck frame"));
+        }
+        let mut p: &[u8] = &frame.payload;
+        if p.len() != 8 {
+            return Err(WireError::BadPayload("push ack must be 8 bytes"));
+        }
+        Ok(PushAck {
+            new_version: frame.version,
+            clobbered: p.get_u64_le(),
+        })
+    }
+}
+
+/// Builds an error frame with a UTF-8 message.
+pub fn error_frame(msg: &str) -> Frame {
+    Frame {
+        kind: FrameKind::Error,
+        shard_id: 0,
+        version: 0,
+        payload: Bytes::copy_from_slice(msg.as_bytes()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame {
+            kind: FrameKind::Shard,
+            shard_id: 7,
+            version: 42,
+            payload: Bytes::copy_from_slice(b"hello shard"),
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for IEEE CRC-32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_streams_like_one_shot() {
+        let mut c = Crc32::new();
+        c.update(b"1234");
+        c.update(b"56789");
+        assert_eq!(c.finish(), crc32(b"123456789"));
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = sample();
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), f.encoded_len());
+        let (back, used) = Frame::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn decode_reports_incomplete_not_panic() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            match Frame::decode(&bytes[..cut]) {
+                Err(WireError::Incomplete { need }) => assert!(need > cut),
+                other => panic!("cut at {cut}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_fail_crc() {
+        let bytes = sample().encode();
+        // Flip each byte after the length prefix: header flips break the
+        // CRC (or the CRC field itself), payload flips break the CRC.
+        for i in 4..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x10;
+            assert!(
+                matches!(Frame::decode(&corrupt), Err(WireError::BadCrc { .. })),
+                "flip at {i} must be caught"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_length_rejected_without_allocation() {
+        // A forged length of 4 GiB must be rejected up front.
+        let mut bytes = sample().encode();
+        bytes[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(WireError::BadLength(u32::MAX))
+        ));
+        // A length smaller than the header is equally impossible.
+        bytes[0..4].copy_from_slice(&3u32.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(WireError::BadLength(3))
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_rejected_after_crc() {
+        let mut f = sample();
+        f.payload = Bytes::new();
+        let mut bytes = f.encode();
+        bytes[4] = 0xEE; // kind byte
+                         // Fix up the CRC so only the kind is wrong.
+        let mut c = Crc32::new();
+        c.update(&bytes[4..17]);
+        let crc = c.finish();
+        bytes[17..21].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(WireError::UnknownKind(0xEE))
+        ));
+    }
+
+    #[test]
+    fn fetch_req_roundtrip() {
+        let req = FetchReq {
+            epoch: 9,
+            wants: vec![(0, 0), (3, 17), (15, 2)],
+        };
+        let frame = req.to_frame();
+        let bytes = frame.encode();
+        let (back, _) = Frame::decode(&bytes).unwrap();
+        assert_eq!(FetchReq::from_frame(&back).unwrap(), req);
+    }
+
+    #[test]
+    fn fetch_req_rejects_length_mismatch() {
+        let mut frame = FetchReq {
+            epoch: 1,
+            wants: vec![(0, 0)],
+        }
+        .to_frame();
+        let mut bad = frame.payload.to_vec();
+        bad.truncate(bad.len() - 1);
+        frame.payload = Bytes::from(bad);
+        assert!(FetchReq::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn summary_and_ack_roundtrip() {
+        let s = FetchSummary {
+            sent: 3,
+            skipped: 13,
+        };
+        assert_eq!(FetchSummary::from_frame(&s.to_frame(5)).unwrap(), s);
+        let a = PushAck {
+            new_version: 88,
+            clobbered: 2,
+        };
+        let f = a.to_frame(6);
+        assert_eq!(f.shard_id, 6);
+        assert_eq!(PushAck::from_frame(&f).unwrap(), a);
+    }
+
+    #[test]
+    fn stream_read_write_roundtrip() {
+        let frames = vec![
+            sample(),
+            FetchReq {
+                epoch: 2,
+                wants: vec![(1, 0)],
+            }
+            .to_frame(),
+            error_frame("nope"),
+        ];
+        let mut wire = Vec::new();
+        let mut scratch = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f, &mut scratch).unwrap();
+        }
+        let mut r: &[u8] = &wire;
+        for f in &frames {
+            let got = read_frame(&mut r, &mut scratch).unwrap();
+            assert_eq!(&got, f);
+        }
+        assert!(matches!(
+            read_frame(&mut r, &mut scratch),
+            Err(FrameReadError::Eof)
+        ));
+    }
+
+    #[test]
+    fn stream_read_rejects_hostile_length() {
+        let mut wire = u32::MAX.to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0u8; 64]);
+        let mut r: &[u8] = &wire;
+        let mut scratch = Vec::new();
+        assert!(matches!(
+            read_frame(&mut r, &mut scratch),
+            Err(FrameReadError::Wire(WireError::BadLength(_)))
+        ));
+    }
+
+    #[test]
+    fn decode_all_parses_back_to_back_frames() {
+        let mut wire = sample().encode();
+        wire.extend_from_slice(&error_frame("x").encode());
+        let mut out = Vec::new();
+        decode_all(&wire, &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], sample());
+        assert_eq!(out[1].kind, FrameKind::Error);
+    }
+}

@@ -1,0 +1,95 @@
+//! Counting-allocator proof of the hot fetch path's zero-alloc claim: a
+//! worker whose sticky cache already matches the workunit's manifest gets
+//! its parameter slice back without touching the heap — no blob clone, no
+//! frame encode, no transport call. This is the per-assignment steady
+//! state: parameters only move when an assimilation actually bumped a
+//! shard's version.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(l)
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(p, l, new_size)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn cache_hit_sync_does_not_allocate() {
+    use std::sync::Arc;
+    use vc_asgd::AlphaSchedule;
+    use vc_kvstore::{Consistency, VersionedStore};
+    use vc_ps::{MemClient, PsService, ShardCache, ShardedAssimilator};
+
+    let n = 4096;
+    let store = Arc::new(VersionedStore::new());
+    let assim = Arc::new(ShardedAssimilator::new(
+        store,
+        n,
+        4,
+        Consistency::Strong,
+        AlphaSchedule::Const(0.6),
+    ));
+    let params: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+    assim.seed_params(&params);
+    let svc = Arc::new(PsService::new(assim.clone()));
+    let manifest = assim.versions();
+    svc.publish_snapshot(1, &params, &manifest);
+
+    let mut client = MemClient::new(svc.clone());
+    let mut cache = ShardCache::new(*assim.layout());
+    // Cold sync fills the cache (allocates freely: blobs, frames, buffers).
+    let got = cache.sync(1, &manifest, &mut client).expect("cold sync");
+    assert_eq!(got, params.as_slice());
+    let ops_before = svc.ops();
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..32 {
+        let got = cache.sync(1, &manifest, &mut client).expect("warm sync");
+        assert_eq!(got.len(), n);
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+
+    assert_eq!(
+        ALLOCS.load(Ordering::SeqCst),
+        0,
+        "a fully-cached sync must not touch the heap"
+    );
+    assert_eq!(
+        svc.ops(),
+        ops_before,
+        "a fully-cached sync must not even reach the service"
+    );
+    assert_eq!(
+        cache.params(),
+        params.as_slice(),
+        "cache still serves the snapshot"
+    );
+}

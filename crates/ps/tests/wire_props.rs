@@ -1,0 +1,109 @@
+//! Property tests over the wire codec: any frame round-trips bit-exactly,
+//! and *no* mangled byte stream — truncated, bit-flipped, or carrying a
+//! hostile length prefix — ever panics, allocates unboundedly, or decodes
+//! to a different frame silently.
+
+use proptest::prelude::*;
+use vc_ps::{Frame, FrameKind, WireError, HEADER_LEN, MAX_PAYLOAD};
+
+fn arb_kind() -> impl Strategy<Value = FrameKind> {
+    prop_oneof![
+        Just(FrameKind::Fetch),
+        Just(FrameKind::Shard),
+        Just(FrameKind::FetchDone),
+        Just(FrameKind::Push),
+        Just(FrameKind::PushAck),
+        Just(FrameKind::Error),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        arb_kind(),
+        any::<u32>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..512),
+    )
+        .prop_map(|(kind, shard_id, version, payload)| Frame {
+            kind,
+            shard_id,
+            version,
+            payload: payload.into(),
+        })
+}
+
+proptest! {
+    /// encode → decode is the identity, and the consumed length is exact.
+    #[test]
+    fn frame_roundtrips(frame in arb_frame()) {
+        let bytes = frame.encode();
+        prop_assert_eq!(bytes.len(), frame.encoded_len());
+        let (back, used) = Frame::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back.kind, frame.kind);
+        prop_assert_eq!(back.shard_id, frame.shard_id);
+        prop_assert_eq!(back.version, frame.version);
+        prop_assert_eq!(back.payload.as_ref(), frame.payload.as_ref());
+    }
+
+    /// Every proper prefix is `Incomplete` with an honest byte count —
+    /// never a panic, never a bogus frame.
+    #[test]
+    fn truncation_reports_incomplete(frame in arb_frame(), cut in 1usize..64) {
+        let bytes = frame.encode();
+        let cut = cut.min(bytes.len());
+        match Frame::decode(&bytes[..bytes.len() - cut]) {
+            Err(WireError::Incomplete { need }) => {
+                prop_assert!(need > 0, "incomplete must ask for more bytes");
+            }
+            other => prop_assert!(false, "truncated decode returned {other:?}"),
+        }
+    }
+
+    /// Any single flipped bit after the length prefix is caught by the CRC
+    /// (or, for the kind byte, by the kind check after the CRC).
+    #[test]
+    fn bit_flips_never_pass(frame in arb_frame(), bit in 0usize..64) {
+        let mut bytes = frame.encode();
+        let pos = 4 + bit % (bytes.len() - 4);
+        bytes[pos] ^= 1 << (bit % 8);
+        match Frame::decode(&bytes) {
+            Err(WireError::BadCrc { .. }) | Err(WireError::UnknownKind(_)) => {}
+            Ok(_) => prop_assert!(false, "flipped bit at {pos} decoded cleanly"),
+            Err(e) => prop_assert!(false, "unexpected error for flip at {pos}: {e:?}"),
+        }
+    }
+
+    /// A forged length prefix is rejected *before* any allocation: lengths
+    /// past `MAX_PAYLOAD` are `BadLength`, lengths shorter than a header
+    /// too. Nothing in between decodes without the bytes to back it.
+    #[test]
+    fn hostile_lengths_rejected(frame in arb_frame(), len in any::<u32>()) {
+        let mut bytes = frame.encode();
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        let r = Frame::decode(&bytes);
+        let max = (MAX_PAYLOAD + HEADER_LEN) as u32;
+        if len < HEADER_LEN as u32 || len > max {
+            prop_assert!(
+                matches!(r, Err(WireError::BadLength(_))),
+                "len {len} gave {r:?}"
+            );
+        } else {
+            // In-range forged lengths either ask for more bytes or fail
+            // the CRC — they never yield a frame with the wrong size.
+            match r {
+                Ok((f, _)) => prop_assert_eq!(f.payload.len(), len as usize - HEADER_LEN),
+                Err(WireError::Incomplete { .. })
+                | Err(WireError::BadCrc { .. })
+                | Err(WireError::UnknownKind(_)) => {}
+                Err(e) => prop_assert!(false, "len {len} gave {e:?}"),
+            }
+        }
+    }
+
+    /// Arbitrary garbage never panics the decoder.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Frame::decode(&bytes);
+    }
+}

@@ -48,6 +48,11 @@ pub struct RuntimeConfig {
     /// the in-memory recorder still runs either way.
     #[serde(default)]
     pub flight_recorder_path: Option<String>,
+    /// Serve parameter fetches over real loopback TCP sockets (one
+    /// listener per shard group) instead of the in-process transport. Both
+    /// paths run the same wire codec; TCP adds real sockets and threads.
+    #[serde(default)]
+    pub ps_tcp: bool,
 }
 
 impl RuntimeConfig {
@@ -64,6 +69,7 @@ impl RuntimeConfig {
             halt_after_assims: None,
             max_wall_s: 600.0,
             flight_recorder_path: None,
+            ps_tcp: false,
         }
     }
 

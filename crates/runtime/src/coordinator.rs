@@ -20,21 +20,21 @@ use crate::fault::FaultStats;
 use crate::protocol::{AssimTask, ToServer, ToWorker};
 use crate::report::{RuntimeEpoch, RuntimeReport, RuntimeTelemetry, ASSIM_LATENCY_S};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
-use vc_asgd::{result_is_valid, VcAsgdAssimilator};
+use vc_asgd::result_is_valid;
 use vc_data::Dataset;
 use vc_kvstore::{Consistency, VersionedStore};
-use vc_middleware::{BoincServer, Clock, HostSummary, ReportStatus};
+use vc_middleware::{BoincServer, Clock, HostSummary, ReportStatus, ShardManifest};
 use vc_nn::metrics::evaluate;
+use vc_ps::{PsService, ShardedAssimilator};
 use vc_telemetry::{event, Histogram, Telemetry};
 use vc_tensor::codec::encoded_len;
 
 /// Everything one assimilator (parameter-server) thread needs.
 pub struct AssimCtx {
-    /// Shared Eq. (1) applier over the shared store.
-    pub assim: Arc<VcAsgdAssimilator>,
+    /// Shared per-shard Eq. (1) applier over the shared store.
+    pub assim: Arc<ShardedAssimilator>,
     /// Consistency mode (decides the store access pattern).
     pub mode: Consistency,
     /// Shared run configuration (model spec for the eval replica).
@@ -58,11 +58,9 @@ pub fn assimilator_main(ctx: AssimCtx) {
                 // between begin and commit is a real race against the other
                 // assimilator threads. The yield widens it the same way a
                 // network hop to Redis would.
-                let (snap, version) = ctx.assim.begin_eventual();
+                let snap = ctx.assim.begin_eventual();
                 std::thread::yield_now();
-                ctx.assim
-                    .commit_eventual(snap, version, &t.client, t.epoch)
-                    .0
+                ctx.assim.commit_eventual(snap, &t.client, t.epoch).0
             }
             Consistency::Strong => ctx.assim.assimilate_strong(&t.client, t.epoch),
         };
@@ -98,14 +96,15 @@ pub struct Coordinator<C: Clock> {
     pub cfg: Arc<RuntimeConfig>,
     /// The middleware state machine.
     pub server: BoincServer,
-    /// Eq. (1) applier (same instance the pool shares).
-    pub assim: Arc<VcAsgdAssimilator>,
+    /// Per-shard Eq. (1) applier (same instance the pool shares).
+    pub assim: Arc<ShardedAssimilator>,
     /// The shared parameter store (for operation counters).
     pub store: Arc<VersionedStore>,
     /// Clock driving every middleware `now` (wall or virtual).
     pub clock: C,
-    /// Per-epoch parameter snapshots, keyed by epoch.
-    pub snapshots: HashMap<usize, Arc<Vec<f32>>>,
+    /// The parameter service workers fetch epoch snapshots from (shard
+    /// blobs pre-encoded per epoch; wire-byte counters).
+    pub service: Arc<PsService>,
     /// The in-progress epoch.
     pub epoch: usize,
     /// `(shard, acc)` assimilated so far this epoch.
@@ -147,7 +146,7 @@ impl<C: Clock> Coordinator<C> {
     /// Runs the job to completion (or halt), shuts the fleet down, and
     /// returns the report. Final accuracies are evaluated by the caller —
     /// the coordinator has no model of its own.
-    pub fn run(mut self) -> (RuntimeReport, Arc<VcAsgdAssimilator>) {
+    pub fn run(mut self) -> (RuntimeReport, Arc<ShardedAssimilator>) {
         let stop = self.event_loop();
         self.finalize(stop)
     }
@@ -155,7 +154,7 @@ impl<C: Clock> Coordinator<C> {
     /// Shuts the fleet down and builds the report. Split from [`Self::run`]
     /// so the simulation, which pumps [`Self::handle`] itself, can close a
     /// run the same way the threaded path does.
-    pub(crate) fn finalize(self, stop: Stop) -> (RuntimeReport, Arc<VcAsgdAssimilator>) {
+    pub(crate) fn finalize(self, stop: Stop) -> (RuntimeReport, Arc<ShardedAssimilator>) {
         // Orderly shutdown: tell every worker, close the assimilator
         // intake. Dead workers' channels error harmlessly.
         for tx in &self.worker_txs {
@@ -192,7 +191,8 @@ impl<C: Clock> Coordinator<C> {
             hosts: self.server.hosts().iter().map(HostSummary::from).collect(),
             store_ops: self.store.metrics().snapshot(),
             telemetry: RuntimeTelemetry::from_registry(self.telemetry.registry()),
-            bytes_transferred: self.bytes,
+            ps_ops: self.service.ops(),
+            bytes_transferred: self.total_bytes(),
             kills,
             respawns,
             delayed_msgs: delayed,
@@ -230,22 +230,12 @@ impl<C: Clock> Coordinator<C> {
         let now = self.clock.now();
         match msg {
             ToServer::RequestWork { host } => {
+                // Download bytes are no longer estimated here: the worker
+                // fetches missing shards from the parameter service, whose
+                // wire counters ([`PsService::ops`]) record what actually
+                // travelled.
                 let reply = match self.server.request_work(host, now) {
-                    Some(asg) => {
-                        // Byte accounting mirrors the simulator: parameters
-                        // always travel; the shard payload only on a
-                        // sticky-file cache miss.
-                        self.bytes += encoded_len(self.param_count) as u64;
-                        let snapshot = self
-                            .snapshots
-                            .get(&asg.wu.epoch)
-                            .expect("snapshot exists for every generated epoch")
-                            .clone();
-                        ToWorker::Assign {
-                            wu: asg.wu,
-                            snapshot,
-                        }
-                    }
+                    Some(asg) => ToWorker::Assign { wu: asg.wu },
                     None => ToWorker::NoWork,
                 };
                 // A dead worker's channel errors; its assignment (if any)
@@ -367,15 +357,28 @@ impl<C: Clock> Coordinator<C> {
             return true;
         }
 
-        // Next epoch: snapshot the server parameters for all of its
-        // subtasks (Eq. (2)'s W_{s,e-1}).
+        // Next epoch: publish the server parameters as this epoch's
+        // fetchable snapshot (Eq. (2)'s W_{s,e-1}) and hand the middleware
+        // the shard-version manifest its workunits will carry.
         self.epoch += 1;
-        let (params, version) = self.assim.read_params();
-        self.snapshots.insert(self.epoch, Arc::new(params));
+        let (params, manifest) = self.assim.read_params();
+        self.service
+            .publish_snapshot(self.epoch as u64, &params, &manifest);
         let now = self.clock.now();
-        self.server
-            .add_epoch(self.epoch, self.cfg.job.shards, version, now);
+        self.server.add_epoch_sharded(
+            self.epoch,
+            self.cfg.job.shards,
+            &ShardManifest(manifest),
+            now,
+        );
         false
+    }
+
+    /// Total payload bytes: channel uploads counted here plus the wire
+    /// bytes the parameter service moved (fetch requests and shard blobs).
+    fn total_bytes(&self) -> u64 {
+        let ops = self.service.ops();
+        self.bytes + ops.bytes_rx + ops.bytes_tx
     }
 
     /// Fires the interval checkpoint timer when its due second has passed,
@@ -400,20 +403,20 @@ impl<C: Clock> Coordinator<C> {
             return;
         };
         let snapshot = self
-            .snapshots
-            .get(&self.epoch)
+            .service
+            .snapshot_params(self.epoch as u64)
             .expect("snapshot exists for the current epoch");
         let (params, _) = self.assim.read_params();
         let mut ck = Checkpoint {
             version: CHECKPOINT_VERSION,
             cfg: (*self.cfg).clone(),
             epoch: self.epoch,
-            snapshot: (**snapshot).clone(),
+            snapshot,
             params,
             done: self.done.clone(),
             stats: self.stats.clone(),
             assimilations: self.assimilations,
-            bytes_transferred: self.bytes,
+            bytes_transferred: self.total_bytes(),
             wall_s: self.wall_base_s + self.clock.elapsed_s(),
             digest: 0,
         };

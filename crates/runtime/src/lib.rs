@@ -49,16 +49,17 @@ pub use sim::{run_scenario, sweep, verify_seed, Scenario, SimOutcome};
 use coordinator::{assimilator_main, AssimCtx, Coordinator};
 use crossbeam::channel::unbounded;
 use fault::FaultStats;
-use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
 use transport::{delay_line_main, Outbox};
-use vc_asgd::assimilator::PARAMS_KEY;
-use vc_asgd::{warm_start_params, VcAsgdAssimilator};
+use vc_asgd::warm_start_params;
 use vc_data::ShardSet;
 use vc_kvstore::VersionedStore;
-use vc_middleware::{BoincServer, HostId, WallClock};
+use vc_middleware::{BoincServer, HostId, ShardManifest, WallClock};
 use vc_nn::metrics::evaluate;
+use vc_ps::{
+    MemClient, PsClient, PsService, ShardCache, ShardedAssimilator, TcpClient, TcpPsServer,
+};
 use vc_simnet::SimTime;
 use vc_telemetry::Telemetry;
 use worker::{worker_main, WorkerCtx};
@@ -128,38 +129,43 @@ impl Runtime {
         let shards = Arc::new(ShardSet::split(&train, job.shards));
         let val_eval = Arc::new(val.select(&(0..job.val_eval_n).collect::<Vec<_>>()));
 
-        // --- parameter store ----------------------------------------------
+        // --- parameter store + sharded service ----------------------------
         let store = Arc::new(VersionedStore::new().with_telemetry(&tel));
-        let assim = Arc::new(VcAsgdAssimilator::new(
-            store.clone(),
-            job.consistency,
-            job.alpha,
-        ));
-        let mut snapshots: HashMap<usize, Arc<Vec<f32>>> = HashMap::new();
-        let (epoch, done, stats, assimilations, bytes, wall_base_s) = match &self.resume {
-            None => {
-                let mut init = job.model.build(job.seed).params_flat();
-                if let Some(warmed) = warm_start_params(job, &shards, &init) {
-                    init = warmed;
+        let (init_params, snapshot_params, epoch, done, stats, assimilations, bytes, wall_base_s) =
+            match &self.resume {
+                None => {
+                    let mut init = job.model.build(job.seed).params_flat();
+                    if let Some(warmed) = warm_start_params(job, &shards, &init) {
+                        init = warmed;
+                    }
+                    (init.clone(), init, 1, Vec::new(), Vec::new(), 0, 0, 0.0)
                 }
-                assim.seed_params(&init);
-                snapshots.insert(1, Arc::new(init));
-                (1, Vec::new(), Vec::new(), 0, 0, 0.0)
-            }
-            Some(ck) => {
-                assim.seed_params(&ck.params);
-                snapshots.insert(ck.epoch, Arc::new(ck.snapshot.clone()));
-                (
+                Some(ck) => (
+                    ck.params.clone(),
+                    ck.snapshot.clone(),
                     ck.epoch,
                     ck.done.clone(),
                     ck.stats.clone(),
                     ck.assimilations,
                     ck.bytes_transferred,
                     ck.wall_s,
-                )
-            }
-        };
-        let param_count = snapshots.values().next().expect("seeded above").len();
+                ),
+            };
+        let param_count = init_params.len();
+        let assim = Arc::new(
+            ShardedAssimilator::new(
+                store.clone(),
+                param_count,
+                job.ps_shards,
+                job.consistency,
+                job.alpha,
+            )
+            .with_telemetry(&tel),
+        );
+        assim.seed_params(&init_params);
+        let service = Arc::new(PsService::new(assim.clone()));
+        // The in-progress epoch's fetchable snapshot (Eq. (2)'s W_{s,e-1}).
+        service.publish_snapshot(epoch as u64, &snapshot_params, &assim.versions());
 
         // --- middleware ----------------------------------------------------
         let fleet = job.fleet.build(job.cn);
@@ -172,9 +178,9 @@ impl Runtime {
         // deadlines (cumulative across resumes).
         tel.set_time_source(Arc::new(clock));
         server.set_telemetry(tel.clone());
-        let version = store.version(PARAMS_KEY);
+        let manifest = ShardManifest(assim.versions());
         match &self.resume {
-            None => server.add_epoch(1, job.shards, version, SimTime::ZERO),
+            None => server.add_epoch_sharded(1, job.shards, &manifest, SimTime::ZERO),
             Some(ck) => {
                 // Re-issue only the shards the interrupted epoch still owes;
                 // the already-assimilated ones live on inside `params`.
@@ -182,12 +188,28 @@ impl Runtime {
                 // training is deterministic per (seed, epoch, shard).
                 for shard in 0..job.shards {
                     if !ck.done.iter().any(|&(s, _)| s == shard) {
-                        server.add_workunit(ck.epoch, shard, version, SimTime::ZERO);
+                        server.add_workunit_sharded(
+                            ck.epoch,
+                            shard,
+                            manifest.clone(),
+                            SimTime::ZERO,
+                        );
                     }
                 }
             }
         }
         self.resume = None;
+
+        // --- parameter-service transport -----------------------------------
+        // In-process by default; with `ps_tcp` every fetch crosses a real
+        // loopback socket through the wire codec, one listener per shard
+        // group.
+        let tcp = if cfg.ps_tcp {
+            let groups = job.ps_shards.min(4);
+            Some(TcpPsServer::bind(service.clone(), groups).map_err(|e| e.to_string())?)
+        } else {
+            None
+        };
 
         // --- channels ------------------------------------------------------
         let (server_tx, server_rx) = unbounded();
@@ -240,6 +262,12 @@ impl Runtime {
                 },
                 None => Outbox::Direct(server_tx.clone()),
             };
+            let ps: Box<dyn PsClient> = match &tcp {
+                Some(srv) => Box::new(
+                    TcpClient::connect(srv.addrs(), srv.groups()).map_err(|e| e.to_string())?,
+                ),
+                None => Box::new(MemClient::new(service.clone())),
+            };
             let ctx = WorkerCtx {
                 id: HostId(h as u32),
                 cfg: cfg.clone(),
@@ -248,6 +276,8 @@ impl Runtime {
                 outbox,
                 stats: fstats.clone(),
                 telemetry: tel.clone(),
+                ps,
+                cache: ShardCache::new(*assim.layout()),
             };
             worker_handles.push(
                 std::thread::Builder::new()
@@ -268,7 +298,7 @@ impl Runtime {
             assim,
             store,
             clock,
-            snapshots,
+            service: service.clone(),
             epoch,
             done,
             stats,
@@ -296,6 +326,9 @@ impl Runtime {
         }
         if let Some(h) = delay_handle {
             h.join().map_err(|_| "the delay-line thread panicked")?;
+        }
+        if let Some(srv) = tcp {
+            srv.shutdown();
         }
 
         // Final evaluation on the full splits, mirroring the simulator.

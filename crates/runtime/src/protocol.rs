@@ -7,7 +7,6 @@
 //! when a worker disappears, the server finds out the way the real system
 //! does, through assignment timeouts.
 
-use std::sync::Arc;
 use vc_middleware::{HostId, WorkUnit, WuId};
 use vc_simnet::SimTime;
 
@@ -50,13 +49,14 @@ pub enum ToServer {
 /// Coordinator → worker replies, one channel per worker.
 #[derive(Debug)]
 pub enum ToWorker {
-    /// One subtask plus the epoch-start parameter snapshot it trains from
-    /// (Eq. (2)'s `W_{s,e-1}`, shared by every subtask of the epoch).
+    /// One subtask. The parameter snapshot it trains from (Eq. (2)'s
+    /// `W_{s,e-1}`) is *not* shipped in the assignment: the workunit
+    /// carries a shard-version manifest (`wu.param_versions`) and the
+    /// worker fetches exactly the shards its cache is missing from the
+    /// parameter service.
     Assign {
         /// The assigned workunit.
         wu: WorkUnit,
-        /// The epoch's parameter snapshot.
-        snapshot: Arc<Vec<f32>>,
     },
     /// Nothing schedulable right now; poll again after the configured
     /// interval.

@@ -7,6 +7,7 @@ use vc_kvstore::{
     StoreOps, STORE_READ_S, STORE_STALENESS_VERSIONS, STORE_TRANSACT_S, STORE_WRITE_S,
 };
 use vc_middleware::{HostSummary, ServerMetrics, HOST_TURNAROUND_S, WU_DEADLINE_S};
+use vc_ps::{PsOps, PS_MERGE_S, PS_SHARD_SKEW_VERSIONS};
 use vc_telemetry::{Histogram, HistogramSnapshot, Registry};
 
 /// Registry name of the assimilation-latency histogram (seconds from the
@@ -23,6 +24,8 @@ pub const WORKER_TRAIN_STEP_S: &str = "worker_train_step_s";
 pub const WORKER_UPLOAD_S: &str = "worker_upload_s";
 /// Registry name of the delay-line drawn-delay histogram.
 pub const DELAY_LINE_DELAY_S: &str = "delay_line_delay_s";
+/// Registry name of the worker shard-fetch (cache sync) histogram.
+pub const WORKER_FETCH_S: &str = "worker_fetch_s";
 
 /// Per-epoch statistics of a real threaded run.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -74,7 +77,12 @@ pub struct RuntimeReport {
     pub store_ops: StoreOps,
     /// Latency/staleness histograms collected by the telemetry registry.
     pub telemetry: RuntimeTelemetry,
-    /// Parameter payload bytes that crossed worker channels.
+    /// Parameter-service operation counters (fetches, cache hits, wire
+    /// bytes).
+    #[serde(default)]
+    pub ps_ops: PsOps,
+    /// Parameter payload bytes that crossed worker channels plus wire
+    /// bytes the parameter service moved.
     pub bytes_transferred: u64,
     /// Workers the fault injector preempted.
     pub kills: u64,
@@ -116,6 +124,15 @@ pub struct RuntimeTelemetry {
     /// Deadlines the adaptive scheduler granted, seconds.
     #[serde(default)]
     pub wu_deadline_s: HistogramSnapshot,
+    /// Per-shard merge latency in the parameter service, seconds.
+    #[serde(default)]
+    pub ps_merge_s: HistogramSnapshot,
+    /// Version skew (max − min) across shard manifests at snapshot reads.
+    #[serde(default)]
+    pub ps_shard_skew_versions: HistogramSnapshot,
+    /// Worker shard-fetch (cache sync) latency, seconds.
+    #[serde(default)]
+    pub worker_fetch_s: HistogramSnapshot,
 }
 
 impl RuntimeTelemetry {
@@ -139,6 +156,11 @@ impl RuntimeTelemetry {
             worker_train_step_s: grab(WORKER_TRAIN_STEP_S),
             host_turnaround_s: grab(HOST_TURNAROUND_S),
             wu_deadline_s: grab(WU_DEADLINE_S),
+            ps_merge_s: grab(PS_MERGE_S),
+            ps_shard_skew_versions: registry
+                .histogram_with(PS_SHARD_SKEW_VERSIONS, Histogram::version_bounds)
+                .snapshot(),
+            worker_fetch_s: grab(WORKER_FETCH_S),
         }
     }
 }
@@ -191,6 +213,7 @@ mod tests {
             hosts: Vec::new(),
             store_ops: StoreOps::default(),
             telemetry: RuntimeTelemetry::from_registry(&Registry::default()),
+            ps_ops: PsOps::default(),
             bytes_transferred: 0,
             kills: 0,
             respawns: 0,

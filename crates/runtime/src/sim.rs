@@ -30,16 +30,16 @@ use crate::scheduler::StepScheduler;
 use crate::worker::WorkerCore;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use rand::Rng;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use vc_asgd::assimilator::PARAMS_KEY;
-use vc_asgd::{train_client_replica, warm_start_params, VcAsgdAssimilator};
+use vc_asgd::{train_client_replica, warm_start_params};
 use vc_data::{Dataset, ShardSet};
 use vc_kvstore::{check_sequential, count_lost_updates, Consistency, HistoryEvent, VersionedStore};
-use vc_middleware::{BoincServer, Clock, HostId, VirtualClock, WuId};
+use vc_middleware::{BoincServer, Clock, HostId, ShardManifest, VirtualClock, WuId};
 use vc_nn::metrics::evaluate;
 use vc_nn::Sequential;
+use vc_ps::{MemClient, PsService, ShardCache, ShardSnapshot, ShardedAssimilator};
 use vc_simnet::SimTime;
 use vc_telemetry::{event, Histogram, Telemetry};
 
@@ -118,6 +118,12 @@ impl Scenario {
     /// Sets the store consistency mode.
     pub fn consistency(mut self, mode: Consistency) -> Self {
         self.cfg.job.consistency = mode;
+        self
+    }
+
+    /// Sets the parameter-service shard count `P`.
+    pub fn ps_shards(mut self, p: usize) -> Self {
+        self.cfg.job.ps_shards = p;
         self
     }
 
@@ -257,10 +263,15 @@ impl SimOutcome {
 }
 
 /// A simulated worker: the same [`WorkerCore`] the threaded worker runs,
-/// plus the liveness state its thread encodes implicitly.
+/// plus the liveness state its thread encodes implicitly and the same
+/// parameter-service client + sticky shard cache. The in-memory client is
+/// synchronous — a fetch is a plain call, no events and no RNG draws — so
+/// adding the parameter service leaves every schedule untouched.
 struct SimWorker {
     core: WorkerCore,
     state: WState,
+    ps: MemClient,
+    cache: ShardCache,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -277,11 +288,11 @@ struct Slot {
 }
 
 /// An assimilation between begin and commit. `begun` holds the stale
-/// snapshot in eventual mode; strong mode reads inside the commit
-/// transaction.
+/// per-shard snapshot in eventual mode; strong mode reads inside the
+/// commit transactions.
 struct InFlight {
     task: AssimTask,
-    begun: Option<(Vec<f32>, u64)>,
+    begun: Option<ShardSnapshot>,
 }
 
 /// The simulation's event alphabet.
@@ -442,7 +453,7 @@ impl Sim {
     fn worker_recv(&mut self, h: u32, msg: ToWorker) {
         let w = &mut self.workers[h as usize];
         match msg {
-            ToWorker::Assign { wu, snapshot } => {
+            ToWorker::Assign { wu } => {
                 if w.state != WState::Alive {
                     // Reply addressed to a dead instance: dropped, and the
                     // server recovers the slot through the timeout path.
@@ -466,10 +477,17 @@ impl Sim {
                     }
                     return;
                 }
+                // Fetch exactly the shards the manifest says moved — the
+                // same `ShardCache::sync` the threaded worker runs, here
+                // as a synchronous call against the in-process service.
+                let snapshot = w
+                    .cache
+                    .sync(wu.epoch as u64, &wu.param_versions.0, &mut w.ps)
+                    .expect("sim fetch: a snapshot is published for every generated epoch");
                 let data = &self.shards.shard(wu.shard_id).data;
                 let mut params = train_client_replica(
                     &self.coord.cfg.job,
-                    &snapshot,
+                    snapshot,
                     data,
                     wu.epoch,
                     wu.shard_id,
@@ -535,10 +553,10 @@ impl Sim {
             .take()
             .expect("commit event for an idle slot");
         let updated = match begun {
-            Some((snap, version)) => {
+            Some(snap) => {
                 self.coord
                     .assim
-                    .commit_eventual(snap, version, &task.client, task.epoch)
+                    .commit_eventual(snap, &task.client, task.epoch)
                     .0
             }
             None => self.coord.assim.assimilate_strong(&task.client, task.epoch),
@@ -591,21 +609,26 @@ pub fn run_scenario(sc: &Scenario) -> Result<SimOutcome, String> {
     let tel = Telemetry::silent();
     tel.set_time_source(Arc::new(clock.clone()));
 
-    // --- recording parameter store -------------------------------------
+    // --- recording parameter store + sharded service --------------------
     let store = Arc::new(VersionedStore::recording().with_telemetry(&tel));
-    let assim = Arc::new(VcAsgdAssimilator::new(
-        store.clone(),
-        job.consistency,
-        job.alpha,
-    ));
     let mut init = job.model.build(job.seed).params_flat();
     if let Some(warmed) = warm_start_params(job, &shards, &init) {
         init = warmed;
     }
-    assim.seed_params(&init);
     let param_count = init.len();
-    let mut snapshots = HashMap::new();
-    snapshots.insert(1, Arc::new(init));
+    let assim = Arc::new(
+        ShardedAssimilator::new(
+            store.clone(),
+            param_count,
+            job.ps_shards,
+            job.consistency,
+            job.alpha,
+        )
+        .with_telemetry(&tel),
+    );
+    assim.seed_params(&init);
+    let service = Arc::new(PsService::new(assim.clone()));
+    service.publish_snapshot(1, &init, &assim.versions());
 
     // --- middleware ------------------------------------------------------
     let fleet = job.fleet.build(job.cn);
@@ -614,8 +637,12 @@ pub fn run_scenario(sc: &Scenario) -> Result<SimOutcome, String> {
         fleet.iter().map(|s| (s.clone(), job.tn)).collect(),
     );
     server.set_telemetry(tel.clone());
-    let version = store.version(PARAMS_KEY);
-    server.add_epoch(1, job.shards, version, SimTime::ZERO);
+    server.add_epoch_sharded(
+        1,
+        job.shards,
+        &ShardManifest(assim.versions()),
+        SimTime::ZERO,
+    );
 
     // --- actors ----------------------------------------------------------
     let (server_tx, server_rx) = unbounded();
@@ -632,6 +659,8 @@ pub fn run_scenario(sc: &Scenario) -> Result<SimOutcome, String> {
         .map(|h| SimWorker {
             core: WorkerCore::new(HostId(h as u32), cfg.faults.seed),
             state: WState::Alive,
+            ps: MemClient::new(service.clone()),
+            cache: ShardCache::new(*assim.layout()),
         })
         .collect();
     let slots = (0..job.pn)
@@ -647,7 +676,7 @@ pub fn run_scenario(sc: &Scenario) -> Result<SimOutcome, String> {
         assim: assim.clone(),
         store: store.clone(),
         clock,
-        snapshots,
+        service: service.clone(),
         epoch: 1,
         done: Vec::new(),
         stats: Vec::new(),

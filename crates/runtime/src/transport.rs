@@ -19,7 +19,6 @@ use crate::report::DELAY_LINE_DELAY_S;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vc_telemetry::{Histogram, Telemetry};
@@ -72,91 +71,12 @@ impl Outbox {
     }
 }
 
-/// Heap entry ordered by delivery instant (earliest first under the
-/// reversed [`Ord`]), with an arrival sequence number breaking exact ties
-/// FIFO.
-struct Pending<T, M> {
-    at: T,
-    seq: u64,
-    msg: M,
-}
-
-impl<T: Ord, M> PartialEq for Pending<T, M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<T: Ord, M> Eq for Pending<T, M> {}
-impl<T: Ord, M> PartialOrd for Pending<T, M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<T: Ord, M> Ord for Pending<T, M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        (&other.at, other.seq).cmp(&(&self.at, self.seq))
-    }
-}
-
-/// A min-heap of messages keyed by delivery time: the reordering core of
-/// the delay line, shared by the wall-clock thread and the deterministic
-/// simulation.
-pub struct DelayQueue<T, M> {
-    heap: BinaryHeap<Pending<T, M>>,
-    seq: u64,
-}
-
-impl<T: Ord + Copy, M> DelayQueue<T, M> {
-    /// An empty queue.
-    pub fn new() -> Self {
-        DelayQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-        }
-    }
-
-    /// Holds `msg` for delivery at `at`.
-    pub fn push(&mut self, at: T, msg: M) {
-        self.heap.push(Pending {
-            at,
-            seq: self.seq,
-            msg,
-        });
-        self.seq += 1;
-    }
-
-    /// The earliest pending delivery time.
-    pub fn next_due(&self) -> Option<T> {
-        self.heap.peek().map(|p| p.at)
-    }
-
-    /// Releases the earliest message if its delivery time has passed
-    /// (`at <= now`). Call in a loop to drain everything due.
-    pub fn pop_due(&mut self, now: T) -> Option<M> {
-        if self.heap.peek().is_some_and(|p| p.at <= now) {
-            Some(self.heap.pop().expect("peeked").msg)
-        } else {
-            None
-        }
-    }
-
-    /// Number of held messages.
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// True when nothing is held.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-}
-
-impl<T: Ord + Copy, M> Default for DelayQueue<T, M> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+// The reordering core of the delay line — a min-heap of messages keyed by
+// delivery time with FIFO tie-breaking — now lives in `vc-ps`, where the
+// delayed in-memory transport reuses it to shuffle response frames. The
+// wall-clock delay line and the deterministic simulation keep using it
+// from here.
+pub use vc_ps::DelayQueue;
 
 /// The delay-line thread body: stamps incoming messages into the queue and
 /// releases each when its delivery instant passes. Drains the queue after

@@ -30,9 +30,12 @@ use vc_asgd::{train_client_replica_ws, JobConfig};
 use vc_data::ShardSet;
 use vc_middleware::HostId;
 use vc_optim::{StepTimer, TrainWorkspace};
+use vc_ps::{PsClient, ShardCache};
 use vc_telemetry::{event, Histogram, Telemetry};
 
-use crate::report::{WORKER_POLL_S, WORKER_TRAIN_S, WORKER_TRAIN_STEP_S, WORKER_UPLOAD_S};
+use crate::report::{
+    WORKER_FETCH_S, WORKER_POLL_S, WORKER_TRAIN_S, WORKER_TRAIN_STEP_S, WORKER_UPLOAD_S,
+};
 
 /// The substrate-independent worker state: identity, life/assignment
 /// counters for the fault plan, and the worker's private RNG stream.
@@ -94,6 +97,11 @@ pub struct WorkerCtx {
     pub stats: Arc<FaultStats>,
     /// The run's telemetry hub (phase timings, kill/respawn events).
     pub telemetry: Telemetry,
+    /// Connection to the parameter service (in-memory or TCP).
+    pub ps: Box<dyn PsClient>,
+    /// Sticky shard cache: only shards whose manifest version moved are
+    /// re-fetched across assignments.
+    pub cache: ShardCache,
 }
 
 /// The worker thread body.
@@ -106,6 +114,8 @@ pub fn worker_main(ctx: WorkerCtx) {
         outbox,
         stats,
         telemetry,
+        mut ps,
+        mut cache,
     } = ctx;
     let job: &JobConfig = &cfg.job;
     let mut core = WorkerCore::new(id, cfg.faults.seed);
@@ -123,6 +133,9 @@ pub fn worker_main(ctx: WorkerCtx) {
     let upload_h = telemetry
         .registry()
         .histogram_with(WORKER_UPLOAD_S, Histogram::latency_bounds);
+    let fetch_h = telemetry
+        .registry()
+        .histogram_with(WORKER_FETCH_S, Histogram::latency_bounds);
     // One workspace per worker thread: after the first subtask warms its
     // pools, steady-state training steps allocate nothing.
     let mut tws = TrainWorkspace::new();
@@ -144,7 +157,7 @@ pub fn worker_main(ctx: WorkerCtx) {
             Err(RecvTimeoutError::Disconnected) | Ok(ToWorker::Shutdown) => return,
             Err(RecvTimeoutError::Timeout) => continue, // reply lost somewhere: re-poll
             Ok(ToWorker::NoWork) => std::thread::sleep(poll),
-            Ok(ToWorker::Assign { wu, snapshot }) => {
+            Ok(ToWorker::Assign { wu }) => {
                 if core.on_assign(&cfg.faults) {
                     if !die(&cfg, &cmd_rx, &stats, &telemetry, id, core.life) {
                         return;
@@ -152,6 +165,27 @@ pub fn worker_main(ctx: WorkerCtx) {
                     core.respawn();
                     continue;
                 }
+                // Sync the sticky cache against the workunit's manifest:
+                // only shards whose version moved cross the wire.
+                let fetch_t0 = telemetry.now_s();
+                let snapshot = match cache.sync(wu.epoch as u64, &wu.param_versions.0, ps.as_mut())
+                {
+                    Ok(params) => params,
+                    Err(e) => {
+                        // A failed fetch drops the assignment; the server
+                        // recovers it through the timeout path like any
+                        // lost host.
+                        event!(
+                            telemetry,
+                            Warn,
+                            "worker_fetch_failed",
+                            host = id.0,
+                            err = e.to_string()
+                        );
+                        continue;
+                    }
+                };
+                fetch_h.observe((telemetry.now_s() - fetch_t0).max(0.0));
                 let data = &shards.shard(wu.shard_id).data;
                 let train_t0 = telemetry.now_s();
                 let step_timer = StepTimer {
@@ -160,7 +194,7 @@ pub fn worker_main(ctx: WorkerCtx) {
                 };
                 let mut params = train_client_replica_ws(
                     job,
-                    &snapshot,
+                    snapshot,
                     data,
                     wu.epoch,
                     wu.shard_id,

@@ -48,7 +48,18 @@ pub fn encode_f32s(values: &[f32]) -> Bytes {
 }
 
 /// Decodes a blob produced by [`encode_f32s`].
-pub fn decode_f32s(mut blob: &[u8]) -> Result<Vec<f32>, CodecError> {
+pub fn decode_f32s(blob: &[u8]) -> Result<Vec<f32>, CodecError> {
+    let mut out = Vec::new();
+    decode_f32s_into(blob, &mut out)?;
+    Ok(out)
+}
+
+/// Decodes into a caller-owned buffer, reusing its capacity: the hot fetch
+/// path decodes every parameter read, and with a warm `out` this performs
+/// no heap allocation at all. `out` is cleared first; on error it is left
+/// empty.
+pub fn decode_f32s_into(mut blob: &[u8], out: &mut Vec<f32>) -> Result<(), CodecError> {
+    out.clear();
     if blob.len() < 12 {
         return Err(CodecError::Truncated {
             expected: 12,
@@ -66,11 +77,11 @@ pub fn decode_f32s(mut blob: &[u8]) -> Result<Vec<f32>, CodecError> {
             got: 12 + blob.len(),
         });
     }
-    let mut out = Vec::with_capacity(n);
+    out.reserve(n);
     for _ in 0..n {
         out.push(blob.get_f32_le());
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Encodes a tensor's data (shape is carried out-of-band by the model spec,
@@ -105,6 +116,19 @@ mod tests {
     fn encoded_len_matches() {
         let vals = vec![1.0; 100];
         assert_eq!(encode_f32s(&vals).len(), encoded_len(100));
+    }
+
+    #[test]
+    fn decode_into_reuses_capacity_and_clears_on_error() {
+        let blob = encode_f32s(&[1.0, 2.0, 3.0]);
+        let mut out = Vec::with_capacity(16);
+        decode_f32s_into(&blob, &mut out).unwrap();
+        assert_eq!(out, vec![1.0, 2.0, 3.0]);
+        let ptr = out.as_ptr();
+        decode_f32s_into(&blob, &mut out).unwrap();
+        assert_eq!(out.as_ptr(), ptr, "warm decode must not reallocate");
+        assert!(decode_f32s_into(&blob[..5], &mut out).is_err());
+        assert!(out.is_empty(), "error leaves the buffer empty");
     }
 
     #[test]

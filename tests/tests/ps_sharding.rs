@@ -1,0 +1,178 @@
+//! DST regression for the sharded parameter service (`vc-ps`).
+//!
+//! Three claims, each checked across seeds:
+//!
+//! 1. **Exact reproduction at one shard.** With `ps_shards = 1` the
+//!    service stores the same key and performs the same operation sequence
+//!    as the historical single-value assimilator, so the accuracy
+//!    trajectory must match the pre-sharding runs *to the bit* — the
+//!    golden values below were recorded before `vc-ps` existed.
+//! 2. **Shard-count invariance.** The Eq. (1) blend is elementwise and
+//!    every simulated commit is atomic within one event, so 4 or 16
+//!    shards must produce bitwise-identical accuracy trajectories to 1.
+//! 3. **Clean band under chaos.** 32-seed sweeps at every shard count
+//!    stay above the learnability floor under a 30% fleet kill and under
+//!    byzantine uploads filtered by replication+quorum, and every history
+//!    still passes the consistency checker.
+
+use vc_runtime::{run_scenario, sweep, verify_seed, ByzantineMode, RuntimeConfig, Scenario};
+
+/// The anchor scenario the golden bits were recorded on (pre-`vc-ps`).
+fn tiny(seed: u64) -> Scenario {
+    let mut sc = Scenario::new(seed).cn(3).epochs(2);
+    sc.cfg.job.val_eval_n = 60;
+    sc
+}
+
+/// The accuracy bits of each epoch's `mean_val_acc`, then the final
+/// val/test accuracies, as `f32::to_bits()`.
+fn trajectory_bits(sc: &Scenario) -> (Vec<u32>, u32, u32) {
+    let out = run_scenario(sc).expect("scenario runs");
+    assert!(!out.report.halted_early);
+    out.verify_consistency().expect("consistency contract");
+    (
+        out.report
+            .epochs
+            .iter()
+            .map(|e| e.mean_val_acc.to_bits())
+            .collect(),
+        out.report.final_val_acc.to_bits(),
+        out.report.final_test_acc.to_bits(),
+    )
+}
+
+/// Claim 1: one shard reproduces the pre-sharding trajectories bitwise.
+/// These constants were captured from the seed commit (before `vc-ps`);
+/// any drift here means the refactor changed the math, not just the
+/// plumbing.
+#[test]
+fn one_shard_reproduces_golden_trajectories() {
+    let golden: [(u64, [u32; 2], u32, u32); 4] = [
+        (0, [1043682646, 1049414860], 1050253722, 1050253722),
+        (1, [1042424354, 1049904195], 1050812962, 1051931443),
+        (2, [1045500177, 1052141160], 1051651823, 1051372203),
+        (3, [1040886442, 1049974102], 1050533342, 1050812962),
+    ];
+    for (seed, epochs, val, test) in golden {
+        let (e, v, t) = trajectory_bits(&tiny(seed));
+        assert_eq!(
+            (e.as_slice(), v, t),
+            (epochs.as_slice(), val, test),
+            "seed {seed}: ps_shards=1 must match the pre-sharding trajectory bitwise"
+        );
+    }
+}
+
+/// Claim 2: the accuracy trajectory is invariant in the shard count.
+#[test]
+fn shard_count_never_changes_the_math() {
+    for seed in [7, 8] {
+        let base = trajectory_bits(&tiny(seed));
+        for p in [4, 16] {
+            let sharded = trajectory_bits(&tiny(seed).ps_shards(p));
+            assert_eq!(
+                base, sharded,
+                "seed {seed}: {p} shards diverged from the unsharded trajectory"
+            );
+        }
+    }
+}
+
+/// Replays of a sharded run are byte-identical, report and store history.
+#[test]
+fn sharded_replay_is_byte_identical() {
+    let sc = tiny(5).ps_shards(4);
+    let a = run_scenario(&sc).unwrap();
+    let b = run_scenario(&sc).unwrap();
+    assert_eq!(a.report_json(), b.report_json(), "sharded replay drifted");
+    assert_eq!(a.history, b.history, "store op history drifted");
+}
+
+/// Claim 3a: 30% fleet kill, every shard count, 32 seeds each.
+#[test]
+fn dst_sweep_kill_storm_across_shard_counts() {
+    for p in [1usize, 4, 16] {
+        let make = move |seed| tiny(seed).cn(4).tn(2).kill_fraction(0.3, 2).ps_shards(p);
+        for (seed, out) in sweep(0..32, make) {
+            let r = &out.report;
+            assert!(!r.halted_early, "shards {p} seed {seed}: halted early");
+            assert_eq!(r.kills, 2, "shards {p} seed {seed}: wrong kill count");
+            assert!(
+                r.final_mean_acc() > 0.15,
+                "shards {p} seed {seed}: accuracy {} out of the clean band",
+                r.final_mean_acc()
+            );
+        }
+    }
+}
+
+/// Claim 3b: byzantine uploads, filtered by replication + quorum, every
+/// shard count. The poisoned results never reach the merge path, so the
+/// fleet stays in the clean accuracy band.
+#[test]
+fn dst_sweep_byzantine_across_shard_counts() {
+    for p in [1usize, 4, 16] {
+        let make = move |seed| {
+            tiny(seed)
+                .cn(6)
+                .replication(2)
+                .quorum(2)
+                .byzantine(vec![0, 1], ByzantineMode::Poison)
+                .ps_shards(p)
+        };
+        for (seed, out) in sweep(0..32, make) {
+            let r = &out.report;
+            assert!(!r.halted_early, "shards {p} seed {seed}: halted early");
+            assert!(
+                r.final_mean_acc() > 0.15,
+                "shards {p} seed {seed}: byzantine uploads leaked into the merge (acc {})",
+                r.final_mean_acc()
+            );
+            verify_seed(seed, &out);
+        }
+    }
+}
+
+/// The wire-byte counters are live, and the sticky cache pays off: a
+/// worker only fetches when the manifest moved, so same-epoch
+/// re-assignments cost no wire traffic at all.
+#[test]
+fn sharded_runs_report_partial_fetch_traffic() {
+    let out = run_scenario(&tiny(11).ps_shards(4)).unwrap();
+    let r = &out.report;
+    let ops = r.ps_ops;
+    assert!(ops.fetches > 0, "workers must fetch through the service");
+    assert!(ops.shards_sent > 0, "stale fetches ship shard blobs");
+    assert!(
+        ops.fetches < r.server_metrics.assigned,
+        "sticky caches must absorb same-epoch re-assignments \
+         ({} fetches vs {} assignments)",
+        ops.fetches,
+        r.server_metrics.assigned
+    );
+    assert!(ops.bytes_tx > ops.bytes_rx, "responses outweigh requests");
+    assert!(
+        r.bytes_transferred >= ops.bytes_tx + ops.bytes_rx,
+        "report folds the wire bytes in"
+    );
+}
+
+/// The real-thread runtime over TCP loopback with 4 shards converges like
+/// the in-process transport: same codec, real sockets.
+#[test]
+fn tcp_loopback_fleet_learns_above_chance() {
+    let mut cfg = RuntimeConfig::test_small(2);
+    cfg.job.cn = 4;
+    cfg.job.tn = 2;
+    cfg.job.epochs = 5;
+    cfg.job.ps_shards = 4;
+    cfg.ps_tcp = true;
+    let report = vc_runtime::run_runtime(cfg).unwrap();
+    assert!(!report.halted_early, "TCP run must finish on its own");
+    assert!(
+        report.final_mean_acc() > 0.2,
+        "TCP-loopback accuracy {}",
+        report.final_mean_acc()
+    );
+    assert!(report.ps_ops.fetches > 0 && report.ps_ops.bytes_tx > 0);
+}

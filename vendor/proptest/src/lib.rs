@@ -19,8 +19,8 @@ pub mod strategy;
 
 pub mod prelude {
     //! Glob-import surface mirroring `proptest::prelude::*`.
-    pub use crate::strategy::Strategy;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
 
     pub mod prop {
         //! The `prop::` path alias used as `prop::collection::vec(..)`.
@@ -64,6 +64,15 @@ macro_rules! proptest {
                 }
             }
         )*
+    };
+}
+
+/// Uniform choice among strategies of one value type (no weights — the
+/// real proptest's `weight => strategy` arms are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![$($crate::strategy::boxed($s)),+])
     };
 }
 
