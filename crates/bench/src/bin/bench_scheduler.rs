@@ -1,0 +1,234 @@
+//! Scheduler hot-path benchmark: per-event cost of the BOINC server at
+//! volunteer-fleet scale.
+//!
+//! Drives [`vc_middleware::BoincServer`] directly — no neural network, no
+//! DES — through repeated cycles of its hot paths, at 1k / 10k / 100k
+//! synthesized hosts ([`vc_simnet::generated_fleet`]):
+//!
+//! - **assign polls** — `request_work` calls that issue an assignment
+//!   (sticky pick / FIFO pick, timer arm, ledger updates);
+//! - **idle polls** — `request_work` calls that find no assignable work;
+//! - **no-op deadline scans** — `scan_timeouts` with every armed deadline
+//!   in the future (the per-event transitioner call: must be O(1), *not*
+//!   O(workunits) as before the rewrite);
+//! - **deadline drains** — one scan expiring a full fleet's assignments
+//!   (O(due · log n));
+//! - **reports** — `report_result` through quorum decision.
+//!
+//! Writes `results/BENCH_sched.json`. `--smoke` runs tiny fleets, asserts
+//! sanity, writes nothing (CI guard). `--check` additionally asserts the
+//! flat-cost claim: per-poll cost at the largest fleet within 4× of the
+//! smallest (the pre-rewrite scheduler failed this by orders of
+//! magnitude — every poll paid an O(workunits) deadline scan).
+
+use serde::Serialize;
+use std::time::Instant;
+use vc_middleware::server::{BoincServer, MiddlewareConfig};
+use vc_middleware::{HostId, ReportStatus, WuId};
+use vc_simnet::{generated_fleet, SimTime};
+
+#[derive(Serialize)]
+struct SizeRow {
+    hosts: usize,
+    /// Workunits enqueued per cycle (= hosts, one slot each is kept busy).
+    workunits_per_cycle: usize,
+    cycles: usize,
+    assign_polls_per_s: f64,
+    idle_polls_per_s: f64,
+    noop_scans_per_s: f64,
+    drain_expiries_per_s: f64,
+    reports_per_s: f64,
+    /// Mean assign-poll cost, microseconds — the `--check` metric.
+    per_poll_us: f64,
+}
+
+#[derive(Serialize)]
+struct BenchSched {
+    shard_space: usize,
+    sizes: Vec<SizeRow>,
+}
+
+const SHARD_SPACE: usize = 256;
+
+/// One full hot-path cycle at `n` hosts, repeated `cycles` times;
+/// wall-clock per phase accumulated across cycles.
+fn bench_fleet(n: usize, cycles: usize, noop_scans_per_cycle: usize) -> SizeRow {
+    let fleet = generated_fleet(n, 42)
+        .into_iter()
+        .map(|spec| (spec, 2usize))
+        .collect();
+    // Fetch backoff off: a timed-out host must poll again immediately in
+    // the reissue phase, not sit out a simulated backoff window.
+    let cfg = MiddlewareConfig {
+        backoff_base_s: 0.0,
+        backoff_max_s: 0.0,
+        ..Default::default()
+    };
+    let mut server = BoincServer::new(cfg, fleet);
+
+    let mut assign_s = 0.0f64;
+    let mut idle_s = 0.0f64;
+    let mut noop_s = 0.0f64;
+    let mut drain_s = 0.0f64;
+    let mut report_s = 0.0f64;
+    let mut assigned = 0usize;
+    let mut idle_polls = 0usize;
+    let mut noop_scans = 0usize;
+    let mut drained = 0usize;
+    let mut reported = 0usize;
+
+    for cycle in 0..cycles {
+        // Cycle epochs are spaced far enough apart that every adaptive
+        // deadline (clamped to ≤ 3600 s) from the previous cycle is long
+        // gone.
+        let t0 = SimTime::from_secs(cycle as f64 * 10_000.0);
+        for i in 0..n {
+            server.add_workunit(cycle + 1, i % SHARD_SPACE, 1, t0);
+        }
+
+        // Assign: one poll per host issues one workunit (hosts have two
+        // slots; the queue empties after n issues).
+        let t = Instant::now();
+        for h in 0..n as u32 {
+            let a = server.request_work(HostId(h), t0);
+            assert!(a.is_some(), "queued work must be assignable");
+        }
+        assign_s += t.elapsed().as_secs_f64();
+        assigned += n;
+
+        // Idle: every host has a free slot but the queue is empty.
+        let t = Instant::now();
+        for h in 0..n as u32 {
+            assert!(server.request_work(HostId(h), t0).is_none());
+        }
+        idle_s += t.elapsed().as_secs_f64();
+        idle_polls += n;
+
+        // No-op deadline scans: n timers armed, none due.
+        let t_scan = t0 + 10.0;
+        let t = Instant::now();
+        for _ in 0..noop_scans_per_cycle {
+            assert!(server.scan_timeouts(t_scan).is_empty());
+        }
+        noop_s += t.elapsed().as_secs_f64();
+        noop_scans += noop_scans_per_cycle;
+
+        // Drain: one virtual-clock jump past every deadline expires the
+        // whole in-flight fleet in a single scan.
+        let td = t0 + 5_000.0;
+        let t = Instant::now();
+        let expired = server.scan_timeouts(td);
+        drain_s += t.elapsed().as_secs_f64();
+        assert_eq!(expired.len(), n, "every assignment must expire");
+        drained += n;
+
+        // Reissue the recovered work, then report it all the way through
+        // quorum decision.
+        let mut issued: Vec<(WuId, u32)> = Vec::with_capacity(n);
+        for h in 0..n as u32 {
+            let a = server
+                .request_work(HostId(h), td)
+                .expect("requeued work reissues");
+            issued.push((a.wu.id, h));
+        }
+        let tr = td + 1.0;
+        let t = Instant::now();
+        for &(wu, h) in &issued {
+            let st = server.report_result(wu, HostId(h), &[1.0], tr);
+            assert_eq!(st, ReportStatus::Accepted);
+        }
+        report_s += t.elapsed().as_secs_f64();
+        reported += n;
+        assert!(server.all_done(), "cycle must complete every workunit");
+    }
+
+    SizeRow {
+        hosts: n,
+        workunits_per_cycle: n,
+        cycles,
+        assign_polls_per_s: assigned as f64 / assign_s,
+        idle_polls_per_s: idle_polls as f64 / idle_s,
+        noop_scans_per_s: noop_scans as f64 / noop_s,
+        drain_expiries_per_s: drained as f64 / drain_s,
+        reports_per_s: reported as f64 / report_s,
+        per_poll_us: assign_s / assigned as f64 * 1e6,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+
+    // Cycles scale inversely with fleet size so every row measures a
+    // comparable number of operations.
+    let sizes: Vec<(usize, usize)> = if smoke {
+        vec![(200, 5), (1_000, 2)]
+    } else {
+        vec![(1_000, 50), (10_000, 5), (100_000, 1)]
+    };
+    let noop_scans_per_cycle = 1_000;
+
+    let mut rows = Vec::new();
+    for &(n, cycles) in &sizes {
+        let row = bench_fleet(n, cycles, noop_scans_per_cycle);
+        println!(
+            "hosts {:>7}: assign {:>9.0}/s ({:>7.3} µs/poll)  idle {:>9.0}/s  noop-scan {:>9.0}/s  drain {:>9.0}/s  report {:>9.0}/s",
+            row.hosts,
+            row.assign_polls_per_s,
+            row.per_poll_us,
+            row.idle_polls_per_s,
+            row.noop_scans_per_s,
+            row.drain_expiries_per_s,
+            row.reports_per_s,
+        );
+        rows.push(row);
+    }
+
+    for r in &rows {
+        for (name, v) in [
+            ("assign", r.assign_polls_per_s),
+            ("idle", r.idle_polls_per_s),
+            ("noop-scan", r.noop_scans_per_s),
+            ("drain", r.drain_expiries_per_s),
+            ("report", r.reports_per_s),
+        ] {
+            assert!(
+                v.is_finite() && v > 0.0,
+                "bad {name} rate at {} hosts: {v}",
+                r.hosts
+            );
+        }
+    }
+
+    if check {
+        let small = rows.first().expect("at least one size");
+        let large = rows.last().expect("at least one size");
+        let ratio = large.per_poll_us / small.per_poll_us;
+        assert!(
+            ratio <= 4.0,
+            "per-poll cost must stay flat with fleet size: {:.3} µs at {} hosts vs {:.3} µs at {} hosts ({ratio:.2}×, limit 4×)",
+            large.per_poll_us,
+            large.hosts,
+            small.per_poll_us,
+            small.hosts
+        );
+        println!(
+            "check: per-poll {:.3} µs @ {} hosts ≤ 4 × {:.3} µs @ {} hosts ({ratio:.2}×) ✓",
+            large.per_poll_us, large.hosts, small.per_poll_us, small.hosts
+        );
+    }
+
+    if smoke {
+        println!("smoke OK (nothing written)");
+        return;
+    }
+    let out = BenchSched {
+        shard_space: SHARD_SPACE,
+        sizes: rows,
+    };
+    vc_bench::write_results(
+        "BENCH_sched.json",
+        &serde_json::to_string_pretty(&out).expect("serialize"),
+    );
+}

@@ -19,6 +19,14 @@ pub enum FleetKind {
     Mixed,
     /// An explicit instance list (length must equal `cn`).
     Custom(Vec<InstanceSpec>),
+    /// A synthesized volunteer population with a heavy-tailed speed
+    /// distribution ([`vc_simnet::generated_fleet`]), deterministic in
+    /// `(cn, seed)` — the 10k–100k-host fleets of the scale sweeps.
+    Generated {
+        /// Population seed (independent of the job seed, so the same
+        /// fleet can be reused across schedules).
+        seed: u64,
+    },
 }
 
 impl FleetKind {
@@ -31,6 +39,7 @@ impl FleetKind {
                 assert_eq!(list.len(), cn, "custom fleet size must equal cn");
                 list.clone()
             }
+            FleetKind::Generated { seed } => vc_simnet::generated_fleet(cn, *seed),
         }
     }
 }

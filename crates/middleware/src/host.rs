@@ -1,4 +1,12 @@
 //! Host (volunteer client) records.
+//!
+//! Host state is split hot/cold for fleet scale. [`HostHot`] is the
+//! fixed-size, `Copy` record every scheduler decision reads — packed into
+//! one flat `Vec` indexed by the dense [`HostId`], so a 100k-host fleet's
+//! reputation/EWMA/backoff state is a contiguous array scan-free to
+//! address. [`HostCold`] holds the rarely-touched allocations (instance
+//! spec, sticky-file cache) in a parallel vector; the serializable
+//! [`HostSummary`] is materialized only at the API edge.
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -23,22 +31,23 @@ const RELIABILITY_ALPHA: f64 = 0.15;
 /// reliability estimate twice as hard.
 const INVALID_ALPHA: f64 = 0.3;
 
-/// Control-plane state the scheduler keeps per host (BOINC's host table).
-#[derive(Clone, Debug)]
-pub struct HostRecord {
-    /// Identifier.
-    pub id: HostId,
-    /// Instance configuration (Table I row).
-    pub spec: InstanceSpec,
+/// The scheduler-hot per-host state (BOINC's host table, minus the cold
+/// allocations): slot ledger, reputation, turnaround EWMA, fetch backoff,
+/// incarnation counter. `Copy` and fixed-size so the server can keep the
+/// whole fleet in one flat cache-friendly `Vec<HostHot>`.
+#[derive(Clone, Copy, Debug)]
+pub struct HostHot {
     /// Maximum simultaneous subtasks (the paper's `Tn`).
     pub slots: usize,
-    /// Workunits currently assigned.
+    /// Workunits currently assigned to the live incarnation.
     pub in_flight: usize,
+    /// Live assignments addressed to this host id across *all*
+    /// incarnations — the O(1) orphan count a revive charges to the run
+    /// metrics.
+    pub live_assignments: usize,
     /// Exponential moving average of result success in [0, 1]; starts at 1
     /// (BOINC starts hosts trusted and demotes them on failures).
     pub reliability: f64,
-    /// Shards cached by the sticky-file feature.
-    pub cached_shards: HashSet<usize>,
     /// True while the host is alive (preempted hosts flip to false until
     /// replaced).
     pub alive: bool,
@@ -65,17 +74,24 @@ pub struct HostRecord {
     pub backoffs: u64,
 }
 
-impl HostRecord {
+/// The rarely-touched per-host allocations, kept out of the hot array.
+#[derive(Clone, Debug)]
+pub struct HostCold {
+    /// Instance configuration (Table I row).
+    pub spec: InstanceSpec,
+    /// Shards cached by the sticky-file feature.
+    pub cached_shards: HashSet<usize>,
+}
+
+impl HostHot {
     /// A fresh host with `slots` simultaneous-subtask capacity.
-    pub fn new(id: HostId, spec: InstanceSpec, slots: usize) -> Self {
+    pub fn new(slots: usize) -> Self {
         assert!(slots >= 1, "a host needs at least one slot");
-        HostRecord {
-            id,
-            spec,
+        HostHot {
             slots,
             in_flight: 0,
+            live_assignments: 0,
             reliability: 1.0,
-            cached_shards: HashSet::new(),
             alive: true,
             lives: 0,
             completed: 0,
@@ -192,10 +208,11 @@ pub struct HostSummary {
     pub backoffs: u64,
 }
 
-impl From<&HostRecord> for HostSummary {
-    fn from(h: &HostRecord) -> Self {
+impl HostSummary {
+    /// Materializes the API-edge view of one hot record.
+    pub fn from_hot(id: HostId, h: &HostHot) -> Self {
         HostSummary {
-            id: h.id.0,
+            id: id.0,
             completed: h.completed,
             timeouts: h.timeouts,
             invalids: h.invalids,
@@ -209,10 +226,9 @@ impl From<&HostRecord> for HostSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vc_simnet::table1;
 
-    fn host() -> HostRecord {
-        HostRecord::new(HostId(0), table1::client_8v_2_2(), 4)
+    fn host() -> HostHot {
+        HostHot::new(4)
     }
 
     #[test]
@@ -357,7 +373,7 @@ mod tests {
         h.record_success();
         h.record_invalid();
         h.record_turnaround(3.0, 0.25);
-        let s = HostSummary::from(&h);
+        let s = HostSummary::from_hot(HostId(0), &h);
         assert_eq!(s.id, 0);
         assert_eq!((s.completed, s.timeouts, s.invalids), (1, 0, 1));
         assert_eq!(s.turnaround_ewma_s, Some(3.0));

@@ -21,15 +21,17 @@
 pub mod clock;
 pub mod host;
 pub mod server;
+pub mod timer;
 pub mod validate;
 pub mod workunit;
 
 pub use clock::{Clock, VirtualClock, WallClock};
-pub use host::{HostId, HostRecord, HostSummary};
+pub use host::{HostCold, HostHot, HostId, HostSummary};
 pub use server::{
     Assignment, BoincServer, MiddlewareConfig, ReportStatus, ServerMetrics, HOST_TURNAROUND_S,
     WU_DEADLINE_S,
 };
+pub use timer::{TimerEntry, TimerQueue};
 pub use validate::{
     AcceptAllValidator, BitwiseComparator, FiniteBlobValidator, ResultComparator,
     ToleranceComparator, ValidationVerdict, Validator,

@@ -1,10 +1,24 @@
 //! The BOINC-like server: scheduler + transitioner in one state machine.
+//!
+//! Hot paths are built for fleet scale (10k–100k hosts):
+//!
+//! - host state is a flat `Vec<HostHot>` indexed by the dense [`HostId`]
+//!   (cold allocations live in a parallel `Vec<HostCold>`);
+//! - deadlines live in an indexed [`TimerQueue`] (binary heap, lazy
+//!   invalidation via per-assignment sequence numbers), so a timeout scan
+//!   is O(1) when nothing is due and O(due · log n) when timers fire —
+//!   never O(workunits);
+//! - the work queue is a `BTreeMap` keyed by a monotone enqueue sequence
+//!   (FIFO order preserved) with a per-shard secondary index for O(log n)
+//!   sticky-file picks and removals;
+//! - `open_count`/`all_done` are maintained counters, not scans.
 
-use crate::host::{HostId, HostRecord};
+use crate::host::{HostCold, HostHot, HostId, HostSummary};
+use crate::timer::{TimerEntry, TimerQueue};
 use crate::validate::{BitwiseComparator, ResultComparator};
 use crate::workunit::{ActiveAssignment, ShardManifest, WorkUnit, WuId, WuPhase};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use vc_simnet::{InstanceSpec, SimTime};
 use vc_telemetry::{FieldValue, Histogram, Level, Telemetry};
 
@@ -206,7 +220,8 @@ struct WuRecord {
     wu: WorkUnit,
     phase: WuPhase,
     attempts: u32,
-    queued: bool,
+    /// The workunit's enqueue sequence while it sits in the work queue.
+    queued: Option<u64>,
     /// Valid uploads awaiting quorum: (reporter, payload). One vote per
     /// host.
     candidates: Vec<(HostId, Vec<f32>)>,
@@ -215,12 +230,52 @@ struct WuRecord {
     target_results: u32,
 }
 
+/// FIFO work queue with a per-shard secondary index. Entries are keyed by
+/// a monotone enqueue sequence, so `BTreeMap` iteration order *is* queue
+/// order; the shard index turns the sticky-file pick from a head-to-tail
+/// scan into a merge over the host's cached shards' entries.
+#[derive(Default)]
+struct WorkQueue {
+    items: BTreeMap<u64, WuId>,
+    by_shard: HashMap<usize, BTreeSet<u64>>,
+    next: u64,
+}
+
+impl WorkQueue {
+    fn push(&mut self, id: WuId, shard: usize) -> u64 {
+        let q = self.next;
+        self.next += 1;
+        self.items.insert(q, id);
+        self.by_shard.entry(shard).or_default().insert(q);
+        q
+    }
+
+    fn remove(&mut self, qseq: u64, shard: usize) {
+        self.items.remove(&qseq);
+        if let Some(set) = self.by_shard.get_mut(&shard) {
+            set.remove(&qseq);
+            if set.is_empty() {
+                self.by_shard.remove(&shard);
+            }
+        }
+    }
+}
+
 /// The in-process BOINC server.
 pub struct BoincServer {
     cfg: MiddlewareConfig,
-    hosts: Vec<HostRecord>,
+    /// Scheduler-hot host state, flat and dense (index = `HostId.0`).
+    hosts: Vec<HostHot>,
+    /// Cold per-host allocations, parallel to `hosts`.
+    cold: Vec<HostCold>,
     wus: Vec<WuRecord>,
-    queue: VecDeque<WuId>,
+    queue: WorkQueue,
+    /// Indexed expiry timers, one armed per issued assignment.
+    timers: TimerQueue,
+    /// Global assignment issue counter (feeds `ActiveAssignment::seq`).
+    next_seq: u64,
+    /// Maintained count of workunits still needing a result.
+    open: usize,
     metrics: ServerMetrics,
     telemetry: Option<Telemetry>,
     comparator: Box<dyn ResultComparator>,
@@ -234,16 +289,24 @@ impl BoincServer {
         if let Err(e) = cfg.validate() {
             panic!("invalid middleware config: {e}");
         }
-        let hosts = fleet
-            .into_iter()
-            .enumerate()
-            .map(|(i, (spec, slots))| HostRecord::new(HostId(i as u32), spec, slots))
-            .collect();
+        let mut hosts = Vec::with_capacity(fleet.len());
+        let mut cold = Vec::with_capacity(fleet.len());
+        for (spec, slots) in fleet {
+            hosts.push(HostHot::new(slots));
+            cold.push(HostCold {
+                spec,
+                cached_shards: HashSet::new(),
+            });
+        }
         BoincServer {
             cfg,
             hosts,
+            cold,
             wus: Vec::new(),
-            queue: VecDeque::new(),
+            queue: WorkQueue::default(),
+            timers: TimerQueue::new(),
+            next_seq: 0,
+            open: 0,
             metrics: ServerMetrics::default(),
             telemetry: None,
             comparator: Box::new(BitwiseComparator),
@@ -276,14 +339,33 @@ impl BoincServer {
         &self.cfg
     }
 
-    /// Registered hosts.
-    pub fn hosts(&self) -> &[HostRecord] {
+    /// Registered hosts' hot state, indexed by `HostId.0`.
+    pub fn hosts(&self) -> &[HostHot] {
         &self.hosts
     }
 
     /// Mutable host access (drivers flip `alive` on preemption).
-    pub fn host_mut(&mut self, id: HostId) -> &mut HostRecord {
+    pub fn host_mut(&mut self, id: HostId) -> &mut HostHot {
         &mut self.hosts[id.0 as usize]
+    }
+
+    /// A host's instance spec (cold state).
+    pub fn spec(&self, id: HostId) -> &InstanceSpec {
+        &self.cold[id.0 as usize].spec
+    }
+
+    /// A host's sticky-file shard cache (cold state).
+    pub fn cached_shards(&self, id: HostId) -> &HashSet<usize> {
+        &self.cold[id.0 as usize].cached_shards
+    }
+
+    /// Materializes the serializable per-host summaries (API edge).
+    pub fn host_summaries(&self) -> Vec<HostSummary> {
+        self.hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| HostSummary::from_hot(HostId(i as u32), h))
+            .collect()
     }
 
     /// Accumulated metrics.
@@ -312,6 +394,7 @@ impl BoincServer {
         now: SimTime,
     ) -> WuId {
         let id = WuId(self.wus.len() as u64);
+        let qseq = self.queue.push(id, shard_id);
         self.wus.push(WuRecord {
             wu: WorkUnit {
                 id,
@@ -323,11 +406,11 @@ impl BoincServer {
             },
             phase: WuPhase::Unsent,
             attempts: 0,
-            queued: true,
+            queued: Some(qseq),
             candidates: Vec::new(),
             target_results: self.cfg.replication,
         });
-        self.queue.push_back(id);
+        self.open += 1;
         id
     }
 
@@ -420,6 +503,29 @@ impl BoincServer {
         }
     }
 
+    /// The earliest queue entry this host may take whose shard it already
+    /// caches: a merge over the cached shards' index entries, each scanned
+    /// in enqueue order. Equivalent to the historical head-to-tail scan
+    /// (minimum enqueue sequence wins), but costs O(cached · log n) plus
+    /// skips instead of O(queue).
+    fn sticky_pick(&self, host: HostId) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        for shard in &self.cold[host.0 as usize].cached_shards {
+            if let Some(set) = self.queue.by_shard.get(shard) {
+                for &q in set {
+                    if best.is_some_and(|b| q >= b) {
+                        break;
+                    }
+                    if self.assignable_to(self.queue.items[&q], host) {
+                        best = Some(q);
+                        break;
+                    }
+                }
+            }
+        }
+        best
+    }
+
     /// Scheduler: host `host` asks for work at `now`. Returns at most one
     /// assignment per call; callers loop while slots remain. Prefers a
     /// queued workunit whose shard the host already caches (sticky files),
@@ -432,29 +538,28 @@ impl BoincServer {
                 return None;
             }
         }
-        // Candidate positions in the queue this host may take.
         let cached_pick = if self.cfg.sticky_files {
-            self.queue.iter().position(|&id| {
-                self.assignable_to(id, host)
-                    && self.hosts[host.0 as usize]
-                        .cached_shards
-                        .contains(&self.wus[id.0 as usize].wu.shard_id)
-            })
+            self.sticky_pick(host)
         } else {
             None
         };
         let pick = cached_pick.or_else(|| {
             self.queue
+                .items
                 .iter()
-                .position(|&id| self.assignable_to(id, host))
+                .find(|(_, &id)| self.assignable_to(id, host))
+                .map(|(&q, _)| q)
         })?;
 
-        let wu_id = self.queue[pick];
+        let wu_id = self.queue.items[&pick];
         let deadline_s = self.deadline_for(host);
+        let seq = self.next_seq;
+        self.next_seq += 1;
         let rec = &mut self.wus[wu_id.0 as usize];
         rec.attempts += 1;
         let deadline = now + deadline_s;
         let assignment = ActiveAssignment {
+            seq,
             host,
             incarnation: self.hosts[host.0 as usize].lives,
             issued_at: now,
@@ -471,22 +576,34 @@ impl BoincServer {
             WuPhase::Done { .. } => unreachable!("assignable_to filtered Done"),
         }
         // Leave the workunit queued while it still wants more results.
-        if rec.phase.replica_count() + rec.candidates.len() >= rec.target_results as usize {
-            self.queue.remove(pick);
-            // rec borrow ended above; re-borrow to flip the flag
-            self.wus[wu_id.0 as usize].queued = false;
+        let dequeue =
+            if rec.phase.replica_count() + rec.candidates.len() >= rec.target_results as usize {
+                rec.queued.take().map(|q| (q, rec.wu.shard_id))
+            } else {
+                None
+            };
+        if let Some((q, shard)) = dequeue {
+            self.queue.remove(q, shard);
         }
+        self.timers.push(TimerEntry {
+            deadline,
+            seq,
+            wu: wu_id,
+            host,
+        });
         self.observe(WU_DEADLINE_S, deadline_s);
 
         let attempt = self.wus[wu_id.0 as usize].attempts;
         let shard_id = self.wus[wu_id.0 as usize].wu.shard_id;
         let h = &mut self.hosts[host.0 as usize];
         h.in_flight += 1;
-        let shard_cached = h.cached_shards.contains(&shard_id);
+        h.live_assignments += 1;
+        let cache = &mut self.cold[host.0 as usize].cached_shards;
+        let shard_cached = cache.contains(&shard_id);
         if shard_cached {
             self.metrics.cache_hits += 1;
         } else {
-            h.cached_shards.insert(shard_id);
+            cache.insert(shard_id);
         }
         self.metrics.assigned += 1;
         self.emit(
@@ -510,7 +627,9 @@ impl BoincServer {
     }
 
     /// Removes `host`'s live assignment on `wu_id` (if any), freeing its
-    /// slot. Returns whether an assignment was removed.
+    /// slot. The assignment's timer entry is left to lapse in the heap
+    /// (lazy invalidation: its `seq` no longer names a live assignment).
+    /// Returns whether an assignment was removed.
     fn release_assignment(&mut self, wu_id: WuId, host: HostId) -> bool {
         let rec = &mut self.wus[wu_id.0 as usize];
         if let WuPhase::InProgress { assignments } = &mut rec.phase {
@@ -520,6 +639,7 @@ impl BoincServer {
                     rec.phase = WuPhase::Unsent;
                 }
                 let h = &mut self.hosts[host.0 as usize];
+                h.live_assignments = h.live_assignments.saturating_sub(1);
                 // An orphaned assignment (issued to a dead predecessor)
                 // never occupied the replacement's ledger.
                 if a.incarnation == h.lives {
@@ -533,10 +653,11 @@ impl BoincServer {
 
     /// Puts an open workunit back in the queue if it is not already there.
     fn ensure_queued(&mut self, wu_id: WuId) {
-        let rec = &mut self.wus[wu_id.0 as usize];
-        if rec.phase.is_open() && !rec.queued {
-            rec.queued = true;
-            self.queue.push_back(wu_id);
+        let rec = &self.wus[wu_id.0 as usize];
+        if rec.phase.is_open() && rec.queued.is_none() {
+            let shard = rec.wu.shard_id;
+            let qseq = self.queue.push(wu_id, shard);
+            self.wus[wu_id.0 as usize].queued = Some(qseq);
         }
     }
 
@@ -684,12 +805,11 @@ impl BoincServer {
             host: winner,
             at: now,
         };
-        if rec.queued {
-            rec.queued = false;
-            if let Some(pos) = self.queue.iter().position(|&q| q == wu_id) {
-                self.queue.remove(pos);
-            }
+        let dequeue = rec.queued.take().map(|q| (q, rec.wu.shard_id));
+        if let Some((q, shard)) = dequeue {
+            self.queue.remove(q, shard);
         }
+        self.open -= 1;
         let total_votes = candidates.len();
         let mut agreeing = 0usize;
         for (h, p) in &candidates {
@@ -767,58 +887,79 @@ impl BoincServer {
     /// Transitioner: expires assignments whose deadline passed, re-queuing
     /// their workunits and penalizing the hosts. Returns the workunits that
     /// lost at least one replica.
+    ///
+    /// Drains the timer queue instead of scanning workunits: O(1) when the
+    /// earliest armed deadline lies ahead, O(due · log n) otherwise. Due
+    /// entries are processed in `(workunit, issue)` order — the exact
+    /// order of the historical full scan — so EWMA feeds, metrics,
+    /// telemetry events and the returned list are bitwise-unchanged.
     pub fn scan_timeouts(&mut self, now: SimTime) -> Vec<WuId> {
+        let wus = &self.wus;
+        let mut due = self
+            .timers
+            .pop_due(now, |e| match &wus[e.wu.0 as usize].phase {
+                WuPhase::InProgress { assignments } => assignments.iter().any(|a| a.seq == e.seq),
+                _ => false,
+            });
         let mut expired = Vec::new();
-        for i in 0..self.wus.len() {
-            let wu_id = WuId(i as u64);
-            loop {
-                let victim = match &self.wus[i].phase {
-                    WuPhase::InProgress { assignments } => assignments
-                        .iter()
-                        .find(|a| a.deadline <= now)
-                        .map(|a| (a.host, a.incarnation, a.issued_at, a.deadline)),
-                    _ => None,
+        if due.is_empty() {
+            return expired;
+        }
+        due.sort_unstable_by_key(|e| (e.wu.0, e.seq));
+        for i in 0..due.len() {
+            let e = due[i];
+            let wu_id = e.wu;
+            // Liveness was established at pop time and no processing step
+            // in this loop can remove another due entry's assignment
+            // (each release targets exactly one seq), so the lookup holds.
+            let (incarnation, issued_at, deadline) = {
+                let WuPhase::InProgress { assignments } = &self.wus[wu_id.0 as usize].phase else {
+                    unreachable!("due entry's workunit left InProgress mid-scan");
                 };
-                let Some((host, incarnation, issued_at, deadline)) = victim else {
-                    break;
-                };
-                self.release_assignment(wu_id, host);
-                // An orphaned assignment (its incarnation died and a
-                // replacement registered) still only resurfaces here — the
-                // server learns about lost work through timeouts (§III-E) —
-                // but the expiry is not the new incarnation's fault, so the
-                // host record takes no penalty, EWMA growth, or backoff.
-                if incarnation == self.hosts[host.0 as usize].lives {
-                    // Feed the EWMA a grown estimate of the blown deadline
-                    // so a slow-but-honest host earns a longer one next
-                    // time instead of timing out forever.
-                    let blown = (deadline - issued_at) / self.cfg.deadline_grace
-                        * TIMEOUT_TURNAROUND_GROWTH;
-                    let alpha = self.cfg.deadline_alpha;
-                    let h = &mut self.hosts[host.0 as usize];
-                    h.record_timeout();
-                    h.record_turnaround(blown, alpha);
-                    self.apply_backoff(host, now);
-                }
-                self.metrics.timeouts += 1;
-                self.metrics.reassignments += 1;
-                self.emit(
-                    now,
-                    Level::Info,
-                    "wu_timeout",
-                    vec![("wu", wu_id.0.into()), ("host", host.0.into())],
-                );
-                self.emit(
-                    now,
-                    Level::Info,
-                    "wu_reassigned",
-                    vec![("wu", wu_id.0.into()), ("cause", "timeout".into())],
-                );
-                if expired.last() != Some(&wu_id) {
-                    expired.push(wu_id);
-                }
+                let a = assignments
+                    .iter()
+                    .find(|a| a.seq == e.seq)
+                    .expect("due entry names a live assignment");
+                (a.incarnation, a.issued_at, a.deadline)
+            };
+            self.release_assignment(wu_id, e.host);
+            // An orphaned assignment (its incarnation died and a
+            // replacement registered) still only resurfaces here — the
+            // server learns about lost work through timeouts (§III-E) —
+            // but the expiry is not the new incarnation's fault, so the
+            // host record takes no penalty, EWMA growth, or backoff.
+            if incarnation == self.hosts[e.host.0 as usize].lives {
+                // Feed the EWMA a grown estimate of the blown deadline
+                // so a slow-but-honest host earns a longer one next
+                // time instead of timing out forever.
+                let blown =
+                    (deadline - issued_at) / self.cfg.deadline_grace * TIMEOUT_TURNAROUND_GROWTH;
+                let alpha = self.cfg.deadline_alpha;
+                let h = &mut self.hosts[e.host.0 as usize];
+                h.record_timeout();
+                h.record_turnaround(blown, alpha);
+                self.apply_backoff(e.host, now);
             }
-            if expired.last() == Some(&wu_id) {
+            self.metrics.timeouts += 1;
+            self.metrics.reassignments += 1;
+            self.emit(
+                now,
+                Level::Info,
+                "wu_timeout",
+                vec![("wu", wu_id.0.into()), ("host", e.host.0.into())],
+            );
+            self.emit(
+                now,
+                Level::Info,
+                "wu_reassigned",
+                vec![("wu", wu_id.0.into()), ("cause", "timeout".into())],
+            );
+            if expired.last() != Some(&wu_id) {
+                expired.push(wu_id);
+            }
+            // Re-queue once per workunit, after its whole expiry group —
+            // the historical scan's enqueue point.
+            if due.get(i + 1).map(|n| n.wu) != Some(wu_id) {
                 self.ensure_queued(wu_id);
             }
         }
@@ -848,23 +989,16 @@ impl BoincServer {
         if self.hosts[id.0 as usize].alive {
             return;
         }
-        let orphaned: u64 = self
-            .wus
-            .iter()
-            .map(|r| match &r.phase {
-                WuPhase::InProgress { assignments } => {
-                    assignments.iter().filter(|a| a.host == id).count() as u64
-                }
-                _ => 0,
-            })
-            .sum();
+        // The dead incarnations' still-armed assignments, counted O(1)
+        // from the maintained ledger instead of a workunit scan.
+        let orphaned = self.hosts[id.0 as usize].live_assignments as u64;
         self.metrics.revive_orphaned += orphaned;
         let h = &mut self.hosts[id.0 as usize];
         h.lives += 1;
         h.in_flight = 0;
         h.alive = true;
-        h.cached_shards.clear();
         h.clear_backoff();
+        self.cold[id.0 as usize].cached_shards.clear();
         self.emit(
             now,
             Level::Info,
@@ -873,14 +1007,14 @@ impl BoincServer {
         );
     }
 
-    /// Workunits still needing a result.
+    /// Workunits still needing a result (maintained counter, O(1)).
     pub fn open_count(&self) -> usize {
-        self.wus.iter().filter(|r| r.phase.is_open()).count()
+        self.open
     }
 
     /// True when all enqueued work has completed.
     pub fn all_done(&self) -> bool {
-        self.open_count() == 0
+        self.open == 0
     }
 
     /// The workunit record for an id.
@@ -910,14 +1044,15 @@ impl BoincServer {
     }
 
     /// Earliest in-progress deadline, for event-driven timeout scans.
-    pub fn next_deadline(&self) -> Option<SimTime> {
-        self.wus
-            .iter()
-            .filter_map(|r| match &r.phase {
-                WuPhase::InProgress { assignments } => assignments.iter().map(|a| a.deadline).min(),
-                _ => None,
+    /// Prunes stale timer entries from the heap top on the way (hence
+    /// `&mut`); amortized O(1).
+    pub fn next_deadline(&mut self) -> Option<SimTime> {
+        let wus = &self.wus;
+        self.timers
+            .next_deadline(|e| match &wus[e.wu.0 as usize].phase {
+                WuPhase::InProgress { assignments } => assignments.iter().any(|a| a.seq == e.seq),
+                _ => false,
             })
-            .min()
     }
 }
 
@@ -1112,10 +1247,9 @@ mod tests {
         s.request_work(HostId(0), t(0.0)).unwrap();
         s.preempt_host(HostId(0));
         s.revive_host(HostId(0), t(1.0));
-        let h = &s.hosts()[0];
-        assert!(h.alive);
-        assert!(h.cached_shards.is_empty());
-        assert_eq!(h.in_flight, 0);
+        assert!(s.hosts()[0].alive);
+        assert!(s.cached_shards(HostId(0)).is_empty());
+        assert_eq!(s.hosts()[0].in_flight, 0);
     }
 
     #[test]
@@ -1164,6 +1298,21 @@ mod tests {
         q.pop();
         s.request_work(HostId(1), t(50.0)).unwrap();
         assert_eq!(s.next_deadline(), Some(t(300.0)));
+    }
+
+    #[test]
+    fn next_deadline_skips_completed_assignments() {
+        let mut s = server(2, 1);
+        s.add_epoch(1, 2, 1, t(0.0));
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        let b = s.request_work(HostId(1), t(10.0)).unwrap();
+        assert_eq!(s.next_deadline(), Some(t(300.0)));
+        // First assignment completes: its timer entry is stale and must be
+        // pruned, revealing the later deadline.
+        s.report_success(a.wu.id, HostId(0), t(20.0));
+        assert_eq!(s.next_deadline(), Some(b.deadline));
+        s.report_success(b.wu.id, HostId(1), t(30.0));
+        assert_eq!(s.next_deadline(), None);
     }
 
     #[test]
@@ -1499,5 +1648,19 @@ mod tests {
         };
         assert!(bad_backoff.validate().is_err());
         assert!(MiddlewareConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn same_instant_deadlines_expire_in_issue_order() {
+        let mut s = server(3, 1);
+        s.add_epoch(1, 3, 1, t(0.0));
+        // Three hosts take three workunits at the same instant — identical
+        // deadlines, tie broken by the issue sequence.
+        let a = s.request_work(HostId(0), t(0.0)).unwrap();
+        let b = s.request_work(HostId(1), t(0.0)).unwrap();
+        let c = s.request_work(HostId(2), t(0.0)).unwrap();
+        let expired = s.scan_timeouts(t(300.0));
+        assert_eq!(expired, vec![a.wu.id, b.wu.id, c.wu.id]);
+        assert_eq!(s.metrics().timeouts, 3);
     }
 }

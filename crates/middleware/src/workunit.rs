@@ -58,6 +58,11 @@ pub struct WorkUnit {
 /// `ActiveAssignment`.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ActiveAssignment {
+    /// Server-global issue sequence number: unique across all assignments
+    /// of a run, monotone in issue order. Keys this assignment's entry in
+    /// the expiry [`crate::TimerQueue`] (lazy invalidation) and breaks
+    /// same-instant deadline ties deterministically.
+    pub seq: u64,
     /// The executing host.
     pub host: HostId,
     /// The host incarnation the replica was issued to; when it lags the
@@ -128,6 +133,7 @@ mod tests {
         let running = WuPhase::InProgress {
             assignments: vec![
                 ActiveAssignment {
+                    seq: 0,
                     host: HostId(3),
                     incarnation: 0,
                     issued_at: SimTime::from_secs(0.0),
@@ -135,6 +141,7 @@ mod tests {
                     attempt: 1,
                 },
                 ActiveAssignment {
+                    seq: 1,
                     host: HostId(5),
                     incarnation: 0,
                     issued_at: SimTime::from_secs(2.0),

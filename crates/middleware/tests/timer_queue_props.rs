@@ -1,0 +1,190 @@
+//! Property-based equivalence: the indexed [`TimerQueue`] against a naive
+//! full-scan oracle.
+//!
+//! The oracle is the data structure the scheduler used to be built on: a
+//! flat list of every armed assignment, scanned in full at every expiry
+//! check. The rewrite replaced it with a binary heap plus lazy
+//! invalidation; these properties drive both through arbitrary interleaved
+//! histories of issue / complete / reissue / revive-orphan / cancel and
+//! demand identical expiry sets *and orderings* at every scan instant —
+//! same-instant deadline ties and incarnation-orphaned entries included.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use vc_middleware::{HostId, TimerEntry, TimerQueue, WuId};
+use vc_simnet::SimTime;
+
+/// One scripted operation against both implementations.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Arm a timer `deadline_in` ticks past the current virtual instant
+    /// for workunit `wu` on host `host`.
+    Issue { wu: u8, host: u8, deadline_in: u8 },
+    /// Invalidate the `k`-th live entry (mod live count): the assignment
+    /// completed, was cancelled, or was reissued elsewhere. No-op when
+    /// nothing is live.
+    Invalidate { k: u8 },
+    /// Invalidate every live entry of host `h` — a revive orphaning the
+    /// incarnation's assignments wholesale.
+    InvalidateHost { h: u8 },
+    /// Advance the clock by `dt` ticks and scan for expiries.
+    Scan { dt: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Issues twice, scans twice: histories stay dense in both.
+        (0u8..16, 0u8..8, 0u8..8).prop_map(|(wu, host, deadline_in)| Op::Issue {
+            wu,
+            host,
+            deadline_in
+        }),
+        (0u8..16, 0u8..8, 0u8..3).prop_map(|(wu, host, deadline_in)| Op::Issue {
+            wu,
+            host,
+            deadline_in
+        }),
+        (0u8..255).prop_map(|k| Op::Invalidate { k }),
+        (0u8..8).prop_map(|h| Op::InvalidateHost { h }),
+        (0u8..6).prop_map(|dt| Op::Scan { dt }),
+        (0u8..2).prop_map(|dt| Op::Scan { dt }),
+    ]
+}
+
+/// The naive oracle: every armed entry in a flat vec, liveness tracked
+/// eagerly (the old code dropped the record the moment an assignment
+/// ended), full scan per expiry check. Due entries are reported in
+/// `(deadline, seq)` order — the order the historical transitioner
+/// processed them in.
+#[derive(Default)]
+struct Oracle {
+    armed: Vec<TimerEntry>,
+}
+
+impl Oracle {
+    fn scan(&mut self, now: SimTime) -> Vec<TimerEntry> {
+        let mut due: Vec<TimerEntry> = self
+            .armed
+            .iter()
+            .copied()
+            .filter(|e| e.deadline <= now)
+            .collect();
+        self.armed.retain(|e| e.deadline > now);
+        due.sort_by_key(|e| (e.deadline, e.seq));
+        due
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.armed.iter().map(|e| e.deadline).min()
+    }
+}
+
+fn run_history(ops: Vec<Op>) {
+    let mut queue = TimerQueue::new();
+    let mut oracle = Oracle::default();
+    // seq → live flag, shared liveness ground truth for both sides.
+    let mut live: HashMap<u64, bool> = HashMap::new();
+    let mut next_seq: u64 = 0;
+    let mut now = 0.0f64;
+
+    for op in ops {
+        match op {
+            Op::Issue {
+                wu,
+                host,
+                deadline_in,
+            } => {
+                let entry = TimerEntry {
+                    deadline: SimTime::from_secs(now + deadline_in as f64),
+                    seq: next_seq,
+                    wu: WuId(wu as u64),
+                    host: HostId(host as u32),
+                };
+                next_seq += 1;
+                live.insert(entry.seq, true);
+                queue.push(entry);
+                oracle.armed.push(entry);
+            }
+            Op::Invalidate { k } => {
+                let mut live_seqs: Vec<u64> =
+                    live.iter().filter(|(_, &l)| l).map(|(&s, _)| s).collect();
+                live_seqs.sort_unstable();
+                if !live_seqs.is_empty() {
+                    let victim = live_seqs[k as usize % live_seqs.len()];
+                    live.insert(victim, false);
+                    // Eager on the oracle, lazy on the queue — the
+                    // equivalence under test.
+                    oracle.armed.retain(|e| e.seq != victim);
+                }
+            }
+            Op::InvalidateHost { h } => {
+                let orphans: Vec<u64> = oracle
+                    .armed
+                    .iter()
+                    .filter(|e| e.host == HostId(h as u32))
+                    .map(|e| e.seq)
+                    .collect();
+                for s in orphans {
+                    live.insert(s, false);
+                }
+                oracle.armed.retain(|e| e.host != HostId(h as u32));
+            }
+            Op::Scan { dt } => {
+                now += dt as f64;
+                let t = SimTime::from_secs(now);
+                let expect = oracle.scan(t);
+                let got = queue.pop_due(t, |e| live.get(&e.seq).copied().unwrap_or(false));
+                prop_assert_eq!(
+                    &got,
+                    &expect,
+                    "scan at t={} diverged from the full-scan oracle",
+                    now
+                );
+                // An expired entry is consumed on both sides.
+                for e in &got {
+                    live.insert(e.seq, false);
+                }
+                // Between scans the earliest live deadline must agree too.
+                let q_next = queue.next_deadline(|e| live.get(&e.seq).copied().unwrap_or(false));
+                prop_assert_eq!(q_next, oracle.next_deadline());
+            }
+        }
+    }
+    // Final drain far in the future: nothing may be left behind or
+    // fabricated.
+    let end = SimTime::from_secs(now + 1000.0);
+    let expect = oracle.scan(end);
+    let got = queue.pop_due(end, |e| live.get(&e.seq).copied().unwrap_or(false));
+    prop_assert_eq!(got, expect, "final drain diverged");
+}
+
+proptest! {
+    /// Arbitrary interleavings of issue/invalidate/orphan/scan: the heap
+    /// and the full-scan oracle must expire identical entries in identical
+    /// order at every instant.
+    #[test]
+    fn timer_queue_matches_full_scan_oracle(
+        ops in prop::collection::vec(op_strategy(), 0..80),
+    ) {
+        run_history(ops);
+    }
+
+    /// Same-instant stress: every deadline lands on one of two ticks, so
+    /// nearly all expiries are ties and the (deadline, seq) order carries
+    /// the whole burden.
+    #[test]
+    fn tie_heavy_histories_stay_ordered(
+        raw in prop::collection::vec((0u8..4, 0u8..4, 0u8..2), 0..60),
+    ) {
+        let ops: Vec<Op> = raw
+            .into_iter()
+            .flat_map(|(wu, host, tick)| {
+                vec![
+                    Op::Issue { wu, host, deadline_in: tick + 1 },
+                    Op::Scan { dt: tick },
+                ]
+            })
+            .collect();
+        run_history(ops);
+    }
+}

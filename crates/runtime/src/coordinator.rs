@@ -25,7 +25,7 @@ use std::time::Duration;
 use vc_asgd::result_is_valid;
 use vc_data::Dataset;
 use vc_kvstore::{Consistency, VersionedStore};
-use vc_middleware::{BoincServer, Clock, HostSummary, ReportStatus, ShardManifest};
+use vc_middleware::{BoincServer, Clock, ReportStatus, ShardManifest};
 use vc_nn::metrics::evaluate;
 use vc_ps::{PsService, ShardedAssimilator};
 use vc_telemetry::{event, Histogram, Telemetry};
@@ -188,7 +188,7 @@ impl<C: Clock> Coordinator<C> {
             wall_s: self.wall_base_s + self.clock.elapsed_s(),
             workers: self.worker_txs.len(),
             server_metrics: self.server.metrics(),
-            hosts: self.server.hosts().iter().map(HostSummary::from).collect(),
+            hosts: self.server.host_summaries(),
             store_ops: self.store.metrics().snapshot(),
             telemetry: RuntimeTelemetry::from_registry(self.telemetry.registry()),
             ps_ops: self.service.ops(),

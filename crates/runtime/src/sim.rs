@@ -127,6 +127,23 @@ impl Scenario {
         self
     }
 
+    /// Uses a synthesized heavy-tailed volunteer population for the fleet
+    /// ([`vc_simnet::generated_fleet`]) instead of the Table I catalog —
+    /// the 10k–100k-host fleets of the scale sweeps. `fleet_seed` names
+    /// the population independently of the schedule seed.
+    pub fn fleet_generated(mut self, fleet_seed: u64) -> Self {
+        self.cfg.job.fleet = vc_asgd::FleetKind::Generated { seed: fleet_seed };
+        self
+    }
+
+    /// Sets the idle-worker poll interval. Large fleets need a coarser
+    /// cadence than the test default (0.05 s) or idle polling dominates
+    /// the event budget.
+    pub fn poll_interval(mut self, s: f64) -> Self {
+        self.cfg.poll_interval_s = s;
+        self
+    }
+
     /// Installs a fault plan (its `seed` also feeds the per-worker RNG
     /// streams).
     pub fn faults(mut self, faults: FaultPlan) -> Self {
@@ -362,8 +379,16 @@ impl Sim {
                 // before each message is served.
                 let now = self.sched.now();
                 self.coord.server.scan_timeouts(now);
+                // Only a work request is answered with a worker-directed
+                // reply (Assign/NoWork); every other message produces at
+                // most assimilation traffic. Remembering the addressee
+                // keeps the post-handle drain O(1) instead of O(fleet).
+                let reply_to = match &msg {
+                    ToServer::RequestWork { host } => Some(host.0),
+                    _ => None,
+                };
                 let stop = self.coord.handle(msg);
-                self.pump();
+                self.pump(reply_to);
                 stop
             }
             Ev::TrainDone { host, wu, params } => {
@@ -439,13 +464,19 @@ impl Sim {
 
     /// Drains everything the coordinator just produced: assimilation tasks
     /// into the virtual `Pn` pool, replies into the worker state machines.
-    fn pump(&mut self) {
+    ///
+    /// `reply_to` is the one host the handled message could have answered
+    /// (work requests only — the coordinator sends workers nothing else
+    /// mid-run). Every inbox is empty between events, so draining that
+    /// single channel is exhaustive and the pump costs O(1) per event
+    /// instead of O(fleet).
+    fn pump(&mut self, reply_to: Option<u32>) {
         while let Ok(task) = self.assim_rx.try_recv() {
             self.intake(task);
         }
-        for h in 0..self.workers.len() {
-            while let Ok(msg) = self.worker_rxs[h].try_recv() {
-                self.worker_recv(h as u32, msg);
+        if let Some(h) = reply_to {
+            while let Ok(msg) = self.worker_rxs[h as usize].try_recv() {
+                self.worker_recv(h, msg);
             }
         }
     }

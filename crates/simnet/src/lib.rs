@@ -36,5 +36,5 @@ pub use compute::ComputeModel;
 pub use event::EventQueue;
 pub use network::NetworkModel;
 pub use preempt::PreemptionModel;
-pub use specs::{table1, InstanceSpec};
+pub use specs::{generated_fleet, table1, InstanceSpec};
 pub use time::SimTime;

@@ -149,6 +149,66 @@ pub mod table1 {
     }
 }
 
+/// Synthesizes a volunteer fleet of `n` hosts with a heavy-tailed speed
+/// distribution, in the style of BOINC host-population generators (cf. the
+/// dslab BOINC simulator): volunteer hardware is mostly mid-range with a
+/// slow tail and a few fast outliers, unlike the four-row cloud catalog of
+/// Table I. Deterministic in `(n, seed)` — the population is part of the
+/// scenario, so fleet-scale DES runs replay bit-for-bit.
+///
+/// Speeds (clock GHz) are log-uniform in `[1.1, 3.52]` around the 2.2 GHz
+/// reference; vCPU counts follow a 2/4/8/16 mix skewed toward small hosts;
+/// RAM and bandwidth scale with size. Churn is *not* encoded here — host
+/// lifetime lives in the driver's fault plan, keyed by the same scenario
+/// seed.
+pub fn generated_fleet(n: usize, seed: u64) -> Vec<InstanceSpec> {
+    // Self-contained splitmix64 stream: no external RNG state, identical
+    // output on every platform, one draw sequence per (n, seed).
+    let mut state = seed ^ 0x9e3779b97f4a7c15 ^ (n as u64).rotate_left(32);
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    let mut unit = move || (next() >> 11) as f64 / (1u64 << 53) as f64;
+    (0..n)
+        .map(|i| {
+            // Log-uniform over [0.5, 1.6] × reference ⇒ mostly mid-range,
+            // thin fast tail.
+            let speed = 0.5 * (1.6f64 / 0.5).powf(unit());
+            let clock_ghz = (2.2 * speed * 100.0).round() / 100.0;
+            let vcpus = match (unit() * 10.0) as u32 {
+                0..=3 => 2,
+                4..=6 => 4,
+                7..=8 => 8,
+                _ => 16,
+            };
+            let ram_gb = vcpus as f64 * 2.0;
+            let bandwidth_gbps = match vcpus {
+                2 => 0.5,
+                4 => 1.0,
+                8 => 2.0,
+                _ => 5.0,
+            };
+            let (hourly_usd, hourly_usd_preemptible) = (
+                vcpus as f64 * table1::USD_PER_VCPU_HOUR,
+                vcpus as f64 * table1::USD_PER_VCPU_HOUR_PREEMPTIBLE,
+            );
+            InstanceSpec {
+                name: format!("gen-{i}-{vcpus}v-{clock_ghz}"),
+                vcpus,
+                clock_ghz,
+                ram_gb,
+                bandwidth_gbps,
+                hourly_usd,
+                hourly_usd_preemptible,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::table1;
@@ -201,5 +261,29 @@ mod tests {
         let f = table1::mixed_fleet(6);
         assert_eq!(f[0].name, f[4].name);
         assert_ne!(f[0].name, f[1].name);
+    }
+
+    #[test]
+    fn generated_fleet_is_deterministic_and_heterogeneous() {
+        let a = super::generated_fleet(1000, 7);
+        let b = super::generated_fleet(1000, 7);
+        assert_eq!(a, b, "same (n, seed) must be identical");
+        let c = super::generated_fleet(1000, 8);
+        assert_ne!(a, c, "the seed must matter");
+        // Speeds live in the documented log-uniform band and actually vary.
+        let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+        for h in &a {
+            assert!(
+                h.clock_ghz >= 1.09 && h.clock_ghz <= 3.53,
+                "{}",
+                h.clock_ghz
+            );
+            lo = lo.min(h.clock_ghz);
+            hi = hi.max(h.clock_ghz);
+        }
+        assert!(hi / lo > 2.0, "population spans slow and fast hosts");
+        // The vCPU mix skews toward small hosts.
+        let small = a.iter().filter(|h| h.vcpus <= 4).count();
+        assert!(small > a.len() / 2, "{small}/1000 small hosts");
     }
 }

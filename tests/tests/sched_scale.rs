@@ -1,0 +1,305 @@
+//! Fleet-scale scheduler validation.
+//!
+//! Two claims, two sections:
+//!
+//! 1. **Golden-bit regression** — the O(1)-per-event scheduler rewrite
+//!    (timer heap, dense host records, indexed work queue, counter-backed
+//!    aggregates) is *bitwise* behavior-preserving. The constants below
+//!    were captured on the pre-rewrite scheduler for the exact small-fleet
+//!    chaos scenarios pinned in `runtime_chaos.rs` and
+//!    `scheduler_hardening.rs`: per-epoch accuracy bits, final accuracy
+//!    bits, and FNV-1a hashes of the full report JSON and the
+//!    flight-recorder JSONL trace. Any divergence — one event reordered,
+//!    one EWMA fed twice, one metric off by one — flips a hash.
+//!
+//! 2. **Scale sweeps** — synthesized 10k-host volunteer fleets under
+//!    kill-storms and byzantine minorities finish inside a bounded
+//!    virtual-time budget and land in the clean accuracy band, across 32
+//!    seeds. Before the rewrite a single such run drowned in O(fleet)
+//!    deadline scans per event.
+
+use vc_runtime::{run_scenario, sweep, ByzantineMode, Scenario};
+
+/// FNV-1a 64-bit, the workspace's standing trace-fingerprint choice.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+// --- the pinned scenarios (identical to runtime_chaos/scheduler_hardening) --
+
+fn storm(seed: u64) -> Scenario {
+    Scenario::new(seed)
+        .cn(7)
+        .tn(2)
+        .epochs(3)
+        .kill_fraction(0.3, 2)
+}
+
+fn strong_storm(seed: u64) -> Scenario {
+    Scenario::new(seed)
+        .cn(5)
+        .epochs(2)
+        .consistency(vc_kvstore::Consistency::Strong)
+        .kill_fraction(0.3, 2)
+        .respawn_after(1.0)
+}
+
+fn delay_storm(seed: u64) -> Scenario {
+    Scenario::new(seed)
+        .cn(6)
+        .epochs(2)
+        .kill_fraction(0.34, 1)
+        .respawn_after(0.5)
+        .delays(0.1)
+}
+
+fn byz_poison(seed: u64) -> Scenario {
+    let mut sc = Scenario::new(seed)
+        .cn(6)
+        .epochs(2)
+        .replication(2)
+        .quorum(2)
+        .byzantine(vec![0, 1], ByzantineMode::Poison);
+    sc.cfg.job.val_eval_n = 60;
+    sc
+}
+
+/// One golden record: scenario name, seed, per-epoch `mean_val_acc` bits,
+/// final val/test accuracy bits, FNV-1a of the report JSON, FNV-1a of the
+/// flight-recorder JSONL.
+type Golden = (&'static str, u64, Vec<u32>, u32, u32, u64, u64);
+
+/// Captured on the pre-rewrite (full-scan) scheduler at the pinned seeds.
+fn goldens() -> Vec<Golden> {
+    vec![
+        (
+            "storm",
+            0,
+            vec![1044591412, 1049449813, 1052980020],
+            1053609165,
+            1052490684,
+            0x3d072889d1799a9f,
+            0x8c3fcddd4eaec676,
+        ),
+        (
+            "storm",
+            1,
+            vec![1044171982, 1049729433, 1054482978],
+            1055007266,
+            1055566507,
+            0x5c5b297e94e2f5ed,
+            0x75d2db82a0547151,
+        ),
+        (
+            "storm",
+            2,
+            vec![1044032171, 1050638199, 1054203358],
+            1054168405,
+            1053049924,
+            0x07b084db369c8fef,
+            0x1f92623cfd992885,
+        ),
+        (
+            "storm",
+            3,
+            vec![1040047582, 1049379908, 1055496600],
+            1056684988,
+            1056405367,
+            0xa7c0b1b4f1ac7a85,
+            0x8fcb7ba0e4445c3a,
+        ),
+        (
+            "storm",
+            17,
+            vec![1042074828, 1050812962, 1053714023],
+            1054727646,
+            1054727646,
+            0x575b0d7e41d68441,
+            0xa9b7e65b7010a613,
+        ),
+        (
+            "strong_storm",
+            0,
+            vec![1044451602, 1050148864],
+            1050812962,
+            1050253722,
+            0x39b156f6c7f9529d,
+            0x37aa510cacdc4fd9,
+        ),
+        (
+            "strong_storm",
+            1,
+            vec![1045150653, 1050393531],
+            1051372203,
+            1052770304,
+            0x2babf2f6df33a0a0,
+            0x8b39d01bc2626273,
+        ),
+        (
+            "delay_storm",
+            0,
+            vec![1044381697, 1049589623],
+            1049974101,
+            1049974101,
+            0x323c06b3bdab0972,
+            0x55d4cf0ecc2bcb50,
+        ),
+        (
+            "delay_storm",
+            1,
+            vec![1044171982, 1049729433],
+            1050253722,
+            1051931443,
+            0x14c3c38e7f80a799,
+            0x86167fa0f4459d96,
+        ),
+        (
+            "byz_poison",
+            0,
+            vec![1043962266, 1049135240],
+            1051372203,
+            1050253722,
+            0x31718488ed06f5d7,
+            0x80ca28d1c019c15f,
+        ),
+        (
+            "byz_poison",
+            1,
+            vec![1042843786, 1050533341],
+            1051372203,
+            1052211063,
+            0x0c689b8069b6184a,
+            0x284331b3f994dfb0,
+        ),
+    ]
+}
+
+fn make(name: &str, seed: u64) -> Scenario {
+    match name {
+        "storm" => storm(seed),
+        "strong_storm" => strong_storm(seed),
+        "delay_storm" => delay_storm(seed),
+        "byz_poison" => byz_poison(seed),
+        other => panic!("unknown golden scenario {other}"),
+    }
+}
+
+#[test]
+fn rewrite_replays_pre_rewrite_trajectories_bitwise() {
+    for (name, seed, epoch_bits, val_bits, test_bits, report_hash, trace_hash) in goldens() {
+        let out = run_scenario(&make(name, seed)).expect("golden scenario runs");
+        let got_epochs: Vec<u32> = out
+            .report
+            .epochs
+            .iter()
+            .map(|e| e.mean_val_acc.to_bits())
+            .collect();
+        assert_eq!(
+            got_epochs, epoch_bits,
+            "{name} seed {seed}: per-epoch accuracy bits drifted"
+        );
+        assert_eq!(
+            out.report.final_val_acc.to_bits(),
+            val_bits,
+            "{name} seed {seed}: final val accuracy bits drifted"
+        );
+        assert_eq!(
+            out.report.final_test_acc.to_bits(),
+            test_bits,
+            "{name} seed {seed}: final test accuracy bits drifted"
+        );
+        assert_eq!(
+            fnv1a(out.report_json().as_bytes()),
+            report_hash,
+            "{name} seed {seed}: report JSON no longer byte-identical"
+        );
+        assert_eq!(
+            fnv1a(out.telemetry.recorder().dump_jsonl().as_bytes()),
+            trace_hash,
+            "{name} seed {seed}: flight-recorder trace no longer byte-identical"
+        );
+    }
+}
+
+// ------------------------------------------------------------ scale sweeps
+
+/// A synthesized 10k-host volunteer fleet under a 30 % kill-storm with a
+/// 10 % byzantine minority, quorum 2. Coarse poll cadence — at this scale
+/// idle polling is the event budget.
+fn fleet_10k(seed: u64) -> Scenario {
+    let cn = 10_000;
+    let mut sc = Scenario::new(seed)
+        .cn(cn)
+        .tn(1)
+        .epochs(3)
+        .fleet_generated(seed ^ 0xf1ee7)
+        .poll_interval(2.0)
+        .replication(2)
+        .quorum(2)
+        .kill_fraction(0.3, 2)
+        .byzantine((0..(cn as u32 / 10)).collect(), ByzantineMode::Poison);
+    sc.cfg.job.shards = 32;
+    sc.cfg.job.data.train_n = 1280;
+    sc.cfg.job.val_eval_n = 60;
+    // The test-scale α (0.6) lets each thin 40-sample update overwrite
+    // most of the server state — fine at 8 chunky shards, far too twitchy
+    // under storm-grade reordering. A conservative blend keeps the merged
+    // model a running average.
+    sc.cfg.job.alpha = vc_asgd::AlphaSchedule::Const(0.3);
+    sc.tick_s = 1.0;
+    sc
+}
+
+/// The virtual-time budget: across the 32 sweep seeds a clean 3-epoch run
+/// at this scale closes by virtual t≈28 s; double that is the budget. An
+/// O(fleet)-per-event regression shows up long before this as a real-time
+/// hang, but a scheduling *quality* regression (lost work, starved queue,
+/// misfired deadlines) shows up here as a blown budget.
+const VIRTUAL_BUDGET_S: f64 = 60.0;
+
+fn check_scale_run(seed: u64, out: &vc_runtime::SimOutcome) {
+    assert!(
+        !out.report.halted_early,
+        "seed {seed}: 10k-host run did not finish"
+    );
+    assert!(
+        out.report.wall_s < VIRTUAL_BUDGET_S,
+        "seed {seed}: virtual time {} blew the {VIRTUAL_BUDGET_S}s budget",
+        out.report.wall_s
+    );
+    // Calibrated over the 32 sweep seeds: final-epoch means span
+    // 0.23–0.53; 0.2 cleanly separates a learning run from a collapsed or
+    // poisoned one (chance is 0.1) without flaking on merge variance.
+    let acc = out.report.final_mean_acc();
+    assert!(
+        acc > 0.2,
+        "seed {seed}: accuracy {acc} outside the clean band"
+    );
+    assert!(
+        out.report.server_metrics.timeouts > 0,
+        "seed {seed}: a 30% kill-storm must blow deadlines"
+    );
+}
+
+/// One 10k-host chaos run per tier-1 invocation — fast enough for the
+/// default test pass, and enough to catch a scale regression immediately.
+#[test]
+fn fleet_scale_10k_single_seed() {
+    let out = run_scenario(&fleet_10k(0)).expect("10k-host scenario runs");
+    out.verify_consistency().expect("consistency contract");
+    check_scale_run(0, &out);
+}
+
+/// The full 32-seed sweep (CI `sched` job; minutes, not unit-test time).
+#[test]
+#[ignore = "32-seed 10k-host sweep: run explicitly (CI sched job)"]
+fn fleet_scale_10k_chaos_sweep_32_seeds() {
+    for (seed, out) in sweep(0..32, fleet_10k) {
+        check_scale_run(seed, &out);
+    }
+}
