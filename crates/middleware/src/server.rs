@@ -20,7 +20,7 @@ use crate::workunit::{ActiveAssignment, ShardManifest, WorkUnit, WuId, WuPhase};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use vc_simnet::{InstanceSpec, SimTime};
-use vc_telemetry::{FieldValue, Histogram, Level, Telemetry};
+use vc_telemetry::{FieldValue, Histogram, Level, Telemetry, TraceStage};
 
 /// Registry name of the per-host observed-turnaround histogram (seconds
 /// from assignment to upload).
@@ -334,6 +334,27 @@ impl BoincServer {
         }
     }
 
+    /// True when causal workunit tracing is on. Call sites guard their
+    /// span emission on this so untraced runs allocate nothing.
+    fn tracing(&self) -> bool {
+        self.telemetry.as_ref().is_some_and(|t| t.tracing())
+    }
+
+    /// Records one causal trace span ending at `now`.
+    fn trace(
+        &self,
+        now: SimTime,
+        stage: TraceStage,
+        wu: WuId,
+        host: HostId,
+        dur_s: f64,
+        extra: Vec<(&str, FieldValue)>,
+    ) {
+        if let Some(tel) = &self.telemetry {
+            tel.trace_span(now.as_secs(), stage, wu.0, u64::from(host.0), dur_s, extra);
+        }
+    }
+
     /// Server configuration.
     pub fn config(&self) -> &MiddlewareConfig {
         &self.cfg
@@ -618,6 +639,24 @@ impl BoincServer {
                 ("cached", shard_cached.into()),
             ],
         );
+        if self.tracing() {
+            // Dispatch latency = workunit creation to this hand-off
+            // (re-dispatches after timeouts count the full wait).
+            let rec = &self.wus[wu_id.0 as usize];
+            let waited = (now - rec.wu.created_at).max(0.0);
+            self.trace(
+                now,
+                TraceStage::Dispatch,
+                wu_id,
+                host,
+                waited,
+                vec![
+                    ("attempt", attempt.into()),
+                    ("shard", shard_id.into()),
+                    ("epoch", rec.wu.epoch.into()),
+                ],
+            );
+        }
         Some(Assignment {
             wu: self.wus[wu_id.0 as usize].wu.clone(),
             attempt,
@@ -698,6 +737,16 @@ impl BoincServer {
                 "wu_stale",
                 vec![("wu", wu_id.0.into()), ("host", host.0.into())],
             );
+            if self.tracing() {
+                self.trace(
+                    now,
+                    TraceStage::Validate,
+                    wu_id,
+                    host,
+                    0.0,
+                    vec![("outcome", "stale".into())],
+                );
+            }
             return ReportStatus::Stale;
         }
         // Turnaround is observed only while the reporter still holds a live
@@ -725,6 +774,16 @@ impl BoincServer {
         };
         if agreeing >= self.cfg.quorum as usize {
             self.decide(wu_id, host, payload, now);
+            if self.tracing() {
+                self.trace(
+                    now,
+                    TraceStage::Validate,
+                    wu_id,
+                    host,
+                    0.0,
+                    vec![("outcome", "accepted".into()), ("votes", agreeing.into())],
+                );
+            }
             return ReportStatus::Accepted;
         }
         // Quorum still open. If the largest agreeing group plus every vote
@@ -785,6 +844,16 @@ impl BoincServer {
                     ("votes", agreeing.into()),
                     ("quorum", self.cfg.quorum.into()),
                 ],
+            );
+        }
+        if self.tracing() {
+            self.trace(
+                now,
+                TraceStage::Validate,
+                wu_id,
+                host,
+                0.0,
+                vec![("outcome", "pending".into()), ("votes", agreeing.into())],
             );
         }
         ReportStatus::Pending
@@ -860,6 +929,16 @@ impl BoincServer {
     /// backoff, and re-queue if no replicas remain.
     pub fn report_invalid(&mut self, wu_id: WuId, host: HostId, now: SimTime) {
         self.metrics.invalid_results += 1;
+        if self.tracing() {
+            self.trace(
+                now,
+                TraceStage::Validate,
+                wu_id,
+                host,
+                0.0,
+                vec![("outcome", "invalid".into())],
+            );
+        }
         self.emit(
             now,
             Level::Warn,
@@ -1010,6 +1089,12 @@ impl BoincServer {
     /// Workunits still needing a result (maintained counter, O(1)).
     pub fn open_count(&self) -> usize {
         self.open
+    }
+
+    /// Workunits currently sitting in the work queue waiting for a host
+    /// (the ops surface's backlog gauge; O(1)).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.items.len()
     }
 
     /// True when all enqueued work has completed.

@@ -53,6 +53,20 @@ pub struct RuntimeConfig {
     /// paths run the same wire codec; TCP adds real sockets and threads.
     #[serde(default)]
     pub ps_tcp: bool,
+    /// Bind the live ops HTTP server (`/`, `/metrics`, `/status`,
+    /// `/events`, `/trace`, `/healthz`) on this address for the duration
+    /// of the run, e.g. `"127.0.0.1:9090"` (port 0 picks an ephemeral
+    /// port). `None` disables the server; the in-memory ops hub still
+    /// works either way.
+    #[serde(default)]
+    pub ops_addr: Option<String>,
+    /// Enable causal workunit tracing: dispatch → fetch → train → upload
+    /// → validate → assimilate spans into the flight recorder plus
+    /// per-stage `trace_<stage>_s` histograms. Off by default so untraced
+    /// runs record byte-identical output (the golden-bit suites depend on
+    /// this).
+    #[serde(default)]
+    pub trace: bool,
 }
 
 impl RuntimeConfig {
@@ -70,6 +84,8 @@ impl RuntimeConfig {
             max_wall_s: 600.0,
             flight_recorder_path: None,
             ps_tcp: false,
+            ops_addr: None,
+            trace: false,
         }
     }
 
@@ -165,6 +181,8 @@ mod tests {
         let mut cfg = RuntimeConfig::test_small(3);
         cfg.faults.kill_hosts = vec![0];
         cfg.faults.respawn_after_s = Some(1.5);
+        cfg.ops_addr = Some("127.0.0.1:0".into());
+        cfg.trace = true;
         let json = serde_json::to_string(&cfg).unwrap();
         let back: RuntimeConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(cfg, back);

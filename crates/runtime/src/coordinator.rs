@@ -27,8 +27,9 @@ use vc_data::Dataset;
 use vc_kvstore::{Consistency, VersionedStore};
 use vc_middleware::{BoincServer, Clock, ReportStatus, ShardManifest};
 use vc_nn::metrics::evaluate;
+use vc_ops::{FleetStatus, OpsHub, PsStatus, StatusSnapshot};
 use vc_ps::{PsService, ShardedAssimilator};
-use vc_telemetry::{event, Histogram, Telemetry};
+use vc_telemetry::{event, Histogram, Telemetry, TraceStage};
 use vc_tensor::codec::encoded_len;
 
 /// Everything one assimilator (parameter-server) thread needs.
@@ -76,6 +77,7 @@ pub fn assimilator_main(ctx: AssimCtx) {
             .out
             .send(ToServer::Assimilated {
                 wu: t.wu,
+                host: t.host,
                 epoch: t.epoch,
                 shard_id: t.shard_id,
                 acc,
@@ -132,7 +134,18 @@ pub struct Coordinator<C: Clock> {
     pub next_checkpoint_s: Option<f64>,
     /// The run's telemetry hub (registry + flight recorder).
     pub telemetry: Telemetry,
+    /// The live ops hub the coordinator publishes status snapshots into
+    /// (`None` when no ops surface is attached).
+    pub ops: Option<Arc<OpsHub>>,
+    /// Clock second of the last ops publish (throttles event-loop
+    /// publishing to [`OPS_PUBLISH_EVERY_S`]).
+    pub last_ops_publish_s: f64,
 }
+
+/// Minimum clock seconds between event-loop status publishes: scrapes see
+/// fresh-enough state without the coordinator re-summarizing a 100k-host
+/// fleet on every message.
+const OPS_PUBLISH_EVERY_S: f64 = 0.25;
 
 /// Why the coordinator stopped.
 pub(crate) enum Stop {
@@ -161,6 +174,8 @@ impl<C: Clock> Coordinator<C> {
             let _ = tx.send(ToWorker::Shutdown);
         }
         let halted = matches!(stop, Stop::Halted);
+        // Final status publish: scrapes after the run report `done`.
+        self.publish_ops(true);
         let (kills, respawns, delayed) = self.stats_faults.snapshot();
         event!(
             self.telemetry,
@@ -206,6 +221,7 @@ impl<C: Clock> Coordinator<C> {
             let now = self.clock.now();
             self.server.scan_timeouts(now);
             self.maybe_timed_checkpoint();
+            self.maybe_publish_ops();
             if self.clock.elapsed_s() > self.cfg.max_wall_s {
                 self.write_checkpoint();
                 return Stop::Halted;
@@ -254,6 +270,7 @@ impl<C: Clock> Coordinator<C> {
                         let info = self.server.workunit(wu).clone();
                         let _ = self.assim_tx.send(AssimTask {
                             wu,
+                            host,
                             epoch: info.epoch,
                             shard_id: info.shard_id,
                             client: params,
@@ -271,6 +288,7 @@ impl<C: Clock> Coordinator<C> {
             }
             ToServer::Assimilated {
                 wu,
+                host,
                 epoch,
                 shard_id,
                 acc,
@@ -281,6 +299,22 @@ impl<C: Clock> Coordinator<C> {
                     .registry()
                     .histogram_with(ASSIM_LATENCY_S, Histogram::latency_bounds)
                     .observe((now - accepted_at).max(0.0));
+                if self.telemetry.tracing() {
+                    // Causal trace: the assimilate stage closes the
+                    // workunit's dispatch → … → assimilate chain.
+                    self.telemetry.trace_span(
+                        now.as_secs(),
+                        TraceStage::Assimilate,
+                        wu.0,
+                        u64::from(host.0),
+                        (now - accepted_at).max(0.0),
+                        vec![
+                            ("epoch", (epoch as u64).into()),
+                            ("shard", (shard_id as u64).into()),
+                            ("acc", f64::from(acc).into()),
+                        ],
+                    );
+                }
                 event!(
                     self.telemetry,
                     Debug,
@@ -372,6 +406,61 @@ impl<C: Clock> Coordinator<C> {
             now,
         );
         false
+    }
+
+    /// Summarizes live coordinator state into the `/status` document: job
+    /// progress, fleet health, queue backlog, and parameter-service shard
+    /// versions — read-only over state the coordinator already owns.
+    pub(crate) fn build_status(&self, done: bool) -> StatusSnapshot {
+        let now = self.clock.now();
+        let ops = self.service.ops();
+        let mut ps = PsStatus::from_versions(self.assim.versions());
+        ps.fetches = ops.fetches;
+        ps.shards_sent = ops.shards_sent;
+        ps.cache_hits = ops.cache_hits;
+        ps.pushes = ops.pushes;
+        ps.bytes_rx = ops.bytes_rx;
+        ps.bytes_tx = ops.bytes_tx;
+        StatusSnapshot {
+            t_s: self.wall_base_s + self.clock.elapsed_s(),
+            label: self.cfg.job.pct_label(),
+            epochs_done: self.stats.len() as u32,
+            epochs_total: self.cfg.job.epochs as u32,
+            open_workunits: self.server.open_count(),
+            queue_depth: self.server.queue_depth(),
+            assimilations: self.assimilations,
+            epoch_acc: self
+                .stats
+                .iter()
+                .map(|e| f64::from(e.mean_val_acc))
+                .collect(),
+            fleet: FleetStatus::from_hosts(self.server.hosts(), now),
+            server: self.server.metrics(),
+            ps,
+            done,
+        }
+    }
+
+    /// Publishes a fresh status snapshot into the ops hub, if one is
+    /// attached. Pure state summarization — no RNG, no telemetry events —
+    /// so attaching an ops surface never perturbs a trajectory.
+    pub(crate) fn publish_ops(&self, done: bool) {
+        if let Some(hub) = &self.ops {
+            hub.publish(self.build_status(done));
+        }
+    }
+
+    /// Event-loop beat: publish at most every [`OPS_PUBLISH_EVERY_S`]
+    /// clock seconds.
+    fn maybe_publish_ops(&mut self) {
+        if self.ops.is_none() {
+            return;
+        }
+        let elapsed = self.clock.elapsed_s();
+        if elapsed - self.last_ops_publish_s >= OPS_PUBLISH_EVERY_S {
+            self.last_ops_publish_s = elapsed;
+            self.publish_ops(false);
+        }
     }
 
     /// Total payload bytes: channel uploads counted here plus the wire

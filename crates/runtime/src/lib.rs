@@ -57,6 +57,7 @@ use vc_data::ShardSet;
 use vc_kvstore::VersionedStore;
 use vc_middleware::{BoincServer, HostId, ShardManifest, WallClock};
 use vc_nn::metrics::evaluate;
+use vc_ops::{OpsHub, OpsServer};
 use vc_ps::{
     MemClient, PsClient, PsService, ShardCache, ShardedAssimilator, TcpClient, TcpPsServer,
 };
@@ -69,6 +70,7 @@ pub struct Runtime {
     cfg: RuntimeConfig,
     resume: Option<Checkpoint>,
     telemetry: Option<Telemetry>,
+    ops_hub: Option<Arc<OpsHub>>,
 }
 
 impl Runtime {
@@ -79,6 +81,7 @@ impl Runtime {
             cfg,
             resume: None,
             telemetry: None,
+            ops_hub: None,
         })
     }
 
@@ -92,6 +95,7 @@ impl Runtime {
             cfg: ck.cfg.clone(),
             resume: Some(ck),
             telemetry: None,
+            ops_hub: None,
         })
     }
 
@@ -109,6 +113,17 @@ impl Runtime {
         self
     }
 
+    /// Publishes live status into `hub` during the run. The caller keeps
+    /// its own handle — typically to front the hub with an
+    /// [`vc_ops::OpsServer`] it controls (binding, lifetime) instead of
+    /// the `ops_addr`-managed one. The hub should share the run's
+    /// telemetry (see [`Runtime::with_telemetry`]) so `/metrics`,
+    /// `/events` and `/trace` read this run's registry and recorder.
+    pub fn with_ops_hub(mut self, hub: Arc<OpsHub>) -> Self {
+        self.ops_hub = Some(hub);
+        self
+    }
+
     /// Executes the job: spawns the fleet, trains to completion (or halt),
     /// joins every thread, and reports.
     pub fn run(mut self) -> Result<RuntimeReport, String> {
@@ -123,6 +138,33 @@ impl Runtime {
         let tel = self.telemetry.take().unwrap_or_else(Telemetry::from_env);
         let cfg = Arc::new(self.cfg);
         let job = &cfg.job;
+        // Causal workunit tracing: off by default so untraced runs record
+        // byte-identical telemetry; `cfg.trace` opts a run in.
+        tel.set_tracing(cfg.trace);
+
+        // --- live ops surface ----------------------------------------------
+        // An externally supplied hub wins; otherwise `ops_addr` creates one.
+        // The HTTP server (if any) lives exactly as long as the run.
+        let ops_hub = match self.ops_hub.take() {
+            Some(hub) => Some(hub),
+            None => cfg
+                .ops_addr
+                .as_ref()
+                .map(|_| Arc::new(OpsHub::new(tel.clone()))),
+        };
+        let _ops_server = match (&cfg.ops_addr, &ops_hub) {
+            (Some(addr), Some(hub)) => {
+                let srv = OpsServer::start(addr, hub.clone()).map_err(|e| e.to_string())?;
+                vc_telemetry::event!(
+                    tel,
+                    Info,
+                    "ops_server_started",
+                    addr = srv.local_addr().to_string()
+                );
+                Some(srv)
+            }
+            _ => None,
+        };
 
         // --- data ---------------------------------------------------------
         let (train, val, test) = job.data.generate();
@@ -312,6 +354,8 @@ impl Runtime {
             stats_faults: fstats,
             next_checkpoint_s: cfg.checkpoint_every_s,
             telemetry: tel,
+            ops: ops_hub,
+            last_ops_publish_s: -1.0,
         };
         let (mut report, assim) = coordinator.run();
 
@@ -420,8 +464,22 @@ mod tests {
             clean.final_mean_acc()
         );
         assert!(done.final_mean_acc() > 0.15, "{}", done.final_mean_acc());
-        // The resumed clock continues where the checkpoint left off.
-        assert!(done.wall_s > partial.wall_s);
+        // The resumed clock continues where the checkpoint left off: epoch
+        // stamps stay monotone across the resume boundary, and the resumed
+        // total covers everything the partial run finished. (Comparing
+        // against `partial.wall_s` directly races — that stamp includes
+        // post-halt finalize time, which on a loaded machine can exceed
+        // the whole resumed run.)
+        for w in done.epochs.windows(2) {
+            assert!(
+                w[0].end_wall_s < w[1].end_wall_s,
+                "wall went backwards across resume: {} then {}",
+                w[0].end_wall_s,
+                w[1].end_wall_s
+            );
+        }
+        let last_partial = partial.epochs.last().expect("halt landed mid-epoch-2");
+        assert!(done.wall_s > last_partial.end_wall_s);
     }
 
     #[test]

@@ -32,6 +32,10 @@ pub enum ToServer {
     Assimilated {
         /// The workunit whose result was assimilated.
         wu: WuId,
+        /// The host whose result won the workunit (echoed from
+        /// [`AssimTask::host`], so the assimilate trace span names the
+        /// volunteer that produced the update).
+        host: HostId,
         /// The epoch the workunit belongs to.
         epoch: usize,
         /// The shard the workunit trained.
@@ -71,6 +75,9 @@ pub enum ToWorker {
 pub struct AssimTask {
     /// The workunit the result answers.
     pub wu: WuId,
+    /// The host whose result was accepted (the canonical replica under
+    /// quorum validation).
+    pub host: HostId,
     /// The epoch the workunit belongs to.
     pub epoch: usize,
     /// The shard the workunit trained.

@@ -41,7 +41,7 @@ use vc_nn::metrics::evaluate;
 use vc_nn::Sequential;
 use vc_ps::{MemClient, PsService, ShardCache, ShardSnapshot, ShardedAssimilator};
 use vc_simnet::SimTime;
-use vc_telemetry::{event, Histogram, Telemetry};
+use vc_telemetry::{event, Histogram, Telemetry, TraceStage};
 
 /// One deterministic chaos scenario: a runtime configuration plus the
 /// virtual-time costs of the things that take real time on threads.
@@ -71,6 +71,11 @@ pub struct Scenario {
     pub tick_s: f64,
     /// Scheduling-latency bound the [`StepScheduler`] adds to every event.
     pub sched_jitter_s: f64,
+    /// Attach an in-memory [`vc_ops::OpsHub`] to the run: the coordinator
+    /// publishes a status snapshot on every housekeeping tick, and
+    /// [`SimOutcome::ops`] exposes the hub so tests can call the same
+    /// endpoint router a live HTTP scrape would hit — deterministically.
+    pub ops: bool,
 }
 
 impl Scenario {
@@ -88,7 +93,22 @@ impl Scenario {
             assim_s: 0.05,
             tick_s: 0.25,
             sched_jitter_s: 0.002,
+            ops: false,
         }
+    }
+
+    /// Enables causal workunit tracing (`cfg.trace`): dispatch → fetch →
+    /// train → upload → validate → assimilate spans into the flight
+    /// recorder, timestamped by the virtual clock.
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.cfg.trace = on;
+        self
+    }
+
+    /// Attaches the in-memory ops hub (see [`Scenario::ops`] field docs).
+    pub fn ops(mut self, on: bool) -> Self {
+        self.ops = on;
+        self
     }
 
     /// Sets the worker (client) count `Cn`.
@@ -240,6 +260,10 @@ pub struct SimOutcome {
     /// The run's telemetry hub: the flight recorder holds the event trace
     /// (virtual-clock timestamps, so replays dump byte-identical JSONL).
     pub telemetry: Telemetry,
+    /// The in-memory ops hub, when the scenario enabled one
+    /// ([`Scenario::ops`]): every endpoint a live HTTP server would serve,
+    /// as pure in-memory calls over deterministic state.
+    pub ops: Option<Arc<vc_ops::OpsHub>>,
 }
 
 impl SimOutcome {
@@ -393,7 +417,7 @@ impl Sim {
             }
             Ev::TrainDone { host, wu, params } => {
                 if self.workers[host as usize].state == WState::Alive {
-                    self.send_to_server(
+                    let delay = self.send_to_server(
                         host,
                         ToServer::Result {
                             host: HostId(host),
@@ -401,6 +425,19 @@ impl Sim {
                             params,
                         },
                     );
+                    if self.coord.telemetry.tracing() {
+                        // The upload occupies the delay-line hold (zero
+                        // without one) and ends when the message lands.
+                        let now = self.sched.now().as_secs();
+                        self.coord.telemetry.trace_span(
+                            now + delay,
+                            TraceStage::Upload,
+                            wu.0,
+                            u64::from(host),
+                            delay,
+                            Vec::new(),
+                        );
+                    }
                     // The threaded worker loops straight back into a poll
                     // after uploading.
                     self.sched.schedule_in(0.0, Ev::Poll(host));
@@ -432,6 +469,11 @@ impl Sim {
                 let now = self.sched.now();
                 self.coord.server.scan_timeouts(now);
                 self.coord.maybe_timed_checkpoint();
+                // Per-tick status publish, the sim's analogue of the
+                // threaded event loop's throttled publish. Pure state
+                // summarization: no RNG, no events, so attaching the ops
+                // hub never perturbs a trajectory.
+                self.coord.publish_ops(false);
                 if self.coord.clock.elapsed_s() > self.coord.cfg.max_wall_s {
                     self.coord.write_checkpoint();
                     return Some(Stop::Halted);
@@ -445,7 +487,8 @@ impl Sim {
     /// Sends a worker message toward the coordinator — directly, or with
     /// the delay line's uniform hold drawn from the worker's own RNG
     /// stream (the exact draw `Outbox::Delayed` makes on threads).
-    fn send_to_server(&mut self, host: u32, msg: ToServer) {
+    /// Returns the hold, so the caller can stamp an upload span with it.
+    fn send_to_server(&mut self, host: u32, msg: ToServer) -> f64 {
         let max = self.coord.cfg.faults.max_msg_delay_s;
         let delay = if max > 0.0 {
             self.fstats.delayed_msgs.fetch_add(1, Ordering::Relaxed);
@@ -460,6 +503,7 @@ impl Sim {
             0.0
         };
         self.sched.schedule_in(delay, Ev::Deliver(msg));
+        delay
     }
 
     /// Drains everything the coordinator just produced: assimilation tasks
@@ -515,6 +559,18 @@ impl Sim {
                     .cache
                     .sync(wu.epoch as u64, &wu.param_versions.0, &mut w.ps)
                     .expect("sim fetch: a snapshot is published for every generated epoch");
+                if self.coord.telemetry.tracing() {
+                    // The in-memory fetch is synchronous under virtual
+                    // time: an instantaneous span marks the causal step.
+                    self.coord.telemetry.trace_span(
+                        self.sched.now().as_secs(),
+                        TraceStage::Fetch,
+                        wu.id.0,
+                        u64::from(h),
+                        0.0,
+                        vec![("epoch", (wu.epoch as u64).into())],
+                    );
+                }
                 let data = &self.shards.shard(wu.shard_id).data;
                 let mut params = train_client_replica(
                     &self.coord.cfg.job,
@@ -539,6 +595,21 @@ impl Sim {
                     .registry()
                     .histogram_with(WORKER_TRAIN_S, Histogram::latency_bounds)
                     .observe(dur);
+                if self.coord.telemetry.tracing() {
+                    // Emitted at schedule time, stamped with the span's
+                    // end: the drawn virtual compute time is known now.
+                    self.coord.telemetry.trace_span(
+                        self.sched.now().as_secs() + dur,
+                        TraceStage::Train,
+                        wu.id.0,
+                        u64::from(h),
+                        dur,
+                        vec![
+                            ("epoch", (wu.epoch as u64).into()),
+                            ("shard", (wu.shard_id as u64).into()),
+                        ],
+                    );
+                }
                 self.sched.schedule_in(
                     dur,
                     Ev::TrainDone {
@@ -609,6 +680,7 @@ impl Sim {
             0.0,
             Ev::Deliver(ToServer::Assimilated {
                 wu: task.wu,
+                host: task.host,
                 epoch: task.epoch,
                 shard_id: task.shard_id,
                 acc,
@@ -639,6 +711,8 @@ pub fn run_scenario(sc: &Scenario) -> Result<SimOutcome, String> {
     let clock = sched.clock();
     let tel = Telemetry::silent();
     tel.set_time_source(Arc::new(clock.clone()));
+    tel.set_tracing(cfg.trace);
+    let ops_hub = sc.ops.then(|| Arc::new(vc_ops::OpsHub::new(tel.clone())));
 
     // --- recording parameter store + sharded service --------------------
     let store = Arc::new(VersionedStore::recording().with_telemetry(&tel));
@@ -721,6 +795,8 @@ pub fn run_scenario(sc: &Scenario) -> Result<SimOutcome, String> {
         stats_faults: fstats.clone(),
         next_checkpoint_s: cfg.checkpoint_every_s,
         telemetry: tel.clone(),
+        ops: ops_hub.clone(),
+        last_ops_publish_s: -1.0,
     };
 
     let mut sim = Sim {
@@ -759,6 +835,7 @@ pub fn run_scenario(sc: &Scenario) -> Result<SimOutcome, String> {
         report,
         history: store.take_history(),
         telemetry: tel,
+        ops: ops_hub,
     })
 }
 
@@ -770,10 +847,20 @@ pub fn verify_seed(seed: u64, out: &SimOutcome) {
     if let Err(e) = out.verify_consistency() {
         let path = std::env::temp_dir().join(format!("vc-dst-seed-{seed}.jsonl"));
         let note = match out.telemetry.recorder().dump_to_file(&path) {
-            Ok(()) => format!("; flight recorder dumped to {}", path.display()),
+            Ok(p) => format!("; flight recorder dumped to {}", p.display()),
             Err(io) => format!("; flight recorder dump failed: {io}"),
         };
-        panic!("DST seed {seed}: {e}{note} — replay with run_scenario(&make({seed}))");
+        // Also export the Chrome trace_event view so the failing run opens
+        // as a waterfall in chrome://tracing / Perfetto.
+        let trace_path = std::env::temp_dir().join(format!("vc-dst-seed-{seed}.trace.json"));
+        let trace_note = match std::fs::write(
+            &trace_path,
+            vc_telemetry::chrome_trace_json(&out.telemetry.recorder().events()),
+        ) {
+            Ok(()) => format!("; chrome trace at {}", trace_path.display()),
+            Err(io) => format!("; chrome trace export failed: {io}"),
+        };
+        panic!("DST seed {seed}: {e}{note}{trace_note} — replay with run_scenario(&make({seed}))");
     }
 }
 

@@ -31,7 +31,7 @@ use vc_data::ShardSet;
 use vc_middleware::HostId;
 use vc_optim::{StepTimer, TrainWorkspace};
 use vc_ps::{PsClient, ShardCache};
-use vc_telemetry::{event, Histogram, Telemetry};
+use vc_telemetry::{event, Histogram, Telemetry, TraceStage};
 
 use crate::report::{
     WORKER_FETCH_S, WORKER_POLL_S, WORKER_TRAIN_S, WORKER_TRAIN_STEP_S, WORKER_UPLOAD_S,
@@ -185,7 +185,18 @@ pub fn worker_main(ctx: WorkerCtx) {
                         continue;
                     }
                 };
-                fetch_h.observe((telemetry.now_s() - fetch_t0).max(0.0));
+                let fetch_t1 = telemetry.now_s();
+                fetch_h.observe((fetch_t1 - fetch_t0).max(0.0));
+                if telemetry.tracing() {
+                    telemetry.trace_span(
+                        fetch_t1,
+                        TraceStage::Fetch,
+                        wu.id.0,
+                        u64::from(id.0),
+                        (fetch_t1 - fetch_t0).max(0.0),
+                        vec![("epoch", (wu.epoch as u64).into())],
+                    );
+                }
                 let data = &shards.shard(wu.shard_id).data;
                 let train_t0 = telemetry.now_s();
                 let step_timer = StepTimer {
@@ -201,7 +212,21 @@ pub fn worker_main(ctx: WorkerCtx) {
                     &mut tws,
                     Some(&step_timer),
                 );
-                train_h.observe((telemetry.now_s() - train_t0).max(0.0));
+                let train_t1 = telemetry.now_s();
+                train_h.observe((train_t1 - train_t0).max(0.0));
+                if telemetry.tracing() {
+                    telemetry.trace_span(
+                        train_t1,
+                        TraceStage::Train,
+                        wu.id.0,
+                        u64::from(id.0),
+                        (train_t1 - train_t0).max(0.0),
+                        vec![
+                            ("epoch", (wu.epoch as u64).into()),
+                            ("shard", (wu.shard_id as u64).into()),
+                        ],
+                    );
+                }
                 // A byzantine host does the work, then lies about it.
                 if let Some(mode) = cfg.faults.byzantine(id.0) {
                     mode.corrupt(id.0, &mut params);
@@ -220,7 +245,18 @@ pub fn worker_main(ctx: WorkerCtx) {
                 {
                     return;
                 }
-                upload_h.observe((telemetry.now_s() - upload_t0).max(0.0));
+                let upload_t1 = telemetry.now_s();
+                upload_h.observe((upload_t1 - upload_t0).max(0.0));
+                if telemetry.tracing() {
+                    telemetry.trace_span(
+                        upload_t1,
+                        TraceStage::Upload,
+                        wu.id.0,
+                        u64::from(id.0),
+                        (upload_t1 - upload_t0).max(0.0),
+                        Vec::new(),
+                    );
+                }
             }
         }
     }

@@ -8,7 +8,7 @@
 //! deterministic simulation.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -254,6 +254,7 @@ struct Inner {
     registry: Registry,
     recorder: FlightRecorder,
     echo: AtomicU8,
+    tracing: AtomicBool,
     time: RwLock<Arc<dyn TimeSource>>,
 }
 
@@ -274,6 +275,7 @@ impl Telemetry {
                 registry: Registry::new(),
                 recorder: FlightRecorder::new(capacity),
                 echo: AtomicU8::new(pack_echo(echo)),
+                tracing: AtomicBool::new(false),
                 time: RwLock::new(Arc::new(WallTime::new())),
             }),
         }
@@ -309,6 +311,19 @@ impl Telemetry {
     /// Current time in seconds from the active [`TimeSource`].
     pub fn now_s(&self) -> f64 {
         self.inner.time.read().now_s()
+    }
+
+    /// True when causal workunit tracing is enabled (off by default, so
+    /// uninstrumented runs record byte-identical flight-recorder output).
+    pub fn tracing(&self) -> bool {
+        self.inner.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables causal workunit tracing. Call sites guard
+    /// their `trace_span` emissions on [`Telemetry::tracing`], so default
+    /// runs pay one relaxed load and allocate nothing.
+    pub fn set_tracing(&self, on: bool) {
+        self.inner.tracing.store(on, Ordering::Relaxed);
     }
 
     /// Current stderr-echo threshold (`None` = off).

@@ -27,6 +27,7 @@
 pub mod event;
 pub mod metrics;
 pub mod recorder;
+pub mod trace;
 
 pub use event::{Event, FieldValue, Level, Span, Telemetry, TimeSource, WallTime};
 pub use metrics::{
@@ -34,6 +35,7 @@ pub use metrics::{
     Registry, RegistrySnapshot,
 };
 pub use recorder::FlightRecorder;
+pub use trace::{chrome_trace_json, span_id, TraceStage, TRACE_SPAN};
 
 /// Installs a panic hook that dumps `tel`'s flight recorder to `path`
 /// (JSONL) before delegating to the previous hook. Call once per
@@ -44,7 +46,7 @@ pub fn install_panic_dump(tel: &Telemetry, path: impl Into<std::path::PathBuf>) 
     let prev = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
         match tel.recorder().dump_to_file(&path) {
-            Ok(()) => eprintln!("vc-telemetry: flight recorder dumped to {}", path.display()),
+            Ok(p) => eprintln!("vc-telemetry: flight recorder dumped to {}", p.display()),
             Err(e) => eprintln!("vc-telemetry: flight recorder dump failed: {e}"),
         }
         prev(info);

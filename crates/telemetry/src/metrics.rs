@@ -223,6 +223,7 @@ struct RegistryInner {
     counters: Vec<(String, Arc<Counter>)>,
     gauges: Vec<(String, Arc<Gauge>)>,
     histograms: Vec<(String, Arc<Histogram>)>,
+    help: Vec<(String, String)>,
 }
 
 /// A named collection of metrics. Lookup takes the registry lock once;
@@ -326,20 +327,53 @@ impl Registry {
         }
     }
 
-    /// Prometheus text exposition of every metric, sorted by name.
+    /// Registers free-text help for a metric name, emitted as the
+    /// `# HELP` line in the Prometheus exposition. Metrics without a
+    /// registered description get a generic fallback.
+    pub fn describe(&self, name: &str, help: &str) {
+        let mut g = self.inner.write();
+        if let Some((_, h)) = g.help.iter_mut().find(|(n, _)| n == name) {
+            help.clone_into(h);
+        } else {
+            g.help.push((name.to_string(), help.to_string()));
+        }
+    }
+
+    /// The registered help text for `name`, if any.
+    pub fn help(&self, name: &str) -> Option<String> {
+        self.inner
+            .read()
+            .help
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h.clone())
+    }
+
+    /// Prometheus text exposition of every metric, sorted by name, with
+    /// `# HELP` / `# TYPE` metadata and names sanitized to the exposition
+    /// charset `[a-zA-Z_:][a-zA-Z0-9_:]*`.
     pub fn render_prometheus(&self) -> String {
         let snap = self.snapshot();
         let mut out = String::new();
+        let help_line = |out: &mut String, raw: &str, name: &str| {
+            let text = self
+                .help(raw)
+                .unwrap_or_else(|| format!("vc-dl metric {raw}"));
+            out.push_str(&format!("# HELP {name} {}\n", escape_help(&text)));
+        };
         for c in &snap.counters {
             let name = sanitize(&c.name);
+            help_line(&mut out, &c.name, &name);
             out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.value));
         }
         for g in &snap.gauges {
             let name = sanitize(&g.name);
+            help_line(&mut out, &g.name, &name);
             out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.value));
         }
         for h in &snap.histograms {
             let name = sanitize(&h.name);
+            help_line(&mut out, &h.name, &name);
             out.push_str(&format!("# TYPE {name} histogram\n"));
             let mut cum = 0u64;
             for (i, c) in h.histogram.counts.iter().enumerate() {
@@ -357,8 +391,12 @@ impl Registry {
     }
 }
 
+/// Maps an arbitrary metric name into the Prometheus exposition charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: every disallowed character becomes `_`,
+/// and a leading digit (or an empty name) gains a `_` prefix.
 fn sanitize(name: &str) -> String {
-    name.chars()
+    let mut out: String = name
+        .chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
                 c
@@ -366,7 +404,16 @@ fn sanitize(name: &str) -> String {
                 '_'
             }
         })
-        .collect()
+        .collect();
+    if out.is_empty() || out.as_bytes()[0].is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escapes help text per the Prometheus text format: `\` and newlines.
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 /// One counter in a [`RegistrySnapshot`].
@@ -506,18 +553,25 @@ mod tests {
     fn exposition_format_golden() {
         let reg = Registry::new();
         reg.counter("vc_ops_total").add(3);
+        reg.describe("vc_ops_total", "total ops\nmulti-line");
         reg.gauge("queue depth").set(1.5);
         let h = reg.histogram_with("lat_s", || vec![0.5, 1.0]);
         h.observe(0.25);
         h.observe(0.75);
         h.observe(2.0);
-        // Counters render before gauges before histograms; bucket counts
-        // are cumulative; names are sanitized to the Prometheus charset.
+        // Counters render before gauges before histograms; every series
+        // gets # HELP (registered text, newline-escaped, or a fallback)
+        // and # TYPE; bucket counts are cumulative with an explicit +Inf
+        // edge plus _sum/_count; names are sanitized to the Prometheus
+        // charset.
         let expected = "\
+# HELP vc_ops_total total ops\\nmulti-line
 # TYPE vc_ops_total counter
 vc_ops_total 3
+# HELP queue_depth vc-dl metric queue depth
 # TYPE queue_depth gauge
 queue_depth 1.5
+# HELP lat_s vc-dl metric lat_s
 # TYPE lat_s histogram
 lat_s_bucket{le=\"0.5\"} 1
 lat_s_bucket{le=\"1\"} 2
@@ -526,6 +580,19 @@ lat_s_sum 3
 lat_s_count 3
 ";
         assert_eq!(reg.render_prometheus(), expected);
+    }
+
+    #[test]
+    fn exposition_sanitizes_hostile_names() {
+        assert_eq!(sanitize("ok_name:x"), "ok_name:x");
+        assert_eq!(sanitize("has space-and.dots"), "has_space_and_dots");
+        assert_eq!(sanitize("9starts_with_digit"), "_9starts_with_digit");
+        assert_eq!(sanitize(""), "_");
+        let reg = Registry::new();
+        reg.counter("2xx responses").add(1);
+        let text = reg.render_prometheus();
+        assert!(text.contains("_2xx_responses 1"), "{text}");
+        assert!(text.contains("# TYPE _2xx_responses counter"), "{text}");
     }
 
     #[test]

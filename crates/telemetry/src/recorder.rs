@@ -8,7 +8,7 @@
 
 use std::collections::VecDeque;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use parking_lot::Mutex;
 
@@ -104,9 +104,54 @@ impl FlightRecorder {
         out
     }
 
-    /// Writes the JSONL dump to `path`.
-    pub fn dump_to_file(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        std::fs::write(path, self.dump_jsonl())
+    /// Writes the JSONL dump to `path`, creating missing parent
+    /// directories. When `path` already exists (two failing DST seeds
+    /// dumping to the same artifact name, or a crashed run's leftovers)
+    /// the dump goes to a sibling with a process-unique suffix instead of
+    /// silently overwriting. Returns the path actually written.
+    pub fn dump_to_file(&self, path: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let target = unique_sibling(path);
+        std::fs::write(&target, self.dump_jsonl())?;
+        Ok(target)
+    }
+}
+
+/// `path` if it is free, else the first free sibling named
+/// `<stem>.<pid>[-<n>][.<ext>]` — process-unique so concurrent test
+/// processes never clobber each other, counter-suffixed so repeated dumps
+/// within one process all survive.
+fn unique_sibling(path: &Path) -> PathBuf {
+    if !path.exists() {
+        return path.to_path_buf();
+    }
+    let stem = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "dump".to_string());
+    let ext = path.extension().map(|e| e.to_string_lossy().into_owned());
+    let pid = std::process::id();
+    let mut n = 0u64;
+    loop {
+        let mut name = if n == 0 {
+            format!("{stem}.{pid}")
+        } else {
+            format!("{stem}.{pid}-{n}")
+        };
+        if let Some(e) = &ext {
+            name.push('.');
+            name.push_str(e);
+        }
+        let cand = path.with_file_name(name);
+        if !cand.exists() {
+            return cand;
+        }
+        n += 1;
     }
 }
 
@@ -162,10 +207,45 @@ mod tests {
     fn dump_to_file_writes_the_jsonl() {
         let rec = FlightRecorder::new(4);
         rec.record(ev(7));
-        let path = std::env::temp_dir().join("vc-telemetry-recorder-test.jsonl");
-        rec.dump_to_file(&path).unwrap();
-        let content = std::fs::read_to_string(&path).unwrap();
+        let dir = std::env::temp_dir().join(format!("vc-rec-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("vc-telemetry-recorder-test.jsonl");
+        let written = rec.dump_to_file(&path).unwrap();
+        assert_eq!(written, path, "a free path is used verbatim");
+        let content = std::fs::read_to_string(&written).unwrap();
         assert_eq!(content, rec.dump_jsonl());
-        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dump_to_file_creates_parents_and_never_overwrites() {
+        let rec = FlightRecorder::new(4);
+        rec.record(ev(1));
+        let dir = std::env::temp_dir().join(format!("vc-rec-uniq-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Parent `deep/nested` does not exist yet.
+        let path = dir.join("deep/nested/seed-42.jsonl");
+        let first = rec.dump_to_file(&path).unwrap();
+        assert_eq!(first, path);
+
+        // A second dump to the same path must land elsewhere, leaving the
+        // first artifact intact.
+        let rec2 = FlightRecorder::new(4);
+        rec2.record(ev(2));
+        let second = rec2.dump_to_file(&path).unwrap();
+        assert_ne!(second, first, "existing dump not overwritten");
+        assert_eq!(std::fs::read_to_string(&first).unwrap(), rec.dump_jsonl());
+        assert_eq!(std::fs::read_to_string(&second).unwrap(), rec2.dump_jsonl());
+        let name = second.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(
+            name.starts_with("seed-42.") && name.ends_with(".jsonl"),
+            "suffix preserves stem and extension: {name}"
+        );
+
+        // And a third still lands on a fresh name.
+        let third = rec2.dump_to_file(&path).unwrap();
+        assert_ne!(third, second);
+        assert_ne!(third, first);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -10,7 +10,15 @@
 //! `results/runtime_demo_metrics.json`.
 //!
 //! Run: `cargo run -p vc-examples --bin runtime_demo --release`
+//!
+//! Live ops surface: set `VC_OPS_ADDR=127.0.0.1:9090` to serve the
+//! dashboard (`/`), `/metrics`, `/status`, `/events`, `/trace` and
+//! `/healthz` across all three runs, with causal workunit tracing on.
+//! `VC_OPS_LINGER_S=30` keeps the server (and the final state) up that
+//! many seconds after the last run, for browsing or scripted scrapes.
 
+use std::sync::Arc;
+use vc_ops::{OpsHub, OpsServer};
 use vc_runtime::{FaultPlan, Runtime, RuntimeConfig, RuntimeReport};
 use vc_telemetry::{install_panic_dump, Telemetry};
 
@@ -61,10 +69,22 @@ fn main() {
         std::env::temp_dir().join("vc_runtime_demo_crash.jsonl"),
     );
 
+    // Optional live ops surface, shared across all three runs so the
+    // dashboard sees one continuous story (the registry accumulates).
+    let ops = std::env::var("VC_OPS_ADDR").ok().map(|addr| {
+        let hub = Arc::new(OpsHub::new(tel.clone()));
+        let srv = OpsServer::start(addr.as_str(), hub.clone()).expect("ops server binds");
+        println!("ops server on http://{}/ (dashboard)", srv.local_addr());
+        (hub, srv)
+    });
+
     let mut cfg = RuntimeConfig::test_small(7);
     cfg.job.cn = 6; // six real worker threads
     cfg.job.pn = 2; // two parameter-server threads racing on the store
     cfg.job.epochs = 5;
+    // With an ops surface up, trace the workunits too: /trace serves the
+    // dispatch → … → assimilate waterfall for chrome://tracing.
+    cfg.trace = ops.is_some();
 
     // Preempt a third of the fleet on its second assignment; replacements
     // come up after half a second. Worker messages are randomly delayed.
@@ -81,11 +101,13 @@ fn main() {
         "fleet: {} workers ({:?} will be preempted), {} parameter servers, {} shards\n",
         cfg.job.cn, cfg.faults.kill_hosts, cfg.job.pn, cfg.job.shards
     );
-    let clean = Runtime::new(cfg.clone())
+    let mut rt = Runtime::new(cfg.clone())
         .expect("config is valid")
-        .with_telemetry(tel.clone())
-        .run()
-        .expect("run completes");
+        .with_telemetry(tel.clone());
+    if let Some((hub, _)) = &ops {
+        rt = rt.with_ops_hub(hub.clone());
+    }
+    let clean = rt.run().expect("run completes");
     print_report("faulty fleet", &clean);
 
     // Same job again, now interrupted after 12 assimilations and resumed
@@ -93,11 +115,13 @@ fn main() {
     let ck_path = std::env::temp_dir().join("vc_runtime_demo_ck.json");
     cfg.checkpoint_path = Some(ck_path.to_string_lossy().into_owned());
     cfg.halt_after_assims = Some(12);
-    let partial = Runtime::new(cfg)
+    let mut rt = Runtime::new(cfg)
         .expect("config is valid")
-        .with_telemetry(tel.clone())
-        .run()
-        .expect("run completes");
+        .with_telemetry(tel.clone());
+    if let Some((hub, _)) = &ops {
+        rt = rt.with_ops_hub(hub.clone());
+    }
+    let partial = rt.run().expect("run completes");
     println!(
         "interrupted after {} epochs ({} assimilations) — resuming from {}",
         partial.epochs.len(),
@@ -106,10 +130,11 @@ fn main() {
     );
     let mut resumed = Runtime::resume(&ck_path).expect("checkpoint is readable");
     resumed.config_mut().halt_after_assims = None;
-    let done = resumed
-        .with_telemetry(tel.clone())
-        .run()
-        .expect("resume is valid");
+    let mut rt = resumed.with_telemetry(tel.clone());
+    if let Some((hub, _)) = &ops {
+        rt = rt.with_ops_hub(hub.clone());
+    }
+    let done = rt.run().expect("resume is valid");
     std::fs::remove_file(&ck_path).ok();
     print_report("resumed run", &done);
 
@@ -123,4 +148,21 @@ fn main() {
         "metrics snapshot ({} histograms) written to {out}",
         snapshot.histograms.len()
     );
+
+    // Keep the ops surface (final state, full flight recorder, traces) up
+    // for browsing/scraping before the server joins its threads on drop.
+    if let Some((_, srv)) = ops {
+        let linger_s: f64 = std::env::var("VC_OPS_LINGER_S")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0);
+        if linger_s > 0.0 {
+            println!(
+                "ops server lingering {linger_s}s on http://{}/",
+                srv.local_addr()
+            );
+            std::thread::sleep(std::time::Duration::from_secs_f64(linger_s));
+        }
+        drop(srv);
+    }
 }

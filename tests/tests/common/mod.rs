@@ -1,0 +1,181 @@
+//! Shared fixtures for the golden-bit suites: the pinned chaos scenarios,
+//! the pre-rewrite trajectory fingerprints captured on them, and the
+//! workspace's standing FNV-1a trace-fingerprint helper.
+//!
+//! Used by `sched_scale.rs` (the scheduler-rewrite regression) and
+//! `ops_trace.rs` (the observability-is-perturbation-free regression):
+//! both must replay the *same* trajectories, so the scenarios and the
+//! golden bits live in exactly one place.
+
+#![allow(dead_code)] // each test binary uses the subset it needs
+
+use vc_runtime::{ByzantineMode, Scenario};
+
+/// FNV-1a 64-bit, the workspace's standing trace-fingerprint choice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+// --- the pinned scenarios (identical to runtime_chaos/scheduler_hardening) --
+
+pub fn storm(seed: u64) -> Scenario {
+    Scenario::new(seed)
+        .cn(7)
+        .tn(2)
+        .epochs(3)
+        .kill_fraction(0.3, 2)
+}
+
+pub fn strong_storm(seed: u64) -> Scenario {
+    Scenario::new(seed)
+        .cn(5)
+        .epochs(2)
+        .consistency(vc_kvstore::Consistency::Strong)
+        .kill_fraction(0.3, 2)
+        .respawn_after(1.0)
+}
+
+pub fn delay_storm(seed: u64) -> Scenario {
+    Scenario::new(seed)
+        .cn(6)
+        .epochs(2)
+        .kill_fraction(0.34, 1)
+        .respawn_after(0.5)
+        .delays(0.1)
+}
+
+pub fn byz_poison(seed: u64) -> Scenario {
+    let mut sc = Scenario::new(seed)
+        .cn(6)
+        .epochs(2)
+        .replication(2)
+        .quorum(2)
+        .byzantine(vec![0, 1], ByzantineMode::Poison);
+    sc.cfg.job.val_eval_n = 60;
+    sc
+}
+
+/// One golden record: scenario name, seed, per-epoch `mean_val_acc` bits,
+/// final val/test accuracy bits, FNV-1a of the report JSON, FNV-1a of the
+/// flight-recorder JSONL.
+pub type Golden = (&'static str, u64, Vec<u32>, u32, u32, u64, u64);
+
+/// Captured on the pre-rewrite (full-scan) scheduler at the pinned seeds.
+pub fn goldens() -> Vec<Golden> {
+    vec![
+        (
+            "storm",
+            0,
+            vec![1044591412, 1049449813, 1052980020],
+            1053609165,
+            1052490684,
+            0x3d072889d1799a9f,
+            0x8c3fcddd4eaec676,
+        ),
+        (
+            "storm",
+            1,
+            vec![1044171982, 1049729433, 1054482978],
+            1055007266,
+            1055566507,
+            0x5c5b297e94e2f5ed,
+            0x75d2db82a0547151,
+        ),
+        (
+            "storm",
+            2,
+            vec![1044032171, 1050638199, 1054203358],
+            1054168405,
+            1053049924,
+            0x07b084db369c8fef,
+            0x1f92623cfd992885,
+        ),
+        (
+            "storm",
+            3,
+            vec![1040047582, 1049379908, 1055496600],
+            1056684988,
+            1056405367,
+            0xa7c0b1b4f1ac7a85,
+            0x8fcb7ba0e4445c3a,
+        ),
+        (
+            "storm",
+            17,
+            vec![1042074828, 1050812962, 1053714023],
+            1054727646,
+            1054727646,
+            0x575b0d7e41d68441,
+            0xa9b7e65b7010a613,
+        ),
+        (
+            "strong_storm",
+            0,
+            vec![1044451602, 1050148864],
+            1050812962,
+            1050253722,
+            0x39b156f6c7f9529d,
+            0x37aa510cacdc4fd9,
+        ),
+        (
+            "strong_storm",
+            1,
+            vec![1045150653, 1050393531],
+            1051372203,
+            1052770304,
+            0x2babf2f6df33a0a0,
+            0x8b39d01bc2626273,
+        ),
+        (
+            "delay_storm",
+            0,
+            vec![1044381697, 1049589623],
+            1049974101,
+            1049974101,
+            0x323c06b3bdab0972,
+            0x55d4cf0ecc2bcb50,
+        ),
+        (
+            "delay_storm",
+            1,
+            vec![1044171982, 1049729433],
+            1050253722,
+            1051931443,
+            0x14c3c38e7f80a799,
+            0x86167fa0f4459d96,
+        ),
+        (
+            "byz_poison",
+            0,
+            vec![1043962266, 1049135240],
+            1051372203,
+            1050253722,
+            0x31718488ed06f5d7,
+            0x80ca28d1c019c15f,
+        ),
+        (
+            "byz_poison",
+            1,
+            vec![1042843786, 1050533341],
+            1051372203,
+            1052211063,
+            0x0c689b8069b6184a,
+            0x284331b3f994dfb0,
+        ),
+    ]
+}
+
+pub fn make(name: &str, seed: u64) -> Scenario {
+    match name {
+        "storm" => storm(seed),
+        "strong_storm" => strong_storm(seed),
+        "delay_storm" => delay_storm(seed),
+        "byz_poison" => byz_poison(seed),
+        other => panic!("unknown golden scenario {other}"),
+    }
+}
