@@ -14,9 +14,16 @@
 //!    transactions, which is exactly the contention the paper's
 //!    single-value store suffers (§V). The headline number is p95 at 4
 //!    shards vs 1.
+//! 4. **Codec** — wire bytes per fetch+push round for each transfer codec
+//!    (`raw`, `fp16`, `int8+ef`, `topk+ef`) at shard counts {1, 4, 16},
+//!    plus per-shard encode/decode kernel time. Rounds use a blocky-sparse
+//!    update profile (~25% of 64-weight blocks move per round) — the shape
+//!    real gradient updates have between publishes, and what the int8
+//!    zero-run coding is built for.
 //!
 //! `--smoke` runs tiny sizes, asserts sanity, writes nothing (CI guard).
-//! `--check` additionally asserts `p95(4 shards) < p95(1 shard)`.
+//! `--check` additionally asserts `p95(4 shards) < p95(1 shard)` and that
+//! `int8+ef` moves at most ¼ the bytes `raw` does per round.
 
 use serde::Serialize;
 use std::sync::Arc;
@@ -24,7 +31,7 @@ use std::time::Instant;
 use vc_asgd::AlphaSchedule;
 use vc_kvstore::{Consistency, VersionedStore};
 use vc_ps::{
-    MemClient, PsClient, PsService, ShardCache, ShardedAssimilator, TcpClient, TcpPsServer,
+    Codec, MemClient, PsClient, PsService, ShardCache, ShardedAssimilator, TcpClient, TcpPsServer,
 };
 
 #[derive(Serialize)]
@@ -53,10 +60,32 @@ struct AssimRow {
 }
 
 #[derive(Serialize)]
+struct CodecRow {
+    codec: String,
+    shards: usize,
+    /// Wire bytes one fetch+push round costs: every shard stale and
+    /// delta-fetched, one push per shard (frame-encoded request +
+    /// response bytes, from the service's own counters).
+    bytes_per_round: u64,
+    /// `raw`'s bytes_per_round over this codec's, same round shape.
+    ratio_vs_raw: f64,
+    /// Mean µs to encode / decode one shard-sized sparse update.
+    encode_us: f64,
+    decode_us: f64,
+    /// Stale-manifest syncs per second inside the round loop (every
+    /// shard moves each round, so these are real transfers, not cache
+    /// hits).
+    warm_fetches_per_s: f64,
+    /// Single-shard pushes per second inside the round loop.
+    pushes_per_s: f64,
+}
+
+#[derive(Serialize)]
 struct BenchPs {
     param_count: usize,
     fetch: Vec<FetchRow>,
     assim: Vec<AssimRow>,
+    codec: Vec<CodecRow>,
 }
 
 fn service(param_count: usize, shards: usize) -> Arc<PsService> {
@@ -73,6 +102,129 @@ fn service(param_count: usize, shards: usize) -> Arc<PsService> {
     let svc = Arc::new(PsService::new(assim.clone()));
     svc.publish_snapshot(1, &params, &assim.versions());
     svc
+}
+
+/// Like `service`, but with a transfer codec negotiated on both sides.
+fn codec_service(param_count: usize, shards: usize, codec: Codec) -> Arc<PsService> {
+    let store = Arc::new(VersionedStore::new());
+    let assim = Arc::new(ShardedAssimilator::new(
+        store,
+        param_count,
+        shards,
+        Consistency::Strong,
+        AlphaSchedule::Const(0.6),
+    ));
+    let params: Vec<f32> = (0..param_count).map(|i| (i % 97) as f32 * 0.01).collect();
+    assim.seed_params(&params);
+    let svc = Arc::new(
+        PsService::new(assim.clone())
+            .with_codec(codec)
+            .with_supported(&[codec]),
+    );
+    svc.publish_snapshot(1, &params, &assim.versions());
+    svc
+}
+
+/// Adds one round's blocky-sparse update in place: 1 in 4 of the
+/// 64-weight blocks move (rotating with `round`), everything else stays
+/// put. Blocks are indexed globally (`offset` is the slice's position in
+/// the full vector) so the profile is the same whether applied per shard
+/// or to the whole vector.
+fn sparse_update(params: &mut [f32], offset: usize, round: usize) {
+    for (i, p) in params.iter_mut().enumerate() {
+        let g = offset + i;
+        if !(g / 64 + round).is_multiple_of(4) {
+            continue;
+        }
+        let sign = if g.is_multiple_of(2) { 1.0 } else { -1.0 };
+        *p += sign * 0.01 * ((g % 13) as f32 + 1.0) / 13.0;
+    }
+}
+
+/// One fetch+push round per iteration: every shard gets a sparse-update
+/// push, the service publishes the merged state as a new epoch, and the
+/// worker cache syncs — so every shard is stale and the transfer rides
+/// whatever the codec ships (full blobs for raw, deltas otherwise).
+/// Wire bytes come from the service's own rx/tx counters; round 0 warms
+/// the codec's reference state and is excluded from the measurement.
+fn measure_codec(
+    name: &str,
+    codec: Codec,
+    param_count: usize,
+    shards: usize,
+    rounds: usize,
+) -> CodecRow {
+    let svc = codec_service(param_count, shards, codec);
+    let layout = *svc.assimilator().layout();
+    let mut client = MemClient::new(svc.clone());
+    let mut cache = ShardCache::new(layout).with_codec(codec);
+    cache
+        .sync(1, &svc.assimilator().versions(), &mut client)
+        .expect("cold sync");
+
+    let mut epoch = 1u64;
+    let mut ops0 = svc.ops();
+    let mut push_s = 0.0f64;
+    let mut sync_s = 0.0f64;
+    for round in 0..rounds + 1 {
+        if round == 1 {
+            ops0 = svc.ops();
+            push_s = 0.0;
+            sync_s = 0.0;
+        }
+        for shard in 0..layout.shards() {
+            let r = layout.range(shard);
+            let mut values = cache.params()[r.clone()].to_vec();
+            sparse_update(&mut values, r.start, round);
+            let t0 = Instant::now();
+            cache
+                .push_update(&mut client, shard as u32, epoch, &values)
+                .expect("round push");
+            push_s += t0.elapsed().as_secs_f64();
+        }
+        let (full, manifest) = svc.assimilator().read_params();
+        epoch += 1;
+        svc.publish_snapshot(epoch, &full, &manifest);
+        let t0 = Instant::now();
+        cache
+            .sync(epoch, &manifest, &mut client)
+            .expect("round sync");
+        sync_s += t0.elapsed().as_secs_f64();
+    }
+    let ops1 = svc.ops();
+    let bytes = (ops1.bytes_rx - ops0.bytes_rx) + (ops1.bytes_tx - ops0.bytes_tx);
+
+    // Kernel timing: one shard-sized sparse update through the codec,
+    // encode and decode measured separately.
+    let n = layout.len(0);
+    let mut x = vec![0.0f32; n];
+    sparse_update(&mut x, 0, 0);
+    let mut blob = Vec::new();
+    let mut y = Vec::new();
+    let kernel_iters = 50;
+    let t0 = Instant::now();
+    for _ in 0..kernel_iters {
+        codec.encode_update(&x, &mut blob);
+    }
+    let encode_us = t0.elapsed().as_secs_f64() / kernel_iters as f64 * 1e6;
+    let t0 = Instant::now();
+    for _ in 0..kernel_iters {
+        codec
+            .decode_update_into(&blob, n, &mut y)
+            .expect("kernel decode");
+    }
+    let decode_us = t0.elapsed().as_secs_f64() / kernel_iters as f64 * 1e6;
+
+    CodecRow {
+        codec: name.to_string(),
+        shards,
+        bytes_per_round: bytes / rounds as u64,
+        ratio_vs_raw: 1.0, // filled in by the caller once raw is known
+        encode_us,
+        decode_us,
+        warm_fetches_per_s: rounds as f64 / sync_s,
+        pushes_per_s: (rounds * layout.shards()) as f64 / push_s,
+    }
 }
 
 /// Cold/warm fetch and push rates through `client` against `svc`.
@@ -229,6 +381,38 @@ fn main() {
         });
     }
 
+    let codec_rounds = if smoke { 3 } else { 8 };
+    let mut codec_rows = Vec::new();
+    for &shards in &shard_counts {
+        // Top-k keeps ~6% of a shard — comfortably covers the moving
+        // blocks' largest entries without shipping the noise floor.
+        let k = (param_count.div_ceil(shards) / 16).max(4) as u32;
+        let lossy: [(&str, Codec); 3] = [
+            ("fp16", Codec::Fp16),
+            (
+                "int8+ef",
+                Codec::Int8 {
+                    error_feedback: true,
+                },
+            ),
+            (
+                "topk+ef",
+                Codec::TopK {
+                    k,
+                    error_feedback: true,
+                },
+            ),
+        ];
+        let raw = measure_codec("raw", Codec::Raw, param_count, shards, codec_rounds);
+        let raw_bytes = raw.bytes_per_round;
+        codec_rows.push(raw);
+        for (name, c) in lossy {
+            let mut row = measure_codec(name, c, param_count, shards, codec_rounds);
+            row.ratio_vs_raw = raw_bytes as f64 / row.bytes_per_round.max(1) as f64;
+            codec_rows.push(row);
+        }
+    }
+
     for r in &fetch {
         assert!(
             r.cold_mb_s.is_finite() && r.cold_mb_s > 0.0,
@@ -249,6 +433,19 @@ fn main() {
             a.shards, a.threads, a.p50_s, a.p95_s, a.max_s
         );
     }
+    for c in &codec_rows {
+        assert!(
+            c.bytes_per_round > 0 && c.encode_us.is_finite() && c.decode_us.is_finite(),
+            "bad codec row: {} x{}",
+            c.codec,
+            c.shards
+        );
+        println!(
+            "codec {:>8} shards={:>2}: {:>9} B/round ({:>5.1}x raw)  enc {:>7.1}µs  dec {:>7.1}µs  fetch {:>7.0}/s  push {:>7.0}/s",
+            c.codec, c.shards, c.bytes_per_round, c.ratio_vs_raw, c.encode_us, c.decode_us,
+            c.warm_fetches_per_s, c.pushes_per_s
+        );
+    }
     if check {
         let p95_1 = assim.iter().find(|a| a.shards == 1).unwrap().p95_s;
         let p95_4 = assim.iter().find(|a| a.shards == 4).unwrap().p95_s;
@@ -257,6 +454,22 @@ fn main() {
             "sharded assimilation must cut tail latency: p95@4 {p95_4:.3e}s vs p95@1 {p95_1:.3e}s"
         );
         println!("check: p95@4 {p95_4:.3e}s < p95@1 {p95_1:.3e}s ✓");
+        for &shards in &shard_counts {
+            let int8 = codec_rows
+                .iter()
+                .find(|c| c.codec == "int8+ef" && c.shards == shards)
+                .unwrap();
+            assert!(
+                int8.ratio_vs_raw >= 4.0,
+                "int8+delta must move ≤¼ the bytes of raw at {} shards: {:.2}x",
+                shards,
+                int8.ratio_vs_raw
+            );
+            println!(
+                "check: int8+ef @ {shards} shards {:.1}x fewer bytes than raw ✓",
+                int8.ratio_vs_raw
+            );
+        }
     }
 
     if smoke {
@@ -267,6 +480,7 @@ fn main() {
         param_count,
         fetch,
         assim,
+        codec: codec_rows,
     };
     vc_bench::write_results(
         "BENCH_ps.json",

@@ -127,7 +127,9 @@ function render(s) {
     ["shards", s.ps.shard_versions.length],
     ["fetches", s.ps.fetches], ["pushes", s.ps.pushes],
     ["cache hits", s.ps.cache_hits],
-    ["bytes rx", s.ps.bytes_rx], ["bytes tx", s.ps.bytes_tx]]);
+    ["bytes rx", s.ps.bytes_rx], ["bytes tx", s.ps.bytes_tx],
+    ["bytes saved", s.ps.bytes_saved],
+    ["compression", (s.ps.compression_ratio || 1).toFixed(2) + "x"]]);
   document.getElementById("skew").textContent =
     `versions [${s.ps.shard_versions.join(", ")}] skew ${s.ps.version_skew}`;
 }

@@ -84,6 +84,12 @@ pub struct PsStatus {
     pub bytes_rx: u64,
     /// Payload bytes sent.
     pub bytes_tx: u64,
+    /// Bytes the transfer codec kept off the wire (quantized deltas
+    /// instead of full `Raw` blobs). Zero under `Raw`.
+    pub bytes_saved: u64,
+    /// `(bytes_tx + bytes_saved) / bytes_tx`: how many raw bytes each
+    /// transmitted byte stands for. `1.0` under `Raw` or before traffic.
+    pub compression_ratio: f64,
 }
 
 impl PsStatus {

@@ -13,9 +13,14 @@
 //! response frames through a [`DelayQueue`], proving shard application is
 //! order-independent.
 
+use crate::codec::{encode_delta, Codec};
 use crate::queue::DelayQueue;
 use crate::service::PsService;
-use crate::wire::{decode_all, FetchReq, FetchSummary, Frame, FrameKind, PushAck, WireError};
+use crate::wire::{
+    decode_all, err_code, DeltaPayload, FetchReq, FetchSummary, Frame, FrameKind, PushAck,
+    WireError,
+};
+use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -31,6 +36,12 @@ pub enum PsError {
     Transport(String),
     /// The service answered with an error frame.
     Server(String),
+    /// The service does not speak the requested codec (structured error
+    /// code [`err_code::UNSUPPORTED_CODEC`]); callers fall back to `Raw`.
+    UnsupportedCodec(String),
+    /// The service no longer holds the delta's base snapshot (structured
+    /// error code [`err_code::UNKNOWN_BASE`]); callers resend in full.
+    UnknownBase(String),
     /// The response did not cover everything the request asked for.
     ShortResponse(&'static str),
 }
@@ -41,8 +52,21 @@ impl std::fmt::Display for PsError {
             PsError::Wire(e) => write!(f, "wire: {e}"),
             PsError::Transport(e) => write!(f, "transport: {e}"),
             PsError::Server(e) => write!(f, "server: {e}"),
+            PsError::UnsupportedCodec(e) => write!(f, "unsupported codec: {e}"),
+            PsError::UnknownBase(e) => write!(f, "unknown delta base: {e}"),
             PsError::ShortResponse(what) => write!(f, "short response: {what}"),
         }
+    }
+}
+
+/// Maps an `Error` frame to the matching [`PsError`] via its structured
+/// code (carried in the frame's `version` field).
+fn server_error(f: &Frame) -> PsError {
+    let msg = String::from_utf8_lossy(&f.payload).into_owned();
+    match f.version {
+        err_code::UNSUPPORTED_CODEC => PsError::UnsupportedCodec(msg),
+        err_code::UNKNOWN_BASE => PsError::UnknownBase(msg),
+        _ => PsError::Server(msg),
     }
 }
 
@@ -57,17 +81,30 @@ impl From<WireError> for PsError {
 /// A transport to the parameter service.
 pub trait PsClient: Send {
     /// Fetches the listed `(shard_id, cached_version)` pairs from the
-    /// `epoch` snapshot. Shard frames are appended to `out`; the summary
-    /// is returned.
+    /// `epoch` snapshot, advertising which `codec` the caller can decode
+    /// deltas in. Shard and shard-delta frames are appended to `out`; the
+    /// summary is returned.
     fn fetch(
         &mut self,
         epoch: u64,
         wants: &[(u32, u64)],
+        codec: Codec,
         out: &mut Vec<Frame>,
     ) -> Result<FetchSummary, PsError>;
 
-    /// Pushes one trained client shard for merging.
+    /// Pushes one trained client shard for merging, at full precision.
     fn push(&mut self, shard_id: u32, epoch: u64, values: &[f32]) -> Result<PushAck, PsError>;
+
+    /// Pushes one shard's update as a quantized delta blob against the
+    /// `base_epoch` snapshot the caller fetched.
+    fn push_delta(
+        &mut self,
+        shard_id: u32,
+        epoch: u64,
+        base_epoch: u64,
+        codec: Codec,
+        blob: &[u8],
+    ) -> Result<PushAck, PsError>;
 }
 
 /// Scans a decoded response for the frames a fetch expects.
@@ -78,13 +115,9 @@ pub(crate) fn collect_fetch_response(
     let mut summary = None;
     for f in frames {
         match f.kind {
-            FrameKind::Shard => out.push(f),
+            FrameKind::Shard | FrameKind::ShardDelta => out.push(f),
             FrameKind::FetchDone => summary = Some(FetchSummary::from_frame(&f)?),
-            FrameKind::Error => {
-                return Err(PsError::Server(
-                    String::from_utf8_lossy(&f.payload).into_owned(),
-                ))
-            }
+            FrameKind::Error => return Err(server_error(&f)),
             _ => return Err(PsError::ShortResponse("unexpected frame in fetch response")),
         }
     }
@@ -96,15 +129,28 @@ pub(crate) fn collect_push_response(frames: Vec<Frame>) -> Result<PushAck, PsErr
     for f in frames {
         match f.kind {
             FrameKind::PushAck => return Ok(PushAck::from_frame(&f)?),
-            FrameKind::Error => {
-                return Err(PsError::Server(
-                    String::from_utf8_lossy(&f.payload).into_owned(),
-                ))
-            }
+            FrameKind::Error => return Err(server_error(&f)),
             _ => {}
         }
     }
     Err(PsError::ShortResponse("missing PushAck"))
+}
+
+/// Builds the [`FrameKind::PushDelta`] request frame shared by every
+/// transport.
+pub(crate) fn push_delta_frame(
+    shard_id: u32,
+    epoch: u64,
+    base_epoch: u64,
+    codec: Codec,
+    blob: &[u8],
+) -> Frame {
+    DeltaPayload {
+        base: base_epoch,
+        codec,
+        blob: Bytes::copy_from_slice(blob),
+    }
+    .to_frame(FrameKind::PushDelta, shard_id, epoch)
 }
 
 /// In-process transport: requests round-trip through the byte-level wire
@@ -142,11 +188,13 @@ impl PsClient for MemClient {
         &mut self,
         epoch: u64,
         wants: &[(u32, u64)],
+        codec: Codec,
         out: &mut Vec<Frame>,
     ) -> Result<FetchSummary, PsError> {
         let req = FetchReq {
             epoch,
             wants: wants.to_vec(),
+            codec,
         }
         .to_frame();
         let frames = self.roundtrip(&req)?;
@@ -160,6 +208,19 @@ impl PsClient for MemClient {
             version: epoch,
             payload: encode_f32s(values),
         };
+        let frames = self.roundtrip(&req)?;
+        collect_push_response(frames)
+    }
+
+    fn push_delta(
+        &mut self,
+        shard_id: u32,
+        epoch: u64,
+        base_epoch: u64,
+        codec: Codec,
+        blob: &[u8],
+    ) -> Result<PushAck, PsError> {
+        let req = push_delta_frame(shard_id, epoch, base_epoch, codec, blob);
         let frames = self.roundtrip(&req)?;
         collect_push_response(frames)
     }
@@ -203,11 +264,13 @@ impl PsClient for DelayedMemClient {
         &mut self,
         epoch: u64,
         wants: &[(u32, u64)],
+        codec: Codec,
         out: &mut Vec<Frame>,
     ) -> Result<FetchSummary, PsError> {
         let req = FetchReq {
             epoch,
             wants: wants.to_vec(),
+            codec,
         }
         .to_frame();
         let frames = self.inner.roundtrip(&req)?;
@@ -218,10 +281,26 @@ impl PsClient for DelayedMemClient {
     fn push(&mut self, shard_id: u32, epoch: u64, values: &[f32]) -> Result<PushAck, PsError> {
         self.inner.push(shard_id, epoch, values)
     }
+
+    fn push_delta(
+        &mut self,
+        shard_id: u32,
+        epoch: u64,
+        base_epoch: u64,
+        codec: Codec,
+        blob: &[u8],
+    ) -> Result<PushAck, PsError> {
+        self.inner
+            .push_delta(shard_id, epoch, base_epoch, codec, blob)
+    }
 }
 
 /// A worker's sticky shard cache: versions held, assembled parameters, and
-/// reused buffers for the refresh path.
+/// reused buffers for the refresh path. With a lossy codec attached the
+/// cache also negotiates delta transfer — fetches apply quantized deltas
+/// on top of the tracked state, pushes ship quantized update deltas with
+/// per-shard error-feedback residuals — and falls back to `Raw`
+/// permanently if the service does not speak the codec.
 pub struct ShardCache {
     layout: ShardLayout,
     versions: Vec<u64>,
@@ -229,6 +308,15 @@ pub struct ShardCache {
     wants: Vec<(u32, u64)>,
     frames: Vec<Frame>,
     scratch: Vec<f32>,
+    codec: Codec,
+    /// Epoch of the last successful sync — the base pushes delta against.
+    last_epoch: u64,
+    /// Per-shard error-feedback residuals for the push path (allocated
+    /// lazily on the first lossy push).
+    push_residuals: Vec<Vec<f32>>,
+    x_scratch: Vec<f32>,
+    y_scratch: Vec<f32>,
+    blob_scratch: Vec<u8>,
 }
 
 impl ShardCache {
@@ -244,7 +332,25 @@ impl ShardCache {
             wants: Vec::with_capacity(shards),
             frames: Vec::new(),
             scratch: Vec::new(),
+            codec: Codec::Raw,
+            last_epoch: 0,
+            push_residuals: Vec::new(),
+            x_scratch: Vec::new(),
+            y_scratch: Vec::new(),
+            blob_scratch: Vec::new(),
         }
+    }
+
+    /// Selects the codec this cache requests and pushes under.
+    pub fn with_codec(mut self, codec: Codec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// The codec currently in effect (may have downgraded to `Raw` after
+    /// a structured unsupported-codec error).
+    pub fn codec(&self) -> Codec {
+        self.codec
     }
 
     /// The cached shard versions.
@@ -270,6 +376,7 @@ impl ShardCache {
     ) -> Result<&[f32], PsError> {
         assert_eq!(manifest.len(), self.layout.shards(), "manifest length");
         if self.versions == manifest {
+            self.last_epoch = epoch;
             return Ok(&self.full);
         }
         self.wants.clear();
@@ -278,12 +385,20 @@ impl ShardCache {
         }
         self.frames.clear();
         let mut frames = std::mem::take(&mut self.frames);
-        let result = client.fetch(epoch, &self.wants, &mut frames);
-        let summary = match result {
-            Ok(s) => s,
-            Err(e) => {
-                self.frames = frames;
-                return Err(e);
+        let summary = loop {
+            frames.clear();
+            match client.fetch(epoch, &self.wants, self.codec, &mut frames) {
+                Ok(s) => break s,
+                Err(PsError::UnsupportedCodec(_)) if self.codec != Codec::Raw => {
+                    // Negotiation: the service answered with a structured
+                    // error instead of a dead connection — downgrade to
+                    // Raw for the rest of this cache's life and retry.
+                    self.codec = Codec::Raw;
+                }
+                Err(e) => {
+                    self.frames = frames;
+                    return Err(e);
+                }
             }
         };
         let mut applied = 0usize;
@@ -294,13 +409,35 @@ impl ShardCache {
                 return Err(PsError::ShortResponse("shard id out of range"));
             }
             let range = self.layout.range(i);
-            if decode_f32s_into(&f.payload, &mut self.scratch).is_err()
-                || self.scratch.len() != range.len()
-            {
-                self.frames = frames;
-                return Err(PsError::ShortResponse("shard blob malformed"));
+            match f.kind {
+                FrameKind::ShardDelta => {
+                    let Ok(delta) = DeltaPayload::from_frame(f) else {
+                        self.frames = frames;
+                        return Err(PsError::ShortResponse("delta frame malformed"));
+                    };
+                    if delta.base != self.versions[i]
+                        || delta
+                            .codec
+                            .decode_update_into(&delta.blob, range.len(), &mut self.scratch)
+                            .is_err()
+                    {
+                        self.frames = frames;
+                        return Err(PsError::ShortResponse("delta base or blob invalid"));
+                    }
+                    for (g, &u) in range.zip(self.scratch.iter()) {
+                        self.full[g] += u;
+                    }
+                }
+                _ => {
+                    if decode_f32s_into(&f.payload, &mut self.scratch).is_err()
+                        || self.scratch.len() != range.len()
+                    {
+                        self.frames = frames;
+                        return Err(PsError::ShortResponse("shard blob malformed"));
+                    }
+                    self.full[range].copy_from_slice(&self.scratch);
+                }
             }
-            self.full[range].copy_from_slice(&self.scratch);
             self.versions[i] = f.version;
             applied += 1;
         }
@@ -315,7 +452,68 @@ impl ShardCache {
                 return Err(PsError::ShortResponse("wanted shard not delivered"));
             }
         }
+        self.last_epoch = epoch;
         Ok(&self.full)
+    }
+
+    /// Pushes one trained shard, quantized and delta-encoded against the
+    /// snapshot this cache last synced when a lossy codec is active.
+    /// Structured server errors degrade gracefully: an unknown base
+    /// resends this update at full precision, an unsupported codec
+    /// downgrades the cache to `Raw` for good. Under `Raw` this is exactly
+    /// the legacy full-precision push.
+    pub fn push_update(
+        &mut self,
+        client: &mut dyn PsClient,
+        shard_id: u32,
+        epoch: u64,
+        values: &[f32],
+    ) -> Result<PushAck, PsError> {
+        let i = shard_id as usize;
+        assert!(i < self.layout.shards(), "shard id out of range");
+        let range = self.layout.range(i);
+        assert_eq!(values.len(), range.len(), "push length");
+        if self.codec == Codec::Raw {
+            return client.push(shard_id, epoch, values);
+        }
+        if self.push_residuals.len() != self.layout.shards() {
+            self.push_residuals
+                .resize_with(self.layout.shards(), Vec::new);
+        }
+        let base = &self.full[range];
+        let mut x = std::mem::take(&mut self.x_scratch);
+        let mut y = std::mem::take(&mut self.y_scratch);
+        let mut blob = std::mem::take(&mut self.blob_scratch);
+        let enc = encode_delta(
+            self.codec,
+            values,
+            base,
+            &mut self.push_residuals[i],
+            &mut x,
+            &mut blob,
+            &mut y,
+        );
+        debug_assert!(enc.is_ok(), "own encoding always decodes");
+        let result = client.push_delta(shard_id, epoch, self.last_epoch, self.codec, &blob);
+        self.x_scratch = x;
+        self.y_scratch = y;
+        self.blob_scratch = blob;
+        match result {
+            Ok(ack) => Ok(ack),
+            Err(PsError::UnknownBase(_)) => {
+                // The base snapshot was retired server-side: nothing of
+                // this update arrived, so drop the residual bookkeeping
+                // and send the exact values instead.
+                self.push_residuals[i].clear();
+                client.push(shard_id, epoch, values)
+            }
+            Err(PsError::UnsupportedCodec(_)) => {
+                self.codec = Codec::Raw;
+                self.push_residuals[i].clear();
+                client.push(shard_id, epoch, values)
+            }
+            Err(e) => Err(e),
+        }
     }
 }
 

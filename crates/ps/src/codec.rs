@@ -1,0 +1,626 @@
+//! Update codecs: quantized, delta-encoded parameter transfer.
+//!
+//! The paper's modeled cost is dominated by shipping the full parameter
+//! file between server and volunteers every round. This module cuts that
+//! cost the way DeDLOC does for open collaborations: each shard moves as a
+//! **delta against the version the peer already holds**, quantized by a
+//! pluggable [`Codec`], with error-feedback residuals keeping the lossy
+//! modes unbiased over time.
+//!
+//! ## Blob formats (all little-endian)
+//!
+//! | codec | layout | size |
+//! |-------|--------|------|
+//! | `Raw`  | VCP1 (`vc-tensor::codec`) | `12 + 4n` |
+//! | `Fp16` | `[n u32][n × f16 bits u16]` | `4 + 2n` |
+//! | `Int8` | `[n u32][scale f32][tokens]` | `≤ 8 + n` |
+//! | `TopK` | `[n u32][k u32][k × idx u32, ascending][k × val f32]` | `8 + 8k` |
+//!
+//! `Int8` tokens are literal `i8` codes except the reserved byte `0x80`
+//! (`-128`, never produced by quantization) which escapes a zero run:
+//! `[0x80][run u16]`. Quantized deltas are mostly zeros — a weight whose
+//! update rounds below `scale/2` encodes as 0 — so run suppression is what
+//! pushes `Int8` past the 4× floor of plain byte-per-weight quantization.
+//!
+//! ## Error feedback
+//!
+//! For a lossy codec `Q`, the sender keeps a residual `r` per element and
+//! transmits `ŷ = Q(x + r)` for update `x`, then sets `r ← (x + r) − ŷ`.
+//! The quantization error is re-injected into the next update instead of
+//! being lost, so the *accumulated* transmitted signal tracks the true
+//! accumulated updates — compression error stays bounded instead of
+//! compounding (Stich et al.; the DeDLOC averaging argument).
+//!
+//! Every decode path here is hostile-input-safe: truncated, oversized,
+//! bit-flipped or internally inconsistent blobs return an error, never
+//! panic, never over-allocate beyond the declared element count already
+//! validated by the caller.
+
+use serde::{Deserialize, Serialize};
+use vc_tensor::quant::{
+    f16_bits_to_f32, f32_to_f16_bits, int8_quantize_one, int8_scale, topk_indices,
+};
+
+/// Length of the codec descriptor appended to `FetchReq` payloads and
+/// embedded in delta frames: `[id u8][flags u8][k u32]`.
+pub const DESC_LEN: usize = 6;
+
+/// Flag bit: sender maintains an error-feedback residual for this stream.
+const FLAG_ERROR_FEEDBACK: u8 = 0b0000_0001;
+
+/// Int8 escape byte opening a `[0x80][run u16]` zero-run token.
+const INT8_ZERO_ESCAPE: u8 = 0x80;
+/// Zero runs shorter than this encode as literal zero bytes (the escape
+/// token itself costs 3 bytes).
+const INT8_MIN_RUN: usize = 4;
+
+/// How a parameter update crosses the wire. `Raw` is the bit-exact legacy
+/// path; the lossy modes quantize deltas and rely on error feedback (where
+/// enabled) plus the quorum tolerance comparator to stay in the clean
+/// accuracy band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Codec {
+    /// Full-precision VCP1 blobs; byte-identical to the pre-codec protocol.
+    #[default]
+    Raw,
+    /// IEEE binary16 per element: 2× smaller, ~2^-11 relative error.
+    Fp16,
+    /// Symmetric int8 with zero-run suppression: ≥4× smaller on update
+    /// deltas.
+    Int8 {
+        /// Keep a residual so quantization error feeds the next update.
+        error_feedback: bool,
+    },
+    /// Ship only the `k` largest-magnitude elements of the delta.
+    TopK {
+        /// Elements kept per shard (clamped to the shard length).
+        k: u32,
+        /// Keep a residual so dropped elements feed the next update.
+        error_feedback: bool,
+    },
+}
+
+impl Codec {
+    /// Stable wire identifier. New codecs append; ids are never reused.
+    pub fn id(self) -> u8 {
+        match self {
+            Codec::Raw => 0,
+            Codec::Fp16 => 1,
+            Codec::Int8 { .. } => 2,
+            Codec::TopK { .. } => 3,
+        }
+    }
+
+    /// True for every mode that loses bits on the wire.
+    pub fn is_lossy(self) -> bool {
+        self != Codec::Raw
+    }
+
+    /// Whether the sender maintains an error-feedback residual.
+    pub fn error_feedback(self) -> bool {
+        match self {
+            Codec::Raw | Codec::Fp16 => false,
+            Codec::Int8 { error_feedback } | Codec::TopK { error_feedback, .. } => error_feedback,
+        }
+    }
+
+    /// Worst-case encoded size of one `n`-element update under this codec.
+    /// Used both to size scratch buffers and as the modeled upload cost in
+    /// the coordinator's byte accounting (`Raw` matches the legacy VCP1
+    /// size exactly).
+    pub fn blob_len(self, n: usize) -> usize {
+        match self {
+            Codec::Raw => vc_tensor::codec::encoded_len(n),
+            Codec::Fp16 => 4 + 2 * n,
+            Codec::Int8 { .. } => 8 + n,
+            Codec::TopK { k, .. } => 8 + 8 * (k as usize).min(n),
+        }
+    }
+
+    /// `(atol, rtol)` for the quorum comparator when replicas of the same
+    /// workunit diverge only by codec noise. Raw needs none (bitwise).
+    ///
+    /// `rtol` is always 0: a relative term scales with the *uploaded*
+    /// values, so an adversary who poisons with large magnitudes widens
+    /// its own acceptance band until two differently-salted poisons agree.
+    /// Honest replica divergence is codec noise on O(1) parameters, which
+    /// an absolute band covers.
+    pub fn quorum_tolerance(self) -> (f32, f32) {
+        match self {
+            Codec::Raw => (0.0, 0.0),
+            Codec::Fp16 => (2e-2, 0.0),
+            Codec::Int8 { .. } => (1e-1, 0.0),
+            Codec::TopK { .. } => (7.5e-1, 0.0),
+        }
+    }
+
+    /// Append the 6-byte wire descriptor.
+    pub fn write_desc(self, out: &mut Vec<u8>) {
+        let mut flags = 0u8;
+        if self.error_feedback() {
+            flags |= FLAG_ERROR_FEEDBACK;
+        }
+        let k = match self {
+            Codec::TopK { k, .. } => k,
+            _ => 0,
+        };
+        out.push(self.id());
+        out.push(flags);
+        out.extend_from_slice(&k.to_le_bytes());
+    }
+
+    /// Parse a 6-byte descriptor. `Err(id)` reports an id this build does
+    /// not speak so the caller can answer with a structured `Error` frame.
+    pub fn read_desc(desc: &[u8]) -> Result<Codec, u8> {
+        assert_eq!(desc.len(), DESC_LEN, "descriptor must be exactly 6 bytes");
+        let ef = desc[1] & FLAG_ERROR_FEEDBACK != 0;
+        let k = u32::from_le_bytes([desc[2], desc[3], desc[4], desc[5]]);
+        match desc[0] {
+            0 => Ok(Codec::Raw),
+            1 => Ok(Codec::Fp16),
+            2 => Ok(Codec::Int8 { error_feedback: ef }),
+            3 => Ok(Codec::TopK {
+                k,
+                error_feedback: ef,
+            }),
+            id => Err(id),
+        }
+    }
+
+    /// Quantize update `x` into `out` (cleared first). `Raw` writes a VCP1
+    /// blob so every mode is drivable through one entry point.
+    pub fn encode_update(self, x: &[f32], out: &mut Vec<u8>) {
+        out.clear();
+        let n = x.len();
+        assert!(n <= u32::MAX as usize, "update too large for wire header");
+        match self {
+            Codec::Raw => out.extend_from_slice(&vc_tensor::codec::encode_f32s(x)),
+            Codec::Fp16 => {
+                out.reserve(4 + 2 * n);
+                out.extend_from_slice(&(n as u32).to_le_bytes());
+                for &v in x {
+                    out.extend_from_slice(&f32_to_f16_bits(v).to_le_bytes());
+                }
+            }
+            Codec::Int8 { .. } => {
+                let scale = int8_scale(x);
+                let inv = if scale == 0.0 { 0.0 } else { 1.0 / scale };
+                out.reserve(8 + n);
+                out.extend_from_slice(&(n as u32).to_le_bytes());
+                out.extend_from_slice(&scale.to_le_bytes());
+                // Quantize and emit in one pass, folding zero runs — no
+                // scratch array, so the steady-state path never allocates
+                // beyond `out`'s retained capacity.
+                let mut i = 0;
+                while i < n {
+                    let c = int8_quantize_one(x[i], inv);
+                    if c == 0 {
+                        let mut j = i + 1;
+                        while j < n
+                            && j - i < u16::MAX as usize
+                            && int8_quantize_one(x[j], inv) == 0
+                        {
+                            j += 1;
+                        }
+                        let run = j - i;
+                        if run >= INT8_MIN_RUN {
+                            out.push(INT8_ZERO_ESCAPE);
+                            out.extend_from_slice(&(run as u16).to_le_bytes());
+                        } else {
+                            out.extend(std::iter::repeat_n(0u8, run));
+                        }
+                        i = j;
+                    } else {
+                        out.push(c as u8);
+                        i += 1;
+                    }
+                }
+            }
+            Codec::TopK { k, .. } => {
+                let idx = topk_indices(x, k as usize);
+                let kept = idx.len();
+                out.reserve(8 + 8 * kept);
+                out.extend_from_slice(&(n as u32).to_le_bytes());
+                out.extend_from_slice(&(kept as u32).to_le_bytes());
+                for &i in &idx {
+                    out.extend_from_slice(&i.to_le_bytes());
+                }
+                for &i in &idx {
+                    out.extend_from_slice(&x[i as usize].to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Decode an update blob into `out` (cleared, then resized to `n`).
+    /// `n` is the shard length the *caller* expects — a blob declaring any
+    /// other element count is rejected before any allocation happens, so a
+    /// hostile length field cannot balloon memory. On error `out` is left
+    /// empty.
+    pub fn decode_update_into(
+        self,
+        blob: &[u8],
+        n: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<(), &'static str> {
+        out.clear();
+        if let Codec::Raw = self {
+            vc_tensor::codec::decode_f32s_into(blob, out).map_err(|_| "bad raw blob")?;
+            if out.len() != n {
+                out.clear();
+                return Err("raw blob length mismatch");
+            }
+            return Ok(());
+        }
+        if blob.len() < 4 {
+            return Err("update blob truncated");
+        }
+        let declared = u32::from_le_bytes([blob[0], blob[1], blob[2], blob[3]]) as usize;
+        if declared != n {
+            return Err("update blob element count mismatch");
+        }
+        match self {
+            Codec::Raw => unreachable!("handled above"),
+            Codec::Fp16 => {
+                let body = &blob[4..];
+                if body.len() != 2 * n {
+                    return Err("fp16 blob length mismatch");
+                }
+                out.resize(n, 0.0);
+                for (d, h) in out.iter_mut().zip(body.chunks_exact(2)) {
+                    *d = f16_bits_to_f32(u16::from_le_bytes([h[0], h[1]]));
+                }
+                Ok(())
+            }
+            Codec::Int8 { .. } => {
+                if blob.len() < 8 {
+                    return Err("int8 blob truncated");
+                }
+                let scale = f32::from_le_bytes([blob[4], blob[5], blob[6], blob[7]]);
+                if !scale.is_finite() {
+                    return Err("int8 scale not finite");
+                }
+                out.resize(n, 0.0);
+                let mut emitted = 0usize;
+                let mut bytes = blob[8..].iter();
+                while let Some(&b) = bytes.next() {
+                    if b == INT8_ZERO_ESCAPE {
+                        let (Some(&lo), Some(&hi)) = (bytes.next(), bytes.next()) else {
+                            out.clear();
+                            return Err("int8 zero-run truncated");
+                        };
+                        let run = u16::from_le_bytes([lo, hi]) as usize;
+                        if run == 0 || emitted + run > n {
+                            out.clear();
+                            return Err("int8 zero-run out of range");
+                        }
+                        // out is pre-zeroed; just advance.
+                        emitted += run;
+                    } else {
+                        if emitted >= n {
+                            out.clear();
+                            return Err("int8 blob overlong");
+                        }
+                        out[emitted] = (b as i8) as f32 * scale;
+                        emitted += 1;
+                    }
+                }
+                if emitted != n {
+                    out.clear();
+                    return Err("int8 blob short");
+                }
+                Ok(())
+            }
+            Codec::TopK { .. } => {
+                if blob.len() < 8 {
+                    return Err("topk blob truncated");
+                }
+                let k = u32::from_le_bytes([blob[4], blob[5], blob[6], blob[7]]) as usize;
+                if k > n {
+                    return Err("topk k exceeds shard length");
+                }
+                if blob.len() != 8 + 8 * k {
+                    return Err("topk blob length mismatch");
+                }
+                out.resize(n, 0.0);
+                let idx_bytes = &blob[8..8 + 4 * k];
+                let val_bytes = &blob[8 + 4 * k..];
+                for (ib, vb) in idx_bytes.chunks_exact(4).zip(val_bytes.chunks_exact(4)) {
+                    let i = u32::from_le_bytes([ib[0], ib[1], ib[2], ib[3]]) as usize;
+                    if i >= n {
+                        out.clear();
+                        return Err("topk index out of range");
+                    }
+                    out[i] = f32::from_le_bytes([vb[0], vb[1], vb[2], vb[3]]);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Encode the update `new − base` (plus the error-feedback residual when
+/// the codec carries one) and report what the receiver will reconstruct.
+///
+/// On return: `blob` holds the wire bytes, `y` holds the decoded
+/// (quantized) update the receiver will add to its copy of `base`, and
+/// `residual` — when error feedback is on — holds the quantization error
+/// to fold into the next update. The caller advances its own reference by
+/// the *same* `y` so both sides stay bit-identical.
+///
+/// `residual` must be empty (treated as all-zero) or exactly `new.len()`.
+pub fn encode_delta(
+    codec: Codec,
+    new: &[f32],
+    base: &[f32],
+    residual: &mut Vec<f32>,
+    x: &mut Vec<f32>,
+    blob: &mut Vec<u8>,
+    y: &mut Vec<f32>,
+) -> Result<(), &'static str> {
+    assert_eq!(new.len(), base.len());
+    let n = new.len();
+    let ef = codec.error_feedback();
+    if ef && residual.len() != n {
+        residual.clear();
+        residual.resize(n, 0.0);
+    }
+    x.clear();
+    x.resize(n, 0.0);
+    for i in 0..n {
+        x[i] = new[i] - base[i];
+    }
+    if ef {
+        for i in 0..n {
+            x[i] += residual[i];
+        }
+    }
+    codec.encode_update(x, blob);
+    codec.decode_update_into(blob, n, y)?;
+    if ef {
+        for i in 0..n {
+            residual[i] = x[i] - y[i];
+        }
+    }
+    Ok(())
+}
+
+/// Worker-side upload shaping: replace `params` with what the server will
+/// reconstruct after this worker's update crosses a lossy wire.
+///
+/// `base` is the parameter vector the worker fetched (which the server can
+/// reconstruct from its snapshot history); the transmitted update is
+/// `params − base` plus the worker's residual. After the call `params`
+/// equals `base + decode(encode(update))` — exactly the value the server
+/// will merge — and the residual carries the quantization error forward.
+/// Returns the encoded blob size for byte accounting.
+pub fn apply_update_roundtrip(
+    codec: Codec,
+    base: &[f32],
+    params: &mut [f32],
+    residual: &mut Vec<f32>,
+    x: &mut Vec<f32>,
+    blob: &mut Vec<u8>,
+    y: &mut Vec<f32>,
+) -> usize {
+    assert_eq!(base.len(), params.len());
+    encode_delta(codec, params, base, residual, x, blob, y).expect("own encoding always decodes");
+    for (p, (&b, &d)) in params.iter_mut().zip(base.iter().zip(y.iter())) {
+        *p = b + d;
+    }
+    blob.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.02)
+            .collect()
+    }
+
+    #[test]
+    fn descriptor_roundtrips_every_mode() {
+        for codec in [
+            Codec::Raw,
+            Codec::Fp16,
+            Codec::Int8 {
+                error_feedback: true,
+            },
+            Codec::Int8 {
+                error_feedback: false,
+            },
+            Codec::TopK {
+                k: 1234,
+                error_feedback: true,
+            },
+        ] {
+            let mut d = Vec::new();
+            codec.write_desc(&mut d);
+            assert_eq!(d.len(), DESC_LEN);
+            assert_eq!(Codec::read_desc(&d), Ok(codec));
+        }
+        assert_eq!(Codec::read_desc(&[9, 0, 0, 0, 0, 0]), Err(9));
+    }
+
+    #[test]
+    fn raw_update_roundtrips_bitwise() {
+        let x = ramp(513);
+        let (mut blob, mut y) = (Vec::new(), Vec::new());
+        Codec::Raw.encode_update(&x, &mut blob);
+        assert_eq!(blob.len(), Codec::Raw.blob_len(x.len()));
+        Codec::Raw
+            .decode_update_into(&blob, x.len(), &mut y)
+            .unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn fp16_update_within_half_precision() {
+        let x = ramp(257);
+        let (mut blob, mut y) = (Vec::new(), Vec::new());
+        Codec::Fp16.encode_update(&x, &mut blob);
+        assert_eq!(blob.len(), Codec::Fp16.blob_len(x.len()));
+        Codec::Fp16
+            .decode_update_into(&blob, x.len(), &mut y)
+            .unwrap();
+        for (&a, &b) in x.iter().zip(&y) {
+            assert!((a - b).abs() <= a.abs() * 1e-3 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn int8_update_within_half_scale_and_compresses_zeros() {
+        let mut x = vec![0.0f32; 1000];
+        for i in (0..1000).step_by(10) {
+            x[i] = ((i % 13) as f32 - 6.0) * 0.1;
+        }
+        let codec = Codec::Int8 {
+            error_feedback: false,
+        };
+        let (mut blob, mut y) = (Vec::new(), Vec::new());
+        codec.encode_update(&x, &mut blob);
+        assert!(
+            blob.len() < 8 + 1000 / 2,
+            "zero runs must collapse: got {} bytes",
+            blob.len()
+        );
+        codec.decode_update_into(&blob, x.len(), &mut y).unwrap();
+        let scale = int8_scale(&x);
+        for (&a, &b) in x.iter().zip(&y) {
+            assert!((a - b).abs() <= scale * 0.5 + 1e-7);
+        }
+    }
+
+    #[test]
+    fn topk_keeps_largest_and_zeroes_rest() {
+        let x = [0.0f32, 5.0, -0.1, -7.0, 0.2, 1.0];
+        let codec = Codec::TopK {
+            k: 2,
+            error_feedback: false,
+        };
+        let (mut blob, mut y) = (Vec::new(), Vec::new());
+        codec.encode_update(&x, &mut blob);
+        assert_eq!(blob.len(), codec.blob_len(x.len()));
+        codec.decode_update_into(&blob, x.len(), &mut y).unwrap();
+        assert_eq!(y, vec![0.0, 5.0, 0.0, -7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn hostile_blobs_error_instead_of_panicking() {
+        let codec = Codec::Int8 {
+            error_feedback: false,
+        };
+        let x = ramp(64);
+        let mut blob = Vec::new();
+        codec.encode_update(&x, &mut blob);
+        let mut out = Vec::new();
+        // Truncations at every length.
+        for cut in 0..blob.len() {
+            let _ = codec.decode_update_into(&blob[..cut], 64, &mut out);
+        }
+        // Wrong expected length.
+        assert!(codec.decode_update_into(&blob, 63, &mut out).is_err());
+        // Oversize run.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&64u32.to_le_bytes());
+        evil.extend_from_slice(&1.0f32.to_le_bytes());
+        evil.push(INT8_ZERO_ESCAPE);
+        evil.extend_from_slice(&u16::MAX.to_le_bytes());
+        assert!(codec.decode_update_into(&evil, 64, &mut out).is_err());
+        // Top-k index out of range.
+        let tk = Codec::TopK {
+            k: 1,
+            error_feedback: false,
+        };
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&4u32.to_le_bytes());
+        evil.extend_from_slice(&1u32.to_le_bytes());
+        evil.extend_from_slice(&9u32.to_le_bytes());
+        evil.extend_from_slice(&1.0f32.to_le_bytes());
+        assert!(tk.decode_update_into(&evil, 4, &mut out).is_err());
+        assert!(out.is_empty(), "failed decode leaves out empty");
+    }
+
+    /// Simulates the push stream: each round the sender's base is
+    /// re-synced to the receiver's state (as `ShardCache::sync` does), so
+    /// any mass TopK drops would be lost forever without an explicit
+    /// residual. With EF the dropped mass rides along until it crosses
+    /// the top-k threshold and ships.
+    fn run_push_stream(ef: bool) -> (f32, f32, f32) {
+        let n = 32;
+        let codec = Codec::TopK {
+            k: 4,
+            error_feedback: ef,
+        };
+        let mut acc = vec![0.0f32; n]; // receiver state == re-synced base
+        let mut sum_u = vec![0.0f32; n]; // total true update mass
+        let mut new = vec![0.0f32; n];
+        let mut residual = Vec::new();
+        let (mut x, mut blob, mut y) = (Vec::new(), Vec::new(), Vec::new());
+        for step in 0..200 {
+            for i in 0..n {
+                let u = 0.01 * ((i + 1) as f32) * if step % 2 == 0 { 1.0 } else { 0.9 };
+                sum_u[i] += u;
+                new[i] = acc[i] + u;
+            }
+            encode_delta(codec, &new, &acc, &mut residual, &mut x, &mut blob, &mut y).unwrap();
+            for (a, &d) in acc.iter_mut().zip(&y) {
+                *a += d;
+            }
+        }
+        let err: f32 = sum_u.iter().zip(&acc).map(|(a, b)| (a - b).abs()).sum();
+        let mass: f32 = sum_u.iter().map(|t| t.abs()).sum();
+        let rnorm: f32 = residual.iter().map(|r| r * r).sum::<f32>().sqrt();
+        (err, mass, rnorm)
+    }
+
+    #[test]
+    fn error_feedback_transmits_dropped_mass_eventually() {
+        let (err, mass, rnorm) = run_push_stream(true);
+        assert!(
+            err < mass * 0.10,
+            "EF receiver should track total update mass: err {err} vs mass {mass}"
+        );
+        // The residual itself stays bounded (no blow-up).
+        assert!(rnorm.is_finite() && rnorm < mass, "residual norm bounded");
+        // Without EF, mass below the top-k threshold is dropped forever.
+        let (err_no_ef, _, _) = run_push_stream(false);
+        assert!(
+            err_no_ef > mass * 0.3,
+            "without EF most sub-threshold mass is lost: err {err_no_ef} vs mass {mass}"
+        );
+    }
+
+    #[test]
+    fn apply_update_roundtrip_matches_server_reconstruction() {
+        let base = ramp(100);
+        let mut params: Vec<f32> = base.iter().map(|b| b + 0.07).collect();
+        let sent = params.clone();
+        let codec = Codec::Int8 {
+            error_feedback: true,
+        };
+        let mut residual = Vec::new();
+        let (mut x, mut blob, mut y) = (Vec::new(), Vec::new(), Vec::new());
+        let bytes = apply_update_roundtrip(
+            codec,
+            &base,
+            &mut params,
+            &mut residual,
+            &mut x,
+            &mut blob,
+            &mut y,
+        );
+        assert!(bytes <= codec.blob_len(100));
+        // params is now base + decode(blob): recompute independently.
+        let mut expect = Vec::new();
+        codec.decode_update_into(&blob, 100, &mut expect).unwrap();
+        for i in 0..100 {
+            assert_eq!(params[i], base[i] + expect[i]);
+            // and the residual is exactly the quantization error
+            assert!((residual[i] - (sent[i] - base[i] - expect[i])).abs() < 1e-6);
+        }
+    }
+}

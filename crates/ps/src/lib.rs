@@ -22,6 +22,7 @@
 //! version ([`ShardCache`]) and fetch only what moved.
 
 pub mod client;
+pub mod codec;
 pub mod merge;
 pub mod queue;
 pub mod service;
@@ -29,9 +30,10 @@ pub mod tcp;
 pub mod wire;
 
 pub use client::{DelayedMemClient, MemClient, PsClient, PsError, ShardCache};
+pub use codec::Codec;
 pub use merge::{shard_key, ShardSnapshot, ShardedAssimilator, PS_MERGE_S, PS_SHARD_SKEW_VERSIONS};
 pub use queue::DelayQueue;
-pub use service::{PsOps, PsService};
+pub use service::{CodecOps, PsOps, PsService};
 pub use tcp::{ShardGroups, TcpClient, TcpPsServer};
 pub use wire::{
     crc32, error_frame, Crc32, FetchReq, FetchSummary, Frame, FrameKind, FrameReadError, PushAck,

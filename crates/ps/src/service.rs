@@ -13,24 +13,78 @@
 //! partial-fetch path that makes sharding pay off on the wire. Pushes go
 //! straight to the live per-shard merge.
 
+use crate::codec::Codec;
 use crate::merge::ShardedAssimilator;
-use crate::wire::{decode_all, error_frame, FetchReq, FetchSummary, Frame, FrameKind, WireError};
+use crate::wire::{
+    decode_all, err_code, error_frame, error_frame_code, DeltaPayload, FetchReq, FetchSummary,
+    Frame, FrameKind, WireError, HEADER_LEN,
+};
 use bytes::Bytes;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use vc_tensor::codec::{decode_f32s, encode_f32s};
+use vc_telemetry::metrics::{Counter, Histogram};
+use vc_telemetry::Telemetry;
+use vc_tensor::codec::{decode_f32s, encode_f32s, encoded_len};
+use vc_tensor::Workspace;
 
 /// Counter names for the service's wire accounting.
 pub const PS_BYTES_RX: &str = "ps_bytes_rx";
 /// Counter: response bytes the service produced.
 pub const PS_BYTES_TX: &str = "ps_bytes_tx";
+/// Counter: bytes the codec layer kept off the wire (full-blob size minus
+/// the delta frame actually sent, fetch and push sides combined).
+pub const PS_BYTES_SAVED: &str = "ps_bytes_saved";
+/// Histogram: seconds spent quantizing updates at snapshot publish.
+pub const PS_ENCODE_S: &str = "ps_encode_s";
+/// Histogram: seconds spent decoding pushed update deltas.
+pub const PS_DECODE_S: &str = "ps_decode_s";
 
-/// One epoch's published parameters, pre-encoded per shard.
+/// One epoch's published parameters, pre-encoded per shard. Under a lossy
+/// codec each *moved* shard also carries its quantized delta against the
+/// previous publish (`base_manifest` names the version the delta applies
+/// on top of), so a worker that tracked the last epoch downloads the
+/// delta instead of the full blob.
 struct EpochSnapshot {
     manifest: Vec<u64>,
     blobs: Vec<Bytes>,
+    /// Quantized update per shard, `None` where the shard did not move
+    /// (or on the first / `Raw` publish). Indexed like `blobs` when
+    /// non-empty.
+    deltas: Vec<Option<Bytes>>,
+    /// Version each delta applies on top of (previous publish's manifest).
+    base_manifest: Vec<u64>,
+    /// Codec the deltas are encoded in.
+    codec: Codec,
+}
+
+/// Server-side codec state: the reference parameter vector every worker
+/// converges to (the exact sum of quantized deltas) and scratch buffers
+/// so steady-state publishes do not allocate.
+///
+/// Note there is deliberately **no** error-feedback residual here. Each
+/// publish encodes `params − reference`, and the reference only advances
+/// by what was actually transmitted — so any mass a lossy codec drops is
+/// still present in the *next* delta automatically. Adding an explicit
+/// residual on top would count that mass twice per round and diverge.
+/// Explicit residuals belong to the push stream (see
+/// [`crate::codec::encode_delta`]), where the base is re-synced each
+/// round and dropped mass would otherwise be lost.
+#[derive(Default)]
+struct CodecState {
+    reference: Vec<f32>,
+    prev_manifest: Vec<u64>,
+    init: bool,
+    ws: Workspace,
+    blob_scratch: Vec<u8>,
+}
+
+struct PsInstruments {
+    tel: Telemetry,
+    bytes_saved: Arc<Counter>,
+    encode_s: Arc<Histogram>,
+    decode_s: Arc<Histogram>,
 }
 
 /// Monotonic counters describing the service's traffic. All counts are
@@ -52,6 +106,22 @@ pub struct PsOps {
     pub bytes_tx: u64,
 }
 
+/// Codec-layer counters, kept **out of [`PsOps`]** on purpose: `PsOps`
+/// feeds golden-hashed DST reports, and the vendored serde derive has no
+/// `skip_serializing_if`, so any new field there would change the `Raw`
+/// wire format of every report. These counters are surfaced only through
+/// `/status` and `/metrics`, which are not golden-hashed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CodecOps {
+    /// Bytes the codec layer kept off the wire (vs. sending full `Raw`
+    /// frames for the same traffic). Zero under `Raw`.
+    pub bytes_saved: u64,
+    /// Shard fetches answered with a quantized delta instead of the blob.
+    pub deltas_sent: u64,
+    /// Pushes that arrived as quantized deltas.
+    pub delta_pushes: u64,
+}
+
 #[derive(Default)]
 struct Metrics {
     fetches: AtomicU64,
@@ -60,6 +130,9 @@ struct Metrics {
     pushes: AtomicU64,
     bytes_rx: AtomicU64,
     bytes_tx: AtomicU64,
+    bytes_saved: AtomicU64,
+    deltas_sent: AtomicU64,
+    delta_pushes: AtomicU64,
 }
 
 /// The sharded parameter service.
@@ -67,6 +140,11 @@ pub struct PsService {
     assim: Arc<ShardedAssimilator>,
     snapshots: RwLock<HashMap<u64, EpochSnapshot>>,
     metrics: Metrics,
+    codec: Codec,
+    /// Bitmask of codec ids this service speaks (bit `1 << id`).
+    supported: u8,
+    state: Mutex<CodecState>,
+    instruments: Option<PsInstruments>,
 }
 
 impl PsService {
@@ -76,7 +154,50 @@ impl PsService {
             assim,
             snapshots: RwLock::new(HashMap::new()),
             metrics: Metrics::default(),
+            codec: Codec::Raw,
+            supported: 0b1111,
+            state: Mutex::new(CodecState::default()),
+            instruments: None,
         }
+    }
+
+    /// Selects the codec used when publishing snapshots. Fetch responses
+    /// only ship deltas to workers requesting this same codec.
+    pub fn with_codec(mut self, codec: Codec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Restricts which codec ids this service answers (for negotiation
+    /// tests and staged rollouts). `Raw` is always spoken.
+    pub fn with_supported(mut self, codecs: &[Codec]) -> Self {
+        self.supported = 1; // Raw
+        for c in codecs {
+            self.supported |= 1 << c.id();
+        }
+        self
+    }
+
+    /// Attaches codec telemetry: the `ps_bytes_saved` counter and the
+    /// encode/decode duration histograms.
+    pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
+        let reg = tel.registry();
+        self.instruments = Some(PsInstruments {
+            tel: tel.clone(),
+            bytes_saved: reg.counter(PS_BYTES_SAVED),
+            encode_s: reg.histogram(PS_ENCODE_S),
+            decode_s: reg.histogram(PS_DECODE_S),
+        });
+        self
+    }
+
+    /// The codec this service publishes snapshots under.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    fn speaks(&self, codec: Codec) -> bool {
+        self.supported & (1 << codec.id()) != 0
     }
 
     /// The merge pipeline behind this service.
@@ -86,19 +207,93 @@ impl PsService {
 
     /// Publishes `params` as the snapshot workers fetch for `epoch`.
     /// `manifest` carries each shard's store version at publish time.
+    ///
+    /// Under a lossy codec the service maintains a *reference* vector —
+    /// the exact value every delta-tracking worker reconstructs — and
+    /// publishes each moved shard twice: a full-precision blob of the
+    /// reference (for cold or stale workers) and the quantized delta that
+    /// advanced the reference from the previous publish. The first publish
+    /// is always exact (there is no base to delta against).
     pub fn publish_snapshot(&self, epoch: u64, params: &[f32], manifest: &[u64]) {
         let layout = self.assim.layout();
         assert_eq!(params.len(), layout.param_count(), "snapshot length");
         assert_eq!(manifest.len(), layout.shards(), "manifest length");
-        let blobs = layout
-            .iter()
-            .map(|(_, range)| encode_f32s(&params[range]))
-            .collect();
+        if self.codec == Codec::Raw {
+            let blobs = layout
+                .iter()
+                .map(|(_, range)| encode_f32s(&params[range]))
+                .collect();
+            self.snapshots.write().insert(
+                epoch,
+                EpochSnapshot {
+                    manifest: manifest.to_vec(),
+                    blobs,
+                    deltas: Vec::new(),
+                    base_manifest: Vec::new(),
+                    codec: Codec::Raw,
+                },
+            );
+            return;
+        }
+        let shards = layout.shards();
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        let mut blobs = Vec::with_capacity(shards);
+        let mut deltas = Vec::with_capacity(shards);
+        let mut base_manifest = vec![0u64; shards];
+        if !st.init {
+            st.reference.clear();
+            st.reference.extend_from_slice(params);
+            st.prev_manifest = manifest.to_vec();
+            st.init = true;
+            for (_, range) in layout.iter() {
+                blobs.push(encode_f32s(&params[range]));
+                deltas.push(None);
+            }
+            base_manifest.copy_from_slice(manifest);
+        } else {
+            for (i, range) in layout.iter() {
+                if manifest[i] == st.prev_manifest[i] {
+                    // Shard did not move: republish the reference as-is.
+                    blobs.push(encode_f32s(&st.reference[range]));
+                    deltas.push(None);
+                    base_manifest[i] = manifest[i];
+                    continue;
+                }
+                let len = range.len();
+                let mut x = st.ws.take(len);
+                let mut y = st.ws.take(len);
+                for (j, g) in range.clone().enumerate() {
+                    x[j] = params[g] - st.reference[g];
+                }
+                let t0 = self.instruments.as_ref().map(|ins| ins.tel.now_s());
+                self.codec.encode_update(&x, &mut st.blob_scratch);
+                if let (Some(t0), Some(ins)) = (t0, self.instruments.as_ref()) {
+                    ins.encode_s.observe(ins.tel.now_s() - t0);
+                }
+                self.codec
+                    .decode_update_into(&st.blob_scratch, len, &mut y)
+                    .expect("own encoding always decodes");
+                for (j, g) in range.clone().enumerate() {
+                    st.reference[g] += y[j];
+                }
+                blobs.push(encode_f32s(&st.reference[range]));
+                deltas.push(Some(Bytes::copy_from_slice(&st.blob_scratch)));
+                base_manifest[i] = st.prev_manifest[i];
+                st.ws.recycle(x);
+                st.ws.recycle(y);
+            }
+            st.prev_manifest.clear();
+            st.prev_manifest.extend_from_slice(manifest);
+        }
         self.snapshots.write().insert(
             epoch,
             EpochSnapshot {
                 manifest: manifest.to_vec(),
                 blobs,
+                deltas,
+                base_manifest,
+                codec: self.codec,
             },
         );
     }
@@ -134,6 +329,23 @@ impl PsService {
         }
     }
 
+    /// Codec-layer counters so far (see [`CodecOps`] for why these are
+    /// separate from [`ops`](Self::ops)).
+    pub fn codec_ops(&self) -> CodecOps {
+        CodecOps {
+            bytes_saved: self.metrics.bytes_saved.load(Ordering::Relaxed),
+            deltas_sent: self.metrics.deltas_sent.load(Ordering::Relaxed),
+            delta_pushes: self.metrics.delta_pushes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn add_bytes_saved(&self, saved: u64) {
+        self.metrics.bytes_saved.fetch_add(saved, Ordering::Relaxed);
+        if let Some(ins) = &self.instruments {
+            ins.bytes_saved.add(saved);
+        }
+    }
+
     /// Handles one request frame, appending response frames to `out`.
     /// Protocol-level failures become [`FrameKind::Error`] frames rather
     /// than errors — the connection survives a bad request.
@@ -145,6 +357,7 @@ impl PsService {
         match req.kind {
             FrameKind::Fetch => self.handle_fetch(req, out),
             FrameKind::Push => self.handle_push(req, out),
+            FrameKind::PushDelta => self.handle_push_delta(req, out),
             _ => out.push(error_frame("unexpected frame kind")),
         }
         let tx: usize = out[before..].iter().map(|f| f.encoded_len()).sum();
@@ -156,11 +369,25 @@ impl PsService {
     fn handle_fetch(&self, req: &Frame, out: &mut Vec<Frame>) {
         let fetch = match FetchReq::from_frame(req) {
             Ok(f) => f,
+            Err(WireError::UnsupportedCodec(id)) => {
+                out.push(error_frame_code(
+                    err_code::UNSUPPORTED_CODEC,
+                    &format!("unknown codec id {id}"),
+                ));
+                return;
+            }
             Err(e) => {
                 out.push(error_frame(&format!("bad fetch: {e}")));
                 return;
             }
         };
+        if !self.speaks(fetch.codec) {
+            out.push(error_frame_code(
+                err_code::UNSUPPORTED_CODEC,
+                &format!("codec id {} not enabled here", fetch.codec.id()),
+            ));
+            return;
+        }
         let snaps = self.snapshots.read();
         let Some(snap) = snaps.get(&fetch.epoch) else {
             out.push(error_frame(&format!(
@@ -172,6 +399,7 @@ impl PsService {
         let shards = self.assim.layout().shards();
         let mut sent = 0u32;
         let mut skipped = 0u32;
+        let mut deltas_sent = 0u64;
         for &(id, cached) in &fetch.wants {
             let i = id as usize;
             if i >= shards {
@@ -183,6 +411,28 @@ impl PsService {
                 continue;
             }
             sent += 1;
+            // A worker tracking the previous publish under the same codec
+            // gets the quantized delta; everyone else the full blob.
+            if fetch.codec != Codec::Raw
+                && fetch.codec == snap.codec
+                && !snap.deltas.is_empty()
+                && cached == snap.base_manifest[i]
+            {
+                if let Some(delta) = &snap.deltas[i] {
+                    let frame = DeltaPayload {
+                        base: snap.base_manifest[i],
+                        codec: snap.codec,
+                        blob: delta.clone(),
+                    }
+                    .to_frame(FrameKind::ShardDelta, id, snap.manifest[i]);
+                    let full_len = 4 + HEADER_LEN + snap.blobs[i].len();
+                    let saved = full_len.saturating_sub(frame.encoded_len());
+                    self.add_bytes_saved(saved as u64);
+                    deltas_sent += 1;
+                    out.push(frame);
+                    continue;
+                }
+            }
             out.push(Frame {
                 kind: FrameKind::Shard,
                 shard_id: id,
@@ -197,7 +447,78 @@ impl PsService {
         self.metrics
             .cache_hits
             .fetch_add(skipped as u64, Ordering::Relaxed);
+        self.metrics
+            .deltas_sent
+            .fetch_add(deltas_sent, Ordering::Relaxed);
         out.push(FetchSummary { sent, skipped }.to_frame(fetch.epoch));
+    }
+
+    /// A push whose payload is a quantized delta against the epoch
+    /// snapshot the worker fetched. The service reconstructs the full
+    /// replica (`base + decode(delta)`) and merges it exactly like a raw
+    /// push, so the merge pipeline is codec-agnostic.
+    fn handle_push_delta(&self, req: &Frame, out: &mut Vec<Frame>) {
+        let delta = match DeltaPayload::from_frame(req) {
+            Ok(d) => d,
+            Err(WireError::UnsupportedCodec(id)) => {
+                out.push(error_frame_code(
+                    err_code::UNSUPPORTED_CODEC,
+                    &format!("unknown codec id {id}"),
+                ));
+                return;
+            }
+            Err(e) => {
+                out.push(error_frame(&format!("bad push delta: {e}")));
+                return;
+            }
+        };
+        if !self.speaks(delta.codec) || delta.codec == Codec::Raw {
+            out.push(error_frame_code(
+                err_code::UNSUPPORTED_CODEC,
+                &format!("codec id {} not enabled here", delta.codec.id()),
+            ));
+            return;
+        }
+        let shard_id = req.shard_id as usize;
+        let layout = self.assim.layout();
+        if shard_id >= layout.shards() {
+            out.push(error_frame(&format!("shard {shard_id} out of range")));
+            return;
+        }
+        let len = layout.len(shard_id);
+        let mut part = {
+            let snaps = self.snapshots.read();
+            let Some(snap) = snaps.get(&delta.base) else {
+                out.push(error_frame_code(
+                    err_code::UNKNOWN_BASE,
+                    &format!("no snapshot for base epoch {}", delta.base),
+                ));
+                return;
+            };
+            decode_f32s(&snap.blobs[shard_id]).expect("snapshot blobs are valid")
+        };
+        let t0 = self.instruments.as_ref().map(|ins| ins.tel.now_s());
+        let mut update = Vec::with_capacity(len);
+        if let Err(e) = delta
+            .codec
+            .decode_update_into(&delta.blob, len, &mut update)
+        {
+            out.push(error_frame(&format!("bad delta blob: {e}")));
+            return;
+        }
+        if let (Some(t0), Some(ins)) = (t0, self.instruments.as_ref()) {
+            ins.decode_s.observe(ins.tel.now_s() - t0);
+        }
+        for (p, &u) in part.iter_mut().zip(&update) {
+            *p += u;
+        }
+        let epoch = req.version as usize;
+        let ack = self.assim.merge_shard(shard_id, &part, epoch);
+        self.metrics.pushes.fetch_add(1, Ordering::Relaxed);
+        self.metrics.delta_pushes.fetch_add(1, Ordering::Relaxed);
+        let raw_len = 4 + HEADER_LEN + encoded_len(len);
+        self.add_bytes_saved(raw_len.saturating_sub(req.encoded_len()) as u64);
+        out.push(ack.to_frame(req.shard_id));
     }
 
     fn handle_push(&self, req: &Frame, out: &mut Vec<Frame>) {
@@ -272,6 +593,7 @@ mod tests {
         let req = FetchReq {
             epoch,
             wants: (0..shards as u32).map(|i| (i, 0)).collect(),
+            codec: Codec::Raw,
         }
         .to_frame();
         let mut out = Vec::new();
@@ -309,6 +631,7 @@ mod tests {
         let req = FetchReq {
             epoch: 1,
             wants: vec![(0, 1), (1, 0), (2, 1)],
+            codec: Codec::Raw,
         }
         .to_frame();
         let mut out = Vec::new();
@@ -396,6 +719,7 @@ mod tests {
         let req = FetchReq {
             epoch: 1,
             wants: vec![(0, 0), (1, 0), (2, 0)],
+            codec: Codec::Raw,
         }
         .to_frame();
         let mut direct = Vec::new();
@@ -405,6 +729,25 @@ mod tests {
         let mut decoded = Vec::new();
         decode_all(&wire_out, &mut decoded).unwrap();
         assert_eq!(decoded, direct, "transport must not change the frames");
+    }
+
+    #[test]
+    fn raw_ops_serialize_without_codec_fields() {
+        // PsOps feeds golden-hashed reports, so its wire shape must stay
+        // byte-identical to the pre-codec format: codec counters live in
+        // the separate CodecOps struct, never in PsOps.
+        let json = serde_json::to_string(&PsOps::default()).unwrap();
+        assert!(!json.contains("bytes_saved"), "{json}");
+        assert!(!json.contains("deltas_sent"), "{json}");
+        assert!(!json.contains("delta_pushes"), "{json}");
+        // Pre-codec JSON round-trips exactly.
+        let old =
+            r#"{"fetches":1,"shards_sent":2,"cache_hits":3,"pushes":4,"bytes_rx":5,"bytes_tx":6}"#;
+        let ops: PsOps = serde_json::from_str(old).unwrap();
+        assert_eq!(serde_json::to_string(&ops).unwrap(), old);
+        // Codec counters surface through codec_ops() instead.
+        let svc = service(10, 3);
+        assert_eq!(svc.codec_ops(), CodecOps::default());
     }
 
     #[test]

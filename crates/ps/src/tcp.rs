@@ -7,7 +7,10 @@
 //! in-memory transport, handled by the same [`PsService`]; the only
 //! difference is that bytes cross a socket.
 
-use crate::client::{collect_fetch_response, collect_push_response, PsClient, PsError};
+use crate::client::{
+    collect_fetch_response, collect_push_response, push_delta_frame, PsClient, PsError,
+};
+use crate::codec::Codec;
 use crate::service::PsService;
 use crate::wire::{
     read_frame, write_frame, FetchReq, FetchSummary, Frame, FrameKind, FrameReadError, PushAck,
@@ -250,6 +253,7 @@ impl PsClient for TcpClient {
         &mut self,
         epoch: u64,
         wants: &[(u32, u64)],
+        codec: Codec,
         out: &mut Vec<Frame>,
     ) -> Result<FetchSummary, PsError> {
         for group in &mut self.per_group {
@@ -272,6 +276,7 @@ impl PsClient for TcpClient {
             let req = FetchReq {
                 epoch,
                 wants: group_wants.clone(),
+                codec,
             }
             .to_frame();
             self.per_group[g] = group_wants;
@@ -292,6 +297,21 @@ impl PsClient for TcpClient {
             version: epoch,
             payload: encode_f32s(values),
         };
+        let mut frames = Vec::new();
+        self.exchange(g, &req, &mut frames, |k| k == FrameKind::PushAck)?;
+        collect_push_response(frames)
+    }
+
+    fn push_delta(
+        &mut self,
+        shard_id: u32,
+        epoch: u64,
+        base_epoch: u64,
+        codec: Codec,
+        blob: &[u8],
+    ) -> Result<PushAck, PsError> {
+        let g = self.groups.group_of(shard_id);
+        let req = push_delta_frame(shard_id, epoch, base_epoch, codec, blob);
         let mut frames = Vec::new();
         self.exchange(g, &req, &mut frames, |k| k == FrameKind::PushAck)?;
         collect_push_response(frames)

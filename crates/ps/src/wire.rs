@@ -20,6 +20,7 @@
 //! is exactly the value stored in the kvstore — no re-encoding on either
 //! side of the wire.
 
+use crate::codec::{Codec, DESC_LEN};
 use bytes::{Buf, BufMut, Bytes};
 use std::io::{Read, Write};
 
@@ -51,8 +52,19 @@ pub enum FrameKind {
     /// Service → worker: push merged. `version` is the shard's new store
     /// version; the payload carries the clobbered-update count.
     PushAck = 5,
-    /// Service → worker: request failed; payload is a UTF-8 message.
+    /// Service → worker: request failed; payload is a UTF-8 message and
+    /// `version` carries a structured [error code](err_code) (0 = generic).
     Error = 6,
+    /// Service → worker: one shard's parameter update, quantized and
+    /// delta-encoded against a snapshot the worker already holds.
+    /// `version` is the shard's new snapshot version; the payload is
+    /// `[base_version u64][codec descriptor][blob]`.
+    ShardDelta = 7,
+    /// Worker → service: a trained replica's update for one shard,
+    /// quantized and delta-encoded against the epoch snapshot the worker
+    /// fetched. `version` carries the epoch driving the α schedule; the
+    /// payload is `[base_epoch u64][codec descriptor][blob]`.
+    PushDelta = 8,
 }
 
 impl FrameKind {
@@ -64,6 +76,8 @@ impl FrameKind {
             4 => FrameKind::Push,
             5 => FrameKind::PushAck,
             6 => FrameKind::Error,
+            7 => FrameKind::ShardDelta,
+            8 => FrameKind::PushDelta,
             other => return Err(WireError::UnknownKind(other)),
         })
     }
@@ -103,6 +117,10 @@ pub enum WireError {
     UnknownKind(u8),
     /// The frame decoded but its payload does not fit its kind.
     BadPayload(&'static str),
+    /// The frame names a codec id this build does not speak. The service
+    /// answers with a structured `Error` frame instead of dropping the
+    /// connection so the client can renegotiate down to `Raw`.
+    UnsupportedCodec(u8),
 }
 
 impl std::fmt::Display for WireError {
@@ -118,6 +136,7 @@ impl std::fmt::Display for WireError {
             }
             WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
             WireError::BadPayload(what) => write!(f, "bad payload: {what}"),
+            WireError::UnsupportedCodec(id) => write!(f, "unsupported codec id {id}"),
         }
     }
 }
@@ -360,16 +379,25 @@ pub struct FetchReq {
     pub epoch: u64,
     /// `(shard_id, cached_version)` pairs; version 0 means "not cached".
     pub wants: Vec<(u32, u64)>,
+    /// Codec the worker can decode shard deltas in. `Raw` encodes exactly
+    /// the legacy payload (no descriptor trailer), so old and new peers
+    /// interoperate bit-for-bit on the default path.
+    pub codec: Codec,
 }
 
 impl FetchReq {
-    /// Encodes as a frame.
+    /// Encodes as a frame. Non-`Raw` codecs append the 6-byte descriptor
+    /// after the want list; `Raw` stays byte-identical to the pre-codec
+    /// protocol.
     pub fn to_frame(&self) -> Frame {
-        let mut payload = Vec::with_capacity(4 + self.wants.len() * 12);
+        let mut payload = Vec::with_capacity(4 + self.wants.len() * 12 + DESC_LEN);
         payload.put_u32_le(self.wants.len() as u32);
         for &(id, ver) in &self.wants {
             payload.put_u32_le(id);
             payload.put_u64_le(ver);
+        }
+        if self.codec != Codec::Raw {
+            self.codec.write_desc(&mut payload);
         }
         Frame {
             kind: FrameKind::Fetch,
@@ -379,7 +407,12 @@ impl FetchReq {
         }
     }
 
-    /// Parses a [`FrameKind::Fetch`] frame's payload.
+    /// Parses a [`FrameKind::Fetch`] frame's payload. The codec trailer is
+    /// recognized by length: `count·12` bytes after the count is a legacy
+    /// `Raw` request, `count·12 + 6` carries a descriptor, anything else
+    /// is rejected. An unknown codec id surfaces as
+    /// [`WireError::UnsupportedCodec`] so the service can answer with a
+    /// structured error instead of dropping the connection.
     pub fn from_frame(frame: &Frame) -> Result<Self, WireError> {
         if frame.kind != FrameKind::Fetch {
             return Err(WireError::BadPayload("not a Fetch frame"));
@@ -389,9 +422,14 @@ impl FetchReq {
             return Err(WireError::BadPayload("fetch payload too short"));
         }
         let count = p.get_u32_le() as usize;
-        if p.len() != count * 12 {
+        let codec = if p.len() == count * 12 {
+            Codec::Raw
+        } else if p.len() == count * 12 + DESC_LEN {
+            let desc = &p[count * 12..];
+            Codec::read_desc(desc).map_err(WireError::UnsupportedCodec)?
+        } else {
             return Err(WireError::BadPayload("fetch want-list length mismatch"));
-        }
+        };
         let mut wants = Vec::with_capacity(count);
         for _ in 0..count {
             let id = p.get_u32_le();
@@ -401,6 +439,62 @@ impl FetchReq {
         Ok(FetchReq {
             epoch: frame.version,
             wants,
+            codec,
+        })
+    }
+}
+
+/// Payload of a [`FrameKind::ShardDelta`] or [`FrameKind::PushDelta`]
+/// frame: which snapshot the update is relative to, how it is encoded,
+/// and the quantized blob itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaPayload {
+    /// Snapshot the delta applies on top of: a shard version for
+    /// `ShardDelta`, an epoch for `PushDelta`.
+    pub base: u64,
+    /// How the blob is encoded.
+    pub codec: Codec,
+    /// The quantized update bytes (codec-specific layout).
+    pub blob: Bytes,
+}
+
+impl DeltaPayload {
+    /// Bytes before the blob: base (8) + codec descriptor (6).
+    pub const PREFIX_LEN: usize = 8 + DESC_LEN;
+
+    /// Encodes as a frame of the given delta `kind`.
+    pub fn to_frame(&self, kind: FrameKind, shard_id: u32, version: u64) -> Frame {
+        debug_assert!(matches!(kind, FrameKind::ShardDelta | FrameKind::PushDelta));
+        let mut payload = Vec::with_capacity(Self::PREFIX_LEN + self.blob.len());
+        payload.put_u64_le(self.base);
+        self.codec.write_desc(&mut payload);
+        payload.extend_from_slice(&self.blob);
+        Frame {
+            kind,
+            shard_id,
+            version,
+            payload: Bytes::from(payload),
+        }
+    }
+
+    /// Parses a delta frame's payload. Unknown codec ids surface as
+    /// [`WireError::UnsupportedCodec`]; the blob itself is validated by
+    /// [`Codec::decode_update_into`] at apply time.
+    pub fn from_frame(frame: &Frame) -> Result<Self, WireError> {
+        if !matches!(frame.kind, FrameKind::ShardDelta | FrameKind::PushDelta) {
+            return Err(WireError::BadPayload("not a delta frame"));
+        }
+        let p: &[u8] = &frame.payload;
+        if p.len() < Self::PREFIX_LEN {
+            return Err(WireError::BadPayload("delta payload too short"));
+        }
+        let base = u64::from_le_bytes(p[..8].try_into().expect("length checked"));
+        let codec =
+            Codec::read_desc(&p[8..Self::PREFIX_LEN]).map_err(WireError::UnsupportedCodec)?;
+        Ok(DeltaPayload {
+            base,
+            codec,
+            blob: Bytes::copy_from_slice(&frame.payload[Self::PREFIX_LEN..]),
         })
     }
 }
@@ -482,12 +576,31 @@ impl PushAck {
     }
 }
 
-/// Builds an error frame with a UTF-8 message.
+/// Structured error codes carried in an `Error` frame's `version` field.
+/// Code 0 is the generic failure every pre-codec peer already emits; the
+/// others let a client react without parsing the message text.
+pub mod err_code {
+    /// Unclassified failure; payload text is the only detail.
+    pub const GENERIC: u64 = 0;
+    /// The request named a codec the service does not speak. The client
+    /// should fall back to `Raw` and retry.
+    pub const UNSUPPORTED_CODEC: u64 = 1;
+    /// A delta referenced a base snapshot the service no longer holds.
+    /// The client should resend at full precision.
+    pub const UNKNOWN_BASE: u64 = 2;
+}
+
+/// Builds a generic error frame with a UTF-8 message.
 pub fn error_frame(msg: &str) -> Frame {
+    error_frame_code(err_code::GENERIC, msg)
+}
+
+/// Builds an error frame carrying a structured [`err_code`].
+pub fn error_frame_code(code: u64, msg: &str) -> Frame {
     Frame {
         kind: FrameKind::Error,
         shard_id: 0,
-        version: 0,
+        version: code,
         payload: Bytes::copy_from_slice(msg.as_bytes()),
     }
 }
@@ -595,6 +708,7 @@ mod tests {
         let req = FetchReq {
             epoch: 9,
             wants: vec![(0, 0), (3, 17), (15, 2)],
+            codec: Codec::Raw,
         };
         let frame = req.to_frame();
         let bytes = frame.encode();
@@ -603,16 +717,99 @@ mod tests {
     }
 
     #[test]
+    fn fetch_req_codec_trailer_roundtrips() {
+        let req = FetchReq {
+            epoch: 4,
+            wants: vec![(0, 7), (2, 0)],
+            codec: Codec::Int8 {
+                error_feedback: true,
+            },
+        };
+        let frame = req.to_frame();
+        assert_eq!(
+            frame.payload.len(),
+            4 + 2 * 12 + DESC_LEN,
+            "non-Raw requests carry the descriptor trailer"
+        );
+        assert_eq!(FetchReq::from_frame(&frame).unwrap(), req);
+        // Raw stays byte-identical to the legacy layout (no trailer).
+        let raw = FetchReq {
+            codec: Codec::Raw,
+            ..req.clone()
+        };
+        assert_eq!(raw.to_frame().payload.len(), 4 + 2 * 12);
+    }
+
+    #[test]
+    fn fetch_req_unknown_codec_id_is_structured() {
+        let mut frame = FetchReq {
+            epoch: 4,
+            wants: vec![(0, 7)],
+            codec: Codec::Fp16,
+        }
+        .to_frame();
+        let mut bytes = frame.payload.to_vec();
+        bytes[4 + 12] = 200; // forge an unassigned codec id
+        frame.payload = Bytes::from(bytes);
+        assert_eq!(
+            FetchReq::from_frame(&frame),
+            Err(WireError::UnsupportedCodec(200))
+        );
+    }
+
+    #[test]
     fn fetch_req_rejects_length_mismatch() {
         let mut frame = FetchReq {
             epoch: 1,
             wants: vec![(0, 0)],
+            codec: Codec::Raw,
         }
         .to_frame();
         let mut bad = frame.payload.to_vec();
         bad.truncate(bad.len() - 1);
         frame.payload = Bytes::from(bad);
         assert!(FetchReq::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn delta_payload_roundtrips_both_kinds() {
+        let d = DeltaPayload {
+            base: 31,
+            codec: Codec::TopK {
+                k: 5,
+                error_feedback: true,
+            },
+            blob: Bytes::copy_from_slice(&[1, 2, 3, 4]),
+        };
+        for kind in [FrameKind::ShardDelta, FrameKind::PushDelta] {
+            let f = d.to_frame(kind, 3, 99);
+            assert_eq!(f.version, 99);
+            assert_eq!(f.shard_id, 3);
+            let bytes = f.encode();
+            let (back, _) = Frame::decode(&bytes).unwrap();
+            assert_eq!(DeltaPayload::from_frame(&back).unwrap(), d);
+        }
+        // Truncated prefix and unknown id both error gracefully.
+        let mut f = d.to_frame(FrameKind::ShardDelta, 0, 1);
+        f.payload = Bytes::copy_from_slice(&f.payload[..10]);
+        assert!(DeltaPayload::from_frame(&f).is_err());
+        let mut f = d.to_frame(FrameKind::ShardDelta, 0, 1);
+        let mut bytes = f.payload.to_vec();
+        bytes[8] = 77;
+        f.payload = Bytes::from(bytes);
+        assert_eq!(
+            DeltaPayload::from_frame(&f),
+            Err(WireError::UnsupportedCodec(77))
+        );
+    }
+
+    #[test]
+    fn error_frame_codes() {
+        let f = error_frame("plain");
+        assert_eq!(f.version, err_code::GENERIC);
+        let f = error_frame_code(err_code::UNSUPPORTED_CODEC, "no such codec");
+        assert_eq!(f.version, err_code::UNSUPPORTED_CODEC);
+        assert_eq!(&f.payload[..], b"no such codec");
     }
 
     #[test]
@@ -638,6 +835,7 @@ mod tests {
             FetchReq {
                 epoch: 2,
                 wants: vec![(1, 0)],
+                codec: Codec::Raw,
             }
             .to_frame(),
             error_frame("nope"),

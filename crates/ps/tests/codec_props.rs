@@ -1,0 +1,274 @@
+//! Property tests over the parameter codec layer: every mode's round-trip
+//! error stays inside its documented bound, error feedback keeps lossy
+//! push streams unbiased with a bounded residual, and no hostile blob —
+//! truncated, bit-flipped, or wholly fabricated — ever panics a decoder.
+//! Plain #[test]s at the bottom pin the codec negotiation contract: a
+//! client asking for a codec the service does not speak gets a structured
+//! error and degrades to `Raw` on a live connection.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vc_asgd::AlphaSchedule;
+use vc_kvstore::{Consistency, VersionedStore};
+use vc_ps::codec::encode_delta;
+use vc_ps::merge::ShardedAssimilator;
+use vc_ps::{Codec, MemClient, PsService, ShardCache};
+
+fn arb_codec() -> impl Strategy<Value = Codec> {
+    prop_oneof![
+        Just(Codec::Raw),
+        Just(Codec::Fp16),
+        any::<bool>().prop_map(|error_feedback| Codec::Int8 { error_feedback }),
+        (1u32..64, any::<bool>()).prop_map(|(k, error_feedback)| Codec::TopK { k, error_feedback }),
+    ]
+}
+
+fn arb_update() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-1.0e4f32..1.0e4, 1..256)
+}
+
+/// Per-mode elementwise error bound for one encode→decode round trip.
+fn bound(codec: Codec, x: &[f32]) -> f32 {
+    let max = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    match codec {
+        Codec::Raw => 0.0,
+        // Half precision: 2⁻¹¹ relative error for normals, absolute
+        // 2⁻²⁵ quantum below the subnormal threshold.
+        Codec::Fp16 => max * 4.9e-4 + 3.0e-8,
+        // Symmetric int8: half a quantization step of max/127.
+        Codec::Int8 { .. } => max / 254.0 + max * 1.0e-6,
+        // TopK transmits survivors exactly; dropped entries err by their
+        // own magnitude, bounded by the k-th largest one (checked
+        // separately below).
+        Codec::TopK { .. } => max,
+    }
+}
+
+proptest! {
+    /// encode → decode of any update keeps every element inside the
+    /// mode's error bound, and the blob never exceeds its advertised
+    /// worst-case length.
+    #[test]
+    fn roundtrip_error_bounded(codec in arb_codec(), x in arb_update()) {
+        let mut blob = Vec::new();
+        codec.encode_update(&x, &mut blob);
+        prop_assert!(
+            blob.len() <= codec.blob_len(x.len()),
+            "blob {} > advertised {}", blob.len(), codec.blob_len(x.len())
+        );
+        let mut y = Vec::new();
+        codec.decode_update_into(&blob, x.len(), &mut y).expect("own encoding decodes");
+        prop_assert_eq!(y.len(), x.len());
+        let b = bound(codec, &x);
+        for (i, (&xi, &yi)) in x.iter().zip(&y).enumerate() {
+            prop_assert!(
+                (xi - yi).abs() <= b,
+                "{codec:?} elem {i}: |{xi} - {yi}| > {b}"
+            );
+        }
+        // TopK: every transmitted element is exact, and at most k are.
+        if let Codec::TopK { k, .. } = codec {
+            let sent = y.iter().filter(|v| **v != 0.0).count();
+            prop_assert!(sent <= k as usize, "TopK sent {sent} > k {k}");
+            for (&xi, &yi) in x.iter().zip(&y) {
+                prop_assert!(yi == 0.0 || yi == xi, "TopK must send exact values");
+            }
+        }
+    }
+
+    /// Raw is bit-exact, always.
+    #[test]
+    fn raw_roundtrip_bitwise(x in arb_update()) {
+        let (mut blob, mut y) = (Vec::new(), Vec::new());
+        Codec::Raw.encode_update(&x, &mut blob);
+        Codec::Raw.decode_update_into(&blob, x.len(), &mut y).unwrap();
+        prop_assert!(x.iter().zip(&y).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    /// With error feedback on, the residual after each step is exactly
+    /// `x − y` (what the wire dropped), so the cumulative transmitted
+    /// stream differs from the truth by at most one round's residual —
+    /// it never drifts and never blows up.
+    #[test]
+    fn error_feedback_residual_is_exact_and_bounded(
+        updates in proptest::collection::vec(arb_update(), 1..8),
+        ef_codec in prop_oneof![
+            Just(Codec::Int8 { error_feedback: true }),
+            Just(Codec::TopK { k: 3, error_feedback: true }),
+        ],
+    ) {
+        let n = updates[0].len();
+        let mut acc = vec![0.0f32; n];
+        let mut sum_u = vec![0.0f32; n];
+        let mut residual = Vec::new();
+        let (mut xs, mut blob, mut y) = (Vec::new(), Vec::new(), Vec::new());
+        for u in &updates {
+            let u = &u[..n.min(u.len())];
+            let mut new = acc.clone();
+            for (nv, &uv) in new.iter_mut().zip(u) {
+                *nv += uv;
+            }
+            for (s, &uv) in sum_u.iter_mut().zip(u) {
+                *s += uv;
+            }
+            // base for this round is the receiver's state (push model).
+            encode_delta(ef_codec, &new, &acc, &mut residual, &mut xs, &mut blob, &mut y)
+                .expect("encode_delta");
+            for (a, &d) in acc.iter_mut().zip(&y) {
+                *a += d;
+            }
+            // Invariant: truth − transmitted == residual (up to f32
+            // rounding in the accumulators), elementwise.
+            for i in 0..n {
+                let drift = sum_u[i] - acc[i];
+                let tol = 1.0e-3 * (1.0f32 + sum_u[i].abs().max(acc[i].abs()));
+                prop_assert!(
+                    (drift - residual[i]).abs() <= tol,
+                    "residual must equal untransmitted mass: {} vs {}",
+                    drift, residual[i]
+                );
+                prop_assert!(residual[i].is_finite(), "residual blew up");
+            }
+        }
+    }
+
+    /// No hostile blob panics any decoder: arbitrary bytes, arbitrary
+    /// claimed element count. Errors leave the output empty.
+    #[test]
+    fn hostile_blobs_never_panic(
+        codec in arb_codec(),
+        blob in proptest::collection::vec(any::<u8>(), 0..512),
+        n in 0usize..4096,
+    ) {
+        let mut out = Vec::new();
+        if codec.decode_update_into(&blob, n, &mut out).is_err() {
+            prop_assert!(out.is_empty(), "failed decode must leave no output");
+        } else {
+            prop_assert_eq!(out.len(), n);
+        }
+    }
+
+    /// Bit-flipping a valid blob never panics; it either still decodes to
+    /// `n` elements or fails cleanly.
+    #[test]
+    fn flipped_blobs_never_panic(
+        codec in arb_codec(),
+        x in arb_update(),
+        flip_pos in any::<u16>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut blob = Vec::new();
+        codec.encode_update(&x, &mut blob);
+        if !blob.is_empty() {
+            let pos = flip_pos as usize % blob.len();
+            blob[pos] ^= 1 << flip_bit;
+        }
+        let mut out = Vec::new();
+        match codec.decode_update_into(&blob, x.len(), &mut out) {
+            Ok(()) => prop_assert_eq!(out.len(), x.len()),
+            Err(_) => prop_assert!(out.is_empty()),
+        }
+    }
+}
+
+fn setup(n: usize, p: usize, supported: &[Codec]) -> (Arc<PsService>, Vec<f32>, Vec<u64>) {
+    let assim = Arc::new(ShardedAssimilator::new(
+        Arc::new(VersionedStore::new()),
+        n,
+        p,
+        Consistency::Eventual,
+        AlphaSchedule::Const(0.5),
+    ));
+    let params: Vec<f32> = (0..n).map(|i| (i as f32) * 0.25).collect();
+    assim.seed_params(&params);
+    let svc = Arc::new(PsService::new(assim).with_supported(supported));
+    let (full, manifest) = svc.assimilator().read_params();
+    svc.publish_snapshot(1, &full, &manifest);
+    (svc, full, manifest)
+}
+
+/// Satellite fix: a client requesting a codec the service does not speak
+/// must get a structured error and fall back to Raw on the same
+/// connection — not a dead connection, not a panic.
+#[test]
+fn unsupported_codec_negotiates_down_to_raw() {
+    let (svc, want, manifest) = setup(40, 4, &[]); // Raw only
+    let mut client = MemClient::new(svc.clone());
+    let mut cache = ShardCache::new(*svc.assimilator().layout()).with_codec(Codec::Int8 {
+        error_feedback: true,
+    });
+    let got = cache
+        .sync(1, &manifest, &mut client)
+        .expect("sync survives");
+    assert_eq!(got, &want[..]);
+    assert_eq!(cache.codec(), Codec::Raw, "cache downgraded for good");
+    // The downgraded connection keeps working, including pushes.
+    let range = svc.assimilator().layout().range(0);
+    let values: Vec<f32> = want[range].iter().map(|v| v + 1.0).collect();
+    cache
+        .push_update(&mut client, 0, 1, &values)
+        .expect("push after downgrade");
+}
+
+/// A push in a codec the service does not speak degrades to a raw push
+/// (and the merge still lands) instead of erroring out.
+#[test]
+fn unsupported_push_falls_back_to_raw() {
+    let (svc, want, manifest) = setup(40, 4, &[]);
+    let mut client = MemClient::new(svc.clone());
+    // Cache negotiated nothing yet: push directly with a lossy codec.
+    let mut cache = ShardCache::new(*svc.assimilator().layout()).with_codec(Codec::Fp16);
+    cache.sync(1, &manifest, &mut client).expect("sync");
+    assert_eq!(cache.codec(), Codec::Raw);
+    let range = svc.assimilator().layout().range(1);
+    let values: Vec<f32> = want[range].iter().map(|v| v * 2.0).collect();
+    let ack = cache
+        .push_update(&mut client, 1, 1, &values)
+        .expect("push falls back");
+    assert!(ack.new_version > manifest[1]);
+}
+
+/// A supported lossy codec actually ships deltas once the second epoch
+/// publishes, and the service accounts the saved bytes.
+#[test]
+fn supported_lossy_codec_ships_deltas() {
+    let codec = Codec::Int8 {
+        error_feedback: true,
+    };
+    let n = 400;
+    let assim = Arc::new(ShardedAssimilator::new(
+        Arc::new(VersionedStore::new()),
+        n,
+        4,
+        Consistency::Eventual,
+        AlphaSchedule::Const(0.5),
+    ));
+    let params: Vec<f32> = (0..n).map(|i| (i as f32) * 0.25).collect();
+    assim.seed_params(&params);
+    let svc = Arc::new(
+        PsService::new(assim)
+            .with_codec(codec)
+            .with_supported(&[codec]),
+    );
+    let (full0, manifest) = svc.assimilator().read_params();
+    svc.publish_snapshot(1, &full0, &manifest);
+    let mut client = MemClient::new(svc.clone());
+    let mut cache = ShardCache::new(*svc.assimilator().layout()).with_codec(codec);
+    cache.sync(1, &manifest, &mut client).expect("cold sync");
+    // Nudge the params and publish epoch 2: the fetch should ride deltas.
+    let (full, m1) = svc.assimilator().read_params();
+    let range = svc.assimilator().layout().range(0);
+    let values: Vec<f32> = full[range].iter().map(|v| v + 0.5).collect();
+    cache.push_update(&mut client, 0, 1, &values).expect("push");
+    let (full2, m2) = svc.assimilator().read_params();
+    assert_ne!(m1, m2);
+    svc.publish_snapshot(2, &full2, &m2);
+    cache.sync(2, &m2, &mut client).expect("warm sync");
+    let ops = svc.codec_ops();
+    assert!(
+        ops.deltas_sent > 0,
+        "warm fetch should ship deltas: {ops:?}"
+    );
+    assert!(ops.delta_pushes > 0, "push should arrive as delta: {ops:?}");
+    assert!(ops.bytes_saved > 0, "codec must save bytes: {ops:?}");
+}

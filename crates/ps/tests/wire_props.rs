@@ -14,6 +14,8 @@ fn arb_kind() -> impl Strategy<Value = FrameKind> {
         Just(FrameKind::Push),
         Just(FrameKind::PushAck),
         Just(FrameKind::Error),
+        Just(FrameKind::ShardDelta),
+        Just(FrameKind::PushDelta),
     ]
 }
 

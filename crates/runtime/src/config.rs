@@ -4,6 +4,7 @@
 use crate::fault::FaultPlan;
 use serde::{Deserialize, Serialize};
 use vc_asgd::JobConfig;
+use vc_ps::Codec;
 
 /// Everything a real threaded run needs.
 ///
@@ -67,6 +68,13 @@ pub struct RuntimeConfig {
     /// this).
     #[serde(default)]
     pub trace: bool,
+    /// Parameter-transfer codec: how shard fetches and update pushes are
+    /// encoded on the wire. `Raw` (the default) is the legacy bit-exact
+    /// path; lossy modes quantize deltas against the version the peer
+    /// already holds and imply a tolerance comparator for result quorums
+    /// (quantization makes honest replicas differ by a few ulps).
+    #[serde(default)]
+    pub codec: Codec,
 }
 
 impl RuntimeConfig {
@@ -86,6 +94,7 @@ impl RuntimeConfig {
             ps_tcp: false,
             ops_addr: None,
             trace: false,
+            codec: Codec::Raw,
         }
     }
 
@@ -140,6 +149,11 @@ impl RuntimeConfig {
         if self.halt_after_assims == Some(0) {
             return Err("halt_after_assims must be >= 1".into());
         }
+        if let Codec::TopK { k, .. } = self.codec {
+            if k == 0 {
+                return Err("codec TopK needs k >= 1".into());
+            }
+        }
         Ok(())
     }
 }
@@ -183,8 +197,22 @@ mod tests {
         cfg.faults.respawn_after_s = Some(1.5);
         cfg.ops_addr = Some("127.0.0.1:0".into());
         cfg.trace = true;
+        cfg.codec = Codec::TopK {
+            k: 8,
+            error_feedback: true,
+        };
         let json = serde_json::to_string(&cfg).unwrap();
         let back: RuntimeConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn rejects_degenerate_topk() {
+        let mut cfg = RuntimeConfig::test_small(1);
+        cfg.codec = Codec::TopK {
+            k: 0,
+            error_feedback: false,
+        };
+        assert!(cfg.validate().is_err());
     }
 }

@@ -30,7 +30,6 @@ use vc_nn::metrics::evaluate;
 use vc_ops::{FleetStatus, OpsHub, PsStatus, StatusSnapshot};
 use vc_ps::{PsService, ShardedAssimilator};
 use vc_telemetry::{event, Histogram, Telemetry, TraceStage};
-use vc_tensor::codec::encoded_len;
 
 /// Everything one assimilator (parameter-server) thread needs.
 pub struct AssimCtx {
@@ -266,7 +265,7 @@ impl<C: Clock> Coordinator<C> {
                 }
                 match self.server.report_result(wu, host, &params, now) {
                     ReportStatus::Accepted => {
-                        self.bytes += encoded_len(self.param_count) as u64;
+                        self.bytes += self.upload_bytes();
                         let info = self.server.workunit(wu).clone();
                         let _ = self.assim_tx.send(AssimTask {
                             wu,
@@ -280,7 +279,7 @@ impl<C: Clock> Coordinator<C> {
                     // The upload happened and is banked for quorum: its
                     // bytes count, but nothing is assimilated yet.
                     ReportStatus::Pending => {
-                        self.bytes += encoded_len(self.param_count) as u64;
+                        self.bytes += self.upload_bytes();
                     }
                     ReportStatus::Stale => {}
                 }
@@ -421,6 +420,13 @@ impl<C: Clock> Coordinator<C> {
         ps.pushes = ops.pushes;
         ps.bytes_rx = ops.bytes_rx;
         ps.bytes_tx = ops.bytes_tx;
+        let codec_ops = self.service.codec_ops();
+        ps.bytes_saved = codec_ops.bytes_saved;
+        ps.compression_ratio = if ops.bytes_tx > 0 {
+            (ops.bytes_tx + codec_ops.bytes_saved) as f64 / ops.bytes_tx as f64
+        } else {
+            1.0
+        };
         StatusSnapshot {
             t_s: self.wall_base_s + self.clock.elapsed_s(),
             label: self.cfg.job.pct_label(),
@@ -468,6 +474,14 @@ impl<C: Clock> Coordinator<C> {
     fn total_bytes(&self) -> u64 {
         let ops = self.service.ops();
         self.bytes + ops.bytes_rx + ops.bytes_tx
+    }
+
+    /// Bytes one result upload would occupy on the wire under the active
+    /// codec. Uploads travel an in-process channel here, so this is the
+    /// accounting model: `Raw` charges the exact legacy VCP1 frame size,
+    /// lossy codecs their worst-case blob size.
+    fn upload_bytes(&self) -> u64 {
+        self.cfg.codec.blob_len(self.param_count) as u64
     }
 
     /// Fires the interval checkpoint timer when its due second has passed,

@@ -55,7 +55,7 @@ use transport::{delay_line_main, Outbox};
 use vc_asgd::warm_start_params;
 use vc_data::ShardSet;
 use vc_kvstore::VersionedStore;
-use vc_middleware::{BoincServer, HostId, ShardManifest, WallClock};
+use vc_middleware::{BoincServer, HostId, ShardManifest, ToleranceComparator, WallClock};
 use vc_nn::metrics::evaluate;
 use vc_ops::{OpsHub, OpsServer};
 use vc_ps::{
@@ -205,7 +205,11 @@ impl Runtime {
             .with_telemetry(&tel),
         );
         assim.seed_params(&init_params);
-        let service = Arc::new(PsService::new(assim.clone()));
+        let service = Arc::new(
+            PsService::new(assim.clone())
+                .with_codec(cfg.codec)
+                .with_telemetry(&tel),
+        );
         // The in-progress epoch's fetchable snapshot (Eq. (2)'s W_{s,e-1}).
         service.publish_snapshot(epoch as u64, &snapshot_params, &assim.versions());
 
@@ -220,6 +224,12 @@ impl Runtime {
         // deadlines (cumulative across resumes).
         tel.set_time_source(Arc::new(clock));
         server.set_telemetry(tel.clone());
+        if cfg.codec.is_lossy() {
+            // Quantized honest replicas differ by a few quantization
+            // steps; exact-match quorums would reject them all.
+            let (atol, rtol) = cfg.codec.quorum_tolerance();
+            server.set_comparator(Box::new(ToleranceComparator { atol, rtol }));
+        }
         let manifest = ShardManifest(assim.versions());
         match &self.resume {
             None => server.add_epoch_sharded(1, job.shards, &manifest, SimTime::ZERO),
@@ -319,7 +329,7 @@ impl Runtime {
                 stats: fstats.clone(),
                 telemetry: tel.clone(),
                 ps,
-                cache: ShardCache::new(*assim.layout()),
+                cache: ShardCache::new(*assim.layout()).with_codec(cfg.codec),
             };
             worker_handles.push(
                 std::thread::Builder::new()

@@ -39,6 +39,7 @@ use vc_kvstore::{check_sequential, count_lost_updates, Consistency, HistoryEvent
 use vc_middleware::{BoincServer, Clock, HostId, ShardManifest, VirtualClock, WuId};
 use vc_nn::metrics::evaluate;
 use vc_nn::Sequential;
+use vc_ps::codec::apply_update_roundtrip;
 use vc_ps::{MemClient, PsService, ShardCache, ShardSnapshot, ShardedAssimilator};
 use vc_simnet::SimTime;
 use vc_telemetry::{event, Histogram, Telemetry, TraceStage};
@@ -108,6 +109,13 @@ impl Scenario {
     /// Attaches the in-memory ops hub (see [`Scenario::ops`] field docs).
     pub fn ops(mut self, on: bool) -> Self {
         self.ops = on;
+        self
+    }
+
+    /// Sets the parameter-transfer codec (`cfg.codec`). Lossy modes also
+    /// install the tolerance comparator for result quorums.
+    pub fn codec(mut self, codec: vc_ps::Codec) -> Self {
+        self.cfg.codec = codec;
         self
     }
 
@@ -264,6 +272,10 @@ pub struct SimOutcome {
     /// ([`Scenario::ops`]): every endpoint a live HTTP server would serve,
     /// as pure in-memory calls over deterministic state.
     pub ops: Option<Arc<vc_ops::OpsHub>>,
+    /// Codec-layer counters from the parameter service (bytes saved,
+    /// deltas shipped). Kept out of [`RuntimeReport`] so `Raw` reports
+    /// stay byte-identical to the pre-codec format.
+    pub ps_codec_ops: vc_ps::CodecOps,
 }
 
 impl SimOutcome {
@@ -313,6 +325,12 @@ struct SimWorker {
     state: WState,
     ps: MemClient,
     cache: ShardCache,
+    /// Error-feedback residual for the worker's upload stream under a
+    /// lossy codec (empty under `Raw`), plus reusable codec scratch.
+    upload_residual: Vec<f32>,
+    x_scratch: Vec<f32>,
+    y_scratch: Vec<f32>,
+    blob_scratch: Vec<u8>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -579,6 +597,23 @@ impl Sim {
                     wu.epoch,
                     wu.shard_id,
                 );
+                // Under a lossy codec the upload is what survives the
+                // wire: quantize the trained delta against the fetched
+                // snapshot (error feedback carries the dropped mass to
+                // this worker's next upload), exactly as the threaded
+                // worker does.
+                let codec = self.coord.cfg.codec;
+                if codec.is_lossy() {
+                    apply_update_roundtrip(
+                        codec,
+                        w.cache.params(),
+                        &mut params,
+                        &mut w.upload_residual,
+                        &mut w.x_scratch,
+                        &mut w.blob_scratch,
+                        &mut w.y_scratch,
+                    );
+                }
                 // A byzantine host does the work, then lies about it —
                 // same corruption point as the threaded worker.
                 if let Some(mode) = self.coord.cfg.faults.byzantine(h) {
@@ -732,7 +767,11 @@ pub fn run_scenario(sc: &Scenario) -> Result<SimOutcome, String> {
         .with_telemetry(&tel),
     );
     assim.seed_params(&init);
-    let service = Arc::new(PsService::new(assim.clone()));
+    let service = Arc::new(
+        PsService::new(assim.clone())
+            .with_codec(cfg.codec)
+            .with_telemetry(&tel),
+    );
     service.publish_snapshot(1, &init, &assim.versions());
 
     // --- middleware ------------------------------------------------------
@@ -742,6 +781,13 @@ pub fn run_scenario(sc: &Scenario) -> Result<SimOutcome, String> {
         fleet.iter().map(|s| (s.clone(), job.tn)).collect(),
     );
     server.set_telemetry(tel.clone());
+    if cfg.codec.is_lossy() {
+        // Quantization makes honest replicas of the same workunit differ
+        // by a few quantization steps; exact-match quorums would reject
+        // them all as disagreements.
+        let (atol, rtol) = cfg.codec.quorum_tolerance();
+        server.set_comparator(Box::new(vc_middleware::ToleranceComparator { atol, rtol }));
+    }
     server.add_epoch_sharded(
         1,
         job.shards,
@@ -765,7 +811,11 @@ pub fn run_scenario(sc: &Scenario) -> Result<SimOutcome, String> {
             core: WorkerCore::new(HostId(h as u32), cfg.faults.seed),
             state: WState::Alive,
             ps: MemClient::new(service.clone()),
-            cache: ShardCache::new(*assim.layout()),
+            cache: ShardCache::new(*assim.layout()).with_codec(cfg.codec),
+            upload_residual: Vec::new(),
+            x_scratch: Vec::new(),
+            y_scratch: Vec::new(),
+            blob_scratch: Vec::new(),
         })
         .collect();
     let slots = (0..job.pn)
@@ -836,6 +886,7 @@ pub fn run_scenario(sc: &Scenario) -> Result<SimOutcome, String> {
         history: store.take_history(),
         telemetry: tel,
         ops: ops_hub,
+        ps_codec_ops: service.codec_ops(),
     })
 }
 

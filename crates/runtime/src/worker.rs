@@ -30,6 +30,7 @@ use vc_asgd::{train_client_replica_ws, JobConfig};
 use vc_data::ShardSet;
 use vc_middleware::HostId;
 use vc_optim::{StepTimer, TrainWorkspace};
+use vc_ps::codec::apply_update_roundtrip;
 use vc_ps::{PsClient, ShardCache};
 use vc_telemetry::{event, Histogram, Telemetry, TraceStage};
 
@@ -139,6 +140,11 @@ pub fn worker_main(ctx: WorkerCtx) {
     // One workspace per worker thread: after the first subtask warms its
     // pools, steady-state training steps allocate nothing.
     let mut tws = TrainWorkspace::new();
+    // Upload-codec state: the error-feedback residual for this worker's
+    // upload stream plus reusable scratch (all empty under `Raw`).
+    let mut upload_residual: Vec<f32> = Vec::new();
+    let (mut x_scratch, mut y_scratch): (Vec<f32>, Vec<f32>) = (Vec::new(), Vec::new());
+    let mut blob_scratch: Vec<u8> = Vec::new();
 
     loop {
         let poll_t0 = telemetry.now_s();
@@ -225,6 +231,21 @@ pub fn worker_main(ctx: WorkerCtx) {
                             ("epoch", (wu.epoch as u64).into()),
                             ("shard", (wu.shard_id as u64).into()),
                         ],
+                    );
+                }
+                // Under a lossy codec the upload is what survives the
+                // wire: quantize the trained delta against the fetched
+                // snapshot; error feedback carries the dropped mass into
+                // this worker's next upload.
+                if cfg.codec.is_lossy() {
+                    apply_update_roundtrip(
+                        cfg.codec,
+                        cache.params(),
+                        &mut params,
+                        &mut upload_residual,
+                        &mut x_scratch,
+                        &mut blob_scratch,
+                        &mut y_scratch,
                     );
                 }
                 // A byzantine host does the work, then lies about it.

@@ -15,6 +15,7 @@
 //!    byzantine uploads filtered by replication+quorum, and every history
 //!    still passes the consistency checker.
 
+use vc_ps::Codec;
 use vc_runtime::{run_scenario, sweep, verify_seed, ByzantineMode, RuntimeConfig, Scenario};
 
 /// The anchor scenario the golden bits were recorded on (pre-`vc-ps`).
@@ -130,6 +131,142 @@ fn dst_sweep_byzantine_across_shard_counts() {
             );
             verify_seed(seed, &out);
         }
+    }
+}
+
+/// Explicitly requesting `Codec::Raw` is the default path, to the byte:
+/// the codec plumbing must be invisible until a lossy mode is asked for.
+#[test]
+fn explicit_raw_codec_is_the_default_bitwise() {
+    for seed in [5, 9] {
+        let sc = tiny(seed).ps_shards(4);
+        let a = run_scenario(&sc).unwrap();
+        let b = run_scenario(&sc.clone().codec(Codec::Raw)).unwrap();
+        assert_eq!(
+            a.report_json(),
+            b.report_json(),
+            "seed {seed}: explicit Raw diverged from the default report"
+        );
+        assert_eq!(a.history, b.history, "seed {seed}: store history diverged");
+    }
+}
+
+/// Claim 3c: the lossy transfer codec (Int8 + delta + error feedback)
+/// stays in the clean accuracy band under the same kill-storm chaos, at
+/// every shard count, 32 seeds each. Quantized replicas pass quorum via
+/// the tolerance comparator the codec installs.
+#[test]
+fn dst_sweep_kill_storm_under_lossy_codec() {
+    let codec = Codec::Int8 {
+        error_feedback: true,
+    };
+    for p in [1usize, 4, 16] {
+        let make = move |seed| {
+            tiny(seed)
+                .cn(4)
+                .tn(2)
+                .kill_fraction(0.3, 2)
+                .ps_shards(p)
+                .codec(codec)
+        };
+        for (seed, out) in sweep(0..32, make) {
+            let r = &out.report;
+            assert!(!r.halted_early, "shards {p} seed {seed}: halted early");
+            assert!(
+                r.final_mean_acc() > 0.15,
+                "shards {p} seed {seed}: int8 codec fell out of the clean band (acc {})",
+                r.final_mean_acc()
+            );
+        }
+    }
+}
+
+/// Claim 3d: byzantine uploads are still filtered under the lossy codec —
+/// the tolerance comparator accepts quantization error, not poison.
+#[test]
+fn dst_sweep_byzantine_under_lossy_codec() {
+    let codec = Codec::Int8 {
+        error_feedback: true,
+    };
+    for p in [1usize, 4, 16] {
+        let make = move |seed| {
+            tiny(seed)
+                .cn(6)
+                .replication(2)
+                .quorum(2)
+                .byzantine(vec![0, 1], ByzantineMode::Poison)
+                .ps_shards(p)
+                .codec(codec)
+        };
+        for (seed, out) in sweep(0..32, make) {
+            let r = &out.report;
+            assert!(!r.halted_early, "shards {p} seed {seed}: halted early");
+            assert!(
+                r.final_mean_acc() > 0.15,
+                "shards {p} seed {seed}: byzantine uploads leaked under int8 (acc {})",
+                r.final_mean_acc()
+            );
+        }
+    }
+}
+
+/// A lossy run actually saves wire bytes once warm fetches ride deltas,
+/// and the replay stays deterministic (same seed → same report bytes).
+#[test]
+fn lossy_codec_saves_bytes_and_replays_identically() {
+    let sc = tiny(13).ps_shards(4).epochs(3).codec(Codec::Int8 {
+        error_feedback: true,
+    });
+    let a = run_scenario(&sc).unwrap();
+    let b = run_scenario(&sc).unwrap();
+    assert_eq!(a.report_json(), b.report_json(), "lossy replay drifted");
+    let saved = a.ps_codec_ops.bytes_saved;
+    assert!(
+        saved > 0,
+        "delta fetches must save bytes over raw blobs: {:?}",
+        a.ps_codec_ops
+    );
+}
+
+/// The ops surface reports the codec's work: under a lossy codec,
+/// `/status` carries a compression ratio above 1 with cumulative bytes
+/// saved, and `/metrics` exports the codec counter and kernel-time
+/// histograms.
+#[test]
+fn lossy_codec_shows_up_on_the_ops_surface() {
+    let sc = tiny(13)
+        .ps_shards(4)
+        .epochs(3)
+        .codec(Codec::Int8 {
+            error_feedback: true,
+        })
+        .ops(true);
+    let out = run_scenario(&sc).unwrap();
+    let hub = out.ops.as_ref().expect("scenario attached an ops hub");
+
+    let status = hub.handle("/status");
+    assert_eq!(status.status, 200);
+    let body = String::from_utf8(status.body).unwrap();
+    let s: vc_ops::StatusSnapshot = serde_json::from_str(&body).unwrap();
+    assert!(
+        s.ps.bytes_saved > 0,
+        "/status must report bytes saved: {:?}",
+        s.ps
+    );
+    assert!(
+        s.ps.compression_ratio > 1.0,
+        "/status compression ratio must exceed 1 under int8: {:?}",
+        s.ps
+    );
+
+    let metrics = hub.handle("/metrics");
+    assert_eq!(metrics.status, 200);
+    let text = String::from_utf8(metrics.body).unwrap();
+    for series in ["ps_bytes_saved", "ps_encode_s", "ps_decode_s"] {
+        assert!(
+            text.contains(series),
+            "/metrics missing {series} exposition"
+        );
     }
 }
 
