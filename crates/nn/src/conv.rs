@@ -1,6 +1,20 @@
-//! 2-D convolution via im2col lowering.
+//! 2-D convolution via im2col lowering, with a direct (implicit-GEMM)
+//! fast path for 3×3 stride-1 kernels.
+//!
+//! Both the plain and workspace entry points dispatch per call: when
+//! [`conv_direct::enabled`] and the geometry is 3×3 stride-1, forward and
+//! backward run `vc_tensor::conv_direct`'s fused kernels and never
+//! materialize the im2col column matrix; every other geometry takes the
+//! lowered route. Both paths are bit-identical by construction — see the
+//! `conv_direct` module docs for the FMA-chain argument and
+//! `ws_direct_path_matches_im2col_bitwise` below for the layer-level
+//! check — so the dispatch (and the runtime toggle) can never perturb a
+//! training trajectory.
 
 use crate::layer::Layer;
+use vc_tensor::conv_direct::{
+    self, conv3x3_backward_dk_into, conv3x3_backward_dx_into, conv3x3_forward_into,
+};
 use vc_tensor::ops::{
     col2im_into, im2col, im2col_into, matmul_a_bt_epi_into, matmul_at_b_epi_into, matmul_epi_into,
     ConvGeom, Epilogue,
@@ -31,10 +45,35 @@ pub struct Conv2d {
     fused_relu: bool,
 }
 
-struct ConvCache {
-    cols: Tensor,
-    geom: ConvGeom,
-    batch: usize,
+/// What the training forward stashed for backward. The im2col path keeps
+/// the materialized column matrix; the direct 3×3 path keeps the input
+/// images themselves (its dK kernel re-materializes one L1-sized band of
+/// patch rows at a time, so the `[rows, patch]` matrix never exists).
+/// Backward dispatches
+/// on this variant — not on the live [`conv_direct::enabled`] toggle — so
+/// flipping the path between forward and backward can never mix
+/// representations.
+enum ConvCache {
+    Cols {
+        cols: Tensor,
+        geom: ConvGeom,
+        batch: usize,
+    },
+    Input {
+        x: Tensor,
+        geom: ConvGeom,
+        batch: usize,
+    },
+}
+
+impl ConvCache {
+    /// Consumes the cache, returning its backing buffer for recycling.
+    fn into_vec(self) -> Vec<f32> {
+        match self {
+            ConvCache::Cols { cols, .. } => cols.into_vec(),
+            ConvCache::Input { x, .. } => x.into_vec(),
+        }
+    }
 }
 
 impl Conv2d {
@@ -137,6 +176,46 @@ impl Conv2d {
             Epilogue::Bias(self.bias.data())
         }
     }
+
+    /// Direct-path backward shared by [`Layer::backward`] and
+    /// [`Layer::backward_ws`]: dK, dbias and dx via the fused 3×3 kernels,
+    /// bit-identical to the im2col route (see `conv_direct`'s module docs).
+    /// All scratch (`dk_scratch`, `colsum`, `dx_scratch`, `dx`) is
+    /// caller-provided so the workspace path stays zero-allocation.
+    // Takes one slice per scratch buffer by design — bundling them into a
+    // struct would just move the argument list one level down.
+    #[allow(clippy::too_many_arguments)]
+    fn backward_direct(
+        &mut self,
+        dy: &Tensor,
+        x: &Tensor,
+        geom: ConvGeom,
+        dk_scratch: &mut [f32],
+        colsum: &mut [f32],
+        dx_scratch: &mut [f32],
+        dx: &mut [f32],
+    ) {
+        conv3x3_backward_dk_into(dy, x, geom, self.dkernel.data_mut(), dk_scratch);
+        // dbias += per-channel sums of dy. Each channel's chain runs over
+        // (batch, pixel) ascending — exactly row-ascending order over the
+        // `[rows, out_ch]` dy matrix, so this matches both `sum_axis0`
+        // (plain backward) and the ws path's column-sum loop bit for bit.
+        let ohw = geom.out_h() * geom.out_w();
+        let batch = dy.dims()[0];
+        let dyd = dy.data();
+        for (oc, s) in colsum.iter_mut().enumerate() {
+            for b in 0..batch {
+                let plane = &dyd[(b * self.out_ch + oc) * ohw..][..ohw];
+                for v in plane {
+                    *s += v;
+                }
+            }
+        }
+        for (d, s) in self.dbias.data_mut().iter_mut().zip(colsum.iter()) {
+            *d += s;
+        }
+        conv3x3_backward_dx_into(dy, &self.kernel, self.in_ch, geom, dx, dx_scratch);
+    }
 }
 
 impl Layer for Conv2d {
@@ -147,6 +226,19 @@ impl Layer for Conv2d {
         let (batch, h, w) = (dims[0], dims[2], dims[3]);
         let geom = self.geom_for(h, w);
         let (oh, ow) = (geom.out_h(), geom.out_w());
+        if conv_direct::enabled() && conv_direct::supports(&geom) {
+            let mut y = vec![0.0f32; batch * self.out_ch * oh * ow];
+            let mut stage = vec![0.0f32; conv_direct::fwd_scratch_len(batch, self.in_ch, geom)];
+            conv3x3_forward_into(x, &self.kernel, geom, &mut y, self.epilogue(), &mut stage);
+            if train {
+                self.cache = Some(ConvCache::Input {
+                    x: x.clone(),
+                    geom,
+                    batch,
+                });
+            }
+            return Tensor::from_vec(y, &[batch, self.out_ch, oh, ow]);
+        }
         let rows = batch * oh * ow;
         let cols = im2col(x, self.in_ch, geom);
         // [rows, patch] x [out_ch, patch]^T -> [rows, out_ch], bias fused
@@ -155,7 +247,7 @@ impl Layer for Conv2d {
         let mut y = vec![0.0f32; batch * self.out_ch * oh * ow];
         Self::rows_to_images_into(&flat, batch, self.out_ch, oh, ow, &mut y);
         if train {
-            self.cache = Some(ConvCache { cols, geom, batch });
+            self.cache = Some(ConvCache::Cols { cols, geom, batch });
         }
         Tensor::from_vec(y, &[batch, self.out_ch, oh, ow])
     }
@@ -165,29 +257,53 @@ impl Layer for Conv2d {
             .cache
             .take()
             .expect("Conv2d::backward called without a cached forward");
-        let (oh, ow) = (cache.geom.out_h(), cache.geom.out_w());
-        let rows = cache.batch * oh * ow;
-        let patch = self.in_ch * self.kh * self.kw;
-        let mut dy_rows = vec![0.0f32; rows * self.out_ch];
-        Self::images_to_rows_into(dy, &mut dy_rows);
-        let dy_rows = Tensor::from_vec(dy_rows, &[rows, self.out_ch]);
-        // dK += dy_rows^T · cols -> [out_ch, patch]
-        matmul_at_b_epi_into(
-            &dy_rows,
-            &cache.cols,
-            self.dkernel.data_mut(),
-            Epilogue::Accumulate,
-        );
-        self.dbias.add_assign(&dy_rows.sum_axis0());
-        // dcols = dy_rows · K -> [rows, patch]
-        let mut dcols = vec![0.0f32; rows * patch];
-        matmul_epi_into(&dy_rows, &self.kernel, &mut dcols, Epilogue::Store);
-        let dcols = Tensor::from_vec(dcols, &[rows, patch]);
-        let mut dx = vec![0.0f32; cache.batch * self.in_ch * cache.geom.h * cache.geom.w];
-        col2im_into(&dcols, cache.batch, self.in_ch, cache.geom, &mut dx);
-        let dims = [cache.batch, self.in_ch, cache.geom.h, cache.geom.w];
-        self.cache = Some(cache);
-        Tensor::from_vec(dx, &dims)
+        match cache {
+            ConvCache::Input { x, geom, batch } => {
+                let mut dk_scratch =
+                    vec![0.0f32; conv_direct::dk_scratch_len(self.in_ch, self.out_ch, geom)];
+                let mut colsum = vec![0.0f32; self.out_ch];
+                let mut dx_scratch =
+                    vec![0.0f32; conv_direct::dx_scratch_len(batch, self.in_ch, self.out_ch)];
+                let mut dx = vec![0.0f32; batch * self.in_ch * geom.h * geom.w];
+                self.backward_direct(
+                    dy,
+                    &x,
+                    geom,
+                    &mut dk_scratch,
+                    &mut colsum,
+                    &mut dx_scratch,
+                    &mut dx,
+                );
+                let dims = [batch, self.in_ch, geom.h, geom.w];
+                self.cache = Some(ConvCache::Input { x, geom, batch });
+                Tensor::from_vec(dx, &dims)
+            }
+            ConvCache::Cols { cols, geom, batch } => {
+                let (oh, ow) = (geom.out_h(), geom.out_w());
+                let rows = batch * oh * ow;
+                let patch = self.in_ch * self.kh * self.kw;
+                let mut dy_rows = vec![0.0f32; rows * self.out_ch];
+                Self::images_to_rows_into(dy, &mut dy_rows);
+                let dy_rows = Tensor::from_vec(dy_rows, &[rows, self.out_ch]);
+                // dK += dy_rows^T · cols -> [out_ch, patch]
+                matmul_at_b_epi_into(
+                    &dy_rows,
+                    &cols,
+                    self.dkernel.data_mut(),
+                    Epilogue::Accumulate,
+                );
+                self.dbias.add_assign(&dy_rows.sum_axis0());
+                // dcols = dy_rows · K -> [rows, patch]
+                let mut dcols = vec![0.0f32; rows * patch];
+                matmul_epi_into(&dy_rows, &self.kernel, &mut dcols, Epilogue::Store);
+                let dcols = Tensor::from_vec(dcols, &[rows, patch]);
+                let mut dx = vec![0.0f32; batch * self.in_ch * geom.h * geom.w];
+                col2im_into(&dcols, batch, self.in_ch, geom, &mut dx);
+                let dims = [batch, self.in_ch, geom.h, geom.w];
+                self.cache = Some(ConvCache::Cols { cols, geom, batch });
+                Tensor::from_vec(dx, &dims)
+            }
+        }
     }
 
     fn forward_ws(&mut self, x: Tensor, train: bool, ws: &mut Workspace) -> Tensor {
@@ -202,7 +318,21 @@ impl Layer for Conv2d {
         // Recycle last step's cache before taking, so one warm-up step is
         // enough to make the pool self-sufficient.
         if let Some(prev) = self.cache.take() {
-            ws.recycle(prev.cols.into_vec());
+            ws.recycle(prev.into_vec());
+        }
+        if conv_direct::enabled() && conv_direct::supports(&geom) {
+            // Direct 3×3 path: no column matrix at all. The training cache
+            // is the input itself, which backward's fused kernels read.
+            let mut y = ws.take(batch * self.out_ch * oh * ow);
+            let mut stage = ws.take(conv_direct::fwd_scratch_len(batch, self.in_ch, geom));
+            conv3x3_forward_into(&x, &self.kernel, geom, &mut y, self.epilogue(), &mut stage);
+            ws.recycle(stage);
+            if train {
+                self.cache = Some(ConvCache::Input { x, geom, batch });
+            } else {
+                ws.recycle(x.into_vec());
+            }
+            return Tensor::from_vec(y, &[batch, self.out_ch, oh, ow]);
         }
         let mut cols_buf = ws.take(rows * patch);
         im2col_into(&x, self.in_ch, geom, &mut cols_buf);
@@ -214,7 +344,7 @@ impl Layer for Conv2d {
         Self::rows_to_images_into(&flat, batch, self.out_ch, oh, ow, &mut y);
         ws.recycle(flat);
         if train {
-            self.cache = Some(ConvCache { cols, geom, batch });
+            self.cache = Some(ConvCache::Cols { cols, geom, batch });
         } else {
             ws.recycle(cols.into_vec());
         }
@@ -226,42 +356,71 @@ impl Layer for Conv2d {
             .cache
             .take()
             .expect("Conv2d::backward called without a cached forward");
-        let (oh, ow) = (cache.geom.out_h(), cache.geom.out_w());
-        let rows = cache.batch * oh * ow;
-        let patch = self.in_ch * self.kh * self.kw;
-        let mut dy_rows_buf = ws.take(rows * self.out_ch);
-        Self::images_to_rows_into(&dy, &mut dy_rows_buf);
-        ws.recycle(dy.into_vec());
-        let dy_rows = Tensor::from_vec(dy_rows_buf, &[rows, self.out_ch]);
-        matmul_at_b_epi_into(
-            &dy_rows,
-            &cache.cols,
-            self.dkernel.data_mut(),
-            Epilogue::Accumulate,
-        );
-        // dbias += column sums of dy_rows, in `sum_axis0`'s accumulation
-        // order so both backward paths stay bit-identical.
-        let mut colsum = ws.take(self.out_ch);
-        for r in 0..rows {
-            let row = &dy_rows.data()[r * self.out_ch..(r + 1) * self.out_ch];
-            for (o, v) in colsum.iter_mut().zip(row) {
-                *o += v;
+        match cache {
+            ConvCache::Input { x, geom, batch } => {
+                let mut dk_scratch =
+                    ws.take(conv_direct::dk_scratch_len(self.in_ch, self.out_ch, geom));
+                let mut colsum = ws.take(self.out_ch);
+                let mut dx_scratch =
+                    ws.take(conv_direct::dx_scratch_len(batch, self.in_ch, self.out_ch));
+                let mut dx = ws.take(batch * self.in_ch * geom.h * geom.w);
+                self.backward_direct(
+                    &dy,
+                    &x,
+                    geom,
+                    &mut dk_scratch,
+                    &mut colsum,
+                    &mut dx_scratch,
+                    &mut dx,
+                );
+                ws.recycle(dk_scratch);
+                ws.recycle(colsum);
+                ws.recycle(dx_scratch);
+                ws.recycle(dy.into_vec());
+                let dims = [batch, self.in_ch, geom.h, geom.w];
+                self.cache = Some(ConvCache::Input { x, geom, batch });
+                Tensor::from_vec(dx, &dims)
+            }
+            ConvCache::Cols { cols, geom, batch } => {
+                let (oh, ow) = (geom.out_h(), geom.out_w());
+                let rows = batch * oh * ow;
+                let patch = self.in_ch * self.kh * self.kw;
+                let mut dy_rows_buf = ws.take(rows * self.out_ch);
+                Self::images_to_rows_into(&dy, &mut dy_rows_buf);
+                ws.recycle(dy.into_vec());
+                let dy_rows = Tensor::from_vec(dy_rows_buf, &[rows, self.out_ch]);
+                matmul_at_b_epi_into(
+                    &dy_rows,
+                    &cols,
+                    self.dkernel.data_mut(),
+                    Epilogue::Accumulate,
+                );
+                // dbias += column sums of dy_rows, in `sum_axis0`'s
+                // accumulation order so both backward paths stay
+                // bit-identical.
+                let mut colsum = ws.take(self.out_ch);
+                for r in 0..rows {
+                    let row = &dy_rows.data()[r * self.out_ch..(r + 1) * self.out_ch];
+                    for (o, v) in colsum.iter_mut().zip(row) {
+                        *o += v;
+                    }
+                }
+                for (d, s) in self.dbias.data_mut().iter_mut().zip(&colsum) {
+                    *d += s;
+                }
+                ws.recycle(colsum);
+                let mut dcols = ws.take(rows * patch);
+                matmul_epi_into(&dy_rows, &self.kernel, &mut dcols, Epilogue::Store);
+                ws.recycle(dy_rows.into_vec());
+                let dcols = Tensor::from_vec(dcols, &[rows, patch]);
+                let mut dx = ws.take(batch * self.in_ch * geom.h * geom.w);
+                col2im_into(&dcols, batch, self.in_ch, geom, &mut dx);
+                ws.recycle(dcols.into_vec());
+                let dims = [batch, self.in_ch, geom.h, geom.w];
+                self.cache = Some(ConvCache::Cols { cols, geom, batch });
+                Tensor::from_vec(dx, &dims)
             }
         }
-        for (d, s) in self.dbias.data_mut().iter_mut().zip(&colsum) {
-            *d += s;
-        }
-        ws.recycle(colsum);
-        let mut dcols = ws.take(rows * patch);
-        matmul_epi_into(&dy_rows, &self.kernel, &mut dcols, Epilogue::Store);
-        ws.recycle(dy_rows.into_vec());
-        let dcols = Tensor::from_vec(dcols, &[rows, patch]);
-        let mut dx = ws.take(cache.batch * self.in_ch * cache.geom.h * cache.geom.w);
-        col2im_into(&dcols, cache.batch, self.in_ch, cache.geom, &mut dx);
-        ws.recycle(dcols.into_vec());
-        let dims = [cache.batch, self.in_ch, cache.geom.h, cache.geom.w];
-        self.cache = Some(cache);
-        Tensor::from_vec(dx, &dims)
     }
 
     fn enable_relu_fusion(&mut self) -> bool {
@@ -394,5 +553,102 @@ mod tests {
         c.collect_params(&mut p);
         assert_eq!(p.len(), c.param_len());
         assert_eq!(c.param_len(), 4 * 2 * 9 + 4);
+    }
+
+    /// Runs two full ws training steps (forward + backward, so the
+    /// recycle-previous-cache path executes) and returns the bits of the
+    /// last output, last dx and the accumulated grads.
+    fn ws_step_bits(direct: bool) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+        conv_direct::set_enabled(direct);
+        let mut c = conv(2, 5, 3, 1, 1);
+        c.enable_relu_fusion();
+        let mut s = NormalSampler::seed_from(77);
+        let xs = Tensor::randn(&[2, 2, 6, 6], 0.0, 1.0, &mut s);
+        let dys = Tensor::randn(&[2, 5, 6, 6], 0.0, 1.0, &mut s);
+        let mut ws = Workspace::new();
+        let mut y = Tensor::zeros(&[1]);
+        let mut dx = Tensor::zeros(&[1]);
+        for _ in 0..2 {
+            let x = Tensor::from_vec(xs.data().to_vec(), &[2, 2, 6, 6]);
+            y = c.forward_ws(x, true, &mut ws);
+            let dy = Tensor::from_vec(dys.data().to_vec(), &[2, 5, 6, 6]);
+            dx = c.backward_ws(dy, &mut ws);
+        }
+        let mut grads = Vec::new();
+        c.collect_grads(&mut grads);
+        conv_direct::clear_forced();
+        (
+            y.data().iter().map(|v| v.to_bits()).collect(),
+            dx.data().iter().map(|v| v.to_bits()).collect(),
+            grads.iter().map(|v| v.to_bits()).collect(),
+        )
+    }
+
+    #[test]
+    fn ws_direct_path_matches_im2col_bitwise() {
+        let _g = crate::CONV_PATH_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let direct = ws_step_bits(true);
+        let lowered = ws_step_bits(false);
+        assert_eq!(
+            direct, lowered,
+            "direct vs im2col ws training step must be bit-identical"
+        );
+    }
+
+    /// Unsupported geometry (stride 2) must fall back to im2col even with
+    /// the direct path forced on — `conv3x3_forward_into` asserts on its
+    /// geometry, so misrouting would panic rather than silently diverge.
+    #[test]
+    fn direct_toggle_skips_unsupported_geometry() {
+        let _g = crate::CONV_PATH_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        conv_direct::set_enabled(true);
+        let mut c = conv(1, 2, 3, 2, 1);
+        let mut s = NormalSampler::seed_from(78);
+        let x = Tensor::randn(&[1, 1, 8, 8], 0.0, 1.0, &mut s);
+        let mut ws = Workspace::new();
+        let y_ws = c.forward_ws(
+            Tensor::from_vec(x.data().to_vec(), &[1, 1, 8, 8]),
+            true,
+            &mut ws,
+        );
+        let dy = Tensor::randn(&[1, 2, 4, 4], 0.0, 1.0, &mut s);
+        let dx_ws = c.backward_ws(Tensor::from_vec(dy.data().to_vec(), &[1, 2, 4, 4]), &mut ws);
+        conv_direct::clear_forced();
+        let mut c2 = conv(1, 2, 3, 2, 1);
+        let y = c2.forward(&x, true);
+        let dx = c2.backward(&dy);
+        assert_eq!(y.data(), y_ws.data());
+        assert_eq!(dx.data(), dx_ws.data());
+    }
+
+    /// The backward dispatch keys on the cached variant, so flipping the
+    /// toggle between forward and backward is benign.
+    #[test]
+    fn toggle_flip_between_forward_and_backward_is_safe() {
+        let _g = crate::CONV_PATH_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        conv_direct::set_enabled(true);
+        let mut c = conv(1, 3, 3, 1, 1);
+        let mut s = NormalSampler::seed_from(79);
+        let x = Tensor::randn(&[1, 1, 5, 5], 0.0, 1.0, &mut s);
+        let dy = Tensor::randn(&[1, 3, 5, 5], 0.0, 1.0, &mut s);
+        let mut ws = Workspace::new();
+        let _ = c.forward_ws(
+            Tensor::from_vec(x.data().to_vec(), &[1, 1, 5, 5]),
+            true,
+            &mut ws,
+        );
+        conv_direct::set_enabled(false); // flipped mid-step
+        let dx_a = c.backward_ws(Tensor::from_vec(dy.data().to_vec(), &[1, 3, 5, 5]), &mut ws);
+        conv_direct::clear_forced();
+        let mut c2 = conv(1, 3, 3, 1, 1);
+        let _ = c2.forward(&x, true);
+        let dx_b = c2.backward(&dy);
+        assert_eq!(dx_a.data(), dx_b.data());
     }
 }

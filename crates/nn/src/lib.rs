@@ -49,6 +49,14 @@ pub use pool::{AvgPoolGlobal, Flatten, MaxPool2};
 pub use residual::Residual;
 pub use spec::{LayerSpec, ModelSpec};
 
+/// Serializes tests that flip the process-global `conv_direct` toggle
+/// against tests that assert workspace-pool hit rates: a mid-run path
+/// flip is bit-identical but changes which buffer *sizes* a step takes,
+/// which would register as a (spurious) pool miss. Lock-poisoning from a
+/// failed test is ignored — the lock only orders execution.
+#[cfg(test)]
+pub(crate) static CONV_PATH_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[cfg(test)]
 pub(crate) mod gradcheck {
     //! Finite-difference gradient checking shared by layer tests.

@@ -332,6 +332,12 @@ mod tests {
 
     #[test]
     fn ws_pipeline_with_fusion_is_bitwise_identical() {
+        // The steady-state pool assertion below is sensitive to the conv
+        // path toggling mid-test (different path → different buffer
+        // sizes → spurious miss), so hold the toggle lock.
+        let _g = crate::CONV_PATH_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         use crate::conv::Conv2d;
         use crate::pool::{Flatten, MaxPool2};
 

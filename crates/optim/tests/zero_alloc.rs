@@ -1,13 +1,17 @@
 //! Counting-allocator proof of the workspace trainer's zero-alloc claim:
 //! after one warm-up pass, steady-state `train_minibatch_ws` steps perform
-//! **no heap allocation at all** — forward caches, im2col columns, gradient
-//! flats, batch assembly and optimizer state all live in reused buffers.
+//! **no heap allocation at all** — forward caches, direct-conv scratch,
+//! gradient flats, batch assembly and optimizer state all live in reused
+//! buffers.
 //!
-//! Runs under `VC_THREADS=1` (set before the pool's first use; this file
-//! must stay a single-test binary) so the measurement also covers the pool
-//! dispatch path: with one thread, parallel calls run inline and allocation-
-//! free. Multi-threaded dispatch costs one `Arc<Job>` per parallel *call*
-//! (not per step datum); that bound is documented in DESIGN.md §8.
+//! The claim is asserted at **every** thread cap, not just serially:
+//! `VC_THREADS=8` is set before the pool's first use (this file must stay
+//! a single-test binary so no other test races the env var), then the cap
+//! sweeps 8 → 4 → 2 → 1 with a warm-up and a counted pass at each. This
+//! covers the pool's stack-job dispatch path (jobs live on the submitter's
+//! stack, the queue is pre-reserved, helpers touch no heap) and the
+//! submitter-side GEMM A-pack arena, whose high-water mark is reached at
+//! the widest cap — which is why the sweep starts at 8.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -46,7 +50,9 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
 fn steady_state_training_steps_do_not_allocate() {
-    std::env::set_var("VC_THREADS", "1");
+    // Before the pool's OnceLock initializes: ask for 8 workers even on a
+    // smaller box, so every cap in the sweep below is actually exercised.
+    std::env::set_var("VC_THREADS", "8");
     use rand::SeedableRng;
     use vc_optim::{train_minibatch_ws, OptimizerSpec, TrainWorkspace};
     use vc_tensor::{NormalSampler, Tensor};
@@ -59,33 +65,42 @@ fn steady_state_training_steps_do_not_allocate() {
     let mut tws = TrainWorkspace::new();
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 
-    // Warm-up: fills the workspace pools, the flat param/grad vectors and
-    // the optimizer state to their steady-state high-water marks.
-    train_minibatch_ws(
-        &mut model, &mut opt, &images, &labels, 4, 2, 5.0, &mut rng, &mut tws, None,
-    );
+    assert_eq!(rayon::max_threads(), 8, "VC_THREADS must size the pool");
 
-    let (takes_before, misses_before) = tws.pool_stats();
-    ALLOCS.store(0, Ordering::SeqCst);
-    COUNTING.store(true, Ordering::SeqCst);
-    let stats = train_minibatch_ws(
-        &mut model, &mut opt, &images, &labels, 4, 3, 5.0, &mut rng, &mut tws, None,
-    );
-    COUNTING.store(false, Ordering::SeqCst);
+    // Widest cap first: the A-pack arena and workspace pools hit their
+    // high-water marks at 8 threads, so later (narrower) caps reuse them.
+    for cap in [8usize, 4, 2, 1] {
+        rayon::set_thread_cap(cap);
+        // Warm-up at this cap: fills the workspace pools, the flat
+        // param/grad vectors and the optimizer state — and, on the first
+        // iteration, spawns the pool's worker threads.
+        train_minibatch_ws(
+            &mut model, &mut opt, &images, &labels, 4, 2, 5.0, &mut rng, &mut tws, None,
+        );
 
-    assert!(stats.mean_loss.is_finite());
-    let (takes, misses) = tws.pool_stats();
-    assert!(
-        takes > takes_before,
-        "the measured pass must have exercised the pool"
-    );
-    assert_eq!(
-        misses, misses_before,
-        "steady state must never miss the buffer pool"
-    );
-    assert_eq!(
-        ALLOCS.load(Ordering::SeqCst),
-        0,
-        "steady-state train_minibatch_ws steps must not touch the heap"
-    );
+        let (takes_before, misses_before) = tws.pool_stats();
+        ALLOCS.store(0, Ordering::SeqCst);
+        COUNTING.store(true, Ordering::SeqCst);
+        let stats = train_minibatch_ws(
+            &mut model, &mut opt, &images, &labels, 4, 3, 5.0, &mut rng, &mut tws, None,
+        );
+        COUNTING.store(false, Ordering::SeqCst);
+
+        assert!(stats.mean_loss.is_finite());
+        let (takes, misses) = tws.pool_stats();
+        assert!(
+            takes > takes_before,
+            "cap {cap}: the measured pass must have exercised the pool"
+        );
+        assert_eq!(
+            misses, misses_before,
+            "cap {cap}: steady state must never miss the buffer pool"
+        );
+        assert_eq!(
+            ALLOCS.load(Ordering::SeqCst),
+            0,
+            "cap {cap}: steady-state train_minibatch_ws steps must not touch the heap"
+        );
+    }
+    rayon::set_thread_cap(usize::MAX);
 }

@@ -1,0 +1,965 @@
+//! Direct (implicit-GEMM) kernels for 3×3 stride-1 convolution.
+//!
+//! The general conv path lowers to GEMM via [`crate::ops::im2col_into`],
+//! which materializes every 3×3 patch as a row — a 9× blow-up of the input
+//! that is pure memory traffic (written once by im2col, streamed once by
+//! the GEMM's pack, then dead). For the 3×3 stride-1 blocks `small_cnn`
+//! and `resnet_lite` are built from, the kernels here compute the same
+//! sums straight from the image tensor: the "column matrix" exists only
+//! implicitly, one L1-resident band at a time. im2col/col2im stay as the
+//! general-case path (other kernel sizes, strides) and as the reference
+//! the property tests compare against.
+//!
+//! ## Kernel structure
+//!
+//! * **forward** — each image is staged once into a zero-padded copy
+//!   (`[ch, h+2p, w+2p]`, caller scratch), which makes *every* output
+//!   column vectorizable: the AVX2 row kernel runs 8-pixel spans across
+//!   the whole row, the final span overlapping the previous one when
+//!   `ow % 8 != 0` (recomputed lanes produce identical bits and are
+//!   skipped at write-back, so even the `Accumulate` epilogue is safe).
+//!   An interior-only span would collapse to all-scalar at `w ≤ 8`.
+//! * **backward/dK** — the GEMM `dyᵀ · cols` is tiled by *bands* of 32
+//!   column rows: each band is materialized into L1-sized scratch, then a
+//!   register tile (4 output channels × 16 patch columns) loads the
+//!   running accumulator once, FMAs all band rows, and stores it back —
+//!   instead of streaming the whole `out_ch × patch` accumulator through
+//!   memory for every output pixel.
+//! * **backward/dx** — per image, bands of 32 gradient-column rows are
+//!   computed with a register tile (4 rows × 16 patch columns) against a
+//!   zero-padded copy of the kernel, then scattered in col2im order.
+//!
+//! ## Bit-identity contract
+//!
+//! Every output element is produced by the **same fused-multiply-add chain
+//! in the same order** as the im2col+GEMM route, so results are
+//! *bit-identical*, not approximately equal — switching paths cannot
+//! perturb a DST trajectory:
+//!
+//! * **forward** — `out[b][oc][oy][ox]` reduces over the patch index
+//!   `p = (c*3 + ky)*3 + kx` ascending, exactly the GEMM's k-order for
+//!   `cols · Kᵀ`. Padded taps are **not skipped**: they contribute
+//!   `fma(0.0, k, acc)` via the staged image's literal zeros, just as the
+//!   materialized column row contains a literal `0.0`.
+//! * **backward/dx** — each column-row gradient `dcols[r][p]` reduces over
+//!   `oc` ascending (the GEMM's k-order for `dy · K`; padded kernel
+//!   columns only feed padded scratch columns that are never read back),
+//!   then scatters onto the image in [`crate::ops::col2im_into`]'s exact
+//!   iteration order.
+//! * **backward/dK** — each `dK[oc][p]` reduces over the GEMM row index
+//!   `(b, oy, ox)` ascending (the k-order of `dyᵀ · cols`): the register
+//!   tile loads the running value, continues the chain through one band,
+//!   stores it back, and the total is added to the existing gradient only
+//!   once the full chain is done — matching the GEMM's `Accumulate`
+//!   epilogue, which also adds a *finished* tile.
+//!
+//! AVX2 lanes compute the same bits as the scalar `mul_add` fallback
+//! (IEEE-754 specifies one rounding for fused multiply-add), and epilogues
+//! are applied by the same scalar code the GEMM's write-back uses, so
+//! vectorization never enters the equality argument. The property tests
+//! (`conv_direct_props.rs`) enforce all of this bitwise against the
+//! im2col reference.
+//!
+//! ## Selection
+//!
+//! [`supports`] gates on geometry (3×3, stride 1, any padding);
+//! [`enabled`] is a process-wide switch — default on, `VC_CONV_DIRECT=0`
+//! disables, [`set_enabled`] overrides at runtime (used by `bench_train`
+//! to time both paths and by tests to compare them).
+
+use crate::ops::{ConvGeom, Epilogue, PAR_THRESHOLD};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Output-channel block: each pass over an image row computes `OCB`
+/// channels at once so every loaded input vector feeds 4 accumulators.
+const OCB: usize = 4;
+
+/// Rows per backward band: 32 column rows × a padded patch row fit in L1
+/// for training-shaped channel counts, and give the register tiles a long
+/// enough FMA run to amortize their accumulator load/store.
+const BAND: usize = 32;
+
+// 0 = follow the VC_CONV_DIRECT env default, 1 = forced on, 2 = forced off.
+static FORCE: AtomicU8 = AtomicU8::new(0);
+
+fn env_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        !matches!(
+            std::env::var("VC_CONV_DIRECT").as_deref(),
+            Ok("0") | Ok("false") | Ok("off")
+        )
+    })
+}
+
+/// Is the direct path currently selected? (Geometry still has to pass
+/// [`supports`] — callers check both.)
+pub fn enabled() -> bool {
+    match FORCE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => env_default(),
+    }
+}
+
+/// Forces the direct path on or off process-wide, overriding the
+/// `VC_CONV_DIRECT` env default. Safe to flip at any time: both paths
+/// produce bit-identical results, so a racing layer sees no difference.
+pub fn set_enabled(on: bool) {
+    FORCE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Drops any [`set_enabled`] override, returning to the env default.
+pub fn clear_forced() {
+    FORCE.store(0, Ordering::Relaxed);
+}
+
+/// Geometry the direct kernels handle: 3×3, stride 1, any symmetric pad.
+pub fn supports(geom: &ConvGeom) -> bool {
+    geom.kh == 3 && geom.kw == 3 && geom.stride == 1
+}
+
+/// Patch rows in backward scratch are padded to a multiple of 16 floats so
+/// the 16-wide register tiles never need a remainder loop; the pad columns
+/// hold zeros and are never read back.
+fn patch_pad(patch: usize) -> usize {
+    patch.div_ceil(16) * 16
+}
+
+/// Scratch length (in floats) callers must provide to
+/// [`conv3x3_forward_into`]: one cache-line-padded zero-padded image copy
+/// per batch element so parallel images never share a line of scratch.
+pub fn fwd_scratch_len(batch: usize, ch: usize, geom: ConvGeom) -> usize {
+    batch * fwd_slot(ch, geom)
+}
+
+fn fwd_slot(ch: usize, geom: ConvGeom) -> usize {
+    let (ph, pw) = (geom.h + 2 * geom.pad, geom.w + 2 * geom.pad);
+    (ch * ph * pw).div_ceil(16) * 16 + 16
+}
+
+/// Scratch length (in floats) callers must provide to
+/// [`conv3x3_backward_dx_into`]: a zero-padded kernel copy (shared,
+/// read-only) plus one cache-line-padded band slot per image.
+pub fn dx_scratch_len(batch: usize, ch: usize, out_ch: usize) -> usize {
+    out_ch * patch_pad(ch * 9) + batch * dx_slot(ch, out_ch)
+}
+
+fn dx_slot(ch: usize, out_ch: usize) -> usize {
+    let pp = patch_pad(ch * 9);
+    (BAND * pp + BAND * out_ch).div_ceil(16) * 16 + 16
+}
+
+/// Scratch length (in floats) callers must provide to
+/// [`conv3x3_backward_dk_into`]: a padded image copy, one column band, one
+/// transposed dy band and the padded `out_ch × patch` accumulator.
+pub fn dk_scratch_len(ch: usize, out_ch: usize, geom: ConvGeom) -> usize {
+    let (ph, pw) = (geom.h + 2 * geom.pad, geom.w + 2 * geom.pad);
+    let pp = patch_pad(ch * 9);
+    ch * ph * pw + BAND * pp + BAND * out_ch + out_ch * pp
+}
+
+/// Per-call geometry bundle threaded through the kernels.
+#[derive(Clone, Copy)]
+struct Ctx {
+    ch: usize,
+    h: usize,
+    w: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+    patch: usize,
+}
+
+fn ctx_for(ch: usize, geom: ConvGeom) -> Ctx {
+    Ctx {
+        ch,
+        h: geom.h,
+        w: geom.w,
+        pad: geom.pad,
+        oh: geom.out_h(),
+        ow: geom.out_w(),
+        patch: ch * 9,
+    }
+}
+
+#[inline(always)]
+fn has_fma() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Stages one image as a zero-padded copy `[ch, h+2p, w+2p]` — the literal
+/// zeros around each plane are the same explicit zero operands the im2col
+/// matrix materializes for padded taps.
+fn pack_padded_image(x: &[f32], ctx: Ctx, dst: &mut [f32]) {
+    let (ph, pw) = (ctx.h + 2 * ctx.pad, ctx.w + 2 * ctx.pad);
+    dst[..ctx.ch * ph * pw].fill(0.0);
+    for c in 0..ctx.ch {
+        for y in 0..ctx.h {
+            let src = &x[(c * ctx.h + y) * ctx.w..][..ctx.w];
+            dst[c * ph * pw + (y + ctx.pad) * pw + ctx.pad..][..ctx.w].copy_from_slice(src);
+        }
+    }
+}
+
+/// Applies the GEMM epilogue to one finished accumulator value — the same
+/// scalar expressions as `ops::write_back`, so fused bias/ReLU rounding and
+/// NaN/sign behaviour are identical across paths by construction.
+#[inline(always)]
+fn apply_epi(o: &mut f32, v: f32, oc: usize, epi: Epilogue<'_>) {
+    match epi {
+        Epilogue::Store => *o = v,
+        Epilogue::Accumulate => *o += v,
+        Epilogue::Bias(bias) => *o = v + bias[oc],
+        Epilogue::BiasRelu(bias) => *o = (v + bias[oc]).max(0.0),
+    }
+}
+
+// ------------------------------------------------------------------ forward
+
+/// Direct 3×3 stride-1 conv forward: `input [batch, ch, h, w]` ×
+/// `kernel [out_ch, ch*9]` → `out [batch, out_ch, oh, ow]`, writing the
+/// image layout directly (the im2col path needs a separate
+/// rows→images permutation pass; this one doesn't). `scratch` must hold
+/// [`fwd_scratch_len`]`(batch, ch, geom)` floats.
+pub fn conv3x3_forward_into(
+    input: &Tensor,
+    kernel: &Tensor,
+    geom: ConvGeom,
+    out: &mut [f32],
+    epi: Epilogue<'_>,
+    scratch: &mut [f32],
+) {
+    let dims = input.dims();
+    assert_eq!(dims.len(), 4, "conv3x3 expects [batch, ch, h, w]");
+    let (batch, ch, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert!(supports(&geom), "conv3x3 geometry {geom:?}");
+    assert_eq!((h, w), (geom.h, geom.w));
+    geom.validate().expect("invalid conv geometry");
+    let out_ch = kernel.dims()[0];
+    let ctx = ctx_for(ch, geom);
+    assert_eq!(kernel.dims()[1], ctx.patch, "kernel patch width");
+    let plane = out_ch * ctx.oh * ctx.ow;
+    assert_eq!(out.len(), batch * plane, "conv3x3 output buffer length");
+    assert!(
+        scratch.len() >= fwd_scratch_len(batch, ch, geom),
+        "forward scratch length"
+    );
+    if out.is_empty() {
+        return;
+    }
+    let x = input.data();
+    let kd = kernel.data();
+    let img_len = ch * h * w;
+    let slot = fwd_slot(ch, geom);
+    let base = scratch.as_mut_ptr() as usize;
+    let run = |b: usize, dst: &mut [f32]| {
+        // Safety: image b writes only its own line-padded scratch slot;
+        // slots are disjoint and the scratch borrow outlives the blocking
+        // parallel call.
+        let pimg =
+            unsafe { std::slice::from_raw_parts_mut((base as *mut f32).add(b * slot), slot) };
+        fwd_image(
+            &x[b * img_len..(b + 1) * img_len],
+            kd,
+            out_ch,
+            ctx,
+            dst,
+            epi,
+            pimg,
+        );
+    };
+    if batch > 1 && out.len() >= PAR_THRESHOLD {
+        out.par_chunks_mut(plane)
+            .enumerate()
+            .for_each(|(b, dst)| run(b, dst));
+    } else {
+        for (b, dst) in out.chunks_mut(plane).enumerate() {
+            run(b, dst);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // internal kernel plumbing
+fn fwd_image(
+    x: &[f32],
+    kd: &[f32],
+    out_ch: usize,
+    ctx: Ctx,
+    dst: &mut [f32],
+    epi: Epilogue<'_>,
+    pimg: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if has_fma() && ctx.ow >= 8 {
+        pack_padded_image(x, ctx, pimg);
+        let mut oc0 = 0;
+        while oc0 < out_ch {
+            let noc = OCB.min(out_ch - oc0);
+            for oy in 0..ctx.oh {
+                // SAFETY: AVX2+FMA presence checked by has_fma above.
+                unsafe { fwd_row_avx2(pimg, kd, ctx, oy, oc0, noc, dst, epi) };
+            }
+            oc0 += OCB;
+        }
+        return;
+    }
+    let _ = pimg;
+    let mut oc0 = 0;
+    while oc0 < out_ch {
+        let noc = OCB.min(out_ch - oc0);
+        for oy in 0..ctx.oh {
+            fwd_row_generic(x, kd, ctx, oy, oc0, noc, dst, epi);
+        }
+        oc0 += OCB;
+    }
+}
+
+/// One output pixel, all `noc` channels of the block: the full
+/// `p`-ascending FMA chain with explicit zeros for padded taps.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // internal kernel plumbing: pixel coordinates are scalars by design
+fn fwd_px_scalar(
+    x: &[f32],
+    kd: &[f32],
+    ctx: Ctx,
+    oy: usize,
+    ox: usize,
+    oc0: usize,
+    noc: usize,
+) -> [f32; OCB] {
+    let mut acc = [0.0f32; OCB];
+    let iy0 = oy as isize - ctx.pad as isize;
+    let ix0 = ox as isize - ctx.pad as isize;
+    for c in 0..ctx.ch {
+        let plane = &x[c * ctx.h * ctx.w..(c + 1) * ctx.h * ctx.w];
+        for ky in 0..3 {
+            let iy = iy0 + ky as isize;
+            let row_ok = iy >= 0 && iy < ctx.h as isize;
+            for kx in 0..3 {
+                let ix = ix0 + kx as isize;
+                let xv = if row_ok && ix >= 0 && ix < ctx.w as isize {
+                    plane[iy as usize * ctx.w + ix as usize]
+                } else {
+                    0.0
+                };
+                let p = (c * 3 + ky) * 3 + kx;
+                for (jj, a) in acc.iter_mut().enumerate().take(noc) {
+                    *a = xv.mul_add(kd[(oc0 + jj) * ctx.patch + p], *a);
+                }
+            }
+        }
+    }
+    acc
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // internal kernel plumbing: pixel coordinates are scalars by design
+fn fwd_write_px(
+    dst: &mut [f32],
+    ctx: Ctx,
+    oy: usize,
+    ox: usize,
+    oc0: usize,
+    noc: usize,
+    acc: &[f32; OCB],
+    epi: Epilogue<'_>,
+) {
+    for jj in 0..noc {
+        let o = &mut dst[((oc0 + jj) * ctx.oh + oy) * ctx.ow + ox];
+        apply_epi(o, acc[jj], oc0 + jj, epi);
+    }
+}
+
+/// Portable whole-row kernel (also the narrow-row fallback, `ow < 8`, for
+/// the AVX2 path).
+#[allow(clippy::too_many_arguments)] // internal kernel plumbing: pixel coordinates are scalars by design
+fn fwd_row_generic(
+    x: &[f32],
+    kd: &[f32],
+    ctx: Ctx,
+    oy: usize,
+    oc0: usize,
+    noc: usize,
+    dst: &mut [f32],
+    epi: Epilogue<'_>,
+) {
+    for ox in 0..ctx.ow {
+        let acc = fwd_px_scalar(x, kd, ctx, oy, ox, oc0, noc);
+        fwd_write_px(dst, ctx, oy, ox, oc0, noc, &acc, epi);
+    }
+}
+
+/// AVX2 row kernel over the padded image: 8 output pixels × `noc` channels
+/// per span, spans covering the whole row. Every tap is an in-bounds
+/// unaligned load (zeros come from the staging pad), so there is no scalar
+/// edge handling at all; when `ow % 8 != 0` the final span re-computes a
+/// few lanes of the previous one (identical bits) and skips them at
+/// write-back so no element is written twice.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)] // internal kernel plumbing: pixel coordinates are scalars by design
+#[allow(clippy::needless_range_loop)] // lane index l spans all four lane arrays at once
+unsafe fn fwd_row_avx2(
+    pimg: &[f32],
+    kd: &[f32],
+    ctx: Ctx,
+    oy: usize,
+    oc0: usize,
+    noc: usize,
+    dst: &mut [f32],
+    epi: Epilogue<'_>,
+) {
+    use std::arch::x86_64::*;
+    let pw = ctx.w + 2 * ctx.pad;
+    let ph = ctx.h + 2 * ctx.pad;
+    let plane = ph * pw;
+    debug_assert!(ctx.ow >= 8);
+    let mut ox0 = 0usize;
+    let mut done = 0usize; // pixels [0, done) already written
+    loop {
+        let mut acc = [_mm256_setzero_ps(); OCB];
+        for c in 0..ctx.ch {
+            // Padded row oy+ky holds input row oy+ky-pad; padded column
+            // ox+kx holds input column ox+kx-pad — all taps in-bounds.
+            let base = pimg.as_ptr().add(c * plane + oy * pw + ox0);
+            for ky in 0..3 {
+                let row = base.add(ky * pw);
+                for kx in 0..3 {
+                    let xv = _mm256_loadu_ps(row.add(kx));
+                    let p = (c * 3 + ky) * 3 + kx;
+                    for (jj, a) in acc.iter_mut().enumerate().take(noc) {
+                        let kv = _mm256_broadcast_ss(&kd[(oc0 + jj) * ctx.patch + p]);
+                        *a = _mm256_fmadd_ps(xv, kv, *a);
+                    }
+                }
+            }
+        }
+        // Scalar write-back: lanes go through the exact same epilogue code
+        // as every other path (no vector max/add variants to reason about).
+        let mut lanes = [[0.0f32; 8]; OCB];
+        for (jj, a) in acc.iter().enumerate() {
+            _mm256_storeu_ps(lanes[jj].as_mut_ptr(), *a);
+        }
+        for l in (done - ox0)..8 {
+            let px = [lanes[0][l], lanes[1][l], lanes[2][l], lanes[3][l]];
+            fwd_write_px(dst, ctx, oy, ox0 + l, oc0, noc, &px, epi);
+        }
+        done = ox0 + 8;
+        if done >= ctx.ow {
+            break;
+        }
+        // Next span: step by 8, or back up so the last span ends exactly
+        // at the row edge (overlapped lanes are skipped above).
+        ox0 = if ox0 + 16 <= ctx.ow {
+            ox0 + 8
+        } else {
+            ctx.ow - 8
+        };
+    }
+}
+
+// ---------------------------------------------------------------- backward
+
+/// Materializes one im2col row (explicit zeros for padded taps) straight
+/// from the unpadded image — the scalar dK fallback's only patch storage.
+#[inline(always)]
+fn fill_patch_row(x: &[f32], ctx: Ctx, oy: usize, ox: usize, dst: &mut [f32]) {
+    let iy0 = oy as isize - ctx.pad as isize;
+    let ix0 = ox as isize - ctx.pad as isize;
+    let mut p = 0;
+    for c in 0..ctx.ch {
+        let plane = &x[c * ctx.h * ctx.w..(c + 1) * ctx.h * ctx.w];
+        for ky in 0..3 {
+            let iy = iy0 + ky as isize;
+            let row_ok = iy >= 0 && iy < ctx.h as isize;
+            for kx in 0..3 {
+                let ix = ix0 + kx as isize;
+                dst[p] = if row_ok && ix >= 0 && ix < ctx.w as isize {
+                    plane[iy as usize * ctx.w + ix as usize]
+                } else {
+                    0.0
+                };
+                p += 1;
+            }
+        }
+    }
+}
+
+/// Same row, materialized branch-free from a padded image: each `(c, ky)`
+/// pair is three consecutive floats.
+#[inline(always)]
+fn fill_patch_row_padded(
+    pimg: &[f32],
+    ctx: Ctx,
+    ph: usize,
+    pw: usize,
+    oy: usize,
+    ox: usize,
+    dst: &mut [f32],
+) {
+    let mut p = 0;
+    for c in 0..ctx.ch {
+        let base = c * ph * pw + oy * pw + ox;
+        for ky in 0..3 {
+            dst[p..p + 3].copy_from_slice(&pimg[base + ky * pw..][..3]);
+            p += 3;
+        }
+    }
+}
+
+/// Scatters one gradient column row onto the image in
+/// [`crate::ops::col2im_into`]'s exact iteration order (`c, ky, kx`
+/// ascending; out-of-bounds taps have no destination).
+#[inline(always)]
+fn scatter_row(img: &mut [f32], ctx: Ctx, oy: usize, ox: usize, drow: &[f32]) {
+    let iy0 = oy as isize - ctx.pad as isize;
+    let ix0 = ox as isize - ctx.pad as isize;
+    let mut p = 0;
+    for c in 0..ctx.ch {
+        for ky in 0..3 {
+            let iy = iy0 + ky as isize;
+            let row_ok = iy >= 0 && iy < ctx.h as isize;
+            for kx in 0..3 {
+                let ix = ix0 + kx as isize;
+                if row_ok && ix >= 0 && ix < ctx.w as isize {
+                    img[(c * ctx.h + iy as usize) * ctx.w + ix as usize] += drow[p];
+                }
+                p += 1;
+            }
+        }
+    }
+}
+
+/// Gathers one band of `dy` into row-major `[nb, out_ch]` order: within an
+/// image, GEMM row `r` *is* output pixel `r`, so this is a strided
+/// transpose of the `[out_ch, oh*ow]` plane.
+#[inline(always)]
+fn gather_dy_band(dyp: &[f32], ohw: usize, out_ch: usize, r0: usize, nb: usize, dyb: &mut [f32]) {
+    for (ri, row) in dyb.chunks_mut(out_ch).take(nb).enumerate() {
+        for (oc, v) in row.iter_mut().enumerate() {
+            *v = dyp[oc * ohw + r0 + ri];
+        }
+    }
+}
+
+/// Direct input-gradient: `dy [batch, out_ch, oh, ow]` ×
+/// `kernel [out_ch, ch*9]` → `dx [batch, ch, h, w]`, fusing the
+/// `dy · K` GEMM with the col2im scatter so the `[rows, ch*9]` gradient
+/// column matrix is never materialized — only one 32-row band per image
+/// lives in scratch. `scratch` must hold
+/// [`dx_scratch_len`]`(batch, ch, out_ch)` floats.
+pub fn conv3x3_backward_dx_into(
+    dy: &Tensor,
+    kernel: &Tensor,
+    ch: usize,
+    geom: ConvGeom,
+    dx: &mut [f32],
+    scratch: &mut [f32],
+) {
+    let dims = dy.dims();
+    assert_eq!(dims.len(), 4, "conv3x3 dy expects [batch, out_ch, oh, ow]");
+    let (batch, out_ch) = (dims[0], dims[1]);
+    assert!(supports(&geom), "conv3x3 geometry {geom:?}");
+    let ctx = ctx_for(ch, geom);
+    assert_eq!((dims[2], dims[3]), (ctx.oh, ctx.ow));
+    assert_eq!(kernel.dims(), &[out_ch, ctx.patch], "kernel dims");
+    let img_len = ch * ctx.h * ctx.w;
+    assert_eq!(dx.len(), batch * img_len, "dx buffer length");
+    assert!(
+        scratch.len() >= dx_scratch_len(batch, ch, out_ch),
+        "dx scratch length"
+    );
+    if dx.is_empty() {
+        return;
+    }
+    let dyd = dy.data();
+    let kd = kernel.data();
+    let dy_plane = out_ch * ctx.oh * ctx.ow;
+    let pp = patch_pad(ctx.patch);
+    let use_fma = has_fma();
+    let (kpad, slots) = scratch.split_at_mut(out_ch * pp);
+    if use_fma {
+        // Pad the kernel once, up front: the band tile loads 16-wide even
+        // past `patch`, and the zero columns only ever feed scratch
+        // columns that are never read back.
+        kpad.fill(0.0);
+        for oc in 0..out_ch {
+            kpad[oc * pp..][..ctx.patch].copy_from_slice(&kd[oc * ctx.patch..][..ctx.patch]);
+        }
+    }
+    let kpad = &*kpad;
+    let slot = dx_slot(ch, out_ch);
+    let base = slots.as_mut_ptr() as usize;
+    let run = |b: usize, img: &mut [f32]| {
+        // Safety: image b writes only its own line-padded scratch slot;
+        // slots are disjoint and the scratch borrow outlives the blocking
+        // parallel call.
+        let s = unsafe { std::slice::from_raw_parts_mut((base as *mut f32).add(b * slot), slot) };
+        let dyp = &dyd[b * dy_plane..(b + 1) * dy_plane];
+        if use_fma {
+            let (dcols, dyb) = s.split_at_mut(BAND * pp);
+            dx_image_banded(
+                dyp,
+                kpad,
+                out_ch,
+                ctx,
+                pp,
+                img,
+                dcols,
+                &mut dyb[..BAND * out_ch],
+            );
+        } else {
+            dx_image_generic(dyp, kd, out_ch, ctx, img, &mut s[..ctx.patch]);
+        }
+    };
+    // Same serial-vs-parallel policy as col2im_into over the same shapes.
+    if batch > 1 && dx.len() >= PAR_THRESHOLD {
+        out_par(dx, img_len, run);
+    } else {
+        for (b, img) in dx.chunks_mut(img_len).enumerate() {
+            run(b, img);
+        }
+    }
+}
+
+/// Helper so the closure capture for the parallel scatter stays tidy.
+fn out_par(out: &mut [f32], chunk: usize, run: impl Fn(usize, &mut [f32]) + Sync) {
+    out.par_chunks_mut(chunk)
+        .enumerate()
+        .for_each(|(b, dst)| run(b, dst));
+}
+
+/// Banded dx for one image: compute a band of gradient column rows with
+/// the register tile, then scatter them in global row order.
+#[allow(clippy::too_many_arguments)] // internal kernel plumbing
+fn dx_image_banded(
+    dyp: &[f32],
+    kpad: &[f32],
+    out_ch: usize,
+    ctx: Ctx,
+    pp: usize,
+    img: &mut [f32],
+    dcols: &mut [f32],
+    dyb: &mut [f32],
+) {
+    img.fill(0.0);
+    let ohw = ctx.oh * ctx.ow;
+    let mut r0 = 0;
+    while r0 < ohw {
+        let nb = BAND.min(ohw - r0);
+        gather_dy_band(dyp, ohw, out_ch, r0, nb, dyb);
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: callers reach this path only when has_fma() is true.
+        unsafe {
+            dx_band_avx2(dyb, kpad, nb, out_ch, pp, dcols)
+        };
+        for ri in 0..nb {
+            let r = r0 + ri;
+            scatter_row(
+                img,
+                ctx,
+                r / ctx.ow,
+                r % ctx.ow,
+                &dcols[ri * pp..][..ctx.patch],
+            );
+        }
+        r0 += nb;
+    }
+}
+
+/// Portable dx for one image — per-pixel `drow` accumulation, the original
+/// fused formulation (identical chain: `oc` ascending, then col2im order).
+fn dx_image_generic(
+    dyp: &[f32],
+    kd: &[f32],
+    out_ch: usize,
+    ctx: Ctx,
+    img: &mut [f32],
+    drow: &mut [f32],
+) {
+    img.fill(0.0);
+    for oy in 0..ctx.oh {
+        for ox in 0..ctx.ow {
+            drow.fill(0.0);
+            for oc in 0..out_ch {
+                let dyv = dyp[(oc * ctx.oh + oy) * ctx.ow + ox];
+                for (d, &k) in drow
+                    .iter_mut()
+                    .zip(&kd[oc * ctx.patch..(oc + 1) * ctx.patch])
+                {
+                    *d = dyv.mul_add(k, *d);
+                }
+            }
+            scatter_row(img, ctx, oy, ox, drow);
+        }
+    }
+}
+
+/// Band tile for dx: 4 column rows × 16 patch columns held in registers,
+/// reducing over `oc` ascending. Each `dcols[r][p]` is one contiguous FMA
+/// chain from zero — the GEMM's k-order for `dy_rows · K`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dx_band_avx2(
+    dyb: &[f32],
+    kpad: &[f32],
+    nb: usize,
+    out_ch: usize,
+    pp: usize,
+    dcols: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let mut ri = 0;
+    while ri + 4 <= nb {
+        let mut p0 = 0;
+        while p0 < pp {
+            let mut t = [[_mm256_setzero_ps(); 2]; 4];
+            for oc in 0..out_ch {
+                let k = kpad.as_ptr().add(oc * pp + p0);
+                let k0 = _mm256_loadu_ps(k);
+                let k1 = _mm256_loadu_ps(k.add(8));
+                for (q, tq) in t.iter_mut().enumerate() {
+                    let dv = _mm256_broadcast_ss(&dyb[(ri + q) * out_ch + oc]);
+                    tq[0] = _mm256_fmadd_ps(k0, dv, tq[0]);
+                    tq[1] = _mm256_fmadd_ps(k1, dv, tq[1]);
+                }
+            }
+            for (q, tq) in t.iter().enumerate() {
+                let d = dcols.as_mut_ptr().add((ri + q) * pp + p0);
+                _mm256_storeu_ps(d, tq[0]);
+                _mm256_storeu_ps(d.add(8), tq[1]);
+            }
+            p0 += 16;
+        }
+        ri += 4;
+    }
+    while ri < nb {
+        let mut p0 = 0;
+        while p0 < pp {
+            let mut t0 = _mm256_setzero_ps();
+            let mut t1 = _mm256_setzero_ps();
+            for oc in 0..out_ch {
+                let k = kpad.as_ptr().add(oc * pp + p0);
+                let dv = _mm256_broadcast_ss(&dyb[ri * out_ch + oc]);
+                t0 = _mm256_fmadd_ps(_mm256_loadu_ps(k), dv, t0);
+                t1 = _mm256_fmadd_ps(_mm256_loadu_ps(k.add(8)), dv, t1);
+            }
+            let d = dcols.as_mut_ptr().add(ri * pp + p0);
+            _mm256_storeu_ps(d, t0);
+            _mm256_storeu_ps(d.add(8), t1);
+            p0 += 16;
+        }
+        ri += 1;
+    }
+}
+
+/// Direct weight-gradient: `dkernel [out_ch, ch*9] += dyᵀ · cols`, reading
+/// patches straight from `input` — one 32-row column band at a time in
+/// L1-sized scratch, versus the whole `[rows, ch*9]` matrix the im2col
+/// path keeps alive. The padded accumulator holds the complete reduction
+/// before it is added to `dkernel`, matching the GEMM's `Accumulate`
+/// epilogue, which also adds only finished tiles. `scratch` must hold
+/// [`dk_scratch_len`]`(ch, out_ch, geom)` floats.
+///
+/// Serial by design: for training-shaped problems `out_ch ≤ 64`, the GEMM
+/// this replaces had at most one row band in flight, so there is no
+/// parallelism to lose.
+pub fn conv3x3_backward_dk_into(
+    dy: &Tensor,
+    input: &Tensor,
+    geom: ConvGeom,
+    dkernel: &mut [f32],
+    scratch: &mut [f32],
+) {
+    let dims = input.dims();
+    assert_eq!(dims.len(), 4, "conv3x3 expects [batch, ch, h, w]");
+    let (batch, ch) = (dims[0], dims[1]);
+    assert!(supports(&geom), "conv3x3 geometry {geom:?}");
+    assert_eq!((dims[2], dims[3]), (geom.h, geom.w));
+    let ctx = ctx_for(ch, geom);
+    let out_ch = dy.dims()[1];
+    assert_eq!(dy.dims(), &[batch, out_ch, ctx.oh, ctx.ow], "dy dims");
+    assert_eq!(dkernel.len(), out_ch * ctx.patch, "dkernel length");
+    assert!(
+        scratch.len() >= dk_scratch_len(ch, out_ch, geom),
+        "dk scratch length"
+    );
+    let (ph, pw) = (ctx.h + 2 * ctx.pad, ctx.w + 2 * ctx.pad);
+    let pp = patch_pad(ctx.patch);
+    let (pimg, rest) = scratch.split_at_mut(ch * ph * pw);
+    let (band, rest) = rest.split_at_mut(BAND * pp);
+    let (dyb, acc) = rest.split_at_mut(BAND * out_ch);
+    let acc = &mut acc[..out_ch * pp];
+    acc.fill(0.0);
+    let xd = input.data();
+    let dyd = dy.data();
+    let img_len = ch * ctx.h * ctx.w;
+    let ohw = ctx.oh * ctx.ow;
+    let dy_plane = out_ch * ohw;
+    let use_fma = has_fma();
+    for b in 0..batch {
+        let x = &xd[b * img_len..(b + 1) * img_len];
+        let dyp = &dyd[b * dy_plane..(b + 1) * dy_plane];
+        if use_fma {
+            pack_padded_image(x, ctx, pimg);
+            let mut r0 = 0;
+            while r0 < ohw {
+                let nb = BAND.min(ohw - r0);
+                for ri in 0..nb {
+                    let r = r0 + ri;
+                    let row = &mut band[ri * pp..][..pp];
+                    fill_patch_row_padded(pimg, ctx, ph, pw, r / ctx.ow, r % ctx.ow, row);
+                    row[ctx.patch..].fill(0.0);
+                }
+                gather_dy_band(dyp, ohw, out_ch, r0, nb, dyb);
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: use_fma is true only when AVX2+FMA are present.
+                unsafe {
+                    dk_band_avx2(band, dyb, nb, out_ch, pp, acc)
+                };
+                r0 += nb;
+            }
+        } else {
+            // Portable fallback: same chain, one patch row at a time.
+            let patch_row = &mut band[..ctx.patch];
+            for oy in 0..ctx.oh {
+                for ox in 0..ctx.ow {
+                    fill_patch_row(x, ctx, oy, ox, patch_row);
+                    for oc in 0..out_ch {
+                        let dyv = dyp[(oc * ctx.oh + oy) * ctx.ow + ox];
+                        for (a, &xv) in acc[oc * pp..][..ctx.patch].iter_mut().zip(&*patch_row) {
+                            *a = dyv.mul_add(xv, *a);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for oc in 0..out_ch {
+        let arow = &acc[oc * pp..][..ctx.patch];
+        for (d, &a) in dkernel[oc * ctx.patch..][..ctx.patch].iter_mut().zip(arow) {
+            *d += a;
+        }
+    }
+}
+
+/// Band tile for dK: 4 output channels × 16 patch columns held in
+/// registers; the running accumulator is loaded once per band, continued
+/// through all band rows (`r` ascending — the global GEMM k-order), and
+/// stored back.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dk_band_avx2(
+    band: &[f32],
+    dyb: &[f32],
+    nb: usize,
+    out_ch: usize,
+    pp: usize,
+    acc: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let mut oc0 = 0;
+    while oc0 < out_ch {
+        let noc = OCB.min(out_ch - oc0);
+        let mut p0 = 0;
+        while p0 < pp {
+            let mut t = [[_mm256_setzero_ps(); 2]; OCB];
+            for (jj, tj) in t.iter_mut().enumerate().take(noc) {
+                let a = acc.as_ptr().add((oc0 + jj) * pp + p0);
+                tj[0] = _mm256_loadu_ps(a);
+                tj[1] = _mm256_loadu_ps(a.add(8));
+            }
+            for ri in 0..nb {
+                let x = band.as_ptr().add(ri * pp + p0);
+                let x0 = _mm256_loadu_ps(x);
+                let x1 = _mm256_loadu_ps(x.add(8));
+                for (jj, tj) in t.iter_mut().enumerate().take(noc) {
+                    let dv = _mm256_broadcast_ss(&dyb[ri * out_ch + oc0 + jj]);
+                    tj[0] = _mm256_fmadd_ps(x0, dv, tj[0]);
+                    tj[1] = _mm256_fmadd_ps(x1, dv, tj[1]);
+                }
+            }
+            for (jj, tj) in t.iter().enumerate().take(noc) {
+                let a = acc.as_mut_ptr().add((oc0 + jj) * pp + p0);
+                _mm256_storeu_ps(a, tj[0]);
+                _mm256_storeu_ps(a.add(8), tj[1]);
+            }
+            p0 += 16;
+        }
+        oc0 += OCB;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supports_gates_on_geometry() {
+        let g3 = ConvGeom {
+            h: 8,
+            w: 8,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        assert!(supports(&g3));
+        assert!(!supports(&ConvGeom { stride: 2, ..g3 }));
+        assert!(!supports(&ConvGeom { kh: 1, kw: 1, ..g3 }));
+        assert!(!supports(&ConvGeom { kw: 5, ..g3 }));
+    }
+
+    #[test]
+    fn toggle_overrides_and_clears() {
+        let initial = enabled();
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+        clear_forced();
+        assert_eq!(enabled(), initial);
+    }
+
+    #[test]
+    fn scratch_slots_are_line_padded() {
+        // Adjacent per-image slots must be ≥ one cache line apart even for
+        // the smallest shapes, so parallel images never false-share.
+        let g = ConvGeom {
+            h: 1,
+            w: 1,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        assert!(fwd_slot(1, g) * 4 >= 9 * 4 + 64);
+        assert_eq!(fwd_scratch_len(3, 2, g), 3 * fwd_slot(2, g));
+        assert!(dx_slot(1, 1) * 4 >= (BAND * 16 + BAND) * 4 + 64);
+        assert_eq!(
+            dx_scratch_len(3, 2, 5),
+            5 * patch_pad(18) + 3 * dx_slot(2, 5)
+        );
+    }
+
+    #[test]
+    fn patch_pad_is_16_aligned_cover() {
+        assert_eq!(patch_pad(9), 16);
+        assert_eq!(patch_pad(16), 16);
+        assert_eq!(patch_pad(144), 144);
+        for p in 1..300 {
+            assert!(patch_pad(p) >= p && patch_pad(p).is_multiple_of(16));
+        }
+    }
+}

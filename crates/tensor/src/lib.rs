@@ -10,6 +10,8 @@
 //!   shape, elementwise arithmetic, reductions and broadcasting-by-row.
 //! * [`ops`] — rayon-parallel matrix multiplication and the im2col/col2im
 //!   transforms that back the convolution layers in `vc-nn`.
+//! * [`conv_direct`] — implicit-GEMM 3×3 stride-1 conv kernels that skip
+//!   im2col materialization, bit-identical to the im2col+GEMM route.
 //! * [`rng`] — seeded Gaussian sampling (Box–Muller) used for He-normal
 //!   parameter initialization, mirroring the paper's initializer.
 //! * [`codec`] — a compact binary encoding of parameter vectors, standing in
@@ -24,6 +26,7 @@
 //! weights.
 
 pub mod codec;
+pub mod conv_direct;
 pub mod ops;
 pub mod quant;
 pub mod rng;

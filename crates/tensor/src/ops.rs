@@ -5,9 +5,12 @@
 //!
 //! * **B is packed** once per call into zero-padded column panels of
 //!   [`NR`] columns, k-major, so the microkernel streams it linearly.
-//! * **A is packed** per 4-row quad into a `[k][`[`MR`]`]` micro-panel held
-//!   in thread-local scratch, so packing costs the same whether A is given
-//!   row-major ([`matmul`]) or transposed ([`matmul_at_b`]).
+//! * **A is packed** per 4-row quad into a `[k][`[`MR`]`]` micro-panel, so
+//!   packing costs the same whether A is given row-major ([`matmul`]) or
+//!   transposed ([`matmul_at_b`]). Each parallel row band packs into its
+//!   own cache-line-separated slot of a scratch arena owned by the
+//!   *submitting* thread (see [`gemm`]): worker threads never allocate, and
+//!   two bands never share a line of pack scratch.
 //! * The **microkernel** keeps an `MR × NR` register accumulator tile and
 //!   reduces over `k` in fixed ascending order with fused multiply-adds —
 //!   the same order and rounding the scalar reference uses — so results are
@@ -29,10 +32,15 @@
 //! defeats vectorization (see `bench_train`'s legacy-vs-new numbers), so
 //! the blocked inner loops are branch-free.
 //!
-//! Parallelism is over disjoint [`ROW_BLOCK`]-row bands of the output via
-//! the persistent worker pool in the vendored `rayon` shim; `matmul_at_b`
-//! (the weight-gradient path, previously serial) parallelizes the same way
-//! because packing makes its transposed A layout a non-issue.
+//! Parallelism is over disjoint row bands of the output via the persistent
+//! worker pool in the vendored `rayon` shim; `matmul_at_b` (the
+//! weight-gradient path, previously serial) parallelizes the same way
+//! because packing makes its transposed A layout a non-issue. The band
+//! height adapts to the thread cap ([`row_block_for`]): at 1 thread it is
+//! the cache-friendly [`ROW_BLOCK`], at higher caps it shrinks so every
+//! thread sees several bands — the first `VC_THREADS` sweep showed the
+//! fixed 64-row band leaving most of an 8-thread pool idle on the 128–512
+//! row matrices training actually produces (m=256 is just 4 bands).
 //!
 //! [`im2col`] / [`col2im`] lower 2-D convolution to matmul; the `_into`
 //! variants of every kernel write into caller-provided buffers so the
@@ -42,8 +50,10 @@ use crate::tensor::Tensor;
 use rayon::prelude::*;
 
 /// Threshold (in output elements) below which kernels run serially; farming
-/// tiny matrices out to the pool costs more than the multiply.
-const PAR_THRESHOLD: usize = 64 * 64;
+/// tiny matrices out to the pool costs more than the multiply. Shared with
+/// the direct conv path (`conv_direct`) so both lowerings make the same
+/// serial-vs-parallel choice at a given problem size.
+pub(crate) const PAR_THRESHOLD: usize = 64 * 64;
 
 /// Rows per register tile of the microkernel.
 const MR: usize = 4;
@@ -51,8 +61,25 @@ const MR: usize = 4;
 /// row on AVX2, giving the kernel 8 independent FMA chains — enough to hide
 /// the FMA latency and saturate both FMA ports.
 const NR: usize = 16;
-/// Output rows per parallel task.
+/// Output rows per parallel task at thread cap 1 (and the upper bound at
+/// any cap — taller bands stop paying off once A rows stream from L2).
 const ROW_BLOCK: usize = 64;
+/// Row bands per thread the parallel driver aims for: enough slack for the
+/// atomic-cursor self-balancing to absorb a slow thread, small enough that
+/// per-band dispatch overhead stays negligible.
+const BANDS_PER_THREAD: usize = 4;
+
+/// Height of one parallel row band. Threads only decide *which* disjoint
+/// bands they produce — band geometry never changes what an output element
+/// computes — so this is free to depend on the live thread cap without
+/// breaking bit-identity across caps.
+fn row_block_for(m: usize, threads: usize) -> usize {
+    if threads <= 1 {
+        return ROW_BLOCK;
+    }
+    let per = m.div_ceil(threads * BANDS_PER_THREAD);
+    (per.div_ceil(MR) * MR).clamp(MR, ROW_BLOCK)
+}
 
 /// What the GEMM does with each finished accumulator tile.
 #[derive(Clone, Copy)]
@@ -87,8 +114,12 @@ enum BMat<'a> {
     Trans { d: &'a [f32], k: usize },
 }
 
-// Thread-local pack scratch. Capacities persist across calls, so after the
-// first step at each problem size the kernels allocate nothing.
+// Pack scratch, thread-local to the *submitting* thread. Capacities persist
+// across calls, so after the first step at each problem size the kernels
+// allocate nothing. PACK_A is a slotted arena (one line-padded `k × MR`
+// slot per parallel row band — see `gemm`); PACK_B holds the shared packed
+// B panels. Worker threads touch neither: they receive their slot by
+// pointer and never allocate.
 thread_local! {
     static PACK_A: std::cell::Cell<Vec<f32>> = const { std::cell::Cell::new(Vec::new()) };
     static PACK_B: std::cell::Cell<Vec<f32>> = const { std::cell::Cell::new(Vec::new()) };
@@ -249,7 +280,8 @@ fn write_back(
 }
 
 /// Computes rows `r0 .. r0+rows` of the output into `out_block`
-/// (a `rows × n` slice), reading packed B.
+/// (a `rows × n` slice), reading packed B. `apack` is this band's private
+/// `k × MR` pack scratch (a slot of the submitter's arena — see [`gemm`]).
 #[allow(clippy::too_many_arguments)] // internal kernel plumbing: tile coordinates are scalars by design
 fn gemm_block(
     a: AMat,
@@ -260,29 +292,43 @@ fn gemm_block(
     rows: usize,
     out_block: &mut [f32],
     epi: Epilogue<'_>,
+    apack: &mut [f32],
 ) {
     let n_panels = n.div_ceil(NR);
-    let mut apack = PACK_A.with(|c| c.take());
-    apack.clear();
-    apack.resize(k * MR, 0.0);
     let mut iq = 0;
     while iq < rows {
         let mr = MR.min(rows - iq);
-        pack_a(a, r0 + iq, mr, k, &mut apack);
+        pack_a(a, r0 + iq, mr, k, apack);
         for jp in 0..n_panels {
             let j0 = jp * NR;
             let nr = NR.min(n - j0);
             let mut acc = [[0.0f32; NR]; MR];
-            micro_kernel(&apack, &bpack[jp * k * NR..(jp + 1) * k * NR], &mut acc);
+            micro_kernel(apack, &bpack[jp * k * NR..(jp + 1) * k * NR], &mut acc);
             write_back(&acc, out_block, iq, n, j0, mr, nr, epi);
         }
         iq += MR;
     }
-    PACK_A.with(|c| c.set(apack));
+}
+
+/// Floats per A-pack arena slot for reduction depth `k`: the `k × MR`
+/// panel rounded up to a whole number of 64-byte lines, plus one spacer
+/// line, so two bands' slots can never share a cache line no matter how
+/// the arena's base pointer is aligned.
+fn apack_slot(k: usize) -> usize {
+    (k * MR).div_ceil(16) * 16 + 16
 }
 
 /// The shared blocked GEMM driver: `out[m,n] ⊕= A[m,k] · B[k,n]` where `⊕`
 /// is the epilogue. `out.len()` must be `m * n`.
+///
+/// A-pack scratch is an arena owned by the submitting thread's
+/// thread-local, grown once per problem size and handed out as one
+/// line-padded slot per row band. The previous design let each *worker*
+/// thread lazily allocate its own pack buffer the first time it claimed a
+/// band — a heap allocation on the hot path of whichever thread got there
+/// first, and unwarmable by the zero-alloc training step (warm-up can't
+/// control which worker claims a band). Submitter-side slots make the
+/// allocation pattern deterministic and worker threads allocation-free.
 fn gemm(a: AMat, b: BMat, m: usize, k: usize, n: usize, out: &mut [f32], epi: Epilogue<'_>) {
     debug_assert_eq!(out.len(), m * n);
     if m == 0 || n == 0 {
@@ -290,16 +336,45 @@ fn gemm(a: AMat, b: BMat, m: usize, k: usize, n: usize, out: &mut [f32], epi: Ep
     }
     let mut bpack = PACK_B.with(|c| c.take());
     pack_b(b, k, n, &mut bpack);
+    let mut arena = PACK_A.with(|c| c.take());
     if m * n >= PAR_THRESHOLD && m > 1 {
+        let row_block = row_block_for(m, rayon::current_threads());
+        let n_bands = m.div_ceil(row_block);
+        let slot = apack_slot(k);
+        if arena.len() < n_bands * slot {
+            arena.resize(n_bands * slot, 0.0);
+        }
+        let base = arena.as_mut_ptr() as usize;
         let bp = &bpack;
-        out.par_chunks_mut(ROW_BLOCK * n)
+        out.par_chunks_mut(row_block * n)
             .enumerate()
             .for_each(|(bi, block)| {
-                gemm_block(a, bp, k, n, bi * ROW_BLOCK, block.len() / n, block, epi);
+                // Safety: band `bi` writes only its own arena slot; slots
+                // are disjoint (stride `slot` ≥ k*MR) and the arena Vec
+                // outlives the parallel call, which blocks until done.
+                let apack = unsafe {
+                    std::slice::from_raw_parts_mut((base as *mut f32).add(bi * slot), k * MR)
+                };
+                gemm_block(
+                    a,
+                    bp,
+                    k,
+                    n,
+                    bi * row_block,
+                    block.len() / n,
+                    block,
+                    epi,
+                    apack,
+                );
             });
     } else {
-        gemm_block(a, &bpack, k, n, 0, m, out, epi);
+        if arena.len() < k * MR {
+            arena.resize(k * MR, 0.0);
+        }
+        let (apack, _) = arena.split_at_mut(k * MR);
+        gemm_block(a, &bpack, k, n, 0, m, out, epi, apack);
     }
+    PACK_A.with(|c| c.set(arena));
     PACK_B.with(|c| c.set(bpack));
 }
 

@@ -1,0 +1,261 @@
+//! Property tests: the direct 3×3 stride-1 conv kernels vs the
+//! im2col+GEMM reference, compared **bitwise**.
+//!
+//! The direct path's contract (see `conv_direct`'s module docs) is that
+//! every output element is the same fused-multiply-add chain in the same
+//! order as the lowered route, so these properties never use a tolerance.
+//! The reference here is assembled from the exact public pieces the layer
+//! code uses: `im2col` → `matmul_a_bt_epi_into` (forward),
+//! `matmul_epi_into` → `col2im_into` (dx), `matmul_at_b_epi_into` with
+//! `Accumulate` (dK), plus the pure index permutations between row-major
+//! `[rows, oc]` matrices and `[b, oc, oh, ow]` image tensors.
+
+use proptest::prelude::*;
+use vc_tensor::conv_direct::{
+    conv3x3_backward_dk_into, conv3x3_backward_dx_into, conv3x3_forward_into, dk_scratch_len,
+    dx_scratch_len, fwd_scratch_len,
+};
+use vc_tensor::ops::{
+    col2im_into, im2col, matmul_a_bt_epi_into, matmul_at_b_epi_into, matmul_epi_into, ConvGeom,
+    Epilogue,
+};
+use vc_tensor::{NormalSampler, Tensor};
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn geom(h: usize, w: usize, pad: usize) -> ConvGeom {
+    ConvGeom {
+        h,
+        w,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad,
+    }
+}
+
+/// `[rows, oc]` flat matrix → `[b, oc, oh, ow]` images (pure copy).
+fn rows_to_images(flat: &[f32], batch: usize, oc: usize, ohw: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; flat.len()];
+    for b in 0..batch {
+        for c in 0..oc {
+            for px in 0..ohw {
+                out[(b * oc + c) * ohw + px] = flat[(b * ohw + px) * oc + c];
+            }
+        }
+    }
+    out
+}
+
+/// `[b, oc, oh, ow]` images → `[rows, oc]` flat matrix (pure copy).
+fn images_to_rows(img: &[f32], batch: usize, oc: usize, ohw: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; img.len()];
+    for b in 0..batch {
+        for c in 0..oc {
+            for px in 0..ohw {
+                out[(b * ohw + px) * oc + c] = img[(b * oc + c) * ohw + px];
+            }
+        }
+    }
+    out
+}
+
+struct Case {
+    input: Tensor,
+    kernel: Tensor,
+    bias: Tensor,
+    dy: Tensor,
+    g: ConvGeom,
+    batch: usize,
+    ch: usize,
+    out_ch: usize,
+}
+
+fn make_case(
+    batch: usize,
+    ch: usize,
+    out_ch: usize,
+    h: usize,
+    w: usize,
+    pad: usize,
+    seed: u64,
+) -> Case {
+    let g = geom(h, w, pad);
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let mut s = NormalSampler::seed_from(seed);
+    Case {
+        input: Tensor::randn(&[batch, ch, h, w], 0.0, 1.0, &mut s),
+        kernel: Tensor::randn(&[out_ch, ch * 9], 0.0, 0.5, &mut s),
+        bias: Tensor::randn(&[out_ch], 0.0, 0.5, &mut s),
+        dy: Tensor::randn(&[batch, out_ch, oh, ow], 0.0, 1.0, &mut s),
+        g,
+        batch,
+        ch,
+        out_ch,
+    }
+}
+
+fn check_forward(c: &Case, epi_kind: u8) {
+    let (oh, ow) = (c.g.out_h(), c.g.out_w());
+    let ohw = oh * ow;
+    let epi = match epi_kind {
+        0 => Epilogue::Store,
+        1 => Epilogue::Bias(c.bias.data()),
+        _ => Epilogue::BiasRelu(c.bias.data()),
+    };
+    // Reference: materialize columns, GEMM against Kᵀ, permute to images.
+    let cols = im2col(&c.input, c.ch, c.g);
+    let mut flat = vec![0.0f32; c.batch * ohw * c.out_ch];
+    matmul_a_bt_epi_into(&cols, &c.kernel, &mut flat, epi);
+    let want = rows_to_images(&flat, c.batch, c.out_ch, ohw);
+    // Direct.
+    let mut got = vec![0.0f32; want.len()];
+    let mut stage = vec![0.0f32; fwd_scratch_len(c.batch, c.ch, c.g)];
+    conv3x3_forward_into(&c.input, &c.kernel, c.g, &mut got, epi, &mut stage);
+    assert_eq!(bits(&got), bits(&want), "forward epi={epi_kind}");
+}
+
+fn check_dx(c: &Case) {
+    let (oh, ow) = (c.g.out_h(), c.g.out_w());
+    let ohw = oh * ow;
+    let rows = c.batch * ohw;
+    // Reference: dy → rows, dcols = dy_rows · K, col2im scatter.
+    let dy_rows = Tensor::from_vec(
+        images_to_rows(c.dy.data(), c.batch, c.out_ch, ohw),
+        &[rows, c.out_ch],
+    );
+    let mut dcols = vec![0.0f32; rows * c.ch * 9];
+    matmul_epi_into(&dy_rows, &c.kernel, &mut dcols, Epilogue::Store);
+    let mut want = vec![0.0f32; c.batch * c.ch * c.g.h * c.g.w];
+    col2im_into(
+        &Tensor::from_vec(dcols, &[rows, c.ch * 9]),
+        c.batch,
+        c.ch,
+        c.g,
+        &mut want,
+    );
+    // Direct (fused): no dcols matrix, per-image band scratch.
+    let mut got = vec![0.0f32; want.len()];
+    let mut scratch = vec![0.0f32; dx_scratch_len(c.batch, c.ch, c.out_ch)];
+    conv3x3_backward_dx_into(&c.dy, &c.kernel, c.ch, c.g, &mut got, &mut scratch);
+    assert_eq!(bits(&got), bits(&want), "dx");
+}
+
+fn check_dk(c: &Case, seed: u64) {
+    let (oh, ow) = (c.g.out_h(), c.g.out_w());
+    let ohw = oh * ow;
+    let rows = c.batch * ohw;
+    let patch = c.ch * 9;
+    // Both paths accumulate onto the same nonzero starting gradient, so the
+    // Accumulate epilogue semantics are covered too.
+    let mut s = NormalSampler::seed_from(seed ^ 0xdead);
+    let dk0 = Tensor::randn(&[c.out_ch, patch], 0.0, 1.0, &mut s);
+    let dy_rows = Tensor::from_vec(
+        images_to_rows(c.dy.data(), c.batch, c.out_ch, ohw),
+        &[rows, c.out_ch],
+    );
+    let cols = im2col(&c.input, c.ch, c.g);
+    let mut want = dk0.data().to_vec();
+    matmul_at_b_epi_into(&dy_rows, &cols, &mut want, Epilogue::Accumulate);
+    let mut got = dk0.data().to_vec();
+    let mut scratch = vec![0.0f32; dk_scratch_len(c.ch, c.out_ch, c.g)];
+    conv3x3_backward_dk_into(&c.dy, &c.input, c.g, &mut got, &mut scratch);
+    assert_eq!(bits(&got), bits(&want), "dK");
+}
+
+proptest! {
+    #[test]
+    fn forward_bitwise_vs_im2col(
+        batch in 1usize..4,
+        ch in 1usize..4,
+        out_ch in 1usize..7,
+        h in 1usize..8,
+        w in 1usize..8,
+        pad in 0usize..3,
+        epi_kind in 0u8..3,
+        seed in 0u64..1_000_000,
+    ) {
+        prop_assume!(h + 2 * pad >= 3 && w + 2 * pad >= 3);
+        let c = make_case(batch, ch, out_ch, h, w, pad, seed);
+        check_forward(&c, epi_kind);
+    }
+
+    #[test]
+    fn backward_bitwise_vs_im2col(
+        batch in 1usize..4,
+        ch in 1usize..4,
+        out_ch in 1usize..7,
+        h in 1usize..8,
+        w in 1usize..8,
+        pad in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        prop_assume!(h + 2 * pad >= 3 && w + 2 * pad >= 3);
+        let c = make_case(batch, ch, out_ch, h, w, pad, seed);
+        check_dx(&c);
+        check_dk(&c, seed);
+    }
+}
+
+/// Degenerate geometries the strategy ranges only graze: 1×1 spatial
+/// output (kernel covers the whole padded input), single-pixel images,
+/// batch=1, ch=1, and an out_ch that is not a multiple of the OCB=4
+/// channel block.
+#[test]
+fn degenerate_geometries_bitwise() {
+    for (batch, ch, out_ch, h, w, pad) in [
+        (1, 1, 1, 1, 1, 1), // 1×1 input, pad 1 → 1×1 output, all-edge taps
+        (1, 1, 5, 1, 1, 1), // OCB remainder of 1
+        (2, 3, 4, 1, 5, 1), // single-row images
+        (2, 3, 4, 5, 1, 1), // single-column images
+        (1, 2, 3, 3, 3, 0), // pad 0 → 1×1 output from the interior only
+        (1, 1, 1, 2, 2, 2), // pad 2: output wider than the input
+        (3, 2, 6, 9, 9, 1), // ow=9: vector span + scalar remainder lanes
+    ] {
+        let c = make_case(
+            batch,
+            ch,
+            out_ch,
+            h,
+            w,
+            pad,
+            (batch * 31 + h * 7 + w) as u64,
+        );
+        for epi in 0..3 {
+            check_forward(&c, epi);
+        }
+        check_dx(&c);
+        check_dk(&c, 17);
+    }
+}
+
+/// A training-shaped case past `PAR_THRESHOLD`, so the forward and dx
+/// kernels take their parallel per-image path; repeated runs must also
+/// reproduce identical bytes (run-to-run determinism on the pool).
+#[test]
+fn parallel_path_bitwise_and_deterministic() {
+    let c = make_case(4, 8, 8, 16, 16, 1, 4242);
+    check_forward(&c, 2);
+    check_dx(&c);
+    check_dk(&c, 4242);
+    let mut first: Option<Vec<u32>> = None;
+    for _ in 0..4 {
+        let mut out = vec![0.0f32; 4 * 8 * 16 * 16];
+        let mut stage = vec![0.0f32; fwd_scratch_len(4, 8, c.g)];
+        conv3x3_forward_into(
+            &c.input,
+            &c.kernel,
+            c.g,
+            &mut out,
+            Epilogue::Bias(c.bias.data()),
+            &mut stage,
+        );
+        let b = bits(&out);
+        match &first {
+            None => first = Some(b),
+            Some(f) => assert_eq!(&b, f, "pool run changed the bytes"),
+        }
+    }
+}

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Two-phase profile-guided-optimization build for the compute substrate.
+#
+# Phase 1 builds `bench_train` with -Cprofile-generate and drives it through
+# the --smoke workload, which exercises exactly the hot paths training lives
+# in: the blocked GEMM microkernel, the direct 3x3 conv kernels (forward,
+# dx, dK), the im2col lowering, and the vendored rayon shim's dispatch.
+# Phase 2 merges the raw profiles with llvm-profdata and rebuilds the
+# release binaries with -Cprofile-use so the optimizer lays out those paths
+# from measured branch weights instead of heuristics.
+#
+# Usage: deploy/pgo-build.sh [profile-dir]
+#   profile-dir defaults to target/pgo-profiles. The final optimized
+#   binaries land in target/release/ as usual.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PGO_DIR="${1:-$PWD/target/pgo-profiles}"
+
+# llvm-profdata ships with rustup's llvm-tools component inside the rustc
+# sysroot; fall back to a system copy on PATH. The merge step must use an
+# LLVM at least as new as rustc's, which both of these satisfy.
+HOST="$(rustc -vV | sed -n 's/^host: //p')"
+SYSROOT="$(rustc --print sysroot)"
+PROFDATA="$SYSROOT/lib/rustlib/$HOST/bin/llvm-profdata"
+if [[ ! -x "$PROFDATA" ]]; then
+    PROFDATA="$(command -v llvm-profdata || true)"
+fi
+if [[ -z "$PROFDATA" || ! -x "$PROFDATA" ]]; then
+    echo "error: llvm-profdata not found" >&2
+    echo "  looked in: $SYSROOT/lib/rustlib/$HOST/bin/llvm-profdata" >&2
+    echo "  and on PATH. Install it with: rustup component add llvm-tools" >&2
+    exit 1
+fi
+
+rm -rf "$PGO_DIR"
+mkdir -p "$PGO_DIR"
+
+echo "== phase 1/2: instrumented build =="
+RUSTFLAGS="-Cprofile-generate=$PGO_DIR" \
+    cargo build --release -p vc-bench --bin bench_train
+
+echo "== phase 1/2: profiling run (bench_train --smoke) =="
+# VC_THREADS=2 profiles the cross-thread dispatch path as well as the
+# kernels; callers can override it from the environment.
+VC_THREADS="${VC_THREADS:-2}" ./target/release/bench_train --smoke
+
+echo "== merging raw profiles =="
+if ! "$PROFDATA" merge -o "$PGO_DIR/merged.profdata" "$PGO_DIR"; then
+    echo "error: profile merge failed" >&2
+    echo "  $PROFDATA is likely older than rustc's LLVM" \
+         "($(rustc -vV | sed -n 's/^LLVM version: //p'))." >&2
+    echo "  Install the matching tool with: rustup component add llvm-tools" >&2
+    exit 1
+fi
+
+echo "== phase 2/2: optimized rebuild =="
+RUSTFLAGS="-Cprofile-use=$PGO_DIR/merged.profdata" \
+    cargo build --release -p vc-bench --bin bench_train
+
+echo "done: target/release/bench_train rebuilt with $PGO_DIR/merged.profdata"

@@ -16,6 +16,35 @@
 //!   claims fewer chunks) without any per-chunk channel traffic;
 //! * a [`join`] two-closure primitive in the classic rayon style.
 //!
+//! ## Scaling fixes (PR 10 regression notes)
+//!
+//! The first `VC_THREADS` sweep (`bench_train`) exposed three scaling bugs
+//! in this shim, all fixed here; keep them fixed:
+//!
+//! 1. **False sharing on the job header.** `cursor`, `pending` and
+//!    `helpers` were adjacent `AtomicUsize` fields — three hot atomics on
+//!    one 64-byte line, so every chunk claim (`cursor.fetch_add`) and every
+//!    chunk retire (`pending.fetch_sub`) by different threads ping-ponged
+//!    the same cache line. Each is now wrapped in [`CachePadded`]
+//!    (`#[repr(align(64))]`) so claims and retires stay on separate lines.
+//! 2. **Thundering herd on short chunk lists.** Submission used
+//!    `notify_all`: a 2-chunk job on an 8-thread pool woke all 7 workers,
+//!    6 of which fought over the queue lock, found nothing, and went back
+//!    to sleep — pure contention on the exact jobs where dispatch latency
+//!    dominates. Submission now wakes `min(helper_cap, n_items - 1)`
+//!    workers with `notify_one`.
+//! 3. **`join` was serial.** It ran `a` to completion *first* and only then
+//!    called the internal parallel-for with `n_items == 1`, which takes the
+//!    inline fast path — `b` was never offered to the pool at all. `join`
+//!    now pushes the `b` job *before* running `a`, so an idle worker can
+//!    overlap it, and the caller claims `b` itself if nobody got there.
+//!
+//! Dispatch is also **allocation-free** now: jobs live on the submitting
+//! thread's stack and the injector holds raw pointers in a pre-reserved
+//! queue, so steady-state parallel calls do no heap work (this is load
+//! bearing for `zero_alloc.rs`, which asserts a zero-allocation training
+//! step at every thread cap).
+//!
 //! ## Determinism
 //!
 //! Which thread executes a chunk never affects *what* the chunk computes:
@@ -56,6 +85,13 @@ pub mod prelude {
 
 // --------------------------------------------------------------------- pool
 
+/// Pads a hot atomic out to its own cache line so concurrent updates to
+/// *different* counters never contend on the same line (x86-64 lines are
+/// 64 bytes; aarch64 is sometimes 128 but 64 still removes the worst of
+/// the ping-pong).
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
 /// Runtime cap on total parallelism (workers helping + the caller).
 /// `usize::MAX` means "no extra cap beyond the pool size".
 static THREAD_CAP: AtomicUsize = AtomicUsize::new(usize::MAX);
@@ -73,7 +109,12 @@ pub fn max_threads() -> usize {
     pool().n_threads
 }
 
-/// Parallelism the next call will actually use.
+/// Parallelism the next parallel call will actually use (pool size clamped
+/// by [`set_thread_cap`]). Kernels use this to pick chunk granularity.
+pub fn current_threads() -> usize {
+    effective_threads()
+}
+
 fn effective_threads() -> usize {
     max_threads().min(THREAD_CAP.load(Ordering::Relaxed))
 }
@@ -92,23 +133,41 @@ fn configured_threads() -> usize {
 
 /// Type-erased `Fn(chunk_index)` that may borrow the submitting thread's
 /// stack. Safety: the pointee outlives every call because the submitter
-/// blocks in `Job::wait_done` until all chunks have completed.
+/// blocks in `Job::wait_settled` until all chunks have completed and every
+/// helper has deregistered.
 struct FnPtr(*const (dyn Fn(usize) + Sync));
 unsafe impl Send for FnPtr {}
 unsafe impl Sync for FnPtr {}
 
 /// One submitted parallel-for: an atomic cursor over `n_items` chunks.
+///
+/// Jobs live on the *submitting thread's stack* — the injector queue holds
+/// raw pointers, not `Arc`s, so dispatch never allocates. The lifetime
+/// protocol that makes this sound:
+///
+/// * workers register as helpers (`helpers += 1`) only **under the queue
+///   lock, while the job is still in the queue**;
+/// * the submitter **removes the job from the queue before waiting**, so
+///   after removal no new helper can appear;
+/// * the submitter then waits for `done && helpers == 0`
+///   ([`Job::wait_settled`]) before its frame (and the job) goes away. A
+///   helper's final access is the decrement + notify inside
+///   [`Job::release_helper`], performed while holding `done`'s mutex, so
+///   the submitter cannot observe the settled state before the helper is
+///   finished touching the job.
 struct Job {
     func: FnPtr,
     n_items: usize,
-    /// Next chunk index to claim.
-    cursor: AtomicUsize,
-    /// Chunks not yet finished (claimed or not).
-    pending: AtomicUsize,
-    /// Workers currently helping (the submitter is not counted).
-    helpers: AtomicUsize,
     /// Max workers allowed to help (thread cap minus the submitter).
     helper_cap: usize,
+    /// Next chunk index to claim. Own cache line: this is the single
+    /// hottest atomic (every chunk claim hits it).
+    cursor: CachePadded<AtomicUsize>,
+    /// Chunks not yet finished (claimed or not). Own line so retires don't
+    /// ping-pong with claims.
+    pending: CachePadded<AtomicUsize>,
+    /// Workers currently helping (the submitter is not counted).
+    helpers: CachePadded<AtomicUsize>,
     /// First panic payload raised by any chunk.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
     done: Mutex<bool>,
@@ -116,11 +175,31 @@ struct Job {
 }
 
 impl Job {
+    /// Safety: caller must keep `f` alive until [`Job::wait_settled`]
+    /// returns (enforced by the submit/finish protocol in this module).
+    fn new(f: &(dyn Fn(usize) + Sync), n_items: usize, helper_cap: usize) -> Job {
+        Job {
+            func: FnPtr(unsafe {
+                std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                    f,
+                )
+            }),
+            n_items,
+            helper_cap,
+            cursor: CachePadded(AtomicUsize::new(0)),
+            pending: CachePadded(AtomicUsize::new(n_items)),
+            helpers: CachePadded(AtomicUsize::new(0)),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        }
+    }
+
     /// Claims and runs chunks until the cursor is exhausted. Panics are
     /// captured, never propagated — the submitter re-raises them.
     fn run_items(&self) {
         loop {
-            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            let i = self.cursor.0.fetch_add(1, Ordering::Relaxed);
             if i >= self.n_items {
                 return;
             }
@@ -131,7 +210,7 @@ impl Job {
                     *p = Some(payload);
                 }
             }
-            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if self.pending.0.fetch_sub(1, Ordering::AcqRel) == 1 {
                 let mut d = self.done.lock().unwrap();
                 *d = true;
                 self.done_cv.notify_all();
@@ -140,20 +219,43 @@ impl Job {
     }
 
     fn exhausted(&self) -> bool {
-        self.cursor.load(Ordering::Relaxed) >= self.n_items
+        self.cursor.0.load(Ordering::Relaxed) >= self.n_items
     }
 
-    fn wait_done(&self) {
+    /// Deregisters a helper. The decrement and the wakeup happen while
+    /// holding `done`'s mutex so this is the helper's *last* access to the
+    /// job before the submitter can free it (see the struct docs).
+    fn release_helper(&self) {
+        let _d = self.done.lock().unwrap();
+        self.helpers.0.fetch_sub(1, Ordering::AcqRel);
+        self.done_cv.notify_all();
+    }
+
+    /// Blocks until every chunk has completed *and* every helper has
+    /// deregistered — only then may the job's memory be reclaimed.
+    fn wait_settled(&self) {
         let mut d = self.done.lock().unwrap();
-        while !*d {
+        while !*d || self.helpers.0.load(Ordering::Acquire) != 0 {
             d = self.done_cv.wait(d).unwrap();
         }
     }
 }
 
+/// Pointer to a stack-resident [`Job`]. Valid while the job is queued or
+/// has live helpers (see [`Job`] docs).
+#[derive(Clone, Copy)]
+struct JobPtr(*const Job);
+unsafe impl Send for JobPtr {}
+
+/// Queue capacity reserved at pool init. The queue holds one entry per
+/// *in-flight* parallel call, so its depth is bounded by call-nesting
+/// depth (plus concurrent submitting threads) — far below this. Keeping it
+/// pre-reserved means steady-state submission never reallocates.
+const QUEUE_RESERVE: usize = 64;
+
 struct Injector {
     /// Jobs with unclaimed chunks, in submission order.
-    queue: Mutex<Vec<Arc<Job>>>,
+    queue: Mutex<Vec<JobPtr>>,
     cv: Condvar,
 }
 
@@ -168,7 +270,7 @@ fn pool() -> &'static Pool {
     POOL.get_or_init(|| {
         let n_threads = configured_threads();
         let injector = Arc::new(Injector {
-            queue: Mutex::new(Vec::new()),
+            queue: Mutex::new(Vec::with_capacity(QUEUE_RESERVE)),
             cv: Condvar::new(),
         });
         for w in 0..n_threads.saturating_sub(1) {
@@ -187,30 +289,58 @@ fn pool() -> &'static Pool {
 
 fn worker_loop(inj: Arc<Injector>) {
     loop {
-        let job = {
+        let job: *const Job = {
             let mut q = inj.queue.lock().unwrap();
             loop {
                 // Claim a helper slot under the lock so the per-job helper
-                // cap is exact.
-                let found = q.iter().position(|j| {
-                    !j.exhausted() && j.helpers.load(Ordering::Relaxed) < j.helper_cap
-                });
-                if let Some(pos) = found {
-                    let j = Arc::clone(&q[pos]);
-                    j.helpers.fetch_add(1, Ordering::Relaxed);
-                    break j;
+                // cap is exact and the registration is ordered before any
+                // possible dequeue by the submitter.
+                let found = q
+                    .iter()
+                    .find(|jp| {
+                        let j = unsafe { &*jp.0 };
+                        !j.exhausted() && j.helpers.0.load(Ordering::Relaxed) < j.helper_cap
+                    })
+                    .copied();
+                if let Some(jp) = found {
+                    unsafe { &*jp.0 }.helpers.0.fetch_add(1, Ordering::Relaxed);
+                    break jp.0;
                 }
                 q = inj.cv.wait(q).unwrap();
             }
         };
-        job.run_items();
-        job.helpers.fetch_sub(1, Ordering::Relaxed);
-        // Drop the exhausted job from the injector so the queue stays short.
-        let mut q = inj.queue.lock().unwrap();
-        if let Some(pos) = q.iter().position(|x| Arc::ptr_eq(x, &job) && x.exhausted()) {
+        // Safety: registered as a helper above, so the submitter's
+        // wait_settled keeps the job alive until release_helper below.
+        let j = unsafe { &*job };
+        j.run_items();
+        j.release_helper();
+    }
+}
+
+/// Makes `job` visible to the pool and wakes just enough workers to cover
+/// its chunks (`notify_all` here was the thundering-herd bug — see the
+/// module docs).
+fn submit(p: &Pool, job: &Job) {
+    {
+        let mut q = p.injector.queue.lock().unwrap();
+        q.push(JobPtr(job as *const Job));
+    }
+    let wake = job.helper_cap.min(job.n_items.saturating_sub(1));
+    for _ in 0..wake {
+        p.injector.cv.notify_one();
+    }
+}
+
+/// Dequeues `job` (cutting off new helpers) and blocks until it is fully
+/// settled. After this returns the job may be dropped.
+fn finish(p: &Pool, job: &Job) {
+    {
+        let mut q = p.injector.queue.lock().unwrap();
+        if let Some(pos) = q.iter().position(|x| std::ptr::eq(x.0, job)) {
             q.remove(pos);
         }
     }
+    job.wait_settled();
 }
 
 /// Runs `f(0..n_items)` across the pool, blocking until every chunk has
@@ -227,45 +357,21 @@ fn run_parallel(n_items: usize, f: &(dyn Fn(usize) + Sync)) {
         return;
     }
     let p = pool();
-    let job = Arc::new(Job {
-        // Safety: the lifetime is erased but the submitter blocks in
-        // `wait_done` below until every chunk finished, so `f` outlives
-        // all uses through this pointer.
-        func: FnPtr(unsafe {
-            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
-        }),
-        n_items,
-        cursor: AtomicUsize::new(0),
-        pending: AtomicUsize::new(n_items),
-        helpers: AtomicUsize::new(0),
-        helper_cap: threads - 1,
-        panic: Mutex::new(None),
-        done: Mutex::new(false),
-        done_cv: Condvar::new(),
-    });
-    {
-        let mut q = p.injector.queue.lock().unwrap();
-        q.push(Arc::clone(&job));
-    }
-    p.injector.cv.notify_all();
+    let job = Job::new(f, n_items, threads - 1);
+    submit(p, &job);
     job.run_items();
-    job.wait_done();
-    {
-        let mut q = p.injector.queue.lock().unwrap();
-        if let Some(pos) = q.iter().position(|x| Arc::ptr_eq(x, &job)) {
-            q.remove(pos);
-        }
-    }
+    finish(p, &job);
     let payload = job.panic.lock().unwrap().take();
     if let Some(payload) = payload {
         resume_unwind(payload);
     }
 }
 
-/// Runs both closures and returns both results; `b` is offered to the pool
-/// while the caller runs `a`, and the caller runs `b` itself if no worker
-/// picked it up by then. Panics from either side propagate after both have
-/// finished.
+/// Runs both closures and returns both results; `b` is pushed to the pool
+/// *before* the caller runs `a`, so an idle worker can execute it
+/// concurrently, and the caller claims `b` itself if no worker got there
+/// first. Panics from either side propagate after both have finished
+/// (`a`'s first if both panicked).
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA,
@@ -274,7 +380,16 @@ where
     RB: Send,
 {
     if effective_threads() <= 1 {
-        return (a(), b());
+        // Match the pool path's semantics: `b` always runs (there it was
+        // already submitted before `a` started), and `a`'s panic is
+        // re-raised only after `b` has finished.
+        let ra = catch_unwind(AssertUnwindSafe(a));
+        let rb = catch_unwind(AssertUnwindSafe(b));
+        return match (ra, rb) {
+            (Ok(ra), Ok(rb)) => (ra, rb),
+            (Err(pa), _) => resume_unwind(pa),
+            (_, Err(pb)) => resume_unwind(pb),
+        };
     }
     let b_fn: Mutex<Option<B>> = Mutex::new(Some(b));
     let b_out: Mutex<Option<RB>> = Mutex::new(None);
@@ -283,15 +398,23 @@ where
             *b_out.lock().unwrap() = Some(bf());
         }
     };
+    let p = pool();
+    let job = Job::new(&run_b, 1, 1);
+    submit(p, &job);
     let mut ra: Option<RA> = None;
-    // Catch `a`'s panic so the caller's frame (which `run_b` borrows) stays
-    // alive until the `b` job has fully completed, then re-raise.
+    // Catch `a`'s panic so the caller's frame (which the queued `b` job
+    // borrows) stays alive until that job has fully settled, then re-raise.
     let a_result = {
         let ra = &mut ra;
         catch_unwind(AssertUnwindSafe(move || *ra = Some(a())))
     };
-    run_parallel(1, &run_b);
+    job.run_items();
+    finish(p, &job);
     if let Err(payload) = a_result {
+        resume_unwind(payload);
+    }
+    let payload = job.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
         resume_unwind(payload);
     }
     (
@@ -489,6 +612,23 @@ mod tests {
         // Pool still usable.
         let (a, b) = join(|| 10, || 20);
         assert_eq!((a, b), (10, 20));
+    }
+
+    #[test]
+    fn join_propagates_a_panic_after_b_completes() {
+        let b_ran = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            join(
+                || -> i32 { panic!("a failed") },
+                || b_ran.fetch_add(1, Ordering::Relaxed),
+            )
+        }));
+        assert!(r.is_err());
+        assert_eq!(
+            b_ran.load(Ordering::Relaxed),
+            1,
+            "b must complete before a's panic resumes"
+        );
     }
 
     #[test]

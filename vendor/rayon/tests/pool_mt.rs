@@ -1,0 +1,147 @@
+//! Multi-thread pool behaviour, pinned at `VC_THREADS=8`.
+//!
+//! The in-crate unit tests run against whatever parallelism the host
+//! offers (often 1 in CI containers), so they cannot observe scaling
+//! behaviour at all. This integration test owns its process: `setup()`
+//! forces `VC_THREADS=8` before the pool's `OnceLock` initializes, so the
+//! pool really has 7 workers regardless of host core count, and
+//! `set_thread_cap` sweeps below that.
+
+use rayon::prelude::*;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Forces an 8-thread pool (idempotent, race-free: the first caller sets
+/// the env var and touches the pool inside the `OnceLock` init). Every
+/// test calls this first. Also serves as the cap-sweep lock token source.
+fn setup() -> usize {
+    static INIT: OnceLock<usize> = OnceLock::new();
+    *INIT.get_or_init(|| {
+        std::env::set_var("VC_THREADS", "8");
+        rayon::max_threads()
+    })
+}
+
+/// Tests that touch the global `set_thread_cap` must not interleave.
+static CAP_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn pool_honours_vc_threads_override() {
+    assert_eq!(setup(), 8, "VC_THREADS=8 must size the pool to 8");
+}
+
+#[test]
+fn work_actually_spreads_across_threads() {
+    setup();
+    let _g = CAP_LOCK.lock().unwrap();
+    let prev = rayon::set_thread_cap(8);
+    let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+    let mut v = [0u8; 64];
+    v.par_chunks_mut(1).for_each(|_| {
+        ids.lock().unwrap().insert(std::thread::current().id());
+        // Long enough for parked workers to wake and claim chunks, short
+        // enough to keep the test fast even fully serialized (64 × 2 ms).
+        std::thread::sleep(Duration::from_millis(2));
+    });
+    rayon::set_thread_cap(prev);
+    let distinct = ids.lock().unwrap().len();
+    assert!(
+        distinct >= 2,
+        "expected chunks on ≥2 threads with an 8-thread pool, saw {distinct}"
+    );
+}
+
+#[test]
+fn results_bit_identical_across_cap_sweep() {
+    setup();
+    let _g = CAP_LOCK.lock().unwrap();
+    let run = |cap: usize| {
+        let prev = rayon::set_thread_cap(cap);
+        let mut v = vec![0f32; 40_000];
+        v.par_chunks_mut(97).enumerate().for_each(|(i, chunk)| {
+            let mut acc = 0.1f32;
+            for (j, x) in chunk.iter_mut().enumerate() {
+                acc = ((i * 97 + j) as f32).mul_add(0.25, acc);
+                *x = acc;
+            }
+        });
+        rayon::set_thread_cap(prev);
+        v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>()
+    };
+    let baseline = run(1);
+    for cap in [2, 4, 8] {
+        assert_eq!(run(cap), baseline, "cap={cap} must be bit-identical");
+    }
+}
+
+#[test]
+fn join_overlaps_b_with_a() {
+    setup();
+    let _g = CAP_LOCK.lock().unwrap();
+    let prev = rayon::set_thread_cap(8);
+    // `a` blocks until `b` signals: this only terminates if `b` runs on a
+    // worker *while* `a` is still executing — i.e. join really offers `b`
+    // to the pool before running `a` (the PR 10 join fix).
+    let (tx, rx) = mpsc::channel::<()>();
+    let ((), sent) = rayon::join(
+        move || {
+            rx.recv_timeout(Duration::from_secs(10))
+                .expect("b never ran concurrently with a — join is serial again")
+        },
+        move || tx.send(()).is_ok(),
+    );
+    rayon::set_thread_cap(prev);
+    assert!(sent);
+}
+
+#[test]
+fn panic_poisons_only_its_job_at_full_width() {
+    setup();
+    let _g = CAP_LOCK.lock().unwrap();
+    let prev = rayon::set_thread_cap(8);
+    let mut v = vec![0u32; 512];
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        v.par_chunks_mut(4).enumerate().for_each(|(i, _)| {
+            if i % 16 == 3 {
+                panic!("chunk {i} poisoned");
+            }
+        });
+    }));
+    assert!(r.is_err(), "panic must reach the submitter");
+    // Pool must stay fully functional at width 8 afterwards.
+    let counter = AtomicUsize::new(0);
+    let mut w = vec![0u8; 256];
+    w.par_chunks_mut(2).for_each(|_| {
+        counter.fetch_add(1, Ordering::Relaxed);
+    });
+    rayon::set_thread_cap(prev);
+    assert_eq!(counter.load(Ordering::Relaxed), 128);
+}
+
+#[test]
+fn nested_calls_at_full_width() {
+    setup();
+    let _g = CAP_LOCK.lock().unwrap();
+    let prev = rayon::set_thread_cap(8);
+    let mut outer = vec![0usize; 32];
+    outer.par_chunks_mut(4).enumerate().for_each(|(i, chunk)| {
+        let mut inner = vec![0usize; 128];
+        inner.par_chunks_mut(8).enumerate().for_each(|(j, c)| {
+            for x in c.iter_mut() {
+                *x = j + 1;
+            }
+        });
+        let sum: usize = inner.iter().sum();
+        for x in chunk.iter_mut() {
+            *x = i * 10_000 + sum;
+        }
+    });
+    rayon::set_thread_cap(prev);
+    let expect: usize = (0..16).map(|j| (j + 1) * 8).sum();
+    for (pos, &x) in outer.iter().enumerate() {
+        assert_eq!(x, (pos / 4) * 10_000 + expect);
+    }
+}
